@@ -1,0 +1,72 @@
+// Command dotgraph emits the macro-dataflow graph (the paper's Fig. 4) of
+// a built-in workload in Graphviz DOT format.
+//
+// Usage:
+//
+//	dotgraph               # Fig. 1's graph
+//	dotgraph -workload triangular -n 6 | dot -Tsvg > graph.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dotgraph: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream; it
+// is separated from main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dotgraph", flag.ContinueOnError)
+	var (
+		name = fs.String("workload", "fig1", "workload: fig1, triangular, branchy, many")
+		n    = fs.Int64("n", 0, "size override")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var nest *loopir.Nest
+	switch *name {
+	case "fig1":
+		nest = workload.Fig1(workload.DefaultFig1())
+	case "triangular":
+		size := *n
+		if size <= 0 {
+			size = 5
+		}
+		nest = workload.Triangular(size, 1)
+	case "branchy":
+		size := *n
+		if size <= 0 {
+			size = 6
+		}
+		nest = workload.Branchy(size, 2, 2, 1, 1)
+	case "many":
+		size := *n
+		if size <= 0 {
+			size = 8
+		}
+		nest = workload.ManyInstances(4, size, 2, 1)
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, prog.GraphDOT())
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	for _, wl := range []string{"fig1", "triangular", "branchy", "many"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-workload", wl, "-n", "3"}, &buf); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "digraph macrodataflow") || !strings.Contains(out, "->") {
+			t.Errorf("%s output not DOT:\n%s", wl, out)
+		}
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

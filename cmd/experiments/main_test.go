@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"F1", "F8", "E1", "E11"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "f3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "coalesced") || !strings.Contains(buf.String(), "check [PASS]") {
+		t.Errorf("F3 output:\n%s", buf.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "Z9"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

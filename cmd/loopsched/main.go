@@ -1,0 +1,252 @@
+// Command loopsched runs a built-in workload under the two-level
+// self-scheduling scheme and reports scheduling statistics.
+//
+// Usage:
+//
+//	loopsched -workload fig1 -procs 8 -scheme gss
+//	loopsched -workload adjoint -n 512 -scheme tss -show-program
+//	loopsched -workload wavefront -n 200 -scheme css:4 -access 5
+//	loopsched -list
+//
+// Workloads: fig1 (the paper's example program), adjoint, radjoint,
+// triangular, wavefront, branchy, flat, many, random.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+type workloadDef struct {
+	desc string
+	mk   func(n, grain, seed int64) *loopir.Nest
+}
+
+var workloads = map[string]workloadDef{
+	"fig1": {"the paper's Fig. 1 example program", func(n, grain, _ int64) *loopir.Nest {
+		cfg := workload.DefaultFig1()
+		if n > 0 {
+			cfg.NA, cfg.NB, cfg.NC, cfg.ND, cfg.NE, cfg.NF, cfg.NG, cfg.NH = n, n, n, n, n, n, n, n
+		}
+		if grain > 0 {
+			cfg.IterCost = grain
+		}
+		return workload.Fig1(cfg)
+	}},
+	"adjoint": {"decreasing-cost adjoint convolution", func(n, grain, _ int64) *loopir.Nest {
+		return workload.AdjointConvolution(defN(n, 512), defN(grain, 4))
+	}},
+	"radjoint": {"increasing-cost reverse adjoint convolution", func(n, grain, _ int64) *loopir.Nest {
+		return workload.ReverseAdjoint(defN(n, 512), defN(grain, 4))
+	}},
+	"triangular": {"Gaussian-elimination-shaped triangular nest", func(n, grain, _ int64) *loopir.Nest {
+		return workload.Triangular(defN(n, 64), defN(grain, 50))
+	}},
+	"wavefront": {"distance-1 Doacross recurrence", func(n, grain, _ int64) *loopir.Nest {
+		g := defN(grain, 100)
+		return workload.Wavefront(defN(n, 200), 1, g/10+1, g)
+	}},
+	"branchy": {"IF-THEN-ELSE nest with 40:1 branch costs", func(n, grain, _ int64) *loopir.Nest {
+		return workload.Branchy(defN(n, 24), 64, 16, defN(grain, 200), 5)
+	}},
+	"flat": {"single flat Doall loop", func(n, grain, _ int64) *loopir.Nest {
+		return workload.UniformDoall(defN(n, 2000), defN(grain, 100))
+	}},
+	"many": {"many small instances across 12 inner loops", func(n, grain, _ int64) *loopir.Nest {
+		return workload.ManyInstances(12, defN(n, 96), 4, defN(grain, 30))
+	}},
+	"random": {"seeded random general nest", func(_, _, seed int64) *loopir.Nest {
+		return workload.Random(seed, workload.DefaultRandConfig())
+	}},
+}
+
+func defN(v, d int64) int64 {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loopsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream; it
+// is separated from main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loopsched", flag.ContinueOnError)
+	var (
+		name        = fs.String("workload", "fig1", "workload name (see -list)")
+		file        = fs.String("file", "", "run a mini-language program file instead of a built-in workload")
+		list        = fs.Bool("list", false, "list workloads and exit")
+		procs       = fs.Int("procs", 8, "processor count")
+		scheme      = fs.String("scheme", "ss", "low-level scheme: ss, css:K, gss, tss[:F:L], fsc")
+		engine      = fs.String("engine", "virtual", "engine: virtual, real, real-spin")
+		access      = fs.Int64("access", 10, "virtual machine synchronization access cost")
+		combining   = fs.Bool("combining", false, "enable combining fetch-and-add")
+		remote      = fs.Int64("remote", 0, "NUMA remote-access penalty (virtual engine)")
+		singleList  = fs.Bool("single-list", false, "use a single task-pool list (baseline)")
+		poolKind    = fs.String("pool", "per-loop", "task pool: per-loop, single, distributed")
+		dispatch    = fs.Int64("dispatch", 0, "per-task OS dispatch cost (baseline)")
+		n           = fs.Int64("n", 0, "workload size override")
+		grain       = fs.Int64("grain", 0, "iteration grain override")
+		seed        = fs.Int64("seed", 1, "seed for -workload random")
+		verify      = fs.Bool("verify", false, "verify the run against the sequential reference")
+		showProgram = fs.Bool("show-program", false, "print the standardized program")
+		showTables  = fs.Bool("show-tables", false, "print the DEPTH/BOUND and DESCRPT tables")
+		gantt       = fs.Int("gantt", 0, "render a Gantt chart with the given width (0 = off)")
+		hotspots    = fs.Int("hotspots", 0, "print the top-N contended variables (virtual engine)")
+		showInstr   = fs.Bool("show-instr", false, "print the instrumented-program listing")
+		jsonOut     = fs.Bool("json", false, "emit the run result as JSON")
+		coalesce    = fs.Bool("coalesce", false, "apply implicit loop coalescing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		var names []string
+		for k := range workloads {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+		for _, k := range names {
+			fmt.Fprintf(tw, "%s\t%s\n", k, workloads[k].desc)
+		}
+		tw.Flush()
+		return nil
+	}
+
+	var nest *loopir.Nest
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		nest, err = lang.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %v", *file, err)
+		}
+		*name = *file
+	} else {
+		def, ok := workloads[*name]
+		if !ok {
+			return fmt.Errorf("unknown workload %q (try -list)", *name)
+		}
+		nest = def.mk(*n, *grain, *seed)
+	}
+
+	var copts []repro.CompileOption
+	if *coalesce {
+		copts = append(copts, repro.WithCoalescing())
+	}
+	prog, err := repro.Compile(nest, copts...)
+	if err != nil {
+		return fmt.Errorf("compile: %v", err)
+	}
+	if *showProgram {
+		fmt.Fprintf(out, "standardized program (%d innermost parallel loops):\n\n%s\n", prog.NumLoops(), prog)
+	}
+	if *showTables {
+		fmt.Fprintf(out, "%s\n%s\n", prog.DepthBoundTable(), prog.DescriptorTable())
+	}
+	if *showInstr {
+		fmt.Fprintf(out, "%s\n", prog.InstrumentationListing())
+	}
+
+	res, err := prog.Run(repro.Options{
+		Procs:          *procs,
+		Scheme:         *scheme,
+		Engine:         repro.EngineKind(*engine),
+		AccessCost:     *access,
+		Combining:      *combining,
+		RemotePenalty:  *remote,
+		SingleListPool: *singleList,
+		Pool:           *poolKind,
+		DispatchCost:   *dispatch,
+		Verify:         *verify,
+		CollectTrace:   *gantt > 0,
+	})
+	if err != nil {
+		return fmt.Errorf("run: %v", err)
+	}
+
+	if *jsonOut {
+		type jsonResult struct {
+			Workload    string          `json:"workload"`
+			Engine      string          `json:"engine"`
+			Procs       int             `json:"procs"`
+			Scheme      string          `json:"scheme"`
+			Pool        string          `json:"pool"`
+			Makespan    int64           `json:"makespan"`
+			Utilization float64         `json:"utilization"`
+			Busy        []int64         `json:"busy"`
+			Stats       core.Snapshot   `json:"stats"`
+			HotSpots    []repro.HotSpot `json:"hot_spots,omitempty"`
+		}
+		payload := jsonResult{
+			Workload: *name, Engine: orDefault(*engine, "virtual"),
+			Procs: res.Procs, Scheme: res.SchemeName, Pool: orDefault(*poolKind, "per-loop"),
+			Makespan: res.Makespan, Utilization: res.Utilization,
+			Busy: res.Busy, Stats: res.Stats, HotSpots: res.HotSpots,
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	fmt.Fprintf(out, "workload     %s\n", *name)
+	fmt.Fprintf(out, "engine       %s, P=%d\n", orDefault(*engine, "virtual"), res.Procs)
+	fmt.Fprintf(out, "scheme       %s\n", res.SchemeName)
+	fmt.Fprintf(out, "makespan     %d\n", res.Makespan)
+	fmt.Fprintf(out, "utilization  %.4f\n", res.Utilization)
+	s := res.Stats
+	fmt.Fprintf(out, "instances    %d   iterations %d   chunks %d\n", s.Instances, s.Iterations, s.Chunks)
+	fmt.Fprintf(out, "searches     %d   enters %d   exits %d   zero-trips %d\n",
+		s.Searches, s.Enters, s.Exits, s.ZeroTrips)
+	fmt.Fprintf(out, "overheads    O1=%d  O2=%d  O3=%d  dispatch=%d\n",
+		s.O1Time, s.O2Time, s.O3Time, s.DispatchTime)
+	fmt.Fprintf(out, "pool         sweeps %d  walked %d  lock-failures %d  retests %d  saturated %d\n",
+		s.Search.Sweeps, s.Search.Walked, s.Search.LockFailures, s.Search.Retests, s.Search.Saturated)
+	if *verify {
+		fmt.Fprintln(out, "verify       OK (exactly-once execution, macro-dataflow precedence)")
+	}
+	if *gantt > 0 {
+		fmt.Fprintf(out, "\n%s", res.GanttChart(*gantt))
+	}
+	if *hotspots > 0 {
+		fmt.Fprintln(out, "\nhot spots (queueing time at the memory module):")
+		for i, h := range res.HotSpots {
+			if i >= *hotspots {
+				break
+			}
+			fmt.Fprintf(out, "  %-12s accesses %8d   wait %10d\n", h.Name, h.Accesses, h.Wait)
+		}
+	}
+	return nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}

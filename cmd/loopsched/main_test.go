@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCLI(t, "-list")
+	for _, w := range []string{"fig1", "adjoint", "wavefront", "random"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("-list missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestRunFig1WithVerify(t *testing.T) {
+	out := runCLI(t, "-workload", "fig1", "-procs", "4", "-scheme", "gss", "-verify")
+	for _, w := range []string{"scheme       GSS", "iterations 72", "verify       OK"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runCLI(t, "-workload", "flat", "-procs", "2", "-json")
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if payload["workload"] != "flat" || payload["procs"] != float64(2) {
+		t.Errorf("payload = %v", payload)
+	}
+	if _, ok := payload["stats"]; !ok {
+		t.Error("missing stats in JSON")
+	}
+}
+
+func TestProgramFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.loop")
+	if err := os.WriteFile(path, []byte("doall I = 1..6 { work 10 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-file", path, "-procs", "2", "-verify")
+	if !strings.Contains(out, "iterations 6") {
+		t.Errorf("file run output:\n%s", out)
+	}
+}
+
+func TestShowProgramAndTablesAndInstr(t *testing.T) {
+	out := runCLI(t, "-workload", "fig1", "-show-program", "-show-tables", "-show-instr", "-procs", "2")
+	for _, w := range []string{"standardized program", "DEPTH", "DESCRPT_A", "instrumented program"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q", w)
+		}
+	}
+}
+
+func TestGanttAndHotspots(t *testing.T) {
+	out := runCLI(t, "-workload", "flat", "-procs", "2", "-gantt", "30", "-hotspots", "3")
+	if !strings.Contains(out, "P0 ") || !strings.Contains(out, "hot spots") {
+		t.Errorf("gantt/hotspot output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-file", "/does/not/exist.loop"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-workload", "flat", "-scheme", "bogus"}, &buf); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}
+
+func TestWorkloadTableComplete(t *testing.T) {
+	// Every built-in workload must compile and run at a small size.
+	for name := range workloads {
+		args := []string{"-workload", name, "-procs", "2"}
+		if name == "fig1" || name == "random" {
+			args = append(args, "-n", "2")
+		} else {
+			args = append(args, "-n", "8", "-grain", "5")
+		}
+		out := runCLI(t, args...)
+		if !strings.Contains(out, "utilization") {
+			t.Errorf("workload %s output:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command sweep runs processor-count × scheme sweeps over a built-in
+// workload or a mini-language program file and prints a speedup table or
+// CSV for external plotting.
+//
+// Usage:
+//
+//	sweep -workload adjoint -procs 1,2,4,8,16 -schemes ss,css:8,gss,tss,fsc
+//	sweep -file prog.loop -csv > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/internal/loopir"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream; it
+// is separated from main for testing.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		name    = fs.String("workload", "adjoint", "workload: adjoint, radjoint, triangular, branchy, flat, many, fig1")
+		file    = fs.String("file", "", "mini-language program file instead of a built-in workload")
+		procs   = fs.String("procs", "1,2,4,8,16", "comma-separated processor counts")
+		schemes = fs.String("schemes", "ss,css:8,gss,tss,fsc", "comma-separated scheme specs")
+		access  = fs.Int64("access", 10, "synchronization access cost")
+		remote  = fs.Int64("remote", 0, "NUMA remote-access penalty")
+		pool    = fs.String("pool", "per-loop", "task pool: per-loop, single, distributed")
+		csvOut  = fs.Bool("csv", false, "emit CSV instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var nest func() *loopir.Nest
+	switch {
+	case *file != "":
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		if _, err := lang.Parse(string(src)); err != nil {
+			return fmt.Errorf("%s: %v", *file, err)
+		}
+		text := string(src)
+		nest = func() *loopir.Nest { return lang.MustParse(text) }
+		*name = *file
+	default:
+		builders := map[string]func() *loopir.Nest{
+			"adjoint":    func() *loopir.Nest { return workload.AdjointConvolution(512, 4) },
+			"radjoint":   func() *loopir.Nest { return workload.ReverseAdjoint(512, 4) },
+			"triangular": func() *loopir.Nest { return workload.Triangular(64, 50) },
+			"branchy":    func() *loopir.Nest { return workload.Branchy(24, 64, 16, 200, 5) },
+			"flat":       func() *loopir.Nest { return workload.UniformDoall(2048, 100) },
+			"many":       func() *loopir.Nest { return workload.ManyInstances(12, 96, 4, 30) },
+			"fig1":       func() *loopir.Nest { return workload.Fig1(workload.DefaultFig1()) },
+		}
+		b, ok := builders[*name]
+		if !ok {
+			return fmt.Errorf("unknown workload %q", *name)
+		}
+		nest = b
+	}
+
+	var ps []int
+	for _, s := range strings.Split(*procs, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			return fmt.Errorf("bad processor count %q", s)
+		}
+		ps = append(ps, p)
+	}
+
+	var poolKind core.PoolKind
+	switch *pool {
+	case "per-loop":
+		poolKind = core.PoolPerLoop
+	case "single":
+		poolKind = core.PoolSingleList
+	case "distributed":
+		poolKind = core.PoolDistributed
+	default:
+		return fmt.Errorf("unknown pool %q", *pool)
+	}
+
+	rows, err := sweep.Run(sweep.Config{
+		Nest:          nest,
+		Procs:         ps,
+		Schemes:       strings.Split(*schemes, ","),
+		AccessCost:    *access,
+		RemotePenalty: *remote,
+		Pool:          poolKind,
+	})
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return sweep.WriteCSV(out, rows)
+	}
+	fmt.Fprint(out, sweep.Table(fmt.Sprintf("sweep: %s (access %d, pool %s)", *name, *access, *pool), rows))
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "flat", "-procs", "1,2", "-schemes", "ss"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, w := range []string{"## sweep: flat", "speedup", "SS"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "branchy", "-procs", "2", "-schemes", "gss", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "procs,scheme") {
+		t.Errorf("csv output:\n%s", buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "2,GSS,") {
+		t.Errorf("csv row: %q", lines[1])
+	}
+}
+
+func TestFileWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.loop")
+	if err := os.WriteFile(path, []byte("doall I = 1..32 { work 50 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-file", path, "-procs", "1,4", "-schemes", "ss,css:4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CSS(4)") {
+		t.Errorf("output:\n%s", buf.String())
+	}
+}
+
+func TestPoolAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "many", "-procs", "2", "-schemes", "ss", "-pool", "distributed"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-workload", "nope"},
+		{"-procs", "0"},
+		{"-procs", "x"},
+		{"-pool", "warp"},
+		{"-schemes", "bogus"},
+		{"-file", "/does/not/exist"},
+	} {
+		if err := run(bad, &buf); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The deterministic virtual machine makes these examples' outputs exact:
+// the same program, scheme and machine configuration always produce the
+// same makespan and statistics.
+
+func ExampleExecute() {
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.DoallLeaf("loop", repro.Const(100), func(e repro.Env, iv repro.IVec, j int64) {
+			e.Work(500)
+		})
+	})
+	res, err := repro.Execute(nest, repro.Options{Procs: 4, Scheme: "gss", AccessCost: 10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("iterations:", res.Stats.Iterations)
+	fmt.Println("instances:", res.Stats.Instances)
+	fmt.Println("makespan:", res.Makespan)
+	// Output:
+	// iterations: 100
+	// instances: 1
+	// makespan: 13080
+}
+
+func ExampleCompile_descriptorTables() {
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.Serial("K", repro.Const(2), func(b *repro.B) {
+			b.DoallLeaf("C", repro.Const(4), func(e repro.Env, iv repro.IVec, j int64) { e.Work(1) })
+			b.DoallLeaf("D", repro.Const(4), func(e repro.Env, iv repro.IVec, j int64) { e.Work(1) })
+		})
+	})
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(prog.DepthBoundTable())
+	// Output:
+	// loop  DEPTH  BOUND
+	// C         1  4
+	// D         1  4
+}
+
+func ExampleProgram_Run_doacross() {
+	// A distance-1 recurrence whose dependent head posts early so the
+	// expensive tails overlap.
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.DoacrossLeafManual("W", repro.Const(50), 1, func(e repro.Env, iv repro.IVec, j int64) {
+			e.AwaitDep()
+			e.Work(10) // dependent head
+			e.PostDep()
+			e.Work(90) // overlappable tail
+		})
+	})
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		panic(err)
+	}
+	res, err := prog.Run(repro.Options{Procs: 8, AccessCost: 2, Verify: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified iterations:", res.Stats.Iterations)
+	// Output:
+	// verified iterations: 50
+}

@@ -1,0 +1,95 @@
+// Branchy: IF-THEN-ELSE constructs nested inside parallel loops, the
+// paper's motivating source of unpredictable iteration times. Each outer
+// iteration classifies a tile of a synthetic image; "edge" tiles take a
+// heavy refinement loop, ordinary tiles a light one. Which branch runs is
+// data-dependent and unknown at compile time — exactly what static
+// scheduling cannot handle and two-level self-scheduling absorbs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+const (
+	tiles     = 48
+	tileSize  = 64
+	heavyCost = 40
+	lightCost = 2
+)
+
+func main() {
+	// A synthetic signal with a few sharp "edges".
+	img := make([][]float64, tiles)
+	for t := range img {
+		img[t] = make([]float64, tileSize)
+		for i := range img[t] {
+			v := math.Sin(float64(t*tileSize+i) / 30)
+			if t%7 == 3 { // a few rough tiles
+				v += math.Sin(float64(i) * 2.1)
+			}
+			img[t][i] = v
+		}
+	}
+	rough := func(t int) bool {
+		var energy float64
+		for i := 1; i < tileSize; i++ {
+			d := img[t][i] - img[t][i-1]
+			energy += d * d
+		}
+		return energy > float64(tileSize)*0.02
+	}
+
+	results := make([]float64, tiles)
+	passes := make([]int, tiles)
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.Doall("TILE", repro.Const(tiles), func(b *repro.B) {
+			b.If("ROUGH", func(iv repro.IVec) bool { return rough(int(iv[0] - 1)) },
+				func(b *repro.B) {
+					// Heavy refinement: many smoothing passes per element.
+					b.DoallLeaf("HEAVY", repro.Const(tileSize), func(e repro.Env, iv repro.IVec, j int64) {
+						t := int(iv[0] - 1)
+						v := img[t][j-1]
+						for p := 0; p < 64; p++ {
+							v = (v + math.Sqrt(math.Abs(v))) / 2
+						}
+						results[t] += v
+						passes[t] = 64
+						e.Work(heavyCost)
+					})
+				},
+				func(b *repro.B) {
+					b.DoallLeaf("LIGHT", repro.Const(tileSize), func(e repro.Env, iv repro.IVec, j int64) {
+						t := int(iv[0] - 1)
+						results[t] += img[t][j-1]
+						passes[t] = 1
+						e.Work(lightCost)
+					})
+				})
+		})
+	})
+
+	fmt.Printf("branchy tile classifier: %d tiles x %d elements, %d:%d branch costs\n\n",
+		tiles, tileSize, heavyCost, lightCost)
+	fmt.Printf("%-8s  %9s  %11s\n", "scheme", "makespan", "utilization")
+	for _, scheme := range []string{"css:16", "ss", "gss"} {
+		for t := range results {
+			results[t] = 0
+		}
+		res, err := repro.Execute(nest, repro.Options{Procs: 8, Scheme: scheme, AccessCost: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  %9d  %11.3f\n", res.SchemeName, res.Makespan, res.Utilization)
+	}
+	heavy := 0
+	for t := 0; t < tiles; t++ {
+		if passes[t] == 64 {
+			heavy++
+		}
+	}
+	fmt.Printf("\n%d of %d tiles took the heavy branch (data-dependent, resolved at run time)\n", heavy, tiles)
+}

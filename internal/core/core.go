@@ -1,0 +1,282 @@
+// Package core implements the paper's two-level processor self-scheduling
+// scheme: the low-level loop of Algorithm 3 (fetch-and-op iteration
+// grabbing, instance completion, the pcount release protocol), the EXIT
+// level computation of Algorithm 5, and the ENTER activation fan-out of
+// Algorithm 6, over the task pool of package pool and the compiled
+// descriptors of package descr.
+//
+// The executor is engine-agnostic: the identical scheduling code runs on
+// the real goroutine machine and on the deterministic virtual-time
+// machine, because every time-consuming action goes through machine.Proc.
+//
+// # Deviations from the paper's pseudocode (all documented in DESIGN.md)
+//
+//   - Iteration completion uses {Fetch(icount)&add(size)} with the chunk
+//     size instead of per-iteration {icount < b-1; Increment}, so that
+//     chunking schemes (CSS/GSS/TSS/FSC) keep a single completion test;
+//     for size 1 the two are equivalent.
+//   - EXIT takes an explicit starting level. The paper's ENTER calls
+//     EXIT(cur, loc_indexes) when an IF with an empty FALSE branch is
+//     skipped; starting the walk at DEPTH(cur) would consult descriptor
+//     entries of loops that were never entered. Starting at the level of
+//     the skipped construct is the behavior the surrounding text
+//     describes.
+//   - Termination: the paper's instrumented program simply runs off the
+//     end; we detect completion when the EXIT walk climbs past the
+//     virtual root level and use it to stop searching processors.
+//   - BAR_COUNT is a keyed table (loop ID x enclosing index vector)
+//     rather than a preallocated array, because bounds may depend on
+//     outer indexes and serial re-execution creates fresh instances of
+//     inner parallel loops; entries are deleted once their barrier
+//     completes.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// Tracer observes executor events. Implementations must be safe for
+// concurrent use; times are engine times (virtual on the simulator).
+// The zero-cost observer contract: tracer calls charge no machine time.
+type Tracer interface {
+	InstanceActivated(loop int, ivec loopir.IVec, bound int64, at machine.Time)
+	IterStart(loop int, ivec loopir.IVec, j int64, proc int, at machine.Time)
+	IterEnd(loop int, ivec loopir.IVec, j int64, proc int, at machine.Time)
+	InstanceCompleted(loop int, ivec loopir.IVec, at machine.Time)
+}
+
+// TaskPool abstracts the high-level task pool so alternative parallel
+// data structures (the paper's [24] note) can be compared; implemented by
+// pool.Pool and pool.Distributed.
+type TaskPool interface {
+	Append(pr machine.Proc, icb *pool.ICB)
+	Delete(pr machine.Proc, icb *pool.ICB)
+	SearchWhere(pr machine.Proc, stop func() bool, needs func(*pool.ICB) bool, st *pool.SearchStats) *pool.ICB
+	Empty() bool
+}
+
+// PoolKind selects the task-pool organization.
+type PoolKind uint8
+
+// Task-pool organizations.
+const (
+	// PoolPerLoop is the paper's pool: one parallel linked list per
+	// innermost parallel loop plus the SW control word.
+	PoolPerLoop PoolKind = iota
+	// PoolSingleList shares one list among all loops (serial-bottleneck
+	// baseline, experiment E5).
+	PoolSingleList
+	// PoolDistributed uses one list per processor with work stealing
+	// (alternative data structure, experiment E9).
+	PoolDistributed
+)
+
+func (k PoolKind) String() string {
+	switch k {
+	case PoolPerLoop:
+		return "per-loop"
+	case PoolSingleList:
+		return "single-list"
+	case PoolDistributed:
+		return "distributed"
+	default:
+		return fmt.Sprintf("PoolKind(%d)", uint8(k))
+	}
+}
+
+// Config configures one execution.
+type Config struct {
+	// Engine is the machine to run on. Required.
+	Engine machine.Engine
+	// Scheme is the low-level self-scheduling scheme. Defaults to SS.
+	Scheme lowsched.Scheme
+	// Pool selects the task-pool organization (default PoolPerLoop).
+	Pool PoolKind
+	// SingleListPool is a deprecated alias for Pool = PoolSingleList.
+	SingleListPool bool
+	// Tracer, if non-nil, observes activation/iteration/completion events.
+	Tracer Tracer
+	// DispatchCost, if positive, adds a fixed Work charge to every SEARCH
+	// success — modeling an operating-system dispatch on every task grab
+	// (the "OS-involved scheduling" baseline of experiment E6). Zero for
+	// the paper's self-scheduling.
+	DispatchCost machine.Time
+}
+
+// Report is the result of one execution.
+type Report struct {
+	machine.RunReport
+	// Stats are the executor's own counters (O1/O2/O3 accounting).
+	Stats Snapshot
+	// Scheme is the low-level scheme name.
+	Scheme string
+}
+
+// Run executes the compiled program under the given configuration and
+// returns the run report. It returns an error for configuration mistakes
+// and for internal invariant violations (which would indicate a scheduler
+// bug, and are checked after every run).
+func Run(prog *descr.Program, cfg Config) (*Report, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("core: config requires an Engine")
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = lowsched.SS{}
+	}
+	if lowsched.IsStatic(cfg.Scheme) {
+		for _, l := range prog.Leaves() {
+			if l.Node.Kind == loopir.KindDoacross {
+				return nil, fmt.Errorf(
+					"core: static pre-scheduling cannot execute Doacross programs: with iterations bound to processors, concurrently active instances can deadlock on cross-iteration dependences (loop %q)",
+					l.Node.Label)
+			}
+		}
+	}
+	ex := newExecutor(prog, cfg)
+	rep := cfg.Engine.Run(ex.worker)
+	if err := ex.checkQuiescent(); err != nil {
+		return nil, err
+	}
+	return &Report{
+		RunReport: rep,
+		Stats:     ex.stats.Snap(),
+		Scheme:    cfg.Scheme.Name(),
+	}, nil
+}
+
+// executor is the shared state of one run.
+type executor struct {
+	prog     *descr.Program
+	cfg      Config
+	pool     TaskPool
+	maxDepth int
+
+	// done is set when the EXIT walk climbs past the virtual root: the
+	// program is complete and searching processors may stop. This is
+	// harness bookkeeping (the paper's instrumented program just runs off
+	// its end), so it is a plain atomic, not a costed SyncVar.
+	done atomic.Bool
+	// failure records the first iteration-body panic; every blocking loop
+	// in the executor also watches it so a failed run aborts instead of
+	// hanging (a dead processor can never post dependences or drain its
+	// pcount hold).
+	failure atomic.Pointer[failureInfo]
+	// live counts activated-but-unreleased instances, for the post-run
+	// quiescence check.
+	live atomic.Int64
+
+	// BAR_COUNT table: barrier counters keyed by enclosing loop instance.
+	barMu sync.Mutex
+	bars  map[string]*machine.SyncVar
+
+	stats Stats
+}
+
+func newExecutor(prog *descr.Program, cfg Config) *executor {
+	ex := &executor{
+		prog: prog,
+		cfg:  cfg,
+		bars: map[string]*machine.SyncVar{},
+	}
+	kind := cfg.Pool
+	if cfg.SingleListPool {
+		kind = PoolSingleList
+	}
+	switch kind {
+	case PoolSingleList:
+		ex.pool = pool.NewSingleList(prog.M)
+	case PoolDistributed:
+		ex.pool = pool.NewDistributed(prog.M, cfg.Engine.NumProcs())
+	default:
+		ex.pool = pool.New(prog.M)
+	}
+	for _, l := range prog.Leaves() {
+		if l.Depth > ex.maxDepth {
+			ex.maxDepth = l.Depth
+		}
+	}
+	return ex
+}
+
+type failureInfo struct {
+	proc int
+	val  any
+}
+
+func (ex *executor) setFailure(proc int, val any) {
+	ex.failure.CompareAndSwap(nil, &failureInfo{proc: proc, val: val})
+}
+
+// stop reports whether workers should give up: program complete or a
+// body failed.
+func (ex *executor) stop() bool {
+	return ex.done.Load() || ex.failure.Load() != nil
+}
+
+func (ex *executor) checkQuiescent() error {
+	if f := ex.failure.Load(); f != nil {
+		return fmt.Errorf("core: iteration body panicked on processor %d: %v", f.proc, f.val)
+	}
+	if !ex.done.Load() {
+		return fmt.Errorf("core: run finished without program completion")
+	}
+	if n := ex.live.Load(); n != 0 {
+		return fmt.Errorf("core: %d instances still live after completion", n)
+	}
+	if !ex.pool.Empty() {
+		return fmt.Errorf("core: task pool not empty after completion")
+	}
+	ex.barMu.Lock()
+	defer ex.barMu.Unlock()
+	if len(ex.bars) != 0 {
+		return fmt.Errorf("core: %d BAR_COUNT entries left after completion", len(ex.bars))
+	}
+	return nil
+}
+
+// barInc increments the BAR_COUNT of the instance of the enclosing
+// parallel loop at level lvl identified by loc[2..lvl-1], and reports
+// whether the barrier is complete (count reached bound). Completed
+// entries are removed from the table.
+func (ex *executor) barInc(pr machine.Proc, loopID int, loc []int64, lvl int, bound int64) bool {
+	key := fmt.Sprintf("%d:%v", loopID, loc[2:lvl])
+	ex.barMu.Lock()
+	ctr, ok := ex.bars[key]
+	if !ok {
+		ctr = machine.NewSyncVar("BAR_COUNT", 0)
+		ex.bars[key] = ctr
+	}
+	ex.barMu.Unlock()
+	n := ctr.FetchInc(pr) + 1
+	if n > bound {
+		panic(fmt.Sprintf("core: BAR_COUNT %s exceeded bound %d", key, bound))
+	}
+	if n == bound {
+		ex.barMu.Lock()
+		delete(ex.bars, key)
+		ex.barMu.Unlock()
+		return true
+	}
+	return false
+}
+
+// userIVec exposes the real enclosing indexes loc[2..upto] as the index
+// vector seen by bounds, conditions and bodies. Callers must treat the
+// returned slice as read-only and must not retain it.
+func userIVec(loc []int64, upto int) loopir.IVec {
+	if upto < 2 {
+		return nil // virtual root: no real enclosing loops
+	}
+	return loopir.IVec(loc[2 : upto+1])
+}

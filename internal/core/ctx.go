@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// Ctx is the execution environment handed to iteration bodies; it
+// implements loopir.Env. One Ctx per worker, rebound per instance and per
+// iteration (no allocation in the iteration path).
+type Ctx struct {
+	pr              machine.Proc
+	abort           func() bool
+	dep             *lowsched.Doacross
+	manual          bool
+	j               int64
+	awaited, posted bool
+}
+
+// bind attaches the context to an instance.
+func (c *Ctx) bind(icb *pool.ICB, manual bool) {
+	c.dep = nil
+	c.manual = manual
+	if d, ok := icb.Sync.(*lowsched.Doacross); ok {
+		c.dep = d
+	}
+}
+
+// begin starts iteration j.
+func (c *Ctx) begin(j int64) {
+	c.j = j
+	c.awaited = false
+	c.posted = false
+}
+
+// Work charges cost units of useful computation to the processor.
+func (c *Ctx) Work(cost int64) { c.pr.Work(cost) }
+
+// Proc returns the executing processor's ID.
+func (c *Ctx) Proc() int { return c.pr.ID() }
+
+// NumProcs returns the machine's processor count.
+func (c *Ctx) NumProcs() int { return c.pr.NumProcs() }
+
+// AwaitDep blocks until this iteration's cross-iteration dependence source
+// (iteration j-dist) has posted. It is idempotent within an iteration and
+// a no-op for Doall bodies.
+func (c *Ctx) AwaitDep() {
+	if c.dep == nil || c.awaited {
+		return
+	}
+	if c.j > c.dep.Dist() {
+		for !c.dep.Posted(c.j - c.dep.Dist()) {
+			if c.abort != nil && c.abort() {
+				// A failed processor can never post; unwind this body
+				// (recovered by the worker's failure handler).
+				panic("core: doacross wait aborted by failure on another processor")
+			}
+			c.pr.Spin()
+		}
+		// One costed access for the successful flag read.
+		c.dep.Await(c.pr, c.j)
+	}
+	c.awaited = true
+}
+
+// PostDep marks this iteration's dependence source as executed, releasing
+// iteration j+dist. It is idempotent within an iteration and a no-op for
+// Doall bodies. The executor posts automatically at iteration end if the
+// body has not.
+func (c *Ctx) PostDep() {
+	if c.dep == nil || c.posted {
+		return
+	}
+	c.dep.Post(c.pr, c.j)
+	c.posted = true
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+type ctxProc struct {
+	work  int64
+	spins int64
+}
+
+func (p *ctxProc) ID() int                 { return 3 }
+func (p *ctxProc) NumProcs() int           { return 8 }
+func (p *ctxProc) Now() machine.Time       { return 0 }
+func (p *ctxProc) Work(c machine.Time)     { p.work += c }
+func (p *ctxProc) Idle(machine.Time)       {}
+func (p *ctxProc) Access(*machine.SyncVar) {}
+func (p *ctxProc) Spin()                   { p.spins++ }
+
+func TestCtxBasics(t *testing.T) {
+	pr := &ctxProc{}
+	c := &Ctx{pr: pr}
+	icb := pool.NewICB(1, 5, nil)
+	c.bind(icb, false)
+	c.begin(2)
+	if c.Proc() != 3 || c.NumProcs() != 8 {
+		t.Errorf("proc identity wrong: %d/%d", c.Proc(), c.NumProcs())
+	}
+	c.Work(42)
+	if pr.work != 42 {
+		t.Errorf("work = %d", pr.work)
+	}
+	// Doall context: dependence hooks are no-ops.
+	c.AwaitDep()
+	c.PostDep()
+	if pr.spins != 0 {
+		t.Error("doall AwaitDep spun")
+	}
+}
+
+func TestCtxDoacrossIdempotence(t *testing.T) {
+	pr := &ctxProc{}
+	c := &Ctx{pr: pr}
+	icb := pool.NewICB(1, 5, nil)
+	d := lowsched.NewDoacross(5, 1)
+	icb.Sync = d
+	c.bind(icb, true)
+
+	c.begin(1) // no predecessor
+	c.AwaitDep()
+	c.PostDep()
+	c.PostDep() // idempotent: must not double-post
+	if !d.Posted(1) || d.Posted(2) {
+		t.Error("post state wrong after iteration 1")
+	}
+	c.begin(2)
+	c.AwaitDep() // predecessor 1 posted: returns without spinning
+	c.AwaitDep() // idempotent
+	if pr.spins != 0 {
+		t.Errorf("await spun %d times although predecessor posted", pr.spins)
+	}
+}
+
+func TestStatsSnapshotString(t *testing.T) {
+	var s Stats
+	s.Iterations.Add(7)
+	s.Searches.Add(2)
+	s.O1Time.Add(11)
+	s.addSearch(&pool.SearchStats{Sweeps: 3, Walked: 5})
+	s.addSearch(&pool.SearchStats{Sweeps: 1, LockFailures: 2})
+	snap := s.Snap()
+	if snap.Iterations != 7 || snap.Searches != 2 || snap.O1Time != 11 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Search.Sweeps != 4 || snap.Search.Walked != 5 || snap.Search.LockFailures != 2 {
+		t.Errorf("search stats = %+v", snap.Search)
+	}
+	if str := snap.String(); !strings.Contains(str, "iters=7") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestRunRejectsNilEngineButAllowsNilScheme(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(1), func(e loopir.Env, iv loopir.IVec, j int64) {})
+	})
+	prog, _ := compileStd(t, nest)
+	if _, err := Run(prog, Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	// Nil scheme defaults to SS.
+	rep, err := Run(prog, Config{Engine: machine.NewReal(machine.RealConfig{P: 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheme != "SS" {
+		t.Errorf("default scheme = %q, want SS", rep.Scheme)
+	}
+}

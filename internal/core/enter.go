@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// exitFrom is Algorithm 5 (EXIT) generalized with an explicit starting
+// level: the construct chain containing leaf cur, sitting directly within
+// the body of the enclosing loop at level lvl, has just completed for the
+// current iteration of that loop. It returns the level whose Next leaf
+// must be activated, or 0 if nothing is to be activated (an incomplete
+// barrier, or program completion). loc may be mutated (serial index
+// advance), exactly like the paper's loc_indexes.
+func (ex *executor) exitFrom(pr machine.Proc, cur, lvl int, loc []int64) int {
+	leaf := ex.prog.Leaf(cur)
+	for {
+		d := &leaf.Levels[lvl]
+		if !d.Last {
+			// A successor construct exists at this level.
+			return lvl
+		}
+		// cur's chain was the last construct of the level-lvl loop body:
+		// one full iteration of that loop has completed.
+		bound := d.Bound.Eval(userIVec(loc, lvl-1))
+		if d.Parallel {
+			if !ex.barInc(pr, d.LoopID, loc, lvl, bound) {
+				// Other iterations of the parallel loop are still
+				// running; their last completer will carry on.
+				return 0
+			}
+			// Barrier complete: the whole parallel loop finished.
+		} else {
+			if loc[lvl] < bound {
+				// Advance the serial loop to its next iteration; the
+				// successor is the first construct of the loop body
+				// (the wrap-around Next pointer).
+				loc[lvl]++
+				return lvl
+			}
+			// Serial loop exhausted.
+		}
+		lvl--
+		if lvl == 0 {
+			// Climbed past the virtual root: the program is complete.
+			ex.done.Store(true)
+			return 0
+		}
+	}
+}
+
+// enter is Algorithm 6 (ENTER): activate instances of innermost parallel
+// loop cur at the given level, where loc[1..level] identify the current
+// iteration context. It evaluates the IF guards at this level, fans out
+// over deeper enclosing parallel loops, and appends one ICB per activated
+// instance. loc may be mutated during the descent.
+func (ex *executor) enter(pr machine.Proc, cur, level int, loc []int64) {
+	leaf := ex.prog.Leaf(cur)
+
+	// Guard processing: walk the IF chain at this level. A failed guard
+	// either redirects to the FALSE branch's entry leaf (altern) or, when
+	// the FALSE branch is empty, skips the construct entirely — which
+	// completes it at this level (EXIT semantics).
+guards:
+	for {
+		for _, g := range leaf.Levels[level].Guards {
+			if g.Cond(userIVec(loc, level)) {
+				continue
+			}
+			ex.stats.GuardsFalse.Add(1)
+			if g.Altern != 0 {
+				cur = g.Altern
+				leaf = ex.prog.Leaf(cur)
+				continue guards
+			}
+			// Empty FALSE branch: the construct completes vacuously.
+			if nl := ex.exitFrom(pr, cur, level, loc); nl != 0 {
+				next := ex.prog.Leaf(cur).Levels[nl].Next
+				cur, level = next, nl
+				leaf = ex.prog.Leaf(cur)
+				continue guards
+			}
+			return
+		}
+		break
+	}
+
+	if level == leaf.Depth {
+		ex.activate(pr, leaf, loc)
+		return
+	}
+
+	// Descend one level (Fig. 8): a deeper enclosing parallel loop fans
+	// out into one activation per iteration; a serial loop activates only
+	// its first iteration (completions drive the rest).
+	level++
+	d := &leaf.Levels[level]
+	bound := d.Bound.Eval(userIVec(loc, level-1))
+	if bound == 0 {
+		// Zero-trip structural loop: the construct completes vacuously at
+		// the level above.
+		ex.stats.ZeroTrips.Add(1)
+		if nl := ex.exitFrom(pr, cur, level-1, loc); nl != 0 {
+			ex.enter(pr, leaf.Levels[nl].Next, nl, loc)
+		}
+		return
+	}
+	if d.Parallel {
+		for k := int64(1); k <= bound; k++ {
+			loc[level] = k
+			ex.enter(pr, cur, level, loc)
+		}
+	} else {
+		loc[level] = 1
+		ex.enter(pr, cur, level, loc)
+	}
+}
+
+// activate creates, initializes and publishes the ICB for one instance of
+// leaf with enclosing indexes loc[2..Depth] (the paper's "create a new
+// ICB; copy the index vector; APPEND").
+func (ex *executor) activate(pr machine.Proc, leaf *descr.LeafInfo, loc []int64) {
+	ivec := userIVec(loc, leaf.Depth)
+	bound := leaf.Node.Bound.Eval(ivec)
+	if bound == 0 {
+		// Zero-trip instance: no iterations, complete immediately.
+		ex.stats.ZeroTrips.Add(1)
+		if nl := ex.exitFrom(pr, leaf.Num, leaf.Depth, loc); nl != 0 {
+			ex.enter(pr, leaf.Levels[nl].Next, nl, loc)
+		}
+		return
+	}
+	icb := pool.NewICB(leaf.Num, bound, ivec)
+	ex.cfg.Scheme.Init(pr, icb)
+	if leaf.Node.Kind == loopir.KindDoacross {
+		icb.Sync = lowsched.NewDoacross(bound, leaf.Node.Dist)
+	}
+	ex.live.Add(1)
+	ex.stats.Instances.Add(1)
+	if ex.cfg.Tracer != nil {
+		ex.cfg.Tracer.InstanceActivated(leaf.Num, icb.IVec, bound, pr.Now())
+	}
+	ex.pool.Append(pr, icb)
+}
+
+// completeInstance is the completion path of Algorithm 3: the processor
+// that finished the instance's final iteration computes the exit level and
+// activates the successors.
+func (ex *executor) completeInstance(pr machine.Proc, icb *pool.ICB, loc []int64) {
+	loc[1] = 1
+	copy(loc[2:], icb.IVec)
+	leaf := ex.prog.Leaf(icb.Loop)
+	if ex.cfg.Tracer != nil {
+		ex.cfg.Tracer.InstanceCompleted(icb.Loop, icb.IVec, pr.Now())
+	}
+	if nl := ex.exitFrom(pr, icb.Loop, leaf.Depth, loc); nl != 0 {
+		targ := leaf.Levels[nl].Next
+		ex.enter(pr, targ, nl, loc)
+	}
+	ex.live.Add(-1)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/vmachine"
+)
+
+// compileOnly compiles without the sequential reference run (whose body
+// execution would itself hit the injected panic).
+func compileOnly(t *testing.T, nest *loopir.Nest) *descr.Program {
+	t.Helper()
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := descr.Compile(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestBodyPanicSurfacesAsError verifies a panicking iteration body aborts
+// the run with an error on both engines instead of crashing or hanging.
+func TestBodyPanicSurfacesAsError(t *testing.T) {
+	mkNest := func() *loopir.Nest {
+		return loopir.MustBuild(func(b *loopir.B) {
+			b.DoallLeaf("A", loopir.Const(50), func(e loopir.Env, iv loopir.IVec, j int64) {
+				if j == 17 {
+					panic("array index out of range in user code")
+				}
+				e.Work(10)
+			})
+		})
+	}
+	for name, mk := range map[string]func() machine.Engine{
+		"virtual": func() machine.Engine { return vmachine.New(vmachine.Config{P: 4, AccessCost: 3}) },
+		"real":    func() machine.Engine { return machine.NewReal(machine.RealConfig{P: 4}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			prog := compileOnly(t, mkNest())
+			_, err := Run(prog, Config{Engine: mk()})
+			if err == nil {
+				t.Fatal("panicking body did not produce an error")
+			}
+			if !strings.Contains(err.Error(), "panicked") ||
+				!strings.Contains(err.Error(), "array index out of range") {
+				t.Errorf("error = %v", err)
+			}
+		})
+	}
+}
+
+// TestBodyPanicInDoacrossDoesNotHang is the nastier case: the panicking
+// iteration never posts its dependence, so successors would wait forever
+// without the failure-aware abort.
+func TestBodyPanicInDoacrossDoesNotHang(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoacrossLeaf("W", loopir.Const(40), 1, func(e loopir.Env, iv loopir.IVec, j int64) {
+			if j == 5 {
+				panic("boom in the dependence chain")
+			}
+			e.Work(10)
+		})
+	})
+	prog := compileOnly(t, nest)
+	_, err := Run(prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 3}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestBodyPanicWithChunkHolders exercises the pcount-drain abort: several
+// processors hold the instance when one dies.
+func TestBodyPanicWithChunkHolders(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(64), func(e loopir.Env, iv loopir.IVec, j int64) {
+			if j == 64 {
+				panic("dies on the last iteration")
+			}
+			e.Work(30)
+		})
+	})
+	prog := compileOnly(t, nest)
+	_, err := Run(prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 8, AccessCost: 3}),
+		Scheme: lowsched.CSS{K: 4},
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestGuardPanicSurfaces covers user panics outside bodies (an IF
+// condition evaluated during ENTER).
+func TestGuardPanicSurfaces(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+		b.If("c", func(loopir.IVec) bool { panic("condition blew up") }, func(b *loopir.B) {
+			b.DoallLeaf("F", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+		}, nil)
+	})
+	prog := compileOnly(t, nest)
+	_, err := Run(prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 2, AccessCost: 3}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "condition blew up") {
+		t.Fatalf("err = %v", err)
+	}
+}

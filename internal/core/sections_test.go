@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/vmachine"
+)
+
+// TestSectionsEndToEnd runs a parallel-sections construct through the full
+// two-level scheduler: all sections execute, they overlap in time, and the
+// successor waits for all of them (the sections barrier).
+func TestSectionsEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.Sections("PAR",
+			func(b *loopir.B) {
+				b.DoallLeaf("S1", loopir.Const(4), func(e loopir.Env, iv loopir.IVec, j int64) {
+					e.Work(100)
+					mu.Lock()
+					ran[fmt.Sprintf("S1.%d", j)] = true
+					mu.Unlock()
+				})
+			},
+			func(b *loopir.B) {
+				b.DoallLeaf("S2", loopir.Const(4), func(e loopir.Env, iv loopir.IVec, j int64) {
+					e.Work(100)
+					mu.Lock()
+					ran[fmt.Sprintf("S2.%d", j)] = true
+					mu.Unlock()
+				})
+			},
+			func(b *loopir.B) {
+				b.Serial("K", loopir.Const(2), func(b *loopir.B) {
+					b.DoallLeaf("S3", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) {
+						e.Work(100)
+						mu.Lock()
+						ran[fmt.Sprintf("S3.%d.%d", iv[len(iv)-1], j)] = true
+						mu.Unlock()
+					})
+				})
+			},
+		)
+		b.DoallLeaf("AFTER", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) {
+			// The sections barrier: everything above must have run.
+			mu.Lock()
+			n := len(ran)
+			mu.Unlock()
+			if n != 12 {
+				t.Errorf("AFTER started with only %d section iterations done, want 12", n)
+			}
+			e.Work(10)
+		})
+	})
+	runBoth(t, nest, lowsched.SS{})
+}
+
+// TestSectionsOverlapInVirtualTime checks the point of the construct: with
+// enough processors, sections overlap rather than serialize.
+func TestSectionsOverlapInVirtualTime(t *testing.T) {
+	mk := func(parallel bool) *loopir.Nest {
+		return loopir.MustBuild(func(b *loopir.B) {
+			sec := func(name string) func(b *loopir.B) {
+				return func(b *loopir.B) {
+					b.DoallLeaf(name, loopir.Const(1), func(e loopir.Env, iv loopir.IVec, j int64) {
+						e.Work(1000)
+					})
+				}
+			}
+			if parallel {
+				b.Sections("PAR", sec("A"), sec("B"), sec("C"))
+			} else {
+				// Serialized baseline: the same three bodies in sequence.
+				sec("A")(b)
+				sec("B")(b)
+				sec("C")(b)
+			}
+		})
+	}
+	timeOf := func(nest *loopir.Nest) int64 {
+		prog, _ := compileStd(t, nest)
+		rep, err := Run(prog, Config{Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 2})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Makespan
+	}
+	par, ser := timeOf(mk(true)), timeOf(mk(false))
+	if par*2 >= ser*3 {
+		t.Errorf("sections should overlap: parallel %d vs serialized %d", par, ser)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// Stats holds the executor's counters, aligned with the overhead
+// decomposition of Section IV:
+//
+//   - O1: per-iteration accesses to the shared index and iteration
+//     counter (the fetch/complete path of Algorithm 3),
+//   - O2: SEARCH — leading-one detection, list walking, ivec copy,
+//   - O3: EXIT/ENTER — precedence resolution and ICB creation.
+//
+// Time fields are summed processor time (engine units) measured around
+// the corresponding code sections; on the virtual machine they are exact.
+type Stats struct {
+	Iterations  atomic.Int64 // leaf iterations executed
+	Chunks      atomic.Int64 // low-level assignments fetched
+	Instances   atomic.Int64 // ICBs activated
+	Searches    atomic.Int64 // SEARCH calls (successful or final)
+	Enters      atomic.Int64 // ENTER invocations (completion + prologue)
+	Exits       atomic.Int64 // completed instances
+	ZeroTrips   atomic.Int64 // vacuously completed constructs/instances
+	GuardsFalse atomic.Int64 // IF guards that evaluated false
+
+	O1Time       atomic.Int64
+	O2Time       atomic.Int64
+	O3Time       atomic.Int64
+	DispatchTime atomic.Int64
+
+	mu     sync.Mutex
+	search pool.SearchStats
+}
+
+func (s *Stats) addSearch(st *pool.SearchStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.search.Sweeps += st.Sweeps
+	s.search.LockFailures += st.LockFailures
+	s.search.Retests += st.Retests
+	s.search.Walked += st.Walked
+	s.search.Saturated += st.Saturated
+}
+
+// Snapshot is a plain-value copy of Stats for reports.
+type Snapshot struct {
+	Iterations, Chunks, Instances int64
+	Searches, Enters, Exits       int64
+	ZeroTrips, GuardsFalse        int64
+	O1Time, O2Time, O3Time        int64
+	DispatchTime                  int64
+	Search                        pool.SearchStats
+}
+
+// Snap returns a plain-value copy of the counters.
+func (s *Stats) Snap() Snapshot {
+	s.mu.Lock()
+	search := s.search
+	s.mu.Unlock()
+	return Snapshot{
+		Iterations: s.Iterations.Load(), Chunks: s.Chunks.Load(),
+		Instances: s.Instances.Load(), Searches: s.Searches.Load(),
+		Enters: s.Enters.Load(), Exits: s.Exits.Load(),
+		ZeroTrips: s.ZeroTrips.Load(), GuardsFalse: s.GuardsFalse.Load(),
+		O1Time: s.O1Time.Load(), O2Time: s.O2Time.Load(), O3Time: s.O3Time.Load(),
+		DispatchTime: s.DispatchTime.Load(),
+		Search:       search,
+	}
+}
+
+func (sn Snapshot) String() string {
+	return fmt.Sprintf("iters=%d chunks=%d instances=%d searches=%d O1=%d O2=%d O3=%d",
+		sn.Iterations, sn.Chunks, sn.Instances, sn.Searches, sn.O1Time, sn.O2Time, sn.O3Time)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// worker is the code every processor executes: Algorithm 3's low-level
+// self-scheduling loop around the high-level SEARCH.
+func (ex *executor) worker(pr machine.Proc) {
+	// A panicking iteration body must not take the whole machine down or
+	// hang it: record the failure and let every processor drain out.
+	defer func() {
+		if r := recover(); r != nil {
+			ex.setFailure(pr.ID(), r)
+		}
+	}()
+	loc := make([]int64, ex.maxDepth+1)
+	ctx := &Ctx{pr: pr, abort: func() bool { return ex.failure.Load() != nil }}
+	var sst pool.SearchStats
+
+	// A static pre-assignment scheme vetoes adopting instances on which
+	// this processor has no remaining work (see lowsched.Needer).
+	var needs func(*pool.ICB) bool
+	if n, ok := ex.cfg.Scheme.(lowsched.Needer); ok {
+		needs = func(icb *pool.ICB) bool { return n.Needs(pr, icb) }
+	}
+
+	// The program prologue: processor 0 activates the initial instances
+	// (the nodes without predecessors in the macro-dataflow graph).
+	if pr.ID() == 0 {
+		loc[1] = 1
+		t0 := pr.Now()
+		ex.enter(pr, ex.prog.Entry, 1, loc)
+		ex.stats.O3Time.Add(pr.Now() - t0)
+		ex.stats.Enters.Add(1)
+	}
+
+	var icb *pool.ICB
+	for {
+		// start: get work. With no ICB in hand, SEARCH the task pool
+		// (Algorithm 4); otherwise try to grab iterations of the held
+		// instance with the low-level scheme.
+		if icb == nil {
+			t0 := pr.Now()
+			icb = ex.pool.SearchWhere(pr, ex.stop, needs, &sst)
+			if icb == nil {
+				// The terminal search that observed program completion is
+				// shutdown idling, not scheduling overhead; it is excluded
+				// from the O2 accounting.
+				break
+			}
+			ex.stats.O2Time.Add(pr.Now() - t0)
+			ex.stats.Searches.Add(1)
+			if ex.cfg.DispatchCost > 0 {
+				// OS-involved baseline: a dispatch costs real time but is
+				// overhead, not useful work.
+				pr.Idle(ex.cfg.DispatchCost)
+				ex.stats.DispatchTime.Add(ex.cfg.DispatchCost)
+			}
+		}
+
+		t0 := pr.Now()
+		a, ok, last := ex.cfg.Scheme.Next(pr, icb)
+		if !ok {
+			// All iterations scheduled elsewhere: drop our hold and find
+			// new work ({ip->pcount; Decrement}; SEARCH).
+			icb.PCount.FetchDec(pr)
+			ex.stats.O1Time.Add(pr.Now() - t0)
+			icb = nil
+			continue
+		}
+		if last {
+			// We grabbed the final iterations: remove the ICB from the
+			// pool so later searchers move on (DELETE, Algorithm 1).
+			ex.pool.Delete(pr, icb)
+		}
+		ex.stats.Chunks.Add(1)
+
+		// body: execute the assigned iterations.
+		leaf := ex.prog.Leaf(icb.Loop)
+		ctx.bind(icb, leaf.Node.ManualSync)
+		for j := a.Lo; j <= a.Hi; j++ {
+			ctx.begin(j)
+			if ex.cfg.Tracer != nil {
+				ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+			}
+			if ctx.dep != nil && !ctx.manual {
+				ctx.AwaitDep()
+			}
+			leaf.Node.Iter(ctx, icb.IVec, j)
+			if ctx.dep != nil {
+				// Ensure the dependence source is posted even if the body
+				// did not post explicitly (otherwise successors deadlock).
+				ctx.PostDep()
+			}
+			if ex.cfg.Tracer != nil {
+				ex.cfg.Tracer.IterEnd(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+			}
+			ex.stats.Iterations.Add(1)
+		}
+
+		// update: count completed iterations; the completer of the final
+		// iteration activates successors and releases the ICB.
+		t0 = pr.Now()
+		done := icb.ICount.FetchAdd(pr, a.Size()) + a.Size()
+		ex.stats.O1Time.Add(pr.Now() - t0)
+		if done > icb.Bound {
+			panic(fmt.Sprintf("core: icount %d exceeded bound %d (loop %d)", done, icb.Bound, icb.Loop))
+		}
+		if done == icb.Bound {
+			t0 = pr.Now()
+			ex.completeInstance(pr, icb, loc)
+			ex.stats.Exits.Add(1)
+			ex.stats.Enters.Add(1)
+
+			// Wait for the other holders to drop the ICB, then release it
+			// (the paper's {pcount = 1; Decrement} spin). Only then may
+			// the block be reused; here the garbage collector takes over,
+			// but the protocol is preserved and verified.
+			rel := machine.Instr{Test: machine.TestEQ, TestVal: 1, Op: machine.OpDec}
+			for {
+				if _, ok := icb.PCount.Exec(pr, rel); ok {
+					break
+				}
+				if ex.failure.Load() != nil {
+					return // a dead holder can never drain its pcount
+				}
+				pr.Spin()
+			}
+			ex.stats.O3Time.Add(pr.Now() - t0)
+			icb = nil
+		}
+	}
+	ex.stats.addSearch(&sst)
+}

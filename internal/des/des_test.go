@@ -1,0 +1,241 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcess(t *testing.T) {
+	s := New()
+	var trace []Time
+	s.Spawn(0, 0, func(p *Process) {
+		trace = append(trace, p.Now())
+		p.Advance(10)
+		trace = append(trace, p.Now())
+		p.Advance(5)
+		trace = append(trace, p.Now())
+	})
+	end := s.Run()
+	if end != 15 {
+		t.Errorf("makespan = %d, want 15", end)
+	}
+	want := []Time{0, 10, 15}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestInterleavingOrder(t *testing.T) {
+	// Two processes with different step sizes must interleave in virtual
+	// time order.
+	s := New()
+	var order []string
+	step := func(id int, d Time, n int) func(*Process) {
+		return func(p *Process) {
+			for i := 0; i < n; i++ {
+				p.Advance(d)
+				order = append(order, fmt.Sprintf("p%d@%d", id, p.Now()))
+			}
+		}
+	}
+	s.Spawn(0, 0, step(0, 3, 3)) // wakes at 3, 6, 9
+	s.Spawn(1, 0, step(1, 4, 2)) // wakes at 4, 8
+	end := s.Run()
+	if end != 9 {
+		t.Errorf("makespan = %d, want 9", end)
+	}
+	want := []string{"p0@3", "p1@4", "p0@6", "p1@8", "p0@9"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	// Processes waking at the same instant run in the order they were
+	// scheduled (FIFO by sequence number).
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn(i, 0, func(p *Process) {
+			p.Advance(7)
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("order = %v, want FIFO 0..4", order)
+		}
+	}
+}
+
+func TestAdvanceToPast(t *testing.T) {
+	s := New()
+	s.Spawn(0, 0, func(p *Process) {
+		p.Advance(10)
+		p.AdvanceTo(3) // in the past: no-op in time
+		if p.Now() != 10 {
+			t.Errorf("Now = %d, want 10", p.Now())
+		}
+	})
+	if end := s.Run(); end != 10 {
+		t.Errorf("makespan = %d, want 10", end)
+	}
+}
+
+func TestStartOffset(t *testing.T) {
+	s := New()
+	var at Time
+	s.Spawn(0, 100, func(p *Process) {
+		at = p.Now()
+	})
+	end := s.Run()
+	if at != 100 || end != 100 {
+		t.Errorf("start=%d end=%d, want 100, 100", at, end)
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	s := New()
+	panicked := false
+	s.Spawn(0, 0, func(p *Process) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Advance(-1)
+	})
+	s.Run()
+	if !panicked {
+		t.Error("Advance(-1) did not panic")
+	}
+}
+
+func TestSharedStateSequential(t *testing.T) {
+	// Because execution is sequential, unsynchronized shared state is safe
+	// and updates are totally ordered by virtual time.
+	s := New()
+	counter := 0
+	const P, steps = 8, 100
+	for i := 0; i < P; i++ {
+		s.Spawn(i, 0, func(p *Process) {
+			for k := 0; k < steps; k++ {
+				counter++
+				p.Advance(1)
+			}
+		})
+	}
+	s.Run()
+	if counter != P*steps {
+		t.Errorf("counter = %d, want %d", counter, P*steps)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		s := New()
+		var log []string
+		for i := 0; i < 6; i++ {
+			i := i
+			s.Spawn(i, 0, func(p *Process) {
+				for k := 0; k < 20; k++ {
+					p.Advance(Time(1 + (i*7+k*3)%5))
+					log = append(log, fmt.Sprintf("%d@%d", i, p.Now()))
+				}
+			})
+		}
+		s.Run()
+		return log
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Error("two identical runs produced different event orders")
+	}
+}
+
+func TestQuickMakespanIsMaxFinish(t *testing.T) {
+	// Property: makespan equals the maximum total advance of any process.
+	f := func(steps [][]uint8) bool {
+		if len(steps) == 0 || len(steps) > 16 {
+			return true
+		}
+		s := New()
+		var wantMax Time
+		for i, ss := range steps {
+			total := Time(0)
+			for _, d := range ss {
+				total += Time(d)
+			}
+			if total > wantMax {
+				wantMax = total
+			}
+			ss := ss
+			s.Spawn(i, 0, func(p *Process) {
+				for _, d := range ss {
+					p.Advance(Time(d))
+				}
+			})
+		}
+		return s.Run() == wantMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	s := New()
+	s.Spawn(0, 0, func(p *Process) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestSpawnAfterRunPanics(t *testing.T) {
+	s := New()
+	s.Spawn(0, 0, func(p *Process) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn after Run did not panic")
+		}
+	}()
+	s.Spawn(1, 0, func(p *Process) {})
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	s := New()
+	s.Spawn(0, 0, func(p *Process) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkEightProcessInterleave(b *testing.B) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		i := i
+		s.Spawn(i, 0, func(p *Process) {
+			for k := 0; k < b.N; k++ {
+				p.Advance(Time(1 + i%3))
+			}
+		})
+	}
+	b.ResetTimer()
+	s.Run()
+}

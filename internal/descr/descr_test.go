@@ -1,0 +1,457 @@
+package descr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+func compile(t *testing.T, f func(b *loopir.B)) *Program {
+	t.Helper()
+	nest, err := loopir.Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func compileFig1(t *testing.T) *Program {
+	t.Helper()
+	p, err := Compile(workload.Fig1Std(workload.DefaultFig1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func leafByLabel(t *testing.T, p *Program, label string) *LeafInfo {
+	t.Helper()
+	for _, l := range p.Leaves() {
+		if l.Node.Label == label {
+			return l
+		}
+	}
+	t.Fatalf("no leaf %q", label)
+	return nil
+}
+
+func TestCompileRequiresStandardized(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.Stmt("s", func(loopir.Env, loopir.IVec) {})
+	})
+	if _, err := Compile(nest); err == nil {
+		t.Error("Compile accepted a raw nest")
+	}
+}
+
+func TestFig1Structure(t *testing.T) {
+	p := compileFig1(t)
+	if p.M != 8 {
+		t.Fatalf("M = %d, want 8", p.M)
+	}
+	var labels []string
+	for _, l := range p.Leaves() {
+		labels = append(labels, l.Node.Label)
+	}
+	if fmt.Sprint(labels) != "[A B C D E F G H]" {
+		t.Errorf("numbering = %v, want A..H in program order", labels)
+	}
+	if p.Leaf(p.Entry).Node.Label != "A" {
+		t.Errorf("entry = %s, want A", p.Leaf(p.Entry).Node.Label)
+	}
+}
+
+func TestFig1DepthBound(t *testing.T) {
+	p := compileFig1(t)
+	// Paper depths (Fig. 5): A:1 B:2 C:2 D:2 E:1 F:0 G:0 H:0.
+	want := map[string]int{"A": 1, "B": 2, "C": 2, "D": 2, "E": 1, "F": 0, "G": 0, "H": 0}
+	for label, d := range want {
+		if got := leafByLabel(t, p, label).PaperDepth(); got != d {
+			t.Errorf("DEPTH(%s) = %d, want %d", label, got, d)
+		}
+	}
+	out := p.FormatDepthBound()
+	if !strings.Contains(out, "loop  DEPTH  BOUND") || !strings.Contains(out, "A") {
+		t.Errorf("FormatDepthBound:\n%s", out)
+	}
+}
+
+func TestFig1Descriptors(t *testing.T) {
+	p := compileFig1(t)
+	num := func(label string) int { return leafByLabel(t, p, label).Num }
+
+	type want struct {
+		level    int // internal level
+		parallel bool
+		last     bool
+		next     int // leaf number; 0 = none
+		loop     string
+		guards   int
+	}
+	cases := map[string][]want{
+		// A: inside I (level 2), root (level 1).
+		"A": {
+			{2, true, false, num("B"), "I", 0},
+			{1, false, false, num("F"), "<program>", 0},
+		},
+		// B: inside J (3), I (2), root (1).
+		"B": {
+			{3, true, true, 0, "J", 0},
+			{2, true, false, num("C"), "I", 0},
+			{1, false, false, num("F"), "<program>", 0},
+		},
+		// C: inside K (3, serial), I (2), root (1).
+		"C": {
+			{3, false, false, num("D"), "K", 0},
+			{2, true, false, num("E"), "I", 0},
+			{1, false, false, num("F"), "<program>", 0},
+		},
+		// D: last in serial K -> next wraps to C; K followed by E in I.
+		"D": {
+			{3, false, true, num("C"), "K", 0},
+			{2, true, false, num("E"), "I", 0},
+			{1, false, false, num("F"), "<program>", 0},
+		},
+		// E: last construct of I; I followed by the IF at top level.
+		"E": {
+			{2, true, true, 0, "I", 0},
+			{1, false, false, num("F"), "<program>", 0},
+		},
+		// F: top level, guarded by IF P; the IF is followed by H.
+		"F": {
+			{1, false, false, num("H"), "<program>", 1},
+		},
+		// G: FALSE branch: no guard of its own (paper's conditnl
+		// convention); successor is H.
+		"G": {
+			{1, false, false, num("H"), "<program>", 0},
+		},
+		// H: last at top level; serial wrap next points back to A
+		// (never used: the root has bound 1).
+		"H": {
+			{1, false, true, num("A"), "<program>", 0},
+		},
+	}
+	for label, ws := range cases {
+		leaf := leafByLabel(t, p, label)
+		if leaf.Depth != len(ws) {
+			t.Errorf("%s: internal depth = %d, want %d", label, leaf.Depth, len(ws))
+			continue
+		}
+		for _, w := range ws {
+			d := leaf.Levels[w.level]
+			if d.Parallel != w.parallel || d.Last != w.last || d.Next != w.next ||
+				d.LoopLabel != w.loop || len(d.Guards) != w.guards {
+				t.Errorf("%s level %d: got {par=%v last=%v next=%d loop=%q guards=%d}, want {par=%v last=%v next=%d loop=%q guards=%d}",
+					label, w.level, d.Parallel, d.Last, d.Next, d.LoopLabel, len(d.Guards),
+					w.parallel, w.last, w.next, w.loop, w.guards)
+			}
+		}
+	}
+
+	// F's guard must dispatch to G.
+	f := leafByLabel(t, p, "F")
+	g := f.Levels[1].Guards[0]
+	if g.Altern != num("G") || g.Label != "P" {
+		t.Errorf("F guard = %+v, want altern=G label=P", g)
+	}
+}
+
+func TestFig1DescriptorRendering(t *testing.T) {
+	p := compileFig1(t)
+	out := p.FormatDescriptors()
+	for _, want := range []string{"DESCRPT_A", "DESCRPT_H", "(top level)", "conditnl=yes P->G", "next=C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatDescriptors missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuccessorInsideIfBranch(t *testing.T) {
+	// IF c { X; Y } Z: X's successor is Y (in-branch); Y's successor is Z.
+	// Both X and Y carry the guard c (so a FALSE evaluation propagates the
+	// skip through the dead branch).
+	p := compile(t, func(b *loopir.B) {
+		it := func(loopir.Env, loopir.IVec, int64) {}
+		b.If("c", func(loopir.IVec) bool { return true }, func(b *loopir.B) {
+			b.DoallLeaf("X", loopir.Const(1), it)
+			b.DoallLeaf("Y", loopir.Const(1), it)
+		}, nil)
+		b.DoallLeaf("Z", loopir.Const(1), it)
+	})
+	x := leafByLabel(t, p, "X")
+	y := leafByLabel(t, p, "Y")
+	z := leafByLabel(t, p, "Z")
+	if x.Levels[1].Next != y.Num || x.Levels[1].Last {
+		t.Errorf("X: next=%d last=%v, want next=Y", x.Levels[1].Next, x.Levels[1].Last)
+	}
+	if y.Levels[1].Next != z.Num || y.Levels[1].Last {
+		t.Errorf("Y: next=%d last=%v, want next=Z", y.Levels[1].Next, y.Levels[1].Last)
+	}
+	if len(x.Levels[1].Guards) != 1 || len(y.Levels[1].Guards) != 1 {
+		t.Errorf("X/Y guard counts = %d/%d, want 1/1",
+			len(x.Levels[1].Guards), len(y.Levels[1].Guards))
+	}
+	if x.Levels[1].Guards[0].Altern != 0 {
+		t.Errorf("empty FALSE branch should give altern 0, got %d", x.Levels[1].Guards[0].Altern)
+	}
+}
+
+func TestNestedIfGuards(t *testing.T) {
+	// IF c1 { IF c2 { B } else { C } } else { A-else }:
+	// B carries guards [c1, c2]; C carries [c1] only (it is c2's ELSE but
+	// c1's THEN); the else-branch leaf carries none.
+	p := compile(t, func(b *loopir.B) {
+		it := func(loopir.Env, loopir.IVec, int64) {}
+		b.If("c1", func(loopir.IVec) bool { return true }, func(b *loopir.B) {
+			b.If("c2", func(loopir.IVec) bool { return true }, func(b *loopir.B) {
+				b.DoallLeaf("B", loopir.Const(1), it)
+			}, func(b *loopir.B) {
+				b.DoallLeaf("C", loopir.Const(1), it)
+			})
+		}, func(b *loopir.B) {
+			b.DoallLeaf("E", loopir.Const(1), it)
+		})
+	})
+	bGuards := leafByLabel(t, p, "B").Levels[1].Guards
+	if len(bGuards) != 2 || bGuards[0].Label != "c1" || bGuards[1].Label != "c2" {
+		t.Errorf("B guards = %+v, want [c1 c2] outermost first", bGuards)
+	}
+	if bGuards[0].Altern != leafByLabel(t, p, "E").Num {
+		t.Errorf("B guard c1 altern = %d, want E", bGuards[0].Altern)
+	}
+	if bGuards[1].Altern != leafByLabel(t, p, "C").Num {
+		t.Errorf("B guard c2 altern = %d, want C", bGuards[1].Altern)
+	}
+	cGuards := leafByLabel(t, p, "C").Levels[1].Guards
+	if len(cGuards) != 1 || cGuards[0].Label != "c1" {
+		t.Errorf("C guards = %+v, want [c1]", cGuards)
+	}
+	if len(leafByLabel(t, p, "E").Levels[1].Guards) != 0 {
+		t.Error("E (ELSE leaf) should carry no guards")
+	}
+}
+
+func TestEntryThroughIf(t *testing.T) {
+	// A program starting with an IF: entry is the THEN-branch leaf.
+	p := compile(t, func(b *loopir.B) {
+		it := func(loopir.Env, loopir.IVec, int64) {}
+		b.If("c", func(loopir.IVec) bool { return true }, func(b *loopir.B) {
+			b.DoallLeaf("T", loopir.Const(1), it)
+		}, func(b *loopir.B) {
+			b.DoallLeaf("E", loopir.Const(1), it)
+		})
+	})
+	if p.Leaf(p.Entry).Node.Label != "T" {
+		t.Errorf("entry = %s, want T", p.Leaf(p.Entry).Node.Label)
+	}
+}
+
+func TestGuardLevelPlacement(t *testing.T) {
+	// The IF sits inside loop I: the guard must be on level 2 (loop I),
+	// not on the root level.
+	p := compile(t, func(b *loopir.B) {
+		it := func(loopir.Env, loopir.IVec, int64) {}
+		b.Doall("I", loopir.Const(2), func(b *loopir.B) {
+			b.If("c", func(iv loopir.IVec) bool { return iv[0] == 1 }, func(b *loopir.B) {
+				b.DoallLeaf("F", loopir.Const(1), it)
+			}, nil)
+		})
+	})
+	f := leafByLabel(t, p, "F")
+	if len(f.Levels[2].Guards) != 1 || len(f.Levels[1].Guards) != 0 {
+		t.Errorf("guards at levels (1,2) = (%d,%d), want (0,1)",
+			len(f.Levels[1].Guards), len(f.Levels[2].Guards))
+	}
+}
+
+func TestDeepDynamicBounds(t *testing.T) {
+	p := compile(t, func(b *loopir.B) {
+		b.Doall("I", loopir.Const(3), func(b *loopir.B) {
+			b.Serial("K", loopir.BoundFn(func(iv loopir.IVec) int64 { return iv[0] }), func(b *loopir.B) {
+				b.DoallLeaf("T", loopir.BoundFn(func(iv loopir.IVec) int64 { return iv[0] + iv[1] }),
+					func(loopir.Env, loopir.IVec, int64) {})
+			})
+		})
+	})
+	tl := leafByLabel(t, p, "T")
+	if tl.Depth != 3 {
+		t.Fatalf("depth = %d, want 3", tl.Depth)
+	}
+	if got := tl.Levels[3].Bound.Eval(loopir.IVec{2}); got != 2 {
+		t.Errorf("K bound at I=2: %d, want 2", got)
+	}
+	if got := tl.Node.Bound.Eval(loopir.IVec{2, 1}); got != 3 {
+		t.Errorf("T bound at (2,1): %d, want 3", got)
+	}
+}
+
+func TestLeafAccessors(t *testing.T) {
+	p := compileFig1(t)
+	if p.NumOf(p.Leaf(3).Node) != 3 {
+		t.Error("NumOf(Leaf(3)) != 3")
+	}
+	if p.NumOf(&loopir.Node{}) != 0 {
+		t.Error("NumOf(foreign node) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Leaf(0) did not panic")
+		}
+	}()
+	p.Leaf(0)
+}
+
+// --- Macro-dataflow graph (Fig. 4) ---
+
+func TestFig1Graph(t *testing.T) {
+	p := compileFig1(t)
+	g := BuildGraph(p)
+
+	// Initially active: A(1), A(2) — the paper's A1, A2.
+	var init []string
+	for _, n := range g.InitialNodes() {
+		init = append(init, n.Key())
+	}
+	sort.Strings(init)
+	if fmt.Sprint(init) != "[A(1) A(2)]" {
+		t.Errorf("initial nodes = %v, want [A(1) A(2)]", init)
+	}
+
+	edge := func(from, to string) bool {
+		f, t2 := g.NodeByKey(from), g.NodeByKey(to)
+		if f < 0 || t2 < 0 {
+			return false
+		}
+		for _, e := range g.Edges {
+			if e.From == f && e.To == t2 {
+				return true
+			}
+		}
+		return false
+	}
+	wantEdges := [][2]string{
+		// A's completion activates both instances of B (fan-out over J).
+		{"A(1)", "B(1,1)"}, {"A(1)", "B(1,2)"}, {"A(2)", "B(2,1)"}, {"A(2)", "B(2,2)"},
+		// J's barrier joins into C of serial K's first iteration.
+		{"B(1,1)", "C(1,1)"}, {"B(1,2)", "C(1,1)"},
+		// Serial K: C->D within an iteration, D->C across iterations.
+		{"C(1,1)", "D(1,1)"}, {"D(1,1)", "C(1,2)"},
+		// K exhausted: D of the last iteration activates E.
+		{"D(1,2)", "E(1)"},
+		// I's barrier joins E(1), E(2) into the IF's condition node.
+		{"E(1)", "if:P()"}, {"E(2)", "if:P()"},
+		// The diamond activates either F or G; both complete into H.
+		{"if:P()", "F()"}, {"if:P()", "G()"},
+		{"F()", "H()"}, {"G()", "H()"},
+	}
+	for _, we := range wantEdges {
+		if !edge(we[0], we[1]) {
+			t.Errorf("missing edge %s -> %s", we[0], we[1])
+		}
+	}
+	if edge("D(1,1)", "E(1)") {
+		t.Error("unexpected edge D(1,1) -> E(1): E must wait for K to exhaust")
+	}
+
+	// Branch labels on the diamond's out-edges.
+	c := g.NodeByKey("if:P()")
+	branches := map[string]string{}
+	for _, e := range g.Edges {
+		if e.From == c {
+			branches[g.Nodes[e.To].Key()] = e.Branch
+		}
+	}
+	if branches["F()"] != "T" || branches["G()"] != "F" {
+		t.Errorf("diamond branches = %v", branches)
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	p := compileFig1(t)
+	g := BuildGraph(p)
+	dot := g.DOT()
+	for _, want := range []string{"digraph macrodataflow", "shape=diamond", "shape=circle", `label="T"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestGraphZeroTripTransparent(t *testing.T) {
+	// A zero-trip structural loop between X and Z: edge X->Z directly.
+	p := compile(t, func(b *loopir.B) {
+		it := func(loopir.Env, loopir.IVec, int64) {}
+		b.DoallLeaf("X", loopir.Const(1), it)
+		b.Doall("Zero", loopir.Const(0), func(b *loopir.B) {
+			b.DoallLeaf("Y", loopir.Const(1), it)
+		})
+		b.DoallLeaf("Z", loopir.Const(1), it)
+	})
+	g := BuildGraph(p)
+	if g.NodeByKey("Y(1)") >= 0 {
+		t.Error("zero-trip loop produced instance nodes")
+	}
+	x, z := g.NodeByKey("X()"), g.NodeByKey("Z()")
+	found := false
+	for _, e := range g.Edges {
+		if e.From == x && e.To == z {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing pass-through edge X -> Z around the zero-trip loop")
+	}
+}
+
+func TestGraphPredsSuccs(t *testing.T) {
+	p := compileFig1(t)
+	g := BuildGraph(p)
+	h := g.NodeByKey("H()")
+	preds := g.Preds(h)
+	if len(preds) != 2 {
+		t.Errorf("H has %d preds, want 2 (F and G)", len(preds))
+	}
+	a1 := g.NodeByKey("A(1)")
+	if got := len(g.Succs(a1)); got != 2 {
+		t.Errorf("A(1) has %d succs, want 2", got)
+	}
+}
+
+func TestFormatInstrumented(t *testing.T) {
+	p := compileFig1(t)
+	out := p.FormatInstrumented()
+	for _, want := range []string{
+		"ENTER(A, level 0)",
+		"SEARCH(i, ip, b, loc_indexes)",
+		"{ip->index <= b; Fetch(j)&Increment}",
+		"case D:",
+		"last in K -> advance, re-enter C",
+		"last in I -> BAR_COUNT",
+		"{ip->pcount = 1; Decrement}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := compileFig1(t)
+	s := p.String()
+	if !strings.Contains(s, "8 innermost") || !strings.Contains(s, "entry A") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,238 @@
+package descr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loopir"
+)
+
+// GNodeKind discriminates macro-dataflow graph nodes.
+type GNodeKind uint8
+
+const (
+	// GInstance is a circular node of Fig. 4: one instance of an innermost
+	// parallel loop.
+	GInstance GNodeKind = iota
+	// GCond is a diamond node of Fig. 4: one instance of an IF condition.
+	GCond
+)
+
+// GNode is one node of the macro-dataflow graph.
+type GNode struct {
+	Kind GNodeKind
+	// Leaf is the loop number for GInstance nodes (0 for GCond).
+	Leaf int
+	// Label is the loop or IF label.
+	Label string
+	// IVec is the index vector of the enclosing loops (real loops only).
+	IVec loopir.IVec
+}
+
+// Key returns the canonical identity, e.g. "B(1,2)" or "if:P(1)".
+func (n GNode) Key() string {
+	if n.Kind == GCond {
+		return "if:" + n.Label + n.IVec.String()
+	}
+	return n.Label + n.IVec.String()
+}
+
+// Edge is a precedence edge. For edges leaving a GCond node, Branch is
+// "T" or "F"; otherwise it is empty.
+type Edge struct {
+	From, To int
+	Branch   string
+}
+
+// Graph is the macro-dataflow graph of a program (Fig. 4): instance nodes,
+// condition nodes, and activation edges. IF conditions are not evaluated:
+// both branches appear, labeled T and F.
+type Graph struct {
+	Nodes []GNode
+	Edges []Edge
+	index map[string]int
+}
+
+// NodeByKey returns the index of the node with the given key, or -1.
+func (g *Graph) NodeByKey(key string) int {
+	if i, ok := g.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// Preds returns the predecessor node indexes of node i.
+func (g *Graph) Preds(i int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.To == i {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Succs returns the successor node indexes of node i.
+func (g *Graph) Succs(i int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.From == i {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// BuildGraph constructs the macro-dataflow graph by symbolic enumeration.
+// It requires every loop bound to be evaluable from enclosing indexes
+// alone (constants or index functions); data-dependent bounds cannot be
+// enumerated statically and are reported as a panic from the bound
+// function itself, if any.
+func BuildGraph(p *Program) *Graph {
+	g := &Graph{index: map[string]int{}}
+	b := &gbuilder{g: g, p: p}
+	b.seq(p.Nest.Root, nil)
+	return g
+}
+
+type gbuilder struct {
+	g *Graph
+	p *Program
+}
+
+func (b *gbuilder) addNode(n GNode) int {
+	key := n.Key()
+	if i, ok := b.g.index[key]; ok {
+		return i
+	}
+	b.g.Nodes = append(b.g.Nodes, n)
+	i := len(b.g.Nodes) - 1
+	b.g.index[key] = i
+	return i
+}
+
+func (b *gbuilder) addEdge(from, to int, branch string) {
+	b.g.Edges = append(b.g.Edges, Edge{From: from, To: to, Branch: branch})
+}
+
+func (b *gbuilder) edgeAll(froms, tos []int, branch string) {
+	for _, f := range froms {
+		for _, t := range tos {
+			b.addEdge(f, t, branch)
+		}
+	}
+}
+
+// seq builds nodes for a construct sequence in context iv and returns its
+// source nodes (activated when the sequence starts) and sink nodes (whose
+// completion finishes the sequence). Zero-trip constructs are transparent.
+func (b *gbuilder) seq(nodes []*loopir.Node, iv loopir.IVec) (sources, sinks []int) {
+	var prevSinks []int
+	for _, nd := range nodes {
+		src, snk := b.construct(nd, iv)
+		if len(src) == 0 && len(snk) == 0 {
+			continue // transparent (zero-trip)
+		}
+		b.edgeAll(prevSinks, src, "")
+		if sources == nil {
+			sources = src
+		}
+		prevSinks = snk
+	}
+	return sources, prevSinks
+}
+
+func (b *gbuilder) construct(nd *loopir.Node, iv loopir.IVec) (sources, sinks []int) {
+	switch nd.Kind {
+	case loopir.KindDoall, loopir.KindDoacross:
+		if nd.IsLeaf() {
+			if nd.Bound.Eval(iv) == 0 {
+				// Zero-trip instance: completes vacuously, never becomes
+				// an ICB — transparent in the graph, exactly as in the
+				// executor.
+				return nil, nil
+			}
+			n := b.addNode(GNode{Kind: GInstance, Leaf: b.p.NumOf(nd), Label: nd.Label, IVec: iv.Clone()})
+			return []int{n}, []int{n}
+		}
+		// Structural parallel loop: all iterations activate together
+		// (fan-out) and the barrier joins all their sinks (fan-in).
+		bound := nd.Bound.Eval(iv)
+		for k := int64(1); k <= bound; k++ {
+			s, e := b.seq(nd.Body, append(iv.Clone(), k))
+			sources = append(sources, s...)
+			sinks = append(sinks, e...)
+		}
+		return sources, sinks
+	case loopir.KindSerial:
+		bound := nd.Bound.Eval(iv)
+		var prev []int
+		for k := int64(1); k <= bound; k++ {
+			s, e := b.seq(nd.Body, append(iv.Clone(), k))
+			if len(s) == 0 && len(e) == 0 {
+				continue
+			}
+			b.edgeAll(prev, s, "")
+			if sources == nil {
+				sources = s
+			}
+			prev = e
+		}
+		return sources, prev
+	case loopir.KindIf:
+		c := b.addNode(GNode{Kind: GCond, Label: nd.Label, IVec: iv.Clone()})
+		sT, kT := b.seq(nd.Then, iv)
+		sF, kF := b.seq(nd.Else, iv)
+		b.edgeAll([]int{c}, sT, "T")
+		b.edgeAll([]int{c}, sF, "F")
+		sinks = append(sinks, kT...)
+		sinks = append(sinks, kF...)
+		if len(sT) == 0 || len(sF) == 0 {
+			// An empty branch means the condition node itself completes
+			// the construct on that path.
+			sinks = append(sinks, c)
+		}
+		return []int{c}, sinks
+	default:
+		panic(fmt.Sprintf("descr: unexpected %v in standardized nest", nd.Kind))
+	}
+}
+
+// DOT renders the graph in Graphviz format, circles for instances and
+// diamonds for condition nodes, in the style of Fig. 4.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph macrodataflow {\n  rankdir=TB;\n")
+	for i, n := range g.Nodes {
+		shape := "circle"
+		if n.Kind == GCond {
+			shape = "diamond"
+		}
+		fmt.Fprintf(&sb, "  n%d [shape=%s, label=%q];\n", i, shape, n.Key())
+	}
+	for _, e := range g.Edges {
+		attr := ""
+		if e.Branch != "" {
+			attr = fmt.Sprintf(" [label=%q]", e.Branch)
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", e.From, e.To, attr)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// InitialNodes returns the nodes without predecessors (active at start,
+// like A1 and A2 in Fig. 4).
+func (g *Graph) InitialNodes() []GNode {
+	hasPred := make([]bool, len(g.Nodes))
+	for _, e := range g.Edges {
+		hasPred[e.To] = true
+	}
+	var out []GNode
+	for i, n := range g.Nodes {
+		if !hasPred[i] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

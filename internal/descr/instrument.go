@@ -1,0 +1,64 @@
+package descr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatInstrumented renders the instrumented program: the paper's central
+// idea is that "programs are instrumented to allow processors to schedule
+// loop iterations among themselves" — this listing shows, in the paper's
+// pseudocode style, the self-scheduling code each processor executes for
+// this particular program (Algorithm 3 specialized with the program's
+// descriptor contents). It is a documentation artifact: the executable
+// form of the same logic lives in package core.
+func (p *Program) FormatInstrumented() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "/* instrumented program: %d innermost parallel loops, entry %s */\n",
+		p.M, p.Leaf(p.Entry).Node.Label)
+	fmt.Fprintf(&sb, "proc[0]:  ENTER(%s, level 0)          /* activate initial instances */\n",
+		p.Leaf(p.Entry).Node.Label)
+	sb.WriteString("proc[*]:\n")
+	sb.WriteString("start:    SEARCH(i, ip, b, loc_indexes)  /* leading-one on SW; adopt ICB: {pcount < b; Increment} */\n")
+	sb.WriteString("fetch:    {ip->index <= b; Fetch(j)&Increment}\n")
+	sb.WriteString("          if (failure) { {ip->pcount; Decrement}; goto start }\n")
+	sb.WriteString("          if (j = b) DELETE(i, ip)\n")
+	sb.WriteString("body:     switch (i) {\n")
+	for _, l := range p.Leaves() {
+		kind := "doall"
+		if l.Node.Kind.IsParallel() && l.Node.Dist > 0 {
+			kind = fmt.Sprintf("doacross(d=%d)", l.Node.Dist)
+		}
+		fmt.Fprintf(&sb, "            case %s: /* %s, DEPTH %d, BOUND %v */ body_%s(loc_indexes, j)\n",
+			l.Node.Label, kind, l.PaperDepth(), l.Node.Bound, l.Node.Label)
+	}
+	sb.WriteString("          }\n")
+	sb.WriteString("update:   {ip->icount; Fetch&add(1)}\n")
+	sb.WriteString("          if (icount+1 = b) {          /* instance complete */\n")
+	sb.WriteString("            lev = EXIT(i, loc_indexes) /* per-loop exit tables: */\n")
+	for _, l := range p.Leaves() {
+		fmt.Fprintf(&sb, "              /* %-6s:", l.Node.Label)
+		var parts []string
+		for lvl := l.Depth; lvl >= 1; lvl-- {
+			d := l.Levels[lvl]
+			at := d.LoopLabel
+			switch {
+			case !d.Last:
+				parts = append(parts, fmt.Sprintf("in %s -> next %s", at, p.Leaf(d.Next).Node.Label))
+			case d.Parallel:
+				parts = append(parts, fmt.Sprintf("last in %s -> BAR_COUNT", at))
+			case d.Next != 0 && lvl > 1:
+				parts = append(parts, fmt.Sprintf("last in %s -> advance, re-enter %s", at, p.Leaf(d.Next).Node.Label))
+			default:
+				parts = append(parts, "last at top level -> program end")
+			}
+		}
+		sb.WriteString(" " + strings.Join(parts, "; ") + " */\n")
+	}
+	sb.WriteString("            if (lev != 0) ENTER(DESCRPT_i(lev).next, lev)\n")
+	sb.WriteString("            spin: {ip->pcount = 1; Decrement}; if (failure) goto spin\n")
+	sb.WriteString("            release ICB; goto start\n")
+	sb.WriteString("          }\n")
+	sb.WriteString("          goto fetch\n")
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package descr
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDescriptorInvariantsOnRandomPrograms compiles hundreds of random
+// programs and checks structural invariants of the emitted descriptors:
+//
+//   - every leaf has Depth >= 1 and exactly Depth level records;
+//   - level 1 is the virtual root (serial, bound 1, LoopID 0);
+//   - Next values are valid leaf numbers; a non-Last level always has a
+//     Next; a Last level of a serial loop has a wrap-around Next; a Last
+//     level of a parallel loop has Next 0;
+//   - guard Altern values are valid leaf numbers or 0;
+//   - the entry leaf is a valid leaf number.
+func TestDescriptorInvariantsOnRandomPrograms(t *testing.T) {
+	n := int64(300)
+	if testing.Short() {
+		n = 50
+	}
+	for seed := int64(0); seed < n; seed++ {
+		nest := workload.Random(seed, workload.DefaultRandConfig())
+		std, err := nest.Standardize()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := Compile(std)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if prog.Entry < 1 || prog.Entry > prog.M {
+			t.Fatalf("seed %d: entry %d out of range", seed, prog.Entry)
+		}
+		for _, leaf := range prog.Leaves() {
+			if leaf.Depth < 1 {
+				t.Fatalf("seed %d leaf %s: depth %d", seed, leaf.Node.Label, leaf.Depth)
+			}
+			if len(leaf.Levels) != leaf.Depth+1 {
+				t.Fatalf("seed %d leaf %s: %d level records for depth %d",
+					seed, leaf.Node.Label, len(leaf.Levels), leaf.Depth)
+			}
+			root := leaf.Levels[1]
+			if root.Parallel || root.LoopID != 0 {
+				t.Fatalf("seed %d leaf %s: level 1 not the virtual root: %+v",
+					seed, leaf.Node.Label, root)
+			}
+			if b, ok := root.Bound.IsStatic(); !ok || b != 1 {
+				t.Fatalf("seed %d leaf %s: root bound %v", seed, leaf.Node.Label, root.Bound)
+			}
+			for lvl := 1; lvl <= leaf.Depth; lvl++ {
+				d := leaf.Levels[lvl]
+				if d.Next < 0 || d.Next > prog.M {
+					t.Fatalf("seed %d leaf %s level %d: next %d out of range",
+						seed, leaf.Node.Label, lvl, d.Next)
+				}
+				switch {
+				case !d.Last && d.Next == 0:
+					t.Fatalf("seed %d leaf %s level %d: non-last without successor",
+						seed, leaf.Node.Label, lvl)
+				case d.Last && !d.Parallel && d.Next == 0:
+					t.Fatalf("seed %d leaf %s level %d: last-in-serial without wrap",
+						seed, leaf.Node.Label, lvl)
+				case d.Last && d.Parallel && d.Next != 0:
+					t.Fatalf("seed %d leaf %s level %d: last-in-parallel has next %d",
+						seed, leaf.Node.Label, lvl, d.Next)
+				}
+				if lvl >= 2 && d.LoopID == 0 {
+					t.Fatalf("seed %d leaf %s level %d: missing loop ID",
+						seed, leaf.Node.Label, lvl)
+				}
+				for _, g := range d.Guards {
+					if g.Cond == nil {
+						t.Fatalf("seed %d leaf %s level %d: nil guard cond",
+							seed, leaf.Node.Label, lvl)
+					}
+					if g.Altern < 0 || g.Altern > prog.M {
+						t.Fatalf("seed %d leaf %s level %d: altern %d out of range",
+							seed, leaf.Node.Label, lvl, g.Altern)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGraphInvariantsOnRandomPrograms builds the macro-dataflow graph of
+// random programs and checks: the executed (reference) instances are a
+// subset of the graph's instance nodes, and the graph is acyclic.
+func TestGraphInvariantsOnRandomPrograms(t *testing.T) {
+	n := int64(150)
+	if testing.Short() {
+		n = 30
+	}
+	for seed := int64(0); seed < n; seed++ {
+		nest := workload.Random(seed, workload.DefaultRandConfig())
+		std, err := nest.Standardize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(std)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := BuildGraph(prog)
+		// Acyclicity via Kahn's algorithm.
+		indeg := make([]int, len(g.Nodes))
+		adj := make([][]int, len(g.Nodes))
+		for _, e := range g.Edges {
+			indeg[e.To]++
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+		var queue []int
+		for i, d := range indeg {
+			if d == 0 {
+				queue = append(queue, i)
+			}
+		}
+		visited := 0
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			visited++
+			for _, v := range adj[u] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+		if visited != len(g.Nodes) {
+			t.Fatalf("seed %d: macro-dataflow graph has a cycle (%d of %d nodes sorted)",
+				seed, visited, len(g.Nodes))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package descr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatDepthBound renders the DEPTH and BOUND arrays in the style of the
+// paper's Fig. 5 (depths exclude the virtual root level).
+func (p *Program) FormatDepthBound() string {
+	var sb strings.Builder
+	sb.WriteString("loop  DEPTH  BOUND\n")
+	for _, l := range p.leaves {
+		fmt.Fprintf(&sb, "%-5s %5d  %v\n", l.Node.Label, l.PaperDepth(), l.Node.Bound)
+	}
+	return sb.String()
+}
+
+// FormatDescriptors renders the DESCRPT_i arrays in the style of the
+// paper's Fig. 6: one block per innermost parallel loop, one row per real
+// enclosing level (the virtual root is omitted to match the paper).
+func (p *Program) FormatDescriptors() string {
+	var sb strings.Builder
+	for _, l := range p.leaves {
+		fmt.Fprintf(&sb, "DESCRPT_%s (loop %d, depth %d):\n", l.Node.Label, l.Num, l.PaperDepth())
+		if l.Depth < 2 {
+			sb.WriteString("  (top level)")
+			if gs := l.Levels[1].Guards; len(gs) > 0 {
+				sb.WriteString(" conditnl=yes " + p.formatGuards(gs))
+			}
+			sb.WriteString("\n")
+		}
+		for lvl := 2; lvl <= l.Depth; lvl++ {
+			d := l.Levels[lvl]
+			kind := "serial  "
+			if d.Parallel {
+				kind = "parallel"
+			}
+			next := "-"
+			if d.Next != 0 {
+				next = p.Leaf(d.Next).Node.Label
+			}
+			cond := "no"
+			if len(d.Guards) > 0 {
+				cond = "yes " + p.formatGuards(d.Guards)
+			}
+			fmt.Fprintf(&sb, "  level %d: loop=%-10s %s last=%-5v bound=%-6v next=%-10s conditnl=%s\n",
+				lvl-1, d.LoopLabel, kind, d.Last, d.Bound, next, cond)
+		}
+	}
+	return sb.String()
+}
+
+func (p *Program) formatGuards(guards []Guard) string {
+	var gs []string
+	for _, g := range guards {
+		alt := "(empty)"
+		if g.Altern != 0 {
+			alt = p.Leaf(g.Altern).Node.Label
+		}
+		gs = append(gs, fmt.Sprintf("%s->%s", g.Label, alt))
+	}
+	return strings.Join(gs, ",")
+}
+
+// String summarizes the program.
+func (p *Program) String() string {
+	return fmt.Sprintf("program: %d innermost parallel loops, entry %s",
+		p.M, p.Leaf(p.Entry).Node.Label)
+}

@@ -1,0 +1,121 @@
+package lang
+
+// exprFn evaluates an expression given a resolver from scope position to
+// loop-index value.
+type exprFn func(get func(pos int) int64) int64
+
+// cexpr is a compiled expression; constants are folded at parse time so
+// loop bounds can use loopir.Const (enabling coalescing and static graph
+// construction).
+type cexpr struct {
+	fn    exprFn
+	val   int64
+	isCon bool
+}
+
+func konst(v int64) cexpr {
+	return cexpr{fn: func(func(int) int64) int64 { return v }, val: v, isCon: true}
+}
+
+// expr parses an expression with the given name scope (enclosing loop
+// names, outermost first).
+func (p *parser) expr(scope []string) cexpr {
+	return p.addSub(scope)
+}
+
+func (p *parser) addSub(scope []string) cexpr {
+	l := p.mulDiv(scope)
+	for {
+		t := p.cur()
+		if t.kind != tSym || (t.text != "+" && t.text != "-") {
+			return l
+		}
+		p.next()
+		r := p.mulDiv(scope)
+		l = combine(l, r, t)
+	}
+}
+
+func (p *parser) mulDiv(scope []string) cexpr {
+	l := p.unary(scope)
+	for {
+		t := p.cur()
+		if t.kind != tSym || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l
+		}
+		p.next()
+		r := p.unary(scope)
+		l = combine(l, r, t)
+	}
+}
+
+func (p *parser) unary(scope []string) cexpr {
+	t := p.cur()
+	if t.kind == tSym && t.text == "-" {
+		p.next()
+		e := p.unary(scope)
+		if e.isCon {
+			return konst(-e.val)
+		}
+		fn := e.fn
+		return cexpr{fn: func(get func(int) int64) int64 { return -fn(get) }}
+	}
+	return p.primary(scope)
+}
+
+func (p *parser) primary(scope []string) cexpr {
+	t := p.next()
+	switch {
+	case t.kind == tInt:
+		return konst(t.val)
+	case t.kind == tIdent:
+		pos := -1
+		for i := len(scope) - 1; i >= 0; i-- { // innermost binding wins
+			if scope[i] == t.text {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			p.fail(t, "unknown loop index %q (in scope: %v)", t.text, scope)
+		}
+		return cexpr{fn: func(get func(int) int64) int64 { return get(pos) }}
+	case t.kind == tSym && t.text == "(":
+		e := p.expr(scope)
+		p.expectSym(")")
+		return e
+	default:
+		p.fail(t, "expected an expression, found %s", t)
+		panic("unreachable")
+	}
+}
+
+// combine folds or composes a binary operation; division and modulo by
+// zero surface as positioned runtime panics.
+func combine(l, r cexpr, op token) cexpr {
+	apply := func(a, b int64) int64 {
+		switch op.text {
+		case "+":
+			return a + b
+		case "-":
+			return a - b
+		case "*":
+			return a * b
+		case "/":
+			if b == 0 {
+				panic(errf(op.line, op.col, "division by zero"))
+			}
+			return a / b
+		default: // "%"
+			if b == 0 {
+				panic(errf(op.line, op.col, "modulo by zero"))
+			}
+			return a % b
+		}
+	}
+	if l.isCon && r.isCon {
+		return konst(apply(l.val, r.val))
+	}
+	lf, rf := l.fn, r.fn
+	return cexpr{fn: func(get func(int) int64) int64 { return apply(lf(get), rf(get)) }}
+}

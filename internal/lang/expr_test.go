@@ -1,0 +1,140 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/refexec"
+)
+
+// evalWork parses `doall I = 1..1 { ... }`-style wrappers around a work
+// expression and returns the total work for given index values.
+func evalWork(t *testing.T, expr string, scope []string, vals []int64) int64 {
+	t.Helper()
+	src := ""
+	close := ""
+	for i, name := range scope {
+		src += fmt.Sprintf("serial %s = 1..%d {\n", name, vals[i])
+		close += "}\n"
+	}
+	src += "work " + expr + "\n" + close
+	nest, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := refexec.Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.TotalWork
+}
+
+func TestExprAgainstDirectEvaluation(t *testing.T) {
+	// Fixed iteration values via bound-1 ranges: vals all 1 keeps the
+	// check simple; richer coverage comes from the quick test below.
+	cases := map[string]int64{
+		"2 + 3 * 4":       14,
+		"(2 + 3) * 4":     20,
+		"10 - 3 - 2":      5,
+		"20 / 3":          6,
+		"20 % 3":          2,
+		"-3 + 10":         7,
+		"- (2 * 3) + 100": 94,
+		"I + J * 10":      11, // I=J=1
+	}
+	for expr, want := range cases {
+		got := evalWork(t, expr, []string{"I", "J"}, []int64{1, 1})
+		if got != max64(0, want) {
+			t.Errorf("%q = %d, want %d", expr, got, want)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestExprQuickRandom generates random expression trees, renders them to
+// source, and compares the parsed evaluation against direct evaluation.
+func TestExprQuickRandom(t *testing.T) {
+	type node struct {
+		src string
+		val func(i, j int64) int64
+	}
+	var gen func(rng *rand.Rand, depth int) node
+	gen = func(rng *rand.Rand, depth int) node {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				v := int64(rng.Intn(20))
+				return node{src: fmt.Sprint(v), val: func(_, _ int64) int64 { return v }}
+			case 1:
+				return node{src: "I", val: func(i, _ int64) int64 { return i }}
+			default:
+				return node{src: "J", val: func(_, j int64) int64 { return j }}
+			}
+		}
+		l, r := gen(rng, depth-1), gen(rng, depth-1)
+		switch rng.Intn(4) {
+		case 0:
+			return node{src: "(" + l.src + " + " + r.src + ")",
+				val: func(i, j int64) int64 { return l.val(i, j) + r.val(i, j) }}
+		case 1:
+			return node{src: "(" + l.src + " - " + r.src + ")",
+				val: func(i, j int64) int64 { return l.val(i, j) - r.val(i, j) }}
+		case 2:
+			return node{src: "(" + l.src + " * " + r.src + ")",
+				val: func(i, j int64) int64 { return l.val(i, j) * r.val(i, j) }}
+		default:
+			// Division with a guaranteed-positive divisor.
+			return node{src: "(" + l.src + " / (" + r.src + " * " + r.src + " + 1))",
+				val: func(i, j int64) int64 { return l.val(i, j) / (r.val(i, j)*r.val(i, j) + 1) }}
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := gen(rng, 4)
+		iMax := int64(rng.Intn(3) + 1)
+		jMax := int64(rng.Intn(3) + 1)
+		src := fmt.Sprintf("serial I = 1..%d { serial J = 1..%d { work %s } }", iMax, jMax, n.src)
+		nest, err := Parse(src)
+		if err != nil {
+			t.Logf("parse %q: %v", src, err)
+			return false
+		}
+		std, err := nest.Standardize()
+		if err != nil {
+			return false
+		}
+		r, err := refexec.Run(std)
+		if err != nil {
+			return false
+		}
+		var want int64
+		for i := int64(1); i <= iMax; i++ {
+			for j := int64(1); j <= jMax; j++ {
+				v := n.val(i, j)
+				if v > 0 {
+					want += v
+				}
+			}
+		}
+		if r.TotalWork != want {
+			t.Logf("expr %q: got %d, want %d", n.src, r.TotalWork, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

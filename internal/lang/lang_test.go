@@ -1,0 +1,286 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/refexec"
+)
+
+func run(t *testing.T, src string) *refexec.Result {
+	t.Helper()
+	nest, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := descr.Compile(std); err != nil {
+		t.Fatal(err)
+	}
+	r, err := refexec.Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestParseFlatLoop(t *testing.T) {
+	r := run(t, `doall I = 1..10 { work 7 }`)
+	if r.Iterations != 10 || r.TotalWork != 70 {
+		t.Errorf("iters=%d work=%d, want 10, 70", r.Iterations, r.TotalWork)
+	}
+}
+
+func TestParseIndexExpressions(t *testing.T) {
+	// work = I*10 + J: sum over I=1..2, J=1..3 of I*10+J.
+	r := run(t, `
+doall I = 1..2 {
+  doall J = 1..3 {
+    work I*10 + J
+  }
+}`)
+	want := int64((10 + 1) + (10 + 2) + (10 + 3) + (20 + 1) + (20 + 2) + (20 + 3))
+	if r.TotalWork != want {
+		t.Errorf("work = %d, want %d", r.TotalWork, want)
+	}
+}
+
+func TestParseTriangularBound(t *testing.T) {
+	r := run(t, `
+serial K = 1..4 {
+  doall UPD = 1..4-K {
+    work 10
+  }
+}`)
+	if r.Iterations != 3+2+1+0 {
+		t.Errorf("iterations = %d, want 6", r.Iterations)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	r := run(t, `
+doall I = 1..4 {
+  if (I % 2 == 0) {
+    work 100
+  } else {
+    work 1
+  }
+}`)
+	if r.TotalWork != 2*100+2*1 {
+		t.Errorf("work = %d, want 202", r.TotalWork)
+	}
+}
+
+func TestParseIfWithoutElse(t *testing.T) {
+	r := run(t, `
+doall I = 1..4 {
+  work 1
+  if (I > 2) {
+    work 50
+  }
+}`)
+	if r.TotalWork != 4+2*50 {
+		t.Errorf("work = %d, want 104", r.TotalWork)
+	}
+}
+
+func TestParseNestedIfBranchesWithLoops(t *testing.T) {
+	r := run(t, `
+doall I = 1..3 {
+  if (I == 2) {
+    doall H = 1..5 { work 10 }
+  } else {
+    doall L = 1..2 { work 1 }
+  }
+}
+doall Z = 1..2 { work 3 }`)
+	if r.TotalWork != 5*10+2*2*1+2*3 {
+		t.Errorf("work = %d, want 60", r.TotalWork)
+	}
+}
+
+func TestParseDoacross(t *testing.T) {
+	nest := MustParse(`
+doacross(2) W = 1..6 {
+  work 5
+  post
+  work W
+}`)
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := std.Leaves()[0]
+	if leaf.Kind != loopir.KindDoacross || leaf.Dist != 2 || !leaf.ManualSync {
+		t.Fatalf("leaf = %v dist=%d manual=%v", leaf.Kind, leaf.Dist, leaf.ManualSync)
+	}
+	r, err := refexec.Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalWork != 6*5+(1+2+3+4+5+6) {
+		t.Errorf("work = %d, want 51", r.TotalWork)
+	}
+}
+
+func TestParseAutoSyncDoacross(t *testing.T) {
+	nest := MustParse(`doacross(1) W = 1..3 { work 1 }`)
+	std, _ := nest.Standardize()
+	if std.Leaves()[0].ManualSync {
+		t.Error("no await/post should mean automatic synchronization")
+	}
+}
+
+func TestParseSerialShadowing(t *testing.T) {
+	// Inner loop named like the outer: innermost binding wins.
+	r := run(t, `
+doall I = 1..2 {
+  serial I = 1..3 {
+    work I
+  }
+}`)
+	if r.TotalWork != 2*(1+2+3) {
+		t.Errorf("work = %d, want 12 (inner I must shadow outer)", r.TotalWork)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	r := run(t, `
+# the classic flat loop
+doall I = 1..5 {   # five iterations
+  work 2           # tiny grain
+}`)
+	if r.Iterations != 5 {
+		t.Errorf("iterations = %d", r.Iterations)
+	}
+}
+
+func TestParseConstantFolding(t *testing.T) {
+	nest := MustParse(`doall I = 1..2*3+4 { work 1 }`)
+	if b, ok := nest.Root[0].Bound.IsStatic(); !ok || b != 10 {
+		t.Errorf("bound = %v static=%v, want constant 10", b, ok)
+	}
+}
+
+func TestParseNegativeWorkClamps(t *testing.T) {
+	r := run(t, `doall I = 1..3 { work I - 2 }`)
+	if r.TotalWork != 0+0+1 {
+		t.Errorf("work = %d, want 1 (negative costs clamp to 0)", r.TotalWork)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{``, "empty block"},
+		{`doall I = 1..10 {}`, "empty block"},
+		{`doall I = 2..10 { work 1 }`, "lower bound must be 1"},
+		{`doall I = 1..10 { work J }`, `unknown loop index "J"`},
+		{`work I`, "unknown loop index"},
+		{`doall I = 1..10 { work 1`, "unterminated"},
+		{`doacross(0) W = 1..5 { work 1 }`, "distance must be a positive integer"},
+		{`doacross(1) W = 1..5 { doall X = 1..2 { work 1 } }`, "only work/await/post"},
+		{`doall I = 1..5 { await }`, "only legal inside a doacross"},
+		{`if (1 == 1) { }`, "empty block"},
+		{`doall I = 1..5 { work 1 } }`, "expected a construct"},
+		{`doall I = 1..@ { work 1 }`, "unexpected character"},
+		{`doall I = 1..5 { work 1 %%% }`, "expected an expression"},
+		{`if (1) { work 1 }`, "expected comparison operator"},
+		{`doall = 1..5 { work 1 }`, "expected loop name"},
+		{`doall I = 1..99999999999999999 { work 1 }`, "too large"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("doall I = 1..4 {\n  work Q\n}")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:8:") {
+		t.Errorf("error position = %q, want prefix 2:8:", err.Error())
+	}
+}
+
+func TestParseDuplicateNamesUniquified(t *testing.T) {
+	nest := MustParse(`
+doall I = 1..2 { work 1 }
+doall I = 1..2 { work 1 }`)
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := descr.Compile(std); err != nil {
+		t.Fatalf("duplicate user names must be uniquified: %v", err)
+	}
+}
+
+func TestParseDivisionByZeroAtRuntime(t *testing.T) {
+	nest := MustParse(`doall I = 1..2 { work 10 / (I - 1) }`)
+	std, _ := nest.Standardize()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for division by zero")
+		}
+		if pe, ok := r.(*Error); !ok || !strings.Contains(pe.Msg, "division by zero") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	refexec.Run(std) //nolint:errcheck // panics before returning
+}
+
+func TestFig1InMiniLanguage(t *testing.T) {
+	// The paper's Fig. 1, written in the mini-language.
+	src := `
+doall I = 1..2 {
+  doall A = 1..4 { work 100 }
+  doall J = 1..2 {
+    doall B = 1..4 { work 100 }
+  }
+  serial K = 1..2 {
+    doall C = 1..4 { work 100 }
+    doall D = 1..4 { work 100 }
+  }
+  doall E = 1..4 { work 100 }
+}
+if (1 == 1) {
+  doall F = 1..4 { work 100 }
+} else {
+  doall G = 1..4 { work 100 }
+}
+doall H = 1..4 { work 100 }`
+	nest := MustParse(src)
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := descr.Compile(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.M != 8 {
+		t.Fatalf("M = %d, want 8", prog.M)
+	}
+	r, err := refexec.Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same as workload.Fig1 with default config: 72 iterations.
+	if r.Iterations != 72 {
+		t.Errorf("iterations = %d, want 72", r.Iterations)
+	}
+}

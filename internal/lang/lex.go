@@ -1,0 +1,150 @@
+// Package lang is a small textual frontend for general parallel nested
+// loops: it parses a Fortran-flavored mini-language into the loop IR, so
+// programs can be described in files rather than Go code (the paper's
+// scheme was implemented in a real compiler [19]; this is the equivalent
+// source surface for the simulator).
+//
+// Grammar (comments run from '#' to end of line):
+//
+//	program   := construct+
+//	construct := loop | if | stmt
+//	loop      := ("doall" | "serial" | "doacross" "(" INT ")")
+//	             IDENT "=" "1" ".." expr block
+//	if        := "if" "(" expr relop expr ")" block ("else" block)?
+//	block     := "{" construct+ "}"
+//	stmt      := "work" expr | "await" | "post"
+//	expr      := term (("+"|"-") term)*
+//	term      := unary (("*"|"/"|"%") unary)*
+//	unary     := "-" unary | primary
+//	primary   := INT | IDENT | "(" expr ")"
+//
+// Identifiers in expressions name enclosing loop indexes. "await" and
+// "post" are only legal inside doacross loops and place the dependence
+// sink and source explicitly (otherwise the executor synchronizes around
+// the whole iteration).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tInt
+	tIdent
+	tKeyword // doall serial doacross if else work await post
+	tSym     // { } ( ) = .. + - * / % == != < <= > >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"doall": true, "serial": true, "doacross": true,
+	"if": true, "else": true, "work": true, "await": true, "post": true,
+}
+
+// Error is a positioned parse error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			adv(1)
+		case c >= '0' && c <= '9':
+			l, co := line, col
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				adv(1)
+			}
+			var v int64
+			for _, d := range src[start:i] {
+				v = v*10 + int64(d-'0')
+				if v > 1<<40 {
+					return nil, errf(l, co, "integer literal too large")
+				}
+			}
+			toks = append(toks, token{kind: tInt, text: src[start:i], val: v, line: l, col: co})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l, co := line, col
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				adv(1)
+			}
+			word := src[start:i]
+			kind := tIdent
+			if keywords[strings.ToLower(word)] {
+				kind = tKeyword
+				word = strings.ToLower(word)
+			}
+			toks = append(toks, token{kind: kind, text: word, line: l, col: co})
+		default:
+			l, co := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "..", "==", "!=", "<=", ">=":
+				toks = append(toks, token{kind: tSym, text: two, line: l, col: co})
+				adv(2)
+				continue
+			}
+			switch c {
+			case '{', '}', '(', ')', '=', '+', '-', '*', '/', '%', '<', '>':
+				toks = append(toks, token{kind: tSym, text: string(c), line: l, col: co})
+				adv(1)
+			default:
+				return nil, errf(l, co, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line, col: col})
+	return toks, nil
+}

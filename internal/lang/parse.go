@@ -1,0 +1,332 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+)
+
+// Parse compiles a mini-language program into an (un-standardized) nest.
+func Parse(src string) (*loopir.Nest, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, used: map[string]int{}}
+	var perr error
+	nest, err := loopir.Build(func(b *loopir.B) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := r.(*Error); ok {
+					perr = pe
+					return
+				}
+				panic(r)
+			}
+		}()
+		p.constructs(b, nil, tEOF, "")
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nest, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *loopir.Nest {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	used map[string]int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) fail(t token, format string, args ...any) {
+	panic(errf(t.line, t.col, format, args...))
+}
+
+func (p *parser) expectSym(sym string) token {
+	t := p.next()
+	if t.kind != tSym || t.text != sym {
+		p.fail(t, "expected %q, found %s", sym, t)
+	}
+	return t
+}
+
+// label returns a program-unique loopir label for a user construct name.
+func (p *parser) label(name string) string {
+	p.used[name]++
+	if n := p.used[name]; n > 1 {
+		return fmt.Sprintf("%s#%d", name, n)
+	}
+	return name
+}
+
+// constructs parses constructs until the terminator ('}' or EOF), which
+// is left unconsumed.
+func (p *parser) constructs(b *loopir.B, scope []string, end tokKind, endSym string) {
+	n := 0
+	for {
+		t := p.cur()
+		if t.kind == end && (end != tSym || t.text == endSym) {
+			if n == 0 {
+				p.fail(t, "empty block")
+			}
+			return
+		}
+		if t.kind == tEOF {
+			p.fail(t, "unterminated block")
+		}
+		p.construct(b, scope)
+		n++
+	}
+}
+
+func (p *parser) construct(b *loopir.B, scope []string) {
+	t := p.cur()
+	if t.kind != tKeyword {
+		p.fail(t, "expected a construct (doall/serial/doacross/if/work), found %s", t)
+	}
+	switch t.text {
+	case "doall":
+		p.next()
+		name, bound := p.loopHead(scope)
+		p.expectSym("{")
+		b.Doall(p.label(name), bound, func(b *loopir.B) {
+			p.constructs(b, append(scope, name), tSym, "}")
+		})
+		p.expectSym("}")
+	case "serial":
+		p.next()
+		name, bound := p.loopHead(scope)
+		p.expectSym("{")
+		b.Serial(p.label(name), bound, func(b *loopir.B) {
+			p.constructs(b, append(scope, name), tSym, "}")
+		})
+		p.expectSym("}")
+	case "doacross":
+		p.next()
+		p.expectSym("(")
+		dt := p.next()
+		if dt.kind != tInt || dt.val < 1 {
+			p.fail(dt, "doacross distance must be a positive integer, found %s", dt)
+		}
+		p.expectSym(")")
+		name, bound := p.loopHead(scope)
+		p.expectSym("{")
+		iter, manual := p.doacrossBody(append(scope, name))
+		p.expectSym("}")
+		if manual {
+			b.DoacrossLeafManual(p.label(name), bound, dt.val, iter)
+		} else {
+			b.DoacrossLeaf(p.label(name), bound, dt.val, iter)
+		}
+	case "if":
+		p.next()
+		p.expectSym("(")
+		cond := p.cond(scope)
+		p.expectSym(")")
+		p.expectSym("{")
+		thenF := p.capture(scope)
+		p.expectSym("}")
+		var elseF func(*loopir.B)
+		if e := p.cur(); e.kind == tKeyword && e.text == "else" {
+			p.next()
+			p.expectSym("{")
+			elseF = p.capture(scope)
+			p.expectSym("}")
+		}
+		b.If(p.label("if"), cond, thenF, elseF)
+	case "work":
+		wt := p.next()
+		ex := p.expr(scope)
+		b.Stmt(p.label("work"), func(e loopir.Env, iv loopir.IVec) {
+			e.Work(clamp(ex.fn(ivGetter(iv, wt))))
+		})
+	case "await", "post":
+		p.fail(t, "%q is only legal inside a doacross loop", t.text)
+	default:
+		p.fail(t, "unexpected keyword %q", t.text)
+	}
+}
+
+// capture parses an IF branch block. The builder's If method needs both
+// branch functions up front, but whether an else-branch exists is known
+// only after the THEN block — so the branch is parsed twice: once into a
+// scratch builder (validating and finding the block's extent) and again,
+// deferred, into the real builder.
+func (p *parser) capture(scope []string) func(*loopir.B) {
+	start := p.pos
+	scratch := &parser{toks: p.toks, pos: start, used: cloneCounts(p.used)}
+	loopir.Build(func(sb *loopir.B) { //nolint:errcheck // replay revalidates
+		scratch.constructs(sb, scope, tSym, "}")
+	})
+	end := scratch.pos
+	p.pos = end
+	return func(b *loopir.B) {
+		replay := &parser{toks: p.toks, pos: start, used: p.used}
+		for replay.pos < end {
+			replay.construct(b, scope)
+		}
+	}
+}
+
+func cloneCounts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func clamp(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// loopHead parses `NAME = 1 .. expr`.
+func (p *parser) loopHead(scope []string) (string, loopir.Bound) {
+	nt := p.next()
+	if nt.kind != tIdent {
+		p.fail(nt, "expected loop name, found %s", nt)
+	}
+	p.expectSym("=")
+	one := p.next()
+	if one.kind != tInt || one.val != 1 {
+		p.fail(one, "loop lower bound must be 1, found %s", one)
+	}
+	p.expectSym("..")
+	at := p.cur()
+	ex := p.expr(scope)
+	if ex.isCon {
+		return nt.text, loopir.Const(ex.val)
+	}
+	return nt.text, loopir.BoundFn(func(iv loopir.IVec) int64 {
+		return ex.fn(ivGetter(iv, at))
+	})
+}
+
+// doacrossBody parses a stmt-only block into an iteration function. The
+// terminating '}' is left unconsumed.
+func (p *parser) doacrossBody(scope []string) (loopir.BodyFn, bool) {
+	type op struct {
+		kind string
+		ex   cexpr
+		at   token
+	}
+	var ops []op
+	manual := false
+	for {
+		t := p.cur()
+		if t.kind == tSym && t.text == "}" {
+			break
+		}
+		if t.kind == tEOF {
+			p.fail(t, "unterminated doacross body")
+		}
+		if t.kind != tKeyword {
+			p.fail(t, "doacross bodies may contain only work/await/post, found %s", t)
+		}
+		switch t.text {
+		case "work":
+			p.next()
+			ops = append(ops, op{kind: "work", ex: p.expr(scope), at: t})
+		case "await":
+			p.next()
+			ops = append(ops, op{kind: "await"})
+			manual = true
+		case "post":
+			p.next()
+			ops = append(ops, op{kind: "post"})
+			manual = true
+		default:
+			p.fail(t, "doacross bodies may contain only work/await/post, found %q", t.text)
+		}
+	}
+	if len(ops) == 0 {
+		p.fail(p.cur(), "empty doacross body")
+	}
+	iter := func(e loopir.Env, iv loopir.IVec, j int64) {
+		get := func(pos int) int64 {
+			if pos < len(iv) {
+				return iv[pos]
+			}
+			return j
+		}
+		for _, o := range ops {
+			switch o.kind {
+			case "work":
+				e.Work(clamp(o.ex.fn(get)))
+			case "await":
+				e.AwaitDep()
+			case "post":
+				e.PostDep()
+			}
+		}
+	}
+	return iter, manual
+}
+
+// ivGetter resolves scope positions against an index vector. A statement's
+// index vector carries exactly the values of its lexically enclosing
+// loops, in order, so positions map directly.
+func ivGetter(iv loopir.IVec, at token) func(int) int64 {
+	return func(pos int) int64 {
+		if pos >= len(iv) {
+			panic(errf(at.line, at.col, "internal: index position %d outside vector %v", pos, iv))
+		}
+		return iv[pos]
+	}
+}
+
+func isRelop(s string) bool {
+	switch s {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// cond parses `expr relop expr`.
+func (p *parser) cond(scope []string) loopir.CondFn {
+	at := p.cur()
+	lhs := p.expr(scope)
+	rt := p.next()
+	if rt.kind != tSym || !isRelop(rt.text) {
+		p.fail(rt, "expected comparison operator, found %s", rt)
+	}
+	rhs := p.expr(scope)
+	relop := rt.text
+	return func(iv loopir.IVec) bool {
+		get := ivGetter(iv, at)
+		l, r := lhs.fn(get), rhs.fn(get)
+		switch relop {
+		case "==":
+			return l == r
+		case "!=":
+			return l != r
+		case "<":
+			return l < r
+		case "<=":
+			return l <= r
+		case ">":
+			return l > r
+		default:
+			return l >= r
+		}
+	}
+}

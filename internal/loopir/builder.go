@@ -1,0 +1,230 @@
+package loopir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// B is the nest builder. Construct nests with Build; inside the callback,
+// each method appends one construct to the current sequence.
+type B struct {
+	nest  *Nest
+	nodes *[]*Node
+	err   error
+}
+
+// Build constructs a Nest. The callback appends top-level constructs to b.
+// Build validates the result and reports construction errors instead of
+// panicking, so malformed programs are diagnosable in tests.
+func Build(f func(b *B)) (*Nest, error) {
+	nest := &Nest{}
+	b := &B{nest: nest, nodes: &nest.Root}
+	f(b)
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := nest.Validate(); err != nil {
+		return nil, err
+	}
+	return nest, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples with
+// statically correct programs.
+func MustBuild(f func(b *B)) *Nest {
+	n, err := Build(f)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (b *B) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (b *B) add(n *Node) *Node {
+	n.ID = b.nest.NewID()
+	*b.nodes = append(*b.nodes, n)
+	return n
+}
+
+func (b *B) sub(body *[]*Node, f func(b *B)) {
+	inner := &B{nest: b.nest, nodes: body}
+	if f != nil {
+		f(inner)
+	}
+	if inner.err != nil && b.err == nil {
+		b.err = inner.err
+	}
+}
+
+// Doall appends a structural Doall loop whose body is built by f.
+func (b *B) Doall(label string, bound Bound, f func(b *B)) {
+	n := b.add(&Node{Kind: KindDoall, Label: label, Bound: bound})
+	b.sub(&n.Body, f)
+}
+
+// DoallLeaf appends an innermost Doall loop with iteration body iter.
+func (b *B) DoallLeaf(label string, bound Bound, iter BodyFn) {
+	if iter == nil {
+		b.fail("loopir: DoallLeaf %q: nil iteration body", label)
+		return
+	}
+	b.add(&Node{Kind: KindDoall, Label: label, Bound: bound, Iter: iter})
+}
+
+// DoacrossLeaf appends an innermost Doacross loop with cross-iteration
+// dependence distance dist (>= 1) and iteration body iter. Iteration j
+// may not pass its dependence sink until iteration j-dist has posted.
+func (b *B) DoacrossLeaf(label string, bound Bound, dist int64, iter BodyFn) {
+	if iter == nil {
+		b.fail("loopir: DoacrossLeaf %q: nil iteration body", label)
+		return
+	}
+	b.add(&Node{Kind: KindDoacross, Label: label, Bound: bound, Dist: dist, Iter: iter})
+}
+
+// DoacrossLeafManual is DoacrossLeaf for bodies that drive the
+// cross-iteration synchronization themselves: the body calls Env.AwaitDep
+// at its dependence sink and Env.PostDep right after its dependence
+// source, allowing the pre-sink and post-source portions of adjacent
+// iterations to overlap (the partial overlap of doacross execution [15]).
+func (b *B) DoacrossLeafManual(label string, bound Bound, dist int64, iter BodyFn) {
+	if iter == nil {
+		b.fail("loopir: DoacrossLeafManual %q: nil iteration body", label)
+		return
+	}
+	b.add(&Node{Kind: KindDoacross, Label: label, Bound: bound, Dist: dist, Iter: iter, ManualSync: true})
+}
+
+// Serial appends a serial loop whose body is built by f.
+func (b *B) Serial(label string, bound Bound, f func(b *B)) {
+	n := b.add(&Node{Kind: KindSerial, Label: label, Bound: bound})
+	b.sub(&n.Body, f)
+}
+
+// If appends an IF-THEN-ELSE construct. elseF may be nil for an IF with an
+// empty FALSE branch.
+func (b *B) If(label string, cond CondFn, thenF, elseF func(b *B)) {
+	if cond == nil {
+		b.fail("loopir: If %q: nil condition", label)
+		return
+	}
+	n := b.add(&Node{Kind: KindIf, Label: label, Cond: cond})
+	b.sub(&n.Then, thenF)
+	if elseF != nil {
+		b.sub(&n.Else, elseF)
+	}
+}
+
+// Sections appends a parallel-sections construct: the given section
+// bodies may execute concurrently, and the construct completes when all
+// sections have (PCF Fortran's vertical parallelism, which Section II-B of
+// the paper notes the scheme "can be easily extended to accommodate").
+//
+// The extension is a lowering: the sections become a Doall loop over the
+// section index whose body dispatches through an IF ladder, so the
+// unmodified two-level machinery provides the fan-out (ENTER over a
+// parallel level) and the completion barrier (BAR_COUNT).
+func (b *B) Sections(label string, sections ...func(b *B)) {
+	if len(sections) == 0 {
+		b.fail("loopir: Sections %q: no sections", label)
+		return
+	}
+	b.Doall(label, Const(int64(len(sections))), func(b *B) {
+		var ladder func(b *B, k int)
+		ladder = func(b *B, k int) {
+			if k == len(sections)-1 {
+				n := len(*b.nodes)
+				b.sub(b.nodes, sections[k])
+				if len(*b.nodes) == n && b.err == nil {
+					b.fail("loopir: Sections %q: section %d is empty", label, k+1)
+				}
+				return
+			}
+			want := int64(k + 1)
+			b.If(fmt.Sprintf("%s.is%d", label, k+1),
+				func(iv IVec) bool { return iv[len(iv)-1] == want },
+				func(b *B) {
+					n := len(*b.nodes)
+					b.sub(b.nodes, sections[k])
+					if len(*b.nodes) == n && b.err == nil {
+						b.fail("loopir: Sections %q: section %d is empty", label, k+1)
+					}
+				},
+				func(b *B) { ladder(b, k+1) })
+		}
+		ladder(b, 0)
+	})
+}
+
+// Stmt appends a scalar statement.
+func (b *B) Stmt(label string, run StmtFn) {
+	if run == nil {
+		b.fail("loopir: Stmt %q: nil body", label)
+		return
+	}
+	b.add(&Node{Kind: KindStmt, Label: label, Run: run})
+}
+
+// Validate checks structural invariants of the nest:
+//   - every loop has a valid bound,
+//   - Doacross loops are leaves with dist >= 1,
+//   - IF constructs have at least one nonempty branch,
+//   - labels are unique and nonempty,
+//   - leaf loops have no Body, structural loops have no Iter.
+func (n *Nest) Validate() error {
+	if len(n.Root) == 0 {
+		return errors.New("loopir: empty nest")
+	}
+	labels := map[string]bool{}
+	var errs []error
+	n.Walk(func(nd *Node, _ int) {
+		where := fmt.Sprintf("%v %q", nd.Kind, nd.Label)
+		if nd.Label == "" {
+			errs = append(errs, fmt.Errorf("loopir: %v with empty label (id %d)", nd.Kind, nd.ID))
+		} else if labels[nd.Label] {
+			errs = append(errs, fmt.Errorf("loopir: duplicate label %q", nd.Label))
+		}
+		labels[nd.Label] = true
+		switch nd.Kind {
+		case KindDoall, KindSerial:
+			if !nd.Bound.Valid() {
+				errs = append(errs, fmt.Errorf("loopir: %s: invalid bound", where))
+			}
+			if nd.Iter != nil && len(nd.Body) > 0 {
+				errs = append(errs, fmt.Errorf("loopir: %s: both Iter and Body set", where))
+			}
+			if nd.Kind == KindSerial && nd.Iter != nil {
+				errs = append(errs, fmt.Errorf("loopir: %s: serial loop cannot be a leaf", where))
+			}
+			if nd.Iter == nil && len(nd.Body) == 0 {
+				errs = append(errs, fmt.Errorf("loopir: %s: empty loop body", where))
+			}
+		case KindDoacross:
+			if !nd.Bound.Valid() {
+				errs = append(errs, fmt.Errorf("loopir: %s: invalid bound", where))
+			}
+			if nd.Dist < 1 {
+				errs = append(errs, fmt.Errorf("loopir: %s: doacross distance %d < 1", where, nd.Dist))
+			}
+			if nd.Iter == nil || len(nd.Body) > 0 {
+				errs = append(errs, fmt.Errorf("loopir: %s: doacross must be an innermost leaf", where))
+			}
+		case KindIf:
+			if len(nd.Then) == 0 && len(nd.Else) == 0 {
+				errs = append(errs, fmt.Errorf("loopir: %s: both branches empty", where))
+			}
+		case KindStmt:
+			if nd.Run == nil {
+				errs = append(errs, fmt.Errorf("loopir: %s: nil statement body", where))
+			}
+		default:
+			errs = append(errs, fmt.Errorf("loopir: %s: unknown kind", where))
+		}
+	})
+	return errors.Join(errs...)
+}

@@ -1,0 +1,262 @@
+// Package loopir defines the intermediate representation for general
+// parallel nested loops (Section II-B of the paper) and the source-level
+// transformations the paper's scheme relies on: standardization (Fig. 2)
+// and implicit loop coalescing (Fig. 3).
+//
+// A general parallel nested loop is a sequence of constructs, each of which
+// is one of:
+//
+//   - a Doall loop (parallel, no cross-iteration dependences),
+//   - a Doacross loop (parallel with a cross-iteration dependence of
+//     constant distance; innermost only — see below),
+//   - a serial loop,
+//   - an IF-THEN-ELSE whose branches are themselves construct sequences,
+//   - a scalar statement (arbitrary sequential code).
+//
+// Loops nest in any order, loop bounds may be functions of the indexes of
+// enclosing loops, and iteration execution time is arbitrary.
+//
+// Standardization rewrites a nest so that every schedulable leaf is a
+// parallel loop: scalar statements (and serial loops whose bodies contain
+// no parallel constructs) are folded into special parallel loops with
+// bound 1, and serial loops nested inside an otherwise-innermost parallel
+// loop are folded into that loop's iteration body, exactly as in Fig. 2.
+//
+// Doacross loops are supported only as innermost (leaf) loops: the paper's
+// high-level algorithms give outer parallel loops barrier (Doall)
+// semantics via BAR_COUNT, so an outer loop carrying a cross-iteration
+// dependence must be expressed as a serial loop instead.
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IVec is an index vector: the values (1-based) of the enclosing loops'
+// indexes, outermost first. Bound and condition functions receive the
+// indexes of the loops enclosing them; iteration bodies additionally
+// receive their own loop index as a separate argument.
+type IVec []int64
+
+// Clone returns a copy of the vector.
+func (iv IVec) Clone() IVec {
+	out := make(IVec, len(iv))
+	copy(out, iv)
+	return out
+}
+
+// String renders the vector like "(2,1,3)".
+func (iv IVec) String() string {
+	parts := make([]string, len(iv))
+	for i, v := range iv {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Env is the execution environment handed to iteration bodies. The
+// two-level scheduler passes its per-processor context; the sequential
+// reference executor passes a trivial implementation.
+type Env interface {
+	// Work accounts cost units of useful computation (virtual time on the
+	// simulated machine, calibrated busy-work on the real one).
+	Work(cost int64)
+	// Proc returns the executing processor's ID.
+	Proc() int
+	// NumProcs returns the machine's processor count.
+	NumProcs() int
+	// AwaitDep blocks until the cross-iteration dependence source of this
+	// iteration (iteration j-dist of the same Doacross instance) has
+	// posted. It is a no-op for Doall bodies and for j <= dist.
+	AwaitDep()
+	// PostDep marks this iteration's dependence source as executed,
+	// releasing iteration j+dist. Called automatically at body completion
+	// if the body never calls it.
+	PostDep()
+}
+
+// BodyFn is the iteration body of an innermost parallel loop: it executes
+// iteration j (1-based) with enclosing indexes iv.
+type BodyFn func(e Env, iv IVec, j int64)
+
+// StmtFn is a scalar statement: sequential code executed once per
+// activation with enclosing indexes iv.
+type StmtFn func(e Env, iv IVec)
+
+// CondFn evaluates an IF condition given the enclosing indexes.
+type CondFn func(iv IVec) bool
+
+// Bound describes a loop's upper bound: iterations run from 1 to the bound
+// value. A bound may be a compile-time constant or a function of the
+// enclosing indexes (like the paper's BOUND entries, which hold either an
+// integer or a pointer to an expression).
+type Bound struct {
+	fn     func(iv IVec) int64
+	static int64
+	isStat bool
+}
+
+// Const returns a constant bound.
+func Const(n int64) Bound { return Bound{static: n, isStat: true} }
+
+// BoundFn returns a bound computed from the enclosing indexes.
+func BoundFn(f func(iv IVec) int64) Bound { return Bound{fn: f} }
+
+// Eval returns the bound value for the given enclosing indexes.
+// Negative values are clamped to 0 (a zero-trip loop).
+func (b Bound) Eval(iv IVec) int64 {
+	var n int64
+	if b.isStat {
+		n = b.static
+	} else if b.fn != nil {
+		n = b.fn(iv)
+	} else {
+		panic("loopir: uninitialized Bound")
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// IsStatic reports whether the bound is a compile-time constant, and if so
+// its value. Coalescing requires a static inner bound.
+func (b Bound) IsStatic() (int64, bool) { return b.static, b.isStat }
+
+// Valid reports whether the bound was properly constructed.
+func (b Bound) Valid() bool { return b.isStat || b.fn != nil }
+
+func (b Bound) String() string {
+	if b.isStat {
+		return fmt.Sprint(b.static)
+	}
+	return "f(...)"
+}
+
+// Kind discriminates node types.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindDoall Kind = iota
+	KindDoacross
+	KindSerial
+	KindIf
+	KindStmt
+)
+
+var kindNames = [...]string{
+	KindDoall: "doall", KindDoacross: "doacross", KindSerial: "serial",
+	KindIf: "if", KindStmt: "stmt",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsLoop reports whether the kind is a loop construct.
+func (k Kind) IsLoop() bool {
+	return k == KindDoall || k == KindDoacross || k == KindSerial
+}
+
+// IsParallel reports whether the kind is a parallel loop.
+func (k Kind) IsParallel() bool { return k == KindDoall || k == KindDoacross }
+
+// Node is one construct of a nest.
+type Node struct {
+	// ID is unique within a Nest; assigned by the builder.
+	ID int
+	// Kind discriminates the variant; the fields below are used per kind.
+	Kind Kind
+	// Label names the construct for diagnostics and figure dumps.
+	Label string
+
+	// Loop fields (KindDoall, KindDoacross, KindSerial).
+	Bound Bound
+	// Dist is the Doacross dependence distance (>= 1).
+	Dist int64
+	// Body is the loop body: a sequence of constructs executed in order.
+	// Empty for a leaf parallel loop built directly with an Iter function.
+	Body []*Node
+	// Iter is the iteration body of an innermost (leaf) parallel loop.
+	// Exactly one of Iter and Body is set for parallel loops; serial loops
+	// always use Body.
+	Iter BodyFn
+	// ManualSync, for Doacross leaves, declares that the iteration body
+	// drives the cross-iteration synchronization itself via Env.AwaitDep
+	// and Env.PostDep (placing them at the dependence sink and source to
+	// maximize overlap). Otherwise the executor conservatively awaits
+	// before and posts after the whole body.
+	ManualSync bool
+
+	// If fields (KindIf).
+	Cond CondFn
+	Then []*Node
+	Else []*Node
+
+	// Stmt fields (KindStmt).
+	Run StmtFn
+}
+
+// IsLeaf reports whether the node is an innermost parallel loop (a
+// schedulable leaf): a parallel loop with an Iter function.
+func (n *Node) IsLeaf() bool { return n.Kind.IsParallel() && n.Iter != nil }
+
+// Nest is a complete general parallel nested loop: a sequence of top-level
+// constructs plus node bookkeeping.
+type Nest struct {
+	Root   []*Node
+	nextID int
+	// Standardized is set by Standardize on its output nest.
+	Standardized bool
+}
+
+// NewID returns a fresh node ID (used by transformation passes that create
+// nodes).
+func (n *Nest) NewID() int {
+	n.nextID++
+	return n.nextID
+}
+
+// Walk visits every node of the nest in program order (pre-order; IF
+// visits Then before Else). The visit function may not modify structure.
+func (n *Nest) Walk(visit func(node *Node, depth int)) {
+	var rec func(nodes []*Node, depth int)
+	rec = func(nodes []*Node, depth int) {
+		for _, nd := range nodes {
+			visit(nd, depth)
+			switch nd.Kind {
+			case KindIf:
+				rec(nd.Then, depth)
+				rec(nd.Else, depth)
+			default:
+				rec(nd.Body, depth+1)
+			}
+		}
+	}
+	rec(n.Root, 0)
+}
+
+// Leaves returns the innermost parallel loops in program order (the
+// paper's numbering 1..m, top to bottom). Only meaningful on a
+// standardized nest, where every execution path ends in a leaf.
+func (n *Nest) Leaves() []*Node {
+	var out []*Node
+	n.Walk(func(nd *Node, _ int) {
+		if nd.IsLeaf() {
+			out = append(out, nd)
+		}
+	})
+	return out
+}
+
+// CountNodes returns the total number of nodes.
+func (n *Nest) CountNodes() int {
+	c := 0
+	n.Walk(func(*Node, int) { c++ })
+	return c
+}

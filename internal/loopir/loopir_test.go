@@ -1,0 +1,500 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// recEnv is a trivial Env recording executed labels for assertions.
+type recEnv struct {
+	log  []string
+	work int64
+}
+
+func (e *recEnv) Work(c int64)  { e.work += c }
+func (e *recEnv) Proc() int     { return 0 }
+func (e *recEnv) NumProcs() int { return 1 }
+func (e *recEnv) AwaitDep()     {}
+func (e *recEnv) PostDep()      {}
+
+func (e *recEnv) note(format string, args ...any) {
+	e.log = append(e.log, fmt.Sprintf(format, args...))
+}
+
+func stmt(e Env, label string, iv IVec) {
+	e.(*recEnv).note("%s%v", label, iv)
+}
+
+func TestBuildSimple(t *testing.T) {
+	nest, err := Build(func(b *B) {
+		b.DoallLeaf("A", Const(3), func(e Env, iv IVec, j int64) {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nest.CountNodes(); got != 1 {
+		t.Errorf("CountNodes = %d, want 1", got)
+	}
+	leaves := nest.Leaves()
+	if len(leaves) != 1 || leaves[0].Label != "A" {
+		t.Errorf("Leaves = %v", leaves)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(b *B)
+		want string
+	}{
+		{"empty nest", func(b *B) {}, "empty nest"},
+		{"nil stmt", func(b *B) { b.Stmt("s", nil) }, "nil"},
+		{"nil cond", func(b *B) { b.If("c", nil, nil, nil) }, "nil"},
+		{"nil iter", func(b *B) { b.DoallLeaf("A", Const(1), nil) }, "nil"},
+		{"empty loop", func(b *B) { b.Doall("I", Const(2), nil) }, "empty loop body"},
+		{"empty if", func(b *B) {
+			b.If("c", func(IVec) bool { return true }, nil, nil)
+		}, "both branches empty"},
+		{"dup labels", func(b *B) {
+			it := func(Env, IVec, int64) {}
+			b.DoallLeaf("A", Const(1), it)
+			b.DoallLeaf("A", Const(1), it)
+		}, "duplicate label"},
+		{"bad doacross dist", func(b *B) {
+			b.DoacrossLeaf("W", Const(4), 0, func(Env, IVec, int64) {})
+		}, "distance 0 < 1"},
+		{"invalid bound", func(b *B) {
+			b.DoallLeaf("A", Bound{}, func(Env, IVec, int64) {})
+		}, "invalid bound"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Build(c.f)
+			if err == nil {
+				t.Fatalf("no error, want %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBoundEval(t *testing.T) {
+	if got := Const(7).Eval(nil); got != 7 {
+		t.Errorf("Const(7).Eval = %d", got)
+	}
+	if got := Const(-3).Eval(nil); got != 0 {
+		t.Errorf("negative bound should clamp to 0, got %d", got)
+	}
+	b := BoundFn(func(iv IVec) int64 { return iv[0] * 2 })
+	if got := b.Eval(IVec{5}); got != 10 {
+		t.Errorf("BoundFn.Eval = %d, want 10", got)
+	}
+	if _, ok := b.IsStatic(); ok {
+		t.Error("BoundFn reported static")
+	}
+	if v, ok := Const(4).IsStatic(); !ok || v != 4 {
+		t.Error("Const not reported static")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("uninitialized Bound.Eval did not panic")
+		}
+	}()
+	(Bound{}).Eval(nil)
+}
+
+func TestIVec(t *testing.T) {
+	iv := IVec{1, 2, 3}
+	c := iv.Clone()
+	c[0] = 9
+	if iv[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if iv.String() != "(1,2,3)" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestIsPure(t *testing.T) {
+	st := &Node{Kind: KindStmt, Label: "s", Run: func(Env, IVec) {}}
+	ser := &Node{Kind: KindSerial, Label: "k", Bound: Const(2), Body: []*Node{st}}
+	ifn := &Node{Kind: KindIf, Label: "c", Cond: func(IVec) bool { return true },
+		Then: []*Node{st}, Else: []*Node{ser}}
+	par := &Node{Kind: KindDoall, Label: "p", Bound: Const(2),
+		Iter: func(Env, IVec, int64) {}}
+	if !IsPure(st) || !IsPure(ser) || !IsPure(ifn) {
+		t.Error("stmt/serial/if-over-pure should be pure")
+	}
+	if IsPure(par) {
+		t.Error("parallel loop reported pure")
+	}
+	serPar := &Node{Kind: KindSerial, Label: "k2", Bound: Const(2), Body: []*Node{par}}
+	if IsPure(serPar) {
+		t.Error("serial over parallel reported pure")
+	}
+}
+
+func TestRunPureSerialExtendsIVec(t *testing.T) {
+	e := &recEnv{}
+	nodes := []*Node{
+		{Kind: KindSerial, Label: "k", Bound: Const(2), Body: []*Node{
+			{Kind: KindStmt, Label: "s", Run: func(e Env, iv IVec) { stmt(e, "s", iv) }},
+		}},
+	}
+	RunPure(e, nodes, IVec{7})
+	want := []string{"s(7,1)", "s(7,2)"}
+	if fmt.Sprint(e.log) != fmt.Sprint(want) {
+		t.Errorf("log = %v, want %v", e.log, want)
+	}
+}
+
+func TestRunPureIf(t *testing.T) {
+	e := &recEnv{}
+	nodes := []*Node{
+		{Kind: KindIf, Label: "c", Cond: func(iv IVec) bool { return iv[0] == 1 },
+			Then: []*Node{{Kind: KindStmt, Label: "t", Run: func(e Env, iv IVec) { stmt(e, "t", iv) }}},
+			Else: []*Node{{Kind: KindStmt, Label: "f", Run: func(e Env, iv IVec) { stmt(e, "f", iv) }}},
+		},
+	}
+	RunPure(e, nodes, IVec{1})
+	RunPure(e, nodes, IVec{2})
+	want := []string{"t(1)", "f(2)"}
+	if fmt.Sprint(e.log) != fmt.Sprint(want) {
+		t.Errorf("log = %v, want %v", e.log, want)
+	}
+}
+
+// fig2Nest reproduces the shape of Fig. 2(a): serial J1 containing a
+// parallel loop J with a nested serial loop J4, plus serial loops J2, J3
+// (scalar code) at the same level as J.
+func fig2Nest(t *testing.T) *Nest {
+	t.Helper()
+	nest, err := Build(func(b *B) {
+		b.Serial("J1", Const(2), func(b *B) {
+			b.Doall("J", Const(3), func(b *B) {
+				b.Serial("J4", Const(2), func(b *B) {
+					b.Stmt("body", func(e Env, iv IVec) { stmt(e, "body", iv) })
+				})
+			})
+			b.Serial("J2", Const(2), func(b *B) {
+				b.Stmt("s2", func(e Env, iv IVec) { stmt(e, "s2", iv) })
+			})
+			b.Serial("J3", Const(2), func(b *B) {
+				b.Stmt("s3", func(e Env, iv IVec) { stmt(e, "s3", iv) })
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nest
+}
+
+func TestStandardizeFig2(t *testing.T) {
+	nest := fig2Nest(t)
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected shape (Fig. 2(b)): serial J1 containing exactly two
+	// innermost parallel loops: J (with J4 folded into its body) and one
+	// scalar leaf wrapping J2+J3.
+	if len(std.Root) != 1 || std.Root[0].Label != "J1" {
+		t.Fatalf("root = %v", std)
+	}
+	body := std.Root[0].Body
+	if len(body) != 2 {
+		t.Fatalf("J1 body has %d constructs, want 2:\n%s", len(body), std)
+	}
+	if !body[0].IsLeaf() || body[0].Label != "J" {
+		t.Errorf("first construct should be leaf J, got %v %q", body[0].Kind, body[0].Label)
+	}
+	if !body[1].IsLeaf() || body[1].Label != "scalar(J2,J3)" {
+		t.Errorf("second construct should be scalar leaf, got %q", body[1].Label)
+	}
+	if b, ok := body[1].Bound.IsStatic(); !ok || b != 1 {
+		t.Errorf("scalar leaf bound = %v, want 1", body[1].Bound)
+	}
+
+	// Executing leaf J's iteration 2 with J1=1 must run the folded serial
+	// loop J4 twice with extended index vectors.
+	e := &recEnv{}
+	body[0].Iter(e, IVec{1}, 2)
+	want := []string{"body(1,2,1)", "body(1,2,2)"}
+	if fmt.Sprint(e.log) != fmt.Sprint(want) {
+		t.Errorf("folded body log = %v, want %v", e.log, want)
+	}
+
+	// The scalar leaf runs J2 then J3 with the enclosing index only.
+	e = &recEnv{}
+	body[1].Iter(e, IVec{2}, 1)
+	want = []string{"s2(2,1)", "s2(2,2)", "s3(2,1)", "s3(2,2)"}
+	if fmt.Sprint(e.log) != fmt.Sprint(want) {
+		t.Errorf("scalar leaf log = %v, want %v", e.log, want)
+	}
+}
+
+func TestStandardizeIdempotent(t *testing.T) {
+	std, err := fig2Nest(t).Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	std2, err := std.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std.String() != std2.String() {
+		t.Errorf("standardize not idempotent:\n%s\nvs\n%s", std, std2)
+	}
+}
+
+func TestStandardizeNormalizesEmptyThen(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.If("c", func(iv IVec) bool { return iv == nil }, nil, func(b *B) {
+			b.DoallLeaf("G", Const(2), func(Env, IVec, int64) {})
+		})
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifn := std.Root[0]
+	if ifn.Kind != KindIf {
+		t.Fatalf("root kind = %v", ifn.Kind)
+	}
+	if len(ifn.Then) == 0 || len(ifn.Else) != 0 {
+		t.Errorf("empty-THEN not normalized: then=%d else=%d", len(ifn.Then), len(ifn.Else))
+	}
+	if ifn.Cond(IVec{1}) != true { // original cond(iv)=false for non-nil, negated = true
+		t.Error("condition not negated")
+	}
+	if !strings.HasSuffix(ifn.Label, "!") {
+		t.Errorf("normalized IF label %q lacks '!' marker", ifn.Label)
+	}
+}
+
+func TestStandardizePreservesInput(t *testing.T) {
+	nest := fig2Nest(t)
+	before := nest.String()
+	if _, err := nest.Standardize(); err != nil {
+		t.Fatal(err)
+	}
+	if nest.String() != before {
+		t.Error("Standardize mutated its input")
+	}
+}
+
+func TestStandardizeWholePureProgram(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Stmt("s1", func(e Env, iv IVec) { stmt(e, "s1", iv) })
+		b.Serial("k", Const(2), func(b *B) {
+			b.Stmt("s2", func(e Env, iv IVec) { stmt(e, "s2", iv) })
+		})
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(std.Root) != 1 || !std.Root[0].IsLeaf() {
+		t.Fatalf("pure program should standardize to one scalar leaf:\n%s", std)
+	}
+	e := &recEnv{}
+	std.Root[0].Iter(e, nil, 1)
+	want := []string{"s1()", "s2(1)", "s2(2)"}
+	if fmt.Sprint(e.log) != fmt.Sprint(want) {
+		t.Errorf("log = %v, want %v", e.log, want)
+	}
+}
+
+func TestCoalesceFig3(t *testing.T) {
+	// Fig. 3(a): doall K1 = 1..P1 containing doall K2 = 1..P2, coalesced
+	// into a single loop of P1*P2 iterations (Fig. 3(b)).
+	const P1, P2 = 4, 5
+	var got []string
+	nest := MustBuild(func(b *B) {
+		b.Doall("K1", Const(P1), func(b *B) {
+			b.DoallLeaf("K2", Const(P2), func(e Env, iv IVec, j int64) {
+				got = append(got, fmt.Sprintf("%d.%d", iv[len(iv)-1], j))
+			})
+		})
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := std.Coalesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Root) != 1 || !co.Root[0].IsLeaf() {
+		t.Fatalf("not coalesced to a single leaf:\n%s", co)
+	}
+	leaf := co.Root[0]
+	if leaf.Label != "K1*K2" {
+		t.Errorf("label = %q, want K1*K2", leaf.Label)
+	}
+	if b, ok := leaf.Bound.IsStatic(); !ok || b != P1*P2 {
+		t.Errorf("bound = %v, want %d", leaf.Bound, P1*P2)
+	}
+	e := &recEnv{}
+	for j := int64(1); j <= P1*P2; j++ {
+		leaf.Iter(e, nil, j)
+	}
+	if len(got) != P1*P2 {
+		t.Fatalf("executed %d iterations, want %d", len(got), P1*P2)
+	}
+	// Row-major order: 1.1, 1.2, ..., 1.P2, 2.1, ...
+	if got[0] != "1.1" || got[P2-1] != fmt.Sprintf("1.%d", P2) || got[P2] != "2.1" || got[P1*P2-1] != fmt.Sprintf("%d.%d", P1, P2) {
+		t.Errorf("coalesced order wrong: %v", got)
+	}
+}
+
+func TestCoalesceMultiLevel(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Doall("A", Const(2), func(b *B) {
+			b.Doall("B", Const(3), func(b *B) {
+				b.DoallLeaf("C", Const(4), func(e Env, iv IVec, j int64) {})
+			})
+		})
+	})
+	std, _ := nest.Standardize()
+	co, err := std.Coalesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Root) != 1 || !co.Root[0].IsLeaf() {
+		t.Fatalf("3-deep perfect nest should fully coalesce:\n%s", co)
+	}
+	if b, _ := co.Root[0].Bound.IsStatic(); b != 24 {
+		t.Errorf("bound = %d, want 24", b)
+	}
+}
+
+func TestCoalesceDynamicOuterBound(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Serial("S", Const(3), func(b *B) {
+			b.Doall("K1", BoundFn(func(iv IVec) int64 { return iv[0] }), func(b *B) {
+				b.DoallLeaf("K2", Const(4), func(e Env, iv IVec, j int64) {})
+			})
+		})
+	})
+	std, _ := nest.Standardize()
+	co, err := std.Coalesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := co.Root[0].Body[0]
+	if !leaf.IsLeaf() {
+		t.Fatalf("inner nest not coalesced:\n%s", co)
+	}
+	if got := leaf.Bound.Eval(IVec{2}); got != 8 {
+		t.Errorf("coalesced bound at S=2: %d, want 8", got)
+	}
+}
+
+func TestCoalesceSkipsDynamicInnerBound(t *testing.T) {
+	// Inner bound depends on the outer index: must NOT coalesce.
+	nest := MustBuild(func(b *B) {
+		b.Doall("K1", Const(4), func(b *B) {
+			b.DoallLeaf("K2", BoundFn(func(iv IVec) int64 { return iv[len(iv)-1] }),
+				func(e Env, iv IVec, j int64) {})
+		})
+	})
+	std, _ := nest.Standardize()
+	co, err := std.Coalesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Root[0].IsLeaf() {
+		t.Error("coalesced a triangular nest (inner bound depends on outer index)")
+	}
+}
+
+func TestCoalesceSkipsDoacross(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Doall("K1", Const(4), func(b *B) {
+			b.DoacrossLeaf("W", Const(5), 1, func(e Env, iv IVec, j int64) {})
+		})
+	})
+	std, _ := nest.Standardize()
+	co, err := std.Coalesce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Root[0].IsLeaf() {
+		t.Error("coalesced over a Doacross leaf")
+	}
+}
+
+func TestCoalesceRequiresStandardized(t *testing.T) {
+	nest := fig2Nest(t)
+	if _, err := nest.Coalesce(); err == nil {
+		t.Error("Coalesce on raw nest should fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Doall("I", Const(2), func(b *B) {
+			b.DoallLeaf("A", Const(3), func(Env, IVec, int64) {})
+			b.Serial("K", Const(2), func(b *B) {
+				b.DoacrossLeaf("W", Const(5), 2, func(Env, IVec, int64) {})
+			})
+			b.If("c", func(IVec) bool { return true }, func(b *B) {
+				b.Stmt("s", func(Env, IVec) {})
+			}, nil)
+		})
+	})
+	s := nest.String()
+	for _, want := range []string{"[| I", "[| A*", "[: K", "doacross d=2", "if c then", "s (stmt)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWalkDepths(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.Doall("I", Const(2), func(b *B) {
+			b.Serial("K", Const(2), func(b *B) {
+				b.DoallLeaf("C", Const(2), func(Env, IVec, int64) {})
+			})
+		})
+	})
+	depths := map[string]int{}
+	nest.Walk(func(nd *Node, d int) { depths[nd.Label] = d })
+	if depths["I"] != 0 || depths["K"] != 1 || depths["C"] != 2 {
+		t.Errorf("depths = %v", depths)
+	}
+}
+
+func TestLeafOrderIsProgramOrder(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.DoallLeaf("A", Const(1), func(Env, IVec, int64) {})
+		b.If("c", func(IVec) bool { return true }, func(b *B) {
+			b.DoallLeaf("F", Const(1), func(Env, IVec, int64) {})
+		}, func(b *B) {
+			b.DoallLeaf("G", Const(1), func(Env, IVec, int64) {})
+		})
+		b.DoallLeaf("H", Const(1), func(Env, IVec, int64) {})
+	})
+	var labels []string
+	for _, l := range nest.Leaves() {
+		labels = append(labels, l.Label)
+	}
+	if fmt.Sprint(labels) != "[A F G H]" {
+		t.Errorf("leaf order = %v, want [A F G H]", labels)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid nest")
+		}
+	}()
+	MustBuild(func(b *B) {})
+}

@@ -1,0 +1,117 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSectionsLowering(t *testing.T) {
+	nest, err := Build(func(b *B) {
+		b.Sections("PAR",
+			func(b *B) { b.DoallLeaf("S1", Const(2), func(Env, IVec, int64) {}) },
+			func(b *B) { b.DoallLeaf("S2", Const(3), func(Env, IVec, int64) {}) },
+			func(b *B) { b.DoallLeaf("S3", Const(4), func(Env, IVec, int64) {}) },
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := nest.Root[0]
+	if root.Kind != KindDoall || root.Label != "PAR" {
+		t.Fatalf("lowering root = %v %q", root.Kind, root.Label)
+	}
+	if b, ok := root.Bound.IsStatic(); !ok || b != 3 {
+		t.Errorf("sections bound = %v, want 3", root.Bound)
+	}
+	// The body is an IF ladder dispatching on the section index.
+	ladder := root.Body[0]
+	if ladder.Kind != KindIf {
+		t.Fatalf("sections body kind = %v", ladder.Kind)
+	}
+	if !ladder.Cond(IVec{1}) || ladder.Cond(IVec{2}) {
+		t.Error("first rung should select index 1 only")
+	}
+}
+
+func TestSectionsDispatchSemantics(t *testing.T) {
+	var ran []string
+	nest := MustBuild(func(b *B) {
+		b.Sections("PAR",
+			func(b *B) {
+				b.Stmt("a", func(e Env, iv IVec) { ran = append(ran, fmt.Sprintf("a%v", iv)) })
+			},
+			func(b *B) {
+				b.Stmt("b", func(e Env, iv IVec) { ran = append(ran, fmt.Sprintf("b%v", iv)) })
+			},
+		)
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpret both iterations of the lowered Doall sequentially.
+	e := &recEnv{}
+	var exec func(nodes []*Node, iv IVec)
+	exec = func(nodes []*Node, iv IVec) {
+		for _, nd := range nodes {
+			switch {
+			case nd.IsLeaf():
+				b := nd.Bound.Eval(iv)
+				for j := int64(1); j <= b; j++ {
+					nd.Iter(e, iv, j)
+				}
+			case nd.Kind == KindIf:
+				if nd.Cond(iv) {
+					exec(nd.Then, iv)
+				} else {
+					exec(nd.Else, iv)
+				}
+			default:
+				b := nd.Bound.Eval(iv)
+				for k := int64(1); k <= b; k++ {
+					exec(nd.Body, append(iv.Clone(), k))
+				}
+			}
+		}
+	}
+	exec(std.Root, nil)
+	if fmt.Sprint(ran) != "[a(1) b(2)]" {
+		t.Errorf("sections dispatch = %v, want [a(1) b(2)]", ran)
+	}
+}
+
+func TestSectionsSingle(t *testing.T) {
+	nest, err := Build(func(b *B) {
+		b.Sections("ONE", func(b *B) {
+			b.DoallLeaf("S", Const(2), func(Env, IVec, int64) {})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := nest.Root[0].Bound.IsStatic(); b != 1 {
+		t.Errorf("single-section bound = %d", b)
+	}
+}
+
+func TestSectionsErrors(t *testing.T) {
+	if _, err := Build(func(b *B) { b.Sections("P") }); err == nil ||
+		!strings.Contains(err.Error(), "no sections") {
+		t.Errorf("no-sections error = %v", err)
+	}
+	if _, err := Build(func(b *B) {
+		b.Sections("P", func(b *B) {}, func(b *B) {
+			b.DoallLeaf("S", Const(1), func(Env, IVec, int64) {})
+		})
+	}); err == nil || !strings.Contains(err.Error(), "section 1 is empty") {
+		t.Errorf("empty-section error = %v", err)
+	}
+	if _, err := Build(func(b *B) {
+		b.Sections("P",
+			func(b *B) { b.DoallLeaf("S", Const(1), func(Env, IVec, int64) {}) },
+			func(b *B) {})
+	}); err == nil || !strings.Contains(err.Error(), "section 2 is empty") {
+		t.Errorf("empty-last-section error = %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+package loopir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IsPure reports whether the node contains no parallel construct: scalar
+// statements, serial loops over pure bodies, and IFs with pure branches.
+// Pure code needs only one processor and is treated as scalar code by
+// standardization.
+func IsPure(nd *Node) bool {
+	switch nd.Kind {
+	case KindStmt:
+		return true
+	case KindSerial:
+		return isPureSeq(nd.Body)
+	case KindIf:
+		return isPureSeq(nd.Then) && isPureSeq(nd.Else)
+	default:
+		return false
+	}
+}
+
+func isPureSeq(nodes []*Node) bool {
+	for _, nd := range nodes {
+		if !IsPure(nd) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunPure sequentially interprets a pure construct sequence with enclosing
+// indexes iv. It is used by the iteration bodies synthesized during
+// standardization and by the reference executor.
+func RunPure(e Env, nodes []*Node, iv IVec) {
+	for _, nd := range nodes {
+		switch nd.Kind {
+		case KindStmt:
+			nd.Run(e, iv)
+		case KindSerial:
+			b := nd.Bound.Eval(iv)
+			for k := int64(1); k <= b; k++ {
+				RunPure(e, nd.Body, append(iv.Clone(), k))
+			}
+		case KindIf:
+			if nd.Cond(iv) {
+				RunPure(e, nd.Then, iv)
+			} else {
+				RunPure(e, nd.Else, iv)
+			}
+		default:
+			panic(fmt.Sprintf("loopir: %v %q inside pure code", nd.Kind, nd.Label))
+		}
+	}
+}
+
+// Standardize returns a new nest in which every execution path ends in an
+// innermost parallel loop (Fig. 2 of the paper):
+//
+//   - maximal runs of pure constructs become special Doall leaves with
+//     bound 1 whose body interprets the run sequentially;
+//   - a parallel loop whose body is entirely pure becomes a leaf whose
+//     iteration body interprets the pure code (inner serial loops fold
+//     into the iteration, like loop J4 folding into loop J in Fig. 2);
+//   - IF constructs with an empty THEN branch are normalized by negating
+//     the condition, so the THEN branch of a standardized IF is never
+//     empty.
+//
+// The input nest is not modified; node IDs are preserved for surviving
+// nodes and fresh IDs are assigned to synthesized leaves. Standardize is
+// idempotent.
+func (n *Nest) Standardize() (*Nest, error) {
+	out := &Nest{nextID: n.nextID, Standardized: true}
+	out.Root = out.standardizeSeq(cloneSeq(n.Root))
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("loopir: standardization produced invalid nest: %w", err)
+	}
+	return out, nil
+}
+
+func cloneSeq(nodes []*Node) []*Node {
+	out := make([]*Node, len(nodes))
+	for i, nd := range nodes {
+		c := *nd
+		c.Body = cloneSeq(nd.Body)
+		c.Then = cloneSeq(nd.Then)
+		c.Else = cloneSeq(nd.Else)
+		out[i] = &c
+	}
+	return out
+}
+
+func (n *Nest) standardizeSeq(nodes []*Node) []*Node {
+	var out []*Node
+	var run []*Node // pending pure constructs
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		out = append(out, n.wrapScalar(run))
+		run = nil
+	}
+	for _, nd := range nodes {
+		if IsPure(nd) {
+			run = append(run, nd)
+			continue
+		}
+		flush()
+		switch nd.Kind {
+		case KindDoall:
+			switch {
+			case nd.IsLeaf():
+				out = append(out, nd)
+			case isPureSeq(nd.Body):
+				out = append(out, leafFromPureBody(nd))
+			default:
+				nd.Body = n.standardizeSeq(nd.Body)
+				out = append(out, nd)
+			}
+		case KindDoacross:
+			out = append(out, nd) // validation guarantees leaf form
+		case KindSerial:
+			nd.Body = n.standardizeSeq(nd.Body)
+			out = append(out, nd)
+		case KindIf:
+			nd.Then = n.standardizeSeq(nd.Then)
+			nd.Else = n.standardizeSeq(nd.Else)
+			if len(nd.Then) == 0 {
+				cond := nd.Cond
+				nd.Cond = func(iv IVec) bool { return !cond(iv) }
+				nd.Then, nd.Else = nd.Else, nil
+				nd.Label = nd.Label + "!"
+			}
+			out = append(out, nd)
+		default:
+			panic(fmt.Sprintf("loopir: unexpected kind %v", nd.Kind))
+		}
+	}
+	flush()
+	return out
+}
+
+// wrapScalar turns a run of pure constructs into the paper's "special
+// parallel loop with loop upper bound being 1".
+func (n *Nest) wrapScalar(run []*Node) *Node {
+	labels := make([]string, len(run))
+	for i, nd := range run {
+		labels[i] = nd.Label
+	}
+	return &Node{
+		ID:    n.NewID(),
+		Kind:  KindDoall,
+		Label: "scalar(" + strings.Join(labels, ",") + ")",
+		Bound: Const(1),
+		Iter: func(e Env, iv IVec, _ int64) {
+			RunPure(e, run, iv)
+		},
+	}
+}
+
+// leafFromPureBody converts a parallel loop over pure code into a leaf:
+// the pure body (possibly containing serial loops) becomes the iteration
+// body, evaluated with the loop's own index appended to the index vector.
+func leafFromPureBody(nd *Node) *Node {
+	body := nd.Body
+	nd.Body = nil
+	nd.Iter = func(e Env, iv IVec, j int64) {
+		RunPure(e, body, append(iv.Clone(), j))
+	}
+	return nd
+}
+
+// Coalesce returns a new nest in which every structural Doall loop whose
+// body is exactly one Doall leaf with a static bound is merged with that
+// leaf into a single leaf over the product iteration space (the paper's
+// implicit loop coalescing, Fig. 3: loops K1 and K2 coalesce into K when
+// the inner bound P2 does not depend on K1). Applied bottom-up, so
+// perfect nests of any depth coalesce fully. Requires a standardized nest.
+func (n *Nest) Coalesce() (*Nest, error) {
+	if !n.Standardized {
+		return nil, fmt.Errorf("loopir: Coalesce requires a standardized nest")
+	}
+	out := &Nest{nextID: n.nextID, Standardized: true}
+	out.Root = out.coalesceSeq(cloneSeq(n.Root))
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("loopir: coalescing produced invalid nest: %w", err)
+	}
+	return out, nil
+}
+
+func (n *Nest) coalesceSeq(nodes []*Node) []*Node {
+	for i, nd := range nodes {
+		switch nd.Kind {
+		case KindIf:
+			nd.Then = n.coalesceSeq(nd.Then)
+			nd.Else = n.coalesceSeq(nd.Else)
+		default:
+			if len(nd.Body) > 0 {
+				nd.Body = n.coalesceSeq(nd.Body)
+			}
+		}
+		nodes[i] = n.tryCoalesce(nd)
+	}
+	return nodes
+}
+
+func (n *Nest) tryCoalesce(nd *Node) *Node {
+	if nd.Kind != KindDoall || nd.IsLeaf() || len(nd.Body) != 1 {
+		return nd
+	}
+	inner := nd.Body[0]
+	if inner.Kind != KindDoall || !inner.IsLeaf() {
+		return nd
+	}
+	p2, static := inner.Bound.IsStatic()
+	if !static {
+		return nd // inner bound may depend on the outer index: not coalescible
+	}
+	outerBound := nd.Bound
+	var bound Bound
+	if p1, ok := outerBound.IsStatic(); ok {
+		bound = Const(p1 * p2)
+	} else {
+		bound = BoundFn(func(iv IVec) int64 { return outerBound.Eval(iv) * p2 })
+	}
+	innerIter := inner.Iter
+	leaf := &Node{
+		ID:    n.NewID(),
+		Kind:  KindDoall,
+		Label: nd.Label + "*" + inner.Label,
+		Bound: bound,
+		Iter: func(e Env, iv IVec, j int64) {
+			// Recover the original indexes: j ranges over the product
+			// space in row-major order (K1 outer, K2 inner).
+			k1 := (j-1)/p2 + 1
+			k2 := (j-1)%p2 + 1
+			innerIter(e, append(iv.Clone(), k1), k2)
+		},
+	}
+	return leaf
+}
+
+// String renders the nest in the style of the paper's Fig. 1: parallel
+// loops with a solid bracket marker "[|", serial loops with a dashed
+// marker "[:", leaves flagged with "*".
+func (n *Nest) String() string {
+	var sb strings.Builder
+	var rec func(nodes []*Node, indent string)
+	rec = func(nodes []*Node, indent string) {
+		for _, nd := range nodes {
+			switch nd.Kind {
+			case KindDoall, KindDoacross:
+				star := ""
+				if nd.IsLeaf() {
+					star = "*"
+				}
+				extra := ""
+				if nd.Kind == KindDoacross {
+					extra = fmt.Sprintf(" (doacross d=%d)", nd.Dist)
+				}
+				fmt.Fprintf(&sb, "%s[| %s%s = 1..%v%s\n", indent, nd.Label, star, nd.Bound, extra)
+				rec(nd.Body, indent+"    ")
+			case KindSerial:
+				fmt.Fprintf(&sb, "%s[: %s = 1..%v (serial)\n", indent, nd.Label, nd.Bound)
+				rec(nd.Body, indent+"    ")
+			case KindIf:
+				fmt.Fprintf(&sb, "%sif %s then\n", indent, nd.Label)
+				rec(nd.Then, indent+"    ")
+				if len(nd.Else) > 0 {
+					fmt.Fprintf(&sb, "%selse\n", indent)
+					rec(nd.Else, indent+"    ")
+				}
+				fmt.Fprintf(&sb, "%send if\n", indent)
+			case KindStmt:
+				fmt.Fprintf(&sb, "%s%s (stmt)\n", indent, nd.Label)
+			}
+		}
+	}
+	rec(n.Root, "")
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package lowsched
+
+import (
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// AFS is affinity scheduling (Markatos & LeBlanc), a follow-on to the
+// paper's low-level schemes: each processor owns a block partition of the
+// iteration space and repeatedly takes 1/P of its *remaining* block from
+// the front (guided-style, locally, with no shared hot spot); a processor
+// whose block is exhausted steals 1/P of the largest remaining block from
+// its back. Included as a further baseline for the scheme-comparison
+// experiments — it combines static scheduling's locality with dynamic
+// rebalancing.
+type AFS struct{}
+
+// Name returns "AFS".
+func (AFS) Name() string { return "AFS" }
+
+// afsState holds per-processor ranges packed as lo<<32|hi (iterations
+// lo..hi-1 remain), manipulated with CAS.
+type afsState struct {
+	ranges    []atomic.Int64
+	scheduled atomic.Int64
+}
+
+const afsShift = 32
+
+func packRange(lo, hi int64) int64       { return lo<<afsShift | hi }
+func unpackRange(r int64) (lo, hi int64) { return r >> afsShift, r & (1<<afsShift - 1) }
+
+// Init partitions the iteration space into per-processor blocks.
+func (AFS) Init(pr machine.Proc, icb *pool.ICB) {
+	np := int64(pr.NumProcs())
+	if icb.Bound >= 1<<afsShift {
+		panic("lowsched: AFS bound exceeds packed range")
+	}
+	st := &afsState{ranges: make([]atomic.Int64, np)}
+	for p := int64(0); p < np; p++ {
+		lo := p*icb.Bound/np + 1
+		hi := (p+1)*icb.Bound/np + 1 // exclusive
+		st.ranges[p].Store(packRange(lo, hi))
+	}
+	icb.Sched = st
+}
+
+// Next takes from the caller's own block, or steals from the fullest.
+func (AFS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	st := icb.Sched.(*afsState)
+	np := int64(pr.NumProcs())
+	self := pr.ID()
+	if self >= len(st.ranges) {
+		self = 0
+	}
+
+	// Own block: take ceil(remaining/P) from the front.
+	for {
+		r := st.ranges[self].Load()
+		lo, hi := unpackRange(r)
+		rem := hi - lo
+		if rem <= 0 {
+			break
+		}
+		size := (rem + np - 1) / np
+		if st.ranges[self].CompareAndSwap(r, packRange(lo+size, hi)) {
+			last := st.scheduled.Add(size) == icb.Bound
+			return Assignment{Lo: lo, Hi: lo + size - 1}, true, last
+		}
+		pr.Spin()
+	}
+
+	// Steal: 1/P of the largest remaining block, from the back.
+	for {
+		victim, best := -1, int64(0)
+		for p := range st.ranges {
+			lo, hi := unpackRange(st.ranges[p].Load())
+			if rem := hi - lo; rem > best {
+				victim, best = p, rem
+			}
+		}
+		if victim < 0 {
+			return Assignment{}, false, false
+		}
+		r := st.ranges[victim].Load()
+		lo, hi := unpackRange(r)
+		rem := hi - lo
+		if rem <= 0 {
+			continue // raced; rescan
+		}
+		size := (rem + np - 1) / np
+		if st.ranges[victim].CompareAndSwap(r, packRange(lo, hi-size)) {
+			last := st.scheduled.Add(size) == icb.Bound
+			return Assignment{Lo: hi - size, Hi: hi - 1}, true, last
+		}
+		pr.Spin()
+	}
+}

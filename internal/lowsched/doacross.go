@@ -1,0 +1,58 @@
+package lowsched
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Doacross enforces the cross-iteration dependence of one Doacross loop
+// instance: iteration j's dependence sink may not execute until iteration
+// j-dist's dependence source has posted. Each iteration has its own
+// synchronization flag (its own shared-memory location), posted with
+// {Store(1)} and awaited with a {flag = 1; Fetch} spin.
+type Doacross struct {
+	dist  int64
+	flags []*machine.SyncVar
+}
+
+// NewDoacross returns dependence state for an instance with the given
+// bound and dependence distance (>= 1).
+func NewDoacross(bound, dist int64) *Doacross {
+	if dist < 1 {
+		panic(fmt.Sprintf("lowsched: doacross distance %d < 1", dist))
+	}
+	d := &Doacross{dist: dist, flags: make([]*machine.SyncVar, bound)}
+	for i := range d.flags {
+		d.flags[i] = machine.NewSyncVar("dep", 0)
+	}
+	return d
+}
+
+// Dist returns the dependence distance.
+func (d *Doacross) Dist() int64 { return d.dist }
+
+// Await blocks processor pr until iteration j's dependence source
+// (iteration j-dist) has posted. Iterations j <= dist have no predecessor
+// and return immediately.
+func (d *Doacross) Await(pr machine.Proc, j int64) {
+	if j <= d.dist {
+		return
+	}
+	flag := d.flags[j-d.dist-1]
+	in := machine.Instr{Test: machine.TestEQ, TestVal: 1, Op: machine.OpFetch}
+	for {
+		if _, ok := flag.Exec(pr, in); ok {
+			return
+		}
+		pr.Spin()
+	}
+}
+
+// Post marks iteration j's dependence source as executed.
+func (d *Doacross) Post(pr machine.Proc, j int64) {
+	d.flags[j-1].Exec(pr, machine.Instr{Op: machine.OpStore, Operand: 1})
+}
+
+// Posted reports whether iteration j has posted (testing only).
+func (d *Doacross) Posted(j int64) bool { return d.flags[j-1].Peek() == 1 }

@@ -1,0 +1,160 @@
+// Package lowsched implements the low-level self-scheduling schemes of
+// Section III-B: the policies by which processors grab iterations of one
+// instance of an innermost parallel loop using indivisible operations on
+// the ICB's shared index variable.
+//
+// Implemented schemes:
+//
+//   - SS: pure self-scheduling, one iteration per fetch-and-increment
+//     (the original HEP scheme [7]; also the SDSS assignment order for
+//     Doacross loops [16]).
+//   - CSS(k): fixed-size chunk scheduling via fetch-and-add(k).
+//   - GSS: guided self-scheduling [14], chunk = ceil(remaining/P),
+//     realized with a fetch + compare-and-store loop (GSS's chunk size
+//     depends on the current index, so a single fetch-and-add does not
+//     suffice; the extra traffic is part of GSS's measured overhead).
+//   - TSS(f,l): trapezoid self-scheduling, linearly decreasing chunks,
+//     realized with a compare-and-store loop on a packed (chunk#, index)
+//     state word.
+//   - FSC: factoring, rounds of P equal chunks halving per round,
+//     realized with a per-instance spin lock (as in its original
+//     formulation).
+//
+// The package also provides the Doacross cross-iteration dependence
+// machinery: one synchronization flag per iteration, posted by the
+// dependence source and awaited by the sink, which is how the low level
+// enforces Doacross semantics regardless of the assignment scheme.
+package lowsched
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// Assignment is a contiguous range of iterations [Lo, Hi], inclusive,
+// assigned to one processor.
+type Assignment struct {
+	Lo, Hi int64
+}
+
+// Size returns the number of iterations in the assignment.
+func (a Assignment) Size() int64 { return a.Hi - a.Lo + 1 }
+
+func (a Assignment) String() string { return fmt.Sprintf("[%d,%d]", a.Lo, a.Hi) }
+
+// Scheme is a low-level self-scheduling policy. Implementations must be
+// safe for concurrent use by multiple processors on multiple instances;
+// all per-instance state lives on the ICB (Sched field or Index variable).
+type Scheme interface {
+	// Name identifies the scheme, e.g. "GSS" or "CSS(4)".
+	Name() string
+	// Init prepares per-instance state. It is called exactly once per
+	// instance (by the activating processor pr), after the ICB is created
+	// and before it becomes visible to other processors.
+	Init(pr machine.Proc, icb *pool.ICB)
+	// Next assigns the next chunk of iterations of icb's instance to the
+	// calling processor. ok reports whether any iterations remained; last
+	// reports that the assignment contains the instance's final iteration
+	// (its receiver must DELETE the ICB from the task pool, Algorithm 3).
+	Next(pr machine.Proc, icb *pool.ICB) (a Assignment, ok, last bool)
+}
+
+// SS is pure self-scheduling: one iteration at a time.
+type SS struct{}
+
+// Name returns "SS".
+func (SS) Name() string { return "SS" }
+
+// Init is a no-op: SS needs only the ICB's index variable.
+func (SS) Init(machine.Proc, *pool.ICB) {}
+
+// Next performs the paper's {index <= b; Fetch(j)&Increment}.
+func (SS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	j, ok := icb.Index.Exec(pr, machine.Instr{
+		Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpInc,
+	})
+	if !ok {
+		return Assignment{}, false, false
+	}
+	return Assignment{Lo: j, Hi: j}, true, j == icb.Bound
+}
+
+// SDSS is shortest-delay self-scheduling [16] for Doacross loops: the
+// assignment policy that minimizes the start-up delay between
+// cross-iteration-dependent iterations is one iteration at a time in
+// index order — i.e. SS's fetch-and-increment — combined with the
+// per-iteration dependence synchronization the executor attaches to
+// Doacross instances. SDSS is therefore SS under a name that documents
+// the intent; the contrast with chunked assignment is experiment E3.
+type SDSS struct{ SS }
+
+// Name returns "SDSS".
+func (SDSS) Name() string { return "SDSS" }
+
+// CSS is fixed-size chunk self-scheduling: k iterations per fetch.
+type CSS struct {
+	// K is the chunk size (>= 1).
+	K int64
+}
+
+// Name returns "CSS(k)".
+func (c CSS) Name() string { return fmt.Sprintf("CSS(%d)", c.K) }
+
+// Init validates the chunk size.
+func (c CSS) Init(machine.Proc, *pool.ICB) {
+	if c.K < 1 {
+		panic(fmt.Sprintf("lowsched: CSS chunk %d < 1", c.K))
+	}
+}
+
+// Next performs {index <= b; Fetch(j)&add(k)} and clamps the chunk to the
+// bound.
+func (c CSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	j, ok := icb.Index.Exec(pr, machine.Instr{
+		Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpFetchAdd, Operand: c.K,
+	})
+	if !ok {
+		return Assignment{}, false, false
+	}
+	hi := j + c.K - 1
+	if hi > icb.Bound {
+		hi = icb.Bound
+	}
+	return Assignment{Lo: j, Hi: hi}, true, hi == icb.Bound
+}
+
+// GSS is guided self-scheduling: chunk = ceil(remaining / P).
+type GSS struct{}
+
+// Name returns "GSS".
+func (GSS) Name() string { return "GSS" }
+
+// Init is a no-op.
+func (GSS) Init(machine.Proc, *pool.ICB) {}
+
+// Next computes the guided chunk with a fetch + compare-and-store retry
+// loop: {index = cur; Store(cur+size)} is the conditional-store
+// realization of the indivisible read-modify-write GSS requires.
+func (GSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	p := int64(pr.NumProcs())
+	for {
+		cur := icb.Index.Fetch(pr)
+		if cur > icb.Bound {
+			return Assignment{}, false, false
+		}
+		remaining := icb.Bound - cur + 1
+		size := (remaining + p - 1) / p
+		if size < 1 {
+			size = 1
+		}
+		if _, ok := icb.Index.Exec(pr, machine.Instr{
+			Test: machine.TestEQ, TestVal: cur, Op: machine.OpStore, Operand: cur + size,
+		}); ok {
+			hi := cur + size - 1
+			return Assignment{Lo: cur, Hi: hi}, true, hi == icb.Bound
+		}
+		pr.Spin() // lost the race; recompute from the new index
+	}
+}

@@ -1,0 +1,393 @@
+package lowsched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// tp is a minimal Proc for single-threaded scheme tests.
+type tp struct {
+	n        int
+	accesses int64
+	spins    int64
+}
+
+func (p *tp) ID() int       { return 0 }
+func (p *tp) NumProcs() int { return p.n }
+func (p *tp) Now() int64    { return 0 }
+func (p *tp) Work(int64)    {}
+func (p *tp) Idle(int64)    {}
+func (p *tp) Access(*machine.SyncVar) {
+	p.accesses++
+}
+func (p *tp) Spin() { p.spins++ }
+
+func newICB(bound int64) *pool.ICB { return pool.NewICB(1, bound, loopir.IVec{}) }
+
+// drain pulls every assignment from an instance sequentially and checks
+// the fundamental partition properties:
+//   - assignments are disjoint, contiguous, and cover 1..bound exactly,
+//   - exactly one assignment has last=true, and it contains the bound.
+func drain(t *testing.T, s Scheme, p machine.Proc, bound int64) []Assignment {
+	t.Helper()
+	icb := newICB(bound)
+	s.Init(p, icb)
+	var out []Assignment
+	lastSeen := 0
+	next := int64(1)
+	for {
+		a, ok, last := s.Next(p, icb)
+		if !ok {
+			break
+		}
+		if a.Lo != next {
+			t.Fatalf("%s: assignment %v starts at %d, want %d", s.Name(), a, a.Lo, next)
+		}
+		if a.Hi < a.Lo || a.Hi > bound {
+			t.Fatalf("%s: assignment %v out of range (bound %d)", s.Name(), a, bound)
+		}
+		if last {
+			lastSeen++
+			if a.Hi != bound {
+				t.Fatalf("%s: last assignment %v does not contain bound %d", s.Name(), a, bound)
+			}
+		}
+		next = a.Hi + 1
+		out = append(out, a)
+	}
+	if next != bound+1 {
+		t.Fatalf("%s: covered 1..%d, want 1..%d", s.Name(), next-1, bound)
+	}
+	if lastSeen != 1 {
+		t.Fatalf("%s: saw %d last-flags, want exactly 1", s.Name(), lastSeen)
+	}
+	// Subsequent calls keep failing.
+	if _, ok, _ := s.Next(p, icb); ok {
+		t.Fatalf("%s: Next succeeded after exhaustion", s.Name())
+	}
+	return out
+}
+
+func allSchemes() []Scheme {
+	return []Scheme{
+		SS{}, CSS{K: 1}, CSS{K: 4}, CSS{K: 100}, GSS{},
+		TSS{}, TSS{First: 10, Last: 2}, FSC{},
+	}
+}
+
+func TestSchemesPartitionIterationSpace(t *testing.T) {
+	for _, s := range allSchemes() {
+		for _, bound := range []int64{1, 2, 3, 7, 64, 1000} {
+			t.Run(fmt.Sprintf("%s/N=%d", s.Name(), bound), func(t *testing.T) {
+				drain(t, s, &tp{n: 4}, bound)
+			})
+		}
+	}
+}
+
+func TestSchemesQuickPartition(t *testing.T) {
+	for _, s := range allSchemes() {
+		s := s
+		f := func(bound uint16, procs uint8) bool {
+			b := int64(bound%2000) + 1
+			p := &tp{n: int(procs%16) + 1}
+			icb := newICB(b)
+			s.Init(p, icb)
+			next := int64(1)
+			for {
+				a, ok, _ := s.Next(p, icb)
+				if !ok {
+					break
+				}
+				if a.Lo != next || a.Hi < a.Lo || a.Hi > b {
+					return false
+				}
+				next = a.Hi + 1
+			}
+			return next == b+1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestSSOneAtATime(t *testing.T) {
+	for _, a := range drain(t, SS{}, &tp{n: 4}, 50) {
+		if a.Size() != 1 {
+			t.Fatalf("SS assignment %v has size %d", a, a.Size())
+		}
+	}
+}
+
+func TestCSSChunkSizes(t *testing.T) {
+	as := drain(t, CSS{K: 7}, &tp{n: 4}, 50)
+	for i, a := range as {
+		want := int64(7)
+		if i == len(as)-1 {
+			want = 50 % 7 // 1
+		}
+		if a.Size() != want {
+			t.Errorf("CSS chunk %d = %v (size %d), want %d", i, a, a.Size(), want)
+		}
+	}
+}
+
+func TestGSSChunkSequence(t *testing.T) {
+	// Classic GSS example: N=100, P=4 gives 25, 19, 14, 11, 8, 6, 5, 3,
+	// 3, 2, 1, 1, 1, 1 (ceil(remaining/P) each time).
+	as := drain(t, GSS{}, &tp{n: 4}, 100)
+	var sizes []int64
+	for _, a := range as {
+		sizes = append(sizes, a.Size())
+	}
+	want := "[25 19 14 11 8 6 5 3 3 2 1 1 1 1]"
+	if fmt.Sprint(sizes) != want {
+		t.Errorf("GSS sizes = %v, want %v", sizes, want)
+	}
+}
+
+func TestGSSNonIncreasing(t *testing.T) {
+	as := drain(t, GSS{}, &tp{n: 7}, 1000)
+	for i := 1; i < len(as); i++ {
+		if as[i].Size() > as[i-1].Size() {
+			t.Fatalf("GSS chunk %d (%d) larger than previous (%d)",
+				i, as[i].Size(), as[i-1].Size())
+		}
+	}
+}
+
+func TestTSSLinearDecrease(t *testing.T) {
+	as := drain(t, TSS{First: 12, Last: 2}, &tp{n: 4}, 100)
+	if as[0].Size() != 12 {
+		t.Errorf("TSS first chunk = %d, want 12", as[0].Size())
+	}
+	for i := 1; i < len(as)-1; i++ { // final chunk may be a clamp remnant
+		if as[i].Size() > as[i-1].Size() {
+			t.Errorf("TSS chunk %d (%d) larger than previous (%d)",
+				i, as[i].Size(), as[i-1].Size())
+		}
+		if as[i].Size() < 2 {
+			t.Errorf("TSS chunk %d (%d) below Last=2", i, as[i].Size())
+		}
+	}
+}
+
+func TestTSSDefaults(t *testing.T) {
+	// Default first chunk = ceil(N/(2P)) = 1000/8 = 125.
+	as := drain(t, TSS{}, &tp{n: 4}, 1000)
+	if as[0].Size() != 125 {
+		t.Errorf("TSS default first chunk = %d, want 125", as[0].Size())
+	}
+}
+
+func TestFSCRounds(t *testing.T) {
+	// N=64, P=4: round 1 chunk = ceil(64/8) = 8, four chunks of 8 (32
+	// left); round 2 chunk = ceil(32/8) = 4 (16 left); round 3 chunk = 2
+	// (8 left); rounds 4 and 5 chunk = 1.
+	as := drain(t, FSC{}, &tp{n: 4}, 64)
+	var sizes []int64
+	for _, a := range as {
+		sizes = append(sizes, a.Size())
+	}
+	want := "[8 8 8 8 4 4 4 4 2 2 2 2 1 1 1 1 1 1 1 1]"
+	if fmt.Sprint(sizes) != want {
+		t.Errorf("FSC sizes = %v, want %v", sizes, want)
+	}
+}
+
+// TestConcurrentCoverage verifies on the real machine that P processors
+// pulling from one instance cover every iteration exactly once.
+func TestConcurrentCoverage(t *testing.T) {
+	const bound = 5000
+	for _, s := range allSchemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			eng := machine.NewReal(machine.RealConfig{P: 8})
+			icb := newICB(bound)
+			s.Init(&tp{n: 8}, icb)
+			seen := make([]int32, bound+1)
+			var mu sync.Mutex
+			lastCount := 0
+			eng.Run(func(pr machine.Proc) {
+				for {
+					a, ok, last := s.Next(pr, icb)
+					if !ok {
+						return
+					}
+					for j := a.Lo; j <= a.Hi; j++ {
+						mu.Lock()
+						seen[j]++
+						mu.Unlock()
+					}
+					if last {
+						mu.Lock()
+						lastCount++
+						mu.Unlock()
+					}
+				}
+			})
+			for j := int64(1); j <= bound; j++ {
+				if seen[j] != 1 {
+					t.Fatalf("%s: iteration %d executed %d times", s.Name(), j, seen[j])
+				}
+			}
+			if lastCount != 1 {
+				t.Fatalf("%s: %d last-flags, want 1", s.Name(), lastCount)
+			}
+		})
+	}
+}
+
+func TestDoacrossAwaitPost(t *testing.T) {
+	p := &tp{n: 2}
+	d := NewDoacross(10, 2)
+	if d.Dist() != 2 {
+		t.Errorf("Dist = %d", d.Dist())
+	}
+	// Iterations 1, 2 have no predecessor: Await returns immediately.
+	d.Await(p, 1)
+	d.Await(p, 2)
+	if p.spins != 0 {
+		t.Errorf("Await on dependence-free iterations spun %d times", p.spins)
+	}
+	d.Post(p, 1)
+	if !d.Posted(1) || d.Posted(2) {
+		t.Error("Posted flags wrong after Post(1)")
+	}
+	d.Await(p, 3) // 3-2=1 posted: immediate
+	if p.spins != 0 {
+		t.Error("Await(3) spun although iteration 1 posted")
+	}
+}
+
+func TestDoacrossPipelineConcurrent(t *testing.T) {
+	// Iterations executed by P processors; each iteration awaits its
+	// predecessor, appends to a log, posts. The log must be in order for
+	// dist=1.
+	const bound = 200
+	eng := machine.NewReal(machine.RealConfig{P: 4})
+	d := NewDoacross(bound, 1)
+	icb := newICB(bound)
+	var s SS
+	s.Init(&tp{n: 4}, icb)
+	var mu sync.Mutex
+	var order []int64
+	eng.Run(func(pr machine.Proc) {
+		for {
+			a, ok, _ := s.Next(pr, icb)
+			if !ok {
+				return
+			}
+			d.Await(pr, a.Lo)
+			mu.Lock()
+			order = append(order, a.Lo)
+			mu.Unlock()
+			d.Post(pr, a.Lo)
+		}
+	})
+	if len(order) != bound {
+		t.Fatalf("executed %d iterations, want %d", len(order), bound)
+	}
+	for i, j := range order {
+		if j != int64(i+1) {
+			t.Fatalf("order[%d] = %d: dist-1 doacross must serialize in order", i, j)
+		}
+	}
+}
+
+func TestDoacrossBadDistPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDoacross(_, 0) did not panic")
+		}
+	}()
+	NewDoacross(5, 0)
+}
+
+func TestParse(t *testing.T) {
+	good := map[string]string{
+		"ss":        "SS",
+		"css:4":     "CSS(4)",
+		"CSS:16":    "CSS(16)",
+		"gss":       "GSS",
+		"tss":       "TSS",
+		"tss:12:2":  "TSS(12,2)",
+		"fsc":       "FSC",
+		"factoring": "FSC",
+		" gss ":     "GSS",
+	}
+	for spec, name := range good {
+		s, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, s.Name(), name)
+		}
+	}
+	bad := []string{"", "css", "css:0", "css:x", "gss:3", "tss:5", "tss:1:2", "bogus", "ss:1", "fsc:2"}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad spec did not panic")
+		}
+	}()
+	MustParse("nope")
+}
+
+func TestCSSInitValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CSS{K:0}.Init did not panic")
+		}
+	}()
+	CSS{}.Init(&tp{n: 1}, newICB(5))
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := Assignment{Lo: 3, Hi: 7}
+	if a.Size() != 5 || a.String() != "[3,7]" {
+		t.Errorf("helpers: size=%d str=%s", a.Size(), a)
+	}
+}
+
+func BenchmarkNextSS(b *testing.B)  { benchNext(b, SS{}) }
+func BenchmarkNextCSS(b *testing.B) { benchNext(b, CSS{K: 8}) }
+func BenchmarkNextGSS(b *testing.B) { benchNext(b, GSS{}) }
+func BenchmarkNextTSS(b *testing.B) { benchNext(b, TSS{}) }
+func BenchmarkNextFSC(b *testing.B) { benchNext(b, FSC{}) }
+
+func benchNext(b *testing.B, s Scheme) {
+	// Chunked schemes consume many iterations per call; refill the
+	// instance (untimed) whenever it runs dry so every benchmark
+	// iteration measures one Next call.
+	const bound = 1 << 20
+	p := &tp{n: 8}
+	icb := newICB(bound)
+	s.Init(p, icb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := s.Next(p, icb); !ok {
+			b.StopTimer()
+			icb = newICB(bound)
+			s.Init(p, icb)
+			b.StartTimer()
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package lowsched
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse constructs a Scheme from a specification string, for CLI tools and
+// experiment configuration:
+//
+//	"ss"               pure self-scheduling
+//	"sdss"             shortest-delay self-scheduling (= ss; for Doacross)
+//	"css:K"            chunk scheduling with chunk size K
+//	"gss"              guided self-scheduling
+//	"tss"              trapezoid with default (N/2P, 1) parameters
+//	"tss:F:L"          trapezoid with explicit first/last chunk sizes
+//	"fsc"              factoring
+//	"afs"              affinity scheduling (local blocks + stealing)
+//	"static-block"     compile-time block pre-assignment (baseline)
+//	"static-cyclic"    compile-time cyclic pre-assignment (baseline)
+//
+// Specifications are case-insensitive.
+func Parse(spec string) (Scheme, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), ":")
+	argInt := func(i int) (int64, error) {
+		v, err := strconv.ParseInt(parts[i], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("lowsched: bad parameter %q in %q", parts[i], spec)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "ss":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: ss takes no parameters: %q", spec)
+		}
+		return SS{}, nil
+	case "css":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("lowsched: css requires a chunk size: %q", spec)
+		}
+		k, err := argInt(1)
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("lowsched: css chunk %d < 1", k)
+		}
+		return CSS{K: k}, nil
+	case "sdss":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: sdss takes no parameters: %q", spec)
+		}
+		return SDSS{}, nil
+	case "gss":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: gss takes no parameters: %q", spec)
+		}
+		return GSS{}, nil
+	case "tss":
+		switch len(parts) {
+		case 1:
+			return TSS{}, nil
+		case 3:
+			f, err := argInt(1)
+			if err != nil {
+				return nil, err
+			}
+			l, err := argInt(2)
+			if err != nil {
+				return nil, err
+			}
+			if l < 1 || f < l {
+				return nil, fmt.Errorf("lowsched: tss requires f >= l >= 1: %q", spec)
+			}
+			return TSS{First: f, Last: l}, nil
+		default:
+			return nil, fmt.Errorf("lowsched: tss takes zero or two parameters: %q", spec)
+		}
+	case "static-block":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: static-block takes no parameters: %q", spec)
+		}
+		return StaticBlock{}, nil
+	case "static-cyclic":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: static-cyclic takes no parameters: %q", spec)
+		}
+		return StaticCyclic{}, nil
+	case "afs", "affinity":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: afs takes no parameters: %q", spec)
+		}
+		return AFS{}, nil
+	case "fsc", "factoring":
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("lowsched: fsc takes no parameters: %q", spec)
+		}
+		return FSC{}, nil
+	default:
+		return nil, fmt.Errorf("lowsched: unknown scheme %q", spec)
+	}
+}
+
+// MustParse is Parse that panics on error, for statically correct specs.
+func MustParse(spec string) Scheme {
+	s, err := Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package lowsched
+
+import (
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// Needer is an optional Scheme extension: a scheme can veto the adoption
+// of an instance by a processor that has no remaining assignment on it.
+// Without the veto, processors with nothing to do on an instance can
+// occupy its pcount slots and (deterministically, on the simulator)
+// starve the processor that owns the work.
+type Needer interface {
+	Needs(pr machine.Proc, icb *pool.ICB) bool
+}
+
+// IsStatic reports whether the scheme is a compile-time pre-assignment.
+// Static schemes cannot safely execute programs with Doacross loops: with
+// iterations bound to processors, two concurrently active instances can
+// deadlock (processor p awaiting a dependence whose source is statically
+// bound to q, while q awaits one bound to p) — the executor rejects the
+// combination.
+func IsStatic(s Scheme) bool {
+	m, ok := s.(interface{ Static() bool })
+	return ok && m.Static()
+}
+
+// Needs reports whether the processor still has pending cyclic iterations
+// on the instance.
+func (StaticCyclic) Needs(pr machine.Proc, icb *pool.ICB) bool {
+	st, ok := icb.Sched.(*staticCyclicState)
+	if !ok || pr.ID() >= len(st.next) {
+		return false
+	}
+	return st.next[pr.ID()].Load() <= icb.Bound
+}
+
+// StaticBlock is the compile-time block pre-scheduling baseline the
+// paper's introduction argues against: processor p is statically assigned
+// the p-th contiguous block of roughly N/P iterations of every instance.
+// No shared index is fetched — each processor takes exactly its own block
+// once — so the scheduling overhead is minimal, but nothing rebalances
+// when iteration times vary (experiment E10 reproduces the [23]
+// discussion: static scheduling is fine under low variance and loses
+// badly under high variance).
+type StaticBlock struct{}
+
+// Name returns "static-block".
+func (StaticBlock) Name() string { return "static-block" }
+
+// Static marks the scheme as a compile-time pre-assignment (see
+// lowsched.IsStatic).
+func (StaticBlock) Static() bool { return true }
+
+type staticBlockState struct {
+	taken []atomic.Bool // per processor
+	// scheduled counts iterations handed out; the DELETE-triggering last
+	// flag must mean "every iteration of the instance is scheduled", which
+	// for a static assignment is NOT the claim of the block containing the
+	// final iteration — other processors' blocks may still be unclaimed.
+	scheduled atomic.Int64
+}
+
+// Init allocates the per-processor claim flags.
+func (StaticBlock) Init(pr machine.Proc, icb *pool.ICB) {
+	icb.Sched = &staticBlockState{taken: make([]atomic.Bool, pr.NumProcs())}
+}
+
+// Next claims the calling processor's block, once.
+func (StaticBlock) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	st := icb.Sched.(*staticBlockState)
+	p, np := int64(pr.ID()), int64(pr.NumProcs())
+	if pr.ID() >= len(st.taken) || st.taken[pr.ID()].Swap(true) {
+		return Assignment{}, false, false
+	}
+	n := icb.Bound
+	lo := p*n/np + 1
+	hi := (p + 1) * n / np
+	if lo > hi {
+		return Assignment{}, false, false // empty block (N < P)
+	}
+	last := st.scheduled.Add(hi-lo+1) == n
+	return Assignment{Lo: lo, Hi: hi}, true, last
+}
+
+// Needs reports whether the processor's block is nonempty and unclaimed.
+func (StaticBlock) Needs(pr machine.Proc, icb *pool.ICB) bool {
+	st, ok := icb.Sched.(*staticBlockState)
+	if !ok || pr.ID() >= len(st.taken) {
+		return false
+	}
+	p, np := int64(pr.ID()), int64(pr.NumProcs())
+	lo := p*icb.Bound/np + 1
+	hi := (p + 1) * icb.Bound / np
+	return lo <= hi && !st.taken[pr.ID()].Load()
+}
+
+// StaticCyclic is the compile-time cyclic pre-scheduling baseline:
+// processor p is statically assigned iterations p+1, p+1+P, p+1+2P, ...
+// of every instance. Cyclic assignment tolerates monotone cost trends
+// better than blocks but still cannot react to run-time variance.
+type StaticCyclic struct{}
+
+// Name returns "static-cyclic".
+func (StaticCyclic) Name() string { return "static-cyclic" }
+
+// Static marks the scheme as a compile-time pre-assignment (see
+// lowsched.IsStatic).
+func (StaticCyclic) Static() bool { return true }
+
+type staticCyclicState struct {
+	next      []atomic.Int64 // per processor: next iteration to take
+	scheduled atomic.Int64   // iterations handed out (for the last flag)
+}
+
+// Init allocates the per-processor progress counters.
+func (StaticCyclic) Init(pr machine.Proc, icb *pool.ICB) {
+	np := pr.NumProcs()
+	st := &staticCyclicState{next: make([]atomic.Int64, np)}
+	for p := 0; p < np; p++ {
+		st.next[p].Store(int64(p) + 1)
+	}
+	icb.Sched = st
+}
+
+// Next takes the calling processor's next cyclic iteration.
+func (StaticCyclic) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	st := icb.Sched.(*staticCyclicState)
+	if pr.ID() >= len(st.next) {
+		return Assignment{}, false, false
+	}
+	np := int64(pr.NumProcs())
+	j := st.next[pr.ID()].Load()
+	if j > icb.Bound {
+		return Assignment{}, false, false
+	}
+	st.next[pr.ID()].Store(j + np)
+	// The "last scheduled" flag fires exactly once, when the whole
+	// instance has been handed out (not necessarily on iteration Bound:
+	// another processor's cyclic sequence may still be pending then).
+	last := st.scheduled.Add(1) == icb.Bound
+	return Assignment{Lo: j, Hi: j}, true, last
+}

@@ -1,0 +1,163 @@
+package lowsched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// multiProcSchemes are schemes whose per-instance state depends on every
+// processor participating (static pre-assignments and affinity).
+func multiProcSchemes() []Scheme {
+	return []Scheme{StaticBlock{}, StaticCyclic{}, AFS{}}
+}
+
+// TestStaticCoverageAcrossProcs verifies that with every processor
+// participating, the static schemes cover 1..N exactly once with exactly
+// one last-flag — sequentially simulated with per-processor Proc handles.
+func TestStaticCoverageAcrossProcs(t *testing.T) {
+	for _, s := range multiProcSchemes() {
+		for _, np := range []int{1, 3, 4, 8} {
+			for _, bound := range []int64{1, 2, 7, 64, 100} {
+				t.Run(fmt.Sprintf("%s/P=%d/N=%d", s.Name(), np, bound), func(t *testing.T) {
+					icb := newICB(bound)
+					s.Init(&tp{n: np}, icb)
+					seen := map[int64]int{}
+					lastCount := 0
+					for id := 0; id < np; id++ {
+						pr := &procWithID{tp: tp{n: np}, id: id}
+						for {
+							a, ok, last := s.Next(pr, icb)
+							if !ok {
+								break
+							}
+							for j := a.Lo; j <= a.Hi; j++ {
+								seen[j]++
+							}
+							if last {
+								lastCount++
+							}
+						}
+					}
+					for j := int64(1); j <= bound; j++ {
+						if seen[j] != 1 {
+							t.Fatalf("iteration %d executed %d times", j, seen[j])
+						}
+					}
+					if int64(len(seen)) != bound {
+						t.Fatalf("covered %d iterations, want %d", len(seen), bound)
+					}
+					if lastCount != 1 {
+						t.Fatalf("last-flag count = %d, want 1", lastCount)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStaticBlockAssignsContiguousRanges checks the block shapes.
+func TestStaticBlockAssignsContiguousRanges(t *testing.T) {
+	icb := newICB(10)
+	StaticBlock{}.Init(&tp{n: 4}, icb)
+	want := []Assignment{{1, 2}, {3, 5}, {6, 7}, {8, 10}}
+	for id := 0; id < 4; id++ {
+		pr := &procWithID{tp: tp{n: 4}, id: id}
+		a, ok, _ := StaticBlock{}.Next(pr, icb)
+		if !ok || a != want[id] {
+			t.Errorf("proc %d block = %v ok=%v, want %v", id, a, ok, want[id])
+		}
+		// Second claim fails.
+		if _, ok, _ := (StaticBlock{}).Next(pr, icb); ok {
+			t.Errorf("proc %d claimed its block twice", id)
+		}
+	}
+}
+
+// TestStaticCyclicStride checks the cyclic sequences.
+func TestStaticCyclicStride(t *testing.T) {
+	icb := newICB(9)
+	StaticCyclic{}.Init(&tp{n: 4}, icb)
+	pr1 := &procWithID{tp: tp{n: 4}, id: 1}
+	var got []int64
+	for {
+		a, ok, _ := (StaticCyclic{}).Next(pr1, icb)
+		if !ok {
+			break
+		}
+		got = append(got, a.Lo)
+	}
+	if fmt.Sprint(got) != "[2 6]" {
+		t.Errorf("proc 1 cyclic sequence = %v, want [2 6]", got)
+	}
+}
+
+// TestStaticConcurrent verifies coverage on the real machine.
+func TestStaticConcurrent(t *testing.T) {
+	const bound = 1000
+	for _, s := range multiProcSchemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			eng := machine.NewReal(machine.RealConfig{P: 8})
+			icb := newICB(bound)
+			s.Init(&tp{n: 8}, icb)
+			var mu sync.Mutex
+			seen := make([]int, bound+1)
+			lasts := 0
+			eng.Run(func(pr machine.Proc) {
+				for {
+					a, ok, last := s.Next(pr, icb)
+					if !ok {
+						return
+					}
+					mu.Lock()
+					for j := a.Lo; j <= a.Hi; j++ {
+						seen[j]++
+					}
+					if last {
+						lasts++
+					}
+					mu.Unlock()
+				}
+			})
+			for j := 1; j <= bound; j++ {
+				if seen[j] != 1 {
+					t.Fatalf("iteration %d executed %d times", j, seen[j])
+				}
+			}
+			if lasts != 1 {
+				t.Fatalf("last-flags = %d", lasts)
+			}
+		})
+	}
+}
+
+func TestParseStatic(t *testing.T) {
+	for spec, name := range map[string]string{
+		"static-block":  "static-block",
+		"static-cyclic": "static-cyclic",
+		"sdss":          "SDSS",
+		"afs":           "AFS",
+		"affinity":      "AFS",
+	} {
+		s, err := Parse(spec)
+		if err != nil || s.Name() != name {
+			t.Errorf("Parse(%q) = %v, %v", spec, s, err)
+		}
+	}
+	for _, bad := range []string{"static-block:2", "static-cyclic:1", "sdss:1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// procWithID is tp with a configurable processor ID.
+type procWithID struct {
+	tp
+	id int
+}
+
+func (p *procWithID) ID() int { return p.id }

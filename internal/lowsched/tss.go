@@ -1,0 +1,155 @@
+package lowsched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// TSS is trapezoid self-scheduling: chunk sizes decrease linearly from
+// First to Last over the instance's iterations. With First or Last zero,
+// the classical defaults First = ceil(N/(2P)), Last = 1 are used.
+type TSS struct {
+	First, Last int64
+}
+
+// Name returns "TSS" or "TSS(f,l)".
+func (t TSS) Name() string {
+	if t.First == 0 && t.Last == 0 {
+		return "TSS"
+	}
+	return fmt.Sprintf("TSS(%d,%d)", t.First, t.Last)
+}
+
+// tssState is per-instance: a packed (chunk#, next index) word manipulated
+// with compare-and-store, plus the precomputed decrement.
+type tssState struct {
+	v     *machine.SyncVar // chunkNo<<32 | nextIndex
+	first int64
+	last  int64
+	delta float64 // per-chunk size decrement
+}
+
+const tssIdxBits = 32
+
+// Init computes the trapezoid parameters for this instance.
+func (t TSS) Init(pr machine.Proc, icb *pool.ICB) {
+	n := icb.Bound
+	if n >= 1<<tssIdxBits {
+		panic(fmt.Sprintf("lowsched: TSS bound %d exceeds packed index range", n))
+	}
+	f, l := t.First, t.Last
+	if f <= 0 {
+		p := int64(pr.NumProcs())
+		f = (n + 2*p - 1) / (2 * p)
+	}
+	if l <= 0 {
+		l = 1
+	}
+	if f < l {
+		f = l
+	}
+	st := &tssState{
+		v:     machine.NewSyncVar("tss", 1), // chunkNo 0, index 1
+		first: f,
+		last:  l,
+	}
+	// Number of chunks C = ceil(2N/(f+l)); delta = (f-l)/(C-1).
+	if c := (2*n + f + l - 1) / (f + l); c > 1 {
+		st.delta = float64(f-l) / float64(c-1)
+	}
+	icb.Sched = st
+}
+
+func (st *tssState) size(chunkNo int64) int64 {
+	s := st.first - int64(math.Round(float64(chunkNo)*st.delta))
+	if s < st.last {
+		s = st.last
+	}
+	return s
+}
+
+// Next takes the next trapezoid chunk via compare-and-store on the packed
+// state word.
+func (t TSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	st := icb.Sched.(*tssState)
+	for {
+		s := st.v.Fetch(pr)
+		idx := s & (1<<tssIdxBits - 1)
+		chunkNo := s >> tssIdxBits
+		if idx > icb.Bound {
+			return Assignment{}, false, false
+		}
+		size := st.size(chunkNo)
+		hi := idx + size - 1
+		if hi > icb.Bound {
+			hi = icb.Bound
+		}
+		next := (chunkNo+1)<<tssIdxBits | (hi + 1)
+		if _, ok := st.v.Exec(pr, machine.Instr{
+			Test: machine.TestEQ, TestVal: s, Op: machine.OpStore, Operand: next,
+		}); ok {
+			return Assignment{Lo: idx, Hi: hi}, true, hi == icb.Bound
+		}
+		pr.Spin()
+	}
+}
+
+// FSC is factoring self-scheduling: work is handed out in rounds; each
+// round splits half of the remaining iterations into P equal chunks.
+// Its per-instance state is guarded by a spin lock, as in the original
+// formulation.
+type FSC struct{}
+
+// Name returns "FSC".
+func (FSC) Name() string { return "FSC" }
+
+type fscState struct {
+	lock       *machine.SpinLock
+	next       int64
+	chunkSize  int64
+	chunksLeft int64
+}
+
+// Init prepares the first factoring round.
+func (FSC) Init(pr machine.Proc, icb *pool.ICB) {
+	p := int64(pr.NumProcs())
+	st := &fscState{
+		lock: machine.NewSpinLock("fsc"),
+		next: 1,
+	}
+	st.startRound(icb.Bound, p)
+	icb.Sched = st
+}
+
+func (st *fscState) startRound(bound, p int64) {
+	remaining := bound - st.next + 1
+	st.chunkSize = (remaining + 2*p - 1) / (2 * p)
+	if st.chunkSize < 1 {
+		st.chunkSize = 1
+	}
+	st.chunksLeft = p
+}
+
+// Next takes the next factoring chunk.
+func (FSC) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	st := icb.Sched.(*fscState)
+	st.lock.Lock(pr)
+	defer st.lock.Unlock(pr)
+	if st.next > icb.Bound {
+		return Assignment{}, false, false
+	}
+	if st.chunksLeft == 0 {
+		st.startRound(icb.Bound, int64(pr.NumProcs()))
+	}
+	lo := st.next
+	hi := lo + st.chunkSize - 1
+	if hi > icb.Bound {
+		hi = icb.Bound
+	}
+	st.next = hi + 1
+	st.chunksLeft--
+	return Assignment{Lo: lo, Hi: hi}, true, hi == icb.Bound
+}

@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRealDefaultsToGOMAXPROCS(t *testing.T) {
+	e := NewReal(RealConfig{})
+	if e.NumProcs() != runtime.GOMAXPROCS(0) {
+		t.Errorf("default P = %d, want GOMAXPROCS %d", e.NumProcs(), runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestWorkSpinConsumesWallTime(t *testing.T) {
+	e := NewReal(RealConfig{P: 1, Mode: WorkSpin})
+	const ns = 3_000_000 // 3ms
+	t0 := time.Now()
+	rep := e.Run(func(p Proc) {
+		p.Work(ns)
+	})
+	elapsed := time.Since(t0)
+	if elapsed < ns*time.Nanosecond/2 {
+		t.Errorf("WorkSpin(3ms) took only %v", elapsed)
+	}
+	if rep.Busy[0] != ns {
+		t.Errorf("busy = %d, want %d", rep.Busy[0], ns)
+	}
+}
+
+func TestIdleSpinConsumesWallTimeButNotBusy(t *testing.T) {
+	e := NewReal(RealConfig{P: 1, Mode: WorkSpin})
+	const ns = 2_000_000
+	t0 := time.Now()
+	rep := e.Run(func(p Proc) {
+		p.Idle(ns)
+	})
+	if time.Since(t0) < ns*time.Nanosecond/2 {
+		t.Error("Idle did not spin in WorkSpin mode")
+	}
+	if rep.Busy[0] != 0 {
+		t.Errorf("Idle counted as busy: %d", rep.Busy[0])
+	}
+}
+
+func TestNegativeCostsPanic(t *testing.T) {
+	e := NewReal(RealConfig{P: 1})
+	for name, f := range map[string]func(Proc){
+		"work": func(p Proc) { p.Work(-1) },
+		"idle": func(p Proc) { p.Idle(-1) },
+	} {
+		panicked := false
+		e2 := NewReal(RealConfig{P: 1})
+		e2.Run(func(p Proc) {
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			f(p)
+		})
+		if !panicked {
+			t.Errorf("%s(-1) did not panic", name)
+		}
+	}
+	_ = e
+}
+
+func TestProcIdentity(t *testing.T) {
+	e := NewReal(RealConfig{P: 3})
+	seen := make([]bool, 3)
+	e.Run(func(p Proc) {
+		if p.NumProcs() != 3 {
+			t.Errorf("NumProcs = %d", p.NumProcs())
+		}
+		if p.Now() < 0 {
+			t.Error("Now went backwards")
+		}
+		seen[p.ID()] = true
+	})
+	for i, s := range seen {
+		if !s {
+			t.Errorf("processor %d never ran", i)
+		}
+	}
+}
+
+func TestStringersCoverAllValues(t *testing.T) {
+	for _, tt := range []Test{TestNone, TestLT, TestLE, TestGT, TestGE, TestEQ, TestNE} {
+		if tt.String() == "" {
+			t.Errorf("empty name for test %d", tt)
+		}
+	}
+	if Test(99).String() != "Test(99)" {
+		t.Errorf("out-of-range test name: %s", Test(99))
+	}
+	for _, op := range []OpKind{OpFetch, OpStore, OpInc, OpDec, OpFetchAdd} {
+		if op.String() == "" {
+			t.Errorf("empty name for op %d", op)
+		}
+	}
+	if OpKind(99).String() != "Op(99)" {
+		t.Errorf("out-of-range op name: %s", OpKind(99))
+	}
+}
+
+func TestInvalidTestAndOpPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid test did not panic")
+		}
+	}()
+	Test(99).Eval(1, 2)
+}
+
+func TestInvalidOpApplyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid op did not panic")
+		}
+	}()
+	OpKind(99).Apply(1, 2)
+}
+
+func TestSpinLockLockedReporting(t *testing.T) {
+	p := &testProc{}
+	l := NewSpinLock("L")
+	if l.Locked() {
+		t.Error("fresh lock reports held")
+	}
+	l.Lock(p)
+	if !l.Locked() {
+		t.Error("held lock reports free")
+	}
+	l.Unlock(p)
+	if l.Locked() {
+		t.Error("released lock reports held")
+	}
+}
+
+func TestUnlockUnheldPanics(t *testing.T) {
+	p := &testProc{}
+	l := NewSpinLock("L")
+	defer func() {
+		if recover() == nil {
+			t.Error("unlock of unheld lock did not panic")
+		}
+	}()
+	l.Unlock(p)
+}
+
+func TestBarrierReset(t *testing.T) {
+	p := &testProc{}
+	b := NewBarrier("b", 1)
+	b.Await(p)
+	if b.Arrived() != 1 {
+		t.Errorf("arrived = %d", b.Arrived())
+	}
+}

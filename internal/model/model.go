@@ -1,0 +1,199 @@
+// Package model implements the analytic performance model of Section IV
+// of the paper:
+//
+//	eta  = tau / (tau + O1 + O2/n + O3/N)                      (eq. 1)
+//	eta' = tau / (tau + O1/k + O2(k)/(k n') + O3/N)            (eq. 2/7)
+//
+// where tau is the average iteration execution time, O1 the per-iteration
+// synchronization overhead (index and iteration counter accesses), O2 the
+// cost of one SEARCH, n the average number of iterations a processor
+// executes between SEARCHes, O3 the cost of EXIT+ENTER, N the average
+// instance bound, and k the chunk size (n' = n/k chunks between
+// SEARCHes).
+//
+// The package also provides the GSS chunk-size sequence of [14] and the
+// Doacross chunking model behind the paper's introduction claim that
+// chunk scheduling a distance-1 Doacross loop forfeits about (k-1)/k of
+// the overlappable work.
+package model
+
+import (
+	"math"
+)
+
+// Params are the analytic inputs of eq. (1).
+type Params struct {
+	Tau float64 // average iteration execution time
+	O1  float64 // per-iteration synchronization overhead
+	O2  float64 // cost of one SEARCH (may depend on k; see O2Fn)
+	O3  float64 // cost of one EXIT+ENTER
+	N   float64 // average innermost-loop bound
+	// NIter is the paper's n: average iterations executed by a processor
+	// between two successive SEARCH calls.
+	NIter float64
+}
+
+// Utilization evaluates eq. (1).
+func Utilization(p Params) float64 {
+	if p.Tau <= 0 {
+		return 0
+	}
+	denom := p.Tau + p.O1
+	if p.NIter > 0 {
+		denom += p.O2 / p.NIter
+	}
+	if p.N > 0 {
+		denom += p.O3 / p.N
+	}
+	return p.Tau / denom
+}
+
+// MinGrain inverts eq. (1): the smallest iteration time tau achieving
+// target utilization eta, given the overhead terms (O1 + O2/n + O3/N).
+// This is the granularity threshold the paper's Section I discusses:
+// below it, "large scheduling overhead can easily nullify the performance
+// gained". Returns 0 for eta <= 0 and +Inf for eta >= 1 with nonzero
+// overhead.
+func MinGrain(eta float64, p Params) float64 {
+	if eta <= 0 {
+		return 0
+	}
+	overhead := p.O1
+	if p.NIter > 0 {
+		overhead += p.O2 / p.NIter
+	}
+	if p.N > 0 {
+		overhead += p.O3 / p.N
+	}
+	if overhead == 0 {
+		return 0
+	}
+	if eta >= 1 {
+		return math.Inf(1)
+	}
+	// eta = tau/(tau+ov)  =>  tau = eta*ov/(1-eta).
+	return eta * overhead / (1 - eta)
+}
+
+// O2Fn gives the SEARCH cost as a (non-decreasing) function of the chunk
+// size k: with larger chunks, busy-waiting at the task pool becomes more
+// likely (Section IV).
+type O2Fn func(k float64) float64
+
+// ConstO2 is an O2Fn ignoring k.
+func ConstO2(o2 float64) O2Fn { return func(float64) float64 { return o2 } }
+
+// LinearO2 models O2(k) = base + slope*k.
+func LinearO2(base, slope float64) O2Fn {
+	return func(k float64) float64 { return base + slope*k }
+}
+
+// UtilizationChunked evaluates eq. (2)/(7) for chunk size k >= 1.
+func UtilizationChunked(p Params, o2 O2Fn, k float64) float64 {
+	if p.Tau <= 0 || k < 1 {
+		return 0
+	}
+	denom := p.Tau + p.O1/k
+	if p.NIter > 0 {
+		// n' = n/k chunks between SEARCHes: O2(k)/(k*n') = O2(k)/n ...
+		// expressed per iteration as in eq. (7): O2(k) / (k * n') with
+		// n' = NIter/k gives O2(k)/NIter.
+		denom += o2(k) / p.NIter
+	}
+	if p.N > 0 {
+		denom += p.O3 / p.N
+	}
+	return p.Tau / denom
+}
+
+// OptimalChunk scans k in [1, kMax] and returns the k maximizing
+// eq. (2)/(7) and the utilization there.
+func OptimalChunk(p Params, o2 O2Fn, kMax int) (k int, eta float64) {
+	best, bestEta := 1, -1.0
+	for c := 1; c <= kMax; c++ {
+		if e := UtilizationChunked(p, o2, float64(c)); e > bestEta {
+			best, bestEta = c, e
+		}
+	}
+	return best, bestEta
+}
+
+// GSSChunks returns the chunk sequence of guided self-scheduling for N
+// iterations on P processors: repeatedly ceil(remaining/P).
+func GSSChunks(n, p int64) []int64 {
+	if n <= 0 || p <= 0 {
+		return nil
+	}
+	var out []int64
+	for rem := n; rem > 0; {
+		c := (rem + p - 1) / p
+		out = append(out, c)
+		rem -= c
+	}
+	return out
+}
+
+// GSSChunkCount returns len(GSSChunks(n,p)) without materializing it;
+// asymptotically about P * ln(N/P) + P.
+func GSSChunkCount(n, p int64) int {
+	count := 0
+	for rem := n; rem > 0; {
+		rem -= (rem + p - 1) / p
+		count++
+	}
+	return count
+}
+
+// DoacrossParams describe a distance-1 Doacross loop whose iteration
+// splits into a dependent head (the serial chain through the
+// cross-iteration dependence) and an independent tail.
+type DoacrossParams struct {
+	N    float64 // iterations
+	Head float64 // dependent portion per iteration
+	Tail float64 // independent portion per iteration
+	P    float64 // processors
+}
+
+// DoacrossTime models the completion time of the loop under chunked
+// self-scheduling with chunk size k >= 1 and enough processors: a chunk
+// executes its k iterations serially, so the next chunk's first head
+// waits for the previous chunk's last head, which is delayed by the k-1
+// interleaved tails:
+//
+//	T(k) ~ N*Head + N*Tail*(k-1)/k + Tail
+//
+// For k = 1 the tails fully overlap the head chain (T ~ N*Head + Tail);
+// for chunk size k about (k-1)/k of the overlappable tail work moves onto
+// the critical path — the paper's "about four out of five iterations
+// cannot be overlapped" for k = 5.
+func DoacrossTime(d DoacrossParams, k float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	chain := d.N*d.Head + d.N*d.Tail*(k-1)/k + d.Tail
+	// With few processors the machine may be throughput-bound instead.
+	if d.P > 0 {
+		if tp := d.N * (d.Head + d.Tail) / d.P; tp > chain {
+			return tp
+		}
+	}
+	return chain
+}
+
+// OverlapLoss returns the modeled fraction of tail work lost from overlap
+// at chunk size k: (k-1)/k.
+func OverlapLoss(k float64) float64 {
+	if k < 1 {
+		return 0
+	}
+	return (k - 1) / k
+}
+
+// SpeedupBound returns the maximum useful speedup min(P, total/critical),
+// a sanity ceiling used by experiments.
+func SpeedupBound(total, critical, p float64) float64 {
+	if critical <= 0 {
+		return p
+	}
+	return math.Min(p, total/critical)
+}

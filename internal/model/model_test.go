@@ -1,0 +1,176 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilizationEq1(t *testing.T) {
+	// Hand-computed: tau=100, O1=10, O2=50, O3=200, n=5, N=20:
+	// denom = 100 + 10 + 10 + 10 = 130.
+	p := Params{Tau: 100, O1: 10, O2: 50, O3: 200, N: 20, NIter: 5}
+	if got, want := Utilization(p), 100.0/130.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("eta = %v, want %v", got, want)
+	}
+	// No overhead: perfect utilization.
+	if got := Utilization(Params{Tau: 50, N: 1, NIter: 1}); got != 1 {
+		t.Errorf("overhead-free eta = %v", got)
+	}
+	if Utilization(Params{}) != 0 {
+		t.Error("zero tau should give 0")
+	}
+}
+
+func TestUtilizationMonotonic(t *testing.T) {
+	// eta grows with tau and N, falls with O1/O2/O3.
+	base := Params{Tau: 100, O1: 10, O2: 50, O3: 200, N: 20, NIter: 5}
+	e := Utilization(base)
+	bigger := base
+	bigger.Tau = 200
+	if Utilization(bigger) <= e {
+		t.Error("eta not increasing in tau")
+	}
+	worse := base
+	worse.O1 = 50
+	if Utilization(worse) >= e {
+		t.Error("eta not decreasing in O1")
+	}
+	deeper := base
+	deeper.N = 100
+	if Utilization(deeper) <= e {
+		t.Error("eta not increasing in N")
+	}
+}
+
+func TestUtilizationChunkedReducesToEq1(t *testing.T) {
+	p := Params{Tau: 100, O1: 10, O2: 50, O3: 200, N: 20, NIter: 5}
+	e1 := Utilization(p)
+	e2 := UtilizationChunked(p, ConstO2(p.O2), 1)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("k=1 chunked eta %v != eq1 eta %v", e2, e1)
+	}
+}
+
+func TestOptimalChunkInterior(t *testing.T) {
+	// With O2 growing in k there is an interior optimum: O1/k falls with
+	// k while O2(k)/n grows.
+	p := Params{Tau: 20, O1: 40, O2: 0, O3: 100, N: 1000, NIter: 50}
+	o2 := LinearO2(10, 5)
+	k, eta := OptimalChunk(p, o2, 64)
+	if k <= 1 || k >= 64 {
+		t.Errorf("optimal k = %d, want interior", k)
+	}
+	if eta <= UtilizationChunked(p, o2, 1) || eta <= UtilizationChunked(p, o2, 64) {
+		t.Error("optimum not better than endpoints")
+	}
+	// Unimodal check around the optimum.
+	if UtilizationChunked(p, o2, float64(k)) < UtilizationChunked(p, o2, float64(k-1)) ||
+		UtilizationChunked(p, o2, float64(k)) < UtilizationChunked(p, o2, float64(k+1)) {
+		t.Error("reported k is not a local maximum")
+	}
+}
+
+func TestMinGrainInvertsUtilization(t *testing.T) {
+	p := Params{O1: 10, O2: 50, O3: 200, N: 20, NIter: 5}
+	for _, eta := range []float64{0.5, 0.8, 0.95} {
+		tau := MinGrain(eta, p)
+		p2 := p
+		p2.Tau = tau
+		if got := Utilization(p2); math.Abs(got-eta) > 1e-9 {
+			t.Errorf("MinGrain(%v) = %v gives eta %v", eta, tau, got)
+		}
+	}
+	if MinGrain(0, p) != 0 || MinGrain(-1, p) != 0 {
+		t.Error("non-positive target should give 0")
+	}
+	if !math.IsInf(MinGrain(1, p), 1) {
+		t.Error("eta=1 with overhead should be unreachable")
+	}
+	if MinGrain(0.9, Params{}) != 0 {
+		t.Error("no overhead: any grain achieves any eta")
+	}
+}
+
+func TestGSSChunks(t *testing.T) {
+	got := GSSChunks(100, 4)
+	want := []int64{25, 19, 14, 11, 8, 6, 5, 3, 3, 2, 1, 1, 1, 1}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("GSSChunks(100,4) = %v, want %v", got, want)
+	}
+	if GSSChunks(0, 4) != nil || GSSChunks(5, 0) != nil {
+		t.Error("degenerate GSSChunks not nil")
+	}
+}
+
+func TestGSSChunksQuick(t *testing.T) {
+	f := func(n uint16, p uint8) bool {
+		nn, pp := int64(n%5000)+1, int64(p%16)+1
+		chunks := GSSChunks(nn, pp)
+		var sum int64
+		prev := int64(1 << 62)
+		for _, c := range chunks {
+			if c < 1 || c > prev {
+				return false // positive and non-increasing
+			}
+			prev = c
+			sum += c
+		}
+		return sum == nn && len(chunks) == GSSChunkCount(nn, pp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoacrossTimeModel(t *testing.T) {
+	d := DoacrossParams{N: 100, Head: 1, Tail: 10, P: 100}
+	t1 := DoacrossTime(d, 1)
+	t5 := DoacrossTime(d, 5)
+	// k=1: ~ N*Head + Tail = 110; k=5: ~ 100 + 100*10*0.8 + 10 = 910.
+	if math.Abs(t1-110) > 1e-9 {
+		t.Errorf("T(1) = %v, want 110", t1)
+	}
+	if math.Abs(t5-910) > 1e-9 {
+		t.Errorf("T(5) = %v, want 910", t5)
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		cur := DoacrossTime(d, float64(k))
+		if cur < prev {
+			t.Errorf("T(k) not non-decreasing at k=%d", k)
+		}
+		prev = cur
+	}
+	// Throughput bound dominates with few processors.
+	d.P = 1
+	if got, want := DoacrossTime(d, 1), 1100.0; got != want {
+		t.Errorf("P=1 time = %v, want %v (throughput bound)", got, want)
+	}
+}
+
+func TestOverlapLoss(t *testing.T) {
+	if OverlapLoss(1) != 0 {
+		t.Error("loss at k=1 should be 0")
+	}
+	if got := OverlapLoss(5); got != 0.8 {
+		t.Errorf("loss at k=5 = %v, want 0.8 (the paper's 4/5)", got)
+	}
+	if OverlapLoss(0) != 0 {
+		t.Error("loss below k=1 should clamp to 0")
+	}
+}
+
+func TestSpeedupBound(t *testing.T) {
+	if got := SpeedupBound(1000, 100, 16); got != 10 {
+		t.Errorf("bound = %v, want 10", got)
+	}
+	if got := SpeedupBound(1000, 10, 16); got != 16 {
+		t.Errorf("bound = %v, want 16", got)
+	}
+	if got := SpeedupBound(1000, 0, 16); got != 16 {
+		t.Errorf("bound = %v, want 16", got)
+	}
+}

@@ -1,0 +1,149 @@
+package pool
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Distributed is an alternative task-pool organization (the paper notes
+// that "other parallel data structures ... can also be used to implement
+// the task pool"): one list per *processor* instead of one per loop.
+// A processor appends the instances it activates to its own list and
+// searches its own list first, stealing from the others round-robin when
+// it runs dry. There is no SW control word; the trade-off against the
+// paper's per-loop lists with leading-one detection is measured by
+// experiment E9.
+//
+// Semantics are identical to Pool: SEARCH adopts an ICB whose pcount is
+// below its bound, APPEND/DELETE splice under the owning list's lock.
+type Distributed struct {
+	m     int
+	procs int
+	lists []plist
+}
+
+// NewDistributed returns a distributed pool for m innermost loops on the
+// given number of processors.
+func NewDistributed(m, procs int) *Distributed {
+	if m < 1 || procs < 1 {
+		panic(fmt.Sprintf("pool: invalid sizes m=%d procs=%d", m, procs))
+	}
+	d := &Distributed{m: m, procs: procs, lists: make([]plist, procs)}
+	for i := range d.lists {
+		d.lists[i].lock = machine.NewSpinLock(fmt.Sprintf("D(%d)", i))
+	}
+	return d
+}
+
+// Append adds an ICB to the appending processor's own list.
+func (d *Distributed) Append(pr machine.Proc, icb *ICB) {
+	if icb.Loop < 1 || icb.Loop > d.m {
+		panic(fmt.Sprintf("pool: loop %d out of range [1,%d]", icb.Loop, d.m))
+	}
+	home := pr.ID() % d.procs
+	icb.home = home
+	l := &d.lists[home]
+	l.lock.Lock(pr)
+	if icb.inList {
+		panic(fmt.Sprintf("pool: double append of %v", icb))
+	}
+	icb.inList = true
+	x := l.tail
+	icb.left = x
+	icb.right = nil
+	l.tail = icb
+	if x != nil {
+		x.right = icb
+	} else {
+		l.head = icb
+	}
+	l.lock.Unlock(pr)
+}
+
+// Delete removes an ICB from its home list.
+func (d *Distributed) Delete(pr machine.Proc, icb *ICB) {
+	l := &d.lists[icb.home]
+	l.lock.Lock(pr)
+	if !icb.inList {
+		panic(fmt.Sprintf("pool: delete of unlisted %v", icb))
+	}
+	icb.inList = false
+	y := icb.right
+	x := icb.left
+	if x != nil {
+		x.right = y
+	} else {
+		l.head = y
+	}
+	if y != nil {
+		y.left = x
+	} else {
+		l.tail = x
+	}
+	icb.left, icb.right = nil, nil
+	l.lock.Unlock(pr)
+}
+
+// Search adopts an ICB needing processors: the caller's own list first,
+// then the other processors' lists round-robin (work stealing). It returns
+// nil once stop() reports that no more work will appear.
+func (d *Distributed) Search(pr machine.Proc, stop func() bool, st *SearchStats) *ICB {
+	return d.SearchWhere(pr, stop, nil, st)
+}
+
+// SearchWhere is Search with an adoption filter (see Pool.SearchWhere).
+func (d *Distributed) SearchWhere(pr machine.Proc, stop func() bool, needs func(*ICB) bool, st *SearchStats) *ICB {
+	self := pr.ID() % d.procs
+	fruitless := 0
+	for {
+		if stop() {
+			return nil
+		}
+		st.Sweeps++
+		block := fruitless > 4
+		for r := 0; r < d.procs; r++ {
+			i := (self + r) % d.procs
+			if icb := d.tryList(pr, i, needs, block, st); icb != nil {
+				return icb
+			}
+		}
+		fruitless++
+		pr.Spin()
+	}
+}
+
+func (d *Distributed) tryList(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
+	l := &d.lists[i]
+	if block {
+		l.lock.Lock(pr)
+	} else if !l.lock.TryLock(pr) {
+		st.LockFailures++
+		return nil
+	}
+	adopt := machine.Instr{Test: machine.TestLT, Op: machine.OpInc}
+	for icb := l.head; icb != nil; icb = icb.right {
+		st.Walked++
+		if needs != nil && !needs(icb) {
+			continue
+		}
+		adopt.TestVal = icb.Bound
+		if _, ok := icb.PCount.Exec(pr, adopt); ok {
+			l.lock.Unlock(pr)
+			return icb
+		}
+	}
+	st.Saturated++
+	l.lock.Unlock(pr)
+	return nil
+}
+
+// Empty reports whether every list is empty (quiescence check).
+func (d *Distributed) Empty() bool {
+	for i := range d.lists {
+		if d.lists[i].head != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,148 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// dtp is a Proc with a configurable ID for distributed-pool tests.
+type dtp struct {
+	id, n int
+	spins int64
+}
+
+func (p *dtp) ID() int                 { return p.id }
+func (p *dtp) NumProcs() int           { return p.n }
+func (p *dtp) Now() int64              { return 0 }
+func (p *dtp) Work(int64)              {}
+func (p *dtp) Idle(int64)              {}
+func (p *dtp) Access(*machine.SyncVar) {}
+func (p *dtp) Spin()                   { p.spins++ }
+
+func TestDistributedAppendsToOwnList(t *testing.T) {
+	d := NewDistributed(3, 4)
+	p2 := &dtp{id: 2, n: 4}
+	icb := NewICB(1, 2, loopir.IVec{7})
+	d.Append(p2, icb)
+	if d.Empty() {
+		t.Fatal("pool empty after append")
+	}
+	if icb.home != 2 {
+		t.Errorf("home = %d, want 2", icb.home)
+	}
+	// The owner finds it without stealing.
+	var st SearchStats
+	if got := d.Search(p2, never, &st); got != icb {
+		t.Fatalf("owner search failed")
+	}
+	d.Delete(p2, icb)
+	if !d.Empty() {
+		t.Error("pool not empty after delete")
+	}
+}
+
+func TestDistributedStealing(t *testing.T) {
+	d := NewDistributed(2, 4)
+	owner := &dtp{id: 0, n: 4}
+	thief := &dtp{id: 3, n: 4}
+	icb := NewICB(2, 5, nil)
+	d.Append(owner, icb)
+	var st SearchStats
+	if got := d.Search(thief, never, &st); got != icb {
+		t.Fatal("thief failed to steal")
+	}
+	if icb.PCount.Peek() != 1 {
+		t.Errorf("pcount = %d", icb.PCount.Peek())
+	}
+}
+
+func TestDistributedSkipsSaturated(t *testing.T) {
+	d := NewDistributed(2, 2)
+	p0 := &dtp{id: 0, n: 2}
+	sat := NewICB(1, 1, loopir.IVec{1})
+	free := NewICB(1, 1, loopir.IVec{2})
+	d.Append(p0, sat)
+	d.Append(p0, free)
+	var st SearchStats
+	if d.Search(p0, never, &st) != sat {
+		t.Fatal("setup")
+	}
+	if got := d.Search(p0, never, &st); got != free {
+		t.Fatal("saturated ICB not skipped")
+	}
+}
+
+func TestDistributedStopsWhenTold(t *testing.T) {
+	d := NewDistributed(1, 2)
+	p := &dtp{id: 0, n: 2}
+	calls := 0
+	var st SearchStats
+	if d.Search(p, func() bool { calls++; return calls > 2 }, &st) != nil {
+		t.Error("search on empty distributed pool returned work")
+	}
+}
+
+func TestDistributedPanicsOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDistributed(0, 2) },
+		func() { NewDistributed(2, 0) },
+		func() { NewDistributed(2, 2).Append(&dtp{id: 0, n: 2}, NewICB(3, 1, nil)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDistributedConcurrentStress mirrors the per-loop pool stress test.
+func TestDistributedConcurrentStress(t *testing.T) {
+	const (
+		P     = 8
+		each  = 50
+		m     = 4
+		bound = 3
+	)
+	eng := machine.NewReal(machine.RealConfig{P: P})
+	d := NewDistributed(m, P)
+	var adoptions atomic.Int64
+	var done atomic.Bool
+	total := int64(m * each)
+	eng.Run(func(pr machine.Proc) {
+		var st SearchStats
+		if pr.ID() < m {
+			loop := pr.ID() + 1
+			for k := 0; k < each; k++ {
+				icb := NewICB(loop, bound, loopir.IVec{int64(k)})
+				icb.Sched = new(atomic.Int64)
+				d.Append(pr, icb)
+			}
+		}
+		for {
+			icb := d.Search(pr, func() bool { return done.Load() }, &st)
+			if icb == nil {
+				return
+			}
+			n := adoptions.Add(1)
+			if icb.Sched.(*atomic.Int64).Add(1) == bound {
+				d.Delete(pr, icb)
+			}
+			if n == total*bound {
+				done.Store(true)
+			}
+		}
+	})
+	if adoptions.Load() != total*bound {
+		t.Errorf("adoptions = %d, want %d", adoptions.Load(), total*bound)
+	}
+	if !d.Empty() {
+		t.Error("pool not empty")
+	}
+}

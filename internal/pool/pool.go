@@ -1,0 +1,318 @@
+// Package pool implements the task pool of the high-level self-scheduling
+// scheme (Section III-A of the paper): one parallel doubly-linked list per
+// innermost parallel loop, an m-bit control word SW indicating nonempty
+// lists, per-list spin locks, and instance control blocks (ICBs).
+//
+// Algorithms 1 (DELETE), 2 (APPEND) and 4 (SEARCH) are implemented
+// faithfully, with two documented engineering choices:
+//
+//   - SEARCH continues its leading-one scan at the next set bit after a
+//     locked or saturated list instead of restarting at bit 1, avoiding a
+//     pathological spin when low-numbered lists hold only saturated ICBs.
+//     This preserves the paper's intent ("processors can go to the next
+//     nonempty linked list when the i-th linked list is locked").
+//   - Deallocated ICBs are reclaimed by the garbage collector; the paper's
+//     pcount release protocol (which makes explicit reuse safe) is still
+//     implemented and verified by the executor.
+//
+// The pool can also be configured with a single shared list for all loops,
+// which is the baseline for the "multiple parallel lists avoid a serial
+// bottleneck" ablation (experiment E5).
+package pool
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+)
+
+// ICB is an instance control block: one entry of a parallel linked list,
+// representing an active instance of an innermost parallel loop.
+type ICB struct {
+	// right and left link the list; they are guarded by the list's lock.
+	right, left *ICB
+
+	// Index is the shared iteration index: the next iteration (1-based) to
+	// be scheduled. Low-level self-scheduling fetches from it.
+	Index *machine.SyncVar
+	// ICount counts completed iterations; the processor that completes the
+	// last iteration activates the successors.
+	ICount *machine.SyncVar
+	// PCount counts processors currently holding a pointer to this ICB;
+	// the instance completer waits for PCount to drain to 1 before
+	// releasing the block (Algorithm 3).
+	PCount *machine.SyncVar
+
+	// Loop is the innermost parallel loop number (1..m).
+	Loop int
+	// Bound is the loop bound of this instance, evaluated at activation.
+	Bound int64
+	// IVec is the index vector of the enclosing loops.
+	IVec loopir.IVec
+
+	// Sched is scheme-private state (e.g. trapezoid/factoring chunk
+	// state), attached by the low-level scheduling scheme at activation.
+	Sched any
+	// Sync is executor-private state (e.g. Doacross dependence flags),
+	// attached by the two-level executor at activation.
+	Sync any
+
+	// inList tracks membership for double-append/delete detection
+	// (guarded by the list lock).
+	inList bool
+	// home is the owning list index in a Distributed pool.
+	home int
+}
+
+// NewICB returns an ICB for an instance of loop num with the given bound
+// and enclosing index vector, initialized per Algorithm 6:
+// index = 1, icount = 0, pcount = 0.
+func NewICB(num int, bound int64, ivec loopir.IVec) *ICB {
+	return &ICB{
+		Index:  machine.NewSyncVar("index", 1),
+		ICount: machine.NewSyncVar("icount", 0),
+		PCount: machine.NewSyncVar("pcount", 0),
+		Loop:   num,
+		Bound:  bound,
+		IVec:   ivec.Clone(),
+	}
+}
+
+func (b *ICB) String() string {
+	return fmt.Sprintf("ICB{loop %d, ivec %v, bound %d, index %d, icount %d, pcount %d}",
+		b.Loop, b.IVec, b.Bound, b.Index.Peek(), b.ICount.Peek(), b.PCount.Peek())
+}
+
+// Right returns the next ICB in the list (testing/iteration under lock).
+func (b *ICB) Right() *ICB { return b.right }
+
+type plist struct {
+	lock       *machine.SpinLock
+	head, tail *ICB
+}
+
+// Pool is the task pool: nlists parallel linked lists addressed through
+// the control word SW.
+type Pool struct {
+	m      int // innermost parallel loop count
+	nlists int
+	sw     *bitset.Atomic
+	// swVar is the synchronization variable standing in for SW in the
+	// machine's contention model: every SW access is charged against it.
+	swVar *machine.SyncVar
+	lists []plist
+}
+
+// New returns a pool with one list per innermost parallel loop (the
+// paper's configuration).
+func New(m int) *Pool { return newPool(m, m) }
+
+// NewSingleList returns a pool in which all m loops share a single list —
+// the serial-bottleneck baseline.
+func NewSingleList(m int) *Pool { return newPool(m, 1) }
+
+func newPool(m, nlists int) *Pool {
+	if m < 1 || nlists < 1 {
+		panic(fmt.Sprintf("pool: invalid sizes m=%d nlists=%d", m, nlists))
+	}
+	p := &Pool{
+		m:      m,
+		nlists: nlists,
+		sw:     bitset.New(nlists),
+		swVar:  machine.NewSyncVar("SW", 0),
+		lists:  make([]plist, nlists+1), // 1-based
+	}
+	for i := 1; i <= nlists; i++ {
+		p.lists[i].lock = machine.NewSpinLock(fmt.Sprintf("L(%d)", i))
+	}
+	return p
+}
+
+// NumLists returns the number of parallel linked lists.
+func (p *Pool) NumLists() int { return p.nlists }
+
+// listOf maps a loop number to its list number.
+func (p *Pool) listOf(loop int) int {
+	if loop < 1 || loop > p.m {
+		panic(fmt.Sprintf("pool: loop %d out of range [1,%d]", loop, p.m))
+	}
+	if p.nlists == 1 {
+		return 1
+	}
+	return loop
+}
+
+// Append adds an ICB to its loop's list (Algorithm 2: lock, reset SW(i),
+// splice at tail, set SW(i), unlock).
+func (p *Pool) Append(pr machine.Proc, icb *ICB) {
+	i := p.listOf(icb.Loop)
+	l := &p.lists[i]
+	l.lock.Lock(pr)
+	if icb.inList {
+		panic(fmt.Sprintf("pool: double append of %v", icb))
+	}
+	icb.inList = true
+	x := l.tail
+	p.sw.Clear(i)
+	pr.Access(p.swVar)
+	icb.left = x
+	icb.right = nil
+	l.tail = icb
+	if x != nil {
+		x.right = icb
+	} else {
+		l.head = icb
+	}
+	p.sw.Set(i)
+	pr.Access(p.swVar)
+	l.lock.Unlock(pr)
+}
+
+// Delete removes an ICB from its loop's list (Algorithm 1: lock, reset
+// SW(i), unsplice, set SW(i) back if the list remains nonempty, unlock).
+// The ICB itself stays valid: processors still executing its scheduled
+// iterations hold pointers to it.
+func (p *Pool) Delete(pr machine.Proc, icb *ICB) {
+	i := p.listOf(icb.Loop)
+	l := &p.lists[i]
+	l.lock.Lock(pr)
+	if !icb.inList {
+		panic(fmt.Sprintf("pool: delete of unlisted %v", icb))
+	}
+	icb.inList = false
+	p.sw.Clear(i)
+	pr.Access(p.swVar)
+	y := icb.right
+	x := icb.left
+	if x != nil {
+		x.right = y
+	} else {
+		l.head = y
+	}
+	if y != nil {
+		y.left = x
+	} else {
+		l.tail = x
+	}
+	icb.left, icb.right = nil, nil
+	if x != nil || y != nil {
+		p.sw.Set(i)
+		pr.Access(p.swVar)
+	}
+	l.lock.Unlock(pr)
+}
+
+// SearchStats counts the work done by Search calls, for the O2 overhead
+// accounting of Section IV.
+type SearchStats struct {
+	// Sweeps is the number of leading-one-detection operations on SW.
+	Sweeps int64
+	// LockFailures counts lists skipped because their lock was held.
+	LockFailures int64
+	// Retests counts lists found empty on the locked retest of SW(i).
+	Retests int64
+	// Walked counts ICBs inspected for available iterations.
+	Walked int64
+	// Saturated counts lists walked to the end without an adoptable ICB.
+	Saturated int64
+}
+
+// Search finds an ICB that needs processors (Algorithm 4): leading-one
+// detection on SW, lock the list, retest SW(i), walk the list for an ICB
+// with pcount < bound, increment pcount and return it. It keeps trying
+// until it succeeds or stop() reports that no more work will appear; it
+// returns nil in the latter case.
+func (p *Pool) Search(pr machine.Proc, stop func() bool, st *SearchStats) *ICB {
+	return p.SearchWhere(pr, stop, nil, st)
+}
+
+// SearchWhere is Search with an adoption filter: when needs is non-nil,
+// only ICBs for which needs reports true are adopted. Static
+// pre-assignment schemes use it to keep processors with no remaining
+// assignment on an instance from occupying its pcount slots (which could
+// starve the processor that owns the work).
+func (p *Pool) SearchWhere(pr machine.Proc, stop func() bool, needs func(*ICB) bool, st *SearchStats) *ICB {
+	// After several fruitless sweeps, stop skipping locked lists and
+	// queue on the FIFO list lock instead. Skipping is the paper's fast
+	// path, but under deterministic timing a searcher's try-lock can lose
+	// its race indefinitely while other processors cycle the lock; the
+	// blocking ticket lock guarantees a turn.
+	fruitless := 0
+	for {
+		if stop() {
+			return nil
+		}
+		st.Sweeps++
+		pr.Access(p.swVar)
+		i := p.sw.FirstSet()
+		if i == 0 {
+			pr.Spin()
+			continue
+		}
+		block := fruitless > 4
+		for i != 0 {
+			if icb := p.tryList(pr, i, needs, block, st); icb != nil {
+				return icb
+			}
+			// Locked, emptied, or saturated: continue the sweep at the
+			// next set bit rather than restarting at 1.
+			pr.Access(p.swVar)
+			i = p.sw.NextSet(i)
+		}
+		fruitless++
+		pr.Spin()
+	}
+}
+
+// tryList attempts to adopt an ICB from list i; nil means the caller
+// should move on.
+func (p *Pool) tryList(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
+	l := &p.lists[i]
+	if block {
+		l.lock.Lock(pr)
+	} else if !l.lock.TryLock(pr) {
+		st.LockFailures++
+		return nil
+	}
+	// Retest SW(i) under the lock: the list may have been emptied between
+	// the SW fetch and the lock acquisition.
+	pr.Access(p.swVar)
+	if !p.sw.TestAndClear(i) {
+		st.Retests++
+		l.lock.Unlock(pr)
+		return nil
+	}
+	adopt := machine.Instr{Test: machine.TestLT, Op: machine.OpInc}
+	for icb := l.head; icb != nil; icb = icb.right {
+		st.Walked++
+		if needs != nil && !needs(icb) {
+			continue
+		}
+		// {pcount < bound; Increment}: adopt the first ICB that still
+		// needs processors.
+		adopt.TestVal = icb.Bound
+		if _, ok := icb.PCount.Exec(pr, adopt); ok {
+			p.sw.Set(i)
+			pr.Access(p.swVar)
+			l.lock.Unlock(pr)
+			return icb
+		}
+	}
+	st.Saturated++
+	p.sw.Set(i)
+	pr.Access(p.swVar)
+	l.lock.Unlock(pr)
+	return nil
+}
+
+// Head returns the head of loop num's list (testing only; callers must
+// ensure quiescence).
+func (p *Pool) Head(num int) *ICB { return p.lists[p.listOf(num)].head }
+
+// SWString renders the control word as a bit string (testing/diagnostics).
+func (p *Pool) SWString() string { return p.sw.String() }
+
+// Empty reports whether every list is empty (testing/diagnostics).
+func (p *Pool) Empty() bool { return !p.sw.Any() }

@@ -1,0 +1,72 @@
+package refexec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+)
+
+func TestBareStatementPanics(t *testing.T) {
+	// A hand-built "standardized" nest that still contains a bare
+	// statement is a programming error the executor refuses to mask.
+	nest := &loopir.Nest{Standardized: true}
+	nest.Root = []*loopir.Node{{
+		ID: 1, Kind: loopir.KindStmt, Label: "s",
+		Run: func(loopir.Env, loopir.IVec) {},
+	}}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "bare statement") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	Run(nest) //nolint:errcheck // panics before returning
+}
+
+func TestInstanceStringAndKey(t *testing.T) {
+	leaf := &loopir.Node{Kind: loopir.KindDoall, Label: "B",
+		Iter: func(loopir.Env, loopir.IVec, int64) {}}
+	in := Instance{Leaf: leaf, IVec: loopir.IVec{1, 2}, Bound: 4}
+	if in.Key() != "B(1,2)" {
+		t.Errorf("Key = %q", in.Key())
+	}
+	if !strings.Contains(in.String(), "bound=4") {
+		t.Errorf("String = %q", in.String())
+	}
+}
+
+func TestKeysCountsDuplicates(t *testing.T) {
+	leaf := &loopir.Node{Kind: loopir.KindDoall, Label: "X",
+		Iter: func(loopir.Env, loopir.IVec, int64) {}}
+	r := &Result{Instances: []Instance{
+		{Leaf: leaf, IVec: nil, Bound: 1},
+		{Leaf: leaf, IVec: nil, Bound: 1},
+	}}
+	if got := r.Keys()["X()"]; got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+func TestIfWithFalseTakesElse(t *testing.T) {
+	var took string
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.If("c", func(loopir.IVec) bool { return false },
+			func(b *loopir.B) {
+				b.DoallLeaf("T", loopir.Const(1), func(loopir.Env, loopir.IVec, int64) { took = "T" })
+			},
+			func(b *loopir.B) {
+				b.DoallLeaf("E", loopir.Const(1), func(loopir.Env, loopir.IVec, int64) { took = "E" })
+			})
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(std); err != nil {
+		t.Fatal(err)
+	}
+	if took != "E" {
+		t.Errorf("took = %q, want E", took)
+	}
+}

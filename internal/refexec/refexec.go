@@ -1,0 +1,114 @@
+// Package refexec executes a standardized loop nest sequentially and
+// records exactly which instances of which innermost parallel loops run,
+// with which index vectors and bounds.
+//
+// The recording is the ground truth the two-level scheduler is verified
+// against: a correct parallel execution must (a) execute the same multiset
+// of instances, (b) execute every iteration 1..bound of each instance
+// exactly once, and (c) respect the macro-dataflow precedence that the
+// sequential order witnesses.
+package refexec
+
+import (
+	"fmt"
+
+	"repro/internal/loopir"
+)
+
+// Instance is one activation of an innermost parallel loop: the leaf, the
+// index vector of its enclosing loops, and its bound evaluated at
+// activation time.
+type Instance struct {
+	Leaf  *loopir.Node
+	IVec  loopir.IVec
+	Bound int64
+}
+
+// Key returns a canonical string identity, e.g. "B(1,2)", used for
+// multiset comparison between executions.
+func (in Instance) Key() string {
+	return in.Leaf.Label + in.IVec.String()
+}
+
+func (in Instance) String() string {
+	return fmt.Sprintf("%s bound=%d", in.Key(), in.Bound)
+}
+
+// Result is the recording of one sequential execution.
+type Result struct {
+	// Instances in sequential execution order.
+	Instances []Instance
+	// TotalWork is the sum of Env.Work costs over all iterations.
+	TotalWork int64
+	// Iterations is the total number of leaf iterations executed.
+	Iterations int64
+}
+
+// Keys returns the multiset of instance keys as a count map.
+func (r *Result) Keys() map[string]int {
+	m := make(map[string]int, len(r.Instances))
+	for _, in := range r.Instances {
+		m[in.Key()]++
+	}
+	return m
+}
+
+// env is the sequential execution environment.
+type env struct{ r *Result }
+
+func (e *env) Work(c int64)  { e.r.TotalWork += c }
+func (e *env) Proc() int     { return 0 }
+func (e *env) NumProcs() int { return 1 }
+func (e *env) AwaitDep()     {}
+func (e *env) PostDep()      {}
+
+// Run executes the nest sequentially. The nest must be standardized.
+func Run(nest *loopir.Nest) (*Result, error) {
+	if !nest.Standardized {
+		return nil, fmt.Errorf("refexec: nest is not standardized")
+	}
+	r := &Result{}
+	e := &env{r: r}
+	execSeq(e, nest.Root, nil)
+	return r, nil
+}
+
+func execSeq(e *env, nodes []*loopir.Node, iv loopir.IVec) {
+	for _, nd := range nodes {
+		switch nd.Kind {
+		case loopir.KindDoall, loopir.KindDoacross:
+			if nd.IsLeaf() {
+				b := nd.Bound.Eval(iv)
+				e.r.Instances = append(e.r.Instances, Instance{
+					Leaf: nd, IVec: iv.Clone(), Bound: b,
+				})
+				for j := int64(1); j <= b; j++ {
+					nd.Iter(e, iv, j)
+					e.r.Iterations++
+				}
+				continue
+			}
+			// Structural parallel loop: execute iterations in index order
+			// (a legal serialization of the parallel semantics).
+			b := nd.Bound.Eval(iv)
+			for k := int64(1); k <= b; k++ {
+				execSeq(e, nd.Body, append(iv.Clone(), k))
+			}
+		case loopir.KindSerial:
+			b := nd.Bound.Eval(iv)
+			for k := int64(1); k <= b; k++ {
+				execSeq(e, nd.Body, append(iv.Clone(), k))
+			}
+		case loopir.KindIf:
+			if nd.Cond(iv) {
+				execSeq(e, nd.Then, iv)
+			} else {
+				execSeq(e, nd.Else, iv)
+			}
+		case loopir.KindStmt:
+			// Standardization folds statements into leaves; reaching one
+			// here means the nest was not standardized.
+			panic(fmt.Sprintf("refexec: bare statement %q in standardized nest", nd.Label))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package sweep drives processor-count × scheme parameter sweeps over a
+// workload on the virtual machine and reports speedup tables — the
+// standard way to look at a scheduling paper's results — with CSV export
+// for external plotting.
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/metrics"
+	"repro/internal/vmachine"
+)
+
+// Config describes a sweep.
+type Config struct {
+	// Nest builds the workload (a fresh nest per run).
+	Nest func() *loopir.Nest
+	// Procs are the processor counts to sweep.
+	Procs []int
+	// Schemes are low-level scheme specifications (lowsched.Parse).
+	Schemes []string
+	// AccessCost is the virtual machine's access cost (default 10).
+	AccessCost int64
+	// RemotePenalty is the NUMA penalty (default 0).
+	RemotePenalty int64
+	// Pool selects the task-pool organization.
+	Pool core.PoolKind
+}
+
+// Row is one sweep measurement.
+type Row struct {
+	P           int
+	Scheme      string
+	Makespan    int64
+	Utilization float64
+	// Speedup is the one-processor SS makespan divided by this run's.
+	Speedup   float64
+	Imbalance float64
+	Chunks    int64
+	Searches  int64
+}
+
+// Run executes the sweep. The serial baseline (speedup denominator) is
+// the P=1 run under SS.
+func Run(cfg Config) ([]Row, error) {
+	if cfg.Nest == nil {
+		return nil, fmt.Errorf("sweep: config requires a Nest builder")
+	}
+	if len(cfg.Procs) == 0 {
+		cfg.Procs = []int{1, 2, 4, 8, 16}
+	}
+	if len(cfg.Schemes) == 0 {
+		cfg.Schemes = []string{"ss", "gss"}
+	}
+	if cfg.AccessCost <= 0 {
+		cfg.AccessCost = 10
+	}
+
+	one := func(p int, scheme lowsched.Scheme) (*core.Report, error) {
+		std, err := cfg.Nest().Standardize()
+		if err != nil {
+			return nil, err
+		}
+		prog, err := descr.Compile(std)
+		if err != nil {
+			return nil, err
+		}
+		return core.Run(prog, core.Config{
+			Engine: vmachine.New(vmachine.Config{
+				P:             p,
+				AccessCost:    cfg.AccessCost,
+				RemotePenalty: cfg.RemotePenalty,
+			}),
+			Scheme: scheme,
+			Pool:   cfg.Pool,
+		})
+	}
+
+	base, err := one(1, lowsched.SS{})
+	if err != nil {
+		return nil, err
+	}
+	serial := float64(base.Makespan)
+
+	var rows []Row
+	for _, spec := range cfg.Schemes {
+		scheme, err := lowsched.Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cfg.Procs {
+			rep, err := one(p, scheme)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s P=%d: %w", scheme.Name(), p, err)
+			}
+			rows = append(rows, Row{
+				P:           p,
+				Scheme:      rep.Scheme,
+				Makespan:    rep.Makespan,
+				Utilization: rep.Utilization(),
+				Speedup:     serial / float64(rep.Makespan),
+				Imbalance:   metrics.Imbalance(rep.Busy),
+				Chunks:      rep.Stats.Chunks,
+				Searches:    rep.Stats.Searches,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteCSV writes the rows with a header line.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"procs", "scheme", "makespan", "utilization", "speedup", "imbalance", "chunks", "searches",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.P), r.Scheme,
+			strconv.FormatInt(r.Makespan, 10),
+			strconv.FormatFloat(r.Utilization, 'f', 4, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 3, 64),
+			strconv.FormatFloat(r.Imbalance, 'f', 3, 64),
+			strconv.FormatInt(r.Chunks, 10),
+			strconv.FormatInt(r.Searches, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table renders the rows as an aligned text table.
+func Table(title string, rows []Row) string {
+	tb := metrics.NewTable(title, "P", "scheme", "makespan", "eta", "speedup", "imbalance", "chunks")
+	for _, r := range rows {
+		tb.Add(r.P, r.Scheme, r.Makespan, r.Utilization, r.Speedup, r.Imbalance, r.Chunks)
+	}
+	return tb.String()
+}

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+func TestRunSpeedupShape(t *testing.T) {
+	cfg := Config{
+		Nest:    func() *loopir.Nest { return workload.UniformDoall(512, 200) },
+		Procs:   []int{1, 2, 4, 8},
+		Schemes: []string{"ss", "gss"},
+	}
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	// Speedup grows with P for each scheme on a coarse uniform loop.
+	byScheme := map[string][]Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = append(byScheme[r.Scheme], r)
+	}
+	for scheme, rs := range byScheme {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Speedup <= rs[i-1].Speedup {
+				t.Errorf("%s: speedup not increasing: %+v", scheme, rs)
+				break
+			}
+		}
+		last := rs[len(rs)-1]
+		if last.P == 8 && (last.Speedup < 5 || last.Speedup > 8.2) {
+			t.Errorf("%s: speedup at P=8 = %.2f, want near-linear", scheme, last.Speedup)
+		}
+	}
+	// P=1 SS speedup is 1 by construction.
+	for _, r := range rows {
+		if r.P == 1 && r.Scheme == "SS" && (r.Speedup < 0.999 || r.Speedup > 1.001) {
+			t.Errorf("P=1 SS speedup = %v, want 1", r.Speedup)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Nest:    func() *loopir.Nest { return workload.Branchy(12, 16, 8, 100, 5) },
+		Procs:   []int{4},
+		Schemes: []string{"gss"},
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Errorf("sweep rows differ across runs: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{{P: 4, Scheme: "GSS", Makespan: 123, Utilization: 0.5, Speedup: 3.2, Imbalance: 1.1, Chunks: 7, Searches: 9}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "procs,scheme,makespan") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "4,GSS,123,0.5000,3.200,1.100,7,9") {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := []Row{{P: 2, Scheme: "SS", Makespan: 10, Utilization: 1, Speedup: 2, Imbalance: 1, Chunks: 5}}
+	out := Table("demo", rows)
+	for _, want := range []string{"## demo", "scheme", "SS", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	rows, err := Run(Config{
+		Nest: func() *loopir.Nest { return workload.UniformDoall(64, 100) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: procs {1,2,4,8,16} x schemes {ss, gss} = 10 rows.
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil Nest accepted")
+	}
+	if _, err := Run(Config{
+		Nest:    func() *loopir.Nest { return workload.UniformDoall(4, 1) },
+		Schemes: []string{"bogus"},
+	}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}

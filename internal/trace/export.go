@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the JSON shape of one event.
+type jsonEvent struct {
+	Kind string  `json:"kind"`
+	Loop int     `json:"loop"`
+	IVec []int64 `json:"ivec,omitempty"`
+	J    int64   `json:"j,omitempty"`
+	Proc int     `json:"proc"`
+	At   int64   `json:"at"`
+	Seq  int64   `json:"seq"`
+}
+
+// WriteJSONL writes the recorded events as JSON Lines (one event object
+// per line), for downstream analysis outside Go.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range l.Events() {
+		je := jsonEvent{
+			Kind: e.Kind.String(),
+			Loop: e.Loop,
+			IVec: e.IVec,
+			J:    e.J,
+			Proc: e.Proc,
+			At:   e.At,
+			Seq:  e.Seq,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

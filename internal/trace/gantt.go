@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/descr"
+	"repro/internal/machine"
+)
+
+// Gantt renders a per-processor execution timeline from the log: one row
+// per processor, width columns covering [0, makespan]. Each column shows
+// the first letter of the label of the innermost parallel loop whose
+// iteration occupied that processor (the most recent one to start within
+// the column), or '.' when idle. Useful for eyeballing load balance and
+// pipeline shapes in examples and the CLI.
+func (l *Log) Gantt(prog *descr.Program, procs, width int) string {
+	if width < 1 {
+		width = 64
+	}
+	events := l.Events()
+	var makespan machine.Time
+	for _, e := range events {
+		if e.At > makespan {
+			makespan = e.At
+		}
+	}
+	if makespan == 0 {
+		makespan = 1
+	}
+	rows := make([][]byte, procs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	col := func(t machine.Time) int {
+		c := int(int64(width) * t / (makespan + 1))
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	// Pair IterStart/IterEnd per processor (each processor executes one
+	// iteration at a time, so a simple last-start map suffices).
+	lastStart := map[int]Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case EvIterStart:
+			lastStart[e.Proc] = e
+		case EvIterEnd:
+			s, ok := lastStart[e.Proc]
+			if !ok || e.Proc >= procs {
+				continue
+			}
+			mark := byte('?')
+			if label := prog.Leaf(e.Loop).Node.Label; label != "" {
+				mark = label[0]
+			}
+			from, to := col(s.At), col(e.At)
+			for c := from; c <= to; c++ {
+				rows[e.Proc][c] = mark
+			}
+			delete(lastStart, e.Proc)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0..%d, %d columns\n", makespan, width)
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&sb, "P%-2d |%s|\n", p, rows[p])
+	}
+	return sb.String()
+}
+
+// Occupancy returns, per processor, the fraction of [0, makespan] spent
+// inside iteration bodies according to the log.
+func (l *Log) Occupancy(procs int) []float64 {
+	events := l.Events()
+	var makespan machine.Time
+	for _, e := range events {
+		if e.At > makespan {
+			makespan = e.At
+		}
+	}
+	busy := make([]machine.Time, procs)
+	lastStart := map[int]machine.Time{}
+	for _, e := range events {
+		switch e.Kind {
+		case EvIterStart:
+			lastStart[e.Proc] = e.At
+		case EvIterEnd:
+			if s, ok := lastStart[e.Proc]; ok && e.Proc < procs {
+				busy[e.Proc] += e.At - s
+				delete(lastStart, e.Proc)
+			}
+		}
+	}
+	out := make([]float64, procs)
+	if makespan == 0 {
+		return out
+	}
+	for p := range out {
+		out[p] = float64(busy[p]) / float64(makespan)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package trace records executor events and verifies executions against
+// the program's semantics:
+//
+//   - exactly-once execution: every instance the sequential reference
+//     records (with bound > 0) is activated exactly once and executes each
+//     of its iterations exactly once;
+//   - macro-dataflow precedence: for every edge of the program's Fig. 4
+//     graph between executed instances (projected through condition nodes
+//     and untaken branches), the predecessor completes before the
+//     successor's first iteration starts.
+//
+// The Log implements the executor's Tracer interface and is safe for
+// concurrent use.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/refexec"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvActivated EventKind = iota
+	EvIterStart
+	EvIterEnd
+	EvCompleted
+)
+
+var evNames = [...]string{"activated", "iter-start", "iter-end", "completed"}
+
+func (k EventKind) String() string {
+	if int(k) < len(evNames) {
+		return evNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one recorded executor event.
+type Event struct {
+	Kind EventKind
+	Loop int
+	IVec loopir.IVec
+	J    int64 // iteration (EvIterStart/EvIterEnd)
+	Proc int   // processor (EvIterStart/EvIterEnd)
+	At   machine.Time
+	Seq  int64 // global record order
+}
+
+// Key returns the instance identity "loop(ivec)".
+func (e Event) Key() string { return fmt.Sprintf("%d%v", e.Loop, e.IVec) }
+
+// Log is a concurrent event recorder implementing core.Tracer.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+func (l *Log) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.IVec = e.IVec.Clone()
+	l.events = append(l.events, e)
+}
+
+// InstanceActivated implements core.Tracer.
+func (l *Log) InstanceActivated(loop int, ivec loopir.IVec, bound int64, at machine.Time) {
+	l.add(Event{Kind: EvActivated, Loop: loop, IVec: ivec, J: bound, At: at})
+}
+
+// IterStart implements core.Tracer.
+func (l *Log) IterStart(loop int, ivec loopir.IVec, j int64, proc int, at machine.Time) {
+	l.add(Event{Kind: EvIterStart, Loop: loop, IVec: ivec, J: j, Proc: proc, At: at})
+}
+
+// IterEnd implements core.Tracer.
+func (l *Log) IterEnd(loop int, ivec loopir.IVec, j int64, proc int, at machine.Time) {
+	l.add(Event{Kind: EvIterEnd, Loop: loop, IVec: ivec, J: j, Proc: proc, At: at})
+}
+
+// InstanceCompleted implements core.Tracer.
+func (l *Log) InstanceCompleted(loop int, ivec loopir.IVec, at machine.Time) {
+	l.add(Event{Kind: EvCompleted, Loop: loop, IVec: ivec, At: at})
+}
+
+// Events returns a copy of the recorded events in record order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// instance is the per-instance digest built from a log.
+type instance struct {
+	activations int
+	completions int
+	bound       int64
+	iters       map[int64]int
+	firstStart  machine.Time
+	completedAt machine.Time
+	sawStart    bool
+}
+
+func (l *Log) digest() map[string]*instance {
+	m := map[string]*instance{}
+	get := func(k string) *instance {
+		in, ok := m[k]
+		if !ok {
+			in = &instance{iters: map[int64]int{}}
+			m[k] = in
+		}
+		return in
+	}
+	for _, e := range l.Events() {
+		in := get(e.Key())
+		switch e.Kind {
+		case EvActivated:
+			in.activations++
+			in.bound = e.J
+		case EvIterStart:
+			if !in.sawStart || e.At < in.firstStart {
+				in.firstStart = e.At
+				in.sawStart = true
+			}
+		case EvIterEnd:
+			in.iters[e.J]++
+		case EvCompleted:
+			in.completions++
+			in.completedAt = e.At
+		}
+	}
+	return m
+}
+
+// VerifyExactlyOnce checks the log against the reference execution: the
+// set of activated instances matches the reference's bound>0 instances,
+// each is activated and completed exactly once, and each iteration
+// 1..bound executed exactly once.
+func (l *Log) VerifyExactlyOnce(prog *descr.Program, ref *refexec.Result) error {
+	want := map[string]int64{}
+	for _, in := range ref.Instances {
+		if in.Bound > 0 {
+			want[fmt.Sprintf("%d%v", prog.NumOf(in.Leaf), in.IVec)] = in.Bound
+		}
+	}
+	got := l.digest()
+	var errs []string
+	for k, b := range want {
+		in, ok := got[k]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("instance %s never executed", k))
+			continue
+		}
+		if in.activations != 1 || in.completions != 1 {
+			errs = append(errs, fmt.Sprintf("instance %s: %d activations, %d completions", k, in.activations, in.completions))
+		}
+		if in.bound != b {
+			errs = append(errs, fmt.Sprintf("instance %s: bound %d, want %d", k, in.bound, b))
+		}
+		for j := int64(1); j <= b; j++ {
+			if n := in.iters[j]; n != 1 {
+				errs = append(errs, fmt.Sprintf("instance %s iteration %d executed %d times", k, j, n))
+			}
+		}
+		if int64(len(in.iters)) != b {
+			errs = append(errs, fmt.Sprintf("instance %s executed %d distinct iterations, want %d", k, len(in.iters), b))
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			errs = append(errs, fmt.Sprintf("unexpected instance %s", k))
+		}
+	}
+	return joinErrs(errs)
+}
+
+// VerifyPrecedence checks the macro-dataflow precedence: for every
+// executed instance v and every executed instance u reachable backwards
+// from v through condition nodes and unexecuted instances of g, u's
+// completion time must not exceed v's first iteration start.
+func (l *Log) VerifyPrecedence(prog *descr.Program, g *descr.Graph) error {
+	got := l.digest()
+	keyOf := func(n descr.GNode) string { return fmt.Sprintf("%d%v", n.Leaf, n.IVec) }
+
+	// preds[i] = direct predecessor node indexes.
+	preds := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		preds[e.To] = append(preds[e.To], e.From)
+	}
+
+	var errs []string
+	for vi, vn := range g.Nodes {
+		if vn.Kind != descr.GInstance {
+			continue
+		}
+		v, ok := got[keyOf(vn)]
+		if !ok {
+			continue // untaken branch
+		}
+		// Collect executed instance predecessors, walking through cond
+		// nodes and unexecuted instances.
+		seen := map[int]bool{vi: true}
+		stack := append([]int(nil), preds[vi]...)
+		for len(stack) > 0 {
+			ui := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[ui] {
+				continue
+			}
+			seen[ui] = true
+			un := g.Nodes[ui]
+			if un.Kind == descr.GInstance {
+				if u, ok := got[keyOf(un)]; ok {
+					if v.sawStart && u.completedAt > v.firstStart {
+						errs = append(errs, fmt.Sprintf(
+							"precedence violated: %s completed at %d after %s started at %d",
+							keyOf(un), u.completedAt, keyOf(vn), v.firstStart))
+					}
+					continue // constraints beyond an executed pred are transitive
+				}
+			}
+			// Condition node or unexecuted instance: project through.
+			stack = append(stack, preds[ui]...)
+		}
+	}
+	sort.Strings(errs)
+	return joinErrs(errs)
+}
+
+func joinErrs(errs []string) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	const max = 12
+	if len(errs) > max {
+		errs = append(errs[:max], fmt.Sprintf("... and %d more", len(errs)-max))
+	}
+	out := ""
+	for i, e := range errs {
+		if i > 0 {
+			out += "\n"
+		}
+		out += e
+	}
+	return fmt.Errorf("trace: %s", out)
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/refexec"
+	"repro/internal/vmachine"
+	"repro/internal/workload"
+)
+
+var _ core.Tracer = (*Log)(nil)
+
+func runTraced(t *testing.T, nest *loopir.Nest, p int) (*descr.Program, *refexec.Result, *Log) {
+	t.Helper()
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := descr.Compile(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refexec.Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := New()
+	if _, err := core.Run(prog, core.Config{
+		Engine: vmachine.New(vmachine.Config{P: p, AccessCost: 4}),
+		Scheme: lowsched.GSS{},
+		Tracer: log,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return prog, ref, log
+}
+
+func TestFig1TraceVerifies(t *testing.T) {
+	prog, ref, log := runTraced(t, workload.Fig1(workload.DefaultFig1()), 4)
+	if err := log.VerifyExactlyOnce(prog, ref); err != nil {
+		t.Errorf("exactly-once: %v", err)
+	}
+	g := descr.BuildGraph(prog)
+	if err := log.VerifyPrecedence(prog, g); err != nil {
+		t.Errorf("precedence: %v", err)
+	}
+	if log.Len() == 0 {
+		t.Error("empty log")
+	}
+}
+
+func TestRandomProgramsTraceVerify(t *testing.T) {
+	n := int64(120)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(0); seed < n; seed++ {
+		nest := workload.Random(seed, workload.DefaultRandConfig())
+		prog, ref, log := runTraced(t, nest, int(seed%7)+1)
+		if err := log.VerifyExactlyOnce(prog, ref); err != nil {
+			t.Fatalf("seed %d exactly-once: %v", seed, err)
+		}
+		g := descr.BuildGraph(prog)
+		if err := log.VerifyPrecedence(prog, g); err != nil {
+			t.Fatalf("seed %d precedence: %v", seed, err)
+		}
+	}
+}
+
+func TestVerifyDetectsMissingInstance(t *testing.T) {
+	prog, ref, _ := runTraced(t, workload.Fig1(workload.DefaultFig1()), 2)
+	empty := New()
+	err := empty.VerifyExactlyOnce(prog, ref)
+	if err == nil || !strings.Contains(err.Error(), "never executed") {
+		t.Errorf("empty log passed verification: %v", err)
+	}
+}
+
+func TestVerifyDetectsDuplicateIteration(t *testing.T) {
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+	})
+	prog, ref, log := runTraced(t, nest, 1)
+	// Re-inject a duplicate iteration end.
+	log.IterEnd(1, nil, 1, 0, 99)
+	err := log.VerifyExactlyOnce(prog, ref)
+	if err == nil || !strings.Contains(err.Error(), "executed 2 times") {
+		t.Errorf("duplicate iteration not detected: %v", err)
+	}
+}
+
+func TestVerifyDetectsPrecedenceViolation(t *testing.T) {
+	// Build a fake log where B starts before A completes, for A ; B.
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(1), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+		b.DoallLeaf("B", loopir.Const(1), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+	})
+	std, _ := nest.Standardize()
+	prog, _ := descr.Compile(std)
+	g := descr.BuildGraph(prog)
+	log := New()
+	log.InstanceActivated(1, nil, 1, 0)
+	log.IterStart(1, nil, 1, 0, 10)
+	log.IterEnd(1, nil, 1, 0, 20)
+	log.InstanceCompleted(1, nil, 20)
+	log.InstanceActivated(2, nil, 1, 5)
+	log.IterStart(2, nil, 1, 1, 5) // starts before A completes
+	log.IterEnd(2, nil, 1, 1, 8)
+	log.InstanceCompleted(2, nil, 8)
+	err := log.VerifyPrecedence(prog, g)
+	if err == nil || !strings.Contains(err.Error(), "precedence violated") {
+		t.Errorf("violation not detected: %v", err)
+	}
+}
+
+func TestVerifyProjectsThroughCondNodes(t *testing.T) {
+	// A ; if c { F } ; H with c false (empty else): H's predecessor
+	// projects through the diamond to A.
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(10) })
+		b.If("c", func(loopir.IVec) bool { return false }, func(b *loopir.B) {
+			b.DoallLeaf("F", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(10) })
+		}, nil)
+		b.DoallLeaf("H", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(10) })
+	})
+	prog, ref, log := runTraced(t, nest, 3)
+	if err := log.VerifyExactlyOnce(prog, ref); err != nil {
+		t.Error(err)
+	}
+	g := descr.BuildGraph(prog)
+	if err := log.VerifyPrecedence(prog, g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	log := New()
+	log.IterStart(3, loopir.IVec{1, 2}, 7, 1, 42)
+	evs := log.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	e := evs[0]
+	if e.Kind.String() != "iter-start" || e.Key() != "3(1,2)" || e.Seq != 1 {
+		t.Errorf("event = %+v", e)
+	}
+}

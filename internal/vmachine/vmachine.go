@@ -1,0 +1,226 @@
+// Package vmachine implements the machine.Engine interface on top of the
+// deterministic discrete-event simulator in package des.
+//
+// It models a shared-memory multiprocessor at the fidelity the paper's
+// Section IV analysis requires:
+//
+//   - Each processor is a des.Process with its own virtual clock.
+//   - Each synchronization variable lives in a memory module; an access
+//     occupies the module for AccessCost time units, and concurrent
+//     accesses to the same variable serialize (hot-spot contention).
+//     With Combining enabled, accesses pipeline through a combining
+//     network (as on Cedar, the RP3 and the NYU Ultracomputer) and do not
+//     serialize.
+//   - Spin-wait retries consume SpinCost units each, so busy waiting has a
+//     cost but always lets virtual time progress.
+//
+// Because execution is sequential under des, runs are fully deterministic:
+// scheduling decisions, virtual makespans and utilization figures are
+// exactly reproducible, which is what lets the experiments validate the
+// paper's utilization equations quantitatively.
+package vmachine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/machine"
+)
+
+// Config configures a virtual multiprocessor.
+type Config struct {
+	// P is the number of processors. Must be >= 1.
+	P int
+	// AccessCost is the time one synchronization-variable access occupies
+	// its memory module. Defaults to 10 if zero. This is the dominant
+	// component of the paper's per-iteration overhead O1.
+	AccessCost machine.Time
+	// Combining, if true, lets simultaneous accesses to the same variable
+	// proceed without serialization (hardware combining network).
+	Combining bool
+	// SpinCost is the cost of one busy-wait retry. Defaults to AccessCost
+	// if zero (a retry re-reads the variable).
+	SpinCost machine.Time
+	// RemotePenalty is the extra cost of accessing a synchronization
+	// variable homed on another processor's memory module (NUMA-style
+	// hierarchy; the paper's Section I notes memory-hierarchy placement
+	// makes access times "vary widely"). A variable's home is the first
+	// processor to access it. Zero models flat shared memory.
+	RemotePenalty machine.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.P <= 0 {
+		panic(fmt.Sprintf("vmachine: invalid processor count %d", c.P))
+	}
+	if c.AccessCost <= 0 {
+		c.AccessCost = 10
+	}
+	if c.SpinCost <= 0 {
+		c.SpinCost = c.AccessCost
+	}
+	return c
+}
+
+// Engine is a virtual multiprocessor. It implements machine.Engine.
+// An Engine is single-use: create a new one for each Run.
+type Engine struct {
+	cfg   Config
+	sim   *des.Sim
+	avail map[*machine.SyncVar]machine.Time
+	stats map[*machine.SyncVar]*VarStat
+	home  map[*machine.SyncVar]int
+	procs []*vproc
+}
+
+// VarStat is the contention profile of one synchronization variable.
+type VarStat struct {
+	// Name is the variable's debug name.
+	Name string
+	// Accesses counts accesses to the variable.
+	Accesses int64
+	// Wait is the total time processors queued for the variable's memory
+	// module beyond the raw access cost.
+	Wait machine.Time
+}
+
+// New returns a virtual multiprocessor with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:   cfg,
+		sim:   des.New(),
+		avail: make(map[*machine.SyncVar]machine.Time),
+		stats: make(map[*machine.SyncVar]*VarStat),
+		home:  make(map[*machine.SyncVar]int),
+	}
+}
+
+// NumProcs returns the processor count.
+func (e *Engine) NumProcs() int { return e.cfg.P }
+
+// Run executes worker on each virtual processor and returns when the
+// simulation has quiesced. The report's Makespan is in virtual time.
+func (e *Engine) Run(worker func(machine.Proc)) machine.RunReport {
+	e.procs = make([]*vproc, e.cfg.P)
+	for i := 0; i < e.cfg.P; i++ {
+		vp := &vproc{eng: e}
+		e.procs[i] = vp
+		e.sim.Spawn(i, 0, func(p *des.Process) {
+			vp.p = p
+			worker(vp)
+		})
+	}
+	makespan := e.sim.Run()
+	rep := machine.RunReport{
+		Makespan: makespan,
+		Busy:     make([]machine.Time, e.cfg.P),
+		Accesses: make([]int64, e.cfg.P),
+		Spins:    make([]int64, e.cfg.P),
+	}
+	for i, vp := range e.procs {
+		rep.Busy[i] = vp.busy
+		rep.Accesses[i] = vp.accesses
+		rep.Spins[i] = vp.spins
+	}
+	return rep
+}
+
+// HotSpots returns the most contended synchronization variables after a
+// Run, ordered by total queueing time (ties by access count), at most n
+// entries. With Combining enabled queueing is zero and ordering falls
+// back to access counts.
+func (e *Engine) HotSpots(n int) []VarStat {
+	out := make([]VarStat, 0, len(e.stats))
+	for _, st := range e.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wait != out[j].Wait {
+			return out[i].Wait > out[j].Wait
+		}
+		if out[i].Accesses != out[j].Accesses {
+			return out[i].Accesses > out[j].Accesses
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// vproc implements machine.Proc on a des.Process.
+type vproc struct {
+	eng      *Engine
+	p        *des.Process
+	busy     machine.Time
+	accesses int64
+	spins    int64
+}
+
+func (v *vproc) ID() int       { return v.p.ID() }
+func (v *vproc) NumProcs() int { return v.eng.cfg.P }
+func (v *vproc) Now() machine.Time {
+	return v.p.Now()
+}
+
+func (v *vproc) Work(cost machine.Time) {
+	if cost < 0 {
+		panic(fmt.Sprintf("vmachine: negative work cost %d", cost))
+	}
+	v.busy += cost
+	v.p.Advance(cost)
+}
+
+func (v *vproc) Idle(cost machine.Time) {
+	if cost < 0 {
+		panic(fmt.Sprintf("vmachine: negative idle cost %d", cost))
+	}
+	v.p.Advance(cost)
+}
+
+// Access models one synchronization access: the processor waits for the
+// variable's memory module to become free (unless combining), occupies it
+// for AccessCost, and resumes afterwards. The avail map is shared but safe:
+// only one des process executes at a time.
+func (v *vproc) Access(sv *machine.SyncVar) {
+	v.accesses++
+	cfg := v.eng.cfg
+	now := v.p.Now()
+	start := now
+	if !cfg.Combining {
+		if a, ok := v.eng.avail[sv]; ok && a > start {
+			start = a
+		}
+	}
+	cost := cfg.AccessCost
+	if cfg.RemotePenalty > 0 {
+		home, ok := v.eng.home[sv]
+		if !ok {
+			home = v.p.ID() // first toucher homes the variable
+			v.eng.home[sv] = home
+		}
+		if home != v.p.ID() {
+			cost += cfg.RemotePenalty
+		}
+	}
+	end := start + cost
+	if !cfg.Combining {
+		v.eng.avail[sv] = end
+	}
+	st, ok := v.eng.stats[sv]
+	if !ok {
+		st = &VarStat{Name: sv.Name()}
+		v.eng.stats[sv] = st
+	}
+	st.Accesses++
+	st.Wait += start - now
+	v.p.AdvanceTo(end)
+}
+
+func (v *vproc) Spin() {
+	v.spins++
+	v.p.Advance(v.eng.cfg.SpinCost)
+}

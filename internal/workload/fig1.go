@@ -1,0 +1,96 @@
+// Package workload provides the loop-nest programs and iteration-cost
+// models used by the tests, examples, and experiments: a reconstruction of
+// the paper's Fig. 1 example, classical irregular-loop workloads (adjoint
+// convolution, triangular nests, wavefronts, branchy nests), and a seeded
+// random-program generator for property-based testing.
+package workload
+
+import (
+	"repro/internal/loopir"
+)
+
+// Fig1Config parameterizes the Fig. 1 reconstruction.
+type Fig1Config struct {
+	// NI, NJ, NK are the bounds of outer parallel loop I, nested parallel
+	// loop J and serial loop K. The paper's macro-dataflow graph (Fig. 4)
+	// corresponds to NI = NJ = NK = 2 (instances A1, A2, B11..B22, and
+	// BAR_COUNT(1:3): one counter for loop I plus one per instance of J).
+	NI, NJ, NK int64
+	// NA, NB, NC, ND, NE, NF, NG, NH are the bounds of the innermost
+	// parallel loops A..H.
+	NA, NB, NC, ND, NE, NF, NG, NH int64
+	// IterCost is the simulated work per leaf iteration.
+	IterCost int64
+	// CondP decides the IF between F and G; it receives no indexes
+	// (the IF is at top level). Defaults to true (take F).
+	CondP func() bool
+}
+
+// DefaultFig1 returns the configuration matching the paper's figures.
+func DefaultFig1() Fig1Config {
+	return Fig1Config{
+		NI: 2, NJ: 2, NK: 2,
+		NA: 4, NB: 4, NC: 4, ND: 4, NE: 4, NF: 4, NG: 4, NH: 4,
+		IterCost: 100,
+	}
+}
+
+// Fig1 builds the reconstruction of the paper's Fig. 1: a general parallel
+// nested loop with eight innermost parallel loops A..H,
+//
+//	doall I = 1..NI
+//	    A (innermost parallel loop)
+//	    doall J = 1..NJ
+//	        B (innermost parallel loop)
+//	    serial K = 1..NK
+//	        C (innermost parallel loop)
+//	        D (innermost parallel loop)
+//	    E (innermost parallel loop)
+//	if P then
+//	    F (innermost parallel loop)
+//	else
+//	    G (innermost parallel loop)
+//	H (innermost parallel loop)
+//
+// The full text of the paper does not reproduce Fig. 1's listing, so this
+// shape is reconstructed from the prose: "parallel loop B, serial loop K
+// (with its enclosed parallel loops C and D) and parallel loop E are
+// executed in sequence" inside loop I; completion of A's instance under
+// I=x activates Bx1 and Bx2; a diamond node selects between two innermost
+// loops; BAR_COUNT(1:3) serves loop I and the two instances of loop J.
+func Fig1(cfg Fig1Config) *loopir.Nest {
+	if cfg.CondP == nil {
+		cfg.CondP = func() bool { return true }
+	}
+	iter := func(e loopir.Env, iv loopir.IVec, j int64) {
+		e.Work(cfg.IterCost)
+	}
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.Doall("I", loopir.Const(cfg.NI), func(b *loopir.B) {
+			b.DoallLeaf("A", loopir.Const(cfg.NA), iter)
+			b.Doall("J", loopir.Const(cfg.NJ), func(b *loopir.B) {
+				b.DoallLeaf("B", loopir.Const(cfg.NB), iter)
+			})
+			b.Serial("K", loopir.Const(cfg.NK), func(b *loopir.B) {
+				b.DoallLeaf("C", loopir.Const(cfg.NC), iter)
+				b.DoallLeaf("D", loopir.Const(cfg.ND), iter)
+			})
+			b.DoallLeaf("E", loopir.Const(cfg.NE), iter)
+		})
+		b.If("P", func(loopir.IVec) bool { return cfg.CondP() }, func(b *loopir.B) {
+			b.DoallLeaf("F", loopir.Const(cfg.NF), iter)
+		}, func(b *loopir.B) {
+			b.DoallLeaf("G", loopir.Const(cfg.NG), iter)
+		})
+		b.DoallLeaf("H", loopir.Const(cfg.NH), iter)
+	})
+}
+
+// Fig1Std builds, standardizes and returns the Fig. 1 nest.
+func Fig1Std(cfg Fig1Config) *loopir.Nest {
+	std, err := Fig1(cfg).Standardize()
+	if err != nil {
+		panic(err)
+	}
+	return std
+}

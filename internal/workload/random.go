@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/loopir"
+)
+
+// RandConfig bounds the shape of generated random programs.
+type RandConfig struct {
+	// MaxDepth limits loop nesting (structural loops).
+	MaxDepth int
+	// MaxSeq limits the number of constructs per sequence.
+	MaxSeq int
+	// MaxBound limits constant loop bounds.
+	MaxBound int64
+	// AllowZeroTrip permits dynamic bounds that evaluate to 0.
+	AllowZeroTrip bool
+	// NoDoacross excludes Doacross leaves (required when testing static
+	// pre-scheduling baselines, which reject Doacross programs).
+	NoDoacross bool
+	// Grain is the Work cost per leaf iteration.
+	Grain int64
+}
+
+// DefaultRandConfig returns limits that produce small but structurally
+// rich programs (nesting, IFs, doacross, dynamic and zero-trip bounds).
+func DefaultRandConfig() RandConfig {
+	return RandConfig{MaxDepth: 3, MaxSeq: 3, MaxBound: 4, AllowZeroTrip: true, Grain: 10}
+}
+
+// Random generates a pseudo-random valid nest from the seed. The same
+// seed always yields the same program (bodies and bounds are pure
+// functions), making it suitable for property-based testing: the
+// two-level scheduler's execution is compared against the sequential
+// reference executor on thousands of generated programs.
+func Random(seed int64, cfg RandConfig) *loopir.Nest {
+	g := &rgen{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	return loopir.MustBuild(func(b *loopir.B) {
+		g.seq(b, 0, true)
+	})
+}
+
+type rgen struct {
+	rng  *rand.Rand
+	cfg  RandConfig
+	next int
+}
+
+func (g *rgen) label(prefix string) string {
+	g.next++
+	return fmt.Sprintf("%s%d", prefix, g.next)
+}
+
+// bound generates a loop bound: constant, or a function of the innermost
+// enclosing index when depth > 0.
+func (g *rgen) bound(depth int) loopir.Bound {
+	if depth > 0 && g.rng.Intn(3) == 0 {
+		mod := g.cfg.MaxBound + 1
+		off := int64(0)
+		if !g.cfg.AllowZeroTrip {
+			off = 1
+		}
+		return loopir.BoundFn(func(iv loopir.IVec) int64 {
+			return iv[len(iv)-1]%mod + off
+		})
+	}
+	lo := int64(1)
+	if g.cfg.AllowZeroTrip && g.rng.Intn(6) == 0 {
+		lo = 0
+	}
+	return loopir.Const(lo + g.rng.Int63n(g.cfg.MaxBound))
+}
+
+func (g *rgen) cond() loopir.CondFn {
+	mod := int64(g.rng.Intn(3) + 2)
+	return func(iv loopir.IVec) bool {
+		var s int64
+		for _, v := range iv {
+			s += v
+		}
+		return s%mod == 0
+	}
+}
+
+func (g *rgen) body() loopir.BodyFn {
+	grain := g.cfg.Grain
+	return func(e loopir.Env, iv loopir.IVec, j int64) {
+		e.Work(grain + j%3)
+	}
+}
+
+// seq emits 1..MaxSeq constructs. When mustLeaf is set, at least one
+// construct on some path is a leaf (so the program has schedulable work).
+func (g *rgen) seq(b *loopir.B, depth int, mustLeaf bool) {
+	n := g.rng.Intn(g.cfg.MaxSeq) + 1
+	for i := 0; i < n; i++ {
+		g.construct(b, depth, mustLeaf && i == 0)
+	}
+}
+
+func (g *rgen) construct(b *loopir.B, depth int, mustLeaf bool) {
+	choice := g.rng.Intn(10)
+	if mustLeaf {
+		choice = 0 // guarantee at least one leaf in the program
+	}
+	if depth >= g.cfg.MaxDepth && choice >= 4 {
+		choice = g.rng.Intn(4) // no deeper structural nesting
+	}
+	switch choice {
+	case 0, 1, 2:
+		b.DoallLeaf(g.label("A"), g.bound(depth), g.body())
+	case 3:
+		if g.cfg.NoDoacross {
+			b.DoallLeaf(g.label("A"), g.bound(depth), g.body())
+			return
+		}
+		dist := int64(g.rng.Intn(2) + 1)
+		grain := g.cfg.Grain
+		if g.rng.Intn(2) == 0 {
+			b.DoacrossLeaf(g.label("X"), g.bound(depth), dist, g.body())
+		} else {
+			b.DoacrossLeafManual(g.label("X"), g.bound(depth), dist,
+				func(e loopir.Env, iv loopir.IVec, j int64) {
+					e.AwaitDep()
+					e.Work(grain)
+					e.PostDep()
+					e.Work(grain)
+				})
+		}
+	case 4, 5:
+		b.Doall(g.label("I"), g.bound(depth), func(b *loopir.B) {
+			g.seq(b, depth+1, true)
+		})
+	case 6, 7:
+		b.Serial(g.label("K"), g.bound(depth), func(b *loopir.B) {
+			g.seq(b, depth+1, true)
+		})
+	case 8:
+		// IF with both branches.
+		b.If(g.label("C"), g.cond(), func(b *loopir.B) {
+			g.seq(b, depth, true)
+		}, func(b *loopir.B) {
+			g.seq(b, depth, true)
+		})
+	case 9:
+		// IF with an empty FALSE branch (the skip path).
+		b.If(g.label("C"), g.cond(), func(b *loopir.B) {
+			g.seq(b, depth, true)
+		}, nil)
+	}
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"repro/internal/loopir"
+)
+
+// AdjointConvolution is the classical decreasing-workload loop used to
+// motivate guided self-scheduling: iteration j of the outer parallel loop
+// performs N-j+1 units of work (the inner serial reduction shrinks as the
+// outer index grows), so equal-sized chunks produce severe load imbalance.
+//
+//	doall J = 1..N
+//	    serial K = J..N  (folded into the body)
+//	        work(grain)
+func AdjointConvolution(n int64, grain int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("ADJ", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+			e.Work((n - j + 1) * grain)
+		})
+	})
+}
+
+// ReverseAdjoint is the mirror of AdjointConvolution: iteration j costs
+// j*grain, so the workload grows toward the end of the iteration space.
+// Fixed-size chunking places the heaviest chunk last (one processor
+// finishes long after the rest), while guided scheduling's shrinking
+// chunks balance the heavy tail — the classical case where GSS wins.
+func ReverseAdjoint(n int64, grain int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("RADJ", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+			e.Work(j * grain)
+		})
+	})
+}
+
+// Triangular is a Gaussian-elimination-shaped nest: a serial pivot loop
+// enclosing a parallel update loop whose bound shrinks with the pivot
+// index — the textbook case of loop bounds being functions of outer
+// indexes.
+//
+//	serial K = 1..N
+//	    doall I = 1..N-K
+//	        work(grain)
+func Triangular(n int64, grain int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.Serial("K", loopir.Const(n), func(b *loopir.B) {
+			b.DoallLeaf("UPD", loopir.BoundFn(func(iv loopir.IVec) int64 {
+				return n - iv[0]
+			}), func(e loopir.Env, iv loopir.IVec, j int64) {
+				e.Work(grain)
+			})
+		})
+	})
+}
+
+// Wavefront is a one-dimensional Doacross recurrence with dependence
+// distance dist: iteration j may not start its dependent portion before
+// iteration j-dist has finished its source portion. head is the cost of
+// the dependent (serial-chain) portion; tail is the cost of the
+// independent portion that may overlap across iterations.
+func Wavefront(n, dist, head, tail int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoacrossLeafManual("WAVE", loopir.Const(n), dist,
+			func(e loopir.Env, iv loopir.IVec, j int64) {
+				e.AwaitDep()
+				e.Work(head)
+				e.PostDep()
+				e.Work(tail)
+			})
+	})
+}
+
+// Branchy is a nest dominated by IF-THEN-ELSE constructs with wildly
+// different branch costs, the paper's motivation for unpredictable
+// iteration times: inside an outer parallel loop, a condition on the
+// outer index selects between a heavy and a light innermost loop.
+//
+//	doall I = 1..N
+//	    if I mod 3 == 0
+//	        doall H = 1..heavyIters : work(heavy)
+//	    else
+//	        doall L = 1..lightIters : work(light)
+func Branchy(n, heavyIters, lightIters, heavy, light int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.Doall("I", loopir.Const(n), func(b *loopir.B) {
+			b.If("third", func(iv loopir.IVec) bool { return iv[0]%3 == 0 },
+				func(b *loopir.B) {
+					b.DoallLeaf("HV", loopir.Const(heavyIters), func(e loopir.Env, iv loopir.IVec, j int64) {
+						e.Work(heavy)
+					})
+				},
+				func(b *loopir.B) {
+					b.DoallLeaf("LT", loopir.Const(lightIters), func(e loopir.Env, iv loopir.IVec, j int64) {
+						e.Work(light)
+					})
+				})
+		})
+	})
+}
+
+// hashCost derives a deterministic pseudo-random value from an iteration
+// index (splitmix64-style), so variance workloads need no shared RNG
+// state and are identical across engines and runs.
+func hashCost(seed, j int64) int64 {
+	z := uint64(j) + uint64(seed)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z % (1 << 30))
+}
+
+// VarianceDoall is a flat Doall loop whose iteration costs are drawn
+// deterministically from [base, base+spread]: the "execution time of the
+// loop body may vary substantially from iteration to iteration" workload
+// of the paper's abstract. With spread 0 it degenerates to UniformDoall.
+func VarianceDoall(n, base, spread, seed int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("VAR", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+			c := base
+			if spread > 0 {
+				c += hashCost(seed, j) % (spread + 1)
+			}
+			e.Work(c)
+		})
+	})
+}
+
+// BimodalDoall is a flat Doall loop where a deterministic fraction
+// (1/heavyEvery) of iterations costs heavy and the rest cost light —
+// the paper's conditional-statement motivation ("conditional statements
+// with significantly different execution times in each branch").
+func BimodalDoall(n, light, heavy, heavyEvery, seed int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("BIM", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+			if hashCost(seed, j)%heavyEvery == 0 {
+				e.Work(heavy)
+			} else {
+				e.Work(light)
+			}
+		})
+	})
+}
+
+// UniformDoall is a single flat Doall loop with constant iteration cost —
+// the baseline for the Section IV utilization measurements (one innermost
+// parallel loop, N iterations of grain tau).
+func UniformDoall(n, tau int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("FLAT", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+			e.Work(tau)
+		})
+	})
+}
+
+// ManyInstances is a nest that floods the task pool with many small
+// instances spread over m distinct innermost loops (round-robin inside a
+// structural doall), stressing high-level SEARCH throughput — the workload
+// of the pool-scaling ablation (experiment E5).
+//
+//	doall I = 1..instances
+//	    leaf_(I mod m) with iters iterations of grain work   (via IF chain)
+func ManyInstances(m int, instances, iters, grain int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.Doall("I", loopir.Const(instances), func(b *loopir.B) {
+			// An IF ladder dispatches each I to one of m distinct leaves,
+			// giving the pool m populated lists.
+			var ladder func(b *loopir.B, k int)
+			ladder = func(b *loopir.B, k int) {
+				iter := func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(grain) }
+				if k == m-1 {
+					b.DoallLeaf(leafName(k), loopir.Const(iters), iter)
+					return
+				}
+				k64 := int64(k)
+				b.If(leafName(k)+"?", func(iv loopir.IVec) bool { return iv[0]%int64(m) == k64 },
+					func(b *loopir.B) {
+						b.DoallLeaf(leafName(k), loopir.Const(iters), iter)
+					},
+					func(b *loopir.B) {
+						ladder(b, k+1)
+					})
+			}
+			ladder(b, 0)
+		})
+	})
+}
+
+func leafName(k int) string {
+	return "W" + string(rune('A'+k%26)) + string(rune('0'+k/26))
+}

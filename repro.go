@@ -1,0 +1,359 @@
+// Package repro is a Go reproduction of "Dynamic Processor
+// Self-Scheduling for General Parallel Nested Loops" (Fang, Tang, Yew,
+// Zhu; ICPP 1987): a two-level run-time scheduler for general parallel
+// nested loops on shared-memory multiprocessors.
+//
+// A general parallel nested loop mixes Doall loops, Doacross loops,
+// serial loops and IF-THEN-ELSE constructs in any nesting order, with
+// loop bounds that may depend on outer indexes and iteration times that
+// vary arbitrarily. The scheme instruments such a program so that
+// processors schedule loop iterations among themselves at run time with
+// no operating-system involvement:
+//
+//   - at the low level, iterations of one innermost parallel loop
+//     instance are grabbed with indivisible fetch-and-add operations
+//     (plug-in policies: SS, CSS(k), GSS, TSS, factoring);
+//   - at the high level, instances are activated through a macro-dataflow
+//     precedence relation and held in a task pool of parallel linked
+//     lists searched by leading-one detection on a control word.
+//
+// # Quick start
+//
+//	nest := repro.MustBuild(func(b *repro.B) {
+//	    b.DoallLeaf("loop", repro.Const(1000), func(e repro.Env, iv repro.IVec, j int64) {
+//	        e.Work(100) // 100 cost units of simulated computation
+//	    })
+//	})
+//	prog, _ := repro.Compile(nest)
+//	res, _ := prog.Run(repro.Options{Procs: 8, Scheme: "gss"})
+//	fmt.Println(res.Makespan, res.Utilization)
+//
+// Programs run on either of two engines: a deterministic virtual-time
+// multiprocessor (default; exact, reproducible, with a memory-contention
+// model) or the real Go runtime (goroutines and atomics).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/refexec"
+	"repro/internal/trace"
+	"repro/internal/vmachine"
+)
+
+// Re-exported program-construction surface (see package loopir).
+type (
+	// B is the nest builder passed to Build callbacks.
+	B = loopir.B
+	// Env is the execution environment seen by iteration bodies.
+	Env = loopir.Env
+	// IVec is an index vector of enclosing loop indexes (1-based).
+	IVec = loopir.IVec
+	// Bound is a loop bound: constant or function of outer indexes.
+	Bound = loopir.Bound
+	// Nest is an un-compiled general parallel nested loop.
+	Nest = loopir.Nest
+	// BodyFn is an innermost-loop iteration body.
+	BodyFn = loopir.BodyFn
+	// StmtFn is a scalar statement body.
+	StmtFn = loopir.StmtFn
+	// CondFn is an IF condition.
+	CondFn = loopir.CondFn
+)
+
+// Const returns a constant loop bound.
+func Const(n int64) Bound { return loopir.Const(n) }
+
+// BoundFn returns a loop bound computed from the enclosing indexes.
+func BoundFn(f func(iv IVec) int64) Bound { return loopir.BoundFn(f) }
+
+// Build constructs a nest; the callback appends constructs to b.
+func Build(f func(b *B)) (*Nest, error) { return loopir.Build(f) }
+
+// MustBuild is Build that panics on error.
+func MustBuild(f func(b *B)) *Nest { return loopir.MustBuild(f) }
+
+// Program is a compiled nest: standardized form plus the descriptor
+// arrays (DEPTH, BOUND, DESCRPT) consumed by the run-time scheduler.
+type Program struct {
+	std  *loopir.Nest
+	desc *descr.Program
+}
+
+// CompileOption adjusts compilation.
+type CompileOption func(*compileCfg)
+
+type compileCfg struct {
+	coalesce bool
+}
+
+// WithCoalescing applies implicit loop coalescing (Fig. 3) to perfect
+// Doall nests with static inner bounds before compiling.
+func WithCoalescing() CompileOption {
+	return func(c *compileCfg) { c.coalesce = true }
+}
+
+// Compile standardizes the nest (Fig. 2) and builds the descriptor
+// arrays (Figs. 5-6).
+func Compile(nest *Nest, opts ...CompileOption) (*Program, error) {
+	var cfg compileCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	std, err := nest.Standardize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.coalesce {
+		if std, err = std.Coalesce(); err != nil {
+			return nil, err
+		}
+	}
+	desc, err := descr.Compile(std)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{std: std, desc: desc}, nil
+}
+
+// NumLoops returns the number of innermost parallel loops (the paper's m).
+func (p *Program) NumLoops() int { return p.desc.M }
+
+// String renders the standardized nest (Fig. 1 style).
+func (p *Program) String() string { return p.std.String() }
+
+// DepthBoundTable renders the DEPTH/BOUND arrays (Fig. 5).
+func (p *Program) DepthBoundTable() string { return p.desc.FormatDepthBound() }
+
+// DescriptorTable renders the DESCRPT records (Fig. 6).
+func (p *Program) DescriptorTable() string { return p.desc.FormatDescriptors() }
+
+// GraphDOT renders the macro-dataflow graph (Fig. 4) in Graphviz format.
+// It requires loop bounds evaluable from enclosing indexes.
+func (p *Program) GraphDOT() string { return descr.BuildGraph(p.desc).DOT() }
+
+// InstrumentationListing renders the instrumented program in the paper's
+// pseudocode style: the self-scheduling code each processor executes,
+// specialized with this program's descriptor contents.
+func (p *Program) InstrumentationListing() string { return p.desc.FormatInstrumented() }
+
+// Internal returns the compiled descriptor program, for advanced use with
+// the internal packages (experiments, custom engines).
+func (p *Program) Internal() *descr.Program { return p.desc }
+
+// StdNest returns the standardized nest.
+func (p *Program) StdNest() *loopir.Nest { return p.std }
+
+// EngineKind selects the execution substrate.
+type EngineKind string
+
+// Engine kinds.
+const (
+	// EngineVirtual is the deterministic virtual-time multiprocessor
+	// (discrete-event simulation with a memory-contention model).
+	EngineVirtual EngineKind = "virtual"
+	// EngineReal runs on goroutines with Work accounted but not slept.
+	EngineReal EngineKind = "real"
+	// EngineRealSpin runs on goroutines with Work realized as calibrated
+	// busy-wait (for wall-clock benchmarking).
+	EngineRealSpin EngineKind = "real-spin"
+)
+
+// Options configure one run.
+type Options struct {
+	// Procs is the processor count (default 4).
+	Procs int
+	// Scheme is the low-level self-scheduling policy specification:
+	// "ss", "css:K", "gss", "tss", "tss:F:L", "fsc" (default "ss").
+	Scheme string
+	// Engine selects the substrate (default EngineVirtual).
+	Engine EngineKind
+	// AccessCost is the virtual machine's synchronization access cost
+	// (default 10; ignored by real engines).
+	AccessCost int64
+	// SpinCost is the virtual machine's busy-wait retry cost (defaults
+	// to AccessCost).
+	SpinCost int64
+	// Combining enables the virtual machine's combining network for
+	// fetch-and-add hot spots.
+	Combining bool
+	// RemotePenalty is the virtual machine's extra cost for accessing a
+	// synchronization variable homed on another processor (NUMA model).
+	RemotePenalty int64
+	// SingleListPool uses one shared task-pool list (baseline ablation).
+	// Deprecated: use Pool = "single".
+	SingleListPool bool
+	// Pool selects the task-pool organization: "" or "per-loop" (the
+	// paper's m parallel lists + SW), "single" (one shared list), or
+	// "distributed" (per-processor lists with work stealing).
+	Pool string
+	// DispatchCost models an OS dispatch on every task grab (baseline).
+	DispatchCost int64
+	// CollectTrace records an event trace into Result.Trace.
+	CollectTrace bool
+	// Verify re-executes the program sequentially after the run and
+	// checks exactly-once execution and macro-dataflow precedence
+	// against the trace (implies CollectTrace). Note that verification
+	// re-runs iteration bodies, so bodies must tolerate re-execution.
+	Verify bool
+}
+
+func (o Options) engine() (machine.Engine, error) {
+	p := o.Procs
+	if p <= 0 {
+		p = 4
+	}
+	switch o.Engine {
+	case "", EngineVirtual:
+		return vmachine.New(vmachine.Config{
+			P:             p,
+			AccessCost:    o.AccessCost,
+			SpinCost:      o.SpinCost,
+			Combining:     o.Combining,
+			RemotePenalty: o.RemotePenalty,
+		}), nil
+	case EngineReal:
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount}), nil
+	case EngineRealSpin:
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkSpin}), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown engine %q", o.Engine)
+	}
+}
+
+// Result reports one run.
+type Result struct {
+	// Makespan is the run's total time (virtual units, or nanoseconds on
+	// the real engines).
+	Makespan int64
+	// Utilization is total busy time / (P * makespan), the empirical eta
+	// of eq. (1).
+	Utilization float64
+	// Busy is per-processor busy time.
+	Busy []int64
+	// Accesses is per-processor synchronization access counts.
+	Accesses []int64
+	// Stats are the executor counters (O1/O2/O3 decomposition).
+	Stats core.Snapshot
+	// SchemeName is the resolved low-level scheme.
+	SchemeName string
+	// Procs is the processor count used.
+	Procs int
+	// Trace is the event log when CollectTrace/Verify was set.
+	Trace *trace.Log
+	// HotSpots lists the most contended synchronization variables
+	// (virtual engine only), ordered by queueing time.
+	HotSpots []HotSpot
+
+	prog *Program
+}
+
+// HotSpot is the contention profile of one synchronization variable on
+// the virtual machine.
+type HotSpot struct {
+	// Name is the variable's debug name (e.g. "index", "SW", "L(3).next").
+	Name string
+	// Accesses counts accesses.
+	Accesses int64
+	// Wait is the total memory-module queueing time beyond the raw access
+	// cost.
+	Wait int64
+}
+
+// GanttChart renders a per-processor execution timeline of the run with
+// the given width in columns. It requires the run to have collected a
+// trace (Options.CollectTrace or Options.Verify); otherwise it returns "".
+func (r *Result) GanttChart(width int) string {
+	if r.Trace == nil {
+		return ""
+	}
+	return r.Trace.Gantt(r.prog.desc, r.Procs, width)
+}
+
+// Run executes the program under the given options.
+func (p *Program) Run(opts Options) (*Result, error) {
+	eng, err := opts.engine()
+	if err != nil {
+		return nil, err
+	}
+	spec := opts.Scheme
+	if spec == "" {
+		spec = "ss"
+	}
+	scheme, err := lowsched.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	var log *trace.Log
+	var tracer core.Tracer
+	if opts.CollectTrace || opts.Verify {
+		log = trace.New()
+		tracer = log
+	}
+	poolKind := core.PoolPerLoop
+	switch opts.Pool {
+	case "", "per-loop":
+		if opts.SingleListPool {
+			poolKind = core.PoolSingleList
+		}
+	case "single":
+		poolKind = core.PoolSingleList
+	case "distributed":
+		poolKind = core.PoolDistributed
+	default:
+		return nil, fmt.Errorf("repro: unknown pool %q", opts.Pool)
+	}
+	rep, err := core.Run(p.desc, core.Config{
+		Engine:       eng,
+		Scheme:       scheme,
+		Pool:         poolKind,
+		Tracer:       tracer,
+		DispatchCost: opts.DispatchCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Verify {
+		ref, err := refexec.Run(p.std)
+		if err != nil {
+			return nil, fmt.Errorf("repro: verification reference run: %w", err)
+		}
+		if err := log.VerifyExactlyOnce(p.desc, ref); err != nil {
+			return nil, fmt.Errorf("repro: verification: %w", err)
+		}
+		if err := log.VerifyPrecedence(p.desc, descr.BuildGraph(p.desc)); err != nil {
+			return nil, fmt.Errorf("repro: verification: %w", err)
+		}
+	}
+	res := &Result{
+		Makespan:    rep.Makespan,
+		Utilization: rep.Utilization(),
+		Busy:        rep.Busy,
+		Accesses:    rep.Accesses,
+		Stats:       rep.Stats,
+		SchemeName:  rep.Scheme,
+		Procs:       eng.NumProcs(),
+		Trace:       log,
+		prog:        p,
+	}
+	if ve, ok := eng.(*vmachine.Engine); ok {
+		for _, h := range ve.HotSpots(10) {
+			res.HotSpots = append(res.HotSpots, HotSpot{Name: h.Name, Accesses: h.Accesses, Wait: h.Wait})
+		}
+	}
+	return res, nil
+}
+
+// Execute compiles and runs a nest in one call.
+func Execute(nest *Nest, opts Options) (*Result, error) {
+	prog, err := Compile(nest)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run(opts)
+}
