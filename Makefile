@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test bench verify verify-race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+# verify is the tier-1 gate: everything builds, every test passes.
+verify:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# verify-race re-runs the suite under the race detector; the runner,
+# run-manager and cancellation paths are exercised concurrently there.
+verify-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...

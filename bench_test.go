@@ -119,15 +119,15 @@ func BenchmarkSchemeComparison(b *testing.B) {
 // BenchmarkPoolScaling (E5): m parallel lists vs a single list.
 func BenchmarkPoolScaling(b *testing.B) {
 	for _, P := range []int{4, 16} {
-		for _, single := range []bool{false, true} {
+		for _, kind := range []core.PoolKind{core.PoolPerLoop, core.PoolSingleList} {
 			name := fmt.Sprintf("P=%d/multi", P)
-			if single {
+			if kind == core.PoolSingleList {
 				name = fmt.Sprintf("P=%d/single", P)
 			}
 			b.Run(name, func(b *testing.B) {
 				benchRun(b, func() *loopir.Nest { return workload.ManyInstances(12, 96, 4, 30) },
 					vmachine.Config{P: P, AccessCost: 10},
-					core.Config{SingleListPool: single})
+					core.Config{Pool: kind})
 			})
 		}
 	}

@@ -13,13 +13,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -99,9 +103,10 @@ func run(args []string, out io.Writer) error {
 		access      = fs.Int64("access", 10, "virtual machine synchronization access cost")
 		combining   = fs.Bool("combining", false, "enable combining fetch-and-add")
 		remote      = fs.Int64("remote", 0, "NUMA remote-access penalty (virtual engine)")
-		singleList  = fs.Bool("single-list", false, "use a single task-pool list (baseline)")
+		singleList  = fs.Bool("single-list", false, "deprecated: same as -pool single")
 		poolKind    = fs.String("pool", "per-loop", "task pool: per-loop, single, distributed")
 		dispatch    = fs.Int64("dispatch", 0, "per-task OS dispatch cost (baseline)")
+		timeout     = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 		n           = fs.Int64("n", 0, "workload size override")
 		grain       = fs.Int64("grain", 0, "iteration grain override")
 		seed        = fs.Int64("seed", 1, "seed for -workload random")
@@ -169,21 +174,36 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s\n", prog.InstrumentationListing())
 	}
 
-	res, err := prog.Run(repro.Options{
-		Procs:          *procs,
-		Scheme:         *scheme,
-		Engine:         repro.EngineKind(*engine),
-		AccessCost:     *access,
-		Combining:      *combining,
-		RemotePenalty:  *remote,
-		SingleListPool: *singleList,
-		Pool:           *poolKind,
-		DispatchCost:   *dispatch,
-		Verify:         *verify,
-		CollectTrace:   *gantt > 0,
+	// -single-list predates -pool; translate it so Options.Pool stays the
+	// single source of truth.
+	pool := *poolKind
+	if *singleList {
+		if pool != "" && pool != "per-loop" && pool != "single" {
+			return fmt.Errorf("-single-list (deprecated) contradicts -pool %s; drop -single-list", pool)
+		}
+		pool = "single"
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := prog.RunContext(ctx, repro.Options{
+		Procs:         *procs,
+		Scheme:        *scheme,
+		Engine:        repro.EngineKind(*engine),
+		AccessCost:    *access,
+		Combining:     *combining,
+		RemotePenalty: *remote,
+		Pool:          pool,
+		DispatchCost:  *dispatch,
+		Verify:        *verify,
+		CollectTrace:  *gantt > 0,
 	})
 	if err != nil {
-		return fmt.Errorf("run: %v", err)
+		return runError(err, *timeout)
 	}
 
 	if *jsonOut {
@@ -201,7 +221,7 @@ func run(args []string, out io.Writer) error {
 		}
 		payload := jsonResult{
 			Workload: *name, Engine: orDefault(*engine, "virtual"),
-			Procs: res.Procs, Scheme: res.SchemeName, Pool: orDefault(*poolKind, "per-loop"),
+			Procs: res.Procs, Scheme: res.SchemeName, Pool: orDefault(pool, "per-loop"),
 			Makespan: res.Makespan, Utilization: res.Utilization,
 			Busy: res.Busy, Stats: res.Stats, HotSpots: res.HotSpots,
 		}
@@ -242,6 +262,22 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runError maps the typed option errors to messages that include the
+// valid value sets, so a mistyped flag tells the user what would work.
+func runError(err error, timeout time.Duration) error {
+	switch {
+	case errors.Is(err, repro.ErrBadScheme):
+		return fmt.Errorf("%v\nvalid schemes: %s", err, strings.Join(repro.KnownSchemes(), ", "))
+	case errors.Is(err, repro.ErrUnknownEngine):
+		return fmt.Errorf("%v\nvalid engines: %s", err, strings.Join(repro.KnownEngines(), ", "))
+	case errors.Is(err, repro.ErrUnknownPool):
+		return fmt.Errorf("%v\nvalid pools: %s", err, strings.Join(repro.KnownPools(), ", "))
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("run aborted: -timeout %v expired", timeout)
+	}
+	return fmt.Errorf("run: %v", err)
 }
 
 func orDefault(s, d string) string {

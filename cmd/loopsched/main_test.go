@@ -91,6 +91,46 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestErrorsListValidValues(t *testing.T) {
+	// A mistyped option must tell the user what would have worked.
+	cases := []struct{ args []string; want string }{
+		{[]string{"-workload", "flat", "-scheme", "bogus"}, "valid schemes: ss, css:K"},
+		{[]string{"-workload", "flat", "-engine", "abacus"}, "valid engines: virtual, real"},
+		{[]string{"-workload", "flat", "-pool", "heap"}, "valid pools: per-loop, single"},
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		err := run(c.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) err = %v, want mention of %q", c.args, err, c.want)
+		}
+	}
+}
+
+func TestSingleListFlagTranslates(t *testing.T) {
+	out := runCLI(t, "-workload", "flat", "-procs", "2", "-single-list", "-json")
+	var payload map[string]any
+	if err := json.Unmarshal([]byte(out), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if payload["pool"] != "single" {
+		t.Errorf("pool = %v, want single", payload["pool"])
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-workload", "flat", "-single-list", "-pool", "distributed"}, &buf); err == nil {
+		t.Error("contradictory -single-list -pool distributed accepted")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "flat", "-n", "100000000", "-grain", "1000",
+		"-procs", "2", "-timeout", "50ms"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-timeout 50ms expired") {
+		t.Errorf("err = %v, want timeout-expired message", err)
+	}
+}
+
 func TestWorkloadTableComplete(t *testing.T) {
 	// Every built-in workload must compile and run at a small size.
 	for name := range workloads {

@@ -1,0 +1,321 @@
+// Command loopschedd serves scheduling runs over HTTP/JSON. It accepts
+// mini-language programs, compiles them, and executes them concurrently
+// on a runner.Runner, exposing each run's lifecycle, streaming progress
+// and final result.
+//
+// Endpoints:
+//
+//	POST /v1/runs                submit {"program": "...", "options": {...},
+//	                             "timeout": "30s", "label": "..."}
+//	GET  /v1/runs                list all runs (progress snapshots)
+//	GET  /v1/runs/{id}           one run's status, with the result once done
+//	GET  /v1/runs/{id}/progress  NDJSON stream of progress until terminal
+//	POST /v1/runs/{id}/cancel    request cancellation
+//	GET  /healthz                liveness
+//
+// Example:
+//
+//	loopschedd -addr :8080 -max-concurrent 4 &
+//	curl -s localhost:8080/v1/runs -d '{"program":"doall I = 1..2000 { work 100 }","options":{"procs":8,"scheme":"gss"}}'
+//	curl -s localhost:8080/v1/runs/run-0001
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/runner"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		maxConcurrent  = flag.Int("max-concurrent", 4, "maximum runs executing at once")
+		queueLimit     = flag.Int("queue-limit", 64, "maximum queued runs (0 = unbounded)")
+		sample         = flag.Duration("sample", 200*time.Millisecond, "progress sampling interval")
+		defaultTimeout = flag.Duration("default-timeout", 0, "timeout applied to runs that specify none (0 = none)")
+	)
+	flag.Parse()
+
+	srv := newServer(serverConfig{
+		MaxConcurrent:  *maxConcurrent,
+		QueueLimit:     *queueLimit,
+		SampleInterval: *sample,
+		DefaultTimeout: *defaultTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		srv.close(shutdownCtx)
+	}()
+
+	log.Printf("loopschedd listening on %s (max-concurrent %d)", *addr, *maxConcurrent)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Printf("loopschedd drained, exiting")
+}
+
+type serverConfig struct {
+	MaxConcurrent  int
+	QueueLimit     int
+	SampleInterval time.Duration
+	DefaultTimeout time.Duration
+}
+
+// server is the HTTP front end over a runner.Runner. It is an
+// http.Handler, so tests drive it through httptest without a socket.
+type server struct {
+	cfg serverConfig
+	rn  *runner.Runner
+	mux *http.ServeMux
+}
+
+func newServer(cfg serverConfig) *server {
+	s := &server{
+		cfg: cfg,
+		rn: runner.New(runner.Config{
+			MaxConcurrent:  cfg.MaxConcurrent,
+			QueueLimit:     cfg.QueueLimit,
+			SampleInterval: cfg.SampleInterval,
+		}),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// close cancels all live runs and waits for them to drain.
+func (s *server) close(ctx context.Context) {
+	s.rn.Close()
+	s.rn.Drain(ctx)
+}
+
+// Wire types.
+
+type submitRequest struct {
+	// Program is mini-language source (see internal/lang).
+	Program string     `json:"program"`
+	Label   string     `json:"label,omitempty"`
+	Timeout string     `json:"timeout,omitempty"` // Go duration string
+	Options runOptions `json:"options"`
+}
+
+type runOptions struct {
+	Procs         int    `json:"procs,omitempty"`
+	Scheme        string `json:"scheme,omitempty"`
+	Engine        string `json:"engine,omitempty"`
+	Pool          string `json:"pool,omitempty"`
+	AccessCost    int64  `json:"access_cost,omitempty"`
+	SpinCost      int64  `json:"spin_cost,omitempty"`
+	Combining     bool   `json:"combining,omitempty"`
+	RemotePenalty int64  `json:"remote_penalty,omitempty"`
+	DispatchCost  int64  `json:"dispatch_cost,omitempty"`
+	Verify        bool   `json:"verify,omitempty"`
+	Coalesce      bool   `json:"coalesce,omitempty"`
+}
+
+func (o runOptions) toOptions() repro.Options {
+	return repro.Options{
+		Procs:         o.Procs,
+		Scheme:        o.Scheme,
+		Engine:        repro.EngineKind(o.Engine),
+		Pool:          o.Pool,
+		AccessCost:    o.AccessCost,
+		SpinCost:      o.SpinCost,
+		Combining:     o.Combining,
+		RemotePenalty: o.RemotePenalty,
+		DispatchCost:  o.DispatchCost,
+		Verify:        o.Verify,
+	}
+}
+
+// runStatus is a progress snapshot plus, for a finished run, the result.
+type runStatus struct {
+	runner.Progress
+	Result *runResult `json:"result,omitempty"`
+}
+
+type runResult struct {
+	Makespan    int64         `json:"makespan"`
+	Utilization float64       `json:"utilization"`
+	Scheme      string        `json:"scheme"`
+	Procs       int           `json:"procs"`
+	Busy        []int64       `json:"busy"`
+	Stats       core.Snapshot `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Valid lists acceptable values when the error is a typed option
+	// error (unknown engine/pool, bad scheme).
+	Valid []string `json:"valid,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Program == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing program"))
+		return
+	}
+	nest, err := lang.Parse(req.Program)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parse program: %w", err))
+		return
+	}
+	var copts []repro.CompileOption
+	if req.Options.Coalesce {
+		copts = append(copts, repro.WithCoalescing())
+	}
+	prog, err := repro.Compile(nest, copts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("compile program: %w", err))
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		if timeout, err = time.ParseDuration(req.Timeout); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout: %w", err))
+			return
+		}
+	}
+	run, err := s.rn.Submit(runner.Submission{
+		Program: prog,
+		Options: req.Options.toOptions(),
+		Timeout: timeout,
+		Label:   req.Label,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := s.rn.Runs()
+	out := make([]runner.Progress, len(runs))
+	for i, run := range runs {
+		out[i] = run.Progress()
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	st := runStatus{Progress: run.Progress()}
+	if res, err := run.Result(); err == nil {
+		st.Result = &runResult{
+			Makespan:    res.Makespan,
+			Utilization: res.Utilization,
+			Scheme:      res.SchemeName,
+			Procs:       res.Procs,
+			Busy:        res.Busy,
+			Stats:       res.Stats,
+		}
+	}
+	writeJSON(w, st)
+}
+
+// handleProgress streams NDJSON progress snapshots until the run is
+// terminal or the client goes away.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for p := range run.Watch(r.Context()) {
+		if enc.Encode(p) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	run.Cancel()
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, runner.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, runner.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	switch {
+	case errors.Is(err, repro.ErrBadScheme):
+		resp.Valid = repro.KnownSchemes()
+	case errors.Is(err, repro.ErrUnknownEngine):
+		resp.Valid = repro.KnownEngines()
+	case errors.Is(err, repro.ErrUnknownPool):
+		resp.Valid = repro.KnownPools()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	if cfg.MaxConcurrent == 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 5 * time.Millisecond
+	}
+	s := newServer(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.close(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, payload
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp
+}
+
+func TestSubmitAndComplete(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..500 { work 50 }", "label": "demo",
+		  "options": {"procs": 4, "scheme": "gss"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, payload = %v", resp.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	if id == "" {
+		t.Fatalf("no run id in %v", payload)
+	}
+
+	deadline := time.After(30 * time.Second)
+	var status struct {
+		State  string `json:"state"`
+		Result *struct {
+			Makespan    float64 `json:"makespan"`
+			Utilization float64 `json:"utilization"`
+			Scheme      string  `json:"scheme"`
+			Stats       struct {
+				Iterations float64 `json:"Iterations"`
+			} `json:"stats"`
+		} `json:"result"`
+	}
+	for {
+		getJSON(t, ts.URL+"/v1/runs/"+id, &status)
+		if status.State == "done" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("run never finished: %+v", status)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if status.Result == nil {
+		t.Fatal("done run carried no result")
+	}
+	if status.Result.Stats.Iterations != 500 || status.Result.Scheme != "GSS" {
+		t.Errorf("result = %+v", status.Result)
+	}
+
+	var list []map[string]any
+	getJSON(t, ts.URL+"/v1/runs", &list)
+	if len(list) != 1 || list[0]["id"] != id {
+		t.Errorf("list = %v", list)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	cases := []struct {
+		body       string
+		wantStatus int
+		wantValid  bool
+	}{
+		{`{"program": ""}`, http.StatusBadRequest, false},
+		{`{"program": "doall I = { work }"}`, http.StatusBadRequest, false},
+		{`{"program": "doall I = 1..4 { work 5 }", "options": {"scheme": "wrong"}}`, http.StatusBadRequest, true},
+		{`{"program": "doall I = 1..4 { work 5 }", "options": {"engine": "abacus"}}`, http.StatusBadRequest, true},
+		{`{"program": "doall I = 1..4 { work 5 }", "timeout": "soon"}`, http.StatusBadRequest, false},
+		{`not json`, http.StatusBadRequest, false},
+	}
+	for _, c := range cases {
+		resp, payload := postJSON(t, ts.URL+"/v1/runs", c.body)
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("POST %q status = %d, want %d (%v)", c.body, resp.StatusCode, c.wantStatus, payload)
+		}
+		if _, ok := payload["valid"]; ok != c.wantValid {
+			t.Errorf("POST %q valid present = %v, want %v (%v)", c.body, ok, c.wantValid, payload)
+		}
+	}
+	if resp, _ := http.Get(ts.URL + "/v1/runs/run-9999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCancelRun(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..1099511627776 { work 100 }"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d (%v)", resp.StatusCode, payload)
+	}
+	id := payload["id"].(string)
+
+	cresp, cpayload := postJSON(t, ts.URL+"/v1/runs/"+id+"/cancel", "")
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d (%v)", cresp.StatusCode, cpayload)
+	}
+	deadline := time.After(10 * time.Second)
+	var status struct {
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	for {
+		getJSON(t, ts.URL+"/v1/runs/"+id, &status)
+		if status.State == "cancelled" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("run never cancelled: %+v", status)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !strings.Contains(status.Error, "context canceled") {
+		t.Errorf("error = %q, want context canceled", status.Error)
+	}
+}
+
+func TestProgressStream(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	_, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..300000 { work 20 }", "options": {"procs": 4}}`)
+	id := payload["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var p map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, p)
+	}
+	if len(lines) == 0 {
+		t.Fatal("progress stream carried no snapshots")
+	}
+	last := lines[len(lines)-1]
+	if last["state"] != "done" {
+		t.Errorf("final state = %v", last["state"])
+	}
+	if last["iterations"].(float64) != 300000 {
+		t.Errorf("final iterations = %v", last["iterations"])
+	}
+}
+
+func TestQueueLimitShedsLoad(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{MaxConcurrent: 1, QueueLimit: 1})
+	endless := `{"program": "doall I = 1..1099511627776 { work 100 }"}`
+	for i, wantStatus := range []int{http.StatusCreated, http.StatusCreated, http.StatusTooManyRequests} {
+		resp, payload := postJSON(t, ts.URL+"/v1/runs", endless)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("submit %d status = %d, want %d (%v)", i, resp.StatusCode, wantStatus, payload)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+}

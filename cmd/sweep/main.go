@@ -87,16 +87,9 @@ func run(args []string, out io.Writer) error {
 		ps = append(ps, p)
 	}
 
-	var poolKind core.PoolKind
-	switch *pool {
-	case "per-loop":
-		poolKind = core.PoolPerLoop
-	case "single":
-		poolKind = core.PoolSingleList
-	case "distributed":
-		poolKind = core.PoolDistributed
-	default:
-		return fmt.Errorf("unknown pool %q", *pool)
+	poolKind, err := core.ParsePool(*pool)
+	if err != nil {
+		return fmt.Errorf("unknown pool %q (valid: %s)", *pool, strings.Join(core.PoolNames(), ", "))
 	}
 
 	rows, err := sweep.Run(sweep.Config{

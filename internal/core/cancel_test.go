@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
+	"repro/internal/vmachine"
+)
+
+// endlessNest is a flat Doall far too large to finish in test time, so a
+// run over it only ends when the stop-cause machinery drains it.
+func endlessNest() *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("E", loopir.Const(1<<40), func(e loopir.Env, iv loopir.IVec, j int64) {
+			e.Work(100)
+		})
+	})
+}
+
+// TestRunContextCancel verifies that cancelling the context aborts a run
+// promptly on both engines, returning context.Canceled.
+func TestRunContextCancel(t *testing.T) {
+	for name, mk := range map[string]func() machine.Engine{
+		"virtual": func() machine.Engine { return vmachine.New(vmachine.Config{P: 4, AccessCost: 3}) },
+		"real":    func() machine.Engine { return machine.NewReal(machine.RealConfig{P: 4}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			prog := compileOnly(t, endlessNest())
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			rep, err := RunContext(ctx, prog, Config{Engine: mk()})
+			if rep != nil {
+				t.Errorf("cancelled run returned a report: %+v", rep)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Errorf("cancelled run took %v to drain", d)
+			}
+		})
+	}
+}
+
+// TestRunContextDeadline verifies deadline expiry surfaces as
+// context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	prog := compileOnly(t, endlessNest())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 3}),
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextPreCancelled verifies an already-cancelled context is
+// rejected before any worker starts.
+func TestRunContextPreCancelled(t *testing.T) {
+	prog := compileOnly(t, endlessNest())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 2, AccessCost: 3}),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelDoacross covers the nastiest drain: processors
+// blocked in the Doacross dependence wait when the run is cancelled.
+func TestRunContextCancelDoacross(t *testing.T) {
+	// The bound must stay modest (activation allocates one dependence
+	// flag per iteration) while still being far more work than the test
+	// duration.
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoacrossLeaf("W", loopir.Const(1<<20), 1, func(e loopir.Env, iv loopir.IVec, j int64) {
+			e.Work(50)
+		})
+	})
+	prog := compileOnly(t, nest)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunContext(ctx, prog, Config{
+		Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 3}),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInterruptDirect trips the shared interrupt without any context and
+// expects the recorded cause back.
+func TestInterruptDirect(t *testing.T) {
+	prog := compileOnly(t, endlessNest())
+	intr := machine.NewInterrupt()
+	cause := errors.New("operator pressed the big red button")
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		intr.Trip(cause)
+	}()
+	_, err := Run(prog, Config{
+		Engine:    vmachine.New(vmachine.Config{P: 4, AccessCost: 3, Interrupt: intr}),
+		Interrupt: intr,
+	})
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the tripped cause", err)
+	}
+}
+
+// TestProbeSamplesLiveRun samples the OnStart probe mid-run and checks
+// the counters move and include body time.
+func TestProbeSamplesLiveRun(t *testing.T) {
+	prog := compileOnly(t, endlessNest())
+	var probe Probe
+	ready := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, prog, Config{
+			Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 3}),
+			OnStart: func(p Probe) {
+				probe = p
+				close(ready)
+			},
+		})
+		done <- err
+	}()
+	<-ready
+	deadline := time.After(5 * time.Second)
+	for {
+		sn := probe.LiveStats()
+		if sn.Iterations > 0 && sn.BodyTime > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("probe never progressed: %+v", sn)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if probe.Completed() {
+		t.Error("endless run reported completion")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -92,6 +93,25 @@ func (k PoolKind) String() string {
 	}
 }
 
+// PoolNames lists the accepted ParsePool spellings.
+func PoolNames() []string { return []string{"per-loop", "single", "distributed"} }
+
+// ParsePool maps a task-pool name to its PoolKind. The empty string and
+// "per-loop" select the paper's pool; "single" and "single-list" the
+// shared-list baseline; "distributed" the work-stealing variant.
+func ParsePool(name string) (PoolKind, error) {
+	switch name {
+	case "", "per-loop":
+		return PoolPerLoop, nil
+	case "single", "single-list":
+		return PoolSingleList, nil
+	case "distributed":
+		return PoolDistributed, nil
+	default:
+		return 0, fmt.Errorf("core: unknown pool %q", name)
+	}
+}
+
 // Config configures one execution.
 type Config struct {
 	// Engine is the machine to run on. Required.
@@ -100,8 +120,6 @@ type Config struct {
 	Scheme lowsched.Scheme
 	// Pool selects the task-pool organization (default PoolPerLoop).
 	Pool PoolKind
-	// SingleListPool is a deprecated alias for Pool = PoolSingleList.
-	SingleListPool bool
 	// Tracer, if non-nil, observes activation/iteration/completion events.
 	Tracer Tracer
 	// DispatchCost, if positive, adds a fixed Work charge to every SEARCH
@@ -109,6 +127,28 @@ type Config struct {
 	// (the "OS-involved scheduling" baseline of experiment E6). Zero for
 	// the paper's self-scheduling.
 	DispatchCost machine.Time
+	// Interrupt, if non-nil, is the run's external stop request, shared
+	// with the engine so its preemption points observe the same signal.
+	// RunContext trips it when the context is cancelled; callers may also
+	// trip it directly. A tripped run drains cooperatively and returns
+	// the interrupt's cause instead of a report.
+	Interrupt *machine.Interrupt
+	// OnStart, if non-nil, is called once before the engine starts, with
+	// a live probe of the execution. The probe is safe for concurrent
+	// use from other goroutines for the whole run (and after it), which
+	// is how run managers sample progress.
+	OnStart func(Probe)
+}
+
+// Probe is a live, concurrency-safe view into one execution. The counters
+// it reports are monotone while the run progresses; sampling them charges
+// no machine time (zero-cost observer, like Tracer).
+type Probe interface {
+	// LiveStats snapshots the executor counters.
+	LiveStats() Snapshot
+	// Completed reports whether the program has run to completion (the
+	// EXIT walk climbed past the virtual root).
+	Completed() bool
 }
 
 // Report is the result of one execution.
@@ -125,6 +165,16 @@ type Report struct {
 // and for internal invariant violations (which would indicate a scheduler
 // bug, and are checked after every run).
 func Run(prog *descr.Program, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// or its deadline expires, the run's Interrupt trips, every processor
+// drains out at its next preemption point (iteration boundary, SEARCH
+// sweep, or busy-wait retry), and RunContext returns ctx's error. A
+// cancelled run produces no report and skips the quiescence invariants
+// (the pool is deliberately abandoned mid-flight).
+func RunContext(ctx context.Context, prog *descr.Program, cfg Config) (*Report, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("core: nil program")
 	}
@@ -143,8 +193,37 @@ func Run(prog *descr.Program, cfg Config) (*Report, error) {
 			}
 		}
 	}
+	if cfg.Interrupt == nil {
+		cfg.Interrupt = machine.NewInterrupt()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ex := newExecutor(prog, cfg)
+	if cfg.OnStart != nil {
+		cfg.OnStart(ex)
+	}
+	if done := ctx.Done(); done != nil {
+		// The watcher turns an asynchronous context event into a tripped
+		// interrupt the (possibly virtual-time, single-goroutine) run can
+		// poll. It is reaped before RunContext returns so cancelled runs
+		// leave no goroutines behind.
+		quit := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				cfg.Interrupt.Trip(ctx.Err())
+			case <-quit:
+			}
+		}()
+		defer func() { close(quit); <-watcherDone }()
+	}
 	rep := cfg.Engine.Run(ex.worker)
+	if cfg.Interrupt.Tripped() {
+		return nil, cfg.Interrupt.Err()
+	}
 	if err := ex.checkQuiescent(); err != nil {
 		return nil, err
 	}
@@ -167,11 +246,13 @@ type executor struct {
 	// harness bookkeeping (the paper's instrumented program just runs off
 	// its end), so it is a plain atomic, not a costed SyncVar.
 	done atomic.Bool
-	// failure records the first iteration-body panic; every blocking loop
-	// in the executor also watches it so a failed run aborts instead of
+	// cause records the run's first internal stop-cause (an iteration
+	// body panic). Together with the external cfg.Interrupt it forms the
+	// unified stop-cause: every blocking loop in the executor watches
+	// aborted() so a failed or cancelled run drains out instead of
 	// hanging (a dead processor can never post dependences or drain its
 	// pcount hold).
-	failure atomic.Pointer[failureInfo]
+	cause atomic.Pointer[stopCause]
 	// live counts activated-but-unreleased instances, for the post-run
 	// quiescence check.
 	live atomic.Int64
@@ -189,11 +270,7 @@ func newExecutor(prog *descr.Program, cfg Config) *executor {
 		cfg:  cfg,
 		bars: map[string]*machine.SyncVar{},
 	}
-	kind := cfg.Pool
-	if cfg.SingleListPool {
-		kind = PoolSingleList
-	}
-	switch kind {
+	switch cfg.Pool {
 	case PoolSingleList:
 		ex.pool = pool.NewSingleList(prog.M)
 	case PoolDistributed:
@@ -209,24 +286,41 @@ func newExecutor(prog *descr.Program, cfg Config) *executor {
 	return ex
 }
 
-type failureInfo struct {
-	proc int
-	val  any
+// stopCause is an internal stop-cause (today: a body panic); external
+// causes travel through cfg.Interrupt.
+type stopCause struct {
+	err error
 }
 
-func (ex *executor) setFailure(proc int, val any) {
-	ex.failure.CompareAndSwap(nil, &failureInfo{proc: proc, val: val})
+// trip records an internal stop-cause; the first cause wins.
+func (ex *executor) trip(err error) {
+	ex.cause.CompareAndSwap(nil, &stopCause{err: err})
 }
 
-// stop reports whether workers should give up: program complete or a
-// body failed.
+// aborted reports whether the run must drain out without completing:
+// an iteration body failed, or an external interrupt (cancellation,
+// deadline) tripped. This is the unified stop check consulted by every
+// preemption point — iteration boundaries, SEARCH sweeps, the Doacross
+// dependence wait and the pcount-release spin.
+func (ex *executor) aborted() bool {
+	return ex.cause.Load() != nil || ex.cfg.Interrupt.Tripped()
+}
+
+// stop reports whether workers should give up searching: program
+// complete, a body failed, or the run was interrupted.
 func (ex *executor) stop() bool {
-	return ex.done.Load() || ex.failure.Load() != nil
+	return ex.done.Load() || ex.aborted()
 }
+
+// LiveStats implements Probe.
+func (ex *executor) LiveStats() Snapshot { return ex.stats.Snap() }
+
+// Completed implements Probe.
+func (ex *executor) Completed() bool { return ex.done.Load() }
 
 func (ex *executor) checkQuiescent() error {
-	if f := ex.failure.Load(); f != nil {
-		return fmt.Errorf("core: iteration body panicked on processor %d: %v", f.proc, f.val)
+	if c := ex.cause.Load(); c != nil {
+		return c.err
 	}
 	if !ex.done.Load() {
 		return fmt.Errorf("core: run finished without program completion")

@@ -437,9 +437,9 @@ func TestSingleListPool(t *testing.T) {
 	prog, ref := compileStd(t, workload.Fig1(workload.DefaultFig1()))
 	tr := newRecTracer()
 	rep, err := Run(prog, Config{
-		Engine:         vmachine.New(vmachine.Config{P: 4, AccessCost: 5}),
-		SingleListPool: true,
-		Tracer:         tr,
+		Engine: vmachine.New(vmachine.Config{P: 4, AccessCost: 5}),
+		Pool:   PoolSingleList,
+		Tracer: tr,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -53,9 +53,9 @@ func (c *Ctx) AwaitDep() {
 	if c.j > c.dep.Dist() {
 		for !c.dep.Posted(c.j - c.dep.Dist()) {
 			if c.abort != nil && c.abort() {
-				// A failed processor can never post; unwind this body
-				// (recovered by the worker's failure handler).
-				panic("core: doacross wait aborted by failure on another processor")
+				// A failed or preempted processor can never post; unwind
+				// this body (recovered by the worker's stop handler).
+				panic("core: doacross wait aborted: run stopped on another processor")
 			}
 			c.pr.Spin()
 		}

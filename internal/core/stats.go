@@ -32,6 +32,11 @@ type Stats struct {
 	O2Time       atomic.Int64
 	O3Time       atomic.Int64
 	DispatchTime atomic.Int64
+	// BodyTime is summed processor time spent inside assigned iteration
+	// bodies (including Doacross dependence waits) — the "useful work"
+	// counterpart of the O1/O2/O3 overheads, kept here so a live probe
+	// can derive a scheduling-efficiency figure mid-run.
+	BodyTime atomic.Int64
 
 	mu     sync.Mutex
 	search pool.SearchStats
@@ -53,8 +58,19 @@ type Snapshot struct {
 	Searches, Enters, Exits       int64
 	ZeroTrips, GuardsFalse        int64
 	O1Time, O2Time, O3Time        int64
-	DispatchTime                  int64
+	DispatchTime, BodyTime        int64
 	Search                        pool.SearchStats
+}
+
+// Efficiency returns body time over total accounted processor time
+// (body + O1 + O2 + O3 + dispatch): the live, stats-only counterpart of
+// the paper's utilization eta. Zero when nothing has been accounted yet.
+func (sn Snapshot) Efficiency() float64 {
+	total := sn.BodyTime + sn.O1Time + sn.O2Time + sn.O3Time + sn.DispatchTime
+	if total <= 0 {
+		return 0
+	}
+	return float64(sn.BodyTime) / float64(total)
 }
 
 // Snap returns a plain-value copy of the counters.
@@ -68,8 +84,8 @@ func (s *Stats) Snap() Snapshot {
 		Enters: s.Enters.Load(), Exits: s.Exits.Load(),
 		ZeroTrips: s.ZeroTrips.Load(), GuardsFalse: s.GuardsFalse.Load(),
 		O1Time: s.O1Time.Load(), O2Time: s.O2Time.Load(), O3Time: s.O3Time.Load(),
-		DispatchTime: s.DispatchTime.Load(),
-		Search:       search,
+		DispatchTime: s.DispatchTime.Load(), BodyTime: s.BodyTime.Load(),
+		Search: search,
 	}
 }
 

@@ -15,12 +15,13 @@ func (ex *executor) worker(pr machine.Proc) {
 	// hang it: record the failure and let every processor drain out.
 	defer func() {
 		if r := recover(); r != nil {
-			ex.setFailure(pr.ID(), r)
+			ex.trip(fmt.Errorf("core: iteration body panicked on processor %d: %v", pr.ID(), r))
 		}
 	}()
 	loc := make([]int64, ex.maxDepth+1)
-	ctx := &Ctx{pr: pr, abort: func() bool { return ex.failure.Load() != nil }}
+	ctx := &Ctx{pr: pr, abort: ex.aborted}
 	var sst pool.SearchStats
+	defer func() { ex.stats.addSearch(&sst) }()
 
 	// A static pre-assignment scheme vetoes adopting instances on which
 	// this processor has no remaining work (see lowsched.Needer).
@@ -80,10 +81,19 @@ func (ex *executor) worker(pr machine.Proc) {
 		}
 		ex.stats.Chunks.Add(1)
 
-		// body: execute the assigned iterations.
+		// body: execute the assigned iterations. Each iteration boundary
+		// is a preemption point: an aborted run (body failure elsewhere,
+		// cancellation, deadline) abandons the rest of the chunk and
+		// drains out; nobody will complete the instance, and the other
+		// processors leave through the same stop checks.
 		leaf := ex.prog.Leaf(icb.Loop)
 		ctx.bind(icb, leaf.Node.ManualSync)
+		tb := pr.Now()
 		for j := a.Lo; j <= a.Hi; j++ {
+			if ex.aborted() {
+				ex.stats.BodyTime.Add(pr.Now() - tb)
+				return
+			}
 			ctx.begin(j)
 			if ex.cfg.Tracer != nil {
 				ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
@@ -102,6 +112,7 @@ func (ex *executor) worker(pr machine.Proc) {
 			}
 			ex.stats.Iterations.Add(1)
 		}
+		ex.stats.BodyTime.Add(pr.Now() - tb)
 
 		// update: count completed iterations; the completer of the final
 		// iteration activates successors and releases the ICB.
@@ -126,8 +137,8 @@ func (ex *executor) worker(pr machine.Proc) {
 				if _, ok := icb.PCount.Exec(pr, rel); ok {
 					break
 				}
-				if ex.failure.Load() != nil {
-					return // a dead holder can never drain its pcount
+				if ex.aborted() {
+					return // an aborted holder can never drain its pcount
 				}
 				pr.Spin()
 			}
@@ -135,5 +146,4 @@ func (ex *executor) worker(pr machine.Proc) {
 			icb = nil
 		}
 	}
-	ex.stats.addSearch(&sst)
 }

@@ -305,7 +305,7 @@ func runE5(w io.Writer) (Verdict, error) {
 			return v, err
 		}
 		single, err := run(workload.ManyInstances(m, instances, iters, grain),
-			vmachine.Config{P: P, AccessCost: acc}, core.Config{SingleListPool: true})
+			vmachine.Config{P: P, AccessCost: acc}, core.Config{Pool: core.PoolSingleList})
 		if err != nil {
 			return v, err
 		}

@@ -1,0 +1,60 @@
+package machine
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInterrupted is the cause recorded by Interrupt.Trip when the caller
+// supplies none.
+var ErrInterrupted = errors.New("machine: run interrupted")
+
+// Interrupt is an external stop request shared between a run's caller,
+// the scheduling executor, and the engine it runs on. It is the machine
+// model's half of the executor's unified stop-cause: context
+// cancellation, deadline expiry and similar external events all Trip the
+// interrupt, and every layer that can block or consume time polls
+// Tripped at its preemption points and drains out.
+//
+// Trip records only the first cause; later calls are ignored. A nil
+// *Interrupt is valid and is never tripped, so holders need not
+// nil-check.
+type Interrupt struct {
+	cause atomic.Pointer[interruptCause]
+}
+
+type interruptCause struct{ err error }
+
+// NewInterrupt returns an untripped interrupt.
+func NewInterrupt() *Interrupt { return &Interrupt{} }
+
+// Trip requests the run to stop with the given cause (ErrInterrupted if
+// err is nil). The first cause wins; Trip reports whether this call
+// recorded it.
+func (in *Interrupt) Trip(err error) bool {
+	if in == nil {
+		return false
+	}
+	if err == nil {
+		err = ErrInterrupted
+	}
+	return in.cause.CompareAndSwap(nil, &interruptCause{err: err})
+}
+
+// Tripped reports whether a stop has been requested. It is a single
+// atomic load, cheap enough for per-iteration polling.
+func (in *Interrupt) Tripped() bool {
+	return in != nil && in.cause.Load() != nil
+}
+
+// Err returns the recorded cause, or nil if the interrupt has not been
+// tripped.
+func (in *Interrupt) Err() error {
+	if in == nil {
+		return nil
+	}
+	if c := in.cause.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}

@@ -27,6 +27,11 @@ type RealConfig struct {
 	P int
 	// Mode selects how Work is realized. Defaults to WorkCount.
 	Mode WorkMode
+	// Interrupt, if non-nil, is the run's external stop request. The
+	// engine's preemption point is the calibrated busy-wait of WorkSpin
+	// mode: once the interrupt trips, in-flight Work/Idle spins end
+	// early so a cancelled run is not pinned behind large grains.
+	Interrupt *Interrupt
 }
 
 // Real is a machine whose processors are goroutines and whose
@@ -53,7 +58,7 @@ func (e *Real) Run(worker func(Proc)) RunReport {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := range procs {
-		procs[i] = &realProc{id: i, n: e.cfg.P, mode: e.cfg.Mode, start: start}
+		procs[i] = &realProc{id: i, n: e.cfg.P, mode: e.cfg.Mode, start: start, intr: e.cfg.Interrupt}
 		wg.Add(1)
 		go func(p *realProc) {
 			defer wg.Done()
@@ -80,6 +85,7 @@ type realProc struct {
 	n        int
 	mode     WorkMode
 	start    time.Time
+	intr     *Interrupt
 	busy     atomic.Int64
 	accesses atomic.Int64
 	spins    atomic.Int64
@@ -96,7 +102,7 @@ func (p *realProc) Work(cost Time) {
 	}
 	p.busy.Add(cost)
 	if p.mode == WorkSpin && cost > 0 {
-		spinFor(time.Duration(cost))
+		spinFor(time.Duration(cost), p.intr)
 	}
 }
 
@@ -105,7 +111,7 @@ func (p *realProc) Idle(cost Time) {
 		panic(fmt.Sprintf("machine: negative idle cost %d", cost))
 	}
 	if p.mode == WorkSpin && cost > 0 {
-		spinFor(time.Duration(cost))
+		spinFor(time.Duration(cost), p.intr)
 	}
 }
 
@@ -116,12 +122,15 @@ func (p *realProc) Spin() {
 	runtime.Gosched()
 }
 
-// spinFor busy-waits for approximately d. For very short durations the
-// granularity of time.Now dominates; that is acceptable for benchmarking
-// grains of ~100ns and above.
-func spinFor(d time.Duration) {
+// spinFor busy-waits for approximately d, ending early if the interrupt
+// trips. For very short durations the granularity of time.Now dominates;
+// that is acceptable for benchmarking grains of ~100ns and above.
+func spinFor(d time.Duration, intr *Interrupt) {
 	t0 := time.Now()
 	for time.Since(t0) < d {
+		if intr.Tripped() {
+			return
+		}
 		// burn a little before re-reading the clock
 		for i := 0; i < 32; i++ {
 			_ = i * i //nolint:staticcheck // intentional busy work

@@ -1,0 +1,326 @@
+// Package runmgr is the run-manager subsystem: a reusable, concurrent,
+// cancellable job manager behind the public runner package and the
+// loopschedd service.
+//
+// A Manager accepts job submissions, executes up to MaxConcurrent of
+// them in parallel over a bounded worker budget, and tracks each run
+// through the lifecycle
+//
+//	queued → running → done | failed | cancelled
+//
+// Runs are cancellable at any point: a queued run is finalized without
+// ever starting; a running run has its context cancelled and is drained
+// by the job itself (for scheduling runs, through the executor's
+// stop-cause machinery in internal/core). The manager is deliberately
+// ignorant of what a job computes — the repro-specific typing (compiled
+// Programs in, Results and progress snapshots out) lives in package
+// runner — so it can also manage sweeps, verification passes, or any
+// other long-running work the serving layer grows.
+package runmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a run's lifecycle state.
+type State uint8
+
+// Lifecycle states. Queued and Running are live; the rest are terminal.
+const (
+	StateQueued State = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+var stateNames = [...]string{
+	StateQueued: "queued", StateRunning: "running", StateDone: "done",
+	StateFailed: "failed", StateCancelled: "cancelled",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= StateDone }
+
+// Manager errors.
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("runmgr: manager closed")
+	// ErrQueueFull is returned by Submit when QueueLimit runs are
+	// already waiting.
+	ErrQueueFull = errors.New("runmgr: queue full")
+	// ErrNotFinished is returned by Run.Result while the run is live.
+	ErrNotFinished = errors.New("runmgr: run not finished")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// MaxConcurrent is the worker budget: the maximum number of runs
+	// executing simultaneously. Defaults to 1.
+	MaxConcurrent int
+	// QueueLimit caps the number of runs waiting to start; 0 means
+	// unbounded. Submissions beyond the cap fail with ErrQueueFull
+	// rather than blocking, so a serving frontend can shed load.
+	QueueLimit int
+}
+
+// Job is one unit of work. Run is required; Sample, if non-nil, may be
+// called concurrently at any time to obtain a live progress value (it
+// should return nil until the job has something to report).
+type Job struct {
+	Label  string
+	Run    func(ctx context.Context) (any, error)
+	Sample func() any
+}
+
+// Manager executes submitted jobs over a bounded worker budget.
+type Manager struct {
+	cfg Config
+
+	mu     sync.Mutex
+	seq    int
+	byID   map[string]*Run
+	runs   []*Run // submission order
+	queue  []*Run // waiting to start, FIFO
+	active int
+	closed bool
+}
+
+// New returns a Manager with the given configuration.
+func New(cfg Config) *Manager {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	return &Manager{cfg: cfg, byID: map[string]*Run{}}
+}
+
+// Submit enqueues a job and returns its run handle. The job starts
+// immediately if the worker budget has room, otherwise it waits in FIFO
+// order.
+func (m *Manager) Submit(job Job) (*Run, error) {
+	if job.Run == nil {
+		return nil, fmt.Errorf("runmgr: job without a Run function")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if m.cfg.QueueLimit > 0 && len(m.queue) >= m.cfg.QueueLimit {
+		return nil, ErrQueueFull
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		id:        fmt.Sprintf("run-%04d", m.seq),
+		mgr:       m,
+		job:       job,
+		state:     StateQueued,
+		submitted: time.Now(),
+		ctx:       ctx,
+		cancelCtx: cancel,
+		done:      make(chan struct{}),
+	}
+	m.byID[r.id] = r
+	m.runs = append(m.runs, r)
+	m.queue = append(m.queue, r)
+	m.dispatchLocked()
+	return r, nil
+}
+
+// dispatchLocked starts queued runs while the worker budget has room.
+func (m *Manager) dispatchLocked() {
+	for m.active < m.cfg.MaxConcurrent && len(m.queue) > 0 {
+		r := m.queue[0]
+		m.queue = m.queue[1:]
+		if r.state != StateQueued {
+			continue // cancelled while waiting
+		}
+		r.state = StateRunning
+		r.started = time.Now()
+		m.active++
+		go m.exec(r)
+	}
+}
+
+func (m *Manager) exec(r *Run) {
+	res, err := func() (res any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("runmgr: job panicked: %v", p)
+			}
+		}()
+		return r.job.Run(r.ctx)
+	}()
+	m.mu.Lock()
+	r.finalizeLocked(res, err)
+	m.active--
+	m.dispatchLocked()
+	m.mu.Unlock()
+}
+
+// Get returns the run with the given ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.byID[id]
+	return r, ok
+}
+
+// Runs returns all runs in submission order.
+func (m *Manager) Runs() []*Run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Run, len(m.runs))
+	copy(out, m.runs)
+	return out
+}
+
+// Close stops accepting submissions and cancels every live run. It
+// returns immediately; use Drain to wait for the cancelled runs to
+// finish unwinding.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	live := make([]*Run, 0, len(m.runs))
+	for _, r := range m.runs {
+		if !r.state.Terminal() {
+			live = append(live, r)
+		}
+	}
+	m.mu.Unlock()
+	for _, r := range live {
+		r.Cancel()
+	}
+}
+
+// Drain blocks until every submitted run is terminal or ctx expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	for _, r := range m.Runs() {
+		select {
+		case <-r.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Run is the handle of one submitted job.
+type Run struct {
+	id  string
+	mgr *Manager
+	job Job
+
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+	done      chan struct{}
+
+	// Guarded by mgr.mu.
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    any
+	err       error
+}
+
+// finalizeLocked records the outcome and marks the run terminal.
+// Callers hold mgr.mu.
+func (r *Run) finalizeLocked(res any, err error) {
+	if r.state.Terminal() {
+		return
+	}
+	r.result, r.err = res, err
+	switch {
+	case err == nil:
+		r.state = StateDone
+	case errors.Is(err, context.Canceled):
+		r.state = StateCancelled
+	default:
+		r.state = StateFailed
+	}
+	r.finished = time.Now()
+	r.cancelCtx() // release the context's resources
+	close(r.done)
+}
+
+// ID returns the manager-assigned run identifier.
+func (r *Run) ID() string { return r.id }
+
+// Label returns the submission label.
+func (r *Run) Label() string { return r.job.Label }
+
+// State returns the current lifecycle state.
+func (r *Run) State() State {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	return r.state
+}
+
+// Times returns the submission, start and finish times; zero times mean
+// the run has not reached that point yet.
+func (r *Run) Times() (submitted, started, finished time.Time) {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	return r.submitted, r.started, r.finished
+}
+
+// Done returns a channel closed when the run is terminal.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Cancel requests cancellation: a queued run finalizes immediately as
+// cancelled; a running run has its context cancelled and finalizes when
+// its job drains out. Cancelling a terminal run is a no-op.
+func (r *Run) Cancel() {
+	r.mgr.mu.Lock()
+	if r.state == StateQueued {
+		r.finalizeLocked(nil, context.Canceled)
+	}
+	r.mgr.mu.Unlock()
+	// For a running job, cancelling outside the lock lets the job's
+	// drain path call back into the manager freely.
+	r.cancelCtx()
+}
+
+// Result returns the job's outcome once terminal; before that it
+// returns ErrNotFinished.
+func (r *Run) Result() (any, error) {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	if !r.state.Terminal() {
+		return nil, ErrNotFinished
+	}
+	return r.result, r.err
+}
+
+// Wait blocks until the run is terminal (returning its outcome) or ctx
+// expires (returning ctx's error without affecting the run).
+func (r *Run) Wait(ctx context.Context) (any, error) {
+	select {
+	case <-r.done:
+		return r.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Sample returns the job's live progress value, or nil if the job does
+// not report progress (or has none yet).
+func (r *Run) Sample() any {
+	if r.job.Sample == nil {
+		return nil
+	}
+	return r.job.Sample()
+}

@@ -48,6 +48,13 @@ type Config struct {
 	// makes access times "vary widely"). A variable's home is the first
 	// processor to access it. Zero models flat shared memory.
 	RemotePenalty machine.Time
+	// Interrupt, if non-nil, is the run's external stop request. The
+	// engine's preemption point is Work/Idle: once the interrupt trips,
+	// body work no longer advances virtual time, so the cooperative
+	// drain of a cancelled run does not inflate the (partial) makespan.
+	// Synchronization accesses and spins keep their normal costs — they
+	// are what keeps the drain's busy-wait loops live and deterministic.
+	Interrupt *machine.Interrupt
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +177,9 @@ func (v *vproc) Work(cost machine.Time) {
 	if cost < 0 {
 		panic(fmt.Sprintf("vmachine: negative work cost %d", cost))
 	}
+	if v.eng.cfg.Interrupt.Tripped() {
+		return // preempted: drain without consuming virtual time
+	}
 	v.busy += cost
 	v.p.Advance(cost)
 }
@@ -177,6 +187,9 @@ func (v *vproc) Work(cost machine.Time) {
 func (v *vproc) Idle(cost machine.Time) {
 	if cost < 0 {
 		panic(fmt.Sprintf("vmachine: negative idle cost %d", cost))
+	}
+	if v.eng.cfg.Interrupt.Tripped() {
+		return
 	}
 	v.p.Advance(cost)
 }

@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/vmachine"
+)
+
+// Typed option errors. Every configuration mistake Run/RunContext can
+// reject resolves, via errors.Is, to exactly one of these sentinels, so
+// callers (CLIs, services) can map them to help text without string
+// matching.
+var (
+	// ErrUnknownEngine reports an Options.Engine outside KnownEngines.
+	ErrUnknownEngine = errors.New("repro: unknown engine")
+	// ErrUnknownPool reports an Options.Pool outside KnownPools.
+	ErrUnknownPool = errors.New("repro: unknown pool")
+	// ErrBadScheme reports an Options.Scheme that does not parse (unknown
+	// name or invalid parameters).
+	ErrBadScheme = errors.New("repro: bad scheme")
+	// ErrPoolConflict reports contradictory task-pool settings: the
+	// deprecated SingleListPool flag set together with a Pool value that
+	// selects anything other than the single shared list.
+	ErrPoolConflict = errors.New("repro: conflicting task-pool options")
+)
+
+// KnownEngines lists the accepted Options.Engine values.
+func KnownEngines() []string {
+	return []string{string(EngineVirtual), string(EngineReal), string(EngineRealSpin)}
+}
+
+// KnownPools lists the accepted Options.Pool values (the empty string
+// defaults to "per-loop").
+func KnownPools() []string { return core.PoolNames() }
+
+// KnownSchemes lists the accepted Options.Scheme specifications
+// (uppercase letters stand for integer parameters).
+func KnownSchemes() []string {
+	return []string{"ss", "css:K", "sdss", "gss", "tss", "tss:F:L", "fsc", "afs",
+		"static-block", "static-cyclic"}
+}
+
+// Validate checks the options without running anything. It returns nil
+// or an error matching one of the sentinel errors above.
+func (o Options) Validate() error {
+	_, err := o.resolve()
+	return err
+}
+
+// resolved is an Options value after validation: defaults applied,
+// strings parsed, ready to build an execution.
+type resolved struct {
+	procs    int
+	scheme   lowsched.Scheme
+	pool     core.PoolKind
+	mkEngine func(*machine.Interrupt) machine.Engine
+}
+
+func (o Options) resolve() (resolved, error) {
+	r := resolved{procs: o.Procs}
+	if r.procs <= 0 {
+		r.procs = 4
+	}
+
+	spec := o.Scheme
+	if spec == "" {
+		spec = "ss"
+	}
+	scheme, err := lowsched.Parse(spec)
+	if err != nil {
+		return r, fmt.Errorf("%w: %q", ErrBadScheme, o.Scheme)
+	}
+	r.scheme = scheme
+
+	switch o.Pool {
+	case "":
+		r.pool = core.PoolPerLoop
+		if o.SingleListPool {
+			r.pool = core.PoolSingleList
+		}
+	default:
+		kind, err := core.ParsePool(o.Pool)
+		if err != nil {
+			return r, fmt.Errorf("%w: %q", ErrUnknownPool, o.Pool)
+		}
+		if o.SingleListPool && kind != core.PoolSingleList {
+			return r, fmt.Errorf("%w: deprecated SingleListPool=true contradicts Pool=%q",
+				ErrPoolConflict, o.Pool)
+		}
+		r.pool = kind
+	}
+
+	p := r.procs
+	switch o.Engine {
+	case "", EngineVirtual:
+		r.mkEngine = func(intr *machine.Interrupt) machine.Engine {
+			return vmachine.New(vmachine.Config{
+				P:             p,
+				AccessCost:    o.AccessCost,
+				SpinCost:      o.SpinCost,
+				Combining:     o.Combining,
+				RemotePenalty: o.RemotePenalty,
+				Interrupt:     intr,
+			})
+		}
+	case EngineReal:
+		r.mkEngine = func(intr *machine.Interrupt) machine.Engine {
+			return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+		}
+	case EngineRealSpin:
+		r.mkEngine = func(intr *machine.Interrupt) machine.Engine {
+			return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkSpin, Interrupt: intr})
+		}
+	default:
+		return r, fmt.Errorf("%w: %q", ErrUnknownEngine, o.Engine)
+	}
+	return r, nil
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestValidateTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want error
+	}{
+		{"bad scheme", Options{Scheme: "zigzag"}, ErrBadScheme},
+		{"bad scheme params", Options{Scheme: "css:0"}, ErrBadScheme},
+		{"unknown engine", Options{Engine: "abacus"}, ErrUnknownEngine},
+		{"unknown pool", Options{Pool: "heap"}, ErrUnknownPool},
+		{"pool conflict", Options{SingleListPool: true, Pool: "distributed"}, ErrPoolConflict},
+		{"pool conflict per-loop", Options{SingleListPool: true, Pool: "per-loop"}, ErrPoolConflict},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.opts.Validate(); !errors.Is(err, c.want) {
+				t.Errorf("Validate() = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	ok := []Options{
+		{},
+		{Scheme: "gss", Engine: EngineReal, Pool: "distributed"},
+		{Scheme: "css:4", Engine: EngineRealSpin, Pool: "single"},
+		{SingleListPool: true},                 // deprecated flag alone
+		{SingleListPool: true, Pool: "single"}, // agreeing settings
+		{Scheme: "tss:100:1", Pool: "per-loop"},
+	}
+	for _, o := range ok {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+}
+
+func TestDeprecatedSingleListPoolStillWorks(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.DoallLeaf("L", Const(64), func(e Env, iv IVec, j int64) { e.Work(10) })
+	})
+	res, err := Execute(nest, Options{Procs: 4, SingleListPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 64 {
+		t.Errorf("iterations = %d, want 64", res.Stats.Iterations)
+	}
+}
+
+func TestPublicRunContextCancel(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.DoallLeaf("E", Const(1<<40), func(e Env, iv IVec, j int64) { e.Work(100) })
+	})
+	prog, err := Compile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := prog.RunContext(ctx, Options{Procs: 4})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, %v; want nil, context.Canceled", res, err)
+	}
+	// The program stays runnable after a cancelled attempt.
+	quick := MustBuild(func(b *B) {
+		b.DoallLeaf("Q", Const(32), func(e Env, iv IVec, j int64) { e.Work(10) })
+	})
+	if _, err := ExecuteContext(context.Background(), quick, Options{Procs: 2}); err != nil {
+		t.Fatalf("follow-up run: %v", err)
+	}
+}
+
+func TestObserveProbe(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.DoallLeaf("L", Const(5000), func(e Env, iv IVec, j int64) { e.Work(20) })
+	})
+	var live Live
+	res, err := Execute(nest, Options{Procs: 4, Observe: func(lv Live) { live = lv }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live == nil {
+		t.Fatal("Observe never called")
+	}
+	if !live.Completed() {
+		t.Error("probe of a finished run reports not completed")
+	}
+	sn := live.LiveStats()
+	if sn.Iterations != res.Stats.Iterations {
+		t.Errorf("probe iterations = %d, result says %d", sn.Iterations, res.Stats.Iterations)
+	}
+	if eff := sn.Efficiency(); eff <= 0 || eff > 1 {
+		t.Errorf("efficiency = %v, want in (0,1]", eff)
+	}
+}

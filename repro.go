@@ -34,12 +34,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/descr"
 	"repro/internal/loopir"
-	"repro/internal/lowsched"
 	"repro/internal/machine"
 	"repro/internal/refexec"
 	"repro/internal/trace"
@@ -186,7 +186,10 @@ type Options struct {
 	// synchronization variable homed on another processor (NUMA model).
 	RemotePenalty int64
 	// SingleListPool uses one shared task-pool list (baseline ablation).
-	// Deprecated: use Pool = "single".
+	//
+	// Deprecated: use Pool = "single". Pool is the single source of
+	// truth; setting SingleListPool together with a Pool value other
+	// than "single" is rejected with ErrPoolConflict.
 	SingleListPool bool
 	// Pool selects the task-pool organization: "" or "per-loop" (the
 	// paper's m parallel lists + SW), "single" (one shared list), or
@@ -201,30 +204,18 @@ type Options struct {
 	// against the trace (implies CollectTrace). Note that verification
 	// re-runs iteration bodies, so bodies must tolerate re-execution.
 	Verify bool
+	// Observe, if non-nil, is called once when the run starts, with a
+	// live probe of the execution. The probe may be sampled concurrently
+	// from other goroutines for the whole run; run managers use it to
+	// stream progress (iterations grabbed, instances completed, live
+	// scheduling efficiency) while the run is in flight.
+	Observe func(Live)
 }
 
-func (o Options) engine() (machine.Engine, error) {
-	p := o.Procs
-	if p <= 0 {
-		p = 4
-	}
-	switch o.Engine {
-	case "", EngineVirtual:
-		return vmachine.New(vmachine.Config{
-			P:             p,
-			AccessCost:    o.AccessCost,
-			SpinCost:      o.SpinCost,
-			Combining:     o.Combining,
-			RemotePenalty: o.RemotePenalty,
-		}), nil
-	case EngineReal:
-		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount}), nil
-	case EngineRealSpin:
-		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkSpin}), nil
-	default:
-		return nil, fmt.Errorf("repro: unknown engine %q", o.Engine)
-	}
-}
+// Live is a concurrency-safe view into a running execution, handed to
+// Options.Observe. Its LiveStats method snapshots the executor counters
+// (core.Snapshot) at any time during or after the run.
+type Live = core.Probe
 
 // Result reports one run.
 type Result struct {
@@ -275,45 +266,44 @@ func (r *Result) GanttChart(width int) string {
 	return r.Trace.Gantt(r.prog.desc, r.Procs, width)
 }
 
-// Run executes the program under the given options.
+// Run executes the program under the given options. It is
+// RunContext with a background context.
 func (p *Program) Run(opts Options) (*Result, error) {
-	eng, err := opts.engine()
+	return p.RunContext(context.Background(), opts)
+}
+
+// RunContext executes the program under the given options with
+// cooperative cancellation: when ctx is cancelled or its deadline
+// expires, the run's interrupt trips, every processor (virtual or real)
+// drains out at its next preemption point — an iteration boundary, a
+// SEARCH sweep, a busy-wait retry, or (on the spinning real engine) the
+// calibrated busy-wait itself — and RunContext returns ctx's error
+// (errors.Is-able against context.Canceled / context.DeadlineExceeded).
+// A cancelled run produces no Result.
+//
+// Configuration mistakes are reported with the typed errors of
+// Options.Validate before any execution starts.
+func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error) {
+	rs, err := opts.resolve()
 	if err != nil {
 		return nil, err
 	}
-	spec := opts.Scheme
-	if spec == "" {
-		spec = "ss"
-	}
-	scheme, err := lowsched.Parse(spec)
-	if err != nil {
-		return nil, err
-	}
+	intr := machine.NewInterrupt()
+	eng := rs.mkEngine(intr)
 	var log *trace.Log
 	var tracer core.Tracer
 	if opts.CollectTrace || opts.Verify {
 		log = trace.New()
 		tracer = log
 	}
-	poolKind := core.PoolPerLoop
-	switch opts.Pool {
-	case "", "per-loop":
-		if opts.SingleListPool {
-			poolKind = core.PoolSingleList
-		}
-	case "single":
-		poolKind = core.PoolSingleList
-	case "distributed":
-		poolKind = core.PoolDistributed
-	default:
-		return nil, fmt.Errorf("repro: unknown pool %q", opts.Pool)
-	}
-	rep, err := core.Run(p.desc, core.Config{
+	rep, err := core.RunContext(ctx, p.desc, core.Config{
 		Engine:       eng,
-		Scheme:       scheme,
-		Pool:         poolKind,
+		Scheme:       rs.scheme,
+		Pool:         rs.pool,
 		Tracer:       tracer,
 		DispatchCost: opts.DispatchCost,
+		Interrupt:    intr,
+		OnStart:      opts.Observe,
 	})
 	if err != nil {
 		return nil, err
@@ -351,9 +341,15 @@ func (p *Program) Run(opts Options) (*Result, error) {
 
 // Execute compiles and runs a nest in one call.
 func Execute(nest *Nest, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), nest, opts)
+}
+
+// ExecuteContext compiles and runs a nest in one call with cooperative
+// cancellation (see Program.RunContext).
+func ExecuteContext(ctx context.Context, nest *Nest, opts Options) (*Result, error) {
 	prog, err := Compile(nest)
 	if err != nil {
 		return nil, err
 	}
-	return prog.Run(opts)
+	return prog.RunContext(ctx, opts)
 }

@@ -1,0 +1,303 @@
+// Package runner serves scheduling runs: a Runner accepts compiled
+// repro Programs, executes up to MaxConcurrent of them in parallel over
+// the run-manager subsystem (internal/runmgr), and exposes each run's
+// lifecycle, streaming progress snapshots and final Result through a
+// Run handle.
+//
+// Each submission is validated up front with Options.Validate, so a
+// misconfigured run is rejected with the repro sentinel errors before
+// anything is enqueued. A running submission is cancellable at any
+// time: cancellation trips the run's interrupt, the processors drain
+// out at their next preemption point (see Program.RunContext), and the
+// handle finalizes with context.Canceled while the Runner keeps serving
+// other runs.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/runmgr"
+)
+
+// State re-exports the run lifecycle from the run-manager subsystem:
+// queued → running → done | failed | cancelled.
+type State = runmgr.State
+
+// Lifecycle states.
+const (
+	StateQueued    = runmgr.StateQueued
+	StateRunning   = runmgr.StateRunning
+	StateDone      = runmgr.StateDone
+	StateFailed    = runmgr.StateFailed
+	StateCancelled = runmgr.StateCancelled
+)
+
+// Runner errors (queue conditions come from the manager).
+var (
+	// ErrNoProgram reports a Submission without a compiled Program.
+	ErrNoProgram = errors.New("runner: submission has no program")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = runmgr.ErrClosed
+	// ErrQueueFull is returned by Submit when the waiting queue is at
+	// QueueLimit.
+	ErrQueueFull = runmgr.ErrQueueFull
+)
+
+// Config configures a Runner.
+type Config struct {
+	// MaxConcurrent is the maximum number of runs executing at once
+	// (default 1).
+	MaxConcurrent int
+	// QueueLimit caps queued (not yet running) submissions; 0 means
+	// unbounded.
+	QueueLimit int
+	// SampleInterval is the period of Watch progress streams (default
+	// 50ms).
+	SampleInterval time.Duration
+}
+
+// Submission is one run request.
+type Submission struct {
+	// Program is the compiled program to run (required).
+	Program *repro.Program
+	// Options configure the run; they are validated before enqueueing.
+	Options repro.Options
+	// Timeout, if positive, bounds the run's execution time. An expired
+	// run drains out and finalizes as failed with
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Label is a free-form display name.
+	Label string
+}
+
+// Progress is one streaming snapshot of a run, sampled live from the
+// executor counters while the run is in flight.
+type Progress struct {
+	ID      string        `json:"id"`
+	Label   string        `json:"label,omitempty"`
+	State   string        `json:"state"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Instances counts loop instances activated so far; InstancesDone
+	// counts those completed (the paper's EXIT events).
+	Instances     int64 `json:"instances"`
+	InstancesDone int64 `json:"instances_done"`
+	// Iterations and Chunks count leaf iterations executed and low-level
+	// assignments grabbed.
+	Iterations int64 `json:"iterations"`
+	Chunks     int64 `json:"chunks"`
+	// Efficiency is live body time over accounted processor time — the
+	// streaming counterpart of Result.Utilization.
+	Efficiency float64 `json:"efficiency"`
+	// Error is the failure cause once the run is terminal and not done.
+	Error string `json:"error,omitempty"`
+}
+
+// Runner executes submitted programs concurrently over a bounded
+// worker budget.
+type Runner struct {
+	mgr    *runmgr.Manager
+	sample time.Duration
+
+	mu   sync.Mutex
+	byID map[string]*Run
+	runs []*Run
+}
+
+// New returns a Runner with the given configuration.
+func New(cfg Config) *Runner {
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 50 * time.Millisecond
+	}
+	return &Runner{
+		mgr: runmgr.New(runmgr.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			QueueLimit:    cfg.QueueLimit,
+		}),
+		sample: cfg.SampleInterval,
+		byID:   map[string]*Run{},
+	}
+}
+
+// Submit validates and enqueues a run. It returns the run's handle, or
+// a validation error (errors.Is-able against the repro sentinels) /
+// queue error without enqueueing anything.
+func (rn *Runner) Submit(sub Submission) (*Run, error) {
+	if sub.Program == nil {
+		return nil, ErrNoProgram
+	}
+	if err := sub.Options.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Run{sample: rn.sample}
+	opts := sub.Options
+	userObserve := opts.Observe
+	opts.Observe = func(lv repro.Live) {
+		r.probe.Store(&lv)
+		if userObserve != nil {
+			userObserve(lv)
+		}
+	}
+	h, err := rn.mgr.Submit(runmgr.Job{
+		Label: sub.Label,
+		Run: func(ctx context.Context) (any, error) {
+			if sub.Timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, sub.Timeout)
+				defer cancel()
+			}
+			return sub.Program.RunContext(ctx, opts)
+		},
+		Sample: func() any {
+			if lv := r.probe.Load(); lv != nil {
+				return (*lv).LiveStats()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.h = h
+	rn.mu.Lock()
+	rn.byID[h.ID()] = r
+	rn.runs = append(rn.runs, r)
+	rn.mu.Unlock()
+	return r, nil
+}
+
+// Get returns the run with the given ID.
+func (rn *Runner) Get(id string) (*Run, bool) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	r, ok := rn.byID[id]
+	return r, ok
+}
+
+// Runs returns all runs in submission order.
+func (rn *Runner) Runs() []*Run {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	out := make([]*Run, len(rn.runs))
+	copy(out, rn.runs)
+	return out
+}
+
+// Close stops accepting submissions and cancels every live run.
+func (rn *Runner) Close() { rn.mgr.Close() }
+
+// Drain blocks until every submitted run is terminal or ctx expires.
+func (rn *Runner) Drain(ctx context.Context) error { return rn.mgr.Drain(ctx) }
+
+// Run is the handle of one submitted program run.
+type Run struct {
+	h      *runmgr.Run
+	sample time.Duration
+	probe  atomic.Pointer[repro.Live]
+}
+
+// ID returns the runner-assigned identifier.
+func (r *Run) ID() string { return r.h.ID() }
+
+// Label returns the submission label.
+func (r *Run) Label() string { return r.h.Label() }
+
+// State returns the current lifecycle state.
+func (r *Run) State() State { return r.h.State() }
+
+// Done returns a channel closed when the run is terminal.
+func (r *Run) Done() <-chan struct{} { return r.h.Done() }
+
+// Cancel requests cancellation; the run finalizes with context.Canceled
+// once its processors drain out (immediately if it was still queued).
+func (r *Run) Cancel() { r.h.Cancel() }
+
+// Result returns the run's outcome once terminal. While the run is
+// live it returns runmgr.ErrNotFinished; a cancelled run returns
+// context.Canceled.
+func (r *Run) Result() (*repro.Result, error) {
+	v, err := r.h.Result()
+	if err != nil {
+		return nil, err
+	}
+	res, ok := v.(*repro.Result)
+	if !ok {
+		return nil, fmt.Errorf("runner: run %s produced %T, not a result", r.h.ID(), v)
+	}
+	return res, nil
+}
+
+// Wait blocks until the run is terminal (returning its outcome) or ctx
+// expires (returning ctx's error without affecting the run).
+func (r *Run) Wait(ctx context.Context) (*repro.Result, error) {
+	if _, err := r.h.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return r.Result()
+}
+
+// Progress samples the run's live counters into one snapshot. It is
+// safe to call at any time from any goroutine.
+func (r *Run) Progress() Progress {
+	p := Progress{ID: r.h.ID(), Label: r.h.Label()}
+	st := r.h.State()
+	p.State = st.String()
+	_, started, finished := r.h.Times()
+	if !started.IsZero() {
+		end := finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		p.Elapsed = end.Sub(started)
+	}
+	if lv := r.probe.Load(); lv != nil {
+		sn := (*lv).LiveStats()
+		p.Instances = sn.Instances
+		p.InstancesDone = sn.Exits
+		p.Iterations = sn.Iterations
+		p.Chunks = sn.Chunks
+		p.Efficiency = sn.Efficiency()
+	}
+	if st.Terminal() && st != StateDone {
+		if _, err := r.h.Result(); err != nil {
+			p.Error = err.Error()
+		}
+	}
+	return p
+}
+
+// Watch streams progress snapshots every SampleInterval until the run
+// is terminal or ctx expires. The channel carries a final snapshot for
+// the terminal state, then closes. Intermediate snapshots are dropped
+// rather than buffered when the receiver falls behind.
+func (r *Run) Watch(ctx context.Context) <-chan Progress {
+	ch := make(chan Progress, 1)
+	go func() {
+		defer close(ch)
+		t := time.NewTicker(r.sample)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-r.h.Done():
+				select {
+				case ch <- r.Progress():
+				case <-ctx.Done():
+				}
+				return
+			case <-t.C:
+				select {
+				case ch <- r.Progress():
+				default:
+				}
+			}
+		}
+	}()
+	return ch
+}

@@ -1,0 +1,291 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// finiteProgram compiles a flat Doall of the given bound.
+func finiteProgram(t *testing.T, bound int64) *repro.Program {
+	t.Helper()
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.DoallLeaf("L", repro.Const(bound), func(e repro.Env, iv repro.IVec, j int64) {
+			e.Work(20)
+		})
+	})
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// endlessProgram compiles a Doall far too large to finish in test time.
+func endlessProgram(t *testing.T) *repro.Program {
+	return finiteProgram(t, 1<<40)
+}
+
+// gatedProgram compiles a Doall whose every iteration first waits for
+// gate to close, so the run cannot make progress until released.
+func gatedProgram(t *testing.T, bound int64, gate <-chan struct{}) *repro.Program {
+	t.Helper()
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.DoallLeaf("G", repro.Const(bound), func(e repro.Env, iv repro.IVec, j int64) {
+			<-gate
+			e.Work(20)
+		})
+	})
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestConcurrentRuns is the headline acceptance test: 8 runs through
+// one Runner, provably in flight simultaneously (every iteration body
+// blocks until all 8 have started), each completing with its own
+// correct Result.
+func TestConcurrentRuns(t *testing.T) {
+	const n = 8
+	rn := New(Config{MaxConcurrent: n})
+	defer rn.Close()
+
+	gate := make(chan struct{})
+	var startedRuns atomic.Int64
+	var runs []*Run
+	bounds := make([]int64, n)
+	for i := 0; i < n; i++ {
+		bounds[i] = int64(100 + 10*i)
+		r, err := rn.Submit(Submission{
+			Program: gatedProgram(t, bounds[i], gate),
+			Options: repro.Options{
+				Procs:  4,
+				Scheme: "gss",
+				Observe: func(repro.Live) {
+					if startedRuns.Add(1) == n {
+						close(gate)
+					}
+				},
+			},
+			Label: fmt.Sprintf("concurrent-%d", i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, r := range runs {
+		res, err := r.Wait(ctx)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Stats.Iterations != bounds[i] {
+			t.Errorf("run %d executed %d iterations, want %d", i, res.Stats.Iterations, bounds[i])
+		}
+		if res.Makespan <= 0 || res.Procs != 4 {
+			t.Errorf("run %d: implausible result %+v", i, res)
+		}
+		if st := r.State(); st != StateDone {
+			t.Errorf("run %d state = %v, want done", i, st)
+		}
+	}
+	if got := startedRuns.Load(); got != n {
+		t.Errorf("%d runs started, want %d", got, n)
+	}
+}
+
+// TestCancelMidRun verifies the second acceptance property: a
+// cancelled run returns context.Canceled within one progress-sampling
+// interval, and the Runner keeps serving afterwards.
+func TestCancelMidRun(t *testing.T) {
+	const sample = 500 * time.Millisecond
+	rn := New(Config{MaxConcurrent: 2, SampleInterval: sample})
+	defer rn.Close()
+
+	r, err := rn.Submit(Submission{Program: endlessProgram(t), Label: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it demonstrably make progress first.
+	deadline := time.After(10 * time.Second)
+	for r.Progress().Iterations == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("run never progressed: %+v", r.Progress())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	begin := time.Now()
+	r.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := r.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(begin); d > sample {
+		t.Errorf("cancellation took %v, over one sampling interval (%v)", d, sample)
+	}
+	if st := r.State(); st != StateCancelled {
+		t.Errorf("state = %v, want cancelled", st)
+	}
+	p := r.Progress()
+	if p.Error == "" || p.State != "cancelled" {
+		t.Errorf("terminal progress = %+v, want cancelled with error", p)
+	}
+
+	// The Runner must remain usable for subsequent submissions.
+	next, err := rn.Submit(Submission{Program: finiteProgram(t, 500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := next.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 500 {
+		t.Errorf("follow-up run executed %d iterations, want 500", res.Stats.Iterations)
+	}
+}
+
+// TestDeadlineBothEngines verifies Timeout expiry surfaces as
+// context.DeadlineExceeded on the virtual and the real engine.
+func TestDeadlineBothEngines(t *testing.T) {
+	for _, engine := range []repro.EngineKind{repro.EngineVirtual, repro.EngineReal} {
+		t.Run(string(engine), func(t *testing.T) {
+			rn := New(Config{MaxConcurrent: 1})
+			defer rn.Close()
+			r, err := rn.Submit(Submission{
+				Program: endlessProgram(t),
+				Options: repro.Options{Procs: 4, Engine: engine},
+				Timeout: 30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if _, err := r.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			if st := r.State(); st != StateFailed {
+				t.Errorf("state = %v, want failed", st)
+			}
+		})
+	}
+}
+
+// TestValidationUpFront verifies bad options are rejected with the repro
+// sentinels before anything is enqueued.
+func TestValidationUpFront(t *testing.T) {
+	rn := New(Config{MaxConcurrent: 1})
+	defer rn.Close()
+	prog := finiteProgram(t, 10)
+	cases := []struct {
+		sub  Submission
+		want error
+	}{
+		{Submission{}, ErrNoProgram},
+		{Submission{Program: prog, Options: repro.Options{Scheme: "wrong"}}, repro.ErrBadScheme},
+		{Submission{Program: prog, Options: repro.Options{Engine: "abacus"}}, repro.ErrUnknownEngine},
+		{Submission{Program: prog, Options: repro.Options{Pool: "heap"}}, repro.ErrUnknownPool},
+		{Submission{Program: prog, Options: repro.Options{SingleListPool: true, Pool: "distributed"}}, repro.ErrPoolConflict},
+	}
+	for _, c := range cases {
+		if _, err := rn.Submit(c.sub); !errors.Is(err, c.want) {
+			t.Errorf("Submit(%+v) err = %v, want %v", c.sub.Options, err, c.want)
+		}
+	}
+	if n := len(rn.Runs()); n != 0 {
+		t.Errorf("%d runs enqueued by invalid submissions", n)
+	}
+}
+
+// TestWatchStreams consumes a Watch stream and checks it advances and
+// terminates with the final state.
+func TestWatchStreams(t *testing.T) {
+	rn := New(Config{MaxConcurrent: 1, SampleInterval: 5 * time.Millisecond})
+	defer rn.Close()
+	r, err := rn.Submit(Submission{Program: finiteProgram(t, 200000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var got []Progress
+	for p := range r.Watch(ctx) {
+		got = append(got, p)
+	}
+	if len(got) == 0 {
+		t.Fatal("watch stream carried no snapshots")
+	}
+	last := got[len(got)-1]
+	if last.State != "done" || last.Error != "" {
+		t.Errorf("final snapshot = %+v, want done", last)
+	}
+	if last.Iterations != 200000 {
+		t.Errorf("final iterations = %d, want 200000", last.Iterations)
+	}
+	if last.Efficiency <= 0 || last.Efficiency > 1 {
+		t.Errorf("final efficiency = %v, want in (0,1]", last.Efficiency)
+	}
+}
+
+// TestNoGoroutineLeak is the regression test that cancelled and
+// completed runs leave no goroutines behind: watcher goroutines are
+// reaped, engine workers drain out, manager slots are released.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rn := New(Config{MaxConcurrent: 4, SampleInterval: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	doomed, err := rn.Submit(Submission{Program: endlessProgram(t), Options: repro.Options{Engine: repro.EngineReal}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := rn.Submit(Submission{Program: finiteProgram(t, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fine.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	doomed.Cancel()
+	if _, err := doomed.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	rn.Close()
+	if err := rn.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Give exiting goroutines a moment to unwind, then compare.
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before+2 {
+			return
+		}
+		select {
+		case <-deadline:
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: before=%d after=%d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
