@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: build test bench verify verify-race
+# bench/bench-compare knobs: BENCH_OUT is where `make bench` writes its
+# result file; BENCH_BASE is the baseline `make bench-compare` gates
+# against (the checked-in seed by default).
+REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+BENCH_OUT  ?= BENCH_$(REV).json
+BENCH_BASE ?= BENCH_seed.json
+
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race
 
 build:
 	$(GO) build ./...
@@ -8,7 +15,25 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the reproducible performance suite (internal/benchkit):
+# warmup + repeated timed runs per scenario, robust statistics, and a
+# schema-versioned result file for the BENCH_*.json trajectory.
 bench:
+	$(GO) run ./cmd/benchsuite run -o $(BENCH_OUT)
+
+# bench-compare gates the latest result file against the baseline:
+# nonzero exit when a gated metric regresses beyond the threshold
+# outside the measured noise interval.
+bench-compare:
+	$(GO) run ./cmd/benchsuite compare $(BENCH_BASE) $(BENCH_OUT)
+
+# bench-smoke is the fast sanity slice CI runs on every push.
+bench-smoke:
+	$(GO) run ./cmd/benchsuite run -filter smoke -reps 2 -o /tmp/BENCH_smoke.json
+
+# bench-go is the raw `go test -bench` escape hatch (single iteration,
+# no statistics — for quick spot checks only).
+bench-go:
 	$(GO) test -bench=. -benchtime=1x .
 
 # verify is the tier-1 gate: everything builds, every test passes.

@@ -12,6 +12,8 @@
 //	GET  /v1/runs/{id}/progress  NDJSON stream of progress until terminal
 //	POST /v1/runs/{id}/cancel    request cancellation
 //	GET  /healthz                liveness
+//	GET  /stats                  service census: queue depth, running/
+//	                             done/failed/cancelled counts, uptime
 //
 // Example:
 //
@@ -88,14 +90,16 @@ type serverConfig struct {
 // server is the HTTP front end over a runner.Runner. It is an
 // http.Handler, so tests drive it through httptest without a socket.
 type server struct {
-	cfg serverConfig
-	rn  *runner.Runner
-	mux *http.ServeMux
+	cfg     serverConfig
+	rn      *runner.Runner
+	mux     *http.ServeMux
+	started time.Time
 }
 
 func newServer(cfg serverConfig) *server {
 	s := &server{
-		cfg: cfg,
+		cfg:     cfg,
+		started: time.Now(),
 		rn: runner.New(runner.Config{
 			MaxConcurrent:  cfg.MaxConcurrent,
 			QueueLimit:     cfg.QueueLimit,
@@ -108,6 +112,7 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -276,6 +281,20 @@ func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// statsResponse is the /stats body: the run-manager census plus
+// service-level figures.
+type statsResponse struct {
+	runner.Stats
+	UptimeNS int64 `json:"uptime_ns"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsResponse{
+		Stats:    s.rn.Stats(),
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+	})
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -215,6 +215,66 @@ func TestQueueLimitShedsLoad(t *testing.T) {
 	}
 }
 
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{MaxConcurrent: 1, QueueLimit: 8})
+
+	var st struct {
+		Submitted     int   `json:"submitted"`
+		QueueDepth    int   `json:"queue_depth"`
+		Running       int   `json:"running"`
+		Done          int   `json:"done"`
+		Failed        int   `json:"failed"`
+		Cancelled     int   `json:"cancelled"`
+		MaxConcurrent int   `json:"max_concurrent"`
+		Closed        bool  `json:"closed"`
+		UptimeNS      int64 `json:"uptime_ns"`
+	}
+	resp := getJSON(t, ts.URL+"/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	if st.Submitted != 0 || st.MaxConcurrent != 1 || st.Closed {
+		t.Fatalf("idle stats = %+v", st)
+	}
+
+	// One endless run occupies the single worker; a second waits in the
+	// queue — the census must show exactly that.
+	endless := `{"program": "doall I = 1..1099511627776 { work 100 }"}`
+	_, first := postJSON(t, ts.URL+"/v1/runs", endless)
+	_, second := postJSON(t, ts.URL+"/v1/runs", endless)
+	deadline := time.After(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/stats", &st)
+		if st.Running == 1 && st.QueueDepth == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("census never showed 1 running + 1 queued: %+v", st)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if st.Submitted != 2 || st.UptimeNS <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Cancel both; the census must drain into the cancelled column.
+	for _, p := range []map[string]any{first, second} {
+		postJSON(t, ts.URL+"/v1/runs/"+p["id"].(string)+"/cancel", "")
+	}
+	for {
+		getJSON(t, ts.URL+"/stats", &st)
+		if st.Cancelled == 2 && st.Running == 0 && st.QueueDepth == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("census never drained: %+v", st)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, serverConfig{})
 	resp, err := http.Get(ts.URL + "/healthz")

@@ -1,0 +1,121 @@
+// Package benchkit is the reproducible performance suite behind
+// cmd/benchsuite and `make bench`: it turns "did this PR make the
+// schedulers faster?" into a measurement with a stable, versioned
+// answer.
+//
+// The kit has five parts:
+//
+//   - a scenario registry (Default) spanning workloads × low-level
+//     schemes × task-pool variants × engines. Virtual-engine scenarios
+//     run on the deterministic virtual-time multiprocessor and must
+//     report bit-identical makespan/utilization on every repetition
+//     (enforced; a mismatch fails the run). Real-engine scenarios run
+//     on goroutines and measure wall clock;
+//   - a repetition controller (Run) with warmup iterations followed by
+//     N timed repetitions per scenario;
+//   - robust statistics per metric (Summarize): median, min, mean,
+//     median absolute deviation, and a MAD-based normal-approximation
+//     confidence interval, so one scheduler hiccup does not masquerade
+//     as a regression;
+//   - an environment fingerprint (CaptureEnv) — GOMAXPROCS, Go
+//     version, CPU count, git revision — stamped into every result
+//     file;
+//   - a versioned JSON schema (File, SchemaVersion) written to
+//     BENCH_<rev>.json, and a regression gate (Compare) that checks a
+//     new result file against a baseline: a gated metric regresses only
+//     when its median moves beyond a configurable threshold AND the two
+//     confidence intervals are disjoint.
+//
+// The metrics mirror the paper's Section IV quantities: virtual
+// makespan and utilization (eq. 1's eta), total scheduling-overhead
+// time (the O1/O2/O3 decomposition via core.Snapshot.OverheadTime),
+// synchronization access counts, SEARCH calls and low-level chunk
+// fetches, alongside Go-level wall time and allocation counts.
+package benchkit
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/loopir"
+)
+
+// Scenario is one registered benchmark case: a workload builder plus a
+// fully specified run configuration.
+type Scenario struct {
+	// Name uniquely identifies the scenario, conventionally
+	// "workload/scheme[/pool]/engine" (pool omitted when per-loop).
+	Name string
+	// Workload names the workload family (registry key, e.g. "adjoint").
+	Workload string
+	// Nest builds the workload's nest; called once per suite run.
+	Nest func() *loopir.Nest
+	// Opts is the complete run configuration (procs, scheme, pool,
+	// engine, virtual-machine costs).
+	Opts repro.Options
+	// Tags select subsets: "smoke" marks the fast sanity slice run in CI.
+	Tags []string
+}
+
+// HasTag reports whether the scenario carries the given tag.
+func (s Scenario) HasTag(tag string) bool {
+	for _, t := range s.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// engine returns the scenario's engine label ("" normalizes to virtual).
+func (s Scenario) engine() string {
+	if s.Opts.Engine == "" {
+		return string(repro.EngineVirtual)
+	}
+	return string(s.Opts.Engine)
+}
+
+// virtual reports whether the scenario runs on the deterministic
+// virtual-time engine (and therefore must be bit-identical across
+// repetitions).
+func (s Scenario) virtual() bool { return s.engine() == string(repro.EngineVirtual) }
+
+// scheme returns the scenario's scheme spec ("" normalizes to ss).
+func (s Scenario) scheme() string {
+	if s.Opts.Scheme == "" {
+		return "ss"
+	}
+	return s.Opts.Scheme
+}
+
+// poolName returns the scenario's task-pool label ("" normalizes to
+// per-loop).
+func (s Scenario) poolName() string {
+	if s.Opts.Pool == "" {
+		return "per-loop"
+	}
+	return s.Opts.Pool
+}
+
+// validateScenarios checks registry invariants: non-empty unique names
+// and buildable nests are the caller's concern; this guards the
+// structural fields compare and the schema rely on.
+func validateScenarios(scs []Scenario) error {
+	seen := map[string]bool{}
+	for _, s := range scs {
+		if s.Name == "" {
+			return fmt.Errorf("benchkit: scenario with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("benchkit: duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Nest == nil {
+			return fmt.Errorf("benchkit: scenario %q has no workload builder", s.Name)
+		}
+		if err := s.Opts.Validate(); err != nil {
+			return fmt.Errorf("benchkit: scenario %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+func TestDefaultRegistryShape(t *testing.T) {
+	scs := Default()
+	if err := validateScenarios(scs); err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) < 12 {
+		t.Fatalf("registry has %d scenarios, want >= 12", len(scs))
+	}
+	workloads := map[string]bool{}
+	schemes := map[string]bool{}
+	engines := map[string]bool{}
+	smoke := 0
+	for _, s := range scs {
+		workloads[s.Workload] = true
+		schemes[s.scheme()] = true
+		engines[s.engine()] = true
+		if s.HasTag("smoke") {
+			smoke++
+		}
+	}
+	if len(workloads) < 3 {
+		t.Fatalf("registry covers %d workloads, want >= 3", len(workloads))
+	}
+	if len(schemes) < 2 {
+		t.Fatalf("registry covers %d schemes, want >= 2", len(schemes))
+	}
+	if !engines[string(repro.EngineVirtual)] || !engines[string(repro.EngineReal)] {
+		t.Fatalf("registry must cover both engines, got %v", engines)
+	}
+	if smoke == 0 {
+		t.Fatal("registry has no smoke-tagged scenarios")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	scs := Default()
+	smoke, err := Filter(scs, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smoke) == 0 || len(smoke) == len(scs) {
+		t.Fatalf("smoke filter selected %d of %d", len(smoke), len(scs))
+	}
+	byName, err := Filter(scs, "^adjoint/gss/virtual$")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byName) != 1 {
+		t.Fatalf("exact-name filter selected %d scenarios", len(byName))
+	}
+	if _, err := Filter(scs, "("); err == nil {
+		t.Fatal("bad regexp not rejected")
+	}
+}
+
+// tinyScenarios is a fast two-scenario suite (one per engine) for
+// exercising the repetition controller end to end.
+func tinyScenarios() []Scenario {
+	mk := func() *loopir.Nest { return workload.UniformDoall(64, 10) }
+	return []Scenario{
+		{
+			Name: "tiny/ss/virtual", Workload: "tiny", Nest: mk,
+			Opts: repro.Options{Procs: 4, Scheme: "ss", Engine: repro.EngineVirtual, AccessCost: 10},
+			Tags: []string{"smoke"},
+		},
+		{
+			Name: "tiny/ss/real", Workload: "tiny", Nest: mk,
+			Opts: repro.Options{Procs: 4, Scheme: "ss", Engine: repro.EngineReal},
+		},
+	}
+}
+
+func TestRunProducesValidFile(t *testing.T) {
+	f, err := Run(tinyScenarios(), RunConfig{Reps: 3, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Scenarios) != 2 {
+		t.Fatalf("got %d scenario results", len(f.Scenarios))
+	}
+	for _, sc := range f.Scenarios {
+		for _, name := range []string{"wall_ns", "makespan", "utilization", "overhead", "accesses", "searches", "chunks", "allocs"} {
+			m, ok := sc.Metrics[name]
+			if !ok {
+				t.Fatalf("scenario %q missing metric %q", sc.Name, name)
+			}
+			if m.N != 3 {
+				t.Fatalf("scenario %q metric %q has %d samples, want 3", sc.Name, name, m.N)
+			}
+		}
+	}
+	virt := f.Scenarios[0]
+	if !virt.Deterministic {
+		t.Fatalf("virtual scenario not marked deterministic: %+v", virt)
+	}
+	// Bit-identical repetitions ⇒ zero spread on the simulator metrics.
+	for _, name := range []string{"makespan", "utilization", "accesses"} {
+		m := virt.Metrics[name]
+		if m.MAD != 0 || m.CILo != m.CIHi {
+			t.Fatalf("virtual metric %q has spread: %+v", name, m)
+		}
+		if !m.Gate {
+			t.Fatalf("virtual metric %q should gate", name)
+		}
+	}
+	real := f.Scenarios[1]
+	if real.Deterministic {
+		t.Fatal("real scenario marked deterministic")
+	}
+	if !real.Metrics["wall_ns"].Gate || real.Metrics["makespan"].Gate {
+		t.Fatalf("real scenario gates mis-set: %+v", real.Metrics)
+	}
+	if f.Env.GoVersion == "" || f.Env.NumCPU <= 0 {
+		t.Fatalf("fingerprint incomplete: %+v", f.Env)
+	}
+}
+
+func TestRunFileRoundTrip(t *testing.T) {
+	f, err := Run(tinyScenarios()[:1], RunConfig{Reps: 2, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(f)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed the file:\n%s\nvs\n%s", a, b)
+	}
+	// Two runs of the same deterministic scenario must compare clean.
+	f2, err := Run(tinyScenarios()[:1], RunConfig{Reps: 2, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compare(f, f2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := c.Regressions(); len(regs) != 0 {
+		t.Fatalf("same-baseline compare regressed: %+v", regs)
+	}
+}
+
+func TestRunProfileCapture(t *testing.T) {
+	dir := t.TempDir()
+	_, err := Run(tinyScenarios()[:1], RunConfig{
+		Reps: 2, Warmup: 0,
+		CPUProfileDir: dir, MemProfileDir: dir, TraceDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tiny_ss_virtual.cpu.pprof", "tiny_ss_virtual.mem.pprof", "tiny_ss_virtual.trace"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("profile %s: %v", name, err)
+		}
+		if st.Size() == 0 && name != "tiny_ss_virtual.cpu.pprof" {
+			t.Fatalf("profile %s is empty", name)
+		}
+	}
+}
+
+func TestCheckDeterminism(t *testing.T) {
+	same := []repSample{{makespan: 10, utilization: 0.5}, {makespan: 10, utilization: 0.5}}
+	if err := checkDeterminism(same); err != nil {
+		t.Fatal(err)
+	}
+	drift := []repSample{{makespan: 10}, {makespan: 11}}
+	if err := checkDeterminism(drift); err == nil {
+		t.Fatal("makespan drift not caught")
+	}
+	udrift := []repSample{{utilization: 0.5}, {utilization: 0.6}}
+	if err := checkDeterminism(udrift); err == nil {
+		t.Fatal("utilization drift not caught")
+	}
+}
+
+func TestRunRejectsBadSuite(t *testing.T) {
+	if _, err := Run(nil, RunConfig{Reps: 1}); err == nil {
+		t.Fatal("empty suite not rejected")
+	}
+	dup := []Scenario{tinyScenarios()[0], tinyScenarios()[0]}
+	if _, err := Run(dup, RunConfig{Reps: 1}); err == nil {
+		t.Fatal("duplicate names not rejected")
+	}
+	bad := tinyScenarios()[:1]
+	bad[0].Opts.Scheme = "no-such-scheme"
+	if _, err := Run(bad, RunConfig{Reps: 1}); err == nil {
+		t.Fatal("invalid options not rejected")
+	}
+}

@@ -1,0 +1,47 @@
+package benchkit
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// Env is the environment fingerprint stamped into every result file, so
+// two BENCH_*.json files can be judged comparable (or not) before their
+// numbers are.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// GitRev is the repository's short HEAD revision, "unknown" when
+	// git is unavailable or the working directory is not a checkout.
+	GitRev string `json:"git_rev"`
+}
+
+// CaptureEnv snapshots the current environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitRev:     gitRev(),
+	}
+}
+
+// gitRev returns the short HEAD revision of the working directory's
+// repository, or "unknown".
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	rev := strings.TrimSpace(string(out))
+	if rev == "" {
+		return "unknown"
+	}
+	return rev
+}

@@ -1,0 +1,92 @@
+package benchkit
+
+import (
+	"repro"
+	"repro/internal/loopir"
+	"repro/internal/workload"
+)
+
+// Suite configuration shared by every default scenario: 8 processors
+// and the standard virtual access cost, matching the experiment
+// settings of bench_test.go and EXPERIMENTS.md.
+const (
+	defaultProcs      = 8
+	defaultAccessCost = 10
+)
+
+// Default returns the registered scenario suite:
+//
+//   - a core matrix of three workload families (adjoint — decreasing
+//     iteration cost, flat — uniform cost, branchy — bimodal
+//     IF-dominated cost) × two low-level schemes (ss, gss) × both
+//     engines (deterministic virtual machine, real goroutines);
+//   - chunked-scheme and Doacross extensions on the virtual machine
+//     (flat/css:8, wavefront/css:2);
+//   - the task-pool ablation: the many-instances workload through the
+//     paper's per-loop pool, the single shared list, and the
+//     work-stealing distributed pool.
+//
+// Scenario names are "workload/scheme[/pool]/engine"; "smoke" tags the
+// fast sanity slice CI runs on every push.
+func Default() []Scenario {
+	type wl struct {
+		name string
+		mk   func() *loopir.Nest
+	}
+	workloads := []wl{
+		{"adjoint", func() *loopir.Nest { return workload.AdjointConvolution(256, 4) }},
+		{"flat", func() *loopir.Nest { return workload.UniformDoall(2048, 100) }},
+		{"branchy", func() *loopir.Nest { return workload.Branchy(24, 64, 16, 200, 5) }},
+	}
+	engines := []repro.EngineKind{repro.EngineVirtual, repro.EngineReal}
+
+	var out []Scenario
+	add := func(wname string, mk func() *loopir.Nest, scheme, pool string, eng repro.EngineKind, tags ...string) {
+		name := wname + "/" + scheme
+		if pool != "" && pool != "per-loop" {
+			name += "/" + pool
+		}
+		name += "/" + string(eng)
+		out = append(out, Scenario{
+			Name:     name,
+			Workload: wname,
+			Nest:     mk,
+			Opts: repro.Options{
+				Procs:      defaultProcs,
+				Scheme:     scheme,
+				Pool:       pool,
+				Engine:     eng,
+				AccessCost: defaultAccessCost,
+			},
+			Tags: tags,
+		})
+	}
+
+	for _, w := range workloads {
+		for _, scheme := range []string{"ss", "gss"} {
+			for _, eng := range engines {
+				var tags []string
+				// Smoke: one virtual and one real scenario per scheme,
+				// on the cheapest workload.
+				if w.name == "flat" {
+					tags = append(tags, "smoke")
+				}
+				add(w.name, w.mk, scheme, "", eng, tags...)
+			}
+		}
+	}
+
+	// Chunked scheme and Doacross coverage (virtual: deterministic).
+	add("flat", func() *loopir.Nest { return workload.UniformDoall(2048, 100) },
+		"css:8", "", repro.EngineVirtual)
+	add("wavefront", func() *loopir.Nest { return workload.Wavefront(240, 1, 10, 90) },
+		"css:2", "", repro.EngineVirtual)
+
+	// Task-pool ablation on the pool-stressing workload (experiment E5).
+	manyNest := func() *loopir.Nest { return workload.ManyInstances(8, 64, 4, 30) }
+	add("many", manyNest, "ss", "per-loop", repro.EngineVirtual, "smoke")
+	add("many", manyNest, "ss", "single", repro.EngineVirtual)
+	add("many", manyNest, "ss", "distributed", repro.EngineVirtual)
+
+	return out
+}

@@ -1,0 +1,78 @@
+package benchkit
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary is the robust statistical digest of one metric's repetition
+// samples. Median and MAD are the primary location/spread figures (a
+// single GC pause or scheduler hiccup shifts the mean and standard
+// deviation but barely moves them); CILo/CIHi bound the median with a
+// normal-approximation interval derived from the MAD, which Compare
+// uses as the noise band for regression gating. A deterministic metric
+// (virtual makespan) has MAD 0 and a zero-width interval.
+type Summary struct {
+	N      int     `json:"n"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	// MAD is the median absolute deviation from the median (raw, not
+	// normal-consistency scaled).
+	MAD float64 `json:"mad"`
+	// CILo/CIHi is an approximate 95% confidence interval for the
+	// median: median ± 1.96 · 1.4826·MAD / sqrt(n).
+	CILo float64 `json:"ci_lo"`
+	CIHi float64 `json:"ci_hi"`
+}
+
+// madConsistency scales MAD to estimate the standard deviation of a
+// normal distribution; 1.96 is the two-sided 95% normal quantile.
+const (
+	madConsistency = 1.4826
+	z95            = 1.96
+)
+
+// Summarize computes the robust digest of the given samples. It copies
+// the input before sorting. An empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	med := median(sorted)
+
+	dev := make([]float64, n)
+	for i, v := range sorted {
+		dev[i] = math.Abs(v - med)
+	}
+	sort.Float64s(dev)
+	mad := median(dev)
+
+	half := z95 * madConsistency * mad / math.Sqrt(float64(n))
+	return Summary{
+		N:      n,
+		Median: med,
+		Min:    sorted[0],
+		Mean:   sum / float64(n),
+		MAD:    mad,
+		CILo:   med - half,
+		CIHi:   med + half,
+	}
+}
+
+// median of an already-sorted non-empty slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

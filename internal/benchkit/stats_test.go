@@ -1,0 +1,64 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeOdd(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3})
+	if s.N != 3 || s.Median != 3 || s.Min != 1 || s.Mean != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	// deviations from 3: {2, 2, 0} → MAD = 2
+	if s.MAD != 2 {
+		t.Fatalf("MAD = %g, want 2", s.MAD)
+	}
+	half := z95 * madConsistency * 2 / math.Sqrt(3)
+	if math.Abs(s.CILo-(3-half)) > 1e-12 || math.Abs(s.CIHi-(3+half)) > 1e-12 {
+		t.Fatalf("CI = [%g, %g], want [%g, %g]", s.CILo, s.CIHi, 3-half, 3+half)
+	}
+}
+
+func TestSummarizeEven(t *testing.T) {
+	s := Summarize([]float64{4, 1, 2, 3})
+	if s.Median != 2.5 || s.Min != 1 || s.Mean != 2.5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7, 7})
+	if s.MAD != 0 || s.CILo != 7 || s.CIHi != 7 {
+		t.Fatalf("constant samples must yield zero-width interval: %+v", s)
+	}
+}
+
+func TestSummarizeRobustToOutlier(t *testing.T) {
+	// One wild outlier must not move the median or blow up the MAD the
+	// way it does the mean.
+	s := Summarize([]float64{10, 10, 11, 10, 1000})
+	if s.Median != 10 {
+		t.Fatalf("median = %g, want 10", s.Median)
+	}
+	if s.MAD > 1 {
+		t.Fatalf("MAD = %g, want <= 1", s.MAD)
+	}
+	if s.Mean < 100 {
+		t.Fatalf("mean = %g should be dragged by the outlier", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Median != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}

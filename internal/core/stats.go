@@ -62,11 +62,26 @@ type Snapshot struct {
 	Search                        pool.SearchStats
 }
 
+// OverheadTime returns the total scheduling-overhead processor time:
+// the Section IV decomposition O1 (iteration grabbing) + O2 (SEARCH) +
+// O3 (EXIT/ENTER) plus any modeled OS dispatch charge. This is the
+// read-only figure the benchmarking suite gates on: exact on the
+// virtual machine, sampled on the real engines.
+func (sn Snapshot) OverheadTime() int64 {
+	return sn.O1Time + sn.O2Time + sn.O3Time + sn.DispatchTime
+}
+
+// AccountedTime returns all processor time the executor attributed:
+// useful body time plus OverheadTime.
+func (sn Snapshot) AccountedTime() int64 {
+	return sn.BodyTime + sn.OverheadTime()
+}
+
 // Efficiency returns body time over total accounted processor time
 // (body + O1 + O2 + O3 + dispatch): the live, stats-only counterpart of
 // the paper's utilization eta. Zero when nothing has been accounted yet.
 func (sn Snapshot) Efficiency() float64 {
-	total := sn.BodyTime + sn.O1Time + sn.O2Time + sn.O3Time + sn.DispatchTime
+	total := sn.AccountedTime()
 	if total <= 0 {
 		return 0
 	}

@@ -170,6 +170,51 @@ func (m *Manager) exec(r *Run) {
 	m.mu.Unlock()
 }
 
+// Stats is a point-in-time census of a manager's runs, for health and
+// monitoring endpoints.
+type Stats struct {
+	// Submitted counts every run ever accepted.
+	Submitted int `json:"submitted"`
+	// QueueDepth counts runs waiting to start.
+	QueueDepth int `json:"queue_depth"`
+	// Running counts runs currently executing.
+	Running int `json:"running"`
+	// Done, Failed and Cancelled count terminal runs by outcome.
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// MaxConcurrent echoes the configured worker budget.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Closed reports whether the manager has stopped accepting work.
+	Closed bool `json:"closed"`
+}
+
+// Stats returns the current run census.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Submitted:     len(m.runs),
+		MaxConcurrent: m.cfg.MaxConcurrent,
+		Closed:        m.closed,
+	}
+	for _, r := range m.runs {
+		switch r.state {
+		case StateQueued:
+			st.QueueDepth++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
 // Get returns the run with the given ID.
 func (m *Manager) Get(id string) (*Run, bool) {
 	m.mu.Lock()

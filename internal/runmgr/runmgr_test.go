@@ -209,3 +209,50 @@ func TestIDsAndOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsCensus verifies the Stats census tracks runs through every
+// lifecycle column.
+func TestStatsCensus(t *testing.T) {
+	m := New(Config{MaxConcurrent: 1})
+	if st := m.Stats(); st.Submitted != 0 || st.MaxConcurrent != 1 || st.Closed {
+		t.Fatalf("idle stats = %+v", st)
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	running, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) {
+		close(started)
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) { return nil, errors.New("boom") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if st := m.Stats(); st.Running != 1 || st.QueueDepth != 1 || st.Submitted != 2 {
+		t.Fatalf("mid-flight stats = %+v", st)
+	}
+
+	close(release)
+	if _, err := running.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued.Wait(context.Background())
+	st := m.Stats()
+	if st.Done != 1 || st.Failed != 1 || st.Running != 0 || st.QueueDepth != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+
+	m.Close()
+	if !m.Stats().Closed {
+		t.Fatal("Closed not reported after Close")
+	}
+}

@@ -3,7 +3,11 @@ package trace
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+
+	"repro/internal/loopir"
+	"repro/internal/machine"
 )
 
 // jsonEvent is the JSON shape of one event.
@@ -37,4 +41,56 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ReadJSONL reconstructs a Log from the JSON Lines format written by
+// WriteJSONL, so exported traces can be re-imported for verification or
+// rendering. Events keep their recorded sequence numbers; blank lines
+// are ignored.
+func ReadJSONL(r io.Reader) (*Log, error) {
+	l := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		kind, err := parseEventKind(je.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		l.events = append(l.events, Event{
+			Kind: kind,
+			Loop: je.Loop,
+			IVec: loopir.IVec(je.IVec),
+			J:    je.J,
+			Proc: je.Proc,
+			At:   machine.Time(je.At),
+			Seq:  je.Seq,
+		})
+		if je.Seq > l.seq {
+			l.seq = je.Seq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return l, nil
+}
+
+// parseEventKind is the inverse of EventKind.String.
+func parseEventKind(name string) (EventKind, error) {
+	for k, n := range evNames {
+		if n == name {
+			return EventKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event kind %q", name)
 }

@@ -188,6 +188,13 @@ func (rn *Runner) Runs() []*Run {
 	return out
 }
 
+// Stats re-exports the run-manager census (queue depth, per-state run
+// counts, worker budget), for health and monitoring endpoints.
+type Stats = runmgr.Stats
+
+// Stats returns the current run census.
+func (rn *Runner) Stats() Stats { return rn.mgr.Stats() }
+
 // Close stops accepting submissions and cancels every live run.
 func (rn *Runner) Close() { rn.mgr.Close() }
 
