@@ -5,7 +5,7 @@
 //
 //	benchsuite run [-filter RE] [-reps N] [-warmup N] [-o FILE]
 //	               [-cpuprofile DIR] [-memprofile DIR] [-trace DIR]
-//	benchsuite compare [-threshold 0.10] BASELINE.json CANDIDATE.json
+//	benchsuite compare [-threshold 0.10] [-bit-identical] BASELINE.json CANDIDATE.json
 //	benchsuite list [-filter RE]
 //
 // `run` executes the scenario registry (or the -filter subset, matched
@@ -18,6 +18,9 @@
 // `compare` exits 0 when no gated metric of the candidate regresses
 // against the baseline beyond the threshold outside the measured noise
 // interval, and exits 1 (after printing the delta table) when one does.
+// With -bit-identical it additionally requires every deterministic
+// (virtual-engine) scenario to report exactly the baseline's simulator
+// metrics — the check CI runs, immune to host noise.
 //
 // Examples:
 //
@@ -123,6 +126,8 @@ func cmdCompare(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite compare", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", benchkit.DefaultThreshold,
 		"relative median movement a gated metric must exceed to regress")
+	bitIdentical := fs.Bool("bit-identical", false,
+		"additionally require deterministic (virtual-engine) scenarios to match the baseline exactly")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +151,15 @@ func cmdCompare(args []string, out io.Writer) error {
 		return err
 	}
 	c.WriteTable(out)
+	if *bitIdentical {
+		if viol := benchkit.BitIdentical(old, cand); len(viol) > 0 {
+			for _, v := range viol {
+				fmt.Fprintf(out, "BIT-IDENTITY: %s\n", v)
+			}
+			return fmt.Errorf("%w: %d deterministic metric(s) differ from baseline", errRegression, len(viol))
+		}
+		fmt.Fprintln(out, "deterministic scenarios bit-identical")
+	}
 	if regs := c.Regressions(); len(regs) > 0 {
 		return fmt.Errorf("%w: %d gated metric(s) beyond %.0f%% threshold", errRegression, len(regs), *threshold*100)
 	}

@@ -104,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		combining   = fs.Bool("combining", false, "enable combining fetch-and-add")
 		remote      = fs.Int64("remote", 0, "NUMA remote-access penalty (virtual engine)")
 		singleList  = fs.Bool("single-list", false, "deprecated: same as -pool single")
-		poolKind    = fs.String("pool", "per-loop", "task pool: per-loop, single, distributed")
+		poolKind    = fs.String("pool", "per-loop", "task pool: "+strings.Join(repro.KnownPools(), ", "))
 		dispatch    = fs.Int64("dispatch", 0, "per-task OS dispatch cost (baseline)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
 		n           = fs.Int64("n", 0, "workload size override")
@@ -175,10 +175,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// -single-list predates -pool; translate it so Options.Pool stays the
-	// single source of truth.
+	// single source of truth. Any spelling of the single-list or default
+	// per-loop pool is compatible (the spellings come from the same table
+	// as repro.KnownPools); anything else contradicts the flag.
 	pool := *poolKind
 	if *singleList {
-		if pool != "" && pool != "per-loop" && pool != "single" {
+		kind, err := core.ParsePool(pool)
+		if err != nil || (kind != core.PoolSingleList && kind != core.PoolPerLoop) {
 			return fmt.Errorf("-single-list (deprecated) contradicts -pool %s; drop -single-list", pool)
 		}
 		pool = "single"

@@ -93,7 +93,10 @@ func TestErrors(t *testing.T) {
 
 func TestErrorsListValidValues(t *testing.T) {
 	// A mistyped option must tell the user what would have worked.
-	cases := []struct{ args []string; want string }{
+	cases := []struct {
+		args []string
+		want string
+	}{
 		{[]string{"-workload", "flat", "-scheme", "bogus"}, "valid schemes: ss, css:K"},
 		{[]string{"-workload", "flat", "-engine", "abacus"}, "valid engines: virtual, real"},
 		{[]string{"-workload", "flat", "-pool", "heap"}, "valid pools: per-loop, single"},

@@ -14,6 +14,11 @@
 //	GET  /healthz                liveness
 //	GET  /stats                  service census: queue depth, running/
 //	                             done/failed/cancelled counts, uptime
+//	GET  /metrics                Prometheus text exposition: run outcome
+//	                             counters, executor figures aggregated
+//	                             over finished runs (iterations,
+//	                             instances, searches, busy time, sync
+//	                             accesses), live queue gauges, uptime
 //
 // Example:
 //
@@ -33,12 +38,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/lang"
+	"repro/internal/obs"
 	"repro/runner"
 )
 
@@ -92,27 +99,34 @@ type serverConfig struct {
 type server struct {
 	cfg     serverConfig
 	rn      *runner.Runner
+	reg     *obs.Registry
 	mux     *http.ServeMux
 	started time.Time
 }
 
 func newServer(cfg serverConfig) *server {
+	reg := obs.NewRegistry()
 	s := &server{
 		cfg:     cfg,
+		reg:     reg,
 		started: time.Now(),
 		rn: runner.New(runner.Config{
 			MaxConcurrent:  cfg.MaxConcurrent,
 			QueueLimit:     cfg.QueueLimit,
 			SampleInterval: cfg.SampleInterval,
+			Metrics:        reg,
 		}),
 		mux: http.NewServeMux(),
 	}
+	reg.Gauge("loopschedd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -295,6 +309,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stats:    s.rn.Stats(),
 		UptimeNS: time.Since(s.started).Nanoseconds(),
 	})
+}
+
+// handleMetrics renders the service registry in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	s.reg.WriteProm(&sb)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, sb.String())
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -286,3 +286,63 @@ func TestHealthz(t *testing.T) {
 		t.Errorf("healthz status = %d", resp.StatusCode)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+
+	fetch := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics content type = %q", ct)
+		}
+		var sb strings.Builder
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			sb.WriteString(sc.Text())
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	body := fetch()
+	for _, want := range []string{
+		"# TYPE runner_runs_submitted_total counter",
+		"# TYPE runner_iterations_total counter",
+		"# TYPE runner_queue_depth gauge",
+		"# TYPE loopschedd_uptime_seconds gauge",
+		"runner_runs_done_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// Finish one run; the outcome counter and the aggregated executor
+	// figures must advance.
+	_, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..500 { work 50 }"}`)
+	id, _ := payload["id"].(string)
+	deadline := time.After(30 * time.Second)
+	for {
+		body = fetch()
+		if strings.Contains(body, "runner_runs_done_total 1") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("run %s never reached the done counter:\n%s", id, body)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !strings.Contains(body, "runner_iterations_total 500") {
+		t.Errorf("iterations counter missing 500:\n%s", body)
+	}
+}

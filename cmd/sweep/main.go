@@ -41,7 +41,7 @@ func run(args []string, out io.Writer) error {
 		schemes = fs.String("schemes", "ss,css:8,gss,tss,fsc", "comma-separated scheme specs")
 		access  = fs.Int64("access", 10, "synchronization access cost")
 		remote  = fs.Int64("remote", 0, "NUMA remote-access penalty")
-		pool    = fs.String("pool", "per-loop", "task pool: per-loop, single, distributed")
+		pool    = fs.String("pool", "per-loop", "task pool: "+strings.Join(core.PoolNames(), ", "))
 		csvOut  = fs.Bool("csv", false, "emit CSV instead of a table")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -96,6 +96,47 @@ func Compare(old, new *File, threshold float64) (*Comparison, error) {
 	return c, nil
 }
 
+// hostSideMetrics are measured on the host (wall clock, allocator), not
+// inside the simulated machine, so they are exempt from cross-file
+// bit-identity.
+var hostSideMetrics = map[string]bool{
+	"wall_ns":        true,
+	"allocs":         true,
+	"bytes_per_iter": true,
+}
+
+// BitIdentical extends the virtual engine's determinism contract across
+// files: every scenario deterministic in both files must report exactly
+// the baseline's value for every simulator metric present in both
+// (host-side metrics — wall_ns, allocs, bytes_per_iter — are exempt).
+// It returns one message per violation; empty means bit-identical.
+func BitIdentical(old, new *File) []string {
+	oldBy := map[string]ScenarioResult{}
+	for _, sc := range old.Scenarios {
+		oldBy[sc.Name] = sc
+	}
+	var out []string
+	for _, nsc := range new.Scenarios {
+		osc, ok := oldBy[nsc.Name]
+		if !ok || !nsc.Deterministic || !osc.Deterministic {
+			continue
+		}
+		for _, mname := range nsc.MetricNames() {
+			if hostSideMetrics[mname] {
+				continue
+			}
+			om, ok := osc.Metrics[mname]
+			if !ok {
+				continue
+			}
+			if nm := nsc.Metrics[mname]; nm.Median != om.Median {
+				out = append(out, fmt.Sprintf("%s %s: %g, baseline %g", nsc.Name, mname, nm.Median, om.Median))
+			}
+		}
+	}
+	return out
+}
+
 func compareMetric(scenario, name string, om, nm Metric, threshold float64) Delta {
 	d := Delta{
 		Scenario: scenario,

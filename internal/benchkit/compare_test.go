@@ -151,3 +151,35 @@ func TestWriteTableMarksRegression(t *testing.T) {
 		t.Fatalf("table missing REGRESSION marker:\n%s", sb.String())
 	}
 }
+
+func TestBitIdentical(t *testing.T) {
+	old := mkFile("makespan", gated(1000, 0, BetterLess))
+	same := mkFile("makespan", gated(1000, 0, BetterLess))
+	if viol := BitIdentical(old, same); len(viol) != 0 {
+		t.Fatalf("identical deterministic files flagged: %v", viol)
+	}
+
+	// A 1-unit makespan drift on a deterministic scenario is a violation
+	// even though the gate's threshold would pass it.
+	drift := mkFile("makespan", gated(1001, 0, BetterLess))
+	viol := BitIdentical(old, drift)
+	if len(viol) != 1 || !strings.Contains(viol[0], "makespan") {
+		t.Fatalf("1-unit deterministic drift not flagged: %v", viol)
+	}
+
+	// Host-side metrics are exempt: wall clock may move freely.
+	oldWall := mkFile("wall_ns", gated(1000, 0, BetterLess))
+	newWall := mkFile("wall_ns", gated(9999, 0, BetterLess))
+	if viol := BitIdentical(oldWall, newWall); len(viol) != 0 {
+		t.Fatalf("host-side wall_ns flagged for bit-identity: %v", viol)
+	}
+
+	// Non-deterministic (real-engine) scenarios are exempt.
+	oldReal := mkFile("makespan", gated(1000, 0, BetterLess))
+	newReal := mkFile("makespan", gated(2000, 0, BetterLess))
+	oldReal.Scenarios[0].Deterministic = false
+	newReal.Scenarios[0].Deterministic = false
+	if viol := BitIdentical(oldReal, newReal); len(viol) != 0 {
+		t.Fatalf("real-engine scenario flagged for bit-identity: %v", viol)
+	}
+}

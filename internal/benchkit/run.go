@@ -113,14 +113,15 @@ func Run(scs []Scenario, cfg RunConfig) (*File, error) {
 
 // repSample is the raw measurement of one timed repetition.
 type repSample struct {
-	wallNS      float64
-	makespan    float64
-	utilization float64
-	overhead    float64
-	accesses    float64
-	searches    float64
-	chunks      float64
-	allocs      float64
+	wallNS       float64
+	makespan     float64
+	utilization  float64
+	overhead     float64
+	accesses     float64
+	searches     float64
+	chunks       float64
+	allocs       float64
+	bytesPerIter float64
 }
 
 func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
@@ -174,6 +175,9 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 			chunks:      float64(res.Stats.Chunks),
 			allocs:      float64(m1.Mallocs - m0.Mallocs),
 		}
+		if res.Stats.Iterations > 0 {
+			samples[i].bytesPerIter = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Stats.Iterations)
+		}
 	}
 	if err := stopProfiles(); err != nil {
 		return out, err
@@ -205,6 +209,10 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		"searches":    {Unit: "count", Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.searches }))},
 		"chunks":      {Unit: "count", Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.chunks }))},
 		"allocs":      {Unit: "count", Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.allocs }))},
+		// bytes_per_iter is heap bytes allocated per executed iteration —
+		// the steady-state allocation figure the ICB freelist exists to
+		// shrink. Ungated: GC timing makes it noisy on small runs.
+		"bytes_per_iter": {Unit: "bytes", Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.bytesPerIter }))},
 	}
 	return out, nil
 }

@@ -43,7 +43,8 @@ type ScenarioResult struct {
 	// makespan/utilization were verified bit-identical across reps.
 	Deterministic bool `json:"deterministic"`
 	// Metrics maps metric name (wall_ns, makespan, utilization,
-	// overhead, accesses, searches, chunks, allocs) to its summary.
+	// overhead, accesses, searches, chunks, allocs, bytes_per_iter) to
+	// its summary.
 	Metrics map[string]Metric `json:"metrics"`
 }
 

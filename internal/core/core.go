@@ -9,6 +9,19 @@
 // the real goroutine machine and on the deterministic virtual-time
 // machine, because every time-consuming action goes through machine.Proc.
 //
+// # Layering
+//
+// Execution state is split into three layers (DESIGN.md §8):
+//
+//   - Plan: immutable compile-once artifacts — descriptor tables,
+//     successor fan-out, per-leaf traits (see Plan). Safe to share across
+//     concurrent runs.
+//   - Instance: per-run state — the task pool of ICBs, the BAR_COUNT
+//     table, the stop causes and the stats spine (see executor).
+//   - Worker: per-processor scratch — the loc_indexes vector, the bound
+//     iteration context, the stats shard and the ICB freelist (see
+//     worker).
+//
 // # Deviations from the paper's pseudocode (all documented in DESIGN.md)
 //
 //   - Iteration completion uses {Fetch(icount)&add(size)} with the chunk
@@ -34,6 +47,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -80,36 +94,58 @@ const (
 	PoolDistributed
 )
 
-func (k PoolKind) String() string {
-	switch k {
-	case PoolPerLoop:
-		return "per-loop"
-	case PoolSingleList:
-		return "single-list"
-	case PoolDistributed:
-		return "distributed"
-	default:
-		return fmt.Sprintf("PoolKind(%d)", uint8(k))
-	}
+// poolTable is the single source of truth for task-pool organizations:
+// the display name of each kind and every spelling ParsePool accepts for
+// it (primary spelling first). PoolNames, ParsePool and PoolKind.String
+// all derive from it, so CLI help, benchsuite and loopschedd error
+// payloads can never drift from what is actually parsed. The empty
+// string additionally selects the default, PoolPerLoop.
+var poolTable = []struct {
+	kind      PoolKind
+	display   string
+	spellings []string
+}{
+	{PoolPerLoop, "per-loop", []string{"per-loop"}},
+	{PoolSingleList, "single-list", []string{"single", "single-list"}},
+	{PoolDistributed, "distributed", []string{"distributed"}},
 }
 
-// PoolNames lists the accepted ParsePool spellings.
-func PoolNames() []string { return []string{"per-loop", "single", "distributed"} }
+func (k PoolKind) String() string {
+	for _, e := range poolTable {
+		if e.kind == k {
+			return e.display
+		}
+	}
+	return fmt.Sprintf("PoolKind(%d)", uint8(k))
+}
+
+// PoolNames lists every accepted ParsePool spelling, aliases included,
+// derived from the same table ParsePool consults. (The empty string,
+// which selects the default per-loop pool, is accepted too but not
+// listed as a name.)
+func PoolNames() []string {
+	var names []string
+	for _, e := range poolTable {
+		names = append(names, e.spellings...)
+	}
+	return names
+}
 
 // ParsePool maps a task-pool name to its PoolKind. The empty string and
 // "per-loop" select the paper's pool; "single" and "single-list" the
 // shared-list baseline; "distributed" the work-stealing variant.
 func ParsePool(name string) (PoolKind, error) {
-	switch name {
-	case "", "per-loop":
+	if name == "" {
 		return PoolPerLoop, nil
-	case "single", "single-list":
-		return PoolSingleList, nil
-	case "distributed":
-		return PoolDistributed, nil
-	default:
-		return 0, fmt.Errorf("core: unknown pool %q", name)
 	}
+	for _, e := range poolTable {
+		for _, s := range e.spellings {
+			if s == name {
+				return e.kind, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("core: unknown pool %q", name)
 }
 
 // Config configures one execution.
@@ -174,72 +210,22 @@ func Run(prog *descr.Program, cfg Config) (*Report, error) {
 // sweep, or busy-wait retry), and RunContext returns ctx's error. A
 // cancelled run produces no report and skips the quiescence invariants
 // (the pool is deliberately abandoned mid-flight).
+//
+// RunContext derives a fresh Plan per call; callers running one program
+// repeatedly should build the Plan once and use RunPlanContext.
 func RunContext(ctx context.Context, prog *descr.Program, cfg Config) (*Report, error) {
-	if prog == nil {
-		return nil, fmt.Errorf("core: nil program")
-	}
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("core: config requires an Engine")
-	}
-	if cfg.Scheme == nil {
-		cfg.Scheme = lowsched.SS{}
-	}
-	if lowsched.IsStatic(cfg.Scheme) {
-		for _, l := range prog.Leaves() {
-			if l.Node.Kind == loopir.KindDoacross {
-				return nil, fmt.Errorf(
-					"core: static pre-scheduling cannot execute Doacross programs: with iterations bound to processors, concurrently active instances can deadlock on cross-iteration dependences (loop %q)",
-					l.Node.Label)
-			}
-		}
-	}
-	if cfg.Interrupt == nil {
-		cfg.Interrupt = machine.NewInterrupt()
-	}
-	if err := ctx.Err(); err != nil {
+	pl, err := NewPlan(prog)
+	if err != nil {
 		return nil, err
 	}
-	ex := newExecutor(prog, cfg)
-	if cfg.OnStart != nil {
-		cfg.OnStart(ex)
-	}
-	if done := ctx.Done(); done != nil {
-		// The watcher turns an asynchronous context event into a tripped
-		// interrupt the (possibly virtual-time, single-goroutine) run can
-		// poll. It is reaped before RunContext returns so cancelled runs
-		// leave no goroutines behind.
-		quit := make(chan struct{})
-		watcherDone := make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-done:
-				cfg.Interrupt.Trip(ctx.Err())
-			case <-quit:
-			}
-		}()
-		defer func() { close(quit); <-watcherDone }()
-	}
-	rep := cfg.Engine.Run(ex.worker)
-	if cfg.Interrupt.Tripped() {
-		return nil, cfg.Interrupt.Err()
-	}
-	if err := ex.checkQuiescent(); err != nil {
-		return nil, err
-	}
-	return &Report{
-		RunReport: rep,
-		Stats:     ex.stats.Snap(),
-		Scheme:    cfg.Scheme.Name(),
-	}, nil
+	return RunPlanContext(ctx, pl, cfg)
 }
 
-// executor is the shared state of one run.
+// executor is the instance layer: the mutable shared state of one run.
 type executor struct {
-	prog     *descr.Program
-	cfg      Config
-	pool     TaskPool
-	maxDepth int
+	plan *Plan
+	cfg  Config
+	pool TaskPool
 
 	// done is set when the EXIT walk climbs past the virtual root: the
 	// program is complete and searching processors may stop. This is
@@ -261,29 +247,42 @@ type executor struct {
 	barMu sync.Mutex
 	bars  map[string]*machine.SyncVar
 
+	// stats is the run's sharded counter spine; workers write their own
+	// shard, probes merge on read.
 	stats Stats
+	// workers is the worker layer: one per processor, indexed by
+	// machine.Proc.ID(). The structs are padded so adjacent workers do
+	// not share cache lines.
+	workers []worker
 }
 
-func newExecutor(prog *descr.Program, cfg Config) *executor {
+func newExecutor(pl *Plan, cfg Config) *executor {
+	nprocs := cfg.Engine.NumProcs()
 	ex := &executor{
-		prog: prog,
-		cfg:  cfg,
-		bars: map[string]*machine.SyncVar{},
+		plan:    pl,
+		cfg:     cfg,
+		bars:    map[string]*machine.SyncVar{},
+		stats:   newStats(nprocs),
+		workers: make([]worker, nprocs),
 	}
+	prog := pl.prog
 	switch cfg.Pool {
 	case PoolSingleList:
 		ex.pool = pool.NewSingleList(prog.M)
 	case PoolDistributed:
-		ex.pool = pool.NewDistributed(prog.M, cfg.Engine.NumProcs())
+		ex.pool = pool.NewDistributed(prog.M, nprocs)
 	default:
 		ex.pool = pool.New(prog.M)
 	}
-	for _, l := range prog.Leaves() {
-		if l.Depth > ex.maxDepth {
-			ex.maxDepth = l.Depth
-		}
-	}
 	return ex
+}
+
+// runWorker is the engine entry point: bind processor pr to its worker
+// struct and run the scheduling loop.
+func (ex *executor) runWorker(pr machine.Proc) {
+	w := &ex.workers[pr.ID()]
+	w.init(ex, pr)
+	w.run()
 }
 
 // stopCause is an internal stop-cause (today: a body panic); external
@@ -342,23 +341,30 @@ func (ex *executor) checkQuiescent() error {
 // barInc increments the BAR_COUNT of the instance of the enclosing
 // parallel loop at level lvl identified by loc[2..lvl-1], and reports
 // whether the barrier is complete (count reached bound). Completed
-// entries are removed from the table.
-func (ex *executor) barInc(pr machine.Proc, loopID int, loc []int64, lvl int, bound int64) bool {
-	key := fmt.Sprintf("%d:%v", loopID, loc[2:lvl])
+// entries are removed from the table. The key is rendered into the
+// caller's scratch buffer; a string is materialized only when a new
+// table entry is created.
+func (ex *executor) barInc(pr machine.Proc, buf *[]byte, loopID int, loc []int64, lvl int, bound int64) bool {
+	b := strconv.AppendInt((*buf)[:0], int64(loopID), 10)
+	for _, v := range loc[2:lvl] {
+		b = append(b, ':')
+		b = strconv.AppendInt(b, v, 10)
+	}
+	*buf = b
 	ex.barMu.Lock()
-	ctr, ok := ex.bars[key]
+	ctr, ok := ex.bars[string(b)]
 	if !ok {
 		ctr = machine.NewSyncVar("BAR_COUNT", 0)
-		ex.bars[key] = ctr
+		ex.bars[string(b)] = ctr
 	}
 	ex.barMu.Unlock()
 	n := ctr.FetchInc(pr) + 1
 	if n > bound {
-		panic(fmt.Sprintf("core: BAR_COUNT %s exceeded bound %d", key, bound))
+		panic(fmt.Sprintf("core: BAR_COUNT %s exceeded bound %d", string(b), bound))
 	}
 	if n == bound {
 		ex.barMu.Lock()
-		delete(ex.bars, key)
+		delete(ex.bars, string(b))
 		ex.barMu.Unlock()
 		return true
 	}

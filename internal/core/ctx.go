@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/lowsched"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -10,8 +11,11 @@ import (
 // implements loopir.Env. One Ctx per worker, rebound per instance and per
 // iteration (no allocation in the iteration path).
 type Ctx struct {
-	pr              machine.Proc
-	abort           func() bool
+	pr    machine.Proc
+	abort func() bool
+	// shard, if non-nil, receives dependence-operation counts (the
+	// worker's stats shard; nil in unit scaffolding).
+	shard           *obs.Shard
 	dep             *lowsched.Doacross
 	manual          bool
 	j               int64
@@ -51,6 +55,9 @@ func (c *Ctx) AwaitDep() {
 		return
 	}
 	if c.j > c.dep.Dist() {
+		if c.shard != nil {
+			c.shard.Inc(cDepAwaits)
+		}
 		for !c.dep.Posted(c.j - c.dep.Dist()) {
 			if c.abort != nil && c.abort() {
 				// A failed or preempted processor can never post; unwind
@@ -74,5 +81,8 @@ func (c *Ctx) PostDep() {
 		return
 	}
 	c.dep.Post(c.pr, c.j)
+	if c.shard != nil {
+		c.shard.Inc(cDepPosts)
+	}
 	c.posted = true
 }

@@ -68,12 +68,16 @@ func TestCtxDoacrossIdempotence(t *testing.T) {
 }
 
 func TestStatsSnapshotString(t *testing.T) {
-	var s Stats
-	s.Iterations.Add(7)
-	s.Searches.Add(2)
-	s.O1Time.Add(11)
-	s.addSearch(&pool.SearchStats{Sweeps: 3, Walked: 5})
-	s.addSearch(&pool.SearchStats{Sweeps: 1, LockFailures: 2})
+	// Two shards: the snapshot must merge per-processor counters.
+	s := newStats(2)
+	s.shard(0).Add(cIterations, 4)
+	s.shard(1).Add(cIterations, 3)
+	s.shard(0).Add(cSearches, 2)
+	s.shard(1).Add(cO1Time, 11)
+	s.shard(0).Add(cSearchSweeps, 3)
+	s.shard(0).Add(cSearchWalked, 5)
+	s.shard(1).Add(cSearchSweeps, 1)
+	s.shard(1).Add(cSearchLockFailures, 2)
 	snap := s.Snap()
 	if snap.Iterations != 7 || snap.Searches != 2 || snap.O1Time != 11 {
 		t.Errorf("snapshot = %+v", snap)
@@ -83,6 +87,12 @@ func TestStatsSnapshotString(t *testing.T) {
 	}
 	if str := snap.String(); !strings.Contains(str, "iters=7") {
 		t.Errorf("String = %q", str)
+	}
+}
+
+func TestStatsSpineCoversAllCounters(t *testing.T) {
+	if got := len(statDescs); got != int(numCounters) {
+		t.Fatalf("statDescs has %d entries for %d counter IDs", got, int(numCounters))
 	}
 }
 

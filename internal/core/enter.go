@@ -2,9 +2,7 @@ package core
 
 import (
 	"repro/internal/descr"
-	"repro/internal/loopir"
 	"repro/internal/lowsched"
-	"repro/internal/machine"
 	"repro/internal/pool"
 )
 
@@ -15,8 +13,9 @@ import (
 // must be activated, or 0 if nothing is to be activated (an incomplete
 // barrier, or program completion). loc may be mutated (serial index
 // advance), exactly like the paper's loc_indexes.
-func (ex *executor) exitFrom(pr machine.Proc, cur, lvl int, loc []int64) int {
-	leaf := ex.prog.Leaf(cur)
+func (w *worker) exitFrom(cur, lvl int, loc []int64) int {
+	ex := w.ex
+	leaf := ex.plan.leaf(cur)
 	for {
 		d := &leaf.Levels[lvl]
 		if !d.Last {
@@ -27,7 +26,7 @@ func (ex *executor) exitFrom(pr machine.Proc, cur, lvl int, loc []int64) int {
 		// one full iteration of that loop has completed.
 		bound := d.Bound.Eval(userIVec(loc, lvl-1))
 		if d.Parallel {
-			if !ex.barInc(pr, d.LoopID, loc, lvl, bound) {
+			if !ex.barInc(w.pr, &w.barBuf, d.LoopID, loc, lvl, bound) {
 				// Other iterations of the parallel loop are still
 				// running; their last completer will carry on.
 				return 0
@@ -57,8 +56,9 @@ func (ex *executor) exitFrom(pr machine.Proc, cur, lvl int, loc []int64) int {
 // iteration context. It evaluates the IF guards at this level, fans out
 // over deeper enclosing parallel loops, and appends one ICB per activated
 // instance. loc may be mutated during the descent.
-func (ex *executor) enter(pr machine.Proc, cur, level int, loc []int64) {
-	leaf := ex.prog.Leaf(cur)
+func (w *worker) enter(cur, level int, loc []int64) {
+	ex := w.ex
+	leaf := ex.plan.leaf(cur)
 
 	// Guard processing: walk the IF chain at this level. A failed guard
 	// either redirects to the FALSE branch's entry leaf (altern) or, when
@@ -70,17 +70,17 @@ guards:
 			if g.Cond(userIVec(loc, level)) {
 				continue
 			}
-			ex.stats.GuardsFalse.Add(1)
+			w.shard.Inc(cGuardsFalse)
 			if g.Altern != 0 {
 				cur = g.Altern
-				leaf = ex.prog.Leaf(cur)
+				leaf = ex.plan.leaf(cur)
 				continue guards
 			}
 			// Empty FALSE branch: the construct completes vacuously.
-			if nl := ex.exitFrom(pr, cur, level, loc); nl != 0 {
-				next := ex.prog.Leaf(cur).Levels[nl].Next
+			if nl := w.exitFrom(cur, level, loc); nl != 0 {
+				next := ex.plan.leaf(cur).Levels[nl].Next
 				cur, level = next, nl
-				leaf = ex.prog.Leaf(cur)
+				leaf = ex.plan.leaf(cur)
 				continue guards
 			}
 			return
@@ -89,7 +89,7 @@ guards:
 	}
 
 	if level == leaf.Depth {
-		ex.activate(pr, leaf, loc)
+		w.activate(leaf, loc)
 		return
 	}
 
@@ -102,63 +102,78 @@ guards:
 	if bound == 0 {
 		// Zero-trip structural loop: the construct completes vacuously at
 		// the level above.
-		ex.stats.ZeroTrips.Add(1)
-		if nl := ex.exitFrom(pr, cur, level-1, loc); nl != 0 {
-			ex.enter(pr, leaf.Levels[nl].Next, nl, loc)
+		w.shard.Inc(cZeroTrips)
+		if nl := w.exitFrom(cur, level-1, loc); nl != 0 {
+			w.enter(leaf.Levels[nl].Next, nl, loc)
 		}
 		return
 	}
 	if d.Parallel {
 		for k := int64(1); k <= bound; k++ {
 			loc[level] = k
-			ex.enter(pr, cur, level, loc)
+			w.enter(cur, level, loc)
 		}
 	} else {
 		loc[level] = 1
-		ex.enter(pr, cur, level, loc)
+		w.enter(cur, level, loc)
 	}
 }
 
 // activate creates, initializes and publishes the ICB for one instance of
 // leaf with enclosing indexes loc[2..Depth] (the paper's "create a new
-// ICB; copy the index vector; APPEND").
-func (ex *executor) activate(pr machine.Proc, leaf *descr.LeafInfo, loc []int64) {
+// ICB; copy the index vector; APPEND"). Retired blocks from this worker's
+// freelist are recycled first — the reuse the paper's pcount release
+// protocol exists to make safe.
+func (w *worker) activate(leaf *descr.LeafInfo, loc []int64) {
+	ex := w.ex
 	ivec := userIVec(loc, leaf.Depth)
 	bound := leaf.Node.Bound.Eval(ivec)
 	if bound == 0 {
 		// Zero-trip instance: no iterations, complete immediately.
-		ex.stats.ZeroTrips.Add(1)
-		if nl := ex.exitFrom(pr, leaf.Num, leaf.Depth, loc); nl != 0 {
-			ex.enter(pr, leaf.Levels[nl].Next, nl, loc)
+		w.shard.Inc(cZeroTrips)
+		if nl := w.exitFrom(leaf.Num, leaf.Depth, loc); nl != 0 {
+			w.enter(leaf.Levels[nl].Next, nl, loc)
 		}
 		return
 	}
-	icb := pool.NewICB(leaf.Num, bound, ivec)
-	ex.cfg.Scheme.Init(pr, icb)
-	if leaf.Node.Kind == loopir.KindDoacross {
-		icb.Sync = lowsched.NewDoacross(bound, leaf.Node.Dist)
+	var icb *pool.ICB
+	if n := len(w.free); n > 0 {
+		icb = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+		icb.Reinit(leaf.Num, bound, ivec)
+		w.shard.Inc(cICBReuses)
+	} else {
+		icb = pool.NewICB(leaf.Num, bound, ivec)
+		w.shard.Inc(cICBAllocs)
+	}
+	ex.cfg.Scheme.Init(w.pr, icb)
+	lp := &ex.plan.leaves[leaf.Num]
+	if lp.doacross {
+		icb.Sync = lowsched.NewDoacross(bound, lp.dist)
 	}
 	ex.live.Add(1)
-	ex.stats.Instances.Add(1)
+	w.shard.Inc(cInstances)
 	if ex.cfg.Tracer != nil {
-		ex.cfg.Tracer.InstanceActivated(leaf.Num, icb.IVec, bound, pr.Now())
+		ex.cfg.Tracer.InstanceActivated(leaf.Num, icb.IVec, bound, w.pr.Now())
 	}
-	ex.pool.Append(pr, icb)
+	ex.pool.Append(w.pr, icb)
 }
 
 // completeInstance is the completion path of Algorithm 3: the processor
 // that finished the instance's final iteration computes the exit level and
 // activates the successors.
-func (ex *executor) completeInstance(pr machine.Proc, icb *pool.ICB, loc []int64) {
+func (w *worker) completeInstance(icb *pool.ICB) {
+	ex, loc := w.ex, w.loc
 	loc[1] = 1
 	copy(loc[2:], icb.IVec)
-	leaf := ex.prog.Leaf(icb.Loop)
+	leaf := ex.plan.leaf(icb.Loop)
 	if ex.cfg.Tracer != nil {
-		ex.cfg.Tracer.InstanceCompleted(icb.Loop, icb.IVec, pr.Now())
+		ex.cfg.Tracer.InstanceCompleted(icb.Loop, icb.IVec, w.pr.Now())
 	}
-	if nl := ex.exitFrom(pr, icb.Loop, leaf.Depth, loc); nl != 0 {
+	if nl := w.exitFrom(icb.Loop, leaf.Depth, loc); nl != 0 {
 		targ := leaf.Levels[nl].Next
-		ex.enter(pr, targ, nl, loc)
+		w.enter(targ, nl, loc)
 	}
 	ex.live.Add(-1)
 }

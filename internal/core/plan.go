@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/descr"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+)
+
+// Plan is the immutable compile-once layer of an execution: the compiled
+// descriptor tables plus everything derivable from them alone — the
+// maximum nest depth (sizing each worker's loc_indexes vector), per-leaf
+// synchronization traits, and the Doacross census the static-scheme
+// guard needs. A Plan holds no per-run state, so one Plan can back any
+// number of sequential or concurrent runs with zero recompilation and
+// zero shared mutation; all mutable state lives in the per-run executor
+// (instances) and the per-processor workers.
+type Plan struct {
+	prog     *descr.Program
+	maxDepth int
+	// leaves[num] caches leaf num's activation traits (1-based; entry 0
+	// unused), so the hot activation path reads a flat slice instead of
+	// chasing node pointers.
+	leaves []leafPlan
+	// doacrossLabel is the label of the first Doacross leaf, or "" when
+	// the program has none (static pre-assignment schemes are rejected
+	// against it).
+	doacrossLabel string
+}
+
+// leafPlan caches one leaf's activation traits.
+type leafPlan struct {
+	info       *descr.LeafInfo
+	doacross   bool
+	dist       int64
+	manualSync bool
+}
+
+// NewPlan derives the immutable run plan of a compiled program.
+func NewPlan(prog *descr.Program) (*Plan, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	pl := &Plan{
+		prog:   prog,
+		leaves: make([]leafPlan, prog.M+1),
+	}
+	for _, l := range prog.Leaves() {
+		if l.Depth > pl.maxDepth {
+			pl.maxDepth = l.Depth
+		}
+		lp := leafPlan{info: l, manualSync: l.Node.ManualSync}
+		if l.Node.Kind == loopir.KindDoacross {
+			lp.doacross = true
+			lp.dist = l.Node.Dist
+			if pl.doacrossLabel == "" {
+				pl.doacrossLabel = l.Node.Label
+			}
+		}
+		pl.leaves[l.Num] = lp
+	}
+	return pl, nil
+}
+
+// Program returns the compiled program the plan was derived from.
+func (pl *Plan) Program() *descr.Program { return pl.prog }
+
+// MaxDepth returns the deepest leaf's internal depth (including the
+// virtual root).
+func (pl *Plan) MaxDepth() int { return pl.maxDepth }
+
+// leaf returns the LeafInfo for loop number num (1..M).
+func (pl *Plan) leaf(num int) *descr.LeafInfo { return pl.leaves[num].info }
+
+// RunPlan executes the plan under the given configuration; see Run.
+func RunPlan(pl *Plan, cfg Config) (*Report, error) {
+	return RunPlanContext(context.Background(), pl, cfg)
+}
+
+// RunPlanContext executes the plan under the given configuration with
+// cooperative cancellation; see RunContext. The plan is shared-state
+// free, so concurrent RunPlanContext calls on one Plan are safe.
+func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) {
+	if pl == nil {
+		return nil, fmt.Errorf("core: nil plan")
+	}
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("core: config requires an Engine")
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = lowsched.SS{}
+	}
+	if lowsched.IsStatic(cfg.Scheme) && pl.doacrossLabel != "" {
+		return nil, fmt.Errorf(
+			"core: static pre-scheduling cannot execute Doacross programs: with iterations bound to processors, concurrently active instances can deadlock on cross-iteration dependences (loop %q)",
+			pl.doacrossLabel)
+	}
+	if cfg.Interrupt == nil {
+		cfg.Interrupt = machine.NewInterrupt()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex := newExecutor(pl, cfg)
+	if cfg.OnStart != nil {
+		cfg.OnStart(ex)
+	}
+	if done := ctx.Done(); done != nil {
+		// The watcher turns an asynchronous context event into a tripped
+		// interrupt the (possibly virtual-time, single-goroutine) run can
+		// poll. It is reaped before RunPlanContext returns so cancelled
+		// runs leave no goroutines behind.
+		quit := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				cfg.Interrupt.Trip(ctx.Err())
+			case <-quit:
+			}
+		}()
+		defer func() { close(quit); <-watcherDone }()
+	}
+	rep := cfg.Engine.Run(ex.runWorker)
+	if cfg.Interrupt.Tripped() {
+		return nil, cfg.Interrupt.Err()
+	}
+	if err := ex.checkQuiescent(); err != nil {
+		return nil, err
+	}
+	return &Report{
+		RunReport: rep,
+		Stats:     ex.stats.Snap(),
+		Scheme:    cfg.Scheme.Name(),
+	}, nil
+}

@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
-// Stats holds the executor's counters, aligned with the overhead
+// Counter IDs of the executor's stats spine, aligned with the overhead
 // decomposition of Section IV:
 //
 //   - O1: per-iteration accesses to the shared index and iteration
@@ -16,50 +15,95 @@ import (
 //   - O2: SEARCH — leading-one detection, list walking, ivec copy,
 //   - O3: EXIT/ENTER — precedence resolution and ICB creation.
 //
-// Time fields are summed processor time (engine units) measured around
+// Time counters are summed processor time (engine units) measured around
 // the corresponding code sections; on the virtual machine they are exact.
+const (
+	cIterations  obs.ID = iota // leaf iterations executed
+	cChunks                    // low-level assignments fetched
+	cInstances                 // ICBs activated
+	cSearches                  // SEARCH calls (successful or final)
+	cEnters                    // ENTER invocations (completion + prologue)
+	cExits                     // completed instances
+	cZeroTrips                 // vacuously completed constructs/instances
+	cGuardsFalse               // IF guards that evaluated false
+
+	cO1Time
+	cO2Time
+	cO3Time
+	cDispatchTime
+	cBodyTime
+
+	cSearchSweeps
+	cSearchLockFailures
+	cSearchRetests
+	cSearchWalked
+	cSearchSaturated
+
+	cICBAllocs // ICBs freshly allocated
+	cICBReuses // ICBs recycled from a worker freelist
+	cDepAwaits // Doacross dependence waits entered
+	cDepPosts  // Doacross dependence flags posted
+
+	numCounters
+)
+
+// statDescs declares the spine counters in ID order (names double as the
+// /metrics stems of services that re-export a run's counters).
+var statDescs = []obs.Desc{
+	{Name: "iterations", Help: "leaf iterations executed", Unit: "count"},
+	{Name: "chunks", Help: "low-level assignments fetched", Unit: "count"},
+	{Name: "instances", Help: "loop instances activated (ICBs)", Unit: "count"},
+	{Name: "searches", Help: "high-level SEARCH calls", Unit: "count"},
+	{Name: "enters", Help: "ENTER invocations", Unit: "count"},
+	{Name: "exits", Help: "completed instances", Unit: "count"},
+	{Name: "zero_trips", Help: "vacuously completed constructs", Unit: "count"},
+	{Name: "guards_false", Help: "IF guards that evaluated false", Unit: "count"},
+	{Name: "o1_time", Help: "iteration-grab overhead time", Unit: "vtime"},
+	{Name: "o2_time", Help: "SEARCH overhead time", Unit: "vtime"},
+	{Name: "o3_time", Help: "EXIT/ENTER overhead time", Unit: "vtime"},
+	{Name: "dispatch_time", Help: "modeled OS dispatch time", Unit: "vtime"},
+	{Name: "body_time", Help: "useful iteration body time", Unit: "vtime"},
+	{Name: "search_sweeps", Help: "SW leading-one sweeps", Unit: "count"},
+	{Name: "search_lock_failures", Help: "lists skipped under held locks", Unit: "count"},
+	{Name: "search_retests", Help: "lists empty on locked retest", Unit: "count"},
+	{Name: "search_walked", Help: "ICBs inspected during SEARCH", Unit: "count"},
+	{Name: "search_saturated", Help: "lists walked without adoption", Unit: "count"},
+	{Name: "icb_allocs", Help: "ICBs freshly allocated", Unit: "count"},
+	{Name: "icb_reuses", Help: "ICBs recycled via freelists", Unit: "count"},
+	{Name: "dep_awaits", Help: "Doacross dependence waits", Unit: "count"},
+	{Name: "dep_posts", Help: "Doacross dependence posts", Unit: "count"},
+}
+
+// Stats is the executor's sharded counter spine: one obs.Shard per
+// processor, written lock-free on the scheduling hot path and merged on
+// read. The zero value is not usable; construct with newStats.
 type Stats struct {
-	Iterations  atomic.Int64 // leaf iterations executed
-	Chunks      atomic.Int64 // low-level assignments fetched
-	Instances   atomic.Int64 // ICBs activated
-	Searches    atomic.Int64 // SEARCH calls (successful or final)
-	Enters      atomic.Int64 // ENTER invocations (completion + prologue)
-	Exits       atomic.Int64 // completed instances
-	ZeroTrips   atomic.Int64 // vacuously completed constructs/instances
-	GuardsFalse atomic.Int64 // IF guards that evaluated false
-
-	O1Time       atomic.Int64
-	O2Time       atomic.Int64
-	O3Time       atomic.Int64
-	DispatchTime atomic.Int64
-	// BodyTime is summed processor time spent inside assigned iteration
-	// bodies (including Doacross dependence waits) — the "useful work"
-	// counterpart of the O1/O2/O3 overheads, kept here so a live probe
-	// can derive a scheduling-efficiency figure mid-run.
-	BodyTime atomic.Int64
-
-	mu     sync.Mutex
-	search pool.SearchStats
+	spine *obs.Spine
 }
 
-func (s *Stats) addSearch(st *pool.SearchStats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.search.Sweeps += st.Sweeps
-	s.search.LockFailures += st.LockFailures
-	s.search.Retests += st.Retests
-	s.search.Walked += st.Walked
-	s.search.Saturated += st.Saturated
+// newStats returns a spine with one shard per processor.
+func newStats(nprocs int) Stats {
+	return Stats{spine: obs.NewSpine(nprocs, statDescs)}
 }
 
-// Snapshot is a plain-value copy of Stats for reports.
+// shard returns processor i's private counter shard.
+func (s *Stats) shard(i int) *obs.Shard { return s.spine.Shard(i) }
+
+// Snapshot is a merged plain-value copy of the executor counters, for
+// reports, probes and wire encoding.
 type Snapshot struct {
 	Iterations, Chunks, Instances int64
 	Searches, Enters, Exits       int64
 	ZeroTrips, GuardsFalse        int64
 	O1Time, O2Time, O3Time        int64
 	DispatchTime, BodyTime        int64
-	Search                        pool.SearchStats
+	// ICBAllocs and ICBReuses decompose instance activations into fresh
+	// allocations and freelist recycles (the paper's pcount release
+	// protocol making explicit reuse safe).
+	ICBAllocs, ICBReuses int64
+	// DepAwaits and DepPosts count Doacross dependence operations.
+	DepAwaits, DepPosts int64
+	Search              pool.SearchStats
 }
 
 // OverheadTime returns the total scheduling-overhead processor time:
@@ -88,19 +132,28 @@ func (sn Snapshot) Efficiency() float64 {
 	return float64(sn.BodyTime) / float64(total)
 }
 
-// Snap returns a plain-value copy of the counters.
+// Snap merges the shards into a plain-value snapshot. It is safe to call
+// at any time, including while the run is in flight (the live-probe
+// path): each counter is read atomically, so values are monotone though
+// not mutually consistent to a single instant.
 func (s *Stats) Snap() Snapshot {
-	s.mu.Lock()
-	search := s.search
-	s.mu.Unlock()
+	t := s.spine.Totals()
 	return Snapshot{
-		Iterations: s.Iterations.Load(), Chunks: s.Chunks.Load(),
-		Instances: s.Instances.Load(), Searches: s.Searches.Load(),
-		Enters: s.Enters.Load(), Exits: s.Exits.Load(),
-		ZeroTrips: s.ZeroTrips.Load(), GuardsFalse: s.GuardsFalse.Load(),
-		O1Time: s.O1Time.Load(), O2Time: s.O2Time.Load(), O3Time: s.O3Time.Load(),
-		DispatchTime: s.DispatchTime.Load(), BodyTime: s.BodyTime.Load(),
-		Search: search,
+		Iterations: t[cIterations], Chunks: t[cChunks],
+		Instances: t[cInstances], Searches: t[cSearches],
+		Enters: t[cEnters], Exits: t[cExits],
+		ZeroTrips: t[cZeroTrips], GuardsFalse: t[cGuardsFalse],
+		O1Time: t[cO1Time], O2Time: t[cO2Time], O3Time: t[cO3Time],
+		DispatchTime: t[cDispatchTime], BodyTime: t[cBodyTime],
+		ICBAllocs: t[cICBAllocs], ICBReuses: t[cICBReuses],
+		DepAwaits: t[cDepAwaits], DepPosts: t[cDepPosts],
+		Search: pool.SearchStats{
+			Sweeps:       t[cSearchSweeps],
+			LockFailures: t[cSearchLockFailures],
+			Retests:      t[cSearchRetests],
+			Walked:       t[cSearchWalked],
+			Saturated:    t[cSearchSaturated],
+		},
 	}
 }
 

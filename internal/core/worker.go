@@ -5,12 +5,81 @@ import (
 
 	"repro/internal/lowsched"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
-// worker is the code every processor executes: Algorithm 3's low-level
+// worker is the worker layer: one processor's private scratch for the
+// run, allocated once in the executor's workers slice and reused for the
+// processor's whole lifetime. Everything on it is single-writer — the
+// owning processor — so the scheduling hot path touches no shared
+// mutable cache lines except the costed synchronization variables the
+// paper's algorithms require.
+type worker struct {
+	ex *executor
+	pr machine.Proc
+	// shard is this processor's slice of the stats spine.
+	shard *obs.Shard
+	// needs is the static-scheme adoption veto (lowsched.Needer), bound
+	// to this processor.
+	needs func(*pool.ICB) bool
+	// stop is ex.stop bound once — a method value built at a call site
+	// allocates a closure per call, which would put one heap allocation
+	// on every SEARCH.
+	stop func() bool
+	// loc is the paper's loc_indexes vector, sized by the plan's maximum
+	// depth.
+	loc []int64
+	// ctx is the iteration environment handed to bodies, rebound per
+	// instance and iteration (no allocation in the iteration path).
+	ctx Ctx
+	// sst accumulates SEARCH work between flushes into the shard.
+	sst pool.SearchStats
+	// free is the ICB freelist: blocks retired through the pcount
+	// release protocol, recycled by this worker's next activations.
+	// Single-owner, so reuse is deterministic under the virtual engine.
+	free []*pool.ICB
+	// barBuf is scratch for rendering BAR_COUNT keys.
+	barBuf []byte
+	// pad keeps adjacent workers in the executor's slice from sharing a
+	// cache line (the shard and freelist headers above are written on
+	// every scheduling decision).
+	_ [64]byte
+}
+
+// init binds the worker to its processor and the run.
+func (w *worker) init(ex *executor, pr machine.Proc) {
+	w.ex = ex
+	w.pr = pr
+	w.shard = ex.stats.shard(pr.ID())
+	w.loc = make([]int64, ex.plan.maxDepth+1)
+	// barBuf stays nil until the first barrier completion grows it —
+	// programs without structural parallel loops never pay for it.
+	w.ctx = Ctx{pr: pr, abort: ex.aborted, shard: w.shard}
+	w.stop = ex.stop
+	if n, ok := ex.cfg.Scheme.(lowsched.Needer); ok {
+		w.needs = func(icb *pool.ICB) bool { return n.Needs(pr, icb) }
+	}
+}
+
+// flushSearch folds the accumulated SEARCH work into the stats shard, so
+// live probes see search figures mid-run.
+func (w *worker) flushSearch() {
+	if w.sst == (pool.SearchStats{}) {
+		return
+	}
+	w.shard.Add(cSearchSweeps, w.sst.Sweeps)
+	w.shard.Add(cSearchLockFailures, w.sst.LockFailures)
+	w.shard.Add(cSearchRetests, w.sst.Retests)
+	w.shard.Add(cSearchWalked, w.sst.Walked)
+	w.shard.Add(cSearchSaturated, w.sst.Saturated)
+	w.sst = pool.SearchStats{}
+}
+
+// run is the code every processor executes: Algorithm 3's low-level
 // self-scheduling loop around the high-level SEARCH.
-func (ex *executor) worker(pr machine.Proc) {
+func (w *worker) run() {
+	ex, pr := w.ex, w.pr
 	// A panicking iteration body must not take the whole machine down or
 	// hang it: record the failure and let every processor drain out.
 	defer func() {
@@ -18,26 +87,16 @@ func (ex *executor) worker(pr machine.Proc) {
 			ex.trip(fmt.Errorf("core: iteration body panicked on processor %d: %v", pr.ID(), r))
 		}
 	}()
-	loc := make([]int64, ex.maxDepth+1)
-	ctx := &Ctx{pr: pr, abort: ex.aborted}
-	var sst pool.SearchStats
-	defer func() { ex.stats.addSearch(&sst) }()
-
-	// A static pre-assignment scheme vetoes adopting instances on which
-	// this processor has no remaining work (see lowsched.Needer).
-	var needs func(*pool.ICB) bool
-	if n, ok := ex.cfg.Scheme.(lowsched.Needer); ok {
-		needs = func(icb *pool.ICB) bool { return n.Needs(pr, icb) }
-	}
+	defer w.flushSearch()
 
 	// The program prologue: processor 0 activates the initial instances
 	// (the nodes without predecessors in the macro-dataflow graph).
 	if pr.ID() == 0 {
-		loc[1] = 1
+		w.loc[1] = 1
 		t0 := pr.Now()
-		ex.enter(pr, ex.prog.Entry, 1, loc)
-		ex.stats.O3Time.Add(pr.Now() - t0)
-		ex.stats.Enters.Add(1)
+		w.enter(ex.plan.prog.Entry, 1, w.loc)
+		w.shard.Add(cO3Time, pr.Now()-t0)
+		w.shard.Inc(cEnters)
 	}
 
 	var icb *pool.ICB
@@ -47,20 +106,21 @@ func (ex *executor) worker(pr machine.Proc) {
 		// instance with the low-level scheme.
 		if icb == nil {
 			t0 := pr.Now()
-			icb = ex.pool.SearchWhere(pr, ex.stop, needs, &sst)
+			icb = ex.pool.SearchWhere(pr, w.stop, w.needs, &w.sst)
+			w.flushSearch()
 			if icb == nil {
 				// The terminal search that observed program completion is
 				// shutdown idling, not scheduling overhead; it is excluded
 				// from the O2 accounting.
 				break
 			}
-			ex.stats.O2Time.Add(pr.Now() - t0)
-			ex.stats.Searches.Add(1)
+			w.shard.Add(cO2Time, pr.Now()-t0)
+			w.shard.Inc(cSearches)
 			if ex.cfg.DispatchCost > 0 {
 				// OS-involved baseline: a dispatch costs real time but is
 				// overhead, not useful work.
 				pr.Idle(ex.cfg.DispatchCost)
-				ex.stats.DispatchTime.Add(ex.cfg.DispatchCost)
+				w.shard.Add(cDispatchTime, ex.cfg.DispatchCost)
 			}
 		}
 
@@ -70,7 +130,7 @@ func (ex *executor) worker(pr machine.Proc) {
 			// All iterations scheduled elsewhere: drop our hold and find
 			// new work ({ip->pcount; Decrement}; SEARCH).
 			icb.PCount.FetchDec(pr)
-			ex.stats.O1Time.Add(pr.Now() - t0)
+			w.shard.Add(cO1Time, pr.Now()-t0)
 			icb = nil
 			continue
 		}
@@ -79,59 +139,59 @@ func (ex *executor) worker(pr machine.Proc) {
 			// pool so later searchers move on (DELETE, Algorithm 1).
 			ex.pool.Delete(pr, icb)
 		}
-		ex.stats.Chunks.Add(1)
+		w.shard.Inc(cChunks)
 
 		// body: execute the assigned iterations. Each iteration boundary
 		// is a preemption point: an aborted run (body failure elsewhere,
 		// cancellation, deadline) abandons the rest of the chunk and
 		// drains out; nobody will complete the instance, and the other
 		// processors leave through the same stop checks.
-		leaf := ex.prog.Leaf(icb.Loop)
-		ctx.bind(icb, leaf.Node.ManualSync)
+		lp := &ex.plan.leaves[icb.Loop]
+		w.ctx.bind(icb, lp.manualSync)
 		tb := pr.Now()
 		for j := a.Lo; j <= a.Hi; j++ {
 			if ex.aborted() {
-				ex.stats.BodyTime.Add(pr.Now() - tb)
+				w.shard.Add(cBodyTime, pr.Now()-tb)
 				return
 			}
-			ctx.begin(j)
+			w.ctx.begin(j)
 			if ex.cfg.Tracer != nil {
 				ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
 			}
-			if ctx.dep != nil && !ctx.manual {
-				ctx.AwaitDep()
+			if w.ctx.dep != nil && !w.ctx.manual {
+				w.ctx.AwaitDep()
 			}
-			leaf.Node.Iter(ctx, icb.IVec, j)
-			if ctx.dep != nil {
+			lp.info.Node.Iter(&w.ctx, icb.IVec, j)
+			if w.ctx.dep != nil {
 				// Ensure the dependence source is posted even if the body
 				// did not post explicitly (otherwise successors deadlock).
-				ctx.PostDep()
+				w.ctx.PostDep()
 			}
 			if ex.cfg.Tracer != nil {
 				ex.cfg.Tracer.IterEnd(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
 			}
-			ex.stats.Iterations.Add(1)
+			w.shard.Inc(cIterations)
 		}
-		ex.stats.BodyTime.Add(pr.Now() - tb)
+		w.shard.Add(cBodyTime, pr.Now()-tb)
 
 		// update: count completed iterations; the completer of the final
 		// iteration activates successors and releases the ICB.
 		t0 = pr.Now()
 		done := icb.ICount.FetchAdd(pr, a.Size()) + a.Size()
-		ex.stats.O1Time.Add(pr.Now() - t0)
+		w.shard.Add(cO1Time, pr.Now()-t0)
 		if done > icb.Bound {
 			panic(fmt.Sprintf("core: icount %d exceeded bound %d (loop %d)", done, icb.Bound, icb.Loop))
 		}
 		if done == icb.Bound {
 			t0 = pr.Now()
-			ex.completeInstance(pr, icb, loc)
-			ex.stats.Exits.Add(1)
-			ex.stats.Enters.Add(1)
+			w.completeInstance(icb)
+			w.shard.Inc(cExits)
+			w.shard.Inc(cEnters)
 
 			// Wait for the other holders to drop the ICB, then release it
 			// (the paper's {pcount = 1; Decrement} spin). Only then may
-			// the block be reused; here the garbage collector takes over,
-			// but the protocol is preserved and verified.
+			// the block be reused — which it is: the drained block goes
+			// onto this worker's freelist for the next activation.
 			rel := machine.Instr{Test: machine.TestEQ, TestVal: 1, Op: machine.OpDec}
 			for {
 				if _, ok := icb.PCount.Exec(pr, rel); ok {
@@ -142,7 +202,8 @@ func (ex *executor) worker(pr machine.Proc) {
 				}
 				pr.Spin()
 			}
-			ex.stats.O3Time.Add(pr.Now() - t0)
+			w.free = append(w.free, icb)
+			w.shard.Add(cO3Time, pr.Now()-t0)
 			icb = nil
 		}
 	}

@@ -27,6 +27,9 @@ type afsState struct {
 	scheduled atomic.Int64
 }
 
+// SchemeName marks the state as AFS-owned (pool.SchedState).
+func (*afsState) SchemeName() string { return "AFS" }
+
 const afsShift = 32
 
 func packRange(lo, hi int64) int64       { return lo<<afsShift | hi }

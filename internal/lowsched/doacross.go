@@ -32,6 +32,10 @@ func NewDoacross(bound, dist int64) *Doacross {
 // Dist returns the dependence distance.
 func (d *Doacross) Dist() int64 { return d.dist }
 
+// SyncName marks the state as Doacross dependence machinery
+// (pool.SyncState).
+func (*Doacross) SyncName() string { return "doacross" }
+
 // Await blocks processor pr until iteration j's dependence source
 // (iteration j-dist) has posted. Iterations j <= dist have no predecessor
 // and return immediately.

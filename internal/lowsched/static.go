@@ -63,6 +63,9 @@ type staticBlockState struct {
 	scheduled atomic.Int64
 }
 
+// SchemeName marks the state as StaticBlock-owned (pool.SchedState).
+func (*staticBlockState) SchemeName() string { return "static-block" }
+
 // Init allocates the per-processor claim flags.
 func (StaticBlock) Init(pr machine.Proc, icb *pool.ICB) {
 	icb.Sched = &staticBlockState{taken: make([]atomic.Bool, pr.NumProcs())}
@@ -114,6 +117,9 @@ type staticCyclicState struct {
 	next      []atomic.Int64 // per processor: next iteration to take
 	scheduled atomic.Int64   // iterations handed out (for the last flag)
 }
+
+// SchemeName marks the state as StaticCyclic-owned (pool.SchedState).
+func (*staticCyclicState) SchemeName() string { return "static-cyclic" }
 
 // Init allocates the per-processor progress counters.
 func (StaticCyclic) Init(pr machine.Proc, icb *pool.ICB) {

@@ -26,11 +26,14 @@ func (t TSS) Name() string {
 // tssState is per-instance: a packed (chunk#, next index) word manipulated
 // with compare-and-store, plus the precomputed decrement.
 type tssState struct {
-	v     *machine.SyncVar // chunkNo<<32 | nextIndex
+	v     machine.SyncVar // chunkNo<<32 | nextIndex
 	first int64
 	last  int64
 	delta float64 // per-chunk size decrement
 }
+
+// SchemeName marks the state as TSS-owned (pool.SchedState).
+func (*tssState) SchemeName() string { return "TSS" }
 
 const tssIdxBits = 32
 
@@ -51,11 +54,8 @@ func (t TSS) Init(pr machine.Proc, icb *pool.ICB) {
 	if f < l {
 		f = l
 	}
-	st := &tssState{
-		v:     machine.NewSyncVar("tss", 1), // chunkNo 0, index 1
-		first: f,
-		last:  l,
-	}
+	st := &tssState{first: f, last: l}
+	st.v.Init("tss", 1) // chunkNo 0, index 1
 	// Number of chunks C = ceil(2N/(f+l)); delta = (f-l)/(C-1).
 	if c := (2*n + f + l - 1) / (f + l); c > 1 {
 		st.delta = float64(f-l) / float64(c-1)
@@ -112,6 +112,9 @@ type fscState struct {
 	chunkSize  int64
 	chunksLeft int64
 }
+
+// SchemeName marks the state as FSC-owned (pool.SchedState).
+func (*fscState) SchemeName() string { return "FSC" }
 
 // Init prepares the first factoring round.
 func (FSC) Init(pr machine.Proc, icb *pool.ICB) {

@@ -144,19 +144,47 @@ func (in Instr) String() string {
 
 // SyncVar is a synchronization variable: an integer in shared memory that
 // may only be accessed through indivisible test-and-op instructions.
-// Create with NewSyncVar.
+// Create with NewSyncVar, or embed by value and call Init.
 type SyncVar struct {
 	name string
 	v    atomic.Int64
+	// gen counts lifetimes of the storage. Reset bumps it so engines that
+	// key per-variable state by identity (the virtual engine's module
+	// availability, NUMA home and contention stats) treat a recycled
+	// variable exactly like a freshly allocated one.
+	gen atomic.Uint64
 }
 
 // NewSyncVar returns a synchronization variable with the given debug name
 // and initial value.
 func NewSyncVar(name string, init int64) *SyncVar {
-	s := &SyncVar{name: name}
-	s.v.Store(init)
+	s := &SyncVar{}
+	s.Init(name, init)
 	return s
 }
+
+// Init (re)labels the variable and stores its initial value without
+// charging an access. It is for variables embedded by value in larger
+// structures; it must not race with concurrent accessors.
+func (s *SyncVar) Init(name string, init int64) {
+	s.name = name
+	s.v.Store(init)
+}
+
+// Reset stores a new initial value without charging an access and starts
+// a new lifetime of the variable: identity-keyed engine state (module
+// availability, NUMA home, contention stats) is dropped, as if the
+// variable had just been allocated. It is the recycling hook of the ICB
+// freelist and must only be called while the caller has exclusive
+// ownership of the variable (e.g. after the paper's pcount release
+// protocol has retired the instance).
+func (s *SyncVar) Reset(init int64) {
+	s.v.Store(init)
+	s.gen.Add(1)
+}
+
+// Generation returns the variable's lifetime counter (see Reset).
+func (s *SyncVar) Generation() uint64 { return s.gen.Load() }
 
 // Name returns the variable's debug name.
 func (s *SyncVar) Name() string { return s.name }

@@ -121,7 +121,7 @@ func TestDistributedConcurrentStress(t *testing.T) {
 			loop := pr.ID() + 1
 			for k := 0; k < each; k++ {
 				icb := NewICB(loop, bound, loopir.IVec{int64(k)})
-				icb.Sched = new(atomic.Int64)
+				icb.Sched = new(adoptCount)
 				d.Append(pr, icb)
 			}
 		}
@@ -131,7 +131,7 @@ func TestDistributedConcurrentStress(t *testing.T) {
 				return
 			}
 			n := adoptions.Add(1)
-			if icb.Sched.(*atomic.Int64).Add(1) == bound {
+			if icb.Sched.(*adoptCount).Add(1) == bound {
 				d.Delete(pr, icb)
 			}
 			if n == total*bound {

@@ -11,9 +11,10 @@
 //     pathological spin when low-numbered lists hold only saturated ICBs.
 //     This preserves the paper's intent ("processors can go to the next
 //     nonempty linked list when the i-th linked list is locked").
-//   - Deallocated ICBs are reclaimed by the garbage collector; the paper's
-//     pcount release protocol (which makes explicit reuse safe) is still
-//     implemented and verified by the executor.
+//   - Retired ICBs are recycled through per-worker freelists in the
+//     executor: the paper's pcount release protocol makes explicit reuse
+//     safe, and Reinit starts a fresh lifetime of the block (and of its
+//     synchronization variables) for the next instance.
 //
 // The pool can also be configured with a single shared list for all loops,
 // which is the baseline for the "multiple parallel lists avoid a serial
@@ -28,6 +29,22 @@ import (
 	"repro/internal/machine"
 )
 
+// SchedState is per-instance state attached by a low-level scheduling
+// scheme at activation (e.g. trapezoid or factoring chunk state).
+// SchemeName identifies the owning scheme, so a mismatched attachment
+// fails loudly at the type assertion instead of corrupting a reused
+// block.
+type SchedState interface {
+	SchemeName() string
+}
+
+// SyncState is per-instance state attached by the two-level executor at
+// activation (e.g. Doacross dependence flags). SyncName identifies the
+// synchronization discipline.
+type SyncState interface {
+	SyncName() string
+}
+
 // ICB is an instance control block: one entry of a parallel linked list,
 // representing an active instance of an innermost parallel loop.
 type ICB struct {
@@ -36,14 +53,14 @@ type ICB struct {
 
 	// Index is the shared iteration index: the next iteration (1-based) to
 	// be scheduled. Low-level self-scheduling fetches from it.
-	Index *machine.SyncVar
+	Index machine.SyncVar
 	// ICount counts completed iterations; the processor that completes the
 	// last iteration activates the successors.
-	ICount *machine.SyncVar
+	ICount machine.SyncVar
 	// PCount counts processors currently holding a pointer to this ICB;
 	// the instance completer waits for PCount to drain to 1 before
 	// releasing the block (Algorithm 3).
-	PCount *machine.SyncVar
+	PCount machine.SyncVar
 
 	// Loop is the innermost parallel loop number (1..m).
 	Loop int
@@ -52,12 +69,12 @@ type ICB struct {
 	// IVec is the index vector of the enclosing loops.
 	IVec loopir.IVec
 
-	// Sched is scheme-private state (e.g. trapezoid/factoring chunk
-	// state), attached by the low-level scheduling scheme at activation.
-	Sched any
-	// Sync is executor-private state (e.g. Doacross dependence flags),
-	// attached by the two-level executor at activation.
-	Sync any
+	// Sched is scheme-private state, attached by the low-level scheduling
+	// scheme at activation.
+	Sched SchedState
+	// Sync is executor-private state, attached by the two-level executor
+	// at activation.
+	Sync SyncState
 
 	// inList tracks membership for double-append/delete detection
 	// (guarded by the list lock).
@@ -70,14 +87,38 @@ type ICB struct {
 // and enclosing index vector, initialized per Algorithm 6:
 // index = 1, icount = 0, pcount = 0.
 func NewICB(num int, bound int64, ivec loopir.IVec) *ICB {
-	return &ICB{
-		Index:  machine.NewSyncVar("index", 1),
-		ICount: machine.NewSyncVar("icount", 0),
-		PCount: machine.NewSyncVar("pcount", 0),
-		Loop:   num,
-		Bound:  bound,
-		IVec:   ivec.Clone(),
+	b := &ICB{
+		Loop:  num,
+		Bound: bound,
+		IVec:  ivec.Clone(),
 	}
+	b.Index.Init("index", 1)
+	b.ICount.Init("icount", 0)
+	b.PCount.Init("pcount", 0)
+	return b
+}
+
+// Reinit recycles a retired ICB for a new instance of loop num. The
+// caller must hold exclusive ownership of the block: it has been deleted
+// from every list and its pcount release protocol has drained (the
+// executor's freelists pull only from that state). The synchronization
+// variables start a fresh lifetime (machine.SyncVar.Reset), so engines
+// that key per-variable state by identity see a brand-new block, and the
+// IVec backing array is reused when capacity allows.
+func (b *ICB) Reinit(num int, bound int64, ivec loopir.IVec) {
+	if b.inList {
+		panic(fmt.Sprintf("pool: reinit of listed %v", b))
+	}
+	b.Index.Reset(1)
+	b.ICount.Reset(0)
+	b.PCount.Reset(0)
+	b.Loop = num
+	b.Bound = bound
+	b.IVec = append(b.IVec[:0], ivec...)
+	b.Sched = nil
+	b.Sync = nil
+	b.left, b.right = nil, nil
+	b.home = 0
 }
 
 func (b *ICB) String() string {

@@ -22,6 +22,12 @@ func (p *tp) Spin()                   { p.spins++ }
 
 func never() bool { return false }
 
+// adoptCount is SchedState scaffolding for the stress tests: a per-ICB
+// adoption counter.
+type adoptCount struct{ atomic.Int64 }
+
+func (*adoptCount) SchemeName() string { return "adopt-count" }
+
 func listLabels(pl *Pool, loop int) []string {
 	var out []string
 	for icb := pl.Head(loop); icb != nil; icb = icb.Right() {
@@ -45,6 +51,52 @@ func TestNewICBInitialState(t *testing.T) {
 	if icb2.IVec[0] != 5 {
 		t.Error("NewICB aliases caller's ivec")
 	}
+}
+
+func TestReinitStartsFreshLifetime(t *testing.T) {
+	p := &tp{}
+	icb := NewICB(2, 9, loopir.IVec{4, 5})
+	icb.Index.FetchAdd(p, 9)
+	icb.ICount.FetchAdd(p, 9)
+	icb.PCount.FetchInc(p)
+	icb.Sched = new(adoptCount)
+	gen := icb.Index.Generation()
+
+	icb.Reinit(1, 3, loopir.IVec{7})
+	if icb.Index.Peek() != 1 || icb.ICount.Peek() != 0 || icb.PCount.Peek() != 0 {
+		t.Errorf("reinit state wrong: %v", icb)
+	}
+	if icb.Loop != 1 || icb.Bound != 3 {
+		t.Errorf("reinit fields wrong: %v", icb)
+	}
+	if got := fmt.Sprint(icb.IVec); got != "(7)" {
+		t.Errorf("reinit ivec = %s, want (7)", got)
+	}
+	if icb.Sched != nil || icb.Sync != nil {
+		t.Error("reinit must drop per-instance state attachments")
+	}
+	// The variables must start a new lifetime so identity-keyed engine
+	// state (vmachine avail/home/stats) treats them as fresh.
+	if icb.Index.Generation() == gen {
+		t.Error("reinit did not advance the sync variables' generation")
+	}
+	// Reinit must not alias the caller's ivec.
+	src := loopir.IVec{5}
+	icb.Reinit(1, 1, src)
+	src[0] = 9
+	if icb.IVec[0] != 5 {
+		t.Error("Reinit aliases caller's ivec")
+	}
+
+	listed := NewICB(1, 1, nil)
+	pl := New(1)
+	pl.Append(p, listed)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on reinit of listed ICB")
+		}
+	}()
+	listed.Reinit(1, 1, nil)
 }
 
 func TestAppendDeleteOrder(t *testing.T) {
@@ -282,7 +334,7 @@ func TestConcurrentAppendSearchDelete(t *testing.T) {
 			loop := pr.ID() + 1
 			for k := 0; k < perLoop; k++ {
 				icb := NewICB(loop, bound, loopir.IVec{int64(k)})
-				icb.Sched = new(atomic.Int64) // per-ICB adoption counter
+				icb.Sched = new(adoptCount) // per-ICB adoption counter
 				pl.Append(pr, icb)
 				produced.Add(1)
 			}
@@ -297,7 +349,7 @@ func TestConcurrentAppendSearchDelete(t *testing.T) {
 			// The bound-th adopter deletes the ICB (mimicking the
 			// last-iteration DELETE of Algorithm 3); the per-ICB counter
 			// makes the trigger exactly-once.
-			if icb.Sched.(*atomic.Int64).Add(1) == bound {
+			if icb.Sched.(*adoptCount).Add(1) == bound {
 				pl.Delete(pr, icb)
 			}
 			if n == total*bound {

@@ -70,14 +70,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// varKey identifies one lifetime of a synchronization variable. Keying
+// per-variable engine state by {pointer, generation} makes a recycled
+// variable (SyncVar.Reset, the ICB freelist) indistinguishable from a
+// freshly allocated one: its module availability, NUMA home and
+// contention entry all start over, so instance reuse cannot perturb the
+// simulated schedule.
+type varKey struct {
+	sv  *machine.SyncVar
+	gen uint64
+}
+
 // Engine is a virtual multiprocessor. It implements machine.Engine.
 // An Engine is single-use: create a new one for each Run.
 type Engine struct {
 	cfg   Config
 	sim   *des.Sim
-	avail map[*machine.SyncVar]machine.Time
-	stats map[*machine.SyncVar]*VarStat
-	home  map[*machine.SyncVar]int
+	avail map[varKey]machine.Time
+	stats map[varKey]*VarStat
+	home  map[varKey]int
 	procs []*vproc
 }
 
@@ -98,9 +109,9 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:   cfg,
 		sim:   des.New(),
-		avail: make(map[*machine.SyncVar]machine.Time),
-		stats: make(map[*machine.SyncVar]*VarStat),
-		home:  make(map[*machine.SyncVar]int),
+		avail: make(map[varKey]machine.Time),
+		stats: make(map[varKey]*VarStat),
+		home:  make(map[varKey]int),
 	}
 }
 
@@ -201,19 +212,20 @@ func (v *vproc) Idle(cost machine.Time) {
 func (v *vproc) Access(sv *machine.SyncVar) {
 	v.accesses++
 	cfg := v.eng.cfg
+	key := varKey{sv: sv, gen: sv.Generation()}
 	now := v.p.Now()
 	start := now
 	if !cfg.Combining {
-		if a, ok := v.eng.avail[sv]; ok && a > start {
+		if a, ok := v.eng.avail[key]; ok && a > start {
 			start = a
 		}
 	}
 	cost := cfg.AccessCost
 	if cfg.RemotePenalty > 0 {
-		home, ok := v.eng.home[sv]
+		home, ok := v.eng.home[key]
 		if !ok {
 			home = v.p.ID() // first toucher homes the variable
-			v.eng.home[sv] = home
+			v.eng.home[key] = home
 		}
 		if home != v.p.ID() {
 			cost += cfg.RemotePenalty
@@ -221,12 +233,12 @@ func (v *vproc) Access(sv *machine.SyncVar) {
 	}
 	end := start + cost
 	if !cfg.Combining {
-		v.eng.avail[sv] = end
+		v.eng.avail[key] = end
 	}
-	st, ok := v.eng.stats[sv]
+	st, ok := v.eng.stats[key]
 	if !ok {
 		st = &VarStat{Name: sv.Name()}
-		v.eng.stats[sv] = st
+		v.eng.stats[key] = st
 	}
 	st.Accesses++
 	st.Wait += start - now

@@ -36,6 +36,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/descr"
@@ -80,9 +81,26 @@ func MustBuild(f func(b *B)) *Nest { return loopir.MustBuild(f) }
 
 // Program is a compiled nest: standardized form plus the descriptor
 // arrays (DEPTH, BOUND, DESCRPT) consumed by the run-time scheduler.
+//
+// A Program is immutable after Compile and safe for concurrent use: the
+// execution plan (descriptor tables, successor fan-out, barrier
+// topology) is derived once on first run and shared by every subsequent
+// and concurrent Run/RunContext call without recompilation.
 type Program struct {
 	std  *loopir.Nest
 	desc *descr.Program
+
+	planOnce sync.Once
+	plan     *core.Plan
+	planErr  error
+}
+
+// execPlan returns the cached execution plan, deriving it on first use.
+func (p *Program) execPlan() (*core.Plan, error) {
+	p.planOnce.Do(func() {
+		p.plan, p.planErr = core.NewPlan(p.desc)
+	})
+	return p.plan, p.planErr
 }
 
 // CompileOption adjusts compilation.
@@ -192,8 +210,9 @@ type Options struct {
 	// than "single" is rejected with ErrPoolConflict.
 	SingleListPool bool
 	// Pool selects the task-pool organization: "" or "per-loop" (the
-	// paper's m parallel lists + SW), "single" (one shared list), or
-	// "distributed" (per-processor lists with work stealing).
+	// paper's m parallel lists + SW), "single" / "single-list" (one
+	// shared list), or "distributed" (per-processor lists with work
+	// stealing). KnownPools lists every accepted spelling.
 	Pool string
 	// DispatchCost models an OS dispatch on every task grab (baseline).
 	DispatchCost int64
@@ -288,6 +307,10 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	pl, err := p.execPlan()
+	if err != nil {
+		return nil, err
+	}
 	intr := machine.NewInterrupt()
 	eng := rs.mkEngine(intr)
 	var log *trace.Log
@@ -296,7 +319,7 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		log = trace.New()
 		tracer = log
 	}
-	rep, err := core.RunContext(ctx, p.desc, core.Config{
+	rep, err := core.RunPlanContext(ctx, pl, core.Config{
 		Engine:       eng,
 		Scheme:       rs.scheme,
 		Pool:         rs.pool,

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/runmgr"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	// SampleInterval is the period of Watch progress streams (default
 	// 50ms).
 	SampleInterval time.Duration
+	// Metrics, if non-nil, receives the Runner's service metrics: run
+	// outcome counters, executor figures aggregated over finished runs,
+	// and live census gauges. Callers render them with
+	// Registry.WriteProm (loopschedd's GET /metrics does).
+	Metrics *obs.Registry
 }
 
 // Submission is one run request.
@@ -103,10 +109,66 @@ type Progress struct {
 type Runner struct {
 	mgr    *runmgr.Manager
 	sample time.Duration
+	met    *metrics
 
 	mu   sync.Mutex
 	byID map[string]*Run
 	runs []*Run
+}
+
+// metrics aggregates run outcomes into a Config.Metrics registry. A nil
+// *metrics is a valid no-op receiver, so the record path needs no
+// configuration checks.
+type metrics struct {
+	submitted, done, failed, cancelled      *obs.Counter
+	iterations, instances, chunks, searches *obs.Counter
+	accesses, busy                          *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		submitted:  reg.Counter("runner_runs_submitted_total", "Runs accepted by Submit."),
+		done:       reg.Counter("runner_runs_done_total", "Runs finished successfully."),
+		failed:     reg.Counter("runner_runs_failed_total", "Runs finalized with an error (including expired timeouts)."),
+		cancelled:  reg.Counter("runner_runs_cancelled_total", "Runs cancelled before completion."),
+		iterations: reg.Counter("runner_iterations_total", "Loop iterations executed by finished runs."),
+		instances:  reg.Counter("runner_instances_total", "Loop instances activated by finished runs."),
+		chunks:     reg.Counter("runner_chunks_total", "Low-level iteration assignments grabbed by finished runs."),
+		searches:   reg.Counter("runner_searches_total", "Task-pool SEARCH calls by finished runs."),
+		accesses:   reg.Counter("runner_sync_accesses_total", "Synchronization-variable accesses by finished runs."),
+		busy:       reg.Counter("runner_busy_time_total", "Summed per-processor busy time of finished runs (engine units)."),
+	}
+}
+
+// finish folds one terminal run into the registry.
+func (m *metrics) finish(res *repro.Result, err error) {
+	if m == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		m.done.Inc()
+	case errors.Is(err, context.Canceled):
+		m.cancelled.Inc()
+	default:
+		m.failed.Inc()
+	}
+	if res == nil {
+		return
+	}
+	m.iterations.Add(res.Stats.Iterations)
+	m.instances.Add(res.Stats.Instances)
+	m.chunks.Add(res.Stats.Chunks)
+	m.searches.Add(res.Stats.Searches)
+	var acc, busy int64
+	for _, a := range res.Accesses {
+		acc += a
+	}
+	for _, b := range res.Busy {
+		busy += b
+	}
+	m.accesses.Add(acc)
+	m.busy.Add(busy)
 }
 
 // New returns a Runner with the given configuration.
@@ -114,7 +176,7 @@ func New(cfg Config) *Runner {
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 50 * time.Millisecond
 	}
-	return &Runner{
+	rn := &Runner{
 		mgr: runmgr.New(runmgr.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			QueueLimit:    cfg.QueueLimit,
@@ -122,6 +184,15 @@ func New(cfg Config) *Runner {
 		sample: cfg.SampleInterval,
 		byID:   map[string]*Run{},
 	}
+	if cfg.Metrics != nil {
+		rn.met = newMetrics(cfg.Metrics)
+		mgr := rn.mgr
+		cfg.Metrics.Gauge("runner_queue_depth", "Submissions waiting to start.",
+			func() float64 { return float64(mgr.Stats().QueueDepth) })
+		cfg.Metrics.Gauge("runner_running", "Runs currently executing.",
+			func() float64 { return float64(mgr.Stats().Running) })
+	}
+	return rn
 }
 
 // Submit validates and enqueues a run. It returns the run's handle, or
@@ -151,7 +222,9 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 				ctx, cancel = context.WithTimeout(ctx, sub.Timeout)
 				defer cancel()
 			}
-			return sub.Program.RunContext(ctx, opts)
+			res, err := sub.Program.RunContext(ctx, opts)
+			rn.met.finish(res, err)
+			return res, err
 		},
 		Sample: func() any {
 			if lv := r.probe.Load(); lv != nil {
@@ -162,6 +235,9 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if rn.met != nil {
+		rn.met.submitted.Inc()
 	}
 	r.h = h
 	rn.mu.Lock()
