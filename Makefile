@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,14 @@ verify:
 verify-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# verify-kernel gates the execution-kernel seam: both engines must pass
+# the enginetest conformance suite (under the race detector, so the real
+# engine's memory ordering is checked too), and the virtual engine must
+# still reproduce the committed baseline bit-for-bit — the kernel/Engine/
+# ChunkCalculator refactor surface may not change a single simulated
+# access sequence.
+verify-kernel:
+	$(GO) test -race ./internal/enginetest/
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_kernel.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_kernel.json

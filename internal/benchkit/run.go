@@ -122,6 +122,7 @@ type repSample struct {
 	chunks       float64
 	allocs       float64
 	bytesPerIter float64
+	perClaim     float64
 }
 
 func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
@@ -178,6 +179,9 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		if res.Stats.Iterations > 0 {
 			samples[i].bytesPerIter = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Stats.Iterations)
 		}
+		if res.Stats.Chunks > 0 {
+			samples[i].perClaim = float64(res.Stats.O1Time) / float64(res.Stats.Chunks)
+		}
 	}
 	if err := stopProfiles(); err != nil {
 		return out, err
@@ -213,6 +217,11 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		// the steady-state allocation figure the ICB freelist exists to
 		// shrink. Ungated: GC timing makes it noisy on small runs.
 		"bytes_per_iter": {Unit: "bytes", Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.bytesPerIter }))},
+		// ns_per_claim is the low-level scheduling cost per claimed chunk
+		// (O1 time / chunks): what one pass through the bound ChunkCalculator
+		// costs, dispatch included. Ungated — it tracks the scheme layer's
+		// overhead trend across both engines without failing the suite.
+		"ns_per_claim": {Unit: engineTimeUnit(virt), Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.perClaim }))},
 	}
 	return out, nil
 }

@@ -70,11 +70,17 @@ type Tracer interface {
 
 // TaskPool abstracts the high-level task pool so alternative parallel
 // data structures (the paper's [24] note) can be compared; implemented by
-// pool.Pool and pool.Distributed.
+// pool.Pool and pool.Distributed. The SEARCH loop itself belongs to the
+// kernel (worker.search); a pool supplies only the sweep primitives —
+// First starts a sweep and returns an opaque positive cursor (0: nothing
+// advertises work), Next continues it (0: sweep exhausted), TryAdopt
+// attempts adoption at a cursor.
 type TaskPool interface {
 	Append(pr machine.Proc, icb *pool.ICB)
 	Delete(pr machine.Proc, icb *pool.ICB)
-	SearchWhere(pr machine.Proc, stop func() bool, needs func(*pool.ICB) bool, st *pool.SearchStats) *pool.ICB
+	First(pr machine.Proc) int
+	Next(pr machine.Proc, i int) int
+	TryAdopt(pr machine.Proc, i int, needs func(*pool.ICB) bool, block bool, st *pool.SearchStats) *pool.ICB
 	Empty() bool
 }
 
@@ -150,8 +156,9 @@ func ParsePool(name string) (PoolKind, error) {
 
 // Config configures one execution.
 type Config struct {
-	// Engine is the machine to run on. Required.
-	Engine machine.Engine
+	// Engine is the machine to run on (see the Engine seam in engine.go;
+	// machine.Engine implementations satisfy it directly). Required.
+	Engine Engine
 	// Scheme is the low-level self-scheduling scheme. Defaults to SS.
 	Scheme lowsched.Scheme
 	// Pool selects the task-pool organization (default PoolPerLoop).
@@ -226,6 +233,10 @@ type executor struct {
 	plan *Plan
 	cfg  Config
 	pool TaskPool
+	// policy is the run's iteration-claiming rule: cfg.Scheme bound to
+	// the machine size once (lowsched.Bind), so the kernel's hot path
+	// performs no per-claim scheme dispatch or interface conversion.
+	policy lowsched.Policy
 
 	// done is set when the EXIT walk climbs past the virtual root: the
 	// program is complete and searching processors may stop. This is
@@ -256,11 +267,12 @@ type executor struct {
 	workers []worker
 }
 
-func newExecutor(pl *Plan, cfg Config) *executor {
+func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 	nprocs := cfg.Engine.NumProcs()
 	ex := &executor{
 		plan:    pl,
 		cfg:     cfg,
+		policy:  policy,
 		bars:    map[string]*machine.SyncVar{},
 		stats:   newStats(nprocs),
 		workers: make([]worker, nprocs),

@@ -147,10 +147,17 @@ func (w *worker) activate(leaf *descr.LeafInfo, loc []int64) {
 		icb = pool.NewICB(leaf.Num, bound, ivec)
 		w.shard.Inc(cICBAllocs)
 	}
-	ex.cfg.Scheme.Init(w.pr, icb)
+	ex.policy.Init(w.pr, icb)
 	lp := &ex.plan.leaves[leaf.Num]
 	if lp.doacross {
-		icb.Sync = lowsched.NewDoacross(bound, lp.dist)
+		// A recycled block may carry the previous instance's dependence
+		// state; matching shapes are reset in place.
+		prev, _ := icb.Sync.(*lowsched.Doacross)
+		icb.Sync = lowsched.ReuseDoacross(prev, bound, lp.dist)
+	} else {
+		// Reinit retains typed attachments for reuse; a non-Doacross
+		// instance must not inherit one (Ctx.bind keys off icb.Sync).
+		icb.Sync = nil
 	}
 	ex.live.Add(1)
 	w.shard.Inc(cInstances)

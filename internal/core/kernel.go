@@ -9,6 +9,18 @@ import (
 	"repro/internal/pool"
 )
 
+// This file is the execution kernel: the one copy of the paper's drive
+// loop — Algorithm 3's low-level self-scheduling, the SEARCH sweep of
+// Algorithm 4, and the completion path into EXIT/ENTER (enter.go) — that
+// every engine runs. The kernel is parameterized along two seams:
+//
+//   - Engine (engine.go) supplies the processors; the kernel never asks
+//     which machine it is on.
+//   - lowsched.Policy supplies the iteration-claiming rule; the kernel
+//     never knows a scheme's chunk formula.
+//
+// No SEARCH, EXIT or ENTER control flow exists outside this package.
+
 // worker is the worker layer: one processor's private scratch for the
 // run, allocated once in the executor's workers slice and reused for the
 // processor's whole lifetime. Everything on it is single-writer — the
@@ -57,7 +69,7 @@ func (w *worker) init(ex *executor, pr machine.Proc) {
 	// programs without structural parallel loops never pay for it.
 	w.ctx = Ctx{pr: pr, abort: ex.aborted, shard: w.shard}
 	w.stop = ex.stop
-	if n, ok := ex.cfg.Scheme.(lowsched.Needer); ok {
+	if n, ok := ex.policy.(lowsched.Needer); ok {
 		w.needs = func(icb *pool.ICB) bool { return n.Needs(pr, icb) }
 	}
 }
@@ -74,6 +86,43 @@ func (w *worker) flushSearch() {
 	w.shard.Add(cSearchWalked, w.sst.Walked)
 	w.shard.Add(cSearchSaturated, w.sst.Saturated)
 	w.sst = pool.SearchStats{}
+}
+
+// search is the high-level SEARCH of Algorithm 4, driven over the pool's
+// sweep primitives (First/Next/TryAdopt): repeat leading-one detection
+// until an ICB that needs processors is adopted, or stop() reports that
+// no more work will appear (nil). Each fruitless sweep is a preemption
+// point. After several fruitless sweeps the kernel escalates TryAdopt to
+// blocking on held list locks — skipping is the paper's fast path, but
+// under deterministic timing a searcher's try-lock can lose its race
+// indefinitely while other processors cycle the lock; the FIFO ticket
+// lock then guarantees a turn.
+func (w *worker) search() *pool.ICB {
+	ex, pr := w.ex, w.pr
+	fruitless := 0
+	for {
+		if w.stop() {
+			return nil
+		}
+		w.sst.Sweeps++
+		i := ex.pool.First(pr)
+		if i == 0 {
+			// Nothing advertises work; re-sweep after a beat.
+			pr.Spin()
+			continue
+		}
+		block := fruitless > 4
+		for i != 0 {
+			if icb := ex.pool.TryAdopt(pr, i, w.needs, block, &w.sst); icb != nil {
+				return icb
+			}
+			// Locked, emptied, or saturated: continue the sweep at the
+			// next candidate rather than restarting.
+			i = ex.pool.Next(pr, i)
+		}
+		fruitless++
+		pr.Spin()
+	}
 }
 
 // run is the code every processor executes: Algorithm 3's low-level
@@ -106,7 +155,7 @@ func (w *worker) run() {
 		// instance with the low-level scheme.
 		if icb == nil {
 			t0 := pr.Now()
-			icb = ex.pool.SearchWhere(pr, w.stop, w.needs, &w.sst)
+			icb = w.search()
 			w.flushSearch()
 			if icb == nil {
 				// The terminal search that observed program completion is
@@ -125,7 +174,7 @@ func (w *worker) run() {
 		}
 
 		t0 := pr.Now()
-		a, ok, last := ex.cfg.Scheme.Next(pr, icb)
+		a, ok, last := ex.policy.Next(pr, icb)
 		if !ok {
 			// All iterations scheduled elsewhere: drop our hold and find
 			// new work ({ip->pcount; Decrement}; SEARCH).

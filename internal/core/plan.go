@@ -75,6 +75,18 @@ func (pl *Plan) MaxDepth() int { return pl.maxDepth }
 // leaf returns the LeafInfo for loop number num (1..M).
 func (pl *Plan) leaf(num int) *descr.LeafInfo { return pl.leaves[num].info }
 
+// bindScheme binds the scheme to the machine size once per run,
+// converting lowsched.Bind's validation panics (bad chunk parameters, a
+// type that is neither CalcScheme nor Policy) into configuration errors.
+func bindScheme(s lowsched.Scheme, nprocs int) (pol lowsched.Policy, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: invalid scheme: %v", r)
+		}
+	}()
+	return lowsched.Bind(s, nprocs), nil
+}
+
 // RunPlan executes the plan under the given configuration; see Run.
 func RunPlan(pl *Plan, cfg Config) (*Report, error) {
 	return RunPlanContext(context.Background(), pl, cfg)
@@ -104,7 +116,11 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ex := newExecutor(pl, cfg)
+	policy, err := bindScheme(cfg.Scheme, cfg.Engine.NumProcs())
+	if err != nil {
+		return nil, err
+	}
+	ex := newExecutor(pl, cfg, policy)
 	if cfg.OnStart != nil {
 		cfg.OnStart(ex)
 	}

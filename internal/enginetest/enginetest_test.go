@@ -1,0 +1,25 @@
+package enginetest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vmachine"
+)
+
+// TestVirtualEngineConformance holds the discrete-event simulator to the
+// kernel's Engine contract.
+func TestVirtualEngineConformance(t *testing.T) {
+	Run(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestRealEngineConformance holds the goroutine-backed engine to the same
+// contract; run with -race to check its memory ordering too.
+func TestRealEngineConformance(t *testing.T) {
+	Run(t, "real", func(p int, intr *machine.Interrupt) core.Engine {
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+	})
+}

@@ -15,6 +15,9 @@ import (
 // its back. Included as a further baseline for the scheme-comparison
 // experiments — it combines static scheduling's locality with dynamic
 // rebalancing.
+//
+// AFS implements Policy directly: its per-processor block partition is
+// pre-assignment state, not a chunk cursor.
 type AFS struct{}
 
 // Name returns "AFS".
@@ -35,19 +38,31 @@ const afsShift = 32
 func packRange(lo, hi int64) int64       { return lo<<afsShift | hi }
 func unpackRange(r int64) (lo, hi int64) { return r >> afsShift, r & (1<<afsShift - 1) }
 
-// Init partitions the iteration space into per-processor blocks.
+// reset repartitions the iteration space into per-processor blocks for a
+// (fresh or recycled) instance.
+func (st *afsState) reset(bound, np int64) {
+	for p := int64(0); p < np; p++ {
+		lo := p*bound/np + 1
+		hi := (p+1)*bound/np + 1 // exclusive
+		st.ranges[p].Store(packRange(lo, hi))
+	}
+	st.scheduled.Store(0)
+}
+
+// Init partitions the iteration space into per-processor blocks,
+// resetting a recycled block's typed state in place when its shape
+// matches.
 func (AFS) Init(pr machine.Proc, icb *pool.ICB) {
 	np := int64(pr.NumProcs())
 	if icb.Bound >= 1<<afsShift {
 		panic("lowsched: AFS bound exceeds packed range")
 	}
-	st := &afsState{ranges: make([]atomic.Int64, np)}
-	for p := int64(0); p < np; p++ {
-		lo := p*icb.Bound/np + 1
-		hi := (p+1)*icb.Bound/np + 1 // exclusive
-		st.ranges[p].Store(packRange(lo, hi))
+	st, ok := icb.Sched.(*afsState)
+	if !ok || int64(len(st.ranges)) != np {
+		st = &afsState{ranges: make([]atomic.Int64, np)}
+		icb.Sched = st
 	}
-	icb.Sched = st
+	st.reset(icb.Bound, np)
 }
 
 // Next takes from the caller's own block, or steals from the fullest.

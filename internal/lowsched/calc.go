@@ -1,0 +1,167 @@
+package lowsched
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// This file is the seam between chunk arithmetic and synchronization.
+//
+// A scheme used to be one opaque object that both decided chunk sizes and
+// issued the test-and-op instructions realizing the claim, which meant
+// every new scheme re-implemented the claim protocol and could smuggle
+// per-instance state into hidden mutable fields. Following the
+// distributed-chunk-calculation observation (Eleliemy & Ciorba) that chunk
+// calculation factors into a pure state-in/state-out function, the split
+// here is:
+//
+//   - ChunkCalculator: pure arithmetic. Given an immutable cursor state
+//     word and the instance bound, produce the next assignment and the
+//     successor state. No machine access, no side effects, no storage.
+//   - calcPolicy: the one shared claim protocol. It realizes any
+//     calculator against the ICB's Index synchronization variable — a
+//     single fetch-and-add when the calculator advances by a fixed
+//     stride, a fetch + compare-and-store retry loop otherwise.
+//   - Policy: what the execution kernel actually drives. Cursor schemes
+//     reach it through Bind's calcPolicy wrapper; pre-assignment schemes
+//     (static, affinity) implement it directly.
+//
+// Adding a scheme is therefore one file defining a calculator — the claim
+// protocol, the kernel and both engines are untouched.
+
+// ChunkCalculator is the pure chunk-size arithmetic of a self-scheduling
+// scheme: a function from (cursor state, bound) to (assignment, next
+// state). Implementations must be pure — deterministic, free of side
+// effects and of machine access — so the same calculator drives every
+// engine identically and can be unit-tested as plain arithmetic.
+//
+// The cursor state is an int64 whose encoding belongs to the calculator
+// (a plain next-index for SS/CSS/GSS, a packed word for TSS/FSC). State 1
+// must encode "nothing claimed yet": the cursor lives in the ICB's Index
+// variable, whose initial value is 1.
+type ChunkCalculator interface {
+	// Name identifies the calculator, e.g. "GSS" or "CSS(4)".
+	Name() string
+	// Stride returns (k, true) when the calculator always advances the
+	// cursor by the fixed stride k regardless of state (SS: 1, CSS: K).
+	// The claim protocol then uses a single indivisible fetch-and-add
+	// instead of a compare-and-store loop.
+	Stride() (k int64, fixed bool)
+	// Chunk maps cursor state s to the assignment it denotes and the
+	// successor state. ok is false when s encodes an exhausted instance.
+	// For fixed-stride calculators Chunk must agree with Stride:
+	// next == s + k whenever ok.
+	Chunk(s, bound int64) (a Assignment, next int64, ok bool)
+}
+
+// BoundValidator is an optional ChunkCalculator extension: calculators
+// with packed-state or parameter constraints validate the instance bound
+// at activation and panic on violation (a configuration error, not a
+// runtime condition).
+type BoundValidator interface {
+	ValidateBound(bound int64)
+}
+
+// CalcScheme is a Scheme realized by a pure chunk calculator. Calculator
+// binds the scheme's immutable parameters and the machine size once per
+// run; the result must not retain mutable state.
+type CalcScheme interface {
+	Scheme
+	Calculator(nprocs int) ChunkCalculator
+}
+
+// Policy is the claim-side realization of a scheme the execution kernel
+// drives: per-instance initialization at activation and the indivisible
+// claim of the next assignment. Implementations must be safe for
+// concurrent use by multiple processors on multiple instances; all
+// per-instance state lives on the ICB (the Index variable or the typed
+// Sched attachment).
+type Policy interface {
+	// Name identifies the policy, e.g. "GSS" or "static-block".
+	Name() string
+	// Init prepares per-instance state. It is called exactly once per
+	// instance (by the activating processor pr), after the ICB is created
+	// or recycled and before it becomes visible to other processors.
+	Init(pr machine.Proc, icb *pool.ICB)
+	// Next assigns the next chunk of iterations of icb's instance to the
+	// calling processor. ok reports whether any iterations remained; last
+	// reports that the assignment contains the instance's final iteration
+	// (its receiver must DELETE the ICB from the task pool, Algorithm 3).
+	Next(pr machine.Proc, icb *pool.ICB) (a Assignment, ok, last bool)
+}
+
+// Bind resolves a Scheme into the Policy the kernel drives, fixing the
+// machine size. It is called once per run (not per instance or claim), so
+// the hot claim path pays no construction or conversion cost.
+func Bind(s Scheme, nprocs int) Policy {
+	if nprocs < 1 {
+		panic(fmt.Sprintf("lowsched: bind with %d processors", nprocs))
+	}
+	switch sc := s.(type) {
+	case CalcScheme:
+		c := sc.Calculator(nprocs)
+		k, fixed := c.Stride()
+		if fixed && k < 1 {
+			panic(fmt.Sprintf("lowsched: calculator %s has fixed stride %d < 1", c.Name(), k))
+		}
+		return calcPolicy{calc: c, stride: k, fixed: fixed}
+	case Policy:
+		return sc
+	}
+	panic(fmt.Sprintf("lowsched: scheme %s implements neither CalcScheme nor Policy", s.Name()))
+}
+
+// calcPolicy is the shared claim protocol: it realizes a pure calculator
+// against the ICB's Index variable with the paper's test-and-op
+// instructions. All cursor state lives in Index (initial value 1), so a
+// recycled ICB is reset by Index.Reset alone and cannot leak chunk
+// progress between instances.
+type calcPolicy struct {
+	calc   ChunkCalculator
+	stride int64
+	fixed  bool
+}
+
+// Name returns the calculator's name.
+func (c calcPolicy) Name() string { return c.calc.Name() }
+
+// Init validates the bound when the calculator requires it; the cursor
+// itself needs no initialization (Index starts at state 1).
+func (c calcPolicy) Init(pr machine.Proc, icb *pool.ICB) {
+	if v, ok := c.calc.(BoundValidator); ok {
+		v.ValidateBound(icb.Bound)
+	}
+}
+
+// Next claims the next assignment. Fixed-stride calculators use the
+// paper's single indivisible {index <= bound; Fetch&add(k)}; state-
+// dependent calculators use a fetch + compare-and-store retry loop (the
+// conditional-store realization of the read-modify-write they require —
+// the extra traffic is part of such schemes' measured overhead).
+func (c calcPolicy) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
+	if c.fixed {
+		j, ok := icb.Index.Exec(pr, machine.Instr{
+			Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpFetchAdd, Operand: c.stride,
+		})
+		if !ok {
+			return Assignment{}, false, false
+		}
+		a, _, _ := c.calc.Chunk(j, icb.Bound)
+		return a, true, a.Hi == icb.Bound
+	}
+	for {
+		s := icb.Index.Fetch(pr)
+		a, next, ok := c.calc.Chunk(s, icb.Bound)
+		if !ok {
+			return Assignment{}, false, false
+		}
+		if _, ok := icb.Index.Exec(pr, machine.Instr{
+			Test: machine.TestEQ, TestVal: s, Op: machine.OpStore, Operand: next,
+		}); ok {
+			return a, true, a.Hi == icb.Bound
+		}
+		pr.Spin() // lost the race; recompute from the new state
+	}
+}

@@ -29,6 +29,26 @@ func NewDoacross(bound, dist int64) *Doacross {
 	return d
 }
 
+// ReuseDoacross recycles dependence state alongside a recycled ICB: when
+// prev has exactly bound flags, every flag is reset to a fresh lifetime
+// (machine.SyncVar.Reset, so identity-keyed engine state treats them as
+// newly allocated) and prev is returned; otherwise fresh state is
+// allocated. The caller must hold exclusive ownership of prev (the
+// pcount release protocol has drained the instance that used it).
+func ReuseDoacross(prev *Doacross, bound, dist int64) *Doacross {
+	if prev == nil || int64(len(prev.flags)) != bound {
+		return NewDoacross(bound, dist)
+	}
+	if dist < 1 {
+		panic(fmt.Sprintf("lowsched: doacross distance %d < 1", dist))
+	}
+	prev.dist = dist
+	for _, f := range prev.flags {
+		f.Reset(0)
+	}
+	return prev
+}
+
 // Dist returns the dependence distance.
 func (d *Doacross) Dist() int64 { return d.dist }
 

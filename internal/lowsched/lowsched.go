@@ -3,6 +3,12 @@
 // instance of an innermost parallel loop using indivisible operations on
 // the ICB's shared index variable.
 //
+// The package is split along the chunk-calculation seam (see calc.go):
+// cursor schemes are pure ChunkCalculators driven by one shared claim
+// protocol, pre-assignment schemes implement the kernel-facing Policy
+// directly, and Bind resolves a user-facing Scheme into the Policy the
+// execution kernel drives.
+//
 // Implemented schemes:
 //
 //   - SS: pure self-scheduling, one iteration per fetch-and-increment
@@ -14,11 +20,11 @@
 //     depends on the current index, so a single fetch-and-add does not
 //     suffice; the extra traffic is part of GSS's measured overhead).
 //   - TSS(f,l): trapezoid self-scheduling, linearly decreasing chunks,
-//     realized with a compare-and-store loop on a packed (chunk#, index)
-//     state word.
-//   - FSC: factoring, rounds of P equal chunks halving per round,
-//     realized with a per-instance spin lock (as in its original
-//     formulation).
+//     on a packed (chunk#, index) cursor word.
+//   - FSC: factoring, rounds of P equal chunks halving per round, on a
+//     packed (round position, round start) cursor word.
+//   - static-block / static-cyclic / AFS: pre-assignment policies (see
+//     static.go, affinity.go).
 //
 // The package also provides the Doacross cross-iteration dependence
 // machinery: one synchronization flag per iteration, posted by the
@@ -26,12 +32,7 @@
 // enforces Doacross semantics regardless of the assignment scheme.
 package lowsched
 
-import (
-	"fmt"
-
-	"repro/internal/machine"
-	"repro/internal/pool"
-)
+import "fmt"
 
 // Assignment is a contiguous range of iterations [Lo, Hi], inclusive,
 // assigned to one processor.
@@ -44,21 +45,13 @@ func (a Assignment) Size() int64 { return a.Hi - a.Lo + 1 }
 
 func (a Assignment) String() string { return fmt.Sprintf("[%d,%d]", a.Lo, a.Hi) }
 
-// Scheme is a low-level self-scheduling policy. Implementations must be
-// safe for concurrent use by multiple processors on multiple instances;
-// all per-instance state lives on the ICB (Sched field or Index variable).
+// Scheme selects a low-level self-scheduling scheme and carries its
+// immutable parameters (e.g. the CSS chunk size). A Scheme holds no
+// execution state: Bind resolves it into the Policy the kernel drives,
+// and all per-instance state lives on the ICB.
 type Scheme interface {
 	// Name identifies the scheme, e.g. "GSS" or "CSS(4)".
 	Name() string
-	// Init prepares per-instance state. It is called exactly once per
-	// instance (by the activating processor pr), after the ICB is created
-	// and before it becomes visible to other processors.
-	Init(pr machine.Proc, icb *pool.ICB)
-	// Next assigns the next chunk of iterations of icb's instance to the
-	// calling processor. ok reports whether any iterations remained; last
-	// reports that the assignment contains the instance's final iteration
-	// (its receiver must DELETE the ICB from the task pool, Algorithm 3).
-	Next(pr machine.Proc, icb *pool.ICB) (a Assignment, ok, last bool)
 }
 
 // SS is pure self-scheduling: one iteration at a time.
@@ -67,18 +60,20 @@ type SS struct{}
 // Name returns "SS".
 func (SS) Name() string { return "SS" }
 
-// Init is a no-op: SS needs only the ICB's index variable.
-func (SS) Init(machine.Proc, *pool.ICB) {}
+// Calculator returns the unit-stride calculator.
+func (SS) Calculator(int) ChunkCalculator { return ssCalc{name: "SS"} }
 
-// Next performs the paper's {index <= b; Fetch(j)&Increment}.
-func (SS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
-	j, ok := icb.Index.Exec(pr, machine.Instr{
-		Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpInc,
-	})
-	if !ok {
-		return Assignment{}, false, false
+// ssCalc: the cursor is the next unclaimed index; every chunk is one
+// iteration, so the claim is the paper's {index <= b; Fetch(j)&Increment}.
+type ssCalc struct{ name string }
+
+func (c ssCalc) Name() string        { return c.name }
+func (ssCalc) Stride() (int64, bool) { return 1, true }
+func (ssCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	if s > bound {
+		return Assignment{}, s, false
 	}
-	return Assignment{Lo: j, Hi: j}, true, j == icb.Bound
+	return Assignment{Lo: s, Hi: s}, s + 1, true
 }
 
 // SDSS is shortest-delay self-scheduling [16] for Doacross loops: the
@@ -93,6 +88,9 @@ type SDSS struct{ SS }
 // Name returns "SDSS".
 func (SDSS) Name() string { return "SDSS" }
 
+// Calculator returns the unit-stride calculator under the SDSS name.
+func (SDSS) Calculator(int) ChunkCalculator { return ssCalc{name: "SDSS"} }
+
 // CSS is fixed-size chunk self-scheduling: k iterations per fetch.
 type CSS struct {
 	// K is the chunk size (>= 1).
@@ -102,27 +100,32 @@ type CSS struct {
 // Name returns "CSS(k)".
 func (c CSS) Name() string { return fmt.Sprintf("CSS(%d)", c.K) }
 
-// Init validates the chunk size.
-func (c CSS) Init(machine.Proc, *pool.ICB) {
+// Calculator validates the chunk size and returns the k-stride calculator.
+func (c CSS) Calculator(int) ChunkCalculator {
 	if c.K < 1 {
 		panic(fmt.Sprintf("lowsched: CSS chunk %d < 1", c.K))
 	}
+	return cssCalc{name: c.Name(), k: c.K}
 }
 
-// Next performs {index <= b; Fetch(j)&add(k)} and clamps the chunk to the
-// bound.
-func (c CSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
-	j, ok := icb.Index.Exec(pr, machine.Instr{
-		Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpFetchAdd, Operand: c.K,
-	})
-	if !ok {
-		return Assignment{}, false, false
+// cssCalc: the cursor is the next unclaimed index; the claim is
+// {index <= b; Fetch(j)&add(k)} with the final chunk clamped to the bound.
+type cssCalc struct {
+	name string
+	k    int64
+}
+
+func (c cssCalc) Name() string          { return c.name }
+func (c cssCalc) Stride() (int64, bool) { return c.k, true }
+func (c cssCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	if s > bound {
+		return Assignment{}, s, false
 	}
-	hi := j + c.K - 1
-	if hi > icb.Bound {
-		hi = icb.Bound
+	hi := s + c.k - 1
+	if hi > bound {
+		hi = bound
 	}
-	return Assignment{Lo: j, Hi: hi}, true, hi == icb.Bound
+	return Assignment{Lo: s, Hi: hi}, s + c.k, true
 }
 
 // GSS is guided self-scheduling: chunk = ceil(remaining / P).
@@ -131,30 +134,22 @@ type GSS struct{}
 // Name returns "GSS".
 func (GSS) Name() string { return "GSS" }
 
-// Init is a no-op.
-func (GSS) Init(machine.Proc, *pool.ICB) {}
+// Calculator binds the machine size (the P of ceil(remaining/P)).
+func (GSS) Calculator(nprocs int) ChunkCalculator { return gssCalc{p: int64(nprocs)} }
 
-// Next computes the guided chunk with a fetch + compare-and-store retry
-// loop: {index = cur; Store(cur+size)} is the conditional-store
-// realization of the indivisible read-modify-write GSS requires.
-func (GSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
-	p := int64(pr.NumProcs())
-	for {
-		cur := icb.Index.Fetch(pr)
-		if cur > icb.Bound {
-			return Assignment{}, false, false
-		}
-		remaining := icb.Bound - cur + 1
-		size := (remaining + p - 1) / p
-		if size < 1 {
-			size = 1
-		}
-		if _, ok := icb.Index.Exec(pr, machine.Instr{
-			Test: machine.TestEQ, TestVal: cur, Op: machine.OpStore, Operand: cur + size,
-		}); ok {
-			hi := cur + size - 1
-			return Assignment{Lo: cur, Hi: hi}, true, hi == icb.Bound
-		}
-		pr.Spin() // lost the race; recompute from the new index
+// gssCalc: the cursor is the next unclaimed index; the chunk size depends
+// on it, so claims go through the compare-and-store loop.
+type gssCalc struct{ p int64 }
+
+func (gssCalc) Name() string          { return "GSS" }
+func (gssCalc) Stride() (int64, bool) { return 0, false }
+func (c gssCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	if s > bound {
+		return Assignment{}, s, false
 	}
+	size := (bound - s + c.p) / c.p // ceil(remaining/P)
+	if size < 1 {
+		size = 1
+	}
+	return Assignment{Lo: s, Hi: s + size - 1}, s + size, true
 }

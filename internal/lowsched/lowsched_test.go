@@ -36,40 +36,47 @@ func newICB(bound int64) *pool.ICB { return pool.NewICB(1, bound, loopir.IVec{})
 //   - exactly one assignment has last=true, and it contains the bound.
 func drain(t *testing.T, s Scheme, p machine.Proc, bound int64) []Assignment {
 	t.Helper()
+	pol := Bind(s, p.NumProcs())
 	icb := newICB(bound)
-	s.Init(p, icb)
+	pol.Init(p, icb)
+	return drainICB(t, pol, p, icb)
+}
+
+func drainICB(t *testing.T, pol Policy, p machine.Proc, icb *pool.ICB) []Assignment {
+	t.Helper()
+	bound := icb.Bound
 	var out []Assignment
 	lastSeen := 0
 	next := int64(1)
 	for {
-		a, ok, last := s.Next(p, icb)
+		a, ok, last := pol.Next(p, icb)
 		if !ok {
 			break
 		}
 		if a.Lo != next {
-			t.Fatalf("%s: assignment %v starts at %d, want %d", s.Name(), a, a.Lo, next)
+			t.Fatalf("%s: assignment %v starts at %d, want %d", pol.Name(), a, a.Lo, next)
 		}
 		if a.Hi < a.Lo || a.Hi > bound {
-			t.Fatalf("%s: assignment %v out of range (bound %d)", s.Name(), a, bound)
+			t.Fatalf("%s: assignment %v out of range (bound %d)", pol.Name(), a, bound)
 		}
 		if last {
 			lastSeen++
 			if a.Hi != bound {
-				t.Fatalf("%s: last assignment %v does not contain bound %d", s.Name(), a, bound)
+				t.Fatalf("%s: last assignment %v does not contain bound %d", pol.Name(), a, bound)
 			}
 		}
 		next = a.Hi + 1
 		out = append(out, a)
 	}
 	if next != bound+1 {
-		t.Fatalf("%s: covered 1..%d, want 1..%d", s.Name(), next-1, bound)
+		t.Fatalf("%s: covered 1..%d, want 1..%d", pol.Name(), next-1, bound)
 	}
 	if lastSeen != 1 {
-		t.Fatalf("%s: saw %d last-flags, want exactly 1", s.Name(), lastSeen)
+		t.Fatalf("%s: saw %d last-flags, want exactly 1", pol.Name(), lastSeen)
 	}
 	// Subsequent calls keep failing.
-	if _, ok, _ := s.Next(p, icb); ok {
-		t.Fatalf("%s: Next succeeded after exhaustion", s.Name())
+	if _, ok, _ := pol.Next(p, icb); ok {
+		t.Fatalf("%s: Next succeeded after exhaustion", pol.Name())
 	}
 	return out
 }
@@ -97,11 +104,12 @@ func TestSchemesQuickPartition(t *testing.T) {
 		f := func(bound uint16, procs uint8) bool {
 			b := int64(bound%2000) + 1
 			p := &tp{n: int(procs%16) + 1}
+			pol := Bind(s, p.NumProcs())
 			icb := newICB(b)
-			s.Init(p, icb)
+			pol.Init(p, icb)
 			next := int64(1)
 			for {
-				a, ok, _ := s.Next(p, icb)
+				a, ok, _ := pol.Next(p, icb)
 				if !ok {
 					break
 				}
@@ -115,6 +123,125 @@ func TestSchemesQuickPartition(t *testing.T) {
 		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 			t.Errorf("%s: %v", s.Name(), err)
 		}
+	}
+}
+
+// TestCalculatorPurity pins the ChunkCalculator contract: Chunk is a pure
+// function (same state in, same chunk and successor state out) and the
+// advertised fixed stride matches the state advance.
+func TestCalculatorPurity(t *testing.T) {
+	for _, s := range allSchemes() {
+		cs, ok := s.(CalcScheme)
+		if !ok {
+			t.Fatalf("%s: cursor scheme does not implement CalcScheme", s.Name())
+		}
+		c := cs.Calculator(4)
+		const bound = 100
+		stride, fixed := c.Stride()
+		state := int64(1)
+		for {
+			a1, n1, ok1 := c.Chunk(state, bound)
+			a2, n2, ok2 := c.Chunk(state, bound)
+			if a1 != a2 || n1 != n2 || ok1 != ok2 {
+				t.Fatalf("%s: Chunk(%d, %d) is not deterministic", c.Name(), state, bound)
+			}
+			if !ok1 {
+				break
+			}
+			if fixed && n1 != state+stride {
+				t.Fatalf("%s: fixed stride %d but state moved %d -> %d", c.Name(), stride, state, n1)
+			}
+			state = n1
+		}
+	}
+}
+
+// TestRecycledICBLeaksNoProgress is the scheme/state-drift regression: a
+// recycled ICB (pool.Reinit keeps the typed Sched/Sync attachments) must
+// not leak claim progress from its previous instance. Partially drain an
+// instance, recycle the block, re-Init — the new instance must cover its
+// whole iteration space again, for every scheme including the
+// pre-assignment policies with typed per-processor state.
+func TestRecycledICBLeaksNoProgress(t *testing.T) {
+	const np = 4
+	// Drains across all processor IDs (static schemes pre-assign work per
+	// processor) and checks exact coverage of 1..bound.
+	cover := func(t *testing.T, pol Policy, icb *pool.ICB) {
+		t.Helper()
+		seen := map[int64]int{}
+		lasts := 0
+		for id := 0; id < np; id++ {
+			pr := &procWithID{tp: tp{n: np}, id: id}
+			for {
+				a, ok, last := pol.Next(pr, icb)
+				if !ok {
+					break
+				}
+				for j := a.Lo; j <= a.Hi; j++ {
+					seen[j]++
+				}
+				if last {
+					lasts++
+				}
+			}
+		}
+		for j := int64(1); j <= icb.Bound; j++ {
+			if seen[j] != 1 {
+				t.Fatalf("%s: iteration %d executed %d times after recycle", pol.Name(), j, seen[j])
+			}
+		}
+		if int64(len(seen)) != icb.Bound || lasts != 1 {
+			t.Fatalf("%s: covered %d iterations (want %d), %d last-flags (want 1)",
+				pol.Name(), len(seen), icb.Bound, lasts)
+		}
+	}
+	schemes := append(allSchemes(), StaticBlock{}, StaticCyclic{}, AFS{})
+	for _, s := range schemes {
+		t.Run(s.Name(), func(t *testing.T) {
+			pol := Bind(s, np)
+			icb := newICB(64)
+			pol.Init(&tp{n: np}, icb)
+			// Claim some progress, then abandon the instance.
+			for id := 0; id < np; id++ {
+				pol.Next(&procWithID{tp: tp{n: np}, id: id}, icb)
+			}
+			// Recycle for a smaller and a larger instance: both must be
+			// fully covered from scratch.
+			for _, bound := range []int64{5, 200} {
+				icb.Reinit(1, bound, loopir.IVec{})
+				pol.Init(&tp{n: np}, icb)
+				cover(t, pol, icb)
+			}
+		})
+	}
+}
+
+// TestReuseDoacrossResets pins the Doacross recycling path: matching
+// shapes reset the existing flags in place (fresh SyncVar lifetimes),
+// mismatched shapes allocate fresh state.
+func TestReuseDoacrossResets(t *testing.T) {
+	p := &tp{n: 2}
+	d := NewDoacross(8, 1)
+	d.Post(p, 3)
+	gen := d.flags[0].Generation()
+
+	if got := ReuseDoacross(d, 8, 2); got != d {
+		t.Fatal("ReuseDoacross did not reuse matching-shape state")
+	}
+	if d.Dist() != 2 {
+		t.Errorf("Dist after reuse = %d, want 2", d.Dist())
+	}
+	if d.Posted(3) {
+		t.Error("posted flag survived recycling")
+	}
+	if g := d.flags[0].Generation(); g != gen+1 {
+		t.Errorf("flag generation %d after reuse, want %d", g, gen+1)
+	}
+	if got := ReuseDoacross(d, 16, 1); got == d {
+		t.Error("ReuseDoacross reused state across a bound change")
+	}
+	if got := ReuseDoacross(nil, 4, 1); got == nil || len(got.flags) != 4 {
+		t.Error("ReuseDoacross(nil) did not allocate fresh state")
 	}
 }
 
@@ -210,14 +337,15 @@ func TestConcurrentCoverage(t *testing.T) {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
 			eng := machine.NewReal(machine.RealConfig{P: 8})
+			pol := Bind(s, 8)
 			icb := newICB(bound)
-			s.Init(&tp{n: 8}, icb)
+			pol.Init(&tp{n: 8}, icb)
 			seen := make([]int32, bound+1)
 			var mu sync.Mutex
 			lastCount := 0
 			eng.Run(func(pr machine.Proc) {
 				for {
-					a, ok, last := s.Next(pr, icb)
+					a, ok, last := pol.Next(pr, icb)
 					if !ok {
 						return
 					}
@@ -275,13 +403,13 @@ func TestDoacrossPipelineConcurrent(t *testing.T) {
 	eng := machine.NewReal(machine.RealConfig{P: 4})
 	d := NewDoacross(bound, 1)
 	icb := newICB(bound)
-	var s SS
-	s.Init(&tp{n: 4}, icb)
+	pol := Bind(SS{}, 4)
+	pol.Init(&tp{n: 4}, icb)
 	var mu sync.Mutex
 	var order []int64
 	eng.Run(func(pr machine.Proc) {
 		for {
-			a, ok, _ := s.Next(pr, icb)
+			a, ok, _ := pol.Next(pr, icb)
 			if !ok {
 				return
 			}
@@ -350,13 +478,13 @@ func TestMustParsePanics(t *testing.T) {
 	MustParse("nope")
 }
 
-func TestCSSInitValidates(t *testing.T) {
+func TestCSSBindValidates(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("CSS{K:0}.Init did not panic")
+			t.Error("Bind(CSS{K:0}) did not panic")
 		}
 	}()
-	CSS{}.Init(&tp{n: 1}, newICB(5))
+	Bind(CSS{}, 1)
 }
 
 func TestAssignmentHelpers(t *testing.T) {
@@ -378,15 +506,16 @@ func benchNext(b *testing.B, s Scheme) {
 	// iteration measures one Next call.
 	const bound = 1 << 20
 	p := &tp{n: 8}
+	pol := Bind(s, p.NumProcs())
 	icb := newICB(bound)
-	s.Init(p, icb)
+	pol.Init(p, icb)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok, _ := s.Next(p, icb); !ok {
+		if _, ok, _ := pol.Next(p, icb); !ok {
 			b.StopTimer()
 			icb = newICB(bound)
-			s.Init(p, icb)
+			pol.Init(p, icb)
 			b.StartTimer()
 		}
 	}

@@ -7,7 +7,7 @@ import (
 	"repro/internal/pool"
 )
 
-// Needer is an optional Scheme extension: a scheme can veto the adoption
+// Needer is an optional Policy extension: a policy can veto the adoption
 // of an instance by a processor that has no remaining assignment on it.
 // Without the veto, processors with nothing to do on an instance can
 // occupy its pcount slots and (deterministically, on the simulator)
@@ -45,6 +45,9 @@ func (StaticCyclic) Needs(pr machine.Proc, icb *pool.ICB) bool {
 // when iteration times vary (experiment E10 reproduces the [23]
 // discussion: static scheduling is fine under low variance and loses
 // badly under high variance).
+//
+// StaticBlock implements Policy directly: its pre-assignment bookkeeping
+// is per-processor claim state, not a chunk cursor.
 type StaticBlock struct{}
 
 // Name returns "static-block".
@@ -66,8 +69,21 @@ type staticBlockState struct {
 // SchemeName marks the state as StaticBlock-owned (pool.SchedState).
 func (*staticBlockState) SchemeName() string { return "static-block" }
 
-// Init allocates the per-processor claim flags.
+// reset clears all claim progress for a recycled instance.
+func (st *staticBlockState) reset() {
+	for i := range st.taken {
+		st.taken[i].Store(false)
+	}
+	st.scheduled.Store(0)
+}
+
+// Init attaches the per-processor claim flags, resetting a recycled
+// block's typed state in place when its shape matches.
 func (StaticBlock) Init(pr machine.Proc, icb *pool.ICB) {
+	if st, ok := icb.Sched.(*staticBlockState); ok && len(st.taken) == pr.NumProcs() {
+		st.reset()
+		return
+	}
 	icb.Sched = &staticBlockState{taken: make([]atomic.Bool, pr.NumProcs())}
 }
 
@@ -104,6 +120,8 @@ func (StaticBlock) Needs(pr machine.Proc, icb *pool.ICB) bool {
 // processor p is statically assigned iterations p+1, p+1+P, p+1+2P, ...
 // of every instance. Cyclic assignment tolerates monotone cost trends
 // better than blocks but still cannot react to run-time variance.
+//
+// StaticCyclic implements Policy directly (see StaticBlock).
 type StaticCyclic struct{}
 
 // Name returns "static-cyclic".
@@ -121,13 +139,24 @@ type staticCyclicState struct {
 // SchemeName marks the state as StaticCyclic-owned (pool.SchedState).
 func (*staticCyclicState) SchemeName() string { return "static-cyclic" }
 
-// Init allocates the per-processor progress counters.
-func (StaticCyclic) Init(pr machine.Proc, icb *pool.ICB) {
-	np := pr.NumProcs()
-	st := &staticCyclicState{next: make([]atomic.Int64, np)}
-	for p := 0; p < np; p++ {
+// reset restores every processor's cyclic cursor for a recycled instance.
+func (st *staticCyclicState) reset() {
+	for p := range st.next {
 		st.next[p].Store(int64(p) + 1)
 	}
+	st.scheduled.Store(0)
+}
+
+// Init attaches the per-processor progress counters, resetting a recycled
+// block's typed state in place when its shape matches.
+func (StaticCyclic) Init(pr machine.Proc, icb *pool.ICB) {
+	np := pr.NumProcs()
+	if st, ok := icb.Sched.(*staticCyclicState); ok && len(st.next) == np {
+		st.reset()
+		return
+	}
+	st := &staticCyclicState{next: make([]atomic.Int64, np)}
+	st.reset()
 	icb.Sched = st
 }
 

@@ -22,14 +22,15 @@ func TestStaticCoverageAcrossProcs(t *testing.T) {
 		for _, np := range []int{1, 3, 4, 8} {
 			for _, bound := range []int64{1, 2, 7, 64, 100} {
 				t.Run(fmt.Sprintf("%s/P=%d/N=%d", s.Name(), np, bound), func(t *testing.T) {
+					pol := Bind(s, np)
 					icb := newICB(bound)
-					s.Init(&tp{n: np}, icb)
+					pol.Init(&tp{n: np}, icb)
 					seen := map[int64]int{}
 					lastCount := 0
 					for id := 0; id < np; id++ {
 						pr := &procWithID{tp: tp{n: np}, id: id}
 						for {
-							a, ok, last := s.Next(pr, icb)
+							a, ok, last := pol.Next(pr, icb)
 							if !ok {
 								break
 							}
@@ -101,14 +102,15 @@ func TestStaticConcurrent(t *testing.T) {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
 			eng := machine.NewReal(machine.RealConfig{P: 8})
+			pol := Bind(s, 8)
 			icb := newICB(bound)
-			s.Init(&tp{n: 8}, icb)
+			pol.Init(&tp{n: 8}, icb)
 			var mu sync.Mutex
 			seen := make([]int, bound+1)
 			lasts := 0
 			eng.Run(func(pr machine.Proc) {
 				for {
-					a, ok, last := s.Next(pr, icb)
+					a, ok, last := pol.Next(pr, icb)
 					if !ok {
 						return
 					}

@@ -3,9 +3,6 @@ package lowsched
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/machine"
-	"repro/internal/pool"
 )
 
 // TSS is trapezoid self-scheduling: chunk sizes decrease linearly from
@@ -23,30 +20,41 @@ func (t TSS) Name() string {
 	return fmt.Sprintf("TSS(%d,%d)", t.First, t.Last)
 }
 
-// tssState is per-instance: a packed (chunk#, next index) word manipulated
-// with compare-and-store, plus the precomputed decrement.
-type tssState struct {
-	v     machine.SyncVar // chunkNo<<32 | nextIndex
-	first int64
-	last  int64
-	delta float64 // per-chunk size decrement
+// Calculator binds the trapezoid parameters and the machine size.
+func (t TSS) Calculator(nprocs int) ChunkCalculator {
+	return tssCalc{name: t.Name(), first: t.First, last: t.Last, p: int64(nprocs)}
 }
-
-// SchemeName marks the state as TSS-owned (pool.SchedState).
-func (*tssState) SchemeName() string { return "TSS" }
 
 const tssIdxBits = 32
 
-// Init computes the trapezoid parameters for this instance.
-func (t TSS) Init(pr machine.Proc, icb *pool.ICB) {
-	n := icb.Bound
-	if n >= 1<<tssIdxBits {
-		panic(fmt.Sprintf("lowsched: TSS bound %d exceeds packed index range", n))
+// tssCalc: the cursor packs (chunk#, next index) into one word —
+// chunkNo<<32 | index — because the chunk size is a function of the chunk
+// number. State 1 is chunk 0 at index 1. The per-instance trapezoid
+// parameters (first chunk, decrement) are derived purely from the bound
+// on every call, so the calculator itself holds nothing mutable.
+type tssCalc struct {
+	name        string
+	first, last int64
+	p           int64
+}
+
+func (c tssCalc) Name() string        { return c.name }
+func (tssCalc) Stride() (int64, bool) { return 0, false }
+
+// ValidateBound rejects bounds that do not fit the packed index field.
+func (tssCalc) ValidateBound(bound int64) {
+	if bound >= 1<<tssIdxBits {
+		panic(fmt.Sprintf("lowsched: TSS bound %d exceeds packed index range", bound))
 	}
-	f, l := t.First, t.Last
+}
+
+// params derives this instance's trapezoid: explicit (First, Last) when
+// configured, else the classical defaults; delta is the per-chunk size
+// decrement (f-l)/(C-1) for C = ceil(2N/(f+l)) chunks.
+func (c tssCalc) params(bound int64) (f, l int64, delta float64) {
+	f, l = c.first, c.last
 	if f <= 0 {
-		p := int64(pr.NumProcs())
-		f = (n + 2*p - 1) / (2 * p)
+		f = (bound + 2*c.p - 1) / (2 * c.p)
 	}
 	if l <= 0 {
 		l = 1
@@ -54,105 +62,82 @@ func (t TSS) Init(pr machine.Proc, icb *pool.ICB) {
 	if f < l {
 		f = l
 	}
-	st := &tssState{first: f, last: l}
-	st.v.Init("tss", 1) // chunkNo 0, index 1
-	// Number of chunks C = ceil(2N/(f+l)); delta = (f-l)/(C-1).
-	if c := (2*n + f + l - 1) / (f + l); c > 1 {
-		st.delta = float64(f-l) / float64(c-1)
+	if n := (2*bound + f + l - 1) / (f + l); n > 1 {
+		delta = float64(f-l) / float64(n-1)
 	}
-	icb.Sched = st
+	return f, l, delta
 }
 
-func (st *tssState) size(chunkNo int64) int64 {
-	s := st.first - int64(math.Round(float64(chunkNo)*st.delta))
-	if s < st.last {
-		s = st.last
+func (c tssCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	idx := s & (1<<tssIdxBits - 1)
+	chunkNo := s >> tssIdxBits
+	if idx > bound {
+		return Assignment{}, s, false
 	}
-	return s
-}
-
-// Next takes the next trapezoid chunk via compare-and-store on the packed
-// state word.
-func (t TSS) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
-	st := icb.Sched.(*tssState)
-	for {
-		s := st.v.Fetch(pr)
-		idx := s & (1<<tssIdxBits - 1)
-		chunkNo := s >> tssIdxBits
-		if idx > icb.Bound {
-			return Assignment{}, false, false
-		}
-		size := st.size(chunkNo)
-		hi := idx + size - 1
-		if hi > icb.Bound {
-			hi = icb.Bound
-		}
-		next := (chunkNo+1)<<tssIdxBits | (hi + 1)
-		if _, ok := st.v.Exec(pr, machine.Instr{
-			Test: machine.TestEQ, TestVal: s, Op: machine.OpStore, Operand: next,
-		}); ok {
-			return Assignment{Lo: idx, Hi: hi}, true, hi == icb.Bound
-		}
-		pr.Spin()
+	f, l, delta := c.params(bound)
+	size := f - int64(math.Round(float64(chunkNo)*delta))
+	if size < l {
+		size = l
 	}
+	hi := idx + size - 1
+	if hi > bound {
+		hi = bound
+	}
+	return Assignment{Lo: idx, Hi: hi}, (chunkNo+1)<<tssIdxBits | (hi + 1), true
 }
 
 // FSC is factoring self-scheduling: work is handed out in rounds; each
 // round splits half of the remaining iterations into P equal chunks.
-// Its per-instance state is guarded by a spin lock, as in the original
-// formulation.
 type FSC struct{}
 
 // Name returns "FSC".
 func (FSC) Name() string { return "FSC" }
 
-type fscState struct {
-	lock       *machine.SpinLock
-	next       int64
-	chunkSize  int64
-	chunksLeft int64
+// Calculator binds the machine size (the round width).
+func (FSC) Calculator(nprocs int) ChunkCalculator { return fscCalc{p: int64(nprocs)} }
+
+// fscCalc: the cursor packs (position in round, round start index) —
+// taken<<33 | start. The round's chunk size is recomputed purely from the
+// start index (chunk = ceil(remaining/2P)), so the original formulation's
+// lock-guarded round state reduces to one compare-and-store word. State 1
+// is position 0 of a round starting at index 1.
+type fscCalc struct{ p int64 }
+
+// fscIdxBits leaves headroom above the 32-bit bound for the round-start
+// cursor, which can overshoot the bound by up to P when the final round
+// rolls over.
+const fscIdxBits = 33
+
+func (fscCalc) Name() string          { return "FSC" }
+func (fscCalc) Stride() (int64, bool) { return 0, false }
+
+// ValidateBound rejects bounds that do not fit the packed start field.
+func (fscCalc) ValidateBound(bound int64) {
+	if bound >= 1<<(fscIdxBits-1) {
+		panic(fmt.Sprintf("lowsched: FSC bound %d exceeds packed index range", bound))
+	}
 }
 
-// SchemeName marks the state as FSC-owned (pool.SchedState).
-func (*fscState) SchemeName() string { return "FSC" }
-
-// Init prepares the first factoring round.
-func (FSC) Init(pr machine.Proc, icb *pool.ICB) {
-	p := int64(pr.NumProcs())
-	st := &fscState{
-		lock: machine.NewSpinLock("fsc"),
-		next: 1,
+func (c fscCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	start := s & (1<<fscIdxBits - 1) // current round's first index
+	taken := s >> fscIdxBits         // chunks already claimed this round
+	size := (bound - start + 1 + 2*c.p - 1) / (2 * c.p)
+	if size < 1 {
+		size = 1
 	}
-	st.startRound(icb.Bound, p)
-	icb.Sched = st
-}
-
-func (st *fscState) startRound(bound, p int64) {
-	remaining := bound - st.next + 1
-	st.chunkSize = (remaining + 2*p - 1) / (2 * p)
-	if st.chunkSize < 1 {
-		st.chunkSize = 1
+	lo := start + taken*size
+	if lo > bound {
+		return Assignment{}, s, false
 	}
-	st.chunksLeft = p
-}
-
-// Next takes the next factoring chunk.
-func (FSC) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool) {
-	st := icb.Sched.(*fscState)
-	st.lock.Lock(pr)
-	defer st.lock.Unlock(pr)
-	if st.next > icb.Bound {
-		return Assignment{}, false, false
+	hi := lo + size - 1
+	if hi > bound {
+		hi = bound
 	}
-	if st.chunksLeft == 0 {
-		st.startRound(icb.Bound, int64(pr.NumProcs()))
+	var next int64
+	if taken+1 == c.p {
+		next = start + c.p*size // round exhausted: the next one starts here
+	} else {
+		next = (taken+1)<<fscIdxBits | start
 	}
-	lo := st.next
-	hi := lo + st.chunkSize - 1
-	if hi > icb.Bound {
-		hi = icb.Bound
-	}
-	st.next = hi + 1
-	st.chunksLeft--
-	return Assignment{Lo: lo, Hi: hi}, true, hi == icb.Bound
+	return Assignment{Lo: lo, Hi: hi}, next, true
 }

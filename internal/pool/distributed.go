@@ -85,36 +85,28 @@ func (d *Distributed) Delete(pr machine.Proc, icb *ICB) {
 	l.lock.Unlock(pr)
 }
 
-// Search adopts an ICB needing processors: the caller's own list first,
-// then the other processors' lists round-robin (work stealing). It returns
-// nil once stop() reports that no more work will appear.
-func (d *Distributed) Search(pr machine.Proc, stop func() bool, st *SearchStats) *ICB {
-	return d.SearchWhere(pr, stop, nil, st)
-}
+// First starts a SEARCH sweep. There is no SW word to scan: a sweep
+// always visits all lists — the caller's own first, then the others
+// round-robin (work stealing) — so the cursor is simply the 1-based round
+// offset and First always returns 1. The kernel's SEARCH loop drives the
+// sweep exactly as it does for the per-loop pool.
+func (d *Distributed) First(machine.Proc) int { return 1 }
 
-// SearchWhere is Search with an adoption filter (see Pool.SearchWhere).
-func (d *Distributed) SearchWhere(pr machine.Proc, stop func() bool, needs func(*ICB) bool, st *SearchStats) *ICB {
-	self := pr.ID() % d.procs
-	fruitless := 0
-	for {
-		if stop() {
-			return nil
-		}
-		st.Sweeps++
-		block := fruitless > 4
-		for r := 0; r < d.procs; r++ {
-			i := (self + r) % d.procs
-			if icb := d.tryList(pr, i, needs, block, st); icb != nil {
-				return icb
-			}
-		}
-		fruitless++
-		pr.Spin()
+// Next advances the round-robin cursor, or returns 0 once every list has
+// been visited this sweep.
+func (d *Distributed) Next(_ machine.Proc, i int) int {
+	if i < d.procs {
+		return i + 1
 	}
+	return 0
 }
 
-func (d *Distributed) tryList(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
-	l := &d.lists[i]
+// TryAdopt attempts to adopt an ICB from the list at round offset i: the
+// caller's own list at i=1, stolen-from neighbors after. See
+// Pool.TryAdopt for the needs filter and block escalation.
+func (d *Distributed) TryAdopt(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
+	self := pr.ID() % d.procs
+	l := &d.lists[(self+i-1)%d.procs]
 	if block {
 		l.lock.Lock(pr)
 	} else if !l.lock.TryLock(pr) {

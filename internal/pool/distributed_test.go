@@ -35,7 +35,7 @@ func TestDistributedAppendsToOwnList(t *testing.T) {
 	}
 	// The owner finds it without stealing.
 	var st SearchStats
-	if got := d.Search(p2, never, &st); got != icb {
+	if got := search(d, p2, never, &st); got != icb {
 		t.Fatalf("owner search failed")
 	}
 	d.Delete(p2, icb)
@@ -51,7 +51,7 @@ func TestDistributedStealing(t *testing.T) {
 	icb := NewICB(2, 5, nil)
 	d.Append(owner, icb)
 	var st SearchStats
-	if got := d.Search(thief, never, &st); got != icb {
+	if got := search(d, thief, never, &st); got != icb {
 		t.Fatal("thief failed to steal")
 	}
 	if icb.PCount.Peek() != 1 {
@@ -67,10 +67,10 @@ func TestDistributedSkipsSaturated(t *testing.T) {
 	d.Append(p0, sat)
 	d.Append(p0, free)
 	var st SearchStats
-	if d.Search(p0, never, &st) != sat {
+	if search(d, p0, never, &st) != sat {
 		t.Fatal("setup")
 	}
-	if got := d.Search(p0, never, &st); got != free {
+	if got := search(d, p0, never, &st); got != free {
 		t.Fatal("saturated ICB not skipped")
 	}
 }
@@ -80,7 +80,7 @@ func TestDistributedStopsWhenTold(t *testing.T) {
 	p := &dtp{id: 0, n: 2}
 	calls := 0
 	var st SearchStats
-	if d.Search(p, func() bool { calls++; return calls > 2 }, &st) != nil {
+	if search(d, p, func() bool { calls++; return calls > 2 }, &st) != nil {
 		t.Error("search on empty distributed pool returned work")
 	}
 }
@@ -126,7 +126,7 @@ func TestDistributedConcurrentStress(t *testing.T) {
 			}
 		}
 		for {
-			icb := d.Search(pr, func() bool { return done.Load() }, &st)
+			icb := search(d, pr, func() bool { return done.Load() }, &st)
 			if icb == nil {
 				return
 			}

@@ -3,10 +3,14 @@
 // innermost parallel loop, an m-bit control word SW indicating nonempty
 // lists, per-list spin locks, and instance control blocks (ICBs).
 //
-// Algorithms 1 (DELETE), 2 (APPEND) and 4 (SEARCH) are implemented
-// faithfully, with two documented engineering choices:
+// Algorithms 1 (DELETE) and 2 (APPEND) are implemented faithfully here;
+// Algorithm 4 (SEARCH) is split between layers: the retrying sweep loop
+// belongs to the core execution kernel, and this package exposes only the
+// per-step primitives it drives (First — leading-one detection, Next —
+// continue the scan, TryAdopt — lock/retest/walk/adopt). Two documented
+// engineering choices:
 //
-//   - SEARCH continues its leading-one scan at the next set bit after a
+//   - The sweep continues its leading-one scan at the next set bit after a
 //     locked or saturated list instead of restarting at bit 1, avoiding a
 //     pathological spin when low-numbered lists hold only saturated ICBs.
 //     This preserves the paper's intent ("processors can go to the next
@@ -105,6 +109,14 @@ func NewICB(num int, bound int64, ivec loopir.IVec) *ICB {
 // variables start a fresh lifetime (machine.SyncVar.Reset), so engines
 // that key per-variable state by identity see a brand-new block, and the
 // IVec backing array is reused when capacity allows.
+//
+// The typed Sched/Sync attachments are deliberately retained: activation
+// passes them back to lowsched (Policy.Init, ReuseDoacross), which resets
+// matching-shape state in place instead of reallocating. Every activation
+// path must therefore go through the scheme's Init (and must clear Sync
+// when the new instance carries no dependence) — recycled state never
+// leaks because the reset is part of the activation protocol, not of
+// retirement.
 func (b *ICB) Reinit(num int, bound int64, ivec loopir.IVec) {
 	if b.inList {
 		panic(fmt.Sprintf("pool: reinit of listed %v", b))
@@ -115,8 +127,6 @@ func (b *ICB) Reinit(num int, bound int64, ivec loopir.IVec) {
 	b.Loop = num
 	b.Bound = bound
 	b.IVec = append(b.IVec[:0], ivec...)
-	b.Sched = nil
-	b.Sync = nil
 	b.left, b.right = nil, nil
 	b.home = 0
 }
@@ -245,8 +255,8 @@ func (p *Pool) Delete(pr machine.Proc, icb *ICB) {
 	l.lock.Unlock(pr)
 }
 
-// SearchStats counts the work done by Search calls, for the O2 overhead
-// accounting of Section IV.
+// SearchStats counts the work done by the SEARCH sweep (driven by the
+// core execution kernel), for the O2 overhead accounting of Section IV.
 type SearchStats struct {
 	// Sweeps is the number of leading-one-detection operations on SW.
 	Sweeps int64
@@ -260,56 +270,38 @@ type SearchStats struct {
 	Saturated int64
 }
 
-// Search finds an ICB that needs processors (Algorithm 4): leading-one
-// detection on SW, lock the list, retest SW(i), walk the list for an ICB
-// with pcount < bound, increment pcount and return it. It keeps trying
-// until it succeeds or stop() reports that no more work will appear; it
-// returns nil in the latter case.
-func (p *Pool) Search(pr machine.Proc, stop func() bool, st *SearchStats) *ICB {
-	return p.SearchWhere(pr, stop, nil, st)
+// First starts a SEARCH sweep: leading-one detection on SW (Algorithm 4
+// step 1). It returns an opaque positive cursor identifying the first
+// candidate list, or 0 when no list advertises work. The SEARCH loop
+// itself — retries, stop checks, backoff — lives in the core execution
+// kernel; the pool only exposes the sweep primitives.
+func (p *Pool) First(pr machine.Proc) int {
+	pr.Access(p.swVar)
+	return p.sw.FirstSet()
 }
 
-// SearchWhere is Search with an adoption filter: when needs is non-nil,
-// only ICBs for which needs reports true are adopted. Static
-// pre-assignment schemes use it to keep processors with no remaining
-// assignment on an instance from occupying its pcount slots (which could
-// starve the processor that owns the work).
-func (p *Pool) SearchWhere(pr machine.Proc, stop func() bool, needs func(*ICB) bool, st *SearchStats) *ICB {
-	// After several fruitless sweeps, stop skipping locked lists and
-	// queue on the FIFO list lock instead. Skipping is the paper's fast
-	// path, but under deterministic timing a searcher's try-lock can lose
-	// its race indefinitely while other processors cycle the lock; the
-	// blocking ticket lock guarantees a turn.
-	fruitless := 0
-	for {
-		if stop() {
-			return nil
-		}
-		st.Sweeps++
-		pr.Access(p.swVar)
-		i := p.sw.FirstSet()
-		if i == 0 {
-			pr.Spin()
-			continue
-		}
-		block := fruitless > 4
-		for i != 0 {
-			if icb := p.tryList(pr, i, needs, block, st); icb != nil {
-				return icb
-			}
-			// Locked, emptied, or saturated: continue the sweep at the
-			// next set bit rather than restarting at 1.
-			pr.Access(p.swVar)
-			i = p.sw.NextSet(i)
-		}
-		fruitless++
-		pr.Spin()
-	}
+// Next continues a sweep past cursor i: the next set bit of SW after i,
+// or 0 when the sweep is exhausted. Continuing at the next set bit rather
+// than restarting at 1 preserves the paper's intent ("processors can go
+// to the next nonempty linked list when the i-th linked list is locked").
+func (p *Pool) Next(pr machine.Proc, i int) int {
+	pr.Access(p.swVar)
+	return p.sw.NextSet(i)
 }
 
-// tryList attempts to adopt an ICB from list i; nil means the caller
-// should move on.
-func (p *Pool) tryList(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
+// TryAdopt attempts to adopt an ICB from the list at cursor i (Algorithm
+// 4 steps 2-4): lock the list, retest SW(i), walk it for an ICB with
+// pcount < bound, increment pcount and return it. nil means the caller
+// should continue the sweep at Next(pr, i).
+//
+// When needs is non-nil, only ICBs for which it reports true are adopted;
+// static pre-assignment schemes use the filter to keep processors with no
+// remaining assignment on an instance from occupying its pcount slots.
+// With block set, a held list lock is waited on (FIFO) instead of
+// skipped — the kernel escalates to blocking after fruitless sweeps so a
+// searcher's try-lock cannot lose its race indefinitely under
+// deterministic timing.
+func (p *Pool) TryAdopt(pr machine.Proc, i int, needs func(*ICB) bool, block bool, st *SearchStats) *ICB {
 	l := &p.lists[i]
 	if block {
 		l.lock.Lock(pr)

@@ -22,6 +22,43 @@ func (p *tp) Spin()                   { p.spins++ }
 
 func never() bool { return false }
 
+// sweeper is the primitive surface the core kernel drives. The tests
+// re-create the kernel's SEARCH loop over it so the pool protocol can be
+// exercised standalone.
+type sweeper interface {
+	First(machine.Proc) int
+	Next(machine.Proc, int) int
+	TryAdopt(machine.Proc, int, func(*ICB) bool, bool, *SearchStats) *ICB
+}
+
+func searchWhere(pl sweeper, pr machine.Proc, stop func() bool, needs func(*ICB) bool, st *SearchStats) *ICB {
+	fruitless := 0
+	for {
+		if stop() {
+			return nil
+		}
+		st.Sweeps++
+		i := pl.First(pr)
+		if i == 0 {
+			pr.Spin()
+			continue
+		}
+		block := fruitless > 4
+		for i != 0 {
+			if icb := pl.TryAdopt(pr, i, needs, block, st); icb != nil {
+				return icb
+			}
+			i = pl.Next(pr, i)
+		}
+		fruitless++
+		pr.Spin()
+	}
+}
+
+func search(pl sweeper, pr machine.Proc, stop func() bool, st *SearchStats) *ICB {
+	return searchWhere(pl, pr, stop, nil, st)
+}
+
 // adoptCount is SchedState scaffolding for the stress tests: a per-ICB
 // adoption counter.
 type adoptCount struct{ atomic.Int64 }
@@ -72,8 +109,8 @@ func TestReinitStartsFreshLifetime(t *testing.T) {
 	if got := fmt.Sprint(icb.IVec); got != "(7)" {
 		t.Errorf("reinit ivec = %s, want (7)", got)
 	}
-	if icb.Sched != nil || icb.Sync != nil {
-		t.Error("reinit must drop per-instance state attachments")
+	if icb.Sched == nil {
+		t.Error("reinit must retain typed state attachments for in-place reuse")
 	}
 	// The variables must start a new lifetime so identity-keyed engine
 	// state (vmachine avail/home/stats) treats them as fresh.
@@ -145,7 +182,7 @@ func TestSearchAdoptsAndCountsPCount(t *testing.T) {
 	icb := NewICB(1, 2, nil)
 	pl.Append(p, icb)
 	var st SearchStats
-	got := pl.Search(p, never, &st)
+	got := search(pl, p, never, &st)
 	if got != icb {
 		t.Fatalf("Search returned %v", got)
 	}
@@ -153,7 +190,7 @@ func TestSearchAdoptsAndCountsPCount(t *testing.T) {
 		t.Errorf("pcount = %d, want 1", icb.PCount.Peek())
 	}
 	// Second adoption (bound 2 allows two processors).
-	if pl.Search(p, never, &st) != icb {
+	if search(pl, p, never, &st) != icb {
 		t.Fatal("second Search failed")
 	}
 	if icb.PCount.Peek() != 2 {
@@ -172,10 +209,10 @@ func TestSearchSkipsSaturatedICB(t *testing.T) {
 	pl.Append(p, full)
 	pl.Append(p, free)
 	var st SearchStats
-	if got := pl.Search(p, never, &st); got != full {
+	if got := search(pl, p, never, &st); got != full {
 		t.Fatalf("first adoption should saturate the first ICB")
 	}
-	if got := pl.Search(p, never, &st); got != free {
+	if got := search(pl, p, never, &st); got != free {
 		t.Fatalf("Search did not skip the saturated ICB, got %v", got)
 	}
 }
@@ -186,7 +223,7 @@ func TestSearchStopsWhenTold(t *testing.T) {
 	calls := 0
 	stop := func() bool { calls++; return calls > 2 }
 	var st SearchStats
-	if got := pl.Search(p, stop, &st); got != nil {
+	if got := search(pl, p, stop, &st); got != nil {
 		t.Errorf("Search on empty pool = %v, want nil", got)
 	}
 	if p.spins == 0 {
@@ -202,7 +239,7 @@ func TestSearchPrefersLowestList(t *testing.T) {
 	pl.Append(p, hi)
 	pl.Append(p, lo)
 	var st SearchStats
-	if got := pl.Search(p, never, &st); got != lo {
+	if got := search(pl, p, never, &st); got != lo {
 		t.Errorf("leading-one-detection should find list 2 first, got loop %d", got.Loop)
 	}
 }
@@ -213,12 +250,12 @@ func TestSearchMovesToNextListWhenSaturated(t *testing.T) {
 	sat := NewICB(1, 1, nil)
 	pl.Append(p, sat)
 	var st SearchStats
-	if pl.Search(p, never, &st) != sat {
+	if search(pl, p, never, &st) != sat {
 		t.Fatal("setup adoption failed")
 	}
 	free := NewICB(3, 2, nil)
 	pl.Append(p, free)
-	if got := pl.Search(p, never, &st); got != free {
+	if got := search(pl, p, never, &st); got != free {
 		t.Fatalf("Search stuck on saturated list 1, got %v", got)
 	}
 	if st.Saturated == 0 {
@@ -241,7 +278,7 @@ func TestSingleListPool(t *testing.T) {
 	seen := map[int]bool{}
 	var st SearchStats
 	for k := 0; k < 5; k++ {
-		icb := pl.Search(p, never, &st)
+		icb := search(pl, p, never, &st)
 		if icb == nil {
 			t.Fatal("Search failed")
 		}
@@ -261,7 +298,7 @@ func TestSearchWhereFilter(t *testing.T) {
 	pl.Append(p, b)
 	var st SearchStats
 	onlyLoop2 := func(icb *ICB) bool { return icb.Loop == 2 }
-	if got := pl.SearchWhere(p, never, onlyLoop2, &st); got != b {
+	if got := searchWhere(pl, p, never, onlyLoop2, &st); got != b {
 		t.Fatalf("filter ignored: got %v", got)
 	}
 	if a.PCount.Peek() != 0 {
@@ -270,7 +307,7 @@ func TestSearchWhereFilter(t *testing.T) {
 	// A filter rejecting everything keeps searching until stop().
 	calls := 0
 	stop := func() bool { calls++; return calls > 3 }
-	if got := pl.SearchWhere(p, stop, func(*ICB) bool { return false }, &st); got != nil {
+	if got := searchWhere(pl, p, stop, func(*ICB) bool { return false }, &st); got != nil {
 		t.Errorf("all-rejecting filter returned %v", got)
 	}
 }
@@ -283,7 +320,7 @@ func TestDistributedSearchWhereFilter(t *testing.T) {
 	d.Append(p0, a)
 	d.Append(p0, b)
 	var st SearchStats
-	if got := d.SearchWhere(p0, never, func(icb *ICB) bool { return icb.Loop == 2 }, &st); got != b {
+	if got := searchWhere(d, p0, never, func(icb *ICB) bool { return icb.Loop == 2 }, &st); got != b {
 		t.Fatalf("distributed filter ignored: got %v", got)
 	}
 }
@@ -341,7 +378,7 @@ func TestConcurrentAppendSearchDelete(t *testing.T) {
 		}
 		// Everyone consumes.
 		for {
-			icb := pl.Search(pr, func() bool { return done.Load() }, &st)
+			icb := search(pl, pr, func() bool { return done.Load() }, &st)
 			if icb == nil {
 				return
 			}
@@ -376,7 +413,7 @@ func TestConcurrentPCountNeverExceedsBound(t *testing.T) {
 	pl.Append(setup, icb)
 	eng.Run(func(pr machine.Proc) {
 		var st SearchStats
-		got := pl.Search(pr, func() bool { return adopted.Load() >= bound }, &st)
+		got := search(pl, pr, func() bool { return adopted.Load() >= bound }, &st)
 		if got != nil {
 			adopted.Add(1)
 		}
@@ -409,7 +446,7 @@ func BenchmarkSearchAdopt(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if pl.Search(p, never, &st) == nil {
+		if search(pl, p, never, &st) == nil {
 			b.Fatal("search failed")
 		}
 	}

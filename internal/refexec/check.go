@@ -1,0 +1,183 @@
+package refexec
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/loopir"
+)
+
+// Context identifies the execution being checked against the oracle. Its
+// fields label the mismatch dump so a failing configuration can be
+// reproduced exactly: the nest, the low-level scheme, the task-pool
+// organization and the engine.
+type Context struct {
+	Nest, Scheme, Pool, Engine string
+}
+
+func (c Context) String() string {
+	return fmt.Sprintf("nest=%q scheme=%q pool=%q engine=%q", c.Nest, c.Scheme, c.Pool, c.Engine)
+}
+
+// InstanceObs is the observed parallel execution record of one instance.
+type InstanceObs struct {
+	// Activations and Completions count ENTER/EXIT events for the
+	// instance; a correct execution has exactly one of each.
+	Activations, Completions int
+	// Bound is the bound the activation reported.
+	Bound int64
+	// Iters is the iteration multiset: how many times each iteration
+	// index was executed.
+	Iters map[int64]int
+}
+
+// Observed is a parallel execution's observation, keyed like the oracle's
+// expectation: "loop(ivec)" with the executor's loop number (trace.Log
+// produces it from a recorded run).
+type Observed struct {
+	Instances map[string]*InstanceObs
+}
+
+// Check is the oracle check: it verifies a parallel execution's
+// observation against the sequential reference recording — every bound>0
+// instance the oracle executed is activated and completed exactly once,
+// every iteration 1..bound executed exactly once, and nothing beyond the
+// oracle's multiset ran. numOf maps a leaf node to the executor's loop
+// number, aligning the two key spaces.
+//
+// On mismatch, the full diff — the identifying Context, every
+// discrepancy, and the expected and observed instance multisets — is
+// dumped to a temporary file and the returned error names its path ahead
+// of the leading discrepancies.
+func Check(ref *Result, numOf func(*loopir.Node) int, obs *Observed, ctx Context) error {
+	want := map[string]int64{}
+	for _, in := range ref.Instances {
+		if in.Bound > 0 {
+			want[fmt.Sprintf("%d%v", numOf(in.Leaf), in.IVec)] = in.Bound
+		}
+	}
+	var errs []string
+	for k, b := range want {
+		in, ok := obs.Instances[k]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("instance %s never executed", k))
+			continue
+		}
+		if in.Activations != 1 || in.Completions != 1 {
+			errs = append(errs, fmt.Sprintf("instance %s: %d activations, %d completions",
+				k, in.Activations, in.Completions))
+		}
+		if in.Bound != b {
+			errs = append(errs, fmt.Sprintf("instance %s: bound %d, want %d", k, in.Bound, b))
+		}
+		for j := int64(1); j <= b; j++ {
+			if n := in.Iters[j]; n != 1 {
+				errs = append(errs, fmt.Sprintf("instance %s iteration %d executed %d times", k, j, n))
+			}
+		}
+		if int64(len(in.Iters)) != b {
+			errs = append(errs, fmt.Sprintf("instance %s executed %d distinct iterations, want %d",
+				k, len(in.Iters), b))
+		}
+	}
+	for k := range obs.Instances {
+		if _, ok := want[k]; !ok {
+			errs = append(errs, fmt.Sprintf("unexpected instance %s", k))
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Strings(errs)
+
+	const max = 12
+	shown := errs
+	if len(shown) > max {
+		shown = append(shown[:max:max], fmt.Sprintf("... and %d more", len(errs)-max))
+	}
+	msg := strings.Join(shown, "\n")
+	if path := dumpMismatch(want, obs, ctx, errs); path != "" {
+		return fmt.Errorf("refexec: execution diverges from sequential oracle (full diff: %s)\n%s", path, msg)
+	}
+	return fmt.Errorf("refexec: execution diverges from sequential oracle\n%s", msg)
+}
+
+// dumpMismatch writes the full diff to a temp file and returns its path
+// ("" when the file cannot be created — the error still carries the
+// leading discrepancies).
+func dumpMismatch(want map[string]int64, obs *Observed, ctx Context, errs []string) string {
+	f, err := os.CreateTemp("", "refexec-mismatch-*.txt")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+
+	var sb strings.Builder
+	sb.WriteString("refexec oracle mismatch\n")
+	fmt.Fprintf(&sb, "%s\n\n", ctx)
+	fmt.Fprintf(&sb, "discrepancies (%d):\n", len(errs))
+	for _, e := range errs {
+		fmt.Fprintf(&sb, "  %s\n", e)
+	}
+
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&sb, "\nexpected instances (sequential oracle, bound > 0): %d\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %s bound=%d\n", k, want[k])
+	}
+
+	keys = keys[:0]
+	for k := range obs.Instances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(&sb, "\nobserved instances: %d\n", len(keys))
+	for _, k := range keys {
+		in := obs.Instances[k]
+		fmt.Fprintf(&sb, "  %s act=%d comp=%d bound=%d %s\n",
+			k, in.Activations, in.Completions, in.Bound, iterSummary(in.Iters, want[k]))
+	}
+
+	if _, err := f.WriteString(sb.String()); err != nil {
+		return ""
+	}
+	return f.Name()
+}
+
+// iterSummary renders an iteration multiset compactly: the executed
+// count, plus every index whose multiplicity differs from one (capped).
+func iterSummary(iters map[int64]int, bound int64) string {
+	var bad []int64
+	for j := int64(1); j <= bound; j++ {
+		if iters[j] != 1 {
+			bad = append(bad, j)
+		}
+	}
+	for j := range iters {
+		if j < 1 || j > bound {
+			bad = append(bad, j)
+		}
+	}
+	if len(bad) == 0 {
+		return fmt.Sprintf("iters=%d (each once)", len(iters))
+	}
+	sort.Slice(bad, func(i, k int) bool { return bad[i] < bad[k] })
+	const maxShown = 20
+	shown := bad
+	more := ""
+	if len(shown) > maxShown {
+		shown = shown[:maxShown]
+		more = fmt.Sprintf(" ... and %d more", len(bad)-maxShown)
+	}
+	parts := make([]string, len(shown))
+	for i, j := range shown {
+		parts[i] = fmt.Sprintf("%d:%d", j, iters[j])
+	}
+	return fmt.Sprintf("iters=%d, wrong multiplicity {%s%s}", len(iters), strings.Join(parts, " "), more)
+}

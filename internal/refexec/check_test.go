@@ -1,0 +1,99 @@
+package refexec
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/loopir"
+)
+
+// checkFixture builds a two-leaf nest, runs the oracle, and returns the
+// reference plus an Observed that matches it exactly.
+func checkFixture(t *testing.T) (*Result, func(*loopir.Node) int, *Observed) {
+	t.Helper()
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoallLeaf("A", loopir.Const(3), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+		b.DoallLeaf("B", loopir.Const(2), func(e loopir.Env, iv loopir.IVec, j int64) { e.Work(1) })
+	})
+	std, err := nest.Standardize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nums := map[*loopir.Node]int{}
+	for i, in := range ref.Instances {
+		if _, ok := nums[in.Leaf]; !ok {
+			nums[in.Leaf] = i + 1
+		}
+	}
+	numOf := func(nd *loopir.Node) int { return nums[nd] }
+	obs := &Observed{Instances: map[string]*InstanceObs{}}
+	for _, in := range ref.Instances {
+		iters := map[int64]int{}
+		for j := int64(1); j <= in.Bound; j++ {
+			iters[j] = 1
+		}
+		k := keyFor(numOf(in.Leaf), in.IVec)
+		obs.Instances[k] = &InstanceObs{Activations: 1, Completions: 1, Bound: in.Bound, Iters: iters}
+	}
+	return ref, numOf, obs
+}
+
+// keyFor spells the "%d%v" key format Check and trace.Log share.
+func keyFor(num int, iv loopir.IVec) string {
+	return fmt.Sprintf("%d%v", num, iv)
+}
+
+func TestCheckAcceptsMatchingObservation(t *testing.T) {
+	ref, numOf, obs := checkFixture(t)
+	if err := Check(ref, numOf, obs, Context{}); err != nil {
+		t.Fatalf("matching observation rejected: %v", err)
+	}
+}
+
+func TestCheckDumpsMismatchToFile(t *testing.T) {
+	ref, numOf, obs := checkFixture(t)
+	// Corrupt the observation: duplicate one iteration of the first
+	// instance and drop the second instance entirely.
+	first := keyFor(numOf(ref.Instances[0].Leaf), ref.Instances[0].IVec)
+	obs.Instances[first].Iters[2] = 2
+	second := keyFor(numOf(ref.Instances[1].Leaf), ref.Instances[1].IVec)
+	delete(obs.Instances, second)
+
+	ctx := Context{Nest: "A", Scheme: "GSS", Pool: "per-loop", Engine: "virtual"}
+	err := Check(ref, numOf, obs, ctx)
+	if err == nil {
+		t.Fatal("corrupted observation accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "executed 2 times") || !strings.Contains(msg, "never executed") {
+		t.Errorf("error misses discrepancies: %v", err)
+	}
+
+	m := regexp.MustCompile(`full diff: ([^)\s]+)`).FindStringSubmatch(msg)
+	if m == nil {
+		t.Fatalf("error does not name a dump file: %v", err)
+	}
+	path := m[1]
+	defer os.Remove(path)
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("dump file unreadable: %v", rerr)
+	}
+	dump := string(data)
+	for _, want := range []string{
+		`scheme="GSS"`, `pool="per-loop"`, `engine="virtual"`, `nest="A"`,
+		"iteration 2 executed 2 times", "never executed",
+		"expected instances", "observed instances", "wrong multiplicity",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -155,46 +155,36 @@ func (l *Log) digest() map[string]*instance {
 	return m
 }
 
+// Observed converts the log's digest into the oracle checker's
+// observation form (refexec.Observed), keyed "loop(ivec)".
+func (l *Log) Observed() *refexec.Observed {
+	obs := &refexec.Observed{Instances: map[string]*refexec.InstanceObs{}}
+	for k, in := range l.digest() {
+		obs.Instances[k] = &refexec.InstanceObs{
+			Activations: in.activations,
+			Completions: in.completions,
+			Bound:       in.bound,
+			Iters:       in.iters,
+		}
+	}
+	return obs
+}
+
 // VerifyExactlyOnce checks the log against the reference execution: the
 // set of activated instances matches the reference's bound>0 instances,
 // each is activated and completed exactly once, and each iteration
-// 1..bound executed exactly once.
+// 1..bound executed exactly once. The comparison (and the mismatch dump
+// it writes on failure) is refexec.Check's; use VerifyExactlyOnceIn to
+// label the dump with the failing configuration.
 func (l *Log) VerifyExactlyOnce(prog *descr.Program, ref *refexec.Result) error {
-	want := map[string]int64{}
-	for _, in := range ref.Instances {
-		if in.Bound > 0 {
-			want[fmt.Sprintf("%d%v", prog.NumOf(in.Leaf), in.IVec)] = in.Bound
-		}
-	}
-	got := l.digest()
-	var errs []string
-	for k, b := range want {
-		in, ok := got[k]
-		if !ok {
-			errs = append(errs, fmt.Sprintf("instance %s never executed", k))
-			continue
-		}
-		if in.activations != 1 || in.completions != 1 {
-			errs = append(errs, fmt.Sprintf("instance %s: %d activations, %d completions", k, in.activations, in.completions))
-		}
-		if in.bound != b {
-			errs = append(errs, fmt.Sprintf("instance %s: bound %d, want %d", k, in.bound, b))
-		}
-		for j := int64(1); j <= b; j++ {
-			if n := in.iters[j]; n != 1 {
-				errs = append(errs, fmt.Sprintf("instance %s iteration %d executed %d times", k, j, n))
-			}
-		}
-		if int64(len(in.iters)) != b {
-			errs = append(errs, fmt.Sprintf("instance %s executed %d distinct iterations, want %d", k, len(in.iters), b))
-		}
-	}
-	for k := range got {
-		if _, ok := want[k]; !ok {
-			errs = append(errs, fmt.Sprintf("unexpected instance %s", k))
-		}
-	}
-	return joinErrs(errs)
+	return l.VerifyExactlyOnceIn(prog, ref, refexec.Context{})
+}
+
+// VerifyExactlyOnceIn is VerifyExactlyOnce with an execution Context
+// identifying the configuration (nest, scheme, pool, engine) in the
+// oracle's mismatch dump.
+func (l *Log) VerifyExactlyOnceIn(prog *descr.Program, ref *refexec.Result, ctx refexec.Context) error {
+	return refexec.Check(ref, prog.NumOf, l.Observed(), ctx)
 }
 
 // VerifyPrecedence checks the macro-dataflow precedence: for every

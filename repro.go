@@ -336,7 +336,21 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		if err != nil {
 			return nil, fmt.Errorf("repro: verification reference run: %w", err)
 		}
-		if err := log.VerifyExactlyOnce(p.desc, ref); err != nil {
+		engName := "real"
+		if _, ok := eng.(*vmachine.Engine); ok {
+			engName = "virtual"
+		}
+		nestLabel := ""
+		if len(p.std.Root) > 0 {
+			nestLabel = p.std.Root[0].Label
+		}
+		vctx := refexec.Context{
+			Nest:   nestLabel,
+			Scheme: rs.scheme.Name(),
+			Pool:   rs.pool.String(),
+			Engine: engName,
+		}
+		if err := log.VerifyExactlyOnceIn(p.desc, ref, vctx); err != nil {
 			return nil, fmt.Errorf("repro: verification: %w", err)
 		}
 		if err := log.VerifyPrecedence(p.desc, descr.BuildGraph(p.desc)); err != nil {
