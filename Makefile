@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos
 
 build:
 	$(GO) build ./...
@@ -57,3 +57,13 @@ verify-kernel:
 	$(GO) test -race ./internal/enginetest/
 	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_kernel.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_kernel.json
+
+# verify-chaos gates the fault-tolerance surface: both engines pass the
+# chaos conformance suite (deterministic injection, isolate-policy
+# coverage, watchdog and panic-path leak regressions) under the race
+# detector with shuffled order, and the virtual engine with faults
+# disabled still reproduces the committed baseline bit-for-bit.
+verify-chaos:
+	$(GO) test -race -shuffle=on ./internal/enginetest/ ./internal/core/ ./internal/fault/ ./internal/runmgr/ ./runner/
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_chaos.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_chaos.json

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReadyzAndGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{})
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d before drain, want 200", resp.StatusCode)
+	}
+
+	// An effectively endless run forces the drain window to expire, so
+	// close must fall back to cancelling it.
+	resp2, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..1000000000 { work 50 }"}`)
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d (%v)", resp2.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		s.close(ctx)
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("/readyz never flipped to 503 during drain")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// A draining server sheds new submissions.
+	resp3, _ := postJSON(t, ts.URL+"/v1/runs", `{"program": "doall I = 1..4 { work 5 }"}`)
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining = %d, want 503", resp3.StatusCode)
+	}
+
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("close never returned")
+	}
+	var status struct {
+		State string `json:"state"`
+	}
+	getJSON(t, ts.URL+"/v1/runs/"+id, &status)
+	if status.State != "cancelled" {
+		t.Errorf("endless run state after drain = %q, want cancelled", status.State)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{MaxBodyBytes: 256})
+	big := `{"program": "doall I = 1..4 { work 5 }", "label": "` +
+		strings.Repeat("x", 512) + `"}`
+	resp, payload := postJSON(t, ts.URL+"/v1/runs", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d (%v), want 413", resp.StatusCode, payload)
+	}
+	// A body under the cap still works.
+	resp2, payload := postJSON(t, ts.URL+"/v1/runs", `{"program": "doall I = 1..4 { work 5 }"}`)
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("small submit = %d (%v), want 201", resp2.StatusCode, payload)
+	}
+}
+
+func TestFailurePolicyOption(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+
+	resp, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..4 { work 5 }", "options": {"failure": "best-effort"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad failure policy = %d (%v), want 400", resp.StatusCode, payload)
+	}
+	valid, _ := payload["valid"].([]any)
+	found := false
+	for _, v := range valid {
+		if v == "isolate" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("error response valid list %v missing \"isolate\"", valid)
+	}
+
+	resp2, payload := postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "doall I = 1..50 { work 5 }",
+		  "options": {"failure": "isolate", "retry_attempts": 2, "retry_backoff": 10}}`)
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("isolate submit = %d (%v), want 201", resp2.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	deadline := time.After(30 * time.Second)
+	var status struct {
+		State  string `json:"state"`
+		Result *struct {
+			Stats struct {
+				Iterations       float64 `json:"Iterations"`
+				FailedIterations float64 `json:"FailedIterations"`
+			} `json:"stats"`
+		} `json:"result"`
+	}
+	for {
+		getJSON(t, ts.URL+"/v1/runs/"+id, &status)
+		if status.State == "done" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("isolate run never finished: %+v", status)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if status.Result == nil || status.Result.Stats.Iterations != 50 ||
+		status.Result.Stats.FailedIterations != 0 {
+		t.Errorf("isolate run result = %+v, want 50 clean iterations", status.Result)
+	}
+}
+
+func TestStatsIncludeStalled(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{Watchdog: time.Hour})
+	var st map[string]any
+	getJSON(t, ts.URL+"/stats", &st)
+	if _, ok := st["stalled"]; !ok {
+		t.Errorf("/stats missing stalled gauge: %v", st)
+	}
+}

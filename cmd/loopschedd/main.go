@@ -12,8 +12,11 @@
 //	GET  /v1/runs/{id}/progress  NDJSON stream of progress until terminal
 //	POST /v1/runs/{id}/cancel    request cancellation
 //	GET  /healthz                liveness
+//	GET  /readyz                 readiness: 503 once the server is
+//	                             draining for shutdown
 //	GET  /stats                  service census: queue depth, running/
-//	                             done/failed/cancelled counts, uptime
+//	                             done/failed/cancelled/stalled counts,
+//	                             uptime
 //	GET  /metrics                Prometheus text exposition: run outcome
 //	                             counters, executor figures aggregated
 //	                             over finished runs (iterations,
@@ -39,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +60,10 @@ func main() {
 		queueLimit     = flag.Int("queue-limit", 64, "maximum queued runs (0 = unbounded)")
 		sample         = flag.Duration("sample", 200*time.Millisecond, "progress sampling interval")
 		defaultTimeout = flag.Duration("default-timeout", 0, "timeout applied to runs that specify none (0 = none)")
+		maxBodyBytes   = flag.Int64("max-body-bytes", 1<<20, "maximum request body size in bytes")
+		watchdog       = flag.Duration("watchdog", 0, "declare a run stuck after this long without scheduling progress (0 = off)")
+		watchdogCancel = flag.Bool("watchdog-cancel", false, "cancel runs the watchdog declares stuck")
+		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for live runs to finish before cancelling them")
 	)
 	flag.Parse()
 
@@ -64,6 +72,9 @@ func main() {
 		QueueLimit:     *queueLimit,
 		SampleInterval: *sample,
 		DefaultTimeout: *defaultTimeout,
+		MaxBodyBytes:   *maxBodyBytes,
+		Watchdog:       *watchdog,
+		WatchdogCancel: *watchdogCancel,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -73,10 +84,13 @@ func main() {
 	go func() {
 		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("loopschedd draining (up to %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		httpSrv.Shutdown(shutdownCtx)
+		// Drain while the listener is still up so /readyz reports 503 and
+		// probes can watch the drain; only then close the listener.
 		srv.close(shutdownCtx)
+		httpSrv.Shutdown(shutdownCtx)
 	}()
 
 	log.Printf("loopschedd listening on %s (max-concurrent %d)", *addr, *maxConcurrent)
@@ -92,19 +106,30 @@ type serverConfig struct {
 	QueueLimit     int
 	SampleInterval time.Duration
 	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request body sizes; 0 applies the 1 MiB default.
+	MaxBodyBytes int64
+	// Watchdog declares a run stuck after this long without scheduling
+	// progress; 0 disables the watchdog.
+	Watchdog time.Duration
+	// WatchdogCancel cancels runs the watchdog declares stuck.
+	WatchdogCancel bool
 }
 
 // server is the HTTP front end over a runner.Runner. It is an
 // http.Handler, so tests drive it through httptest without a socket.
 type server struct {
-	cfg     serverConfig
-	rn      *runner.Runner
-	reg     *obs.Registry
-	mux     *http.ServeMux
-	started time.Time
+	cfg      serverConfig
+	rn       *runner.Runner
+	reg      *obs.Registry
+	mux      *http.ServeMux
+	started  time.Time
+	draining atomic.Bool
 }
 
 func newServer(cfg serverConfig) *server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	reg := obs.NewRegistry()
 	s := &server{
 		cfg:     cfg,
@@ -115,6 +140,13 @@ func newServer(cfg serverConfig) *server {
 			QueueLimit:     cfg.QueueLimit,
 			SampleInterval: cfg.SampleInterval,
 			Metrics:        reg,
+			Watchdog: runner.WatchdogConfig{
+				Interval:    cfg.Watchdog,
+				CancelStuck: cfg.WatchdogCancel,
+				OnStuck: func(id, label, diagnostic string) {
+					log.Printf("loopschedd: run %s (%q) declared stuck:\n%s", id, label, diagnostic)
+				},
+			},
 		}),
 		mux: http.NewServeMux(),
 	}
@@ -130,15 +162,36 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// close cancels all live runs and waits for them to drain.
+// handleReady reports readiness: 200 while serving, 503 once draining,
+// so a load balancer stops routing submissions before shutdown cuts
+// live runs off.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// close drains gracefully: stop accepting submissions, give live runs
+// until ctx expires to finish on their own, then cancel the stragglers
+// and wait briefly for them to unwind.
 func (s *server) close(ctx context.Context) {
+	s.draining.Store(true)
+	if err := s.rn.Drain(ctx); err != nil {
+		log.Printf("loopschedd: drain window expired, cancelling remaining runs")
+	}
 	s.rn.Close()
-	s.rn.Drain(ctx)
+	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.rn.Drain(grace)
 }
 
 // Wire types.
@@ -163,6 +216,9 @@ type runOptions struct {
 	DispatchCost  int64  `json:"dispatch_cost,omitempty"`
 	Verify        bool   `json:"verify,omitempty"`
 	Coalesce      bool   `json:"coalesce,omitempty"`
+	Failure       string `json:"failure,omitempty"`
+	RetryAttempts int    `json:"retry_attempts,omitempty"`
+	RetryBackoff  int64  `json:"retry_backoff,omitempty"`
 }
 
 func (o runOptions) toOptions() repro.Options {
@@ -177,6 +233,9 @@ func (o runOptions) toOptions() repro.Options {
 		RemotePenalty: o.RemotePenalty,
 		DispatchCost:  o.DispatchCost,
 		Verify:        o.Verify,
+		Failure:       o.Failure,
+		RetryAttempts: o.RetryAttempts,
+		RetryBackoff:  o.RetryBackoff,
 	}
 }
 
@@ -203,8 +262,19 @@ type errorResponse struct {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
 	var req submitRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -351,6 +421,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 		resp.Valid = repro.KnownEngines()
 	case errors.Is(err, repro.ErrUnknownPool):
 		resp.Valid = repro.KnownPools()
+	case errors.Is(err, repro.ErrBadFailure):
+		resp.Valid = repro.KnownFailurePolicies()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -223,7 +223,40 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		// overhead trend across both engines without failing the suite.
 		"ns_per_claim": {Unit: engineTimeUnit(virt), Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.perClaim }))},
 	}
+	if !virt {
+		m, err := faultOverhead(prog, s, cfg, samples)
+		if err != nil {
+			return out, err
+		}
+		out.Metrics["fault_overhead_ns"] = m
+	}
 	return out, nil
+}
+
+// faultOverhead measures what the isolate failure policy's per-chunk
+// bookkeeping (open-coded recover frames, failure-log checks) costs on
+// the real engines: paired repetitions under Failure="isolate" with no
+// injector, differenced against the base reps per executed iteration.
+// Ungated — a wall-clock trend metric, not a regression gate.
+func faultOverhead(prog *repro.Program, s Scenario, cfg RunConfig, base []repSample) (Metric, error) {
+	iso := s.Opts
+	iso.Failure = "isolate"
+	if _, err := prog.Run(iso); err != nil {
+		return Metric{}, fmt.Errorf("isolate warmup: %w", err)
+	}
+	vals := make([]float64, 0, cfg.Reps)
+	for i := 0; i < cfg.Reps; i++ {
+		t0 := time.Now()
+		res, err := prog.Run(iso)
+		wall := float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return Metric{}, fmt.Errorf("isolate rep %d: %w", i, err)
+		}
+		if res.Stats.Iterations > 0 {
+			vals = append(vals, (wall-base[i].wallNS)/float64(res.Stats.Iterations))
+		}
+	}
+	return Metric{Unit: "ns", Better: BetterLess, Summary: Summarize(vals)}, nil
 }
 
 func engineTimeUnit(virtual bool) string {

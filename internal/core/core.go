@@ -47,11 +47,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/descr"
+	"repro/internal/fault"
 	"repro/internal/loopir"
 	"repro/internal/lowsched"
 	"repro/internal/machine"
@@ -181,6 +184,24 @@ type Config struct {
 	// use from other goroutines for the whole run (and after it), which
 	// is how run managers sample progress.
 	OnStart func(Probe)
+	// Failure selects the response to a failing iteration body: FailFast
+	// (default — the failure trips the whole run) or Isolate (the
+	// iteration is retried, then quarantined into Snapshot.Failures
+	// while the run completes). See FailurePolicy.
+	Failure FailurePolicy
+	// Retry bounds the Isolate policy's per-iteration retry loop.
+	Retry Retry
+	// Inject, if non-nil, is a deterministic fault injector consulted
+	// before every iteration body (see internal/fault). Nil — the only
+	// production configuration — costs the hot path a single pointer
+	// test and keeps runs bit-identical to a build without the harness.
+	Inject *fault.Injector
+	// Diagnostics enables live-instance tracking for Diagnose dumps:
+	// every activated ICB is registered until its release protocol
+	// drains, so a stuck run's watchdog can enumerate in-flight
+	// instances (index/icount/pcount). Off by default — the activation
+	// path stays lock-free without it.
+	Diagnostics bool
 }
 
 // Probe is a live, concurrency-safe view into one execution. The counters
@@ -254,6 +275,17 @@ type executor struct {
 	// quiescence check.
 	live atomic.Int64
 
+	// inj and retry are cfg.Inject and cfg.Retry hoisted onto the
+	// executor so the kernel's hot path reads one flat field.
+	inj   *fault.Injector
+	retry Retry
+	// failures is the Isolate policy's quarantine log.
+	failures failureLog
+	// insts tracks live ICBs for Diagnose when cfg.Diagnostics is set;
+	// nil otherwise (the common case — no tracking cost).
+	instMu sync.Mutex
+	insts  map[*pool.ICB]struct{}
+
 	// BAR_COUNT table: barrier counters keyed by enclosing loop instance.
 	barMu sync.Mutex
 	bars  map[string]*machine.SyncVar
@@ -276,6 +308,11 @@ func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 		bars:    map[string]*machine.SyncVar{},
 		stats:   newStats(nprocs),
 		workers: make([]worker, nprocs),
+		inj:     cfg.Inject,
+		retry:   cfg.Retry,
+	}
+	if cfg.Diagnostics {
+		ex.insts = map[*pool.ICB]struct{}{}
 	}
 	prog := pl.prog
 	switch cfg.Pool {
@@ -324,10 +361,100 @@ func (ex *executor) stop() bool {
 }
 
 // LiveStats implements Probe.
-func (ex *executor) LiveStats() Snapshot { return ex.stats.Snap() }
+func (ex *executor) LiveStats() Snapshot {
+	sn := ex.stats.Snap()
+	sn.Failures = ex.failures.report()
+	return sn
+}
 
 // Completed implements Probe.
 func (ex *executor) Completed() bool { return ex.done.Load() }
+
+// trackICB registers a freshly activated instance for Diagnose; no-op
+// unless Config.Diagnostics enabled tracking.
+func (ex *executor) trackICB(icb *pool.ICB) {
+	if ex.insts == nil {
+		return
+	}
+	ex.instMu.Lock()
+	ex.insts[icb] = struct{}{}
+	ex.instMu.Unlock()
+}
+
+// untrackICB deregisters an instance whose release protocol drained
+// (the block is about to be recycled; its fields are no longer stable).
+func (ex *executor) untrackICB(icb *pool.ICB) {
+	if ex.insts == nil {
+		return
+	}
+	ex.instMu.Lock()
+	delete(ex.insts, icb)
+	ex.instMu.Unlock()
+}
+
+// Diagnoser is the diagnostic extension of Probe: a renderable snapshot
+// of the run's scheduling state, designed for the stuck-run watchdog.
+// The executor implements it; sampling is race-safe and charges no
+// machine time.
+type Diagnoser interface {
+	Diagnose() string
+}
+
+// Diagnose renders the run's scheduling state: completion flags, the
+// pool's control word and list occupancy, open BAR_COUNT entries, every
+// live instance's index/icount/pcount (when Config.Diagnostics enabled
+// tracking), and each processor's claim history. This is the dump a
+// watchdog emits when a run stops claiming chunks.
+func (ex *executor) Diagnose() string {
+	var b strings.Builder
+	sn := ex.LiveStats()
+	fmt.Fprintf(&b, "core: done=%v aborted=%v live=%d iterations=%d chunks=%d instances=%d searches=%d failed=%d\n",
+		ex.done.Load(), ex.aborted(), ex.live.Load(),
+		sn.Iterations, sn.Chunks, sn.Instances, sn.Searches, sn.FailedIterations)
+	if d, ok := ex.pool.(interface{ DumpState() string }); ok {
+		b.WriteString(d.DumpState())
+	}
+	ex.barMu.Lock()
+	if n := len(ex.bars); n > 0 {
+		fmt.Fprintf(&b, "bar_count: %d open entr%s\n", n, plural(n, "y", "ies"))
+	}
+	ex.barMu.Unlock()
+	if ex.insts == nil {
+		b.WriteString("instances: live-ICB tracking off (enable Config.Diagnostics)\n")
+	} else {
+		ex.instMu.Lock()
+		icbs := make([]*pool.ICB, 0, len(ex.insts))
+		for icb := range ex.insts {
+			icbs = append(icbs, icb)
+		}
+		ex.instMu.Unlock()
+		sort.Slice(icbs, func(i, k int) bool {
+			a, c := icbs[i], icbs[k]
+			if a.Loop != c.Loop {
+				return a.Loop < c.Loop
+			}
+			return a.IVec.String() < c.IVec.String()
+		})
+		fmt.Fprintf(&b, "instances: %d live\n", len(icbs))
+		for _, icb := range icbs {
+			fmt.Fprintf(&b, "  %v\n", icb)
+		}
+	}
+	for i := range ex.workers {
+		sh := ex.stats.shard(i)
+		fmt.Fprintf(&b, "proc %d: chunks=%d searches=%d iters=%d last-claim=%d\n",
+			i, sh.Get(cChunks), sh.Get(cSearches), sh.Get(cIterations),
+			ex.workers[i].lastClaim.Load())
+	}
+	return b.String()
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
 
 func (ex *executor) checkQuiescent() error {
 	if c := ex.cause.Load(); c != nil {

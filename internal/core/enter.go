@@ -164,6 +164,9 @@ func (w *worker) activate(leaf *descr.LeafInfo, loc []int64) {
 	if ex.cfg.Tracer != nil {
 		ex.cfg.Tracer.InstanceActivated(leaf.Num, icb.IVec, bound, w.pr.Now())
 	}
+	// Register before Append: once published, any processor may claim,
+	// complete and release the block.
+	ex.trackICB(icb)
 	ex.pool.Append(w.pr, icb)
 }
 

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/loopir"
+)
+
+// FailurePolicy selects how the kernel responds to a failing iteration
+// body (a panic, or an injected error).
+type FailurePolicy uint8
+
+const (
+	// FailFast trips the whole run on the first body failure: every
+	// processor drains at its next preemption point and the run returns
+	// the failure as its error. This is the paper's implicit model (no
+	// iteration ever fails) and the default.
+	FailFast FailurePolicy = iota
+	// Isolate contains each failure to its iteration: the body panic is
+	// recovered per chunk, the iteration is retried up to the configured
+	// budget and then quarantined into the run's FailureReport, while the
+	// icount/pcount/BAR_COUNT bookkeeping proceeds as if the iteration
+	// had completed — sibling instances drain, successors activate, and
+	// the run completes with Snapshot.Failures instead of an error.
+	Isolate
+)
+
+// failurePolicyTable is the single source of truth for policy spellings
+// (primary spelling first); the empty string selects the default.
+var failurePolicyTable = []struct {
+	policy    FailurePolicy
+	spellings []string
+}{
+	{FailFast, []string{"failfast", "fail-fast"}},
+	{Isolate, []string{"isolate"}},
+}
+
+func (p FailurePolicy) String() string {
+	for _, e := range failurePolicyTable {
+		if e.policy == p {
+			return e.spellings[0]
+		}
+	}
+	return fmt.Sprintf("FailurePolicy(%d)", uint8(p))
+}
+
+// FailurePolicyNames lists every accepted ParseFailurePolicy spelling.
+func FailurePolicyNames() []string {
+	var names []string
+	for _, e := range failurePolicyTable {
+		names = append(names, e.spellings...)
+	}
+	return names
+}
+
+// ParseFailurePolicy maps a policy name to its FailurePolicy. The empty
+// string selects the default, FailFast.
+func ParseFailurePolicy(name string) (FailurePolicy, error) {
+	if name == "" {
+		return FailFast, nil
+	}
+	for _, e := range failurePolicyTable {
+		if slices.Contains(e.spellings, name) {
+			return e.policy, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown failure policy %q", name)
+}
+
+// Retry bounds the per-iteration retry loop of the Isolate policy.
+type Retry struct {
+	// Attempts is the number of additional attempts after the first
+	// failure before the iteration is quarantined. 0 means no retry.
+	Attempts int
+	// Backoff, if positive, charges the processor Backoff idle units
+	// before the first retry, doubling on each subsequent attempt. On
+	// the real engine in spin mode this is real busy-wait time; on the
+	// virtual engine it advances the simulated clock.
+	Backoff int64
+}
+
+// FailedRange is a maximal run of consecutive quarantined iterations of
+// one loop instance that failed for the same reason.
+type FailedRange struct {
+	// Loop is the innermost parallel loop number (1..M).
+	Loop int `json:"loop"`
+	// IVec is the instance's enclosing index vector.
+	IVec loopir.IVec `json:"ivec,omitempty"`
+	// Lo and Hi bound the quarantined iterations (inclusive).
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	// Attempts is the number of times each iteration in the range was
+	// tried before quarantine (1 + the retry budget).
+	Attempts int `json:"attempts"`
+	// Err is the failure message of the final attempt.
+	Err string `json:"err"`
+}
+
+func (r FailedRange) String() string {
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("loop %d %v iter %d (%d attempts): %s", r.Loop, r.IVec, r.Lo, r.Attempts, r.Err)
+	}
+	return fmt.Sprintf("loop %d %v iters %d..%d (%d attempts each): %s", r.Loop, r.IVec, r.Lo, r.Hi, r.Attempts, r.Err)
+}
+
+// FailureReport names every iteration the Isolate policy quarantined.
+type FailureReport struct {
+	// Iterations is the total number of quarantined iterations.
+	Iterations int64 `json:"iterations"`
+	// Ranges lists the quarantined iterations, coalesced per instance
+	// and sorted by (loop, ivec, lo).
+	Ranges []FailedRange `json:"ranges"`
+}
+
+func (fr *FailureReport) String() string {
+	if fr == nil || fr.Iterations == 0 {
+		return "no failures"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d iteration(s) quarantined:", fr.Iterations)
+	for _, r := range fr.Ranges {
+		b.WriteString("\n  ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// failureLog accumulates quarantined iterations during a run. It is
+// off the hot path entirely: only quarantine events (post-retry) lock
+// it, and merging keeps the log proportional to distinct failure runs,
+// not failed iterations.
+type failureLog struct {
+	mu     sync.Mutex
+	iters  int64
+	ranges []FailedRange
+}
+
+// add records one quarantined iteration, extending the most recent
+// range when the iteration continues it (same instance, same message,
+// next index). Interleaved recorders may split what is logically one
+// range; report() re-coalesces after sorting.
+func (l *failureLog) add(loop int, ivec loopir.IVec, j int64, attempts int, msg string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.iters++
+	if n := len(l.ranges); n > 0 {
+		last := &l.ranges[n-1]
+		if last.Loop == loop && last.Hi+1 == j && last.Err == msg &&
+			last.Attempts == attempts && slices.Equal(last.IVec, ivec) {
+			last.Hi = j
+			return
+		}
+	}
+	l.ranges = append(l.ranges, FailedRange{
+		Loop: loop, IVec: ivec.Clone(), Lo: j, Hi: j, Attempts: attempts, Err: msg,
+	})
+}
+
+// report renders the log as a FailureReport, or nil when the run had no
+// quarantined iterations (so zero-failure snapshots serialize without a
+// failures field). Safe to call while the run is in flight.
+func (l *failureLog) report() *FailureReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.iters == 0 {
+		return nil
+	}
+	rs := make([]FailedRange, len(l.ranges))
+	copy(rs, l.ranges)
+	sort.Slice(rs, func(i, k int) bool {
+		a, b := rs[i], rs[k]
+		if a.Loop != b.Loop {
+			return a.Loop < b.Loop
+		}
+		if c := slices.Compare(a.IVec, b.IVec); c != 0 {
+			return c < 0
+		}
+		return a.Lo < b.Lo
+	})
+	// Coalesce ranges split by interleaved recording.
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Loop == r.Loop && last.Hi+1 == r.Lo && last.Err == r.Err &&
+				last.Attempts == r.Attempts && slices.Equal(last.IVec, r.IVec) {
+				last.Hi = r.Hi
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return &FailureReport{Iterations: l.iters, Ranges: out}
+}

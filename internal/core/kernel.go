@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/lowsched"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -53,6 +55,10 @@ type worker struct {
 	free []*pool.ICB
 	// barBuf is scratch for rendering BAR_COUNT keys.
 	barBuf []byte
+	// lastClaim is the engine time of this processor's most recent chunk
+	// claim (-1 before the first), stored host-side for the stuck-run
+	// watchdog's per-processor diagnostics; it charges no machine time.
+	lastClaim atomic.Int64
 	// pad keeps adjacent workers in the executor's slice from sharing a
 	// cache line (the shard and freelist headers above are written on
 	// every scheduling decision).
@@ -64,6 +70,7 @@ func (w *worker) init(ex *executor, pr machine.Proc) {
 	w.ex = ex
 	w.pr = pr
 	w.shard = ex.stats.shard(pr.ID())
+	w.lastClaim.Store(-1)
 	w.loc = make([]int64, ex.plan.maxDepth+1)
 	// barBuf stays nil until the first barrier completion grows it —
 	// programs without structural parallel loops never pay for it.
@@ -129,11 +136,14 @@ func (w *worker) search() *pool.ICB {
 // self-scheduling loop around the high-level SEARCH.
 func (w *worker) run() {
 	ex, pr := w.ex, w.pr
-	// A panicking iteration body must not take the whole machine down or
-	// hang it: record the failure and let every processor drain out.
+	// Body panics are contained chunk-side (runChunk), so this recover
+	// only sees panics from the scheduling machinery itself — guard and
+	// bound evaluation during EXIT/ENTER, or a kernel invariant check.
+	// Those must not take the whole machine down or hang it: record the
+	// failure and let every processor drain out.
 	defer func() {
 		if r := recover(); r != nil {
-			ex.trip(fmt.Errorf("core: iteration body panicked on processor %d: %v", pr.ID(), r))
+			ex.trip(fmt.Errorf("core: panic on processor %d: %v", pr.ID(), r))
 		}
 	}()
 	defer w.flushSearch()
@@ -189,39 +199,16 @@ func (w *worker) run() {
 			ex.pool.Delete(pr, icb)
 		}
 		w.shard.Inc(cChunks)
+		w.lastClaim.Store(pr.Now())
 
-		// body: execute the assigned iterations. Each iteration boundary
-		// is a preemption point: an aborted run (body failure elsewhere,
-		// cancellation, deadline) abandons the rest of the chunk and
-		// drains out; nobody will complete the instance, and the other
-		// processors leave through the same stop checks.
-		lp := &ex.plan.leaves[icb.Loop]
-		w.ctx.bind(icb, lp.manualSync)
-		tb := pr.Now()
-		for j := a.Lo; j <= a.Hi; j++ {
-			if ex.aborted() {
-				w.shard.Add(cBodyTime, pr.Now()-tb)
-				return
-			}
-			w.ctx.begin(j)
-			if ex.cfg.Tracer != nil {
-				ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
-			}
-			if w.ctx.dep != nil && !w.ctx.manual {
-				w.ctx.AwaitDep()
-			}
-			lp.info.Node.Iter(&w.ctx, icb.IVec, j)
-			if w.ctx.dep != nil {
-				// Ensure the dependence source is posted even if the body
-				// did not post explicitly (otherwise successors deadlock).
-				w.ctx.PostDep()
-			}
-			if ex.cfg.Tracer != nil {
-				ex.cfg.Tracer.IterEnd(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
-			}
-			w.shard.Inc(cIterations)
+		// body: execute the assigned iterations under the run's failure
+		// policy. Each iteration boundary is a preemption point: a false
+		// return means the run is draining (cancellation, deadline, or a
+		// FailFast body failure) — nobody will complete the instance, and
+		// the other processors leave through the same stop checks.
+		if !w.runChunk(icb, a) {
+			return
 		}
-		w.shard.Add(cBodyTime, pr.Now()-tb)
 
 		// update: count completed iterations; the completer of the final
 		// iteration activates successors and releases the ICB.
@@ -251,9 +238,199 @@ func (w *worker) run() {
 				}
 				pr.Spin()
 			}
+			ex.untrackICB(icb)
 			w.free = append(w.free, icb)
 			w.shard.Add(cO3Time, pr.Now()-t0)
 			icb = nil
 		}
 	}
+}
+
+// runChunk executes the assigned iterations [a.Lo, a.Hi] of icb under
+// the run's failure policy. It returns false when the run must drain
+// (an interrupt mid-chunk, or a body failure under FailFast); the worker
+// then unwinds through its normal return path. The recover sits inside
+// the span/iteration executors below, so a body panic can never escape
+// between the fetch-and-add claim and the icount completion bookkeeping
+// — the claim/complete protocol is panic-safe.
+func (w *worker) runChunk(icb *pool.ICB, a lowsched.Assignment) bool {
+	ex, pr := w.ex, w.pr
+	lp := &ex.plan.leaves[icb.Loop]
+	w.ctx.bind(icb, lp.manualSync)
+	if ex.cfg.Failure == Isolate {
+		return w.runChunkIsolate(icb, lp, a)
+	}
+	tb := pr.Now()
+	cont, err := w.execSpan(icb, lp, a)
+	w.shard.Add(cBodyTime, pr.Now()-tb)
+	if err != nil {
+		// FailFast: the first body failure is the run's stop-cause;
+		// every processor drains at its next preemption point.
+		ex.trip(err)
+		return false
+	}
+	return cont
+}
+
+// execSpan runs iterations a.Lo..a.Hi of the bound instance with panic
+// containment: a body panic is recovered here and returned as an error.
+// cont=false with err=nil means the run aborted mid-chunk.
+func (w *worker) execSpan(icb *pool.ICB, lp *leafPlan, a lowsched.Assignment) (cont bool, err error) {
+	ex, pr := w.ex, w.pr
+	j := a.Lo
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: iteration body panicked on processor %d (loop %d, iteration %d): %v",
+				pr.ID(), icb.Loop, j, r)
+		}
+	}()
+	for ; j <= a.Hi; j++ {
+		if ex.aborted() {
+			return false, nil
+		}
+		w.ctx.begin(j)
+		if ex.inj != nil {
+			if ierr := w.inject(icb, j); ierr != nil {
+				return false, fmt.Errorf("core: iteration body failed on processor %d (loop %d, iteration %d): %w",
+					pr.ID(), icb.Loop, j, ierr)
+			}
+		}
+		if ex.cfg.Tracer != nil {
+			ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+		}
+		if w.ctx.dep != nil && !w.ctx.manual {
+			w.ctx.AwaitDep()
+		}
+		lp.info.Node.Iter(&w.ctx, icb.IVec, j)
+		if w.ctx.dep != nil {
+			// Ensure the dependence source is posted even if the body
+			// did not post explicitly (otherwise successors deadlock).
+			w.ctx.PostDep()
+		}
+		if ex.cfg.Tracer != nil {
+			ex.cfg.Tracer.IterEnd(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+		}
+		w.shard.Inc(cIterations)
+	}
+	return true, nil
+}
+
+// runChunkIsolate is runChunk under the Isolate policy: each iteration
+// runs with its own panic containment, a failing iteration is retried
+// within the configured budget (with doubling idle backoff), and a
+// still-failing iteration is quarantined into the run's failure log.
+// The chunk always completes from the protocol's point of view — the
+// icount/pcount/BAR_COUNT bookkeeping in run() proceeds exactly as for
+// a successful chunk, so sibling instances drain, barriers fill, and
+// successors activate; only the quarantined iterations' useful work is
+// missing, and the FailureReport names them.
+func (w *worker) runChunkIsolate(icb *pool.ICB, lp *leafPlan, a lowsched.Assignment) bool {
+	ex, pr := w.ex, w.pr
+	tb := pr.Now()
+	attempt := 1
+	for j := a.Lo; j <= a.Hi; {
+		if ex.aborted() {
+			w.shard.Add(cBodyTime, pr.Now()-tb)
+			return false
+		}
+		err := w.execIter(icb, lp, j)
+		if err == nil {
+			j++
+			attempt = 1
+			continue
+		}
+		if ex.aborted() {
+			// The failure is a symptom of the drain (e.g. an aborted
+			// Doacross wait), not an iteration fault: do not record it.
+			w.shard.Add(cBodyTime, pr.Now()-tb)
+			return false
+		}
+		if attempt <= ex.retry.Attempts {
+			w.shard.Inc(cRetries)
+			if c := ex.retry.Backoff; c > 0 {
+				shift := attempt - 1
+				if shift > 32 {
+					shift = 32
+				}
+				pr.Idle(c << shift)
+			}
+			attempt++
+			continue
+		}
+		// Quarantine iteration j. Its dependence source must still be
+		// posted — a successor's AwaitDep would otherwise spin forever
+		// on work nobody will redo.
+		ex.failures.add(icb.Loop, icb.IVec, j, attempt, err.Error())
+		w.shard.Inc(cFailedIterations)
+		if w.ctx.dep != nil {
+			w.ctx.begin(j)
+			w.ctx.PostDep()
+		}
+		j++
+		attempt = 1
+	}
+	w.shard.Add(cBodyTime, pr.Now()-tb)
+	return true
+}
+
+// execIter runs one iteration with panic containment; the returned
+// error is the iteration's failure, nil on success.
+func (w *worker) execIter(icb *pool.ICB, lp *leafPlan, j int64) (err error) {
+	ex, pr := w.ex, w.pr
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("body panicked: %v", r)
+		}
+	}()
+	w.ctx.begin(j)
+	if ex.inj != nil {
+		if ierr := w.inject(icb, j); ierr != nil {
+			return ierr
+		}
+	}
+	if ex.cfg.Tracer != nil {
+		ex.cfg.Tracer.IterStart(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+	}
+	if w.ctx.dep != nil && !w.ctx.manual {
+		w.ctx.AwaitDep()
+	}
+	lp.info.Node.Iter(&w.ctx, icb.IVec, j)
+	if w.ctx.dep != nil {
+		w.ctx.PostDep()
+	}
+	if ex.cfg.Tracer != nil {
+		ex.cfg.Tracer.IterEnd(icb.Loop, icb.IVec, j, pr.ID(), pr.Now())
+	}
+	w.shard.Inc(cIterations)
+	return nil
+}
+
+// inject consults the fault injector at coordinate (icb.Loop, icb.IVec,
+// j). Perturbations (delay, contention spike) are applied in place;
+// failures are returned (Error) or thrown (Panic) so they take the same
+// kernel paths a real misbehaving body would.
+func (w *worker) inject(icb *pool.ICB, j int64) error {
+	f, ok := w.ex.inj.Decide(icb.Loop, icb.IVec, j)
+	if !ok {
+		return nil
+	}
+	pr := w.pr
+	switch f.Kind {
+	case fault.Panic:
+		panic(fmt.Sprintf("fault: injected panic at (loop %d, ivec %v, iteration %d)", icb.Loop, icb.IVec, j))
+	case fault.Error:
+		return fmt.Errorf("fault: injected error at (loop %d, ivec %v, iteration %d)", icb.Loop, icb.IVec, j)
+	case fault.Delay:
+		if f.Cost > 0 {
+			pr.Idle(f.Cost)
+		}
+	case fault.Spike:
+		// An artificial contention spike: hammer the instance's shared
+		// index with costed reads, heating the same line the claiming
+		// fetch-and-add uses.
+		for i := int64(0); i < f.Cost; i++ {
+			icb.Index.Fetch(pr)
+		}
+	}
+	return nil
 }

@@ -113,6 +113,10 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 	if cfg.Interrupt == nil {
 		cfg.Interrupt = machine.NewInterrupt()
 	}
+	if cfg.Retry.Attempts < 0 || cfg.Retry.Backoff < 0 {
+		return nil, fmt.Errorf("core: negative retry configuration (attempts %d, backoff %d)",
+			cfg.Retry.Attempts, cfg.Retry.Backoff)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -150,7 +154,7 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 	}
 	return &Report{
 		RunReport: rep,
-		Stats:     ex.stats.Snap(),
+		Stats:     ex.LiveStats(), // the final snapshot, failure report attached
 		Scheme:    cfg.Scheme.Name(),
 	}, nil
 }

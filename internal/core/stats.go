@@ -44,6 +44,9 @@ const (
 	cDepAwaits // Doacross dependence waits entered
 	cDepPosts  // Doacross dependence flags posted
 
+	cFailedIterations // iterations quarantined under Isolate
+	cRetries          // Isolate retry attempts
+
 	numCounters
 )
 
@@ -72,6 +75,8 @@ var statDescs = []obs.Desc{
 	{Name: "icb_reuses", Help: "ICBs recycled via freelists", Unit: "count"},
 	{Name: "dep_awaits", Help: "Doacross dependence waits", Unit: "count"},
 	{Name: "dep_posts", Help: "Doacross dependence posts", Unit: "count"},
+	{Name: "failed_iterations", Help: "iterations quarantined under Isolate", Unit: "count"},
+	{Name: "retries", Help: "Isolate retry attempts", Unit: "count"},
 }
 
 // Stats is the executor's sharded counter spine: one obs.Shard per
@@ -103,7 +108,13 @@ type Snapshot struct {
 	ICBAllocs, ICBReuses int64
 	// DepAwaits and DepPosts count Doacross dependence operations.
 	DepAwaits, DepPosts int64
-	Search              pool.SearchStats
+	// FailedIterations counts iterations the Isolate policy quarantined;
+	// Retries counts its retry attempts. Both are zero under FailFast.
+	FailedIterations, Retries int64
+	Search                    pool.SearchStats
+	// Failures details the quarantined iterations, nil when the run had
+	// none (so zero-failure snapshots serialize unchanged).
+	Failures *FailureReport `json:"failures,omitempty"`
 }
 
 // OverheadTime returns the total scheduling-overhead processor time:
@@ -147,6 +158,7 @@ func (s *Stats) Snap() Snapshot {
 		DispatchTime: t[cDispatchTime], BodyTime: t[cBodyTime],
 		ICBAllocs: t[cICBAllocs], ICBReuses: t[cICBReuses],
 		DepAwaits: t[cDepAwaits], DepPosts: t[cDepPosts],
+		FailedIterations: t[cFailedIterations], Retries: t[cRetries],
 		Search: pool.SearchStats{
 			Sweeps:       t[cSearchSweeps],
 			LockFailures: t[cSearchLockFailures],

@@ -1,0 +1,318 @@
+package enginetest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/descr"
+	"repro/internal/fault"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/refexec"
+)
+
+// Chaos is the fault-tolerance half of the conformance suite: any
+// engine plugged into the kernel must also honor the isolate failure
+// policy's contract under deterministic fault injection —
+//
+//   - every iteration the sequential oracle records either executes
+//     exactly once or is named in the run's FailureReport, never both
+//     and never neither;
+//   - the set of quarantined iterations is exactly the set the
+//     injector's schedule-independent hash selects (previewed with
+//     Peek before the run, compared against the report after);
+//   - transient faults covered by the retry budget leave no trace in
+//     the report and still execute their body exactly once;
+//   - Doacross dependences of quarantined iterations are posted, so
+//     downstream iterations are not orphaned;
+//   - non-failure perturbations (delays, lock-contention spikes) never
+//     change what executes, only when;
+//   - the engine leaks no goroutines across any of it.
+func Chaos(t *testing.T, name string, f Factory) {
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { settleGoroutines(t, name, before) })
+	t.Run("OracleDerivedFaults", func(t *testing.T) { oracleDerivedFaults(t, name, f) })
+	t.Run("TransientRetry", func(t *testing.T) { transientRetry(t, name, f) })
+	t.Run("DoacrossQuarantine", func(t *testing.T) { doacrossQuarantine(t, name, f) })
+	t.Run("PerturbationsHarmless", func(t *testing.T) { perturbationsHarmless(t, name, f) })
+}
+
+// recorder counts body executions per (leaf, ivec, iteration)
+// coordinate, the ground truth for exactly-once assertions.
+type recorder struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newRecorder() *recorder { return &recorder{counts: map[string]int{}} }
+
+// reset clears the counts accumulated so far — compile() runs the
+// sequential oracle over the same bodies, and those executions must not
+// count against the engine under test.
+func (r *recorder) reset() {
+	r.mu.Lock()
+	r.counts = map[string]int{}
+	r.mu.Unlock()
+}
+
+func (r *recorder) body(label string, cost int64) loopir.BodyFn {
+	return func(e loopir.Env, iv loopir.IVec, j int64) {
+		r.mu.Lock()
+		r.counts[coord(label, iv, j)]++
+		r.mu.Unlock()
+		e.Work(cost)
+	}
+}
+
+func coord(label string, iv loopir.IVec, j int64) string {
+	return fmt.Sprintf("%s%v#%d", label, iv, j)
+}
+
+// chaosShapes builds the nests the chaos suite runs, with recording
+// bodies wired to rec. Kept separate from shapes() because conformance
+// bodies are pure Work while chaos bodies must observe execution.
+func chaosShapes(rec *recorder) map[string]*loopir.Nest {
+	return map[string]*loopir.Nest{
+		"depth1": loopir.MustBuild(func(b *loopir.B) {
+			b.DoallLeaf("A", loopir.Const(60), rec.body("A", 5))
+		}),
+		"nested": loopir.MustBuild(func(b *loopir.B) {
+			b.Doall("I", loopir.Const(4), func(b *loopir.B) {
+				b.DoallLeaf("B", loopir.Const(10), rec.body("B", 3))
+			})
+		}),
+		"serial-chain": loopir.MustBuild(func(b *loopir.B) {
+			b.Serial("K", loopir.Const(3), func(b *loopir.B) {
+				b.DoallLeaf("E", loopir.Const(8), rec.body("E", 4))
+				b.DoallLeaf("F", loopir.Const(8), rec.body("F", 4))
+			})
+		}),
+	}
+}
+
+// expectedFailures previews the injector over every iteration the
+// oracle records, returning the coordinates whose fault is a failure
+// (panic or error). Because the injector's hash is schedule-independent
+// this is exactly the set the run must quarantine.
+func expectedFailures(prog *descr.Program, ref *refexec.Result, inj *fault.Injector) map[string]bool {
+	exp := map[string]bool{}
+	for _, in := range ref.Instances {
+		loop := prog.NumOf(in.Leaf)
+		for j := int64(1); j <= in.Bound; j++ {
+			if fl, _, ok := inj.Peek(loop, in.IVec, j); ok && fl.Kind.Failure() {
+				exp[coord(in.Leaf.Label, in.IVec, j)] = true
+			}
+		}
+	}
+	return exp
+}
+
+// reportedFailures flattens a FailureReport back to coordinate keys.
+// The report names loops by number; leafByNum maps back to labels.
+func reportedFailures(t *testing.T, prog *descr.Program, rep *core.FailureReport) map[string]bool {
+	t.Helper()
+	got := map[string]bool{}
+	if rep == nil {
+		return got
+	}
+	byNum := map[int]string{}
+	for _, lf := range prog.Leaves() {
+		byNum[lf.Num] = lf.Node.Label
+	}
+	var n int64
+	for _, r := range rep.Ranges {
+		label, ok := byNum[r.Loop]
+		if !ok {
+			t.Fatalf("failure report names unknown loop %d: %v", r.Loop, r)
+		}
+		for j := r.Lo; j <= r.Hi; j++ {
+			got[coord(label, r.IVec, j)] = true
+			n++
+		}
+	}
+	if n != rep.Iterations {
+		t.Errorf("failure report counts %d iterations but its ranges cover %d", rep.Iterations, n)
+	}
+	return got
+}
+
+// runChaos executes one plan under the isolate policy and returns the
+// final report.
+func runChaos(t *testing.T, f Factory, pl *core.Plan, p int, s lowsched.Scheme,
+	pk core.PoolKind, inj *fault.Injector, retry core.Retry) *core.Report {
+	t.Helper()
+	intr := machine.NewInterrupt()
+	rep, err := core.RunPlan(pl, core.Config{
+		Engine:    f(p, intr),
+		Scheme:    s,
+		Pool:      pk,
+		Interrupt: intr,
+		Failure:   core.Isolate,
+		Retry:     retry,
+		Inject:    inj,
+	})
+	if err != nil {
+		t.Fatalf("isolate run failed outright: %v", err)
+	}
+	return rep
+}
+
+// checkCoverage asserts the exactly-once-or-reported partition: every
+// oracle iteration outside exp ran once; every iteration in exp ran
+// zero times and is named in the report.
+func checkCoverage(t *testing.T, prog *descr.Program, ref *refexec.Result,
+	rec *recorder, exp map[string]bool, rep *core.Report) {
+	t.Helper()
+	got := reportedFailures(t, prog, rep.Stats.Failures)
+	if len(got) != len(exp) {
+		t.Errorf("report names %d failed iterations, expected %d", len(got), len(exp))
+	}
+	for k := range exp {
+		if !got[k] {
+			t.Errorf("injected failure at %s missing from report", k)
+		}
+	}
+	for k := range got {
+		if !exp[k] {
+			t.Errorf("report names %s, which no injected fault explains", k)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var executed int64
+	for _, in := range ref.Instances {
+		for j := int64(1); j <= in.Bound; j++ {
+			k := coord(in.Leaf.Label, in.IVec, j)
+			n := rec.counts[k]
+			switch {
+			case exp[k] && n != 0:
+				t.Errorf("quarantined iteration %s executed its body %d times", k, n)
+			case !exp[k] && n != 1:
+				t.Errorf("iteration %s executed %d times, want exactly once", k, n)
+			}
+			executed += int64(n)
+		}
+	}
+	if rep.Stats.Iterations != executed {
+		t.Errorf("Stats.Iterations = %d, bodies ran %d times", rep.Stats.Iterations, executed)
+	}
+	if want := ref.Iterations - int64(len(exp)); rep.Stats.Iterations != want {
+		t.Errorf("Stats.Iterations = %d, want %d (oracle %d - %d failed)",
+			rep.Stats.Iterations, want, ref.Iterations, len(exp))
+	}
+}
+
+// oracleDerivedFaults sweeps shapes × schemes × pools under seeded
+// rate-based injection and holds the run to the Peek-derived oracle.
+func oracleDerivedFaults(t *testing.T, name string, f Factory) {
+	schemes := []lowsched.Scheme{lowsched.SS{}, lowsched.CSS{K: 3}, lowsched.GSS{}}
+	pools := []core.PoolKind{core.PoolPerLoop, core.PoolSingleList, core.PoolDistributed}
+	labels := []string{"depth1", "nested", "serial-chain"}
+	seed := uint64(0xC0FFEE)
+	for _, label := range labels {
+		for _, s := range schemes {
+			for _, pk := range pools {
+				seed++
+				inj := fault.New(seed).
+					WithRate(fault.Panic, 0.06, 0).
+					WithRate(fault.Error, 0.04, 0).
+					WithRate(fault.Delay, 0.10, 15)
+				t.Run(fmt.Sprintf("%s/%s/%s", label, s.Name(), pk), func(t *testing.T) {
+					rec := newRecorder()
+					nest := chaosShapes(rec)[label]
+					prog, pl, ref := compile(t, nest)
+					exp := expectedFailures(prog, ref, inj)
+					rec.reset()
+					rep := runChaos(t, f, pl, 4, s, pk, inj, core.Retry{})
+					checkCoverage(t, prog, ref, rec, exp, rep)
+				})
+			}
+		}
+	}
+}
+
+// transientRetry plants sites that fire a bounded number of times and
+// verifies the retry budget absorbs them without a report entry.
+func transientRetry(t *testing.T, name string, f Factory) {
+	rec := newRecorder()
+	nest := chaosShapes(rec)["nested"]
+	prog, pl, ref := compile(t, nest)
+	loop := prog.Leaves()[0].Num
+	inj := fault.New(7).
+		At(loop, []int64{2}, 3, fault.Fault{Kind: fault.Panic}, 2).
+		At(loop, []int64{4}, 9, fault.Fault{Kind: fault.Error}, 1)
+	rec.reset()
+	rep := runChaos(t, f, pl, 4, lowsched.CSS{K: 2}, core.PoolPerLoop, inj, core.Retry{Attempts: 3, Backoff: 4})
+	if rep.Stats.Failures != nil {
+		t.Fatalf("retries should have absorbed every transient fault, got %v", rep.Stats.Failures)
+	}
+	if rep.Stats.Retries != 3 {
+		t.Errorf("Retries = %d, want 3 (2 for the panic site + 1 for the error site)", rep.Stats.Retries)
+	}
+	checkCoverage(t, prog, ref, rec, map[string]bool{}, rep)
+}
+
+// doacrossQuarantine verifies a quarantined Doacross iteration posts
+// its dependence so its successors still run.
+func doacrossQuarantine(t *testing.T, name string, f Factory) {
+	rec := newRecorder()
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.DoacrossLeaf("D", loopir.Const(30), 1, rec.body("D", 4))
+	})
+	prog, pl, ref := compile(t, nest)
+	loop := prog.Leaves()[0].Num
+	inj := fault.New(11).At(loop, nil, 6, fault.Fault{Kind: fault.Panic}, fault.Forever)
+	exp := map[string]bool{coord("D", nil, 6): true}
+	rec.reset()
+	done := make(chan *core.Report, 1)
+	go func() {
+		done <- runChaos(t, f, pl, 4, lowsched.SS{}, core.PoolPerLoop, inj, core.Retry{})
+	}()
+	select {
+	case rep := <-done:
+		checkCoverage(t, prog, ref, rec, exp, rep)
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: Doacross run hung on a quarantined dependence", name)
+	}
+}
+
+// perturbationsHarmless injects only delays and contention spikes and
+// requires a clean, complete, failure-free run.
+func perturbationsHarmless(t *testing.T, name string, f Factory) {
+	rec := newRecorder()
+	nest := chaosShapes(rec)["serial-chain"]
+	prog, pl, ref := compile(t, nest)
+	inj := fault.New(23).
+		WithRate(fault.Delay, 0.4, 25).
+		WithRate(fault.Spike, 0.3, 4)
+	rec.reset()
+	rep := runChaos(t, f, pl, 4, lowsched.GSS{}, core.PoolDistributed, inj, core.Retry{})
+	if rep.Stats.Failures != nil || rep.Stats.FailedIterations != 0 {
+		t.Fatalf("perturbations produced failures: %v", rep.Stats.Failures)
+	}
+	checkCoverage(t, prog, ref, rec, map[string]bool{}, rep)
+}
+
+// settleGoroutines waits for the engine's workers to unwind and fails
+// if the suite leaked any.
+func settleGoroutines(t *testing.T, name string, before int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Errorf("%s: chaos suite leaked goroutines: %d -> %d\n%s",
+				name, before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

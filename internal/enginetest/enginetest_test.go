@@ -23,3 +23,19 @@ func TestRealEngineConformance(t *testing.T) {
 		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
 	})
 }
+
+// TestVirtualEngineChaos holds the simulator to the isolate-policy
+// contract under deterministic fault injection.
+func TestVirtualEngineChaos(t *testing.T) {
+	Chaos(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestRealEngineChaos does the same on goroutines; -race makes it the
+// memory-ordering stress for the panic-recovery and quarantine paths.
+func TestRealEngineChaos(t *testing.T) {
+	Chaos(t, "real", func(p int, intr *machine.Interrupt) core.Engine {
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+	})
+}

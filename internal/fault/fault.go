@@ -1,0 +1,236 @@
+// Package fault is a deterministic, seeded fault-injection harness for
+// the execution kernel. Faults are keyed by the iteration coordinate
+// (loop, ivec, iteration) — the only schedule-independent identity an
+// iteration has — so a given injector configuration produces the same
+// fault set no matter which processor claims which chunk, in what order,
+// or on which engine. With no injector configured the kernel's hot path
+// pays a single nil check and runs bit-identical to a build without the
+// harness.
+//
+// Two ways to plant faults compose:
+//
+//   - Rate-based: WithRate injects a kind at every coordinate whose
+//     seeded hash falls below a probability. Because the hash depends
+//     only on (seed, kind, coordinate), tests can enumerate a program's
+//     iteration space offline (e.g. via the refexec oracle) and derive
+//     the exact expected fault set.
+//   - Explicit sites: At plants a fault at one coordinate, with a fire
+//     budget — a site with Times=2 fires on the first two attempts and
+//     then succeeds, which is how retry paths are exercised.
+//
+// Decide is the kernel-facing lookup: it consumes explicit-site budgets
+// (atomically, so concurrent workers retrying the same iteration are
+// safe). Peek is the side-effect-free preview tests use to compute
+// expectations without disturbing budgets.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds, in decision priority order: when rates would fire several
+// kinds at one coordinate, the lowest-numbered kind wins.
+const (
+	// Panic makes the iteration body panic.
+	Panic Kind = iota
+	// Error makes the iteration body fail with an injected error
+	// (distinct from Panic so both kernel recovery paths are exercised).
+	Error
+	// Delay charges Cost units of artificial idle time before the body
+	// runs — a straggler iteration, not a failure.
+	Delay
+	// Spike performs Cost extra costed accesses to the instance's shared
+	// index variable — an artificial lock/line-contention spike, not a
+	// failure.
+	Spike
+
+	numKinds
+)
+
+var kindNames = [...]string{Panic: "panic", Error: "error", Delay: "delay", Spike: "spike"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Failure reports whether the kind represents a body failure (Panic or
+// Error) as opposed to a perturbation (Delay, Spike).
+func (k Kind) Failure() bool { return k == Panic || k == Error }
+
+// Fault is one injected event.
+type Fault struct {
+	Kind Kind
+	// Cost parameterizes perturbations: idle units for Delay, extra
+	// accesses for Spike. Ignored for Panic and Error.
+	Cost int64
+}
+
+func (f Fault) String() string { return fmt.Sprintf("%s(cost=%d)", f.Kind, f.Cost) }
+
+// Forever is the Times value for an explicit site that fires on every
+// attempt.
+const Forever int64 = -1
+
+type rateSpec struct {
+	threshold uint64 // hash below this fires; 0 = disabled
+	cost      int64
+}
+
+type siteKey struct {
+	loop int
+	ivec string
+	iter int64
+}
+
+type site struct {
+	f    Fault
+	ever bool // fires on every attempt (Times = Forever)
+	left atomic.Int64
+}
+
+// Injector decides, deterministically, which iteration coordinates are
+// faulted. Configure it fully (WithRate/At) before handing it to a run;
+// configuration is not synchronized with Decide. A nil *Injector injects
+// nothing.
+type Injector struct {
+	seed  uint64
+	rates [numKinds]rateSpec
+	sites map[siteKey]*site
+}
+
+// New returns an injector with the given seed. Two injectors with the
+// same seed and configuration make identical decisions.
+func New(seed uint64) *Injector {
+	return &Injector{seed: seed, sites: map[siteKey]*site{}}
+}
+
+// WithRate arms kind at every coordinate whose seeded hash falls below
+// probability p in [0,1]; such sites fire on every attempt (retries see
+// the same fault). cost parameterizes Delay/Spike. Returns the injector
+// for chaining.
+func (in *Injector) WithRate(kind Kind, p float64, cost int64) *Injector {
+	switch {
+	case p <= 0:
+		in.rates[kind] = rateSpec{}
+	case p >= 1:
+		in.rates[kind] = rateSpec{threshold: math.MaxUint64, cost: cost}
+	default:
+		in.rates[kind] = rateSpec{threshold: uint64(p * float64(1<<63) * 2), cost: cost}
+	}
+	return in
+}
+
+// At plants fault f at one coordinate. times is the number of attempts
+// that fire (Forever: every attempt); a transient site with times=n
+// fires on the first n Decide calls for the coordinate and then reports
+// no fault, which models a failure that a retry gets past. Explicit
+// sites take precedence over rates. Returns the injector for chaining.
+func (in *Injector) At(loop int, ivec []int64, iter int64, f Fault, times int64) *Injector {
+	s := &site{f: f, ever: times == Forever}
+	if !s.ever {
+		s.left.Store(times)
+	}
+	in.sites[siteKey{loop: loop, ivec: ivecKey(ivec), iter: iter}] = s
+	return in
+}
+
+// Decide reports the fault to inject at (loop, ivec, iter) for this
+// attempt, consuming transient-site budgets. Safe for concurrent use
+// after configuration is complete.
+func (in *Injector) Decide(loop int, ivec []int64, iter int64) (Fault, bool) {
+	if in == nil {
+		return Fault{}, false
+	}
+	if len(in.sites) > 0 {
+		if s, ok := in.sites[siteKey{loop: loop, ivec: ivecKey(ivec), iter: iter}]; ok {
+			if s.ever || s.left.Add(-1) >= 0 {
+				return s.f, true
+			}
+			return Fault{}, false
+		}
+	}
+	return in.rateDecide(loop, ivec, iter)
+}
+
+// Peek previews the decision at a coordinate without consuming budgets:
+// the fault and the number of attempts it will fire for (Forever for
+// permanent sites and rate hits). The remaining budget of a transient
+// site is reported as it stands.
+func (in *Injector) Peek(loop int, ivec []int64, iter int64) (Fault, int64, bool) {
+	if in == nil {
+		return Fault{}, 0, false
+	}
+	if len(in.sites) > 0 {
+		if s, ok := in.sites[siteKey{loop: loop, ivec: ivecKey(ivec), iter: iter}]; ok {
+			if s.ever {
+				return s.f, Forever, true
+			}
+			left := s.left.Load()
+			if left <= 0 {
+				return Fault{}, 0, false
+			}
+			return s.f, left, true
+		}
+	}
+	f, ok := in.rateDecide(loop, ivec, iter)
+	if !ok {
+		return Fault{}, 0, false
+	}
+	return f, Forever, true
+}
+
+func (in *Injector) rateDecide(loop int, ivec []int64, iter int64) (Fault, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		r := in.rates[k]
+		if r.threshold == 0 {
+			continue
+		}
+		if in.hash(k, loop, ivec, iter) < r.threshold {
+			return Fault{Kind: k, Cost: r.cost}, true
+		}
+	}
+	return Fault{}, false
+}
+
+// hash maps (seed, kind, coordinate) to a uniform uint64 via splitmix64
+// finalization over the folded coordinate. Purely arithmetic: the same
+// inputs hash identically on every engine, schedule and platform.
+func (in *Injector) hash(k Kind, loop int, ivec []int64, iter int64) uint64 {
+	h := in.seed ^ (uint64(k)+1)*0x9e3779b97f4a7c15
+	h = mix(h ^ uint64(loop))
+	for _, v := range ivec {
+		h = mix(h ^ uint64(v))
+	}
+	return mix(h ^ uint64(iter))
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ivecKey folds an index vector into a map key without retaining the
+// caller's slice.
+func ivecKey(ivec []int64) string {
+	if len(ivec) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(ivec)*9)
+	for _, v := range ivec {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+		b = append(b, ':')
+	}
+	return string(b)
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Decide(1, nil, 1); ok {
+		t.Fatal("nil injector decided to inject")
+	}
+	if _, _, ok := in.Peek(1, nil, 1); ok {
+		t.Fatal("nil injector peeked a fault")
+	}
+}
+
+// Rate decisions must be a pure function of (seed, kind, coordinate):
+// the same injector configuration replayed over the same coordinates
+// yields the same fault set, and Peek agrees with Decide.
+func TestRateDeterminism(t *testing.T) {
+	mk := func() *Injector {
+		return New(42).WithRate(Panic, 0.05, 0).WithRate(Delay, 0.10, 7)
+	}
+	a, b := mk(), mk()
+	var hits int
+	for loop := 1; loop <= 3; loop++ {
+		for i := int64(1); i <= 4; i++ {
+			for j := int64(1); j <= 200; j++ {
+				ivec := []int64{i}
+				fa, oka := a.Decide(loop, ivec, j)
+				fb, okb := b.Decide(loop, ivec, j)
+				if oka != okb || fa != fb {
+					t.Fatalf("divergent decision at (%d,%v,%d): %v/%v vs %v/%v", loop, ivec, j, fa, oka, fb, okb)
+				}
+				pf, times, okp := a.Peek(loop, ivec, j)
+				if okp != oka || pf != fa {
+					t.Fatalf("Peek disagrees with Decide at (%d,%v,%d)", loop, ivec, j)
+				}
+				if oka {
+					hits++
+					if times != Forever {
+						t.Fatalf("rate hit reported transient times=%d", times)
+					}
+				}
+			}
+		}
+	}
+	// 2400 coordinates at ~15% combined: expect a healthy nonzero count.
+	if hits < 100 || hits > 800 {
+		t.Fatalf("rate hit count %d outside sanity band", hits)
+	}
+}
+
+// Distinct seeds must decorrelate the fault sets.
+func TestSeedsDecorrelate(t *testing.T) {
+	a := New(1).WithRate(Panic, 0.2, 0)
+	b := New(2).WithRate(Panic, 0.2, 0)
+	same, diff := 0, 0
+	for j := int64(1); j <= 1000; j++ {
+		_, oka := a.Decide(1, nil, j)
+		_, okb := b.Decide(1, nil, j)
+		if oka == okb {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("two seeds produced identical fault sets")
+	}
+}
+
+// The ivec must participate in the coordinate: instances of the same
+// loop at different enclosing indexes fault independently, and folding
+// must not alias ivecs with equal concatenations.
+func TestIVecDistinguishesInstances(t *testing.T) {
+	in := New(7).WithRate(Error, 0.5, 0)
+	var a, b int
+	for j := int64(1); j <= 500; j++ {
+		if _, ok := in.Decide(1, []int64{1, 2}, j); ok {
+			a++
+		}
+		if _, ok := in.Decide(1, []int64{12}, j); ok {
+			b++
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("degenerate hit counts a=%d b=%d", a, b)
+	}
+}
+
+func TestExplicitSitePriorityAndBudget(t *testing.T) {
+	in := New(0).WithRate(Error, 1.0, 0) // every coordinate errors by rate
+	in.At(2, []int64{3}, 5, Fault{Kind: Panic}, 2)
+
+	// The explicit site overrides the rate for its first two attempts...
+	for attempt := 0; attempt < 2; attempt++ {
+		f, ok := in.Decide(2, []int64{3}, 5)
+		if !ok || f.Kind != Panic {
+			t.Fatalf("attempt %d: got %v,%v want explicit panic", attempt, f, ok)
+		}
+	}
+	// ...then its budget is spent: the coordinate succeeds (explicit
+	// sites shadow rates entirely, exhausted or not).
+	if f, ok := in.Decide(2, []int64{3}, 5); ok {
+		t.Fatalf("exhausted site still fired: %v", f)
+	}
+	// Other coordinates still follow the rate.
+	if f, ok := in.Decide(2, []int64{3}, 6); !ok || f.Kind != Error {
+		t.Fatalf("rate coordinate: got %v,%v want error", f, ok)
+	}
+}
+
+func TestPeekDoesNotConsumeBudget(t *testing.T) {
+	in := New(0).At(1, nil, 1, Fault{Kind: Error}, 1)
+	for i := 0; i < 5; i++ {
+		if _, times, ok := in.Peek(1, nil, 1); !ok || times != 1 {
+			t.Fatalf("peek %d: ok=%v times=%d", i, ok, times)
+		}
+	}
+	if _, ok := in.Decide(1, nil, 1); !ok {
+		t.Fatal("budget consumed by Peek")
+	}
+	if _, ok := in.Decide(1, nil, 1); ok {
+		t.Fatal("transient site fired past its budget")
+	}
+	if _, _, ok := in.Peek(1, nil, 1); ok {
+		t.Fatal("Peek reports an exhausted site as armed")
+	}
+}
+
+func TestForeverSiteNeverExhausts(t *testing.T) {
+	in := New(0).At(1, []int64{2}, 3, Fault{Kind: Delay, Cost: 11}, Forever)
+	for i := 0; i < 100; i++ {
+		f, ok := in.Decide(1, []int64{2}, 3)
+		if !ok || f.Kind != Delay || f.Cost != 11 {
+			t.Fatalf("attempt %d: %v,%v", i, f, ok)
+		}
+	}
+}
+
+// Concurrent Decide calls on a transient site must hand out exactly the
+// budgeted number of fires (the kernel's retry path can race workers).
+func TestConcurrentBudgetExactness(t *testing.T) {
+	in := New(0).At(1, nil, 9, Fault{Kind: Panic}, 64)
+	var fired atomic64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, ok := in.Decide(1, nil, 9); ok {
+					fired.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.load(); got != 64 {
+		t.Fatalf("transient site fired %d times, budget 64", got)
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	if !Panic.Failure() || !Error.Failure() {
+		t.Fatal("panic/error must classify as failures")
+	}
+	if Delay.Failure() || Spike.Failure() {
+		t.Fatal("delay/spike must not classify as failures")
+	}
+}
+
+// minimal atomic counter to keep the test dependency-free
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

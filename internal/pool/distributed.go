@@ -2,6 +2,7 @@ package pool
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/machine"
 )
@@ -49,6 +50,7 @@ func (d *Distributed) Append(pr machine.Proc, icb *ICB) {
 		panic(fmt.Sprintf("pool: double append of %v", icb))
 	}
 	icb.inList = true
+	l.n.Add(1)
 	x := l.tail
 	icb.left = x
 	icb.right = nil
@@ -69,6 +71,7 @@ func (d *Distributed) Delete(pr machine.Proc, icb *ICB) {
 		panic(fmt.Sprintf("pool: delete of unlisted %v", icb))
 	}
 	icb.inList = false
+	l.n.Add(-1)
 	y := icb.right
 	x := icb.left
 	if x != nil {
@@ -128,6 +131,19 @@ func (d *Distributed) TryAdopt(pr machine.Proc, i int, needs func(*ICB) bool, bl
 	st.Saturated++
 	l.lock.Unlock(pr)
 	return nil
+}
+
+// DumpState renders per-list occupancy for stuck-run diagnostics; like
+// Pool.DumpState it takes no locks and walks nothing.
+func (d *Distributed) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pool: distributed lists=%d\n", d.procs)
+	for i := range d.lists {
+		if n := d.lists[i].n.Load(); n != 0 {
+			fmt.Fprintf(&b, "  proc-list %d: %d ICB(s)\n", i, n)
+		}
+	}
+	return b.String()
 }
 
 // Empty reports whether every list is empty (quiescence check).

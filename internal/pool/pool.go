@@ -27,6 +27,8 @@ package pool
 
 import (
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/loopir"
@@ -142,6 +144,10 @@ func (b *ICB) Right() *ICB { return b.right }
 type plist struct {
 	lock       *machine.SpinLock
 	head, tail *ICB
+	// n mirrors the list length, maintained host-side under the list
+	// lock but read atomically, so watchdog diagnostics can report
+	// occupancy without walking (or locking) a possibly-wedged list.
+	n atomic.Int64
 }
 
 // Pool is the task pool: nlists parallel linked lists addressed through
@@ -205,6 +211,7 @@ func (p *Pool) Append(pr machine.Proc, icb *ICB) {
 		panic(fmt.Sprintf("pool: double append of %v", icb))
 	}
 	icb.inList = true
+	l.n.Add(1)
 	x := l.tail
 	p.sw.Clear(i)
 	pr.Access(p.swVar)
@@ -233,6 +240,7 @@ func (p *Pool) Delete(pr machine.Proc, icb *ICB) {
 		panic(fmt.Sprintf("pool: delete of unlisted %v", icb))
 	}
 	icb.inList = false
+	l.n.Add(-1)
 	p.sw.Clear(i)
 	pr.Access(p.swVar)
 	y := icb.right
@@ -349,3 +357,18 @@ func (p *Pool) SWString() string { return p.sw.String() }
 
 // Empty reports whether every list is empty (testing/diagnostics).
 func (p *Pool) Empty() bool { return !p.sw.Any() }
+
+// DumpState renders the pool's control word and per-list occupancy for
+// stuck-run diagnostics. It takes no locks and walks no lists — the
+// whole point is that it stays safe when a list lock is wedged — so the
+// figures are each individually atomic, not mutually consistent.
+func (p *Pool) DumpState() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pool: per-loop SW=%s lists=%d\n", p.sw.String(), p.nlists)
+	for i := 1; i <= p.nlists; i++ {
+		if n := p.lists[i].n.Load(); n != 0 {
+			fmt.Fprintf(&b, "  list %d: %d ICB(s)\n", i, n)
+		}
+	}
+	return b.String()
+}

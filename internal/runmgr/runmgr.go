@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -73,15 +74,42 @@ type Config struct {
 	// unbounded. Submissions beyond the cap fail with ErrQueueFull
 	// rather than blocking, so a serving frontend can shed load.
 	QueueLimit int
+	// Watchdog configures the stuck-run watchdog for every executing
+	// run; the zero value disables it.
+	Watchdog Watchdog
+}
+
+// Watchdog configures stuck-run detection. A run is stuck when its
+// job's Heartbeat value has not advanced for a full Interval; the
+// watchdog then captures the job's Diagnose dump, records it on the
+// run (Run.Stuck), fires OnStuck, and — with CancelStuck — cancels the
+// run. A run whose heartbeat later advances is cleared again.
+type Watchdog struct {
+	// Interval is the no-progress window; 0 disables the watchdog.
+	Interval time.Duration
+	// CancelStuck cancels a run once it is declared stuck (after the
+	// diagnostic snapshot is captured).
+	CancelStuck bool
+	// OnStuck, if non-nil, is called (outside manager locks) each time
+	// a run is declared stuck.
+	OnStuck func(r *Run, diagnostic string)
 }
 
 // Job is one unit of work. Run is required; Sample, if non-nil, may be
 // called concurrently at any time to obtain a live progress value (it
 // should return nil until the job has something to report).
+//
+// Heartbeat and Diagnose feed the stuck-run watchdog: Heartbeat returns
+// a monotone progress figure (for scheduling runs, chunks claimed from
+// the obs spine) and Diagnose renders the job's internal state when the
+// figure stops advancing. Both may be nil — a job without a Heartbeat
+// is never declared stuck.
 type Job struct {
-	Label  string
-	Run    func(ctx context.Context) (any, error)
-	Sample func() any
+	Label     string
+	Run       func(ctx context.Context) (any, error)
+	Sample    func() any
+	Heartbeat func() int64
+	Diagnose  func() string
 }
 
 // Manager executes submitted jobs over a bounded worker budget.
@@ -155,19 +183,89 @@ func (m *Manager) dispatchLocked() {
 }
 
 func (m *Manager) exec(r *Run) {
+	stopWatch := m.startWatchdog(r)
 	res, err := func() (res any, err error) {
+		// A panicking job must finalize like any failed run — with the
+		// stack preserved for diagnosis, and with finalizeLocked still
+		// releasing the run's context (cancelCtx) so nothing derived
+		// from it leaks. The goroutine-leak regression test pins this.
 		defer func() {
 			if p := recover(); p != nil {
-				err = fmt.Errorf("runmgr: job panicked: %v", p)
+				err = fmt.Errorf("runmgr: job panicked: %v\n%s", p, debug.Stack())
 			}
 		}()
 		return r.job.Run(r.ctx)
 	}()
+	if stopWatch != nil {
+		stopWatch()
+	}
 	m.mu.Lock()
 	r.finalizeLocked(res, err)
 	m.active--
 	m.dispatchLocked()
 	m.mu.Unlock()
+}
+
+// startWatchdog launches the stuck-run monitor for r, returning a stop
+// function (nil when the watchdog is disabled or the job reports no
+// heartbeat). The monitor polls the job's heartbeat once per quarter
+// interval; when a full interval passes without the figure advancing it
+// declares the run stuck, captures the diagnostic dump, and optionally
+// cancels. Progress after a stuck declaration clears the flag again.
+func (m *Manager) startWatchdog(r *Run) (stop func()) {
+	wd := m.cfg.Watchdog
+	if wd.Interval <= 0 || r.job.Heartbeat == nil {
+		return nil
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := wd.Interval / 4
+		if tick <= 0 {
+			tick = wd.Interval
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := r.job.Heartbeat()
+		lastAdvance := time.Now()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+			}
+			now := r.job.Heartbeat()
+			if now != last {
+				last = now
+				lastAdvance = time.Now()
+				r.setStuck("")
+				continue
+			}
+			if time.Since(lastAdvance) < wd.Interval {
+				continue
+			}
+			if _, already := r.Stuck(); already {
+				continue
+			}
+			diag := fmt.Sprintf("runmgr: run %s (%s) stuck: heartbeat pinned at %d for %v",
+				r.id, r.job.Label, now, wd.Interval)
+			if r.job.Diagnose != nil {
+				diag += "\n" + r.job.Diagnose()
+			}
+			r.setStuck(diag)
+			if wd.OnStuck != nil {
+				wd.OnStuck(r, diag)
+			}
+			if wd.CancelStuck {
+				// The verdict is final: stop monitoring so the heartbeat
+				// blips of the drain itself cannot clear the diagnostic.
+				r.Cancel()
+				return
+			}
+		}
+	}()
+	return func() { close(quit); <-done }
 }
 
 // Stats is a point-in-time census of a manager's runs, for health and
@@ -183,6 +281,8 @@ type Stats struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	// Stalled counts live runs the watchdog currently declares stuck.
+	Stalled int `json:"stalled"`
 	// MaxConcurrent echoes the configured worker budget.
 	MaxConcurrent int `json:"max_concurrent"`
 	// Closed reports whether the manager has stopped accepting work.
@@ -199,6 +299,9 @@ func (m *Manager) Stats() Stats {
 		Closed:        m.closed,
 	}
 	for _, r := range m.runs {
+		if r.stuck != "" && !r.state.Terminal() {
+			st.Stalled++
+		}
 		switch r.state {
 		case StateQueued:
 			st.QueueDepth++
@@ -279,6 +382,30 @@ type Run struct {
 	finished  time.Time
 	result    any
 	err       error
+	// stuck is the watchdog's diagnostic dump while the run is declared
+	// stuck ("" otherwise); stuckAt is when it was declared.
+	stuck   string
+	stuckAt time.Time
+}
+
+// setStuck records or clears ("" clears) the watchdog's verdict.
+func (r *Run) setStuck(diag string) {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	if diag == "" {
+		r.stuck, r.stuckAt = "", time.Time{}
+		return
+	}
+	r.stuck, r.stuckAt = diag, time.Now()
+}
+
+// Stuck returns the watchdog's diagnostic dump and whether the run is
+// currently declared stuck. A run that resumed progress (or was never
+// watched) reports false.
+func (r *Run) Stuck() (diagnostic string, stuck bool) {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	return r.stuck, r.stuck != ""
 }
 
 // finalizeLocked records the outcome and marks the run terminal.

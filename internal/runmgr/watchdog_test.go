@@ -1,0 +1,232 @@
+package runmgr
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPanickedJobReleasesEverything is the panic-path regression test:
+// a panicking job must finalize as failed with its context cancelled
+// (nothing derived from it may leak) and the panic stack preserved.
+func TestPanickedJobReleasesEverything(t *testing.T) {
+	m := New(Config{MaxConcurrent: 2})
+	before := runtime.NumGoroutine()
+
+	var leaked atomic.Int32
+	for i := 0; i < 8; i++ {
+		r, err := m.Submit(Job{
+			Label: "panicker",
+			Run: func(ctx context.Context) (any, error) {
+				// A goroutine tied to the run's context: it must be
+				// released when the panicking run finalizes.
+				leaked.Add(1)
+				go func() {
+					<-ctx.Done()
+					leaked.Add(-1)
+				}()
+				panic("job exploded")
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Wait(context.Background()); err == nil {
+			t.Fatal("panicked job reported success")
+		} else {
+			if !strings.Contains(err.Error(), "job panicked") {
+				t.Fatalf("err = %v", err)
+			}
+			if !strings.Contains(err.Error(), "watchdog_test.go") && !strings.Contains(err.Error(), "goroutine") {
+				t.Errorf("panic error lacks a stack trace: %v", err)
+			}
+		}
+		if r.State() != StateFailed {
+			t.Fatalf("state = %v, want failed", r.State())
+		}
+		if r.ctx.Err() == nil {
+			t.Fatal("panicked run's context never cancelled (cancel func leaked)")
+		}
+	}
+
+	// Every context-bound goroutine must unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for leaked.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := leaked.Load(); n != 0 {
+		t.Fatalf("%d context-bound goroutines still alive after panic finalization", n)
+	}
+	for i := 0; ; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 200 {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchdogDeclaresStuckRun: a job that stops advancing its
+// heartbeat is declared stuck, its Diagnose dump is captured, and with
+// CancelStuck the run is cancelled.
+func TestWatchdogDeclaresStuckRun(t *testing.T) {
+	var stuckRuns atomic.Int32
+	m := New(Config{
+		MaxConcurrent: 1,
+		Watchdog: Watchdog{
+			Interval:    50 * time.Millisecond,
+			CancelStuck: true,
+			OnStuck:     func(*Run, string) { stuckRuns.Add(1) },
+		},
+	})
+	r, err := m.Submit(Job{
+		Label:     "wedged",
+		Run:       func(ctx context.Context) (any, error) { <-ctx.Done(); return nil, ctx.Err() },
+		Heartbeat: func() int64 { return 42 }, // never advances
+		Diagnose:  func() string { return "SW=0001 list 1: 3 ICB(s)" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := r.Wait(ctx); err == nil {
+		t.Fatal("stuck run finished without error")
+	}
+	if r.State() != StateCancelled {
+		t.Fatalf("state = %v, want cancelled by watchdog", r.State())
+	}
+	diag, stuck := r.Stuck()
+	if !stuck {
+		t.Fatal("run not marked stuck")
+	}
+	for _, want := range []string{"heartbeat pinned at 42", "SW=0001"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, diag)
+		}
+	}
+	if stuckRuns.Load() == 0 {
+		t.Error("OnStuck never fired")
+	}
+	if st := m.Stats(); st.Stalled != 0 {
+		// terminal runs no longer count as stalled
+		t.Errorf("Stalled = %d after cancellation, want 0", st.Stalled)
+	}
+}
+
+// TestWatchdogClearsOnProgress: a slow-but-alive run must not stay
+// declared stuck once its heartbeat advances again.
+func TestWatchdogClearsOnProgress(t *testing.T) {
+	var beat atomic.Int64
+	release := make(chan struct{})
+	m := New(Config{
+		MaxConcurrent: 1,
+		Watchdog:      Watchdog{Interval: 40 * time.Millisecond}, // no cancel
+	})
+	r, err := m.Submit(Job{
+		Label:     "slow",
+		Run:       func(ctx context.Context) (any, error) { <-release; return "ok", nil },
+		Heartbeat: beat.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the watchdog declare the run stuck...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, stuck := r.Stuck(); stuck {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never declared the pinned run stuck")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := m.Stats(); st.Stalled != 1 {
+		t.Errorf("Stalled = %d, want 1", st.Stalled)
+	}
+	// ...then resume progress and watch the verdict clear.
+	beat.Add(1)
+	for {
+		if _, stuck := r.Stuck(); !stuck {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stuck verdict never cleared after progress resumed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	if _, err := r.Wait(context.Background()); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+// TestWatchdogDisabledWithoutHeartbeat: jobs without a heartbeat are
+// never declared stuck, whatever the interval.
+func TestWatchdogDisabledWithoutHeartbeat(t *testing.T) {
+	m := New(Config{
+		MaxConcurrent: 1,
+		Watchdog:      Watchdog{Interval: 10 * time.Millisecond, CancelStuck: true},
+	})
+	r, err := m.Submit(Job{
+		Label: "no-heartbeat",
+		Run: func(ctx context.Context) (any, error) {
+			select {
+			case <-time.After(100 * time.Millisecond):
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Wait(context.Background())
+	if err != nil || res != "ok" {
+		t.Fatalf("heartbeat-less job was disturbed: %v, %v", res, err)
+	}
+}
+
+// TestWatchdogStopsWithRun: the monitor goroutine must not outlive its
+// run (leak check across many short runs).
+func TestWatchdogStopsWithRun(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := New(Config{
+		MaxConcurrent: 4,
+		Watchdog:      Watchdog{Interval: 20 * time.Millisecond},
+	})
+	for i := 0; i < 16; i++ {
+		r, err := m.Submit(Job{
+			Run:       func(ctx context.Context) (any, error) { return i, nil },
+			Heartbeat: func() int64 { return int64(i) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; ; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 200 {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("watchdog goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -26,6 +26,12 @@ var (
 	// deprecated SingleListPool flag set together with a Pool value that
 	// selects anything other than the single shared list.
 	ErrPoolConflict = errors.New("repro: conflicting task-pool options")
+	// ErrBadFailure reports an Options.Failure outside
+	// KnownFailurePolicies.
+	ErrBadFailure = errors.New("repro: unknown failure policy")
+	// ErrBadRetry reports a negative Options.RetryAttempts or
+	// Options.RetryBackoff.
+	ErrBadRetry = errors.New("repro: negative retry configuration")
 )
 
 // KnownEngines lists the accepted Options.Engine values.
@@ -36,6 +42,10 @@ func KnownEngines() []string {
 // KnownPools lists the accepted Options.Pool values (the empty string
 // defaults to "per-loop").
 func KnownPools() []string { return core.PoolNames() }
+
+// KnownFailurePolicies lists the accepted Options.Failure values (the
+// empty string defaults to fail-fast).
+func KnownFailurePolicies() []string { return core.FailurePolicyNames() }
 
 // KnownSchemes lists the accepted Options.Scheme specifications
 // (uppercase letters stand for integer parameters).
@@ -57,6 +67,8 @@ type resolved struct {
 	procs    int
 	scheme   lowsched.Scheme
 	pool     core.PoolKind
+	failure  core.FailurePolicy
+	retry    core.Retry
 	mkEngine func(*machine.Interrupt) machine.Engine
 }
 
@@ -93,6 +105,17 @@ func (o Options) resolve() (resolved, error) {
 		}
 		r.pool = kind
 	}
+
+	failure, err := core.ParseFailurePolicy(o.Failure)
+	if err != nil {
+		return r, fmt.Errorf("%w: %q", ErrBadFailure, o.Failure)
+	}
+	r.failure = failure
+	if o.RetryAttempts < 0 || o.RetryBackoff < 0 {
+		return r, fmt.Errorf("%w: attempts %d, backoff %d",
+			ErrBadRetry, o.RetryAttempts, o.RetryBackoff)
+	}
+	r.retry = core.Retry{Attempts: o.RetryAttempts, Backoff: o.RetryBackoff}
 
 	p := r.procs
 	switch o.Engine {

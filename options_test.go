@@ -19,6 +19,9 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"unknown pool", Options{Pool: "heap"}, ErrUnknownPool},
 		{"pool conflict", Options{SingleListPool: true, Pool: "distributed"}, ErrPoolConflict},
 		{"pool conflict per-loop", Options{SingleListPool: true, Pool: "per-loop"}, ErrPoolConflict},
+		{"bad failure policy", Options{Failure: "best-effort"}, ErrBadFailure},
+		{"negative retry attempts", Options{RetryAttempts: -1}, ErrBadRetry},
+		{"negative retry backoff", Options{RetryBackoff: -5}, ErrBadRetry},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -37,11 +40,50 @@ func TestValidateAccepts(t *testing.T) {
 		{SingleListPool: true},                 // deprecated flag alone
 		{SingleListPool: true, Pool: "single"}, // agreeing settings
 		{Scheme: "tss:100:1", Pool: "per-loop"},
+		{Failure: "failfast"},
+		{Failure: "fail-fast"},
+		{Failure: "isolate", RetryAttempts: 3, RetryBackoff: 50},
+		{Diagnostics: true},
 	}
 	for _, o := range ok {
 		if err := o.Validate(); err != nil {
 			t.Errorf("Validate(%+v) = %v, want nil", o, err)
 		}
+	}
+	for _, p := range KnownFailurePolicies() {
+		if err := (Options{Failure: p}).Validate(); err != nil {
+			t.Errorf("Validate(Failure=%q) = %v, want nil", p, err)
+		}
+	}
+}
+
+// TestIsolateThroughPublicAPI pins the end-to-end partial-failure
+// surface: a panicking body under Failure="isolate" quarantines its
+// iteration, the run completes, and the result names the failure.
+func TestIsolateThroughPublicAPI(t *testing.T) {
+	nest := MustBuild(func(b *B) {
+		b.DoallLeaf("L", Const(80), func(e Env, iv IVec, j int64) {
+			if j == 13 || j == 14 {
+				panic("unlucky")
+			}
+			e.Work(10)
+		})
+	})
+	res, err := Execute(nest, Options{Procs: 4, Failure: "isolate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 78 || res.Stats.FailedIterations != 2 {
+		t.Fatalf("iterations = %d failed = %d, want 78/2",
+			res.Stats.Iterations, res.Stats.FailedIterations)
+	}
+	rep := res.Stats.Failures
+	if rep == nil || len(rep.Ranges) != 1 || rep.Ranges[0].Lo != 13 || rep.Ranges[0].Hi != 14 {
+		t.Fatalf("failure report = %v, want one range covering 13-14", rep)
+	}
+	// The same body under the default fail-fast policy aborts the run.
+	if _, err := Execute(nest, Options{Procs: 4}); err == nil {
+		t.Fatal("fail-fast run with a panicking body reported success")
 	}
 }
 

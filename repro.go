@@ -229,6 +229,26 @@ type Options struct {
 	// stream progress (iterations grabbed, instances completed, live
 	// scheduling efficiency) while the run is in flight.
 	Observe func(Live)
+	// Failure selects the partial-failure policy: "" or "failfast" /
+	// "fail-fast" (first body failure aborts the run) or "isolate"
+	// (failing iterations are quarantined and reported in
+	// Result.Stats.Failures while the rest of the nest completes).
+	// KnownFailurePolicies lists every accepted spelling. Verify cannot
+	// observe exactly-once execution for quarantined iterations, so a
+	// verifying run should not expect body failures.
+	Failure string
+	// RetryAttempts is the number of extra attempts the isolate policy
+	// gives a failing iteration before quarantining it (default 0: no
+	// retry).
+	RetryAttempts int
+	// RetryBackoff is the idle time (engine cost units) charged before
+	// the first retry; it doubles on each subsequent attempt.
+	RetryBackoff int64
+	// Diagnostics enables live-instance tracking so the probe handed to
+	// Observe can render a scheduling-state dump (core.Diagnoser); run
+	// managers use it for stuck-run watchdog reports. It adds a small
+	// host-side bookkeeping cost per instance activation.
+	Diagnostics bool
 }
 
 // Live is a concurrency-safe view into a running execution, handed to
@@ -327,6 +347,9 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		DispatchCost: opts.DispatchCost,
 		Interrupt:    intr,
 		OnStart:      opts.Observe,
+		Failure:      rs.failure,
+		Retry:        rs.retry,
+		Diagnostics:  opts.Diagnostics,
 	})
 	if err != nil {
 		return nil, err

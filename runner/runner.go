@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/runmgr"
 )
@@ -66,6 +67,26 @@ type Config struct {
 	// and live census gauges. Callers render them with
 	// Registry.WriteProm (loopschedd's GET /metrics does).
 	Metrics *obs.Registry
+	// Watchdog configures the stuck-run watchdog; the zero value
+	// disables it. When enabled, every submission is executed with
+	// Diagnostics on so a stuck run's report carries the executor's
+	// scheduling-state dump.
+	Watchdog WatchdogConfig
+}
+
+// WatchdogConfig configures stuck-run detection for every submitted
+// run. A run is stuck when no scheduling progress (instances activated
+// or exited, chunks claimed, iterations executed) has been observed for
+// a full Interval; the diagnostic dump is then recorded on the run
+// (Progress.Stuck), OnStuck fires, and — with CancelStuck — the run is
+// cancelled like any other cancellation.
+type WatchdogConfig struct {
+	// Interval is the no-progress window; 0 disables the watchdog.
+	Interval time.Duration
+	// CancelStuck cancels a run once it is declared stuck.
+	CancelStuck bool
+	// OnStuck, if non-nil, is called each time a run is declared stuck.
+	OnStuck func(id, label, diagnostic string)
 }
 
 // Submission is one run request.
@@ -100,6 +121,12 @@ type Progress struct {
 	// Efficiency is live body time over accounted processor time — the
 	// streaming counterpart of Result.Utilization.
 	Efficiency float64 `json:"efficiency"`
+	// FailedIterations counts iterations quarantined under the isolate
+	// failure policy.
+	FailedIterations int64 `json:"failed_iterations,omitempty"`
+	// Stuck carries the watchdog's diagnostic dump while the run is
+	// declared stuck (and, for a run the watchdog cancelled, after it).
+	Stuck string `json:"stuck,omitempty"`
 	// Error is the failure cause once the run is terminal and not done.
 	Error string `json:"error,omitempty"`
 }
@@ -107,9 +134,10 @@ type Progress struct {
 // Runner executes submitted programs concurrently over a bounded
 // worker budget.
 type Runner struct {
-	mgr    *runmgr.Manager
-	sample time.Duration
-	met    *metrics
+	mgr      *runmgr.Manager
+	sample   time.Duration
+	met      *metrics
+	watchdog WatchdogConfig
 
 	mu   sync.Mutex
 	byID map[string]*Run
@@ -176,13 +204,25 @@ func New(cfg Config) *Runner {
 	if cfg.SampleInterval <= 0 {
 		cfg.SampleInterval = 50 * time.Millisecond
 	}
+	wd := runmgr.Watchdog{
+		Interval:    cfg.Watchdog.Interval,
+		CancelStuck: cfg.Watchdog.CancelStuck,
+	}
+	if cfg.Watchdog.OnStuck != nil {
+		onStuck := cfg.Watchdog.OnStuck
+		wd.OnStuck = func(r *runmgr.Run, diagnostic string) {
+			onStuck(r.ID(), r.Label(), diagnostic)
+		}
+	}
 	rn := &Runner{
 		mgr: runmgr.New(runmgr.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			QueueLimit:    cfg.QueueLimit,
+			Watchdog:      wd,
 		}),
-		sample: cfg.SampleInterval,
-		byID:   map[string]*Run{},
+		sample:   cfg.SampleInterval,
+		watchdog: cfg.Watchdog,
+		byID:     map[string]*Run{},
 	}
 	if cfg.Metrics != nil {
 		rn.met = newMetrics(cfg.Metrics)
@@ -214,7 +254,7 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			userObserve(lv)
 		}
 	}
-	h, err := rn.mgr.Submit(runmgr.Job{
+	job := runmgr.Job{
 		Label: sub.Label,
 		Run: func(ctx context.Context) (any, error) {
 			if sub.Timeout > 0 {
@@ -232,7 +272,31 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			}
 			return nil
 		},
-	})
+	}
+	if rn.watchdog.Interval > 0 {
+		// A stuck-run report is only useful with the executor's
+		// scheduling-state dump, so watched runs track live instances.
+		opts.Diagnostics = true
+		job.Heartbeat = func() int64 {
+			lv := r.probe.Load()
+			if lv == nil {
+				return 0
+			}
+			sn := (*lv).LiveStats()
+			// Any scheduling progress counts: a long-running chunk still
+			// advances Iterations, a drain still advances Exits.
+			return sn.Instances + sn.Exits + sn.Chunks + sn.Iterations
+		}
+		job.Diagnose = func() string {
+			if lv := r.probe.Load(); lv != nil {
+				if d, ok := (*lv).(core.Diagnoser); ok {
+					return d.Diagnose()
+				}
+			}
+			return "(no probe: run not started)"
+		}
+	}
+	h, err := rn.mgr.Submit(job)
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +409,10 @@ func (r *Run) Progress() Progress {
 		p.Iterations = sn.Iterations
 		p.Chunks = sn.Chunks
 		p.Efficiency = sn.Efficiency()
+		p.FailedIterations = sn.FailedIterations
+	}
+	if diag, stuck := r.h.Stuck(); stuck {
+		p.Stuck = diag
 	}
 	if st.Terminal() && st != StateDone {
 		if _, err := r.h.Result(); err != nil {

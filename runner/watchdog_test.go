@@ -1,0 +1,167 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestWatchdogReportsStuckRun: a run whose iteration bodies block stops
+// advancing the heartbeat; the watchdog must surface a diagnostic that
+// includes the executor's scheduling-state dump (Diagnostics is wired
+// in automatically), and the run must still complete once unblocked.
+func TestWatchdogReportsStuckRun(t *testing.T) {
+	var mu sync.Mutex
+	var stuckIDs []string
+	rn := New(Config{
+		MaxConcurrent: 1,
+		Watchdog: WatchdogConfig{
+			Interval: 60 * time.Millisecond,
+			OnStuck: func(id, label, diagnostic string) {
+				mu.Lock()
+				stuckIDs = append(stuckIDs, id+"/"+label)
+				mu.Unlock()
+			},
+		},
+	})
+	defer rn.Close()
+
+	gate := make(chan struct{})
+	r, err := rn.Submit(Submission{
+		Program: gatedProgram(t, 50, gate),
+		Options: repro.Options{Procs: 2, Engine: repro.EngineReal},
+		Label:   "wedged",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for r.Progress().Stuck == "" {
+		select {
+		case <-deadline:
+			t.Fatalf("watchdog never declared the gated run stuck: %+v", r.Progress())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	diag := r.Progress().Stuck
+	for _, want := range []string{"heartbeat pinned", "core: done=false", "proc 0:"} {
+		if !strings.Contains(diag, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, diag)
+		}
+	}
+	mu.Lock()
+	if len(stuckIDs) == 0 || !strings.Contains(stuckIDs[0], "wedged") {
+		t.Errorf("OnStuck calls = %v, want one for the wedged run", stuckIDs)
+	}
+	mu.Unlock()
+
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := r.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 50 {
+		t.Errorf("iterations = %d, want 50", res.Stats.Iterations)
+	}
+}
+
+// TestWatchdogCancelsStuckRun: with CancelStuck the watchdog trips the
+// run's interrupt; once the bodies unblock the run drains out as
+// cancelled.
+func TestWatchdogCancelsStuckRun(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	rn := New(Config{
+		MaxConcurrent: 1,
+		Watchdog: WatchdogConfig{
+			Interval:    60 * time.Millisecond,
+			CancelStuck: true,
+			// Unblocking on the stuck verdict stands in for an operator
+			// clearing the external resource the run was wedged on.
+			OnStuck: func(_, _, _ string) { once.Do(func() { close(gate) }) },
+		},
+	})
+	defer rn.Close()
+
+	r, err := rn.Submit(Submission{
+		Program: gatedProgram(t, 1<<40, gate),
+		Options: repro.Options{Procs: 2, Engine: repro.EngineReal},
+		Label:   "doomed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := r.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := r.State(); st != StateCancelled {
+		t.Errorf("state = %v, want cancelled", st)
+	}
+	if p := r.Progress(); p.Stuck == "" {
+		t.Error("terminal progress of a watchdog-cancelled run lost its diagnostic")
+	}
+}
+
+// TestProgressReportsFailedIterations: quarantined iterations surface
+// both in the final Result's failure report and in Progress snapshots.
+func TestProgressReportsFailedIterations(t *testing.T) {
+	nest := repro.MustBuild(func(b *repro.B) {
+		b.DoallLeaf("F", repro.Const(40), func(e repro.Env, iv repro.IVec, j int64) {
+			if j == 7 {
+				panic("iteration 7 is cursed")
+			}
+			e.Work(10)
+		})
+	})
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := New(Config{MaxConcurrent: 1})
+	defer rn.Close()
+	r, err := rn.Submit(Submission{
+		Program: prog,
+		Options: repro.Options{Procs: 2, Failure: "isolate"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := r.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 39 || res.Stats.FailedIterations != 1 {
+		t.Errorf("iterations = %d failed = %d, want 39/1",
+			res.Stats.Iterations, res.Stats.FailedIterations)
+	}
+	rep := res.Stats.Failures
+	if rep == nil || len(rep.Ranges) != 1 || rep.Ranges[0].Lo != 7 || rep.Ranges[0].Hi != 7 {
+		t.Fatalf("failure report = %v, want the single quarantined iteration 7", rep)
+	}
+	if !strings.Contains(rep.Ranges[0].Err, "cursed") {
+		t.Errorf("range error %q lost the body's panic value", rep.Ranges[0].Err)
+	}
+	if p := r.Progress(); p.FailedIterations != 1 {
+		t.Errorf("Progress().FailedIterations = %d, want 1", p.FailedIterations)
+	}
+	// A failure policy the options layer does not know is rejected with
+	// the sentinel before anything is enqueued.
+	if _, err := rn.Submit(Submission{
+		Program: prog,
+		Options: repro.Options{Failure: "best-effort"},
+	}); !errors.Is(err, repro.ErrBadFailure) {
+		t.Errorf("Submit(best-effort) err = %v, want ErrBadFailure", err)
+	}
+}
