@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt
 
 build:
 	$(GO) build ./...
@@ -67,3 +67,18 @@ verify-chaos:
 	$(GO) test -race -shuffle=on ./internal/enginetest/ ./internal/core/ ./internal/fault/ ./internal/runmgr/ ./runner/
 	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_chaos.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_chaos.json
+
+# verify-adapt gates the adaptive-scheduling surface: the auto policy
+# passes the full engine conformance matrix and the adapt fitter/
+# integration suite under the race detector with shuffled order; the
+# benchkit irregular family holds auto within 10% of the best static
+# scheme and strictly better than the worst
+# (TestIrregularFamilyGatesAuto); and a combined irregular + classic
+# virtual slice is compared against the committed baseline — adaptive
+# scenarios are exempt from cross-file bit-identity (the fitter
+# trajectory is the algorithm under development), the static virtual
+# scenarios are not.
+verify-adapt:
+	$(GO) test -race -shuffle=on ./internal/enginetest/ ./internal/adapt/ ./internal/benchkit/
+	$(GO) run ./cmd/benchsuite run -filter '^(irregular/|(flat/(ss|gss)|many/ss)/virtual$$)' -reps 2 -o /tmp/BENCH_adapt.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_adapt.json

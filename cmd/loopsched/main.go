@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lang"
 	"repro/internal/loopir"
+	"repro/internal/lowsched"
 	"repro/internal/workload"
 )
 
@@ -97,13 +98,13 @@ func run(args []string, out io.Writer) error {
 		name        = fs.String("workload", "fig1", "workload name (see -list)")
 		file        = fs.String("file", "", "run a mini-language program file instead of a built-in workload")
 		list        = fs.Bool("list", false, "list workloads and exit")
+		listSchemes = fs.Bool("list-schemes", false, "list scheduling schemes and exit")
 		procs       = fs.Int("procs", 8, "processor count")
-		scheme      = fs.String("scheme", "ss", "low-level scheme: ss, css:K, gss, tss[:F:L], fsc")
+		scheme      = fs.String("scheme", "ss", "low-level scheme (see -list-schemes)")
 		engine      = fs.String("engine", "virtual", "engine: virtual, real, real-spin")
 		access      = fs.Int64("access", 10, "virtual machine synchronization access cost")
 		combining   = fs.Bool("combining", false, "enable combining fetch-and-add")
 		remote      = fs.Int64("remote", 0, "NUMA remote-access penalty (virtual engine)")
-		singleList  = fs.Bool("single-list", false, "deprecated: same as -pool single")
 		poolKind    = fs.String("pool", "per-loop", "task pool: "+strings.Join(repro.KnownPools(), ", "))
 		dispatch    = fs.Int64("dispatch", 0, "per-task OS dispatch cost (baseline)")
 		timeout     = fs.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = none)")
@@ -132,6 +133,14 @@ func run(args []string, out io.Writer) error {
 		tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
 		for _, k := range names {
 			fmt.Fprintf(tw, "%s\t%s\n", k, workloads[k].desc)
+		}
+		tw.Flush()
+		return nil
+	}
+	if *listSchemes {
+		tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+		for _, d := range lowsched.Defs() {
+			fmt.Fprintf(tw, "%s\t%s\n", strings.Join(d.Forms(), ", "), d.Help)
 		}
 		tw.Flush()
 		return nil
@@ -174,18 +183,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%s\n", prog.InstrumentationListing())
 	}
 
-	// -single-list predates -pool; translate it so Options.Pool stays the
-	// single source of truth. Any spelling of the single-list or default
-	// per-loop pool is compatible (the spellings come from the same table
-	// as repro.KnownPools); anything else contradicts the flag.
 	pool := *poolKind
-	if *singleList {
-		kind, err := core.ParsePool(pool)
-		if err != nil || (kind != core.PoolSingleList && kind != core.PoolPerLoop) {
-			return fmt.Errorf("-single-list (deprecated) contradicts -pool %s; drop -single-list", pool)
-		}
-		pool = "single"
-	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -249,6 +247,9 @@ func run(args []string, out io.Writer) error {
 		s.O1Time, s.O2Time, s.O3Time, s.DispatchTime)
 	fmt.Fprintf(out, "pool         sweeps %d  walked %d  lock-failures %d  retests %d  saturated %d\n",
 		s.Search.Sweeps, s.Search.Walked, s.Search.LockFailures, s.Search.Retests, s.Search.Saturated)
+	if s.AdaptFits > 0 || s.AdaptSwitches > 0 {
+		fmt.Fprintf(out, "adaptive     fits %d  switches %d\n", s.AdaptFits, s.AdaptSwitches)
+	}
 	if *verify {
 		fmt.Fprintln(out, "verify       OK (exactly-once execution, macro-dataflow precedence)")
 	}

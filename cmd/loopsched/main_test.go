@@ -97,7 +97,7 @@ func TestErrorsListValidValues(t *testing.T) {
 		args []string
 		want string
 	}{
-		{[]string{"-workload", "flat", "-scheme", "bogus"}, "valid schemes: ss, css:K"},
+		{[]string{"-workload", "flat", "-scheme", "bogus"}, "valid schemes: ss, sdss, css:K"},
 		{[]string{"-workload", "flat", "-engine", "abacus"}, "valid engines: virtual, real"},
 		{[]string{"-workload", "flat", "-pool", "heap"}, "valid pools: per-loop, single"},
 	}
@@ -110,18 +110,34 @@ func TestErrorsListValidValues(t *testing.T) {
 	}
 }
 
-func TestSingleListFlagTranslates(t *testing.T) {
-	out := runCLI(t, "-workload", "flat", "-procs", "2", "-single-list", "-json")
+func TestSingleListPoolFlag(t *testing.T) {
+	out := runCLI(t, "-workload", "flat", "-procs", "2", "-pool", "single-list", "-json")
 	var payload map[string]any
 	if err := json.Unmarshal([]byte(out), &payload); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, out)
 	}
-	if payload["pool"] != "single" {
-		t.Errorf("pool = %v, want single", payload["pool"])
+	if payload["pool"] != "single-list" {
+		t.Errorf("pool = %v, want single-list", payload["pool"])
 	}
-	var buf bytes.Buffer
-	if err := run([]string{"-workload", "flat", "-single-list", "-pool", "distributed"}, &buf); err == nil {
-		t.Error("contradictory -single-list -pool distributed accepted")
+}
+
+func TestListSchemesFromRegistry(t *testing.T) {
+	out := runCLI(t, "-list-schemes")
+	for _, want := range []string{"ss", "css:K", "tss, tss:F:L", "fac2", "af, af:CV",
+		"tfss, tfss:F:L", "auto"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-schemes output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdaptiveSchemeRuns(t *testing.T) {
+	out := runCLI(t, "-workload", "many", "-procs", "4", "-scheme", "auto", "-access", "15")
+	if !strings.Contains(out, "scheme       auto") {
+		t.Errorf("output lacks the auto scheme line:\n%s", out)
+	}
+	if !strings.Contains(out, "adaptive     fits") {
+		t.Errorf("auto run printed no adaptive trajectory line:\n%s", out)
 	}
 }
 

@@ -316,6 +316,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE runner_runs_submitted_total counter",
 		"# TYPE runner_iterations_total counter",
+		"# TYPE runner_adapt_fits_total counter",
+		"# TYPE runner_adapt_switches_total counter",
 		"# TYPE runner_queue_depth gauge",
 		"# TYPE loopschedd_uptime_seconds gauge",
 		"runner_runs_done_total 0",
@@ -344,5 +346,25 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(body, "runner_iterations_total 500") {
 		t.Errorf("iterations counter missing 500:\n%s", body)
+	}
+
+	// An adaptive run must surface its trajectory through the adapt
+	// counters (many instances so the policy refits).
+	postJSON(t, ts.URL+"/v1/runs",
+		`{"program": "serial K = 1..8 { doall I = 1..512 { work 10 } }",
+		  "options": {"procs": 4, "scheme": "auto", "access_cost": 15}}`)
+	for {
+		body = fetch()
+		if strings.Contains(body, "runner_runs_done_total 2") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("adaptive run never finished:\n%s", body)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if strings.Contains(body, "runner_adapt_fits_total 0\n") {
+		t.Errorf("adaptive run left runner_adapt_fits_total at 0:\n%s", body)
 	}
 }

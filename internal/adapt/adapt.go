@@ -1,0 +1,190 @@
+// Package adapt implements the "auto" low-level scheme: an online
+// adaptive policy that measures a run's O1/O2/body-time decomposition
+// through the obs spine, fits the paper's eq. (2) utilization model
+// between loop instances, and re-binds the active chunk calculator when
+// the model predicts a clearly better one (with hysteresis, so the
+// choice converges instead of thrashing).
+//
+// The package slots into the existing seams without touching the kernel:
+//
+//   - it registers "auto" in the lowsched scheme registry, so Parse,
+//     KnownSchemes and the CLIs pick it up like any built-in;
+//   - Auto is a lowsched.PolicyScheme — every run gets a fresh policy
+//     with its own fitter state, so concurrent runs never share history;
+//   - the policy is a lowsched.RuntimeBinder — the executor hands it a
+//     sampler over the run's stats spine plus an event sink that makes
+//     the adaptation trajectory observable (adapt_fits/adapt_switches
+//     counters, Snapshot, /metrics);
+//   - regimes are pinned per instance through the ICB's typed Sched
+//     attachment: an instance finishes under the calculator it started
+//     with (cursor encodings differ between calculators), while the
+//     next activation picks up the latest choice.
+//
+// Candidate schemes are cursor (ChunkCalculator) schemes only — never
+// the static pre-assignments — so an auto run is always legal where any
+// dynamic scheme is, Doacross included.
+package adapt
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+func init() {
+	lowsched.Register(lowsched.SchemeDef{
+		Name: "auto",
+		Help: "adaptive: fits the eq. (2) utilization model online, switches schemes between instances",
+		New:  func([]int64) (lowsched.Scheme, error) { return Auto{}, nil },
+	})
+}
+
+// initialSpec is the regime before any measurement exists: GSS, the
+// robust all-rounder (decreasing chunks bound both the claim count and
+// the trailing imbalance without knowing tau or O1).
+const initialSpec = "gss"
+
+// Auto is the adaptive scheme. The value itself is stateless — all
+// mutable state lives in the per-run policy NewPolicy constructs.
+type Auto struct{}
+
+// Name returns "auto".
+func (Auto) Name() string { return "auto" }
+
+// Spec returns "auto".
+func (Auto) Spec() string { return "auto" }
+
+// NewPolicy returns a fresh adaptive policy bound to the machine size
+// (lowsched.PolicyScheme).
+func (Auto) NewPolicy(nprocs int) lowsched.Policy { return newPolicy(nprocs) }
+
+// regime is one immutable (policy, spec) pairing; switching regimes
+// swaps the whole pair atomically.
+type regime struct {
+	pol  lowsched.Policy
+	spec string
+}
+
+// autoState is the per-instance Sched attachment pinning the regime the
+// instance activated under: claims always go through the pinned regime,
+// so an in-flight instance never sees its cursor reinterpreted by a
+// different calculator.
+type autoState struct {
+	r *regime
+}
+
+// SchemeName marks the state as auto-owned (pool.SchedState).
+func (*autoState) SchemeName() string { return "auto" }
+
+// policy is the per-run adaptive policy. The claim path (Next) is a
+// single pointer chase over the pinned regime; all fitting happens on
+// the instance-activation path (Init), serialized by mu.
+type policy struct {
+	nprocs int
+	rt     lowsched.Runtime
+
+	mu  sync.Mutex // guards fit
+	fit fitter
+
+	reg atomic.Pointer[regime]
+}
+
+func newPolicy(nprocs int) *policy {
+	p := &policy{nprocs: nprocs, fit: fitter{procs: nprocs, incumbent: initialSpec}}
+	p.reg.Store(&regime{pol: lowsched.Bind(lowsched.MustParse(initialSpec), nprocs), spec: initialSpec})
+	return p
+}
+
+// Name returns "auto".
+func (p *policy) Name() string { return "auto" }
+
+// BindRuntime accepts the executor's measurement surface
+// (lowsched.RuntimeBinder); called once per run before workers start.
+// Without it (direct Bind in unit tests) the policy stays on the
+// initial regime.
+func (p *policy) BindRuntime(rt lowsched.Runtime) { p.rt = rt }
+
+// Init refits the model if enough fresh measurement accumulated, then
+// pins the current regime to the instance and delegates to it.
+func (p *policy) Init(pr machine.Proc, icb *pool.ICB) {
+	p.maybeRefit()
+	r := p.reg.Load()
+	if st, ok := icb.Sched.(*autoState); ok {
+		st.r = r
+	} else {
+		icb.Sched = &autoState{r: r}
+	}
+	r.pol.Init(pr, icb)
+}
+
+// Next claims through the regime the instance was pinned to.
+func (p *policy) Next(pr machine.Proc, icb *pool.ICB) (lowsched.Assignment, bool, bool) {
+	return icb.Sched.(*autoState).r.pol.Next(pr, icb)
+}
+
+// maybeRefit samples the spine and lets the fitter decide. Fits and
+// switches are noted into the spine so the trajectory is observable.
+func (p *policy) maybeRefit() {
+	if p.rt.Sample == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dec, ok := p.fit.observe(p.rt.Sample())
+	if !ok {
+		return
+	}
+	if p.rt.Note != nil {
+		p.rt.Note(lowsched.AdaptFit)
+	}
+	if dec.Switched {
+		p.reg.Store(&regime{
+			pol:  lowsched.Bind(lowsched.MustParse(dec.Scheme), p.nprocs),
+			spec: dec.Scheme,
+		})
+		if p.rt.Note != nil {
+			p.rt.Note(lowsched.AdaptSwitch)
+		}
+	}
+}
+
+// Active returns the spec of the currently active scheme.
+func (p *policy) Active() string { return p.reg.Load().spec }
+
+// History returns a copy of the fit decisions made so far, oldest
+// first.
+func (p *policy) History() []Decision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Decision(nil), p.fit.decisions...)
+}
+
+// DiagnoseString renders the adaptation trajectory (core.Diagnose hook
+// for stuck-run reports): the active scheme, fit/switch counts, and the
+// most recent decisions with their estimates.
+func (p *policy) DiagnoseString() string {
+	hist := p.History()
+	var b strings.Builder
+	switches := 0
+	for _, d := range hist {
+		if d.Switched {
+			switches++
+		}
+	}
+	fmt.Fprintf(&b, "adaptive policy: active=%s fits=%d switches=%d\n",
+		p.Active(), len(hist), switches)
+	start := 0
+	if len(hist) > 5 {
+		start = len(hist) - 5
+	}
+	for i, d := range hist[start:] {
+		fmt.Fprintf(&b, "  fit %d: scheme=%s best=%s tau=%.1f o1=%.1f o2=%.1f cv=%.2f n=%.0f util=%.3f switched=%v\n",
+			start+i+1, d.Scheme, d.Best, d.Tau, d.O1, d.O2, d.CV, d.N, d.Util, d.Switched)
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lowsched"
+)
+
+// e2Fitter returns a fitter primed with the E2 reference operating
+// point: the flat Doall of EXPERIMENTS E2 (N=4096, tau=30, P=8, access
+// cost 15), with O1/O2 set to the per-claim and per-search costs that
+// reproduce the measured k=1 utilization.
+func e2Fitter() *fitter {
+	return &fitter{
+		procs:     8,
+		primed:    true,
+		est:       estimates{tau: 30, o1: 92, o2: 45, n: 4096},
+		incumbent: initialSpec,
+	}
+}
+
+// util converts a predicted makespan into the model's utilization.
+func util(f *fitter, ms float64) float64 {
+	return f.est.tau * f.est.n / (float64(f.procs) * ms)
+}
+
+// TestPredictReproducesE2Shape validates the fitter's scoring against
+// the deterministic virtual-engine measurements of EXPERIMENTS E2,
+// where the flat Doall at N=4096, tau=30, P=8 measures utilization
+// 0.246 at k=1, 0.898 at the optimum k*=512, and 0.246 again at
+// k=2048: the prediction must reproduce the overhead-dominated
+// endpoints to a few points and rank the optimum far above both.
+func TestPredictReproducesE2Shape(t *testing.T) {
+	f := e2Fitter()
+	ms1 := f.predict(lowsched.CSS{K: 1}, 4096)
+	ms512 := f.predict(lowsched.CSS{K: 512}, 4096)
+	ms2048 := f.predict(lowsched.CSS{K: 2048}, 4096)
+
+	if u := util(f, ms1); u < 0.20 || u > 0.30 {
+		t.Errorf("predicted util(k=1) = %.3f, want ~0.246", u)
+	}
+	if u := util(f, ms2048); u < 0.20 || u > 0.30 {
+		t.Errorf("predicted util(k=2048) = %.3f, want ~0.246", u)
+	}
+	if u := util(f, ms512); u < 0.85 {
+		t.Errorf("predicted util(k*=512) = %.3f, want >= 0.85 (measured 0.898)", u)
+	}
+	if !(ms512 < ms1 && ms512 < ms2048) {
+		t.Errorf("k*=512 not the minimum: ms(1)=%.0f ms(512)=%.0f ms(2048)=%.0f",
+			ms1, ms512, ms2048)
+	}
+}
+
+// TestBestCSSKFindsE2Optimum pins the chunk-size search on the E2
+// operating point: the model's optimum is near k* = 512 and the grid
+// must land inside the flat top of the utilization curve.
+func TestBestCSSKFindsE2Optimum(t *testing.T) {
+	f := e2Fitter()
+	k := f.bestCSSK(4096)
+	if k < 128 || k > 1024 {
+		t.Errorf("bestCSSK = %d, want within [128, 1024] around k*=512", k)
+	}
+}
+
+// TestPredictUnimodalOverK checks the qualitative eq. (2) shape: the
+// predicted makespan over k decreases, bottoms out, and increases again
+// (one sign change of the discrete slope).
+func TestPredictUnimodalOverK(t *testing.T) {
+	f := e2Fitter()
+	var prev float64
+	direction := -1 // expect decreasing first
+	for i, k := range []int64{1, 4, 16, 64, 256, 512, 1024, 2048, 4096} {
+		ms := f.predict(lowsched.CSS{K: k}, 4096)
+		if i > 0 {
+			if direction == -1 && ms > prev {
+				direction = 1 // passed the minimum
+			} else if direction == 1 && ms < prev {
+				t.Fatalf("makespan over k is not unimodal: rose then fell at k=%d", k)
+			}
+		}
+		prev = ms
+	}
+	if direction != 1 {
+		t.Error("makespan never increased past the optimum")
+	}
+}
+
+// TestVariancePenalizesLargeChunks checks the straggler term: under
+// high iteration-time variability the model must prefer a scheme that
+// ends with small chunks (GSS) over one big-chunk round (CSS at N/P),
+// and the CSS optimum must shrink relative to the variance-free case.
+func TestVariancePenalizesLargeChunks(t *testing.T) {
+	f := e2Fitter()
+	k0 := f.bestCSSK(4096)
+	f.est.cv = 2.0
+	k2 := f.bestCSSK(4096)
+	if k2 >= k0 {
+		t.Errorf("cv=2 chunk optimum %d not below cv=0 optimum %d", k2, k0)
+	}
+	msGSS := f.predict(lowsched.GSS{}, 4096)
+	msBig := f.predict(lowsched.CSS{K: 512}, 4096)
+	if msGSS >= msBig {
+		t.Errorf("cv=2: GSS (%.0f) should beat CSS(512) (%.0f)", msGSS, msBig)
+	}
+}
+
+// synth builds cumulative RuntimeSamples for a steady workload with the
+// given per-window costs, for driving observe directly.
+type synth struct {
+	s lowsched.RuntimeSample
+}
+
+func (g *synth) next(iters, chunks, searches, insts, tau, o1, o2 int64) lowsched.RuntimeSample {
+	g.s.Iterations += iters
+	g.s.Chunks += chunks
+	g.s.Searches += searches
+	g.s.Instances += insts
+	g.s.BodyTime += iters * tau
+	g.s.O1Time += chunks * o1
+	g.s.O2Time += searches * o2
+	return g.s
+}
+
+// TestObserveHysteresis drives the fitter with a workload whose claim
+// overhead dwarfs GSS's claim count: the first fit may only nominate
+// the challenger (no switch), the confirming fit switches, and further
+// identical fits stay put — one switch total.
+func TestObserveHysteresis(t *testing.T) {
+	f := &fitter{procs: 4, incumbent: initialSpec}
+	g := &synth{}
+
+	if _, ok := f.observe(g.next(4096, 40, 50, 1, 30, 5000, 100)); ok {
+		t.Fatal("first sample (priming) produced a fit")
+	}
+
+	d1, ok := f.observe(g.next(4096, 40, 50, 1, 30, 5000, 100))
+	if !ok {
+		t.Fatal("second sample did not fit")
+	}
+	if d1.Switched || d1.Scheme != initialSpec {
+		t.Fatalf("first fit switched immediately: %+v", d1)
+	}
+	if !strings.HasPrefix(d1.Best, "css:") {
+		t.Fatalf("first fit best = %q, want a css:k under claim-heavy costs", d1.Best)
+	}
+
+	d2, ok := f.observe(g.next(4096, 40, 50, 1, 30, 5000, 100))
+	if !ok {
+		t.Fatal("third sample did not fit")
+	}
+	if !d2.Switched || d2.Scheme != d1.Best {
+		t.Fatalf("confirming fit did not switch to %q: %+v", d1.Best, d2)
+	}
+
+	for i := 0; i < 3; i++ {
+		d, ok := f.observe(g.next(4096, 40, 50, 1, 30, 5000, 100))
+		if !ok {
+			t.Fatal("steady sample did not fit")
+		}
+		if d.Switched || d.Scheme != d2.Scheme {
+			t.Fatalf("steady state switched again: %+v", d)
+		}
+	}
+}
+
+// TestObserveSkipsThinWindows pins the refit gate: windows with fewer
+// than minChunkDelta new claims extend the current window instead of
+// fitting noise.
+func TestObserveSkipsThinWindows(t *testing.T) {
+	f := &fitter{procs: 4, incumbent: initialSpec}
+	g := &synth{}
+	f.observe(g.next(100, 10, 10, 1, 30, 10, 10)) // prime
+	if _, ok := f.observe(g.next(4, 2, 2, 1, 30, 10, 10)); ok {
+		t.Error("fit on a 2-chunk window")
+	}
+	// The skipped delta still accumulates into the next real window.
+	if _, ok := f.observe(g.next(100, 10, 10, 1, 30, 10, 10)); !ok {
+		t.Error("no fit after the window grew past the gate")
+	}
+}
+
+// TestAutoBindIsPerRun pins the PolicyScheme contract: every Bind of
+// Auto must construct a fresh policy (fresh fitter state), never share.
+func TestAutoBindIsPerRun(t *testing.T) {
+	a := lowsched.Bind(Auto{}, 4)
+	b := lowsched.Bind(Auto{}, 4)
+	if a == b {
+		t.Fatal("Bind(Auto) returned a shared policy")
+	}
+	if a.Name() != "auto" {
+		t.Errorf("policy name = %q", a.Name())
+	}
+}
+
+// TestAutoRegistered pins the registry integration: "auto" parses and
+// round-trips its spec like every built-in.
+func TestAutoRegistered(t *testing.T) {
+	s, err := lowsched.Parse("auto")
+	if err != nil {
+		t.Fatalf("Parse(auto): %v", err)
+	}
+	if _, ok := s.(Auto); !ok {
+		t.Fatalf("Parse(auto) = %T", s)
+	}
+	if s2, err := lowsched.Parse(s.(lowsched.Speccer).Spec()); err != nil || s2 != s {
+		t.Errorf("auto does not round-trip: %v, %v", s2, err)
+	}
+	found := false
+	for _, spec := range lowsched.Specs() {
+		if spec == "auto" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Specs() omits auto")
+	}
+}

@@ -1,0 +1,114 @@
+package adapt_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// phased builds the integration workload: a serial phase loop over a
+// claim-heavy inner Doall (small bodies against access cost 15), so the
+// measured O1 dominates and the fitter must abandon the initial GSS
+// regime for a larger-chunk scheme.
+func phased(phases, n, tau int64) *repro.Nest {
+	return repro.MustBuild(func(b *repro.B) {
+		b.Serial("PH", repro.Const(phases), func(b *repro.B) {
+			b.DoallLeaf("IN", repro.Const(n), func(e repro.Env, iv repro.IVec, j int64) {
+				e.Work(tau)
+			})
+		})
+	})
+}
+
+// TestAutoAdaptsOnVirtualEngine runs the auto policy end to end on the
+// deterministic virtual machine: the run must complete exactly-once,
+// refit at least twice, switch at least once, and beat pure
+// self-scheduling (whose per-iteration claim cost the workload is
+// designed to punish).
+func TestAutoAdaptsOnVirtualEngine(t *testing.T) {
+	nest := phased(8, 2048, 5)
+	opts := repro.Options{Procs: 8, AccessCost: 15, Scheme: "auto"}
+	res, err := repro.Execute(nest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != 8*2048 {
+		t.Fatalf("iterations = %d, want %d", res.Stats.Iterations, 8*2048)
+	}
+	if res.Stats.AdaptFits < 2 {
+		t.Errorf("adapt fits = %d, want >= 2", res.Stats.AdaptFits)
+	}
+	if res.Stats.AdaptSwitches < 1 {
+		t.Errorf("adapt switches = %d, want >= 1 on a claim-heavy workload", res.Stats.AdaptSwitches)
+	}
+
+	ssOpts := opts
+	ssOpts.Scheme = "ss"
+	ssRes, err := repro.Execute(nest, ssOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Efficiency() <= ssRes.Stats.Efficiency() {
+		t.Errorf("auto efficiency %.3f not above ss efficiency %.3f",
+			res.Stats.Efficiency(), ssRes.Stats.Efficiency())
+	}
+	if ssRes.Stats.AdaptFits != 0 || ssRes.Stats.AdaptSwitches != 0 {
+		t.Errorf("static scheme recorded adapt counters: fits=%d switches=%d",
+			ssRes.Stats.AdaptFits, ssRes.Stats.AdaptSwitches)
+	}
+}
+
+// TestAutoDeterministicOnVirtualEngine pins that the whole adaptation
+// loop — spine sampling, fitting, switching — is deterministic on the
+// virtual machine: same nest, same options, same makespan and same
+// trajectory.
+func TestAutoDeterministicOnVirtualEngine(t *testing.T) {
+	nest := phased(6, 1024, 5)
+	opts := repro.Options{Procs: 4, AccessCost: 15, Scheme: "auto"}
+	a, err := repro.Execute(nest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.Execute(nest, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan diverged across identical auto runs: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if a.Stats.AdaptFits != b.Stats.AdaptFits || a.Stats.AdaptSwitches != b.Stats.AdaptSwitches {
+		t.Errorf("trajectory diverged: fits %d/%d switches %d/%d",
+			a.Stats.AdaptFits, b.Stats.AdaptFits, a.Stats.AdaptSwitches, b.Stats.AdaptSwitches)
+	}
+}
+
+// TestAutoDiagnoseShowsTrajectory pins the observability path: a
+// diagnostics-enabled run exposes the adaptation trajectory through the
+// executor's Diagnose dump.
+func TestAutoDiagnoseShowsTrajectory(t *testing.T) {
+	var live repro.Live
+	opts := repro.Options{
+		Procs: 8, AccessCost: 15, Scheme: "auto", Diagnostics: true,
+		Observe: func(lv repro.Live) { live = lv },
+	}
+	if _, err := repro.Execute(phased(8, 2048, 5), opts); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := live.(interface{ Diagnose() string })
+	if !ok {
+		t.Fatal("live probe does not implement Diagnose")
+	}
+	dump := d.Diagnose()
+	if !contains(dump, "adaptive policy: active=") {
+		t.Errorf("Diagnose dump lacks the adaptive trajectory:\n%s", dump)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

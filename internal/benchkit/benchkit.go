@@ -35,6 +35,7 @@ package benchkit
 
 import (
 	"fmt"
+	"strings"
 
 	"repro"
 	"repro/internal/loopir"
@@ -79,6 +80,13 @@ func (s Scenario) engine() string {
 // virtual-time engine (and therefore must be bit-identical across
 // repetitions).
 func (s Scenario) virtual() bool { return s.engine() == string(repro.EngineVirtual) }
+
+// adaptive reports whether the scenario runs the online adaptive
+// policy. Adaptive scenarios are exempt from the cross-file
+// bit-identity contract: the fitter's trajectory is part of the
+// algorithm under development, so baselines gate its medians, not its
+// exact virtual-time values.
+func (s Scenario) adaptive() bool { return strings.HasPrefix(s.scheme(), "auto") }
 
 // scheme returns the scenario's scheme spec ("" normalizes to ss).
 func (s Scenario) scheme() string {

@@ -198,6 +198,62 @@ func TestCheckDeterminism(t *testing.T) {
 	}
 }
 
+// TestIrregularFamilyGatesAuto is the acceptance gate for the adaptive
+// policy: on the phase-varying irregular family, auto's virtual
+// makespan must land within 10% of the best static scheme and strictly
+// beat the worst. It runs the registered irregular scenarios directly
+// (one rep each — the virtual engine is deterministic), so the gate
+// measures exactly what `make bench` would record.
+func TestIrregularFamilyGatesAuto(t *testing.T) {
+	scs, err := Filter(Default(), "^irregular/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != len(IrregularSchemes()) {
+		t.Fatalf("irregular family has %d scenarios, want %d", len(scs), len(IrregularSchemes()))
+	}
+	f, err := Run(scs, RunConfig{Reps: 1, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var auto float64
+	best, worst := -1.0, -1.0
+	bestName, worstName := "", ""
+	for _, sc := range f.Scenarios {
+		ms := sc.Metrics["makespan"].Median
+		if ms <= 0 {
+			t.Fatalf("scenario %q reports makespan %g", sc.Name, ms)
+		}
+		if sc.Scheme == "auto" {
+			auto = ms
+			if sc.Deterministic {
+				t.Errorf("auto scenario marked deterministic (exempt from cross-file bit-identity)")
+			}
+			continue
+		}
+		if !sc.Deterministic {
+			t.Errorf("static virtual scenario %q not marked deterministic", sc.Name)
+		}
+		if best < 0 || ms < best {
+			best, bestName = ms, sc.Name
+		}
+		if worst < 0 || ms > worst {
+			worst, worstName = ms, sc.Name
+		}
+	}
+	if auto == 0 || best < 0 {
+		t.Fatal("family missing auto or static results")
+	}
+	t.Logf("auto %.0f, best static %.0f (%s), worst static %.0f (%s)",
+		auto, best, bestName, worst, worstName)
+	if auto > best*1.10 {
+		t.Errorf("auto makespan %.0f exceeds 1.10 x best static %.0f (%s)", auto, best, bestName)
+	}
+	if auto >= worst {
+		t.Errorf("auto makespan %.0f not below worst static %.0f (%s)", auto, worst, worstName)
+	}
+}
+
 func TestRunRejectsBadSuite(t *testing.T) {
 	if _, err := Run(nil, RunConfig{Reps: 1}); err == nil {
 		t.Fatal("empty suite not rejected")

@@ -88,5 +88,29 @@ func Default() []Scenario {
 	add("many", manyNest, "ss", "single", repro.EngineVirtual)
 	add("many", manyNest, "ss", "distributed", repro.EngineVirtual)
 
+	// Adaptive-scheduling family: the phase-varying irregular workload
+	// under the online auto policy and the static roster it chooses
+	// from. Small grain against a raised access cost makes per-claim
+	// overhead the dominant term, so the family spreads widely — the
+	// gate (TestIrregularFamilyGatesAuto, make verify-adapt) holds auto
+	// to within 10% of the best static scheme and strictly better than
+	// the worst.
+	for _, scheme := range IrregularSchemes() {
+		add("irregular", IrregularNest, scheme, "", repro.EngineVirtual, "adapt")
+	}
+
 	return out
+}
+
+// IrregularNest builds the adaptive-family workload at its registered
+// size (16 phases so the adaptation tax of the first instances
+// amortizes; grain 5 against the suite's access cost puts claim
+// overhead in charge).
+func IrregularNest() *loopir.Nest { return workload.Irregular(16, 2048, 5, 1) }
+
+// IrregularSchemes is the scheme roster of the adaptive scenario
+// family: the auto policy first, then the static schemes it competes
+// against (and draws its candidates from).
+func IrregularSchemes() []string {
+	return []string{"auto", "ss", "css:64", "gss", "fac2", "tfss"}
 }

@@ -134,7 +134,7 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		Engine:        s.engine(),
 		Procs:         s.Opts.Procs,
 		Tags:          s.Tags,
-		Deterministic: s.virtual(),
+		Deterministic: s.virtual() && !s.adaptive(),
 	}
 	prog, err := repro.Compile(s.Nest())
 	if err != nil {
@@ -187,7 +187,7 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		return out, err
 	}
 
-	if s.virtual() {
+	if out.Deterministic {
 		if err := checkDeterminism(samples); err != nil {
 			return out, err
 		}

@@ -58,6 +58,7 @@ import (
 	"repro/internal/loopir"
 	"repro/internal/lowsched"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -326,6 +327,36 @@ func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 	return ex
 }
 
+// adaptRuntime is the measurement surface handed to adaptive policies
+// (lowsched.RuntimeBinder): a zero-allocation single-pass read of
+// exactly the counters the eq. (2) fitter consumes, plus an event sink
+// recording fits and switches into the spine. Events land on shard 0 —
+// off the ownership convention, but they are rare Init-path writes
+// through atomics, far from any hot cache line.
+func (ex *executor) adaptRuntime() lowsched.Runtime {
+	ids := []obs.ID{cO1Time, cO2Time, cO3Time, cBodyTime,
+		cIterations, cChunks, cSearches, cInstances}
+	sh := ex.stats.shard(0)
+	return lowsched.Runtime{
+		Sample: func() lowsched.RuntimeSample {
+			var v [8]int64
+			ex.stats.spine.Sum(ids, v[:])
+			return lowsched.RuntimeSample{
+				O1Time: v[0], O2Time: v[1], O3Time: v[2], BodyTime: v[3],
+				Iterations: v[4], Chunks: v[5], Searches: v[6], Instances: v[7],
+			}
+		},
+		Note: func(ev lowsched.AdaptEvent) {
+			switch ev {
+			case lowsched.AdaptFit:
+				sh.Inc(cAdaptFits)
+			case lowsched.AdaptSwitch:
+				sh.Inc(cAdaptSwitches)
+			}
+		},
+	}
+}
+
 // runWorker is the engine entry point: bind processor pr to its worker
 // struct and run the scheduling loop.
 func (ex *executor) runWorker(pr machine.Proc) {
@@ -445,6 +476,9 @@ func (ex *executor) Diagnose() string {
 		fmt.Fprintf(&b, "proc %d: chunks=%d searches=%d iters=%d last-claim=%d\n",
 			i, sh.Get(cChunks), sh.Get(cSearches), sh.Get(cIterations),
 			ex.workers[i].lastClaim.Load())
+	}
+	if d, ok := ex.policy.(interface{ DiagnoseString() string }); ok {
+		b.WriteString(d.DiagnoseString())
 	}
 	return b.String()
 }

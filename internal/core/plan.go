@@ -125,6 +125,12 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 		return nil, err
 	}
 	ex := newExecutor(pl, cfg, policy)
+	if rb, ok := policy.(lowsched.RuntimeBinder); ok {
+		// Adaptive policies get the run's measurement surface before any
+		// worker starts; the binding is per-run because the policy itself
+		// is (PolicyScheme's NewPolicy path in Bind).
+		rb.BindRuntime(ex.adaptRuntime())
+	}
 	if cfg.OnStart != nil {
 		cfg.OnStart(ex)
 	}

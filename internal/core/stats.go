@@ -47,6 +47,9 @@ const (
 	cFailedIterations // iterations quarantined under Isolate
 	cRetries          // Isolate retry attempts
 
+	cAdaptFits     // adaptive-policy utilization-model refits
+	cAdaptSwitches // adaptive-policy scheme switches
+
 	numCounters
 )
 
@@ -77,6 +80,8 @@ var statDescs = []obs.Desc{
 	{Name: "dep_posts", Help: "Doacross dependence posts", Unit: "count"},
 	{Name: "failed_iterations", Help: "iterations quarantined under Isolate", Unit: "count"},
 	{Name: "retries", Help: "Isolate retry attempts", Unit: "count"},
+	{Name: "adapt_fits", Help: "adaptive-policy model refits", Unit: "count"},
+	{Name: "adapt_switches", Help: "adaptive-policy scheme switches", Unit: "count"},
 }
 
 // Stats is the executor's sharded counter spine: one obs.Shard per
@@ -111,7 +116,11 @@ type Snapshot struct {
 	// FailedIterations counts iterations the Isolate policy quarantined;
 	// Retries counts its retry attempts. Both are zero under FailFast.
 	FailedIterations, Retries int64
-	Search                    pool.SearchStats
+	// AdaptFits counts the adaptive policy's utilization-model refits and
+	// AdaptSwitches its scheme changes; both are zero for static scheme
+	// choices. They make the "auto" trajectory observable from outside.
+	AdaptFits, AdaptSwitches int64
+	Search                   pool.SearchStats
 	// Failures details the quarantined iterations, nil when the run had
 	// none (so zero-failure snapshots serialize unchanged).
 	Failures *FailureReport `json:"failures,omitempty"`
@@ -159,6 +168,7 @@ func (s *Stats) Snap() Snapshot {
 		ICBAllocs: t[cICBAllocs], ICBReuses: t[cICBReuses],
 		DepAwaits: t[cDepAwaits], DepPosts: t[cDepPosts],
 		FailedIterations: t[cFailedIterations], Retries: t[cRetries],
+		AdaptFits: t[cAdaptFits], AdaptSwitches: t[cAdaptSwitches],
 		Search: pool.SearchStats{
 			Sweeps:       t[cSearchSweeps],
 			LockFailures: t[cSearchLockFailures],

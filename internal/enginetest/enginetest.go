@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/descr"
 	"repro/internal/loopir"
@@ -79,6 +80,9 @@ func shapes() map[string]*loopir.Nest {
 				b.DoallLeaf("F", loopir.Const(5), work(4))
 			})
 		}),
+		"doacross": loopir.MustBuild(func(b *loopir.B) {
+			b.DoacrossLeaf("W", loopir.Const(12), 1, work(3))
+		}),
 	}
 }
 
@@ -107,7 +111,11 @@ func compile(t *testing.T, nest *loopir.Nest) (*descr.Program, *core.Plan, *refe
 // exactlyOnce runs every shape across schemes, pools and processor
 // counts, verifying each execution against the sequential oracle.
 func exactlyOnce(t *testing.T, name string, f Factory) {
-	schemes := []lowsched.Scheme{lowsched.SS{}, lowsched.CSS{K: 3}, lowsched.GSS{}}
+	schemes := []lowsched.Scheme{
+		lowsched.SS{}, lowsched.CSS{K: 3}, lowsched.GSS{},
+		lowsched.FAC2{}, lowsched.AF{CV: 50}, lowsched.TFSS{},
+		adapt.Auto{},
+	}
 	pools := []core.PoolKind{core.PoolPerLoop, core.PoolSingleList, core.PoolDistributed}
 	for label, nest := range shapes() {
 		prog, pl, ref := compile(t, nest)

@@ -1,0 +1,69 @@
+package lowsched
+
+import "fmt"
+
+// AF is a simplified adaptive factoring rule (after Banicescu & Liu's
+// AF, which sizes chunks from the measured mean and variance of
+// iteration times): chunk = ceil(remaining / (2P·(1 + CV/100))), where
+// CV is the coefficient of variation of per-iteration cost in percent.
+// With CV = 0 it degenerates to FAC2; the higher the measured
+// variability, the smaller the chunks, trading claim overhead for
+// rebalancing slack exactly as eq. (2)'s variance term dictates. The
+// full AF recomputes the divisor from per-processor timings at run
+// time; here the variability is a scheme parameter so the calculator
+// stays pure — the adaptive "auto" policy closes the loop by re-binding
+// AF with the CV it estimates from the obs spine.
+type AF struct {
+	// CV is the assumed coefficient of variation of iteration times, in
+	// percent (>= 0; 0 behaves like FAC2).
+	CV int64
+}
+
+// Name returns "AF" or "AF(cv%)".
+func (a AF) Name() string {
+	if a.CV == 0 {
+		return "AF"
+	}
+	return fmt.Sprintf("AF(%d%%)", a.CV)
+}
+
+// Spec returns "af" or "af:CV".
+func (a AF) Spec() string {
+	if a.CV == 0 {
+		return "af"
+	}
+	return fmt.Sprintf("af:%d", a.CV)
+}
+
+// Calculator validates the variability and binds the machine size.
+func (a AF) Calculator(nprocs int) ChunkCalculator {
+	if a.CV < 0 {
+		panic(fmt.Sprintf("lowsched: AF variability %d%% < 0", a.CV))
+	}
+	return afCalc{name: a.Name(), p: int64(nprocs), cv: a.CV}
+}
+
+// afCalc: the cursor is the next unclaimed index; the chunk size
+// depends on it, so claims go through the compare-and-store loop. The
+// divisor 2P(1+CV/100) is kept in integer arithmetic — size =
+// ceil(100·remaining / (2P·(100+CV))) — so the calculator is exact on
+// every engine.
+type afCalc struct {
+	name string
+	p    int64
+	cv   int64
+}
+
+func (c afCalc) Name() string        { return c.name }
+func (afCalc) Stride() (int64, bool) { return 0, false }
+func (c afCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	if s > bound {
+		return Assignment{}, s, false
+	}
+	div := 2 * c.p * (100 + c.cv)
+	size := (100*(bound-s+1) + div - 1) / div
+	if size < 1 {
+		size = 1
+	}
+	return Assignment{Lo: s, Hi: s + size - 1}, s + size, true
+}

@@ -107,10 +107,12 @@ func Bind(s Scheme, nprocs int) Policy {
 			panic(fmt.Sprintf("lowsched: calculator %s has fixed stride %d < 1", c.Name(), k))
 		}
 		return calcPolicy{calc: c, stride: k, fixed: fixed}
+	case PolicyScheme:
+		return sc.NewPolicy(nprocs)
 	case Policy:
 		return sc
 	}
-	panic(fmt.Sprintf("lowsched: scheme %s implements neither CalcScheme nor Policy", s.Name()))
+	panic(fmt.Sprintf("lowsched: scheme %s implements none of CalcScheme, PolicyScheme, Policy", s.Name()))
 }
 
 // calcPolicy is the shared claim protocol: it realizes a pure calculator

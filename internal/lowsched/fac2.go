@@ -1,0 +1,40 @@
+package lowsched
+
+// FAC2 is the fixed-ratio variant of factoring (Hummel et al.'s FAC2,
+// the form practical runtimes implement): every claim takes half of the
+// remaining iterations divided evenly over the processors, chunk =
+// ceil(remaining / 2P). Unlike FSC it keeps no round position — the
+// chunk size is recomputed from the cursor alone on every claim — so
+// within a "round" of P claims sizes already taper slightly instead of
+// staying equal. The cursor is the plain next-unclaimed index, making
+// FAC2 the cheapest of the factoring family: same claim protocol as
+// GSS, but batches only half the remainder per round and therefore ends
+// with P-fold smaller final chunks (more rebalancing slack under
+// variance, at twice the claim count).
+type FAC2 struct{}
+
+// Name returns "FAC2".
+func (FAC2) Name() string { return "FAC2" }
+
+// Spec returns "fac2".
+func (FAC2) Spec() string { return "fac2" }
+
+// Calculator binds the machine size (the 2P divisor).
+func (FAC2) Calculator(nprocs int) ChunkCalculator { return fac2Calc{p: int64(nprocs)} }
+
+// fac2Calc: the cursor is the next unclaimed index; the chunk size
+// depends on it, so claims go through the compare-and-store loop.
+type fac2Calc struct{ p int64 }
+
+func (fac2Calc) Name() string          { return "FAC2" }
+func (fac2Calc) Stride() (int64, bool) { return 0, false }
+func (c fac2Calc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	if s > bound {
+		return Assignment{}, s, false
+	}
+	size := (bound - s + 1 + 2*c.p - 1) / (2 * c.p) // ceil(remaining/2P)
+	if size < 1 {
+		size = 1
+	}
+	return Assignment{Lo: s, Hi: s + size - 1}, s + size, true
+}

@@ -1,0 +1,88 @@
+package lowsched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sizes flattens a drained assignment list to chunk sizes for
+// comparison against hand-computed references.
+func sizes(as []Assignment) string {
+	var out []int64
+	for _, a := range as {
+		out = append(out, a.Size())
+	}
+	return fmt.Sprint(out)
+}
+
+// TestFAC2Sequence pins FAC2 against the hand-computed reference for
+// N=64, P=4: every claim takes ceil(remaining/8), so the sequence
+// tapers inside each "round" (unlike FSC's equal rounds) and ends with
+// eight unit chunks.
+func TestFAC2Sequence(t *testing.T) {
+	as := drain(t, FAC2{}, &tp{n: 4}, 64)
+	want := "[8 7 7 6 5 4 4 3 3 3 2 2 2 1 1 1 1 1 1 1 1]"
+	if got := sizes(as); got != want {
+		t.Errorf("FAC2 sizes = %v, want %v", got, want)
+	}
+}
+
+// TestAFSequences pins the adaptive-factoring divisor arithmetic: with
+// CV=0 AF must equal FAC2 chunk for chunk; with CV=100% the divisor
+// doubles to 4P, i.e. ceil(remaining/16) for P=4.
+func TestAFSequences(t *testing.T) {
+	fac2 := drain(t, FAC2{}, &tp{n: 4}, 64)
+	af0 := drain(t, AF{}, &tp{n: 4}, 64)
+	if sizes(af0) != sizes(fac2) {
+		t.Errorf("AF(0) sizes = %v, want FAC2's %v", sizes(af0), sizes(fac2))
+	}
+	as := drain(t, AF{CV: 100}, &tp{n: 4}, 64)
+	want := "[4 4 4 4 3 3 3 3 3 3 2 2 2 2 2 2 2 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1]"
+	if got := sizes(as); got != want {
+		t.Errorf("AF(100%%) sizes = %v, want %v", got, want)
+	}
+}
+
+// TestTFSSSequenceDefaults pins trapezoid factoring with the classical
+// defaults for N=100, P=4: f = ceil(100/8) = 13, C = ceil(200/14) = 15
+// trapezoid chunks in R = 4 rounds, per-round decrement (13-1)/3 = 4 —
+// four chunks each of 13 and 9, then the tail clamped at the bound.
+func TestTFSSSequenceDefaults(t *testing.T) {
+	as := drain(t, TFSS{}, &tp{n: 4}, 100)
+	want := "[13 13 13 13 9 9 9 9 5 5 2]"
+	if got := sizes(as); got != want {
+		t.Errorf("TFSS sizes = %v, want %v", got, want)
+	}
+}
+
+// TestTFSSSequenceExplicit pins the explicit-parameter path: F=12, L=2,
+// N=100, P=4 gives R = 4 rounds with decrement 10/3, rounded per round.
+func TestTFSSSequenceExplicit(t *testing.T) {
+	as := drain(t, TFSS{First: 12, Last: 2}, &tp{n: 4}, 100)
+	want := "[12 12 12 12 9 9 9 9 5 5 5 1]"
+	if got := sizes(as); got != want {
+		t.Errorf("TFSS(12,2) sizes = %v, want %v", got, want)
+	}
+}
+
+// TestTFSSRoundsShareSize verifies the defining property against TSS:
+// within one round of P claims the chunk size is constant (TSS would
+// decrease it claim by claim), and sizes never increase across rounds.
+func TestTFSSRoundsShareSize(t *testing.T) {
+	const p = 8
+	as := drain(t, TFSS{}, &tp{n: p}, 4096)
+	prev := as[0].Size()
+	for i := p; i+p <= len(as); i += p {
+		round := as[i : i+p]
+		for _, a := range round[1 : len(round)-1] { // tail chunk may clamp
+			if a.Size() != round[0].Size() {
+				t.Fatalf("round at chunk %d mixes sizes %d and %d",
+					i, round[0].Size(), a.Size())
+			}
+		}
+		if round[0].Size() > prev {
+			t.Fatalf("round at chunk %d grew: %d after %d", i, round[0].Size(), prev)
+		}
+		prev = round[0].Size()
+	}
+}

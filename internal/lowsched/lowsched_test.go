@@ -85,6 +85,7 @@ func allSchemes() []Scheme {
 	return []Scheme{
 		SS{}, CSS{K: 1}, CSS{K: 4}, CSS{K: 100}, GSS{},
 		TSS{}, TSS{First: 10, Last: 2}, FSC{},
+		FAC2{}, AF{}, AF{CV: 100}, TFSS{}, TFSS{First: 12, Last: 2},
 	}
 }
 
@@ -450,6 +451,12 @@ func TestParse(t *testing.T) {
 		"fsc":       "FSC",
 		"factoring": "FSC",
 		" gss ":     "GSS",
+		"affinity":  "AFS",
+		"fac2":      "FAC2",
+		"af":        "AF",
+		"af:50":     "AF(50%)",
+		"tfss":      "TFSS",
+		"tfss:12:2": "TFSS(12,2)",
 	}
 	for spec, name := range good {
 		s, err := Parse(spec)
@@ -461,7 +468,8 @@ func TestParse(t *testing.T) {
 			t.Errorf("Parse(%q).Name() = %q, want %q", spec, s.Name(), name)
 		}
 	}
-	bad := []string{"", "css", "css:0", "css:x", "gss:3", "tss:5", "tss:1:2", "bogus", "ss:1", "fsc:2"}
+	bad := []string{"", "css", "css:0", "css:x", "gss:3", "tss:5", "tss:1:2", "bogus", "ss:1", "fsc:2",
+		"af:-1", "tfss:1:2", "tfss:5", "fac2:3"}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", spec)

@@ -1,0 +1,128 @@
+package lowsched
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleArgs returns representative parameter vectors for a definition,
+// chosen to satisfy every built-in's constraints (descending pairs for
+// F:L-style params, small positives otherwise).
+func sampleArgs(def SchemeDef) [][]int64 {
+	switch len(def.Params) {
+	case 0:
+		return nil
+	case 1:
+		return [][]int64{{1}, {7}, {64}}
+	case 2:
+		return [][]int64{{12, 2}, {64, 1}, {5, 5}}
+	default:
+		args := make([]int64, len(def.Params))
+		for i := range args {
+			args[i] = int64(len(args) - i)
+		}
+		return [][]int64{args}
+	}
+}
+
+// TestRegisteredSchemesRoundTripSpec is the registry property test:
+// every scheme constructible from the registry implements Speccer, and
+// Parse(s.Spec()) reconstructs an identical scheme value — so the
+// canonical spec form is lossless for every registered scheme, current
+// and future.
+func TestRegisteredSchemesRoundTripSpec(t *testing.T) {
+	for _, def := range Defs() {
+		var specs []string
+		if len(def.Params) == 0 || def.ParamsOptional {
+			specs = append(specs, def.Name)
+			for _, a := range def.Aliases {
+				specs = append(specs, a)
+			}
+		}
+		for _, args := range sampleArgs(def) {
+			parts := []string{def.Name}
+			for _, v := range args {
+				parts = append(parts, strconv.FormatInt(v, 10))
+			}
+			specs = append(specs, strings.Join(parts, ":"))
+		}
+		for _, spec := range specs {
+			s, err := Parse(spec)
+			if err != nil {
+				t.Errorf("%s: Parse(%q): %v", def.Name, spec, err)
+				continue
+			}
+			sp, ok := s.(Speccer)
+			if !ok {
+				t.Errorf("%s: %T does not implement Speccer", def.Name, s)
+				continue
+			}
+			s2, err := Parse(sp.Spec())
+			if err != nil {
+				t.Errorf("%s: Parse(Spec()=%q): %v", def.Name, sp.Spec(), err)
+				continue
+			}
+			if s2 != s {
+				t.Errorf("%s: Parse(%q) = %#v, but Parse(its Spec %q) = %#v",
+					def.Name, spec, s, sp.Spec(), s2)
+			}
+		}
+	}
+}
+
+// TestSpecsAllParse verifies the user-facing scheme list: every form
+// Specs() displays, with its uppercase parameter placeholders
+// substituted by integers, is accepted by Parse — the displayed list
+// and the parser cannot drift because both read the same registry.
+func TestSpecsAllParse(t *testing.T) {
+	specs := Specs()
+	if len(specs) == 0 {
+		t.Fatal("Specs() is empty")
+	}
+	seen := map[string]bool{}
+	for _, form := range specs {
+		if seen[form] {
+			t.Errorf("Specs() lists %q twice", form)
+		}
+		seen[form] = true
+		parts := strings.Split(form, ":")
+		for i := 1; i < len(parts); i++ {
+			parts[i] = "3"
+		}
+		concrete := strings.Join(parts, ":")
+		if _, err := Parse(concrete); err != nil {
+			t.Errorf("Specs() form %q (as %q) does not parse: %v", form, concrete, err)
+		}
+	}
+	// The fixed aliases and both arities of optional-parameter schemes
+	// must be displayed (the KnownSchemes drift this registry removes).
+	for _, want := range []string{"tss", "tss:F:L", "css:K", "factoring", "affinity", "fac2", "af", "af:CV", "tfss", "tfss:F:L"} {
+		if !seen[want] {
+			t.Errorf("Specs() omits %q", want)
+		}
+	}
+}
+
+// TestRegisterRejectsConflicts pins the registry's validation: dup
+// names, invalid names and missing constructors are programming errors.
+func TestRegisterRejectsConflicts(t *testing.T) {
+	cases := map[string]SchemeDef{
+		"dup name":        {Name: "ss", New: noArgs(SS{})},
+		"dup alias":       {Name: "zz-test", Aliases: []string{"factoring"}, New: noArgs(SS{})},
+		"empty name":      {New: noArgs(SS{})},
+		"uppercase name":  {Name: "SS2", New: noArgs(SS{})},
+		"colon in name":   {Name: "x:y", New: noArgs(SS{})},
+		"nil constructor": {Name: "zz-test2"},
+	}
+	for name, def := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", def)
+				}
+			}()
+			Register(def)
+		})
+	}
+}

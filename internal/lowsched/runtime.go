@@ -1,0 +1,70 @@
+package lowsched
+
+// This file is the measurement seam between the executor and adaptive
+// policies. A policy that adapts between loop instances needs two
+// things the kernel-facing Policy interface deliberately does not
+// expose: fresh per-run state (so concurrent runs do not share fitter
+// history) and a read path into the run's overhead counters (so the
+// eq. (2) model can be fitted from measurements instead of assumed
+// constants). PolicyScheme provides the first, RuntimeBinder the
+// second; both are optional extensions the executor probes with type
+// assertions, so static schemes and pure calculators are untouched.
+
+// PolicyScheme is a Scheme that must construct a fresh Policy for every
+// run — the adaptive policy's fitter state, for example, is per-run
+// mutable and must not be shared by concurrent executions of one
+// Options value. Bind resolves a PolicyScheme through NewPolicy instead
+// of the stateless CalcScheme/Policy paths.
+type PolicyScheme interface {
+	Scheme
+	// NewPolicy returns a fresh Policy bound to the machine size.
+	NewPolicy(nprocs int) Policy
+}
+
+// RuntimeSample is one merged reading of the executor counters an
+// adaptive policy's fitter consumes: the Section IV overhead
+// decomposition (processor time in engine units) plus the claim/search
+// denominators that turn the sums into per-operation costs. Samples are
+// cumulative; fitters difference consecutive samples.
+type RuntimeSample struct {
+	// O1Time is summed iteration-grab overhead, O2Time summed SEARCH
+	// overhead, O3Time summed EXIT/ENTER overhead, BodyTime summed
+	// useful body time.
+	O1Time, O2Time, O3Time, BodyTime int64
+	// Iterations, Chunks, Searches and Instances are the corresponding
+	// event counts (per-iteration, per-claim, per-search, per-instance).
+	Iterations, Chunks, Searches, Instances int64
+}
+
+// AdaptEvent labels a notable adaptive-policy event for the stats
+// spine, so a run's adaptation trajectory is observable from the
+// outside (Snapshot, /metrics) without reaching into the policy.
+type AdaptEvent int
+
+const (
+	// AdaptFit: the policy refitted its utilization model.
+	AdaptFit AdaptEvent = iota
+	// AdaptSwitch: the refit changed the active scheme.
+	AdaptSwitch
+)
+
+// Runtime is the executor-provided measurement surface: a sampler over
+// the run's stats spine and an event sink feeding the spine's
+// adaptation counters. Both funcs are safe for concurrent use and
+// charge no machine time (host-side bookkeeping, like all obs
+// recording). A zero Runtime (nil funcs) is legal — policies must
+// degrade to their static default when unbound, which is what happens
+// under direct Bind use in unit tests.
+type Runtime struct {
+	// Sample reads the current cumulative counters.
+	Sample func() RuntimeSample
+	// Note records an adaptation event.
+	Note func(AdaptEvent)
+}
+
+// RuntimeBinder is an optional Policy extension: the executor offers
+// the measurement surface once per run, after binding and before any
+// worker starts, to every policy that wants it.
+type RuntimeBinder interface {
+	BindRuntime(Runtime)
+}

@@ -1,0 +1,44 @@
+package lowsched
+
+import "fmt"
+
+// Spec returns a scheme's canonical specification string: the form
+// Parse accepts that reconstructs an identical scheme value. Name() is
+// the human-readable display form ("CSS(4)"); Spec() is the machine
+// round-trip form ("css:4"). Every registered scheme implements
+// Speccer, and the registry property test pins Parse(Spec()) == self.
+type Speccer interface {
+	Spec() string
+}
+
+// Spec returns "ss".
+func (SS) Spec() string { return "ss" }
+
+// Spec returns "sdss".
+func (SDSS) Spec() string { return "sdss" }
+
+// Spec returns "css:K".
+func (c CSS) Spec() string { return fmt.Sprintf("css:%d", c.K) }
+
+// Spec returns "gss".
+func (GSS) Spec() string { return "gss" }
+
+// Spec returns "tss" or "tss:F:L".
+func (t TSS) Spec() string {
+	if t.First == 0 && t.Last == 0 {
+		return "tss"
+	}
+	return fmt.Sprintf("tss:%d:%d", t.First, t.Last)
+}
+
+// Spec returns "fsc".
+func (FSC) Spec() string { return "fsc" }
+
+// Spec returns "afs".
+func (AFS) Spec() string { return "afs" }
+
+// Spec returns "static-block".
+func (StaticBlock) Spec() string { return "static-block" }
+
+// Spec returns "static-cyclic".
+func (StaticCyclic) Spec() string { return "static-cyclic" }

@@ -1,0 +1,102 @@
+package lowsched
+
+import (
+	"fmt"
+	"math"
+)
+
+// TFSS is trapezoid factoring self-scheduling: TSS's linearly
+// decreasing chunk sizes combined with factoring's round structure —
+// all P chunks of one round share a size, and the linear F..L decrement
+// applies between rounds rather than between chunks. Rounds of equal
+// chunks keep the per-claim arithmetic identical for P consecutive
+// claims (less size skew within a round than TSS) while preserving the
+// trapezoid's bounded claim count. With First or Last zero, the
+// classical defaults First = ceil(N/(2P)), Last = 1 are used.
+type TFSS struct {
+	First, Last int64
+}
+
+// Name returns "TFSS" or "TFSS(f,l)".
+func (t TFSS) Name() string {
+	if t.First == 0 && t.Last == 0 {
+		return "TFSS"
+	}
+	return fmt.Sprintf("TFSS(%d,%d)", t.First, t.Last)
+}
+
+// Spec returns "tfss" or "tfss:F:L".
+func (t TFSS) Spec() string {
+	if t.First == 0 && t.Last == 0 {
+		return "tfss"
+	}
+	return fmt.Sprintf("tfss:%d:%d", t.First, t.Last)
+}
+
+// Calculator binds the trapezoid parameters and the machine size.
+func (t TFSS) Calculator(nprocs int) ChunkCalculator {
+	p := int64(nprocs)
+	return tfssCalc{name: t.Name(), first: t.First, last: t.Last, p: p}
+}
+
+// tfssCalc: the cursor packs (chunk#, next index) into one word exactly
+// like tssCalc — chunkNo<<32 | index — because the chunk size is a
+// function of the chunk number (here through its round, chunkNo/P). The
+// per-instance trapezoid is derived purely from the bound on every
+// call, so the calculator holds nothing mutable.
+type tfssCalc struct {
+	name        string
+	first, last int64
+	p           int64
+}
+
+func (c tfssCalc) Name() string        { return c.name }
+func (tfssCalc) Stride() (int64, bool) { return 0, false }
+
+// ValidateBound rejects bounds that do not fit the packed index field.
+func (tfssCalc) ValidateBound(bound int64) {
+	if bound >= 1<<tssIdxBits {
+		panic(fmt.Sprintf("lowsched: TFSS bound %d exceeds packed index range", bound))
+	}
+}
+
+// params derives this instance's trapezoid: explicit (First, Last) when
+// configured, else the classical defaults; delta is the per-round size
+// decrement (f-l)/(R-1) for R = ceil(C/P) rounds of the C = ceil(2N/(f+l))
+// trapezoid chunks.
+func (c tfssCalc) params(bound int64) (f, l int64, delta float64) {
+	f, l = c.first, c.last
+	if f <= 0 {
+		f = (bound + 2*c.p - 1) / (2 * c.p)
+	}
+	if l <= 0 {
+		l = 1
+	}
+	if f < l {
+		f = l
+	}
+	chunks := (2*bound + f + l - 1) / (f + l)
+	if rounds := (chunks + c.p - 1) / c.p; rounds > 1 {
+		delta = float64(f-l) / float64(rounds-1)
+	}
+	return f, l, delta
+}
+
+func (c tfssCalc) Chunk(s, bound int64) (Assignment, int64, bool) {
+	idx := s & (1<<tssIdxBits - 1)
+	chunkNo := s >> tssIdxBits
+	if idx > bound {
+		return Assignment{}, s, false
+	}
+	f, l, delta := c.params(bound)
+	round := chunkNo / c.p
+	size := f - int64(math.Round(float64(round)*delta))
+	if size < l {
+		size = l
+	}
+	hi := idx + size - 1
+	if hi > bound {
+		hi = bound
+	}
+	return Assignment{Lo: idx, Hi: hi}, (chunkNo+1)<<tssIdxBits | (hi + 1), true
+}

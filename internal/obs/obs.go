@@ -120,6 +120,23 @@ func (s *Spine) Totals() []int64 {
 	return out
 }
 
+// Sum merges only the requested counters across all shards, writing
+// totals into out (out[i] accumulates ids[i]; len(out) must be at least
+// len(ids)). It is the cheap read path for samplers that poll a small
+// counter subset repeatedly — the adaptive scheduler's fitter samples a
+// handful of counters at every instance activation — doing one shard
+// traversal with zero allocation instead of merging the whole spine.
+func (s *Spine) Sum(ids []ID, out []int64) {
+	for i := range ids {
+		out[i] = 0
+	}
+	for _, sh := range s.shards {
+		for i, id := range ids {
+			out[i] += sh.vals[id].Load()
+		}
+	}
+}
+
 // View is a window into a shard starting at a base ID. Subsystems that
 // declare their own counter block relative to zero (e.g. the task
 // pool's SEARCH counters) record through a View placed at the base the

@@ -45,6 +45,13 @@ func TestSpineShardedMerge(t *testing.T) {
 	if got := s.Shard(0).Get(cAlpha); got != 1000 {
 		t.Errorf("shard 0 alpha = %d, want 1000", got)
 	}
+	// The subset read path agrees with Totals, including repeated IDs
+	// and stale values in out.
+	sum := []int64{-1, -1, -1}
+	s.Sum([]ID{cBeta, cAlpha, cBeta}, sum)
+	if sum[0] != 8000 || sum[1] != 4000 || sum[2] != 8000 {
+		t.Errorf("Sum = %v, want [8000 4000 8000]", sum)
+	}
 }
 
 func TestSpineConcurrentReadDuringWrite(t *testing.T) {

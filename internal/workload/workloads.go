@@ -141,6 +141,31 @@ func BimodalDoall(n, light, heavy, heavyEvery, seed int64) *loopir.Nest {
 	})
 }
 
+// Irregular is the adaptive-scheduling stress workload: a serial phase
+// loop whose inner Doall changes its cost profile from phase to phase —
+// claim-dominated uniform tiny bodies, a decreasing adjoint-like ramp,
+// and deterministic high-variance bodies, cycling every three phases.
+// No single static scheme fits all three regimes, and with small grain
+// against a nonzero access cost the per-claim overhead dominates, so
+// the workload separates overhead-aware schemes (large chunks) from
+// naive self-scheduling — the scenario family gating the "auto" policy.
+func Irregular(phases, n, grain, seed int64) *loopir.Nest {
+	return loopir.MustBuild(func(b *loopir.B) {
+		b.Serial("PH", loopir.Const(phases), func(b *loopir.B) {
+			b.DoallLeaf("IRR", loopir.Const(n), func(e loopir.Env, iv loopir.IVec, j int64) {
+				switch iv[0] % 3 {
+				case 1: // uniform: pure claim-overhead pressure
+					e.Work(grain)
+				case 2: // decreasing ramp: early iterations cost up to 5x
+					e.Work(grain + (n-j+1)*grain*4/n)
+				default: // deterministic variance in [grain, 9*grain]
+					e.Work(grain + hashCost(seed+iv[0], j)%(grain*8+1))
+				}
+			})
+		})
+	})
+}
+
 // UniformDoall is a single flat Doall loop with constant iteration cost —
 // the baseline for the Section IV utilization measurements (one innermost
 // parallel loop, N iterations of grain tau).

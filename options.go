@@ -22,10 +22,6 @@ var (
 	// ErrBadScheme reports an Options.Scheme that does not parse (unknown
 	// name or invalid parameters).
 	ErrBadScheme = errors.New("repro: bad scheme")
-	// ErrPoolConflict reports contradictory task-pool settings: the
-	// deprecated SingleListPool flag set together with a Pool value that
-	// selects anything other than the single shared list.
-	ErrPoolConflict = errors.New("repro: conflicting task-pool options")
 	// ErrBadFailure reports an Options.Failure outside
 	// KnownFailurePolicies.
 	ErrBadFailure = errors.New("repro: unknown failure policy")
@@ -47,12 +43,13 @@ func KnownPools() []string { return core.PoolNames() }
 // empty string defaults to fail-fast).
 func KnownFailurePolicies() []string { return core.FailurePolicyNames() }
 
-// KnownSchemes lists the accepted Options.Scheme specifications
-// (uppercase letters stand for integer parameters).
-func KnownSchemes() []string {
-	return []string{"ss", "css:K", "sdss", "gss", "tss", "tss:F:L", "fsc", "afs",
-		"static-block", "static-cyclic"}
-}
+// KnownSchemes lists the accepted Options.Scheme specifications,
+// derived from the lowsched scheme registry: every registered scheme's
+// canonical forms first (both arities for optional-parameter schemes,
+// uppercase letters standing for integer parameters), alias forms
+// after. The displayed list and the parser read the same registry, so
+// they cannot drift.
+func KnownSchemes() []string { return lowsched.Specs() }
 
 // Validate checks the options without running anything. It returns nil
 // or an error matching one of the sentinel errors above.
@@ -91,17 +88,10 @@ func (o Options) resolve() (resolved, error) {
 	switch o.Pool {
 	case "":
 		r.pool = core.PoolPerLoop
-		if o.SingleListPool {
-			r.pool = core.PoolSingleList
-		}
 	default:
 		kind, err := core.ParsePool(o.Pool)
 		if err != nil {
 			return r, fmt.Errorf("%w: %q", ErrUnknownPool, o.Pool)
-		}
-		if o.SingleListPool && kind != core.PoolSingleList {
-			return r, fmt.Errorf("%w: deprecated SingleListPool=true contradicts Pool=%q",
-				ErrPoolConflict, o.Pool)
 		}
 		r.pool = kind
 	}

@@ -17,8 +17,6 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"bad scheme params", Options{Scheme: "css:0"}, ErrBadScheme},
 		{"unknown engine", Options{Engine: "abacus"}, ErrUnknownEngine},
 		{"unknown pool", Options{Pool: "heap"}, ErrUnknownPool},
-		{"pool conflict", Options{SingleListPool: true, Pool: "distributed"}, ErrPoolConflict},
-		{"pool conflict per-loop", Options{SingleListPool: true, Pool: "per-loop"}, ErrPoolConflict},
 		{"bad failure policy", Options{Failure: "best-effort"}, ErrBadFailure},
 		{"negative retry attempts", Options{RetryAttempts: -1}, ErrBadRetry},
 		{"negative retry backoff", Options{RetryBackoff: -5}, ErrBadRetry},
@@ -37,9 +35,12 @@ func TestValidateAccepts(t *testing.T) {
 		{},
 		{Scheme: "gss", Engine: EngineReal, Pool: "distributed"},
 		{Scheme: "css:4", Engine: EngineRealSpin, Pool: "single"},
-		{SingleListPool: true},                 // deprecated flag alone
-		{SingleListPool: true, Pool: "single"}, // agreeing settings
+		{Pool: "single-list"},
 		{Scheme: "tss:100:1", Pool: "per-loop"},
+		{Scheme: "fac2"},
+		{Scheme: "af:50", Pool: "distributed"},
+		{Scheme: "tfss:12:2"},
+		{Scheme: "auto"},
 		{Failure: "failfast"},
 		{Failure: "fail-fast"},
 		{Failure: "isolate", RetryAttempts: 3, RetryBackoff: 50},
@@ -87,11 +88,11 @@ func TestIsolateThroughPublicAPI(t *testing.T) {
 	}
 }
 
-func TestDeprecatedSingleListPoolStillWorks(t *testing.T) {
+func TestSingleListPoolByName(t *testing.T) {
 	nest := MustBuild(func(b *B) {
 		b.DoallLeaf("L", Const(64), func(e Env, iv IVec, j int64) { e.Work(10) })
 	})
-	res, err := Execute(nest, Options{Procs: 4, SingleListPool: true})
+	res, err := Execute(nest, Options{Procs: 4, Pool: "single-list"})
 	if err != nil {
 		t.Fatal(err)
 	}

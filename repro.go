@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sync"
 
+	_ "repro/internal/adapt" // registers the adaptive "auto" scheme
 	"repro/internal/core"
 	"repro/internal/descr"
 	"repro/internal/loopir"
@@ -186,8 +187,10 @@ const (
 type Options struct {
 	// Procs is the processor count (default 4).
 	Procs int
-	// Scheme is the low-level self-scheduling policy specification:
-	// "ss", "css:K", "gss", "tss", "tss:F:L", "fsc" (default "ss").
+	// Scheme is the low-level self-scheduling policy specification,
+	// e.g. "ss", "css:K", "gss", "tss:F:L", "fac2", "af:CV", "tfss",
+	// or "auto" (the adaptive policy). KnownSchemes lists every
+	// accepted form; the default is "ss".
 	Scheme string
 	// Engine selects the substrate (default EngineVirtual).
 	Engine EngineKind
@@ -203,12 +206,6 @@ type Options struct {
 	// RemotePenalty is the virtual machine's extra cost for accessing a
 	// synchronization variable homed on another processor (NUMA model).
 	RemotePenalty int64
-	// SingleListPool uses one shared task-pool list (baseline ablation).
-	//
-	// Deprecated: use Pool = "single". Pool is the single source of
-	// truth; setting SingleListPool together with a Pool value other
-	// than "single" is rejected with ErrPoolConflict.
-	SingleListPool bool
 	// Pool selects the task-pool organization: "" or "per-loop" (the
 	// paper's m parallel lists + SW), "single" / "single-list" (one
 	// shared list), or "distributed" (per-processor lists with work

@@ -138,7 +138,7 @@ func TestDoacrossThroughPublicAPI(t *testing.T) {
 }
 
 func TestSingleListAndDispatchOptions(t *testing.T) {
-	res, err := Execute(quickNest(), Options{Procs: 4, SingleListPool: true, DispatchCost: 100})
+	res, err := Execute(quickNest(), Options{Procs: 4, Pool: "single-list", DispatchCost: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

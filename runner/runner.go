@@ -151,6 +151,7 @@ type metrics struct {
 	submitted, done, failed, cancelled      *obs.Counter
 	iterations, instances, chunks, searches *obs.Counter
 	accesses, busy                          *obs.Counter
+	adaptFits, adaptSwitches                *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -165,6 +166,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		searches:   reg.Counter("runner_searches_total", "Task-pool SEARCH calls by finished runs."),
 		accesses:   reg.Counter("runner_sync_accesses_total", "Synchronization-variable accesses by finished runs."),
 		busy:       reg.Counter("runner_busy_time_total", "Summed per-processor busy time of finished runs (engine units)."),
+		adaptFits: reg.Counter("runner_adapt_fits_total",
+			"Adaptive-policy model fits performed by finished runs."),
+		adaptSwitches: reg.Counter("runner_adapt_switches_total",
+			"Adaptive-policy scheme switches performed by finished runs."),
 	}
 }
 
@@ -197,6 +202,8 @@ func (m *metrics) finish(res *repro.Result, err error) {
 	}
 	m.accesses.Add(acc)
 	m.busy.Add(busy)
+	m.adaptFits.Add(res.Stats.AdaptFits)
+	m.adaptSwitches.Add(res.Stats.AdaptSwitches)
 }
 
 // New returns a Runner with the given configuration.

@@ -200,7 +200,7 @@ func TestValidationUpFront(t *testing.T) {
 		{Submission{Program: prog, Options: repro.Options{Scheme: "wrong"}}, repro.ErrBadScheme},
 		{Submission{Program: prog, Options: repro.Options{Engine: "abacus"}}, repro.ErrUnknownEngine},
 		{Submission{Program: prog, Options: repro.Options{Pool: "heap"}}, repro.ErrUnknownPool},
-		{Submission{Program: prog, Options: repro.Options{SingleListPool: true, Pool: "distributed"}}, repro.ErrPoolConflict},
+		{Submission{Program: prog, Options: repro.Options{Scheme: "tfss:1:2"}}, repro.ErrBadScheme},
 	}
 	for _, c := range cases {
 		if _, err := rn.Submit(c.sub); !errors.Is(err, c.want) {
