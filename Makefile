@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,19 @@ verify-chaos:
 	$(GO) test -race -shuffle=on ./internal/enginetest/ ./internal/core/ ./internal/fault/ ./internal/runmgr/ ./runner/
 	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_chaos.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_chaos.json
+
+# verify-replay gates the replayable-runs surface: the resume
+# conformance matrix (checkpoint at chunk k × scheme × pool, resumed
+# runs bit-identical to uninterrupted ones), the journal decoder's fuzz
+# seed corpus, and the flight-recorder/journal/checkpoint stacks under
+# the race detector with shuffled order; the virtual engine with the
+# recorder disabled still reproduces the committed baseline bit-for-bit
+# (the replay seams must cost nothing when off).
+verify-replay:
+	$(GO) test -race -shuffle=on ./internal/flight/ ./internal/journal/ ./internal/enginetest/ ./internal/core/ ./internal/runmgr/ ./runner/ ./cmd/loopschedd/ ./cmd/loopsched/
+	$(GO) test -run FuzzDecode ./internal/journal/
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_replay.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_replay.json
 
 # verify-adapt gates the adaptive-scheduling surface: the auto policy
 # passes the full engine conformance matrix and the adapt fitter/

@@ -6,6 +6,9 @@
 //	loopsched -workload fig1 -procs 8 -scheme gss
 //	loopsched -workload adjoint -n 512 -scheme tss -show-program
 //	loopsched -workload wavefront -n 200 -scheme css:4 -access 5
+//	loopsched -workload flat -diagnose
+//	loopsched -workload flat -checkpoint-after 20 -checkpoint-out ck.json
+//	loopsched -workload flat -resume ck.json
 //	loopsched -list
 //
 // Workloads: fig1 (the paper's example program), adjoint, radjoint,
@@ -119,6 +122,10 @@ func run(args []string, out io.Writer) error {
 		showInstr   = fs.Bool("show-instr", false, "print the instrumented-program listing")
 		jsonOut     = fs.Bool("json", false, "emit the run result as JSON")
 		coalesce    = fs.Bool("coalesce", false, "apply implicit loop coalescing")
+		diagnose    = fs.Bool("diagnose", false, "attach a flight recorder and print the scheduler diagnostic dump after the run")
+		ckptAfter   = fs.Int64("checkpoint-after", 0, "pause the run after this many chunk claims and emit a checkpoint")
+		ckptOut     = fs.String("checkpoint-out", "", "file to write the checkpoint to (default stdout)")
+		resumeFrom  = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint-out")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,18 +198,55 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := prog.RunContext(ctx, repro.Options{
-		Procs:         *procs,
-		Scheme:        *scheme,
-		Engine:        repro.EngineKind(*engine),
-		AccessCost:    *access,
-		Combining:     *combining,
-		RemotePenalty: *remote,
-		Pool:          pool,
-		DispatchCost:  *dispatch,
-		Verify:        *verify,
-		CollectTrace:  *gantt > 0,
-	})
+	opts := repro.Options{
+		Procs:           *procs,
+		Scheme:          *scheme,
+		Engine:          repro.EngineKind(*engine),
+		AccessCost:      *access,
+		Combining:       *combining,
+		RemotePenalty:   *remote,
+		Pool:            pool,
+		DispatchCost:    *dispatch,
+		Verify:          *verify,
+		CollectTrace:    *gantt > 0,
+		CheckpointAfter: *ckptAfter,
+	}
+	var live repro.Live
+	if *diagnose {
+		opts.Diagnostics = true
+		opts.FlightRecorder = 256
+		opts.Observe = func(l repro.Live) { live = l }
+	}
+	if *resumeFrom != "" {
+		src, err := os.ReadFile(*resumeFrom)
+		if err != nil {
+			return err
+		}
+		ck := &repro.Checkpoint{}
+		if err := json.Unmarshal(src, ck); err != nil {
+			return fmt.Errorf("%s: not a checkpoint: %v", *resumeFrom, err)
+		}
+		opts.Resume = ck
+	}
+	res, err := prog.RunContext(ctx, opts)
+	var cke *repro.CheckpointedError
+	if errors.As(err, &cke) {
+		wire, err := json.MarshalIndent(cke.Checkpoint, "", "  ")
+		if err != nil {
+			return err
+		}
+		if *ckptOut != "" {
+			if err := os.WriteFile(*ckptOut, wire, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%v\ncheckpoint written to %s; resume the run with -resume %s\n",
+				cke, *ckptOut, *ckptOut)
+		} else {
+			fmt.Fprintf(out, "%s\n", wire)
+		}
+		printDiagnostic(out, *diagnose, live)
+		return nil
+	}
 	if err != nil {
 		return runError(err, *timeout)
 	}
@@ -265,7 +309,20 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-12s accesses %8d   wait %10d\n", h.Name, h.Accesses, h.Wait)
 		}
 	}
+	printDiagnostic(out, *diagnose, live)
 	return nil
+}
+
+// printDiagnostic dumps the executor's scheduling state — including the
+// flight recorder's tail of the last scheduler events — when -diagnose
+// captured a live probe.
+func printDiagnostic(out io.Writer, enabled bool, live repro.Live) {
+	if !enabled || live == nil {
+		return
+	}
+	if d, ok := live.(core.Diagnoser); ok {
+		fmt.Fprintf(out, "\ndiagnostic dump:\n%s", d.Diagnose())
+	}
 }
 
 // runError maps the typed option errors to messages that include the
@@ -278,6 +335,10 @@ func runError(err error, timeout time.Duration) error {
 		return fmt.Errorf("%v\nvalid engines: %s", err, strings.Join(repro.KnownEngines(), ", "))
 	case errors.Is(err, repro.ErrUnknownPool):
 		return fmt.Errorf("%v\nvalid pools: %s", err, strings.Join(repro.KnownPools(), ", "))
+	case errors.Is(err, repro.ErrNotCheckpointable):
+		return fmt.Errorf("%v\ncheckpointing needs a dynamic scheme and the default failure policy", err)
+	case errors.Is(err, repro.ErrBadCheckpoint), errors.Is(err, repro.ErrBadSnapshot):
+		return fmt.Errorf("%v\nthe -resume file must come from -checkpoint-out for the same program and options", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("run aborted: -timeout %v expired", timeout)
 	}

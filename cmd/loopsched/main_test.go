@@ -165,3 +165,64 @@ func TestWorkloadTableComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestDiagnoseFlagPrintsFlightTail(t *testing.T) {
+	out := runCLI(t, "-workload", "flat", "-n", "50", "-procs", "2", "-diagnose")
+	for _, want := range []string{"diagnostic dump:", "flight recorder:", "claim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-diagnose output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckpointOutAndResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	out := runCLI(t, "-workload", "flat", "-n", "200", "-procs", "4", "-scheme", "gss",
+		"-checkpoint-after", "3", "-checkpoint-out", ck)
+	if !strings.Contains(out, "checkpoint written to "+ck) {
+		t.Fatalf("no checkpoint confirmation:\n%s", out)
+	}
+	wire, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(wire, &payload); err != nil {
+		t.Fatalf("checkpoint file is not JSON: %v", err)
+	}
+	if _, ok := payload["snapshot"]; !ok {
+		t.Fatalf("checkpoint file carries no snapshot: %s", wire)
+	}
+
+	resumed := runCLI(t, "-workload", "flat", "-n", "200", "-procs", "4", "-scheme", "gss",
+		"-resume", ck)
+	if !strings.Contains(resumed, "iterations 200") {
+		t.Errorf("resumed run did not finish all iterations:\n%s", resumed)
+	}
+
+	// Without -checkpoint-out the checkpoint goes to stdout as JSON.
+	inline := runCLI(t, "-workload", "flat", "-n", "200", "-procs", "4", "-scheme", "gss",
+		"-checkpoint-after", "3")
+	if err := json.Unmarshal([]byte(inline), &payload); err != nil {
+		t.Errorf("inline checkpoint output is not JSON: %v\n%s", err, inline)
+	}
+}
+
+func TestResumeErrorsAreFriendly(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"program":"feedface","snapshot":null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-workload", "flat", "-n", "50", "-resume", bad}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-out") {
+		t.Errorf("foreign checkpoint err = %v, want pointer at -checkpoint-out", err)
+	}
+	err = run([]string{"-workload", "flat", "-n", "50", "-scheme", "static-block",
+		"-checkpoint-after", "3"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "dynamic scheme") {
+		t.Errorf("static scheme err = %v, want checkpointing hint", err)
+	}
+}

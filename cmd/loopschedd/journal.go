@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+
+	"repro"
+	"repro/internal/journal"
+	"repro/runner"
+)
+
+// Journal record kinds. The journal package treats these as opaque; the
+// daemon's contract is: a run whose last record is not terminal was
+// still live (queued or running) when the process died, and is
+// re-queued on the next boot.
+const (
+	// kindSubmit carries a journalSubmit payload: everything needed to
+	// re-create the submission.
+	kindSubmit journal.Kind = 1
+	// kindStart marks the run's transition to running (no payload).
+	kindStart journal.Kind = 2
+	// kindTerminal carries a journalTerminal payload.
+	kindTerminal journal.Kind = 3
+)
+
+// journalSubmit is the kindSubmit payload — the wire submission itself,
+// so replay goes through the same parse/compile/validate path as a
+// fresh request.
+type journalSubmit struct {
+	Program string     `json:"program"`
+	Label   string     `json:"label,omitempty"`
+	Timeout string     `json:"timeout,omitempty"`
+	Options runOptions `json:"options"`
+}
+
+// journalTerminal is the kindTerminal payload. Checkpointed runs carry
+// their snapshot, so a client can still fetch and resume it after a
+// daemon restart.
+type journalTerminal struct {
+	State      string            `json:"state"`
+	Error      string            `json:"error,omitempty"`
+	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// recordSubmit journals a fresh submission under its run ID. Replayed
+// submissions are not re-journaled — their original submit record is
+// still in the file.
+func (s *server) recordSubmit(id string, req journalSubmit) {
+	if s.jw == nil {
+		return
+	}
+	data, err := json.Marshal(req)
+	if err == nil {
+		err = s.jw.Append(kindSubmit, id, data)
+	}
+	if err != nil {
+		log.Printf("loopschedd: journal submit %s: %v", id, err)
+	}
+}
+
+// watchJournal follows one run and journals its start and terminal
+// transitions. One goroutine per live run; close waits for them so a
+// drain cannot lose the terminal records.
+func (s *server) watchJournal(run *runner.Run) {
+	if s.jw == nil {
+		return
+	}
+	s.watchers.Add(1)
+	go func() {
+		defer s.watchers.Done()
+		select {
+		case <-run.Started():
+			if err := s.jw.Append(kindStart, run.ID(), nil); err != nil {
+				log.Printf("loopschedd: journal start %s: %v", run.ID(), err)
+			}
+		case <-run.Done():
+			// Terminal without starting (cancelled while queued), or both
+			// channels raced closed — the terminal record below is the one
+			// replay relies on either way.
+		}
+		<-run.Done()
+		term := journalTerminal{State: run.State().String()}
+		if _, err := run.Result(); err != nil {
+			term.Error = err.Error()
+		}
+		if ck := run.Checkpoint(); ck != nil {
+			term.Checkpoint = ck
+		}
+		data, err := json.Marshal(term)
+		if err == nil {
+			err = s.jw.Append(kindTerminal, run.ID(), data)
+		}
+		if err != nil {
+			log.Printf("loopschedd: journal terminal %s: %v", run.ID(), err)
+		}
+	}()
+}
+
+// replayJournal reads the journal and re-queues every run whose last
+// record is not terminal, under its original ID. Damaged records are
+// logged and skipped (the journal package guarantees every intact
+// record is still returned); a run whose submission no longer
+// re-creates is logged and dropped rather than wedging boot.
+func (s *server) replayJournal(path string) {
+	recs, err := journal.ReadFile(path)
+	if err != nil {
+		log.Printf("loopschedd: journal %s has damaged records (replaying the intact ones): %v", path, err)
+	}
+	type pending struct {
+		sub      journalSubmit
+		terminal bool
+	}
+	byID := map[string]*pending{}
+	var order []string
+	for _, rec := range recs {
+		switch rec.Kind {
+		case kindSubmit:
+			var sub journalSubmit
+			if err := json.Unmarshal(rec.Data, &sub); err != nil {
+				log.Printf("loopschedd: journal replay: bad submit payload for %s: %v", rec.ID, err)
+				continue
+			}
+			if _, dup := byID[rec.ID]; !dup {
+				byID[rec.ID] = &pending{sub: sub}
+				order = append(order, rec.ID)
+			}
+		case kindTerminal:
+			if p, ok := byID[rec.ID]; ok {
+				p.terminal = true
+			}
+		}
+	}
+	replayed := 0
+	for _, id := range order {
+		p := byID[id]
+		if p.terminal {
+			continue
+		}
+		sub, err := s.buildSubmission(submitRequest{
+			Program: p.sub.Program,
+			Label:   p.sub.Label,
+			Timeout: p.sub.Timeout,
+			Options: p.sub.Options,
+		})
+		if err != nil {
+			log.Printf("loopschedd: journal replay: run %s no longer submits: %v", id, err)
+			continue
+		}
+		sub.ID = id
+		// The journal writer is not open yet (replay precedes it, so these
+		// submissions are not re-journaled); newServer attaches the
+		// transition watchers once it is.
+		if _, err := s.rn.Submit(sub); err != nil {
+			if errors.Is(err, runner.ErrQueueFull) {
+				log.Printf("loopschedd: journal replay: queue full, dropping run %s", id)
+				continue
+			}
+			log.Printf("loopschedd: journal replay: run %s: %v", id, err)
+			continue
+		}
+		replayed++
+	}
+	if replayed > 0 {
+		log.Printf("loopschedd: journal replay re-queued %d run(s) from %s", replayed, path)
+	}
+}

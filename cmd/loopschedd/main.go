@@ -11,6 +11,10 @@
 //	GET  /v1/runs/{id}           one run's status, with the result once done
 //	GET  /v1/runs/{id}/progress  NDJSON stream of progress until terminal
 //	POST /v1/runs/{id}/cancel    request cancellation
+//	POST /v1/runs/{id}/checkpoint pause a checkpointable run; fetch the
+//	                             snapshot from GET /v1/runs/{id} once its
+//	                             state is "checkpointed", resume it by
+//	                             submitting with options.resume
 //	GET  /healthz                liveness
 //	GET  /readyz                 readiness: 503 once the server is
 //	                             draining for shutdown
@@ -23,9 +27,14 @@
 //	                             instances, searches, busy time, sync
 //	                             accesses), live queue gauges, uptime
 //
+// With -journal FILE the daemon appends every submission and lifecycle
+// transition to a durable append-only journal; on the next boot, runs
+// whose last record is not terminal are re-queued under their original
+// IDs. -journal-sync picks the fsync policy (always|close|none).
+//
 // Example:
 //
-//	loopschedd -addr :8080 -max-concurrent 4 &
+//	loopschedd -addr :8080 -max-concurrent 4 -journal /var/lib/loopschedd/runs.journal &
 //	curl -s localhost:8080/v1/runs -d '{"program":"doall I = 1..2000 { work 100 }","options":{"procs":8,"scheme":"gss"}}'
 //	curl -s localhost:8080/v1/runs/run-0001
 package main
@@ -42,12 +51,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/lang"
 	"repro/internal/obs"
 	"repro/runner"
@@ -64,10 +75,16 @@ func main() {
 		watchdog       = flag.Duration("watchdog", 0, "declare a run stuck after this long without scheduling progress (0 = off)")
 		watchdogCancel = flag.Bool("watchdog-cancel", false, "cancel runs the watchdog declares stuck")
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for live runs to finish before cancelling them")
+		journalPath    = flag.String("journal", "", "durable run journal file; on boot, non-terminal runs are re-queued from it (\"\" = no journal)")
+		journalSync    = flag.String("journal-sync", "always", "journal fsync policy: always, close or none")
 	)
 	flag.Parse()
 
-	srv := newServer(serverConfig{
+	syncPolicy, err := journal.ParseSync(*journalSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := newServer(serverConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueLimit:     *queueLimit,
 		SampleInterval: *sample,
@@ -75,7 +92,12 @@ func main() {
 		MaxBodyBytes:   *maxBodyBytes,
 		Watchdog:       *watchdog,
 		WatchdogCancel: *watchdogCancel,
+		JournalPath:    *journalPath,
+		JournalSync:    syncPolicy,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -113,6 +135,12 @@ type serverConfig struct {
 	Watchdog time.Duration
 	// WatchdogCancel cancels runs the watchdog declares stuck.
 	WatchdogCancel bool
+	// JournalPath is the durable run journal file; "" disables
+	// journalling. On boot the journal is replayed and every run without
+	// a terminal record is re-queued under its original ID.
+	JournalPath string
+	// JournalSync is the journal's fsync policy.
+	JournalSync journal.Sync
 }
 
 // server is the HTTP front end over a runner.Runner. It is an
@@ -124,9 +152,14 @@ type server struct {
 	mux      *http.ServeMux
 	started  time.Time
 	draining atomic.Bool
+	// jw is the run journal (nil when journalling is off); watchers
+	// tracks the per-run goroutines appending transition records, so
+	// close can wait for the terminal records before flushing.
+	jw       *journal.Writer
+	watchers sync.WaitGroup
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
@@ -157,13 +190,31 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	return s
+	if cfg.JournalPath != "" {
+		// Replay first, then open for appending: the replayed submissions
+		// must not be re-journaled, and their new transitions append after
+		// everything already in the file.
+		s.replayJournal(cfg.JournalPath)
+		jw, err := journal.Open(cfg.JournalPath, cfg.JournalSync)
+		if err != nil {
+			s.rn.Close()
+			return nil, fmt.Errorf("loopschedd: open journal: %w", err)
+		}
+		s.jw = jw
+		// The replayed runs were submitted before jw existed; attach their
+		// transition watchers now.
+		for _, run := range s.rn.Runs() {
+			s.watchJournal(run)
+		}
+	}
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -182,7 +233,9 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 // close drains gracefully: stop accepting submissions, give live runs
 // until ctx expires to finish on their own, then cancel the stragglers
-// and wait briefly for them to unwind.
+// and wait briefly for them to unwind. With a journal, the per-run
+// transition watchers are joined and the journal flushed before close
+// returns, so a clean shutdown loses no terminal records.
 func (s *server) close(ctx context.Context) {
 	s.draining.Store(true)
 	if err := s.rn.Drain(ctx); err != nil {
@@ -192,6 +245,13 @@ func (s *server) close(ctx context.Context) {
 	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	s.rn.Drain(grace)
+	if s.jw != nil {
+		// Every run is terminal now, so the watchers finish promptly.
+		s.watchers.Wait()
+		if err := s.jw.Close(); err != nil {
+			log.Printf("loopschedd: journal close: %v", err)
+		}
+	}
 }
 
 // Wire types.
@@ -219,30 +279,42 @@ type runOptions struct {
 	Failure       string `json:"failure,omitempty"`
 	RetryAttempts int    `json:"retry_attempts,omitempty"`
 	RetryBackoff  int64  `json:"retry_backoff,omitempty"`
+	// Checkpointable enables POST /v1/runs/{id}/checkpoint for the run;
+	// CheckpointAfter pauses it on its own after that many chunk claims.
+	// Resume restores a checkpoint captured from an identical program
+	// (returned in a checkpointed run's status).
+	Checkpointable  bool              `json:"checkpointable,omitempty"`
+	CheckpointAfter int64             `json:"checkpoint_after,omitempty"`
+	Resume          *repro.Checkpoint `json:"resume,omitempty"`
 }
 
 func (o runOptions) toOptions() repro.Options {
 	return repro.Options{
-		Procs:         o.Procs,
-		Scheme:        o.Scheme,
-		Engine:        repro.EngineKind(o.Engine),
-		Pool:          o.Pool,
-		AccessCost:    o.AccessCost,
-		SpinCost:      o.SpinCost,
-		Combining:     o.Combining,
-		RemotePenalty: o.RemotePenalty,
-		DispatchCost:  o.DispatchCost,
-		Verify:        o.Verify,
-		Failure:       o.Failure,
-		RetryAttempts: o.RetryAttempts,
-		RetryBackoff:  o.RetryBackoff,
+		Procs:           o.Procs,
+		Scheme:          o.Scheme,
+		Engine:          repro.EngineKind(o.Engine),
+		Pool:            o.Pool,
+		AccessCost:      o.AccessCost,
+		SpinCost:        o.SpinCost,
+		Combining:       o.Combining,
+		RemotePenalty:   o.RemotePenalty,
+		DispatchCost:    o.DispatchCost,
+		Verify:          o.Verify,
+		Failure:         o.Failure,
+		RetryAttempts:   o.RetryAttempts,
+		RetryBackoff:    o.RetryBackoff,
+		Checkpointable:  o.Checkpointable,
+		CheckpointAfter: o.CheckpointAfter,
+		Resume:          o.Resume,
 	}
 }
 
-// runStatus is a progress snapshot plus, for a finished run, the result.
+// runStatus is a progress snapshot plus, for a finished run, the result
+// — or, for a checkpointed run, the resumable checkpoint.
 type runStatus struct {
 	runner.Progress
-	Result *runResult `json:"result,omitempty"`
+	Result     *runResult        `json:"result,omitempty"`
+	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 type runResult struct {
@@ -278,14 +350,37 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	if req.Program == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing program"))
+	sub, err := s.buildSubmission(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	run, err := s.rn.Submit(sub)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	s.recordSubmit(run.ID(), journalSubmit{
+		Program: req.Program,
+		Label:   req.Label,
+		Timeout: req.Timeout,
+		Options: req.Options,
+	})
+	s.watchJournal(run)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+// buildSubmission turns a wire submission into a runner submission; the
+// boot-time journal replay reuses it so replayed runs go through exactly
+// the fresh-request path.
+func (s *server) buildSubmission(req submitRequest) (runner.Submission, error) {
+	if req.Program == "" {
+		return runner.Submission{}, errors.New("missing program")
 	}
 	nest, err := lang.Parse(req.Program)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("parse program: %w", err))
-		return
+		return runner.Submission{}, fmt.Errorf("parse program: %w", err)
 	}
 	var copts []repro.CompileOption
 	if req.Options.Coalesce {
@@ -293,28 +388,20 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	prog, err := repro.Compile(nest, copts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("compile program: %w", err))
-		return
+		return runner.Submission{}, fmt.Errorf("compile program: %w", err)
 	}
 	timeout := s.cfg.DefaultTimeout
 	if req.Timeout != "" {
 		if timeout, err = time.ParseDuration(req.Timeout); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout: %w", err))
-			return
+			return runner.Submission{}, fmt.Errorf("bad timeout: %w", err)
 		}
 	}
-	run, err := s.rn.Submit(runner.Submission{
+	return runner.Submission{
 		Program: prog,
 		Options: req.Options.toOptions(),
 		Timeout: timeout,
 		Label:   req.Label,
-	})
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, runStatus{Progress: run.Progress()})
+	}, nil
 }
 
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -343,6 +430,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 			Stats:       res.Stats,
 		}
 	}
+	st.Checkpoint = run.Checkpoint()
 	writeJSON(w, st)
 }
 
@@ -388,6 +476,25 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.WriteProm(&sb)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, sb.String())
+}
+
+// handleCheckpoint asks a running checkpointable run to pause and
+// capture a snapshot. The pause completes asynchronously: poll the run
+// (or its progress stream) for state "checkpointed", then read the
+// checkpoint from GET /v1/runs/{id}.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	if !run.RequestCheckpoint() {
+		writeError(w, http.StatusConflict,
+			errors.New("run is not checkpointable (submit with options.checkpointable) or not running"))
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, runStatus{Progress: run.Progress()})
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

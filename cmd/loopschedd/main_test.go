@@ -19,7 +19,10 @@ func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	if cfg.SampleInterval == 0 {
 		cfg.SampleInterval = 5 * time.Millisecond
 	}
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()

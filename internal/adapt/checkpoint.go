@@ -1,0 +1,72 @@
+package adapt
+
+import (
+	"fmt"
+
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/pool"
+)
+
+// Checkpoint/resume support: the auto policy pins a regime per instance
+// (autoState), so an in-flight instance's claim state is its cursor word
+// plus the spec of the calculator that encodes it. The three cursor-seam
+// interfaces (lowsched/cursor.go) expose exactly that pair: snapshots
+// record the pinned spec next to the cursor, and restore re-pins the
+// same calculator before the cursor is re-seeded — never the policy's
+// current regime, which may have drifted since the checkpoint.
+
+// CursorCalc implements lowsched.CursorSource through the pinned regime.
+func (p *policy) CursorCalc(icb *pool.ICB) (lowsched.ChunkCalculator, bool) {
+	st, ok := icb.Sched.(*autoState)
+	if !ok {
+		return nil, false
+	}
+	cs, ok := st.r.pol.(lowsched.CursorSource)
+	if !ok {
+		return nil, false
+	}
+	return cs.CursorCalc(icb)
+}
+
+// PinnedSpec implements lowsched.CursorPinner: the spec of the regime
+// the instance activated under.
+func (p *policy) PinnedSpec(icb *pool.ICB) (string, bool) {
+	st, ok := icb.Sched.(*autoState)
+	if !ok {
+		return "", false
+	}
+	return st.r.spec, true
+}
+
+// RestoreCursor implements lowsched.CursorRestorer: re-pin the instance
+// to the calculator spec recorded in its snapshot. The candidate set is
+// cursor schemes only, so a spec that parses but binds to a non-cursor
+// policy means the snapshot was not produced by this policy.
+func (p *policy) RestoreCursor(pr machine.Proc, icb *pool.ICB, spec string) error {
+	s, err := lowsched.Parse(spec)
+	if err != nil {
+		return fmt.Errorf("adapt: snapshot pins unknown scheme %q: %v", spec, err)
+	}
+	pol, err := bindSpec(s, p.nprocs)
+	if err != nil {
+		return fmt.Errorf("adapt: snapshot pins scheme %q: %v", spec, err)
+	}
+	if _, ok := pol.(lowsched.CursorSource); !ok {
+		return fmt.Errorf("adapt: snapshot pins non-cursor scheme %q", spec)
+	}
+	icb.Sched = &autoState{r: &regime{pol: pol, spec: spec}}
+	pol.Init(pr, icb)
+	return nil
+}
+
+// bindSpec is lowsched.Bind with its validation panics (bad chunk
+// parameters on an adversarial snapshot) converted to errors.
+func bindSpec(s lowsched.Scheme, nprocs int) (pol lowsched.Policy, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return lowsched.Bind(s, nprocs), nil
+}

@@ -229,6 +229,11 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 			return out, err
 		}
 		out.Metrics["fault_overhead_ns"] = m
+		m, err = recorderOverhead(prog, s, cfg, samples)
+		if err != nil {
+			return out, err
+		}
+		out.Metrics["recorder_overhead_ns"] = m
 	}
 	return out, nil
 }
@@ -251,6 +256,32 @@ func faultOverhead(prog *repro.Program, s Scenario, cfg RunConfig, base []repSam
 		wall := float64(time.Since(t0).Nanoseconds())
 		if err != nil {
 			return Metric{}, fmt.Errorf("isolate rep %d: %w", i, err)
+		}
+		if res.Stats.Iterations > 0 {
+			vals = append(vals, (wall-base[i].wallNS)/float64(res.Stats.Iterations))
+		}
+	}
+	return Metric{Unit: "ns", Better: BetterLess, Summary: Summarize(vals)}, nil
+}
+
+// recorderOverhead measures what an attached flight recorder costs on
+// the real engines: paired repetitions with a per-processor event ring,
+// differenced against the base reps per executed iteration. Ungated —
+// a wall-clock trend metric; the recorder's disabled-cost (zero) is
+// enforced separately by bit-identity against the seed baselines.
+func recorderOverhead(prog *repro.Program, s Scenario, cfg RunConfig, base []repSample) (Metric, error) {
+	rec := s.Opts
+	rec.FlightRecorder = 256
+	if _, err := prog.Run(rec); err != nil {
+		return Metric{}, fmt.Errorf("recorder warmup: %w", err)
+	}
+	vals := make([]float64, 0, cfg.Reps)
+	for i := 0; i < cfg.Reps; i++ {
+		t0 := time.Now()
+		res, err := prog.Run(rec)
+		wall := float64(time.Since(t0).Nanoseconds())
+		if err != nil {
+			return Metric{}, fmt.Errorf("recorder rep %d: %w", i, err)
 		}
 		if res.Stats.Iterations > 0 {
 			vals = append(vals, (wall-base[i].wallNS)/float64(res.Stats.Iterations))

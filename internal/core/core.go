@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/descr"
 	"repro/internal/fault"
+	"repro/internal/flight"
 	"repro/internal/loopir"
 	"repro/internal/lowsched"
 	"repro/internal/machine"
@@ -203,6 +204,21 @@ type Config struct {
 	// instances (index/icount/pcount). Off by default — the activation
 	// path stays lock-free without it.
 	Diagnostics bool
+	// Recorder, if non-nil, is the kernel flight recorder: every worker
+	// appends its scheduling events (activation, claim, chunk, exit,
+	// barrier, switch) to its per-processor ring, and Diagnose folds the
+	// merged tail into its dump. Nil — the default — costs the hot path
+	// a single pointer test per event site; recording is host-side and
+	// charges no machine time either way.
+	Recorder *flight.Recorder
+	// Checkpoint, if non-nil, enables the run's checkpoint/resume seam
+	// (see checkpoint.go): the run pauses at claim-quiescence when
+	// requested (RequestCheckpoint, or automatically after AfterChunks
+	// claims) and returns a *CheckpointedError carrying the snapshot;
+	// with Restore set, the run resumes from a snapshot instead of
+	// entering the program from the top. Enabling it also enables
+	// live-instance tracking (the snapshot enumerates in-flight ICBs).
+	Checkpoint *CheckpointConfig
 }
 
 // Probe is a live, concurrency-safe view into one execution. The counters
@@ -275,11 +291,23 @@ type executor struct {
 	// live counts activated-but-unreleased instances, for the post-run
 	// quiescence check.
 	live atomic.Int64
+	// ckptReq is the checkpoint pause request: workers drain out at
+	// claim boundaries when it is set (checkpoint.go). Only ever set
+	// when cfg.Checkpoint is non-nil.
+	ckptReq atomic.Bool
+	// claims counts chunk claims globally when ckptAfter is positive,
+	// realizing the deterministic claim-k checkpoint trigger.
+	claims atomic.Int64
 
 	// inj and retry are cfg.Inject and cfg.Retry hoisted onto the
-	// executor so the kernel's hot path reads one flat field.
-	inj   *fault.Injector
-	retry Retry
+	// executor so the kernel's hot path reads one flat field; ckptAfter,
+	// restore and rec hoist the checkpoint trigger, the resume snapshot
+	// and the flight recorder the same way.
+	inj       *fault.Injector
+	retry     Retry
+	ckptAfter int64
+	restore   *RunSnapshot
+	rec       *flight.Recorder
 	// failures is the Isolate policy's quarantine log.
 	failures failureLog
 	// insts tracks live ICBs for Diagnose when cfg.Diagnostics is set;
@@ -311,8 +339,14 @@ func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 		workers: make([]worker, nprocs),
 		inj:     cfg.Inject,
 		retry:   cfg.Retry,
+		rec:     cfg.Recorder,
 	}
-	if cfg.Diagnostics {
+	if cfg.Checkpoint != nil {
+		ex.ckptAfter = cfg.Checkpoint.AfterChunks
+	}
+	if cfg.Diagnostics || cfg.Checkpoint != nil {
+		// Checkpointing needs the live-instance set too: the snapshot is
+		// built by enumerating in-flight ICBs.
 		ex.insts = map[*pool.ICB]struct{}{}
 	}
 	prog := pl.prog
@@ -386,9 +420,10 @@ func (ex *executor) aborted() bool {
 }
 
 // stop reports whether workers should give up searching: program
-// complete, a body failed, or the run was interrupted.
+// complete, a body failed, the run was interrupted, or a checkpoint
+// pause was requested (the SEARCH sweep is a claim boundary).
 func (ex *executor) stop() bool {
-	return ex.done.Load() || ex.aborted()
+	return ex.done.Load() || ex.aborted() || ex.ckptReq.Load()
 }
 
 // LiveStats implements Probe.
@@ -480,8 +515,17 @@ func (ex *executor) Diagnose() string {
 	if d, ok := ex.policy.(interface{ DiagnoseString() string }); ok {
 		b.WriteString(d.DiagnoseString())
 	}
+	if ex.rec != nil {
+		// The flight-recorder tail: the last scheduler events before the
+		// run went quiet, merged across processors.
+		b.WriteString(ex.rec.Dump(diagnoseTailEvents))
+	}
 	return b.String()
 }
+
+// diagnoseTailEvents is how many flight-recorder events a Diagnose dump
+// ships (merged across processors, newest last).
+const diagnoseTailEvents = 32
 
 func plural(n int, one, many string) string {
 	if n == 1 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/descr"
+	"repro/internal/flight"
 	"repro/internal/lowsched"
 	"repro/internal/pool"
 )
@@ -32,6 +33,9 @@ func (w *worker) exitFrom(cur, lvl int, loc []int64) int {
 				return 0
 			}
 			// Barrier complete: the whole parallel loop finished.
+			if w.rec != nil {
+				w.rec.Record(int64(w.pr.Now()), flight.Barrier, int32(w.pr.ID()), int32(d.LoopID), bound, 0)
+			}
 		} else {
 			if loc[lvl] < bound {
 				// Advance the serial loop to its next iteration; the
@@ -163,6 +167,9 @@ func (w *worker) activate(leaf *descr.LeafInfo, loc []int64) {
 	w.shard.Inc(cInstances)
 	if ex.cfg.Tracer != nil {
 		ex.cfg.Tracer.InstanceActivated(leaf.Num, icb.IVec, bound, w.pr.Now())
+	}
+	if w.rec != nil {
+		w.rec.Record(int64(w.pr.Now()), flight.Begin, int32(w.pr.ID()), int32(leaf.Num), bound, 0)
 	}
 	// Register before Append: once published, any processor may claim,
 	// complete and release the block.

@@ -160,6 +160,20 @@ func (l *failureLog) add(loop int, ivec loopir.IVec, j int64, attempts int, msg 
 	})
 }
 
+// seed pre-loads the log with a previous run segment's report, so a
+// resumed run's final FailureReport covers the whole run. It must run
+// before any worker starts (no locking discipline beyond the mutex is
+// needed then).
+func (l *failureLog) seed(fr *FailureReport) {
+	if fr == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.iters += fr.Iterations
+	l.ranges = append(l.ranges, fr.Ranges...)
+}
+
 // report renders the log as a FailureReport, or nil when the run had no
 // quarantined iterations (so zero-failure snapshots serialize without a
 // failures field). Safe to call while the run is in flight.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/flight"
 	"repro/internal/lowsched"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -59,6 +60,9 @@ type worker struct {
 	// claim (-1 before the first), stored host-side for the stuck-run
 	// watchdog's per-processor diagnostics; it charges no machine time.
 	lastClaim atomic.Int64
+	// rec is this processor's flight-recorder ring, nil when recording
+	// is off — every record site pays exactly one nil test then.
+	rec *flight.Ring
 	// pad keeps adjacent workers in the executor's slice from sharing a
 	// cache line (the shard and freelist headers above are written on
 	// every scheduling decision).
@@ -76,6 +80,10 @@ func (w *worker) init(ex *executor, pr machine.Proc) {
 	// programs without structural parallel loops never pay for it.
 	w.ctx = Ctx{pr: pr, abort: ex.aborted, shard: w.shard}
 	w.stop = ex.stop
+	w.rec = nil
+	if ex.rec != nil {
+		w.rec = ex.rec.Ring(pr.ID())
+	}
 	if n, ok := ex.policy.(lowsched.Needer); ok {
 		w.needs = func(icb *pool.ICB) bool { return n.Needs(pr, icb) }
 	}
@@ -149,13 +157,18 @@ func (w *worker) run() {
 	defer w.flushSearch()
 
 	// The program prologue: processor 0 activates the initial instances
-	// (the nodes without predecessors in the macro-dataflow graph).
+	// (the nodes without predecessors in the macro-dataflow graph) — or,
+	// on a resumed run, republishes the snapshot's in-flight instances.
 	if pr.ID() == 0 {
 		w.loc[1] = 1
-		t0 := pr.Now()
-		w.enter(ex.plan.prog.Entry, 1, w.loc)
-		w.shard.Add(cO3Time, pr.Now()-t0)
-		w.shard.Inc(cEnters)
+		if ex.restore != nil {
+			w.restorePrologue()
+		} else {
+			t0 := pr.Now()
+			w.enter(ex.plan.prog.Entry, 1, w.loc)
+			w.shard.Add(cO3Time, pr.Now()-t0)
+			w.shard.Inc(cEnters)
+		}
 	}
 
 	var icb *pool.ICB
@@ -183,6 +196,13 @@ func (w *worker) run() {
 			}
 		}
 
+		if ex.ckptReq.Load() {
+			// Checkpoint pause at the claim boundary: leave without
+			// claiming. The hold is deliberately not dropped — the ICB
+			// must stay live so the snapshot captures it; abandoned
+			// pcounts are not part of the snapshot.
+			return
+		}
 		t0 := pr.Now()
 		a, ok, last := ex.policy.Next(pr, icb)
 		if !ok {
@@ -190,6 +210,9 @@ func (w *worker) run() {
 			// new work ({ip->pcount; Decrement}; SEARCH).
 			icb.PCount.FetchDec(pr)
 			w.shard.Add(cO1Time, pr.Now()-t0)
+			if w.rec != nil {
+				w.rec.Record(int64(pr.Now()), flight.Switch, int32(pr.ID()), int32(icb.Loop), 0, 0)
+			}
 			icb = nil
 			continue
 		}
@@ -200,6 +223,15 @@ func (w *worker) run() {
 		}
 		w.shard.Inc(cChunks)
 		w.lastClaim.Store(pr.Now())
+		if w.rec != nil {
+			w.rec.Record(int64(pr.Now()), flight.Claim, int32(pr.ID()), int32(icb.Loop), a.Lo, a.Hi)
+		}
+		if ex.ckptAfter > 0 && ex.claims.Add(1) == ex.ckptAfter {
+			// The deterministic claim-k trigger: this chunk still executes
+			// (claimed work always completes); the pause takes effect at
+			// every worker's next claim boundary.
+			ex.ckptReq.Store(true)
+		}
 
 		// body: execute the assigned iterations under the run's failure
 		// policy. Each iteration boundary is a preemption point: a false
@@ -215,6 +247,9 @@ func (w *worker) run() {
 		t0 = pr.Now()
 		done := icb.ICount.FetchAdd(pr, a.Size()) + a.Size()
 		w.shard.Add(cO1Time, pr.Now()-t0)
+		if w.rec != nil {
+			w.rec.Record(int64(pr.Now()), flight.Chunk, int32(pr.ID()), int32(icb.Loop), done, icb.Bound)
+		}
 		if done > icb.Bound {
 			panic(fmt.Sprintf("core: icount %d exceeded bound %d (loop %d)", done, icb.Bound, icb.Loop))
 		}
@@ -223,6 +258,9 @@ func (w *worker) run() {
 			w.completeInstance(icb)
 			w.shard.Inc(cExits)
 			w.shard.Inc(cEnters)
+			if w.rec != nil {
+				w.rec.Record(int64(pr.Now()), flight.Exit, int32(pr.ID()), int32(icb.Loop), icb.Bound, 0)
+			}
 
 			// Wait for the other holders to drop the ICB, then release it
 			// (the paper's {pcount = 1; Decrement} spin). Only then may
@@ -235,6 +273,13 @@ func (w *worker) run() {
 				}
 				if ex.aborted() {
 					return // an aborted holder can never drain its pcount
+				}
+				if ex.ckptReq.Load() {
+					// A paused holder will never drop its hold; leave
+					// without releasing. The completed block is excluded
+					// from the snapshot (its successors are already in),
+					// so the abandoned release loses nothing.
+					return
 				}
 				pr.Spin()
 			}

@@ -124,7 +124,21 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Recorder != nil && cfg.Recorder.Procs() < cfg.Engine.NumProcs() {
+		return nil, fmt.Errorf("core: flight recorder covers %d processors, engine has %d",
+			cfg.Recorder.Procs(), cfg.Engine.NumProcs())
+	}
+	if cfg.Checkpoint != nil {
+		if err := checkCheckpointable(pl, cfg, policy); err != nil {
+			return nil, err
+		}
+	}
 	ex := newExecutor(pl, cfg, policy)
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Restore != nil {
+		if err := ex.seedRestore(); err != nil {
+			return nil, err
+		}
+	}
 	if rb, ok := policy.(lowsched.RuntimeBinder); ok {
 		// Adaptive policies get the run's measurement surface before any
 		// worker starts; the binding is per-run because the policy itself
@@ -154,6 +168,19 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 	rep := cfg.Engine.Run(ex.runWorker)
 	if cfg.Interrupt.Tripped() {
 		return nil, cfg.Interrupt.Err()
+	}
+	if ex.paused() && !ex.done.Load() {
+		// The run drained at a checkpoint pause (a pause that raced with
+		// completion is just a completed run). Internal stop-causes —
+		// e.g. a restore-validation trip — win over the capture.
+		if c := ex.cause.Load(); c != nil {
+			return nil, c.err
+		}
+		snap, err := ex.capture()
+		if err != nil {
+			return nil, err
+		}
+		return nil, &CheckpointedError{Snapshot: snap}
 	}
 	if err := ex.checkQuiescent(); err != nil {
 		return nil, err

@@ -1,0 +1,134 @@
+package enginetest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/loopir"
+	"repro/internal/lowsched"
+	"repro/internal/machine"
+	"repro/internal/refexec"
+	"repro/internal/trace"
+)
+
+// CheckpointResume is the resume-conformance half of the suite: for
+// every checkpointable scheme and task pool, a run paused after k chunk
+// claims and resumed from its snapshot must be indistinguishable from
+// an uninterrupted run — the union of the two parts' iteration
+// multisets equals the full run's, and the resumed run's cumulative
+// statistics land on exactly the uninterrupted totals. On the
+// deterministic virtual engine this is bit-identity of the scheduling
+// trajectory, the property the journal/failover story depends on.
+func CheckpointResume(t *testing.T, name string, f Factory) {
+	schemes := []lowsched.Scheme{
+		lowsched.SS{}, lowsched.CSS{K: 3}, lowsched.GSS{},
+		lowsched.FAC2{}, adapt.Auto{},
+	}
+	pools := []core.PoolKind{core.PoolPerLoop, core.PoolSingleList, core.PoolDistributed}
+	nest := loopir.MustBuild(func(b *loopir.B) {
+		b.Doall("I", loopir.Const(6), func(b *loopir.B) {
+			b.DoallLeaf("B", loopir.Const(16), work(10))
+		})
+	})
+	prog, pl, ref := compile(t, nest)
+	const p = 4
+
+	for _, s := range schemes {
+		for _, pk := range pools {
+			for _, k := range []int64{2, 5} {
+				t.Run(fmt.Sprintf("%s/%s/k=%d", s.Name(), pk, k), func(t *testing.T) {
+					// Uninterrupted baseline.
+					fullLog := trace.New()
+					intr := machine.NewInterrupt()
+					full, err := core.RunPlan(pl, core.Config{
+						Engine: f(p, intr), Scheme: s, Pool: pk,
+						Tracer: fullLog, Interrupt: intr,
+					})
+					if err != nil {
+						t.Fatalf("uninterrupted run: %v", err)
+					}
+					ctx := refexec.Context{Nest: "resume", Scheme: s.Name(), Pool: pk.String(), Engine: name}
+					if err := fullLog.VerifyExactlyOnceIn(prog, ref, ctx); err != nil {
+						t.Fatal(err)
+					}
+
+					// Part one: pause after k chunk claims.
+					partLog := trace.New()
+					intr = machine.NewInterrupt()
+					_, err = core.RunPlan(pl, core.Config{
+						Engine: f(p, intr), Scheme: s, Pool: pk,
+						Tracer: partLog, Interrupt: intr,
+						Checkpoint: &core.CheckpointConfig{AfterChunks: k},
+					})
+					var cke *core.CheckpointedError
+					if !errors.As(err, &cke) {
+						t.Fatalf("checkpoint run returned %v, want CheckpointedError", err)
+					}
+
+					// Part two: resume from the snapshot on a fresh engine.
+					restLog := trace.New()
+					intr = machine.NewInterrupt()
+					rep, err := core.RunPlan(pl, core.Config{
+						Engine: f(p, intr), Scheme: s, Pool: pk,
+						Tracer: restLog, Interrupt: intr,
+						Checkpoint: &core.CheckpointConfig{Restore: cke.Snapshot},
+					})
+					if err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+
+					// The two parts together execute exactly the uninterrupted
+					// run's iteration multiset — nothing lost, nothing doubled.
+					want := iterMultiset(fullLog)
+					got := iterMultiset(partLog)
+					for key, n := range iterMultiset(restLog) {
+						got[key] += n
+					}
+					if len(got) != len(want) {
+						t.Errorf("combined parts cover %d iterations, uninterrupted run %d", len(got), len(want))
+					}
+					for key, n := range want {
+						if got[key] != n {
+							t.Errorf("iteration %s executed %d time(s) across the parts, want %d", key, got[key], n)
+						}
+					}
+					for key := range got {
+						if _, ok := want[key]; !ok {
+							t.Errorf("parts executed %s, absent from the uninterrupted run", key)
+						}
+					}
+
+					// Trajectory: the resumed run's cumulative statistics are
+					// seeded from the snapshot, so its final totals must land
+					// exactly on the uninterrupted run's.
+					fs, gs := full.Stats, rep.Stats
+					if gs.Iterations != fs.Iterations || gs.Instances != fs.Instances ||
+						gs.Enters != fs.Enters || gs.Exits != fs.Exits || gs.ZeroTrips != fs.ZeroTrips {
+						t.Errorf("resumed totals diverge:\nresumed       %+v\nuninterrupted %+v", gs, fs)
+					}
+					// The adaptive policy re-fits its model per part, so its
+					// chunking — though still exactly-once — may legitimately
+					// differ; every static scheme must reproduce it exactly.
+					if _, auto := s.(adapt.Auto); !auto && gs.Chunks != fs.Chunks {
+						t.Errorf("resumed chunk trajectory %d, uninterrupted %d", gs.Chunks, fs.Chunks)
+					}
+				})
+			}
+		}
+	}
+}
+
+// iterMultiset folds a trace into iteration-execution counts keyed by
+// (loop, ivec, j).
+func iterMultiset(l *trace.Log) map[string]int {
+	m := map[string]int{}
+	for _, e := range l.Events() {
+		if e.Kind == trace.EvIterStart {
+			m[fmt.Sprintf("%d%v#%d", e.Loop, e.IVec, e.J)]++
+		}
+	}
+	return m
+}

@@ -24,6 +24,15 @@ func TestRealEngineConformance(t *testing.T) {
 	})
 }
 
+// TestVirtualEngineCheckpointResume holds the simulator to the resume
+// bit-identity contract: checkpoint at chunk k, resume, and land on
+// exactly the uninterrupted run's iteration multiset and totals.
+func TestVirtualEngineCheckpointResume(t *testing.T) {
+	CheckpointResume(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
 // TestVirtualEngineChaos holds the simulator to the isolate-policy
 // contract under deterministic fault injection.
 func TestVirtualEngineChaos(t *testing.T) {

@@ -1,0 +1,127 @@
+package runmgr
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCheckpointedIsTerminal walks a job that ends with ErrCheckpointed
+// into the checkpointed state and verifies the census counts it.
+func TestCheckpointedIsTerminal(t *testing.T) {
+	m := New(Config{MaxConcurrent: 1})
+	r, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) {
+		return nil, fmt.Errorf("paused at chunk 12: %w", ErrCheckpointed)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Wait(context.Background()); err == nil {
+		t.Fatal("checkpointed run reported a nil error")
+	}
+	if st := r.State(); st != StateCheckpointed {
+		t.Fatalf("state = %v, want checkpointed", st)
+	}
+	if !StateCheckpointed.Terminal() {
+		t.Error("StateCheckpointed is not terminal")
+	}
+	if got := StateCheckpointed.String(); got != "checkpointed" {
+		t.Errorf("String() = %q", got)
+	}
+	st := m.Stats()
+	if st.Checkpointed != 1 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want 1 checkpointed, 0 failed", st)
+	}
+	// The worker slot must be released: a follow-up job runs.
+	r2, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) { return 1, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := r2.Wait(context.Background()); err != nil || res != 1 {
+		t.Fatalf("follow-up = %v, %v", res, err)
+	}
+}
+
+// TestSubmitIDPreservesAndBumps verifies journal replay semantics:
+// replayed identifiers stick, later manager-assigned ones never collide,
+// and duplicates are rejected.
+func TestSubmitIDPreservesAndBumps(t *testing.T) {
+	m := New(Config{MaxConcurrent: 4})
+	noop := Job{Run: func(ctx context.Context) (any, error) { return nil, nil }}
+
+	r, err := m.SubmitID("run-0042", noop)
+	if err != nil || r.ID() != "run-0042" {
+		t.Fatalf("SubmitID = %v, %v", r, err)
+	}
+	if _, err := m.SubmitID("run-0042", noop); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	fresh, err := m.Submit(noop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() != "run-0043" {
+		t.Errorf("fresh ID = %q, want run-0043 (sequence bumped past replay)", fresh.ID())
+	}
+	odd, err := m.SubmitID("imported/weird.id", noop)
+	if err != nil || odd.ID() != "imported/weird.id" {
+		t.Fatalf("non-numeric ID = %v, %v", odd, err)
+	}
+}
+
+func TestTrailingNumber(t *testing.T) {
+	cases := []struct {
+		id string
+		n  int
+		ok bool
+	}{
+		{"run-0042", 42, true}, {"run-7", 7, true}, {"123", 123, true},
+		{"run-", 0, false}, {"", 0, false}, {"abc", 0, false},
+		{"run-99999999999999999999", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := trailingNumber(c.id)
+		if n != c.n || ok != c.ok {
+			t.Errorf("trailingNumber(%q) = %d, %v; want %d, %v", c.id, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+// TestStartedSignal verifies Started closes exactly when a run begins
+// executing, and that queued runs blocked behind the budget have not
+// started.
+func TestStartedSignal(t *testing.T) {
+	m := New(Config{MaxConcurrent: 1})
+	release := make(chan struct{})
+	blocker, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-blocker.Started():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first run never started")
+	}
+	queued, err := m.Submit(Job{Run: func(ctx context.Context) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-queued.Started():
+		t.Fatal("second run started over a full worker budget")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-queued.Started():
+	case <-time.After(2 * time.Second):
+		t.Fatal("second run never started after the slot freed")
+	}
+	if _, err := queued.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

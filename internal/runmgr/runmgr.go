@@ -37,11 +37,16 @@ const (
 	StateDone
 	StateFailed
 	StateCancelled
+	// StateCheckpointed marks a run that paused at a checkpoint and
+	// captured a resumable snapshot: terminal for this manager (the
+	// worker slot is released), resumable by a future submission.
+	StateCheckpointed
 )
 
 var stateNames = [...]string{
 	StateQueued: "queued", StateRunning: "running", StateDone: "done",
 	StateFailed: "failed", StateCancelled: "cancelled",
+	StateCheckpointed: "checkpointed",
 }
 
 func (s State) String() string {
@@ -63,6 +68,11 @@ var (
 	ErrQueueFull = errors.New("runmgr: queue full")
 	// ErrNotFinished is returned by Run.Result while the run is live.
 	ErrNotFinished = errors.New("runmgr: run not finished")
+	// ErrCheckpointed is the terminal cause of a checkpointed run: a job
+	// whose Run error wraps it finalizes as StateCheckpointed instead of
+	// StateFailed. The job keeps the snapshot itself (the manager stays
+	// payload-agnostic).
+	ErrCheckpointed = errors.New("runmgr: run checkpointed")
 )
 
 // Config configures a Manager.
@@ -137,6 +147,15 @@ func New(cfg Config) *Manager {
 // immediately if the worker budget has room, otherwise it waits in FIFO
 // order.
 func (m *Manager) Submit(job Job) (*Run, error) {
+	return m.SubmitID("", job)
+}
+
+// SubmitID enqueues a job under a caller-chosen run identifier; an empty
+// id gets the next manager-assigned one. Preserved identifiers are how
+// the daemon's boot-time journal replay re-queues runs without renaming
+// them: any trailing digits bump the manager's sequence so fresh
+// submissions never collide with a replayed ID.
+func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 	if job.Run == nil {
 		return nil, fmt.Errorf("runmgr: job without a Run function")
 	}
@@ -148,16 +167,27 @@ func (m *Manager) Submit(job Job) (*Run, error) {
 	if m.cfg.QueueLimit > 0 && len(m.queue) >= m.cfg.QueueLimit {
 		return nil, ErrQueueFull
 	}
-	m.seq++
+	if id == "" {
+		m.seq++
+		id = fmt.Sprintf("run-%04d", m.seq)
+	} else {
+		if _, dup := m.byID[id]; dup {
+			return nil, fmt.Errorf("runmgr: run %q already exists", id)
+		}
+		if n, ok := trailingNumber(id); ok && n > m.seq {
+			m.seq = n
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Run{
-		id:        fmt.Sprintf("run-%04d", m.seq),
+		id:        id,
 		mgr:       m,
 		job:       job,
 		state:     StateQueued,
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancelCtx: cancel,
+		startedCh: make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	m.byID[r.id] = r
@@ -165,6 +195,26 @@ func (m *Manager) Submit(job Job) (*Run, error) {
 	m.queue = append(m.queue, r)
 	m.dispatchLocked()
 	return r, nil
+}
+
+// trailingNumber parses the decimal digits ending id ("run-0042" → 42).
+func trailingNumber(id string) (int, bool) {
+	end := len(id)
+	start := end
+	for start > 0 && id[start-1] >= '0' && id[start-1] <= '9' {
+		start--
+	}
+	if start == end {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[start:end] {
+		n = n*10 + int(c-'0')
+		if n < 0 || n > 1<<30 {
+			return 0, false
+		}
+	}
+	return n, true
 }
 
 // dispatchLocked starts queued runs while the worker budget has room.
@@ -177,6 +227,7 @@ func (m *Manager) dispatchLocked() {
 		}
 		r.state = StateRunning
 		r.started = time.Now()
+		close(r.startedCh)
 		m.active++
 		go m.exec(r)
 	}
@@ -277,10 +328,12 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	// Running counts runs currently executing.
 	Running int `json:"running"`
-	// Done, Failed and Cancelled count terminal runs by outcome.
-	Done      int `json:"done"`
-	Failed    int `json:"failed"`
-	Cancelled int `json:"cancelled"`
+	// Done, Failed, Cancelled and Checkpointed count terminal runs by
+	// outcome.
+	Done         int `json:"done"`
+	Failed       int `json:"failed"`
+	Cancelled    int `json:"cancelled"`
+	Checkpointed int `json:"checkpointed"`
 	// Stalled counts live runs the watchdog currently declares stuck.
 	Stalled int `json:"stalled"`
 	// MaxConcurrent echoes the configured worker budget.
@@ -313,6 +366,8 @@ func (m *Manager) Stats() Stats {
 			st.Failed++
 		case StateCancelled:
 			st.Cancelled++
+		case StateCheckpointed:
+			st.Checkpointed++
 		}
 	}
 	return st
@@ -373,6 +428,7 @@ type Run struct {
 
 	ctx       context.Context
 	cancelCtx context.CancelFunc
+	startedCh chan struct{}
 	done      chan struct{}
 
 	// Guarded by mgr.mu.
@@ -418,6 +474,8 @@ func (r *Run) finalizeLocked(res any, err error) {
 	switch {
 	case err == nil:
 		r.state = StateDone
+	case errors.Is(err, ErrCheckpointed):
+		r.state = StateCheckpointed
 	case errors.Is(err, context.Canceled):
 		r.state = StateCancelled
 	default:
@@ -451,6 +509,10 @@ func (r *Run) Times() (submitted, started, finished time.Time) {
 
 // Done returns a channel closed when the run is terminal.
 func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Started returns a channel closed when the run begins executing. A run
+// cancelled while still queued never starts — wait on Done alongside it.
+func (r *Run) Started() <-chan struct{} { return r.startedCh }
 
 // Cancel requests cancellation: a queued run finalizes immediately as
 // cancelled; a running run has its context cancelled and finalizes when

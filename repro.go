@@ -35,12 +35,14 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	_ "repro/internal/adapt" // registers the adaptive "auto" scheme
 	"repro/internal/core"
 	"repro/internal/descr"
+	"repro/internal/flight"
 	"repro/internal/loopir"
 	"repro/internal/machine"
 	"repro/internal/refexec"
@@ -246,6 +248,27 @@ type Options struct {
 	// managers use it for stuck-run watchdog reports. It adds a small
 	// host-side bookkeeping cost per instance activation.
 	Diagnostics bool
+	// FlightRecorder, when positive, attaches a kernel flight recorder
+	// retaining the last N scheduling events per processor; the tail is
+	// folded into diagnostic dumps (with Diagnostics) and costs no
+	// engine time, so virtual-time results are unchanged. Zero or
+	// negative disables it.
+	FlightRecorder int
+	// Checkpointable enables the checkpoint seam: the probe handed to
+	// Observe supports RequestCheckpoint (assert it to core.Checkpointer)
+	// and the run may end with a *CheckpointedError instead of a Result.
+	// Checkpointing requires a dynamically scheduled (non-static,
+	// non-Doacross) nest; Run rejects others with ErrNotCheckpointable.
+	Checkpointable bool
+	// CheckpointAfter, when positive, pauses the run at a checkpoint
+	// after that many chunk claims (a deterministic trigger on the
+	// virtual engine). It implies Checkpointable.
+	CheckpointAfter int64
+	// Resume restores a checkpoint captured from the same program (by
+	// fingerprint) before the run starts; the resumed run continues to
+	// completion, with cumulative statistics. Resume cannot be combined
+	// with Verify: the trace cannot observe pre-checkpoint iterations.
+	Resume *Checkpoint
 }
 
 // Live is a concurrency-safe view into a running execution, handed to
@@ -336,6 +359,27 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		log = trace.New()
 		tracer = log
 	}
+	var ckpt *core.CheckpointConfig
+	if opts.Checkpointable || opts.CheckpointAfter > 0 || opts.Resume != nil {
+		ckpt = &core.CheckpointConfig{AfterChunks: opts.CheckpointAfter}
+		if opts.Resume != nil {
+			if opts.Verify {
+				return nil, fmt.Errorf("repro: Verify cannot check a resumed run (pre-checkpoint iterations are not in this trace)")
+			}
+			if opts.Resume.Snapshot == nil {
+				return nil, fmt.Errorf("%w: checkpoint has no snapshot", ErrBadCheckpoint)
+			}
+			if opts.Resume.Program != "" && opts.Resume.Program != p.Fingerprint() {
+				return nil, fmt.Errorf("%w: checkpoint from program %s, submitted program %s",
+					ErrBadCheckpoint, opts.Resume.Program, p.Fingerprint())
+			}
+			ckpt.Restore = opts.Resume.Snapshot
+		}
+	}
+	var rec *flight.Recorder
+	if opts.FlightRecorder > 0 {
+		rec = flight.New(rs.procs, opts.FlightRecorder)
+	}
 	rep, err := core.RunPlanContext(ctx, pl, core.Config{
 		Engine:       eng,
 		Scheme:       rs.scheme,
@@ -347,8 +391,17 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		Failure:      rs.failure,
 		Retry:        rs.retry,
 		Diagnostics:  opts.Diagnostics,
+		Recorder:     rec,
+		Checkpoint:   ckpt,
 	})
 	if err != nil {
+		var cke *core.CheckpointedError
+		if errors.As(err, &cke) {
+			return nil, &CheckpointedError{Checkpoint: &Checkpoint{
+				Program:  p.Fingerprint(),
+				Snapshot: cke.Snapshot,
+			}}
+		}
 		return nil, err
 	}
 	if opts.Verify {

@@ -33,11 +33,12 @@ type State = runmgr.State
 
 // Lifecycle states.
 const (
-	StateQueued    = runmgr.StateQueued
-	StateRunning   = runmgr.StateRunning
-	StateDone      = runmgr.StateDone
-	StateFailed    = runmgr.StateFailed
-	StateCancelled = runmgr.StateCancelled
+	StateQueued       = runmgr.StateQueued
+	StateRunning      = runmgr.StateRunning
+	StateDone         = runmgr.StateDone
+	StateFailed       = runmgr.StateFailed
+	StateCancelled    = runmgr.StateCancelled
+	StateCheckpointed = runmgr.StateCheckpointed
 )
 
 // Runner errors (queue conditions come from the manager).
@@ -101,6 +102,11 @@ type Submission struct {
 	Timeout time.Duration
 	// Label is a free-form display name.
 	Label string
+	// ID, if non-empty, is the run identifier to use instead of a
+	// runner-assigned one. The daemon's boot-time journal replay uses it
+	// to re-queue runs under their original names; a duplicate ID is
+	// rejected.
+	ID string
 }
 
 // Progress is one streaming snapshot of a run, sampled live from the
@@ -149,6 +155,7 @@ type Runner struct {
 // configuration checks.
 type metrics struct {
 	submitted, done, failed, cancelled      *obs.Counter
+	checkpointed                            *obs.Counter
 	iterations, instances, chunks, searches *obs.Counter
 	accesses, busy                          *obs.Counter
 	adaptFits, adaptSwitches                *obs.Counter
@@ -160,6 +167,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		done:       reg.Counter("runner_runs_done_total", "Runs finished successfully."),
 		failed:     reg.Counter("runner_runs_failed_total", "Runs finalized with an error (including expired timeouts)."),
 		cancelled:  reg.Counter("runner_runs_cancelled_total", "Runs cancelled before completion."),
+		checkpointed: reg.Counter("runner_runs_checkpointed_total",
+			"Runs that paused at a checkpoint with a resumable snapshot."),
 		iterations: reg.Counter("runner_iterations_total", "Loop iterations executed by finished runs."),
 		instances:  reg.Counter("runner_instances_total", "Loop instances activated by finished runs."),
 		chunks:     reg.Counter("runner_chunks_total", "Low-level iteration assignments grabbed by finished runs."),
@@ -181,6 +190,8 @@ func (m *metrics) finish(res *repro.Result, err error) {
 	switch {
 	case err == nil:
 		m.done.Inc()
+	case errors.Is(err, repro.ErrCheckpointed):
+		m.checkpointed.Inc()
 	case errors.Is(err, context.Canceled):
 		m.cancelled.Inc()
 	default:
@@ -271,6 +282,14 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			}
 			res, err := sub.Program.RunContext(ctx, opts)
 			rn.met.finish(res, err)
+			var cke *repro.CheckpointedError
+			if errors.As(err, &cke) {
+				// Keep the snapshot on the handle and finalize as
+				// checkpointed (a terminal, resumable outcome — not a
+				// failure).
+				r.ckpt.Store(cke.Checkpoint)
+				return nil, fmt.Errorf("%v: %w", err, runmgr.ErrCheckpointed)
+			}
 			return res, err
 		},
 		Sample: func() any {
@@ -282,8 +301,13 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 	}
 	if rn.watchdog.Interval > 0 {
 		// A stuck-run report is only useful with the executor's
-		// scheduling-state dump, so watched runs track live instances.
+		// scheduling-state dump, so watched runs track live instances —
+		// and carry a flight recorder, so the dump ends with the last
+		// scheduling events before the stall.
 		opts.Diagnostics = true
+		if opts.FlightRecorder <= 0 {
+			opts.FlightRecorder = watchdogFlightEvents
+		}
 		job.Heartbeat = func() int64 {
 			lv := r.probe.Load()
 			if lv == nil {
@@ -303,7 +327,7 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			return "(no probe: run not started)"
 		}
 	}
-	h, err := rn.mgr.Submit(job)
+	h, err := rn.mgr.SubmitID(sub.ID, job)
 	if err != nil {
 		return nil, err
 	}
@@ -348,11 +372,16 @@ func (rn *Runner) Close() { rn.mgr.Close() }
 // Drain blocks until every submitted run is terminal or ctx expires.
 func (rn *Runner) Drain(ctx context.Context) error { return rn.mgr.Drain(ctx) }
 
+// watchdogFlightEvents is the per-processor flight-recorder capacity the
+// watchdog forces onto watched runs that did not request their own.
+const watchdogFlightEvents = 64
+
 // Run is the handle of one submitted program run.
 type Run struct {
 	h      *runmgr.Run
 	sample time.Duration
 	probe  atomic.Pointer[repro.Live]
+	ckpt   atomic.Pointer[repro.Checkpoint]
 }
 
 // ID returns the runner-assigned identifier.
@@ -367,9 +396,32 @@ func (r *Run) State() State { return r.h.State() }
 // Done returns a channel closed when the run is terminal.
 func (r *Run) Done() <-chan struct{} { return r.h.Done() }
 
+// Started returns a channel closed when the run is dispatched out of
+// the queue. A run cancelled while still queued never signals it; wait
+// on Done alongside it.
+func (r *Run) Started() <-chan struct{} { return r.h.Started() }
+
 // Cancel requests cancellation; the run finalizes with context.Canceled
 // once its processors drain out (immediately if it was still queued).
 func (r *Run) Cancel() { r.h.Cancel() }
+
+// RequestCheckpoint asks a running checkpointable run to pause at its
+// next claim boundary and capture a snapshot. It reports false when the
+// run has not started, has no probe yet, or was not submitted with
+// Options.Checkpointable (or CheckpointAfter/Resume); the pause itself
+// completes asynchronously — wait on Done, then read Checkpoint.
+func (r *Run) RequestCheckpoint() bool {
+	lv := r.probe.Load()
+	if lv == nil {
+		return false
+	}
+	ck, ok := (*lv).(core.Checkpointer)
+	return ok && ck.RequestCheckpoint()
+}
+
+// Checkpoint returns the snapshot of a run that finalized as
+// StateCheckpointed, or nil for any other (or still live) run.
+func (r *Run) Checkpoint() *repro.Checkpoint { return r.ckpt.Load() }
 
 // Result returns the run's outcome once terminal. While the run is
 // live it returns runmgr.ErrNotFinished; a cancelled run returns

@@ -50,7 +50,7 @@ func TestWatchdogReportsStuckRun(t *testing.T) {
 		}
 	}
 	diag := r.Progress().Stuck
-	for _, want := range []string{"heartbeat pinned", "core: done=false", "proc 0:"} {
+	for _, want := range []string{"heartbeat pinned", "core: done=false", "proc 0:", "flight recorder:"} {
 		if !strings.Contains(diag, want) {
 			t.Errorf("diagnostic missing %q:\n%s", want, diag)
 		}
