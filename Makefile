@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay verify-claim
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,21 @@ verify-replay:
 	$(GO) test -run FuzzDecode ./internal/journal/
 	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_replay.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_replay.json
+
+# verify-claim gates the claim-path surface (batched leases, sharded SW
+# words, claim combining): the batched conformance matrix — exactly-once
+# across schemes x pools x both engines x batch factors, plus
+# checkpoint/resume through a mid-lease pause — runs under the race
+# detector with shuffled order alongside the pool/lowsched/machine unit
+# suites; and the virtual engine with every knob at its default (batch
+# 1, one shard word, combining off) still reproduces the committed
+# baseline bit-for-bit — the contention levers must cost nothing, and
+# change nothing, when off.
+verify-claim:
+	$(GO) test -race -shuffle=on ./internal/enginetest/
+	$(GO) test -race -shuffle=on -run 'Claim|Lease|Shard|Combin|Batch' ./internal/lowsched/ ./internal/pool/ ./internal/machine/ ./internal/vmachine/ ./internal/core/
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_claim.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_claim.json
 
 # verify-adapt gates the adaptive-scheduling surface: the auto policy
 # passes the full engine conformance matrix and the adapt fitter/

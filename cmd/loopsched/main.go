@@ -126,6 +126,9 @@ func run(args []string, out io.Writer) error {
 		ckptAfter   = fs.Int64("checkpoint-after", 0, "pause the run after this many chunk claims and emit a checkpoint")
 		ckptOut     = fs.String("checkpoint-out", "", "file to write the checkpoint to (default stdout)")
 		resumeFrom  = fs.String("resume", "", "resume from a checkpoint file written by -checkpoint-out")
+		claimBatch  = fs.Int("claim-batch", 0, "lease up to this many chunks per claim (0/1 = one chunk per claim)")
+		swShards    = fs.Int("sw-shards", 0, "split the pool's SW control word into this many shard words (0/1 = single word)")
+		combClaims  = fs.Bool("combine-claims", false, "mark the per-instance claim hot spots software-combinable (virtual engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,6 +213,9 @@ func run(args []string, out io.Writer) error {
 		Verify:          *verify,
 		CollectTrace:    *gantt > 0,
 		CheckpointAfter: *ckptAfter,
+		ClaimBatch:      *claimBatch,
+		SWShards:        *swShards,
+		CombineClaims:   *combClaims,
 	}
 	var live repro.Live
 	if *diagnose {
@@ -335,6 +341,8 @@ func runError(err error, timeout time.Duration) error {
 		return fmt.Errorf("%v\nvalid engines: %s", err, strings.Join(repro.KnownEngines(), ", "))
 	case errors.Is(err, repro.ErrUnknownPool):
 		return fmt.Errorf("%v\nvalid pools: %s", err, strings.Join(repro.KnownPools(), ", "))
+	case errors.Is(err, repro.ErrBadClaim):
+		return fmt.Errorf("%v\n-claim-batch and -sw-shards must be nonnegative, and batching needs a cursor (dynamic) scheme", err)
 	case errors.Is(err, repro.ErrNotCheckpointable):
 		return fmt.Errorf("%v\ncheckpointing needs a dynamic scheme and the default failure policy", err)
 	case errors.Is(err, repro.ErrBadCheckpoint), errors.Is(err, repro.ErrBadSnapshot):

@@ -286,6 +286,12 @@ type runOptions struct {
 	Checkpointable  bool              `json:"checkpointable,omitempty"`
 	CheckpointAfter int64             `json:"checkpoint_after,omitempty"`
 	Resume          *repro.Checkpoint `json:"resume,omitempty"`
+	// ClaimBatch leases up to that many chunks per claim (cursor schemes
+	// only); SWShards splits the pool control word; CombineClaims marks
+	// the claim hot spots software-combinable on the virtual engine.
+	ClaimBatch    int  `json:"claim_batch,omitempty"`
+	SWShards      int  `json:"sw_shards,omitempty"`
+	CombineClaims bool `json:"combine_claims,omitempty"`
 }
 
 func (o runOptions) toOptions() repro.Options {
@@ -306,6 +312,9 @@ func (o runOptions) toOptions() repro.Options {
 		Checkpointable:  o.Checkpointable,
 		CheckpointAfter: o.CheckpointAfter,
 		Resume:          o.Resume,
+		ClaimBatch:      o.ClaimBatch,
+		SWShards:        o.SWShards,
+		CombineClaims:   o.CombineClaims,
 	}
 }
 

@@ -321,6 +321,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE runner_iterations_total counter",
 		"# TYPE runner_adapt_fits_total counter",
 		"# TYPE runner_adapt_switches_total counter",
+		"# TYPE runner_pool_sweeps_total counter",
+		"# TYPE runner_pool_walked_total counter",
+		"# TYPE runner_pool_lock_failures_total counter",
+		"# TYPE runner_pool_retests_total counter",
+		"# TYPE runner_pool_saturated_total counter",
+		"# TYPE runner_icb_allocs_total counter",
+		"# TYPE runner_icb_reuses_total counter",
 		"# TYPE runner_queue_depth gauge",
 		"# TYPE loopschedd_uptime_seconds gauge",
 		"runner_runs_done_total 0",
@@ -349,6 +356,14 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(body, "runner_iterations_total 500") {
 		t.Errorf("iterations counter missing 500:\n%s", body)
+	}
+	// Every run sweeps the pool at least once and allocates at least one
+	// ICB, so the pool counters must have left zero.
+	if strings.Contains(body, "runner_pool_sweeps_total 0\n") {
+		t.Errorf("pool sweep counter still zero after a finished run:\n%s", body)
+	}
+	if strings.Contains(body, "runner_icb_allocs_total 0\n") {
+		t.Errorf("ICB alloc counter still zero after a finished run:\n%s", body)
 	}
 
 	// An adaptive run must surface its trajectory through the adapt

@@ -127,6 +127,28 @@ func (p *policy) Next(pr machine.Proc, icb *pool.ICB) (lowsched.Assignment, bool
 	return icb.Sched.(*autoState).r.pol.Next(pr, icb)
 }
 
+// Lease claims a chunk batch through the pinned regime (lowsched.Leaser).
+// Every roster candidate is a cursor scheme, whose shared claim protocol
+// implements Leaser; the assertion would only fail on a roster bug.
+func (p *policy) Lease(pr machine.Proc, icb *pool.ICB, batch int) (lowsched.Lease, bool, bool) {
+	return icb.Sched.(*autoState).r.pol.(lowsched.Leaser).Lease(pr, icb, batch)
+}
+
+// BindBatch records the run's claim batch factor (lowsched.BatchBinder);
+// called once per run before workers start. The fitter's measured
+// per-chunk O1 is already amortized over the active batch (O1Time counts
+// one claim per lease, Chunks counts every slice), so predictions stay
+// consistent across batch factors; the stored factor keeps the
+// chunk-count terms of the closed forms meaningful for diagnostics.
+func (p *policy) BindBatch(batch int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if batch < 1 {
+		batch = 1
+	}
+	p.fit.batch = batch
+}
+
 // maybeRefit samples the spine and lets the fitter decide. Fits and
 // switches are noted into the spine so the trajectory is observable.
 func (p *policy) maybeRefit() {

@@ -90,8 +90,16 @@ type tauObs struct {
 
 // fitter accumulates counter samples and decides scheme switches. It is
 // not safe for concurrent use; the policy serializes access.
+//
+// Batched claiming needs no special handling in the estimates: O1Time is
+// charged once per lease while Chunks counts every covered slice, so the
+// measured o1 = O1Time/Chunks is already the amortized per-chunk claim
+// cost under the active batch factor — the fit learns the batched O1
+// directly, and predictions stay comparable across batch settings. batch
+// records the run's factor for diagnostics.
 type fitter struct {
 	procs int
+	batch int
 
 	have bool
 	last lowsched.RuntimeSample

@@ -88,6 +88,47 @@ func Default() []Scenario {
 	add("many", manyNest, "ss", "single", repro.EngineVirtual)
 	add("many", manyNest, "ss", "distributed", repro.EngineVirtual)
 
+	// Contention family (claim-path ablation): tiny-body nests at high
+	// P, where nearly all virtual time is synchronization — the regime
+	// the batched-claim, SW-sharding and combining knobs exist for. Each
+	// variant gets its own scenario name (the seed baseline has none of
+	// them, so the regression gate skips the family and the ungated
+	// ns_per_claim / sweep_ns trends carry the comparison):
+	//
+	//   - contention/*: a flat grain-1 doall under ss and css:4, plain
+	//     vs ClaimBatch 8 (b8) vs software combining (comb);
+	//   - contention-pool/*: the many-instances pool flood, plain vs a
+	//     4-way sharded SW control word (shard4).
+	addC := func(variant string, mk func() *loopir.Nest, wname, scheme string, mut func(*repro.Options)) {
+		o := repro.Options{
+			Procs:      2 * defaultProcs,
+			Scheme:     scheme,
+			Engine:     repro.EngineVirtual,
+			AccessCost: defaultAccessCost,
+		}
+		if mut != nil {
+			mut(&o)
+		}
+		name := wname + "/" + scheme
+		if variant != "" {
+			name += "/" + variant
+		}
+		name += "/" + string(repro.EngineVirtual)
+		out = append(out, Scenario{
+			Name: name, Workload: wname, Nest: mk, Opts: o,
+			Tags: []string{"contention"},
+		})
+	}
+	tiny := func() *loopir.Nest { return workload.UniformDoall(4096, 1) }
+	for _, scheme := range []string{"ss", "css:4"} {
+		addC("", tiny, "contention", scheme, nil)
+		addC("b8", tiny, "contention", scheme, func(o *repro.Options) { o.ClaimBatch = 8 })
+		addC("comb", tiny, "contention", scheme, func(o *repro.Options) { o.CombineClaims = true })
+	}
+	flood := func() *loopir.Nest { return workload.ManyInstances(16, 96, 4, 1) }
+	addC("", flood, "contention-pool", "ss", nil)
+	addC("shard4", flood, "contention-pool", "ss", func(o *repro.Options) { o.SWShards = 4 })
+
 	// Adaptive-scheduling family: the phase-varying irregular workload
 	// under the online auto policy and the static roster it chooses
 	// from. Small grain against a raised access cost makes per-claim

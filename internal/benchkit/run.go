@@ -123,6 +123,7 @@ type repSample struct {
 	allocs       float64
 	bytesPerIter float64
 	perClaim     float64
+	perSweep     float64
 }
 
 func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
@@ -182,6 +183,9 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		if res.Stats.Chunks > 0 {
 			samples[i].perClaim = float64(res.Stats.O1Time) / float64(res.Stats.Chunks)
 		}
+		if res.Stats.Search.Sweeps > 0 {
+			samples[i].perSweep = float64(res.Stats.O2Time) / float64(res.Stats.Search.Sweeps)
+		}
 	}
 	if err := stopProfiles(); err != nil {
 		return out, err
@@ -222,6 +226,12 @@ func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
 		// costs, dispatch included. Ungated — it tracks the scheme layer's
 		// overhead trend across both engines without failing the suite.
 		"ns_per_claim": {Unit: engineTimeUnit(virt), Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.perClaim }))},
+		// sweep_ns is the medium-level cost per pool sweep (O2 time /
+		// SEARCH sweeps): what one pass over the SW control word(s) and
+		// the retest/lock protocol costs. Ungated for the same reason as
+		// ns_per_claim — a trend metric for the claim-path work, tracked
+		// across sharding and combining variants.
+		"sweep_ns": {Unit: engineTimeUnit(virt), Better: BetterLess, Summary: Summarize(gather(func(r repSample) float64 { return r.perSweep }))},
 	}
 	if !virt {
 		m, err := faultOverhead(prog, s, cfg, samples)

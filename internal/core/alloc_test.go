@@ -66,6 +66,16 @@ func TestAllocsSteadyState(t *testing.T) {
 	if large > small+16 {
 		t.Errorf("iteration path allocates: 10x iterations moved allocs/run %0.1f -> %0.1f", small, large)
 	}
+	// Absolute pin on the per-run setup cost (measured 42 after packing
+	// the spine shards, the worker loc vectors and the engine's proc
+	// structs into single backing arrays and hoisting the stop/abort
+	// method-value closures onto the executor; was 69 before). The slack
+	// covers runtime-internal variation between Go releases, not a
+	// reintroduced per-layer allocation.
+	const maxSetupAllocs = 50
+	if small > maxSetupAllocs {
+		t.Errorf("per-run setup allocates %0.1f times, want <= %d", small, maxSetupAllocs)
+	}
 
 	few := allocsForRun(t, serialDoall(50, 64, 30), lowsched.SS{})
 	many := allocsForRun(t, serialDoall(200, 64, 30), lowsched.SS{})

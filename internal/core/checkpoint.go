@@ -26,7 +26,15 @@ import (
 //	icount == ExecutedPrefix(cursor)
 //
 // (every claimed iteration has completed), which makes the instance's
-// whole scheduling state a single cursor word. The snapshot is then the
+// whole scheduling state a single cursor word. Under batched claiming
+// (Config.ClaimBatch) a worker may additionally pause between the slices
+// of a lease; it then posts the executed prefix and records the
+// unexecuted remainder, generalizing the invariant to
+//
+//	icount + pending == ExecutedPrefix(cursor)
+//
+// with the pending ranges carried in the snapshot and re-executed by the
+// resuming prologue before the instance is republished. The snapshot is then the
 // task pool re-expressed as data: one (loop, ivec, bound, cursor,
 // icount) tuple per live instance, the open BAR_COUNT entries, the
 // cumulative stats totals, and the Isolate failure log. Completed
@@ -105,6 +113,18 @@ type ICBSnapshot struct {
 	// Calc, when non-empty, is the calculator spec the instance was
 	// pinned to at activation (adaptive policies pin per instance).
 	Calc string `json:"calc,omitempty"`
+	// Pending are leased-but-unexecuted iteration ranges: under batched
+	// claiming (Config.ClaimBatch) a worker paused mid-lease posts the
+	// executed prefix and records the remainder here. Restore executes
+	// them before republishing the instance, so Done + the pending sizes
+	// always equals the cursor's executed prefix.
+	Pending []IterRange `json:"pending,omitempty"`
+}
+
+// IterRange is a closed iteration range [Lo, Hi] of one instance.
+type IterRange struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
 }
 
 // BarSnapshot is one open BAR_COUNT entry.
@@ -266,10 +286,14 @@ func (ex *executor) capture() (*RunSnapshot, error) {
 	ex.instMu.Unlock()
 	for _, icb := range icbs {
 		done := icb.ICount.Peek()
+		pend := ex.pendingOf(icb)
 		if done == icb.Bound {
 			// Completed: EXIT ran and the successors were activated (they
 			// are in this snapshot themselves); only the release-protocol
 			// bookkeeping was abandoned by the pause.
+			if len(pend) > 0 {
+				return nil, fmt.Errorf("core: checkpoint: completed instance (loop %d, ivec %v) has pending lease ranges", icb.Loop, icb.IVec)
+			}
 			continue
 		}
 		calc, ok := cs.CursorCalc(icb)
@@ -277,11 +301,20 @@ func (ex *executor) capture() (*RunSnapshot, error) {
 			return nil, fmt.Errorf("core: checkpoint: instance (loop %d, ivec %v) carries no cursor state", icb.Loop, icb.IVec)
 		}
 		cursor := icb.Index.Peek()
-		if p := lowsched.ExecutedPrefix(calc, cursor, icb.Bound); p != done {
-			return nil, fmt.Errorf("core: checkpoint: instance (loop %d, ivec %v) not claim-quiescent: icount %d, cursor prefix %d",
-				icb.Loop, icb.IVec, done, p)
+		var psz int64
+		ranges := make([]IterRange, 0, len(pend))
+		for _, r := range pend {
+			psz += r.Size()
+			ranges = append(ranges, IterRange{Lo: r.Lo, Hi: r.Hi})
 		}
-		s := ICBSnapshot{Loop: icb.Loop, IVec: icb.IVec.Clone(), Bound: icb.Bound, Cursor: cursor, Done: done}
+		if len(ranges) == 0 {
+			ranges = nil
+		}
+		if p := lowsched.ExecutedPrefix(calc, cursor, icb.Bound); p != done+psz {
+			return nil, fmt.Errorf("core: checkpoint: instance (loop %d, ivec %v) not claim-quiescent: icount %d + pending %d, cursor prefix %d",
+				icb.Loop, icb.IVec, done, psz, p)
+		}
+		s := ICBSnapshot{Loop: icb.Loop, IVec: icb.IVec.Clone(), Bound: icb.Bound, Cursor: cursor, Done: done, Pending: ranges}
 		if pin != nil {
 			if spec, ok := pin.PinnedSpec(icb); ok {
 				s.Calc = spec
@@ -345,11 +378,24 @@ func (w *worker) restorePrologue() {
 		icb.Sync = nil
 		icb.Index.Reset(s.Cursor)
 		icb.ICount.Reset(s.Done)
+		var psz int64
+		for _, r := range s.Pending {
+			if r.Lo < 1 || r.Hi < r.Lo || r.Hi > s.Bound {
+				ex.trip(fmt.Errorf("%w: instance %d (loop %d): pending range [%d,%d] out of range",
+					ErrBadSnapshot, i, s.Loop, r.Lo, r.Hi))
+				return
+			}
+			psz += r.Hi - r.Lo + 1
+		}
 		calc, ok := cs.CursorCalc(icb)
-		if !ok || lowsched.ExecutedPrefix(calc, s.Cursor, s.Bound) != s.Done {
-			ex.trip(fmt.Errorf("%w: instance %d (loop %d): cursor %d does not encode %d completed iterations",
-				ErrBadSnapshot, i, s.Loop, s.Cursor, s.Done))
+		if !ok || lowsched.ExecutedPrefix(calc, s.Cursor, s.Bound) != s.Done+psz {
+			ex.trip(fmt.Errorf("%w: instance %d (loop %d): cursor %d does not encode %d completed + %d pending iterations",
+				ErrBadSnapshot, i, s.Loop, s.Cursor, s.Done, psz))
 			return
+		}
+		if ex.combine {
+			icb.Index.SetCombining(true)
+			icb.ICount.SetCombining(true)
 		}
 		// Publish with the activation protocol, but without the stats the
 		// seeded totals already count (cInstances, cEnters, O3 time): the
@@ -362,6 +408,29 @@ func (w *worker) restorePrologue() {
 			w.rec.Record(int64(pr.Now()), flight.Begin, int32(pr.ID()), int32(s.Loop), s.Bound, 0)
 		}
 		ex.trackICB(icb)
+		if psz > 0 {
+			// Re-execute the leased-but-unexecuted remainder before the
+			// instance is published: the interrupted leaseholder already
+			// claimed these iterations (and the pause-side run counted
+			// their chunks), so they must run exactly once, here. The
+			// prologue takes a pcount hold for the duration; an instance
+			// the remainder completes takes the ordinary completion path
+			// and never rejoins the pool.
+			icb.PCount.FetchInc(pr)
+			for _, r := range s.Pending {
+				if !w.runChunk(icb, lowsched.Assignment{Lo: r.Lo, Hi: r.Hi}) {
+					return // drain (abort): the resumed run is tearing down
+				}
+			}
+			keep, cont := w.finishChunk(icb, psz)
+			if !cont {
+				return
+			}
+			if !keep {
+				continue // completed and released in the prologue
+			}
+			icb.PCount.FetchDec(pr)
+		}
 		ex.pool.Append(pr, icb)
 	}
 }

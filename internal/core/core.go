@@ -219,6 +219,28 @@ type Config struct {
 	// entering the program from the top. Enabling it also enables
 	// live-instance tracking (the snapshot enumerates in-flight ICBs).
 	Checkpoint *CheckpointConfig
+	// ClaimBatch is the lease batch factor: a worker's claim acquires up
+	// to this many successive chunks with one synchronization operation
+	// and slices them locally (lowsched.Leaser). 0 and 1 select the
+	// classic one-chunk-per-claim protocol, bit-identical to builds
+	// without the seam. Values above 1 require a scheme whose policy
+	// implements lowsched.Leaser (every cursor scheme does; static
+	// pre-assignment schemes do not).
+	ClaimBatch int
+	// SWShards splits the per-loop pool's SW control word into this many
+	// shard words, each charged as its own synchronization variable, so
+	// sweep and locked-retest contention scales with the shard count
+	// instead of the processor count. 0 and 1 select the paper's single
+	// word. Pools without a sharded SW word (single-list, distributed)
+	// ignore it.
+	SWShards int
+	// CombineClaims marks every instance's claim-path variables (Index,
+	// ICount) as served by the machine's software-combining network
+	// (machine.SyncVar.SetCombining): on the virtual engine, concurrent
+	// fetch-and-adds against them coalesce instead of serializing. The
+	// real engine ignores the flag — hardware read-modify-writes already
+	// combine in the coherence fabric. Off by default (bit-identical).
+	CombineClaims bool
 }
 
 // Probe is a live, concurrency-safe view into one execution. The counters
@@ -302,12 +324,21 @@ type executor struct {
 	// inj and retry are cfg.Inject and cfg.Retry hoisted onto the
 	// executor so the kernel's hot path reads one flat field; ckptAfter,
 	// restore and rec hoist the checkpoint trigger, the resume snapshot
-	// and the flight recorder the same way.
+	// and the flight recorder the same way; batch, leaser and combine
+	// hoist the claim-path tuning (ClaimBatch, CombineClaims).
 	inj       *fault.Injector
 	retry     Retry
 	ckptAfter int64
 	restore   *RunSnapshot
 	rec       *flight.Recorder
+	batch     int
+	leaser    lowsched.Leaser
+	combine   bool
+	// pend records leased-but-unexecuted iteration ranges of workers
+	// paused mid-lease, keyed by instance; capture folds them into the
+	// snapshot. Only ever written under a checkpoint pause (cold path).
+	pendMu sync.Mutex
+	pend   map[*pool.ICB][]lowsched.Assignment
 	// failures is the Isolate policy's quarantine log.
 	failures failureLog
 	// insts tracks live ICBs for Diagnose when cfg.Diagnostics is set;
@@ -326,6 +357,15 @@ type executor struct {
 	// machine.Proc.ID(). The structs are padded so adjacent workers do
 	// not share cache lines.
 	workers []worker
+	// stopFn and abortFn are ex.stop and ex.aborted bound once: method
+	// values allocate a closure at every binding site, so the workers
+	// copy these instead of re-binding per run (the activation path's
+	// allocation pin in alloc_test.go counts every one).
+	stopFn, abortFn func() bool
+	// locs is the shared backing array of the workers' loc_indexes
+	// vectors, one cache-line-padded stride per worker.
+	locs      []int64
+	locStride int
 }
 
 func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
@@ -349,16 +389,59 @@ func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 		// built by enumerating in-flight ICBs.
 		ex.insts = map[*pool.ICB]struct{}{}
 	}
+	ex.batch = cfg.ClaimBatch
+	if ex.batch < 1 {
+		ex.batch = 1
+	}
+	if ex.batch > 1 {
+		// Validated by RunPlanContext before the executor is built.
+		ex.leaser = policy.(lowsched.Leaser)
+	}
+	ex.combine = cfg.CombineClaims
+	ex.stopFn = ex.stop
+	ex.abortFn = ex.aborted
+	// One padded stride per worker: adjacent workers' loc vectors stay on
+	// separate cache lines while the whole layer costs one allocation.
+	ex.locStride = (pl.maxDepth + 8) / 8 * 8
+	ex.locs = make([]int64, nprocs*ex.locStride)
 	prog := pl.prog
+	shards := cfg.SWShards
+	if shards < 1 {
+		shards = 1
+	}
 	switch cfg.Pool {
 	case PoolSingleList:
 		ex.pool = pool.NewSingleList(prog.M)
 	case PoolDistributed:
 		ex.pool = pool.NewDistributed(prog.M, nprocs)
 	default:
-		ex.pool = pool.New(prog.M)
+		if shards > 1 {
+			ex.pool = pool.NewSharded(prog.M, shards)
+		} else {
+			ex.pool = pool.New(prog.M)
+		}
 	}
 	return ex
+}
+
+// addPending records a mid-lease pause's unexecuted remainder (see
+// worker.runLease and capture).
+func (ex *executor) addPending(icb *pool.ICB, a lowsched.Assignment) {
+	ex.pendMu.Lock()
+	if ex.pend == nil {
+		ex.pend = map[*pool.ICB][]lowsched.Assignment{}
+	}
+	ex.pend[icb] = append(ex.pend[icb], a)
+	ex.pendMu.Unlock()
+}
+
+// pendingOf returns the recorded pending ranges of icb, sorted by Lo.
+func (ex *executor) pendingOf(icb *pool.ICB) []lowsched.Assignment {
+	ex.pendMu.Lock()
+	rs := ex.pend[icb]
+	ex.pendMu.Unlock()
+	sort.Slice(rs, func(i, k int) bool { return rs[i].Lo < rs[k].Lo })
+	return rs
 }
 
 // adaptRuntime is the measurement surface handed to adaptive policies

@@ -75,11 +75,12 @@ func (w *worker) init(ex *executor, pr machine.Proc) {
 	w.pr = pr
 	w.shard = ex.stats.shard(pr.ID())
 	w.lastClaim.Store(-1)
-	w.loc = make([]int64, ex.plan.maxDepth+1)
+	off := pr.ID() * ex.locStride
+	w.loc = ex.locs[off : off+ex.plan.maxDepth+1 : off+ex.locStride]
 	// barBuf stays nil until the first barrier completion grows it —
 	// programs without structural parallel loops never pay for it.
-	w.ctx = Ctx{pr: pr, abort: ex.aborted, shard: w.shard}
-	w.stop = ex.stop
+	w.ctx = Ctx{pr: pr, abort: ex.abortFn, shard: w.shard}
+	w.stop = ex.stopFn
 	w.rec = nil
 	if ex.rec != nil {
 		w.rec = ex.rec.Ring(pr.ID())
@@ -203,6 +204,18 @@ func (w *worker) run() {
 			// pcounts are not part of the snapshot.
 			return
 		}
+		if ex.batch > 1 {
+			// Batched claiming: one synchronization operation leases a
+			// run of chunks the worker slices locally.
+			keep, cont := w.runLease(icb)
+			if !cont {
+				return
+			}
+			if !keep {
+				icb = nil
+			}
+			continue
+		}
 		t0 := pr.Now()
 		a, ok, last := ex.policy.Next(pr, icb)
 		if !ok {
@@ -242,53 +255,140 @@ func (w *worker) run() {
 			return
 		}
 
-		// update: count completed iterations; the completer of the final
-		// iteration activates successors and releases the ICB.
-		t0 = pr.Now()
-		done := icb.ICount.FetchAdd(pr, a.Size()) + a.Size()
-		w.shard.Add(cO1Time, pr.Now()-t0)
-		if w.rec != nil {
-			w.rec.Record(int64(pr.Now()), flight.Chunk, int32(pr.ID()), int32(icb.Loop), done, icb.Bound)
+		keep, cont := w.finishChunk(icb, a.Size())
+		if !cont {
+			return
 		}
-		if done > icb.Bound {
-			panic(fmt.Sprintf("core: icount %d exceeded bound %d (loop %d)", done, icb.Bound, icb.Loop))
-		}
-		if done == icb.Bound {
-			t0 = pr.Now()
-			w.completeInstance(icb)
-			w.shard.Inc(cExits)
-			w.shard.Inc(cEnters)
-			if w.rec != nil {
-				w.rec.Record(int64(pr.Now()), flight.Exit, int32(pr.ID()), int32(icb.Loop), icb.Bound, 0)
-			}
-
-			// Wait for the other holders to drop the ICB, then release it
-			// (the paper's {pcount = 1; Decrement} spin). Only then may
-			// the block be reused — which it is: the drained block goes
-			// onto this worker's freelist for the next activation.
-			rel := machine.Instr{Test: machine.TestEQ, TestVal: 1, Op: machine.OpDec}
-			for {
-				if _, ok := icb.PCount.Exec(pr, rel); ok {
-					break
-				}
-				if ex.aborted() {
-					return // an aborted holder can never drain its pcount
-				}
-				if ex.ckptReq.Load() {
-					// A paused holder will never drop its hold; leave
-					// without releasing. The completed block is excluded
-					// from the snapshot (its successors are already in),
-					// so the abandoned release loses nothing.
-					return
-				}
-				pr.Spin()
-			}
-			ex.untrackICB(icb)
-			w.free = append(w.free, icb)
-			w.shard.Add(cO3Time, pr.Now()-t0)
+		if !keep {
 			icb = nil
 		}
 	}
+}
+
+// finishChunk is the update step of Algorithm 3 after executing size
+// iterations of icb: count completed iterations and, on the final one,
+// run the completion path (EXIT/ENTER fan-out, the pcount release spin,
+// freelist recycling). keep=false means the worker no longer holds the
+// instance; cont=false means the worker must drain out (abort, or a
+// checkpoint pause observed inside the release spin).
+func (w *worker) finishChunk(icb *pool.ICB, size int64) (keep, cont bool) {
+	ex, pr := w.ex, w.pr
+	// update: count completed iterations; the completer of the final
+	// iteration activates successors and releases the ICB.
+	t0 := pr.Now()
+	done := icb.ICount.FetchAdd(pr, size) + size
+	w.shard.Add(cO1Time, pr.Now()-t0)
+	if w.rec != nil {
+		w.rec.Record(int64(pr.Now()), flight.Chunk, int32(pr.ID()), int32(icb.Loop), done, icb.Bound)
+	}
+	if done > icb.Bound {
+		panic(fmt.Sprintf("core: icount %d exceeded bound %d (loop %d)", done, icb.Bound, icb.Loop))
+	}
+	if done != icb.Bound {
+		return true, true
+	}
+	t0 = pr.Now()
+	w.completeInstance(icb)
+	w.shard.Inc(cExits)
+	w.shard.Inc(cEnters)
+	if w.rec != nil {
+		w.rec.Record(int64(pr.Now()), flight.Exit, int32(pr.ID()), int32(icb.Loop), icb.Bound, 0)
+	}
+
+	// Wait for the other holders to drop the ICB, then release it
+	// (the paper's {pcount = 1; Decrement} spin). Only then may
+	// the block be reused — which it is: the drained block goes
+	// onto this worker's freelist for the next activation.
+	rel := machine.Instr{Test: machine.TestEQ, TestVal: 1, Op: machine.OpDec}
+	for {
+		if _, ok := icb.PCount.Exec(pr, rel); ok {
+			break
+		}
+		if ex.aborted() {
+			return false, false // an aborted holder can never drain its pcount
+		}
+		if ex.ckptReq.Load() {
+			// A paused holder will never drop its hold; leave
+			// without releasing. The completed block is excluded
+			// from the snapshot (its successors are already in),
+			// so the abandoned release loses nothing.
+			return false, false
+		}
+		pr.Spin()
+	}
+	ex.untrackICB(icb)
+	w.free = append(w.free, icb)
+	w.shard.Add(cO3Time, pr.Now()-t0)
+	return false, true
+}
+
+// runLease is the batched claim-and-execute step: acquire a lease of up
+// to ex.batch chunks with one synchronization operation, slice it
+// locally, and post the completed-iteration count once for the whole
+// lease. Chunk accounting (cChunks, the claim-k checkpoint trigger) is
+// per covered chunk at claim time, so trend metrics and triggers keep
+// chunk granularity while the synchronization traffic is per lease.
+//
+// The checkpoint pause is honored between slices: the executed prefix is
+// posted to icount and the unexecuted remainder is recorded as the
+// instance's pending range, which restore re-executes before
+// republishing the instance (the leased-but-unexecuted iterations are
+// neither lost nor repeated).
+func (w *worker) runLease(icb *pool.ICB) (keep, cont bool) {
+	ex, pr := w.ex, w.pr
+	t0 := pr.Now()
+	lease, ok, last := ex.leaser.Lease(pr, icb, ex.batch)
+	if !ok {
+		icb.PCount.FetchDec(pr)
+		w.shard.Add(cO1Time, pr.Now()-t0)
+		if w.rec != nil {
+			w.rec.Record(int64(pr.Now()), flight.Switch, int32(pr.ID()), int32(icb.Loop), 0, 0)
+		}
+		return false, true
+	}
+	if last {
+		ex.pool.Delete(pr, icb)
+	}
+	n := int64(lease.Len())
+	w.shard.Add(cChunks, n)
+	w.shard.Add(cO1Time, pr.Now()-t0)
+	w.lastClaim.Store(pr.Now())
+	if w.rec != nil {
+		w.rec.Record(int64(pr.Now()), flight.Claim, int32(pr.ID()), int32(icb.Loop), lease.Lo(), lease.Hi())
+	}
+	if ex.ckptAfter > 0 {
+		// The trigger fires when the cumulative chunk count crosses the
+		// threshold; a lease may step past it, never around it.
+		if c := ex.claims.Add(n); c-n < ex.ckptAfter && c >= ex.ckptAfter {
+			ex.ckptReq.Store(true)
+		}
+	}
+
+	var exec int64
+	for {
+		a, ok := lease.Slice()
+		if !ok {
+			break
+		}
+		if !w.runChunk(icb, a) {
+			// Drain (abort): the unposted iterations are abandoned with
+			// the run, exactly like an aborted unit chunk.
+			return false, false
+		}
+		exec += a.Size()
+		if ex.ckptReq.Load() {
+			if rem, ok := lease.Remaining(); ok {
+				// Mid-lease pause: post what ran, record the rest as the
+				// instance's pending range, keep the hold and leave.
+				t0 = pr.Now()
+				icb.ICount.FetchAdd(pr, exec)
+				w.shard.Add(cO1Time, pr.Now()-t0)
+				ex.addPending(icb, rem)
+				return true, false
+			}
+		}
+	}
+	return w.finishChunk(icb, exec)
 }
 
 // runChunk executes the assigned iterations [a.Lo, a.Hi] of icb under

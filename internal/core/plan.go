@@ -128,6 +128,25 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 		return nil, fmt.Errorf("core: flight recorder covers %d processors, engine has %d",
 			cfg.Recorder.Procs(), cfg.Engine.NumProcs())
 	}
+	if cfg.ClaimBatch < 0 {
+		return nil, fmt.Errorf("core: negative claim batch %d", cfg.ClaimBatch)
+	}
+	if cfg.SWShards < 0 {
+		return nil, fmt.Errorf("core: negative SW shard count %d", cfg.SWShards)
+	}
+	if cfg.ClaimBatch > 1 {
+		if _, ok := policy.(lowsched.Leaser); !ok {
+			return nil, fmt.Errorf("core: scheme %s cannot lease chunk batches (ClaimBatch %d requires a cursor scheme)",
+				policy.Name(), cfg.ClaimBatch)
+		}
+	}
+	if bb, ok := policy.(lowsched.BatchBinder); ok {
+		b := cfg.ClaimBatch
+		if b < 1 {
+			b = 1
+		}
+		bb.BindBatch(b)
+	}
 	if cfg.Checkpoint != nil {
 		if err := checkCheckpointable(pl, cfg, policy); err != nil {
 			return nil, err

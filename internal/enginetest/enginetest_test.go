@@ -33,6 +33,31 @@ func TestVirtualEngineCheckpointResume(t *testing.T) {
 	})
 }
 
+// TestVirtualEngineBatchedClaims holds the simulator to the batched
+// claim protocol: leases slice locally, execution stays exactly-once.
+func TestVirtualEngineBatchedClaims(t *testing.T) {
+	BatchedClaims(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestRealEngineBatchedClaims does the same on goroutines; -race makes
+// it the memory-ordering stress for the lease claim path.
+func TestRealEngineBatchedClaims(t *testing.T) {
+	BatchedClaims(t, "real", func(p int, intr *machine.Interrupt) core.Engine {
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+	})
+}
+
+// TestVirtualEngineBatchedCheckpointResume holds the simulator to the
+// mid-lease pause contract: leased-but-unexecuted iterations travel in
+// the snapshot and restore exactly once.
+func TestVirtualEngineBatchedCheckpointResume(t *testing.T) {
+	BatchedCheckpointResume(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
 // TestVirtualEngineChaos holds the simulator to the isolate-policy
 // contract under deterministic fault injection.
 func TestVirtualEngineChaos(t *testing.T) {

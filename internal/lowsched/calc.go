@@ -92,6 +92,80 @@ type Policy interface {
 	Next(pr machine.Proc, icb *pool.ICB) (a Assignment, ok, last bool)
 }
 
+// Lease is a claimed run of up to batch successive chunks, acquired with
+// one synchronization operation (Leaser.Lease) and sliced locally by the
+// holding worker: Slice re-derives each chunk from the pure calculator
+// with no machine access, so the per-chunk claim traffic of the classic
+// protocol is paid once per lease. This is the distributed-chunk-
+// calculation idea (Eleliemy & Ciorba) applied node-locally — and the
+// seam a future distributed pool's remote claims build on (a remote
+// claim is just a large lease).
+type Lease struct {
+	calc   ChunkCalculator
+	s      int64 // cursor of the next unconsumed slice
+	bound  int64
+	n      int   // slices remaining
+	lo, hi int64 // iteration range covered by the whole lease
+}
+
+// Len returns the number of chunks the lease covered at claim time.
+func (l *Lease) Len() int { return l.n }
+
+// Lo returns the first iteration covered by the lease.
+func (l *Lease) Lo() int64 { return l.lo }
+
+// Hi returns the last iteration covered by the lease.
+func (l *Lease) Hi() int64 { return l.hi }
+
+// Slice yields the lease's next chunk, advancing the local cursor. ok is
+// false when the lease is consumed. Slicing is pure local arithmetic.
+func (l *Lease) Slice() (Assignment, bool) {
+	if l.n <= 0 {
+		return Assignment{}, false
+	}
+	a, next, ok := l.calc.Chunk(l.s, l.bound)
+	if !ok {
+		l.n = 0
+		return Assignment{}, false
+	}
+	l.s = next
+	l.n--
+	return a, true
+}
+
+// Remaining returns the unconsumed tail of the lease as one contiguous
+// range, without advancing the cursor; ok is false when the lease is
+// consumed. A checkpointing host records this as the leased-but-
+// unexecuted remainder.
+func (l *Lease) Remaining() (Assignment, bool) {
+	if l.n <= 0 {
+		return Assignment{}, false
+	}
+	a, _, ok := l.calc.Chunk(l.s, l.bound)
+	if !ok {
+		return Assignment{}, false
+	}
+	return Assignment{Lo: a.Lo, Hi: l.hi}, true
+}
+
+// Leaser is the batched-claiming extension of Policy: one
+// synchronization operation acquires up to batch successive chunks. ok
+// and last mean what they do for Policy.Next, applied to the whole
+// lease; a true last obliges the caller to DELETE the ICB, exactly as
+// for a final chunk. Implementations must guarantee that a lease with
+// batch 1 issues the same instruction sequence as Policy.Next — batching
+// off must be bit-identical to the classic protocol.
+type Leaser interface {
+	Lease(pr machine.Proc, icb *pool.ICB, batch int) (l Lease, ok, last bool)
+}
+
+// BatchBinder is an optional Policy extension: policies that model claim
+// overhead (the adaptive fitter) are told the run's claim batch factor
+// once at bind time, before any worker starts.
+type BatchBinder interface {
+	BindBatch(batch int)
+}
+
 // Bind resolves a Scheme into the Policy the kernel drives, fixing the
 // machine size. It is called once per run (not per instance or claim), so
 // the hot claim path pays no construction or conversion cost.
@@ -166,4 +240,69 @@ func (c calcPolicy) Next(pr machine.Proc, icb *pool.ICB) (Assignment, bool, bool
 		}
 		pr.Spin() // lost the race; recompute from the new state
 	}
+}
+
+// Lease implements Leaser: claim up to batch successive chunks with the
+// same one-operation protocols Next uses. Fixed-stride calculators
+// advance the cursor by batch strides in a single indivisible
+// {index <= bound; Fetch&add(k*batch)} — with batch 1 this is exactly
+// Next's instruction. State-dependent calculators apply Chunk batch
+// times locally (pure arithmetic, no machine access) and publish the
+// final cursor with one compare-and-store, retrying from the new state
+// on a lost race — again exactly Next's traffic at batch 1.
+func (c calcPolicy) Lease(pr machine.Proc, icb *pool.ICB, batch int) (Lease, bool, bool) {
+	if batch < 1 {
+		batch = 1
+	}
+	if c.fixed {
+		add := c.stride * int64(batch)
+		j, ok := icb.Index.Exec(pr, machine.Instr{
+			Test: machine.TestLE, TestVal: icb.Bound, Op: machine.OpFetchAdd, Operand: add,
+		})
+		if !ok {
+			return Lease{}, false, false
+		}
+		// Chunks whose cursor stayed within the bound are ours; the
+		// overshoot past the bound leases nothing (later claimers fail
+		// the test, exactly as after a final unit claim).
+		n := int((min64(j+add-1, icb.Bound)-j)/c.stride) + 1
+		first, _, _ := c.calc.Chunk(j, icb.Bound)
+		lastA, _, _ := c.calc.Chunk(j+int64(n-1)*c.stride, icb.Bound)
+		l := Lease{calc: c.calc, s: j, bound: icb.Bound, n: n, lo: first.Lo, hi: lastA.Hi}
+		return l, true, l.hi == icb.Bound
+	}
+	for {
+		s0 := icb.Index.Fetch(pr)
+		s, n := s0, 0
+		var lo, hi int64
+		for n < batch {
+			a, next, ok := c.calc.Chunk(s, icb.Bound)
+			if !ok {
+				break
+			}
+			if n == 0 {
+				lo = a.Lo
+			}
+			hi = a.Hi
+			s = next
+			n++
+		}
+		if n == 0 {
+			return Lease{}, false, false
+		}
+		if _, ok := icb.Index.Exec(pr, machine.Instr{
+			Test: machine.TestEQ, TestVal: s0, Op: machine.OpStore, Operand: s,
+		}); ok {
+			l := Lease{calc: c.calc, s: s0, bound: icb.Bound, n: n, lo: lo, hi: hi}
+			return l, true, hi == icb.Bound
+		}
+		pr.Spin() // lost the race; recompute from the new state
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

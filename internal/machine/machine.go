@@ -153,6 +153,13 @@ type SyncVar struct {
 	// availability, NUMA home and contention stats) treat a recycled
 	// variable exactly like a freshly allocated one.
 	gen atomic.Uint64
+	// combining marks the variable as served by a software-combining
+	// network (Section II-A reserves the mode): concurrent fetch-type
+	// operations coalesce at the memory module, so the contention model
+	// charges a batch of simultaneous accesses once instead of
+	// serializing them. The real engine ignores the flag — a hardware
+	// LOCK XADD already combines in the coherence fabric.
+	combining atomic.Bool
 }
 
 // NewSyncVar returns a synchronization variable with the given debug name
@@ -185,6 +192,16 @@ func (s *SyncVar) Reset(init int64) {
 
 // Generation returns the variable's lifetime counter (see Reset).
 func (s *SyncVar) Generation() uint64 { return s.gen.Load() }
+
+// SetCombining marks or unmarks the variable as served by the machine's
+// software-combining network. Combining is a property of the variable's
+// placement, decided when the data structure owning it is built; like
+// Init, it must not race with concurrent accessors.
+func (s *SyncVar) SetCombining(on bool) { s.combining.Store(on) }
+
+// Combining reports whether the variable is served by the combining
+// network.
+func (s *SyncVar) Combining() bool { return s.combining.Load() }
 
 // Name returns the variable's debug name.
 func (s *SyncVar) Name() string { return s.name }

@@ -54,16 +54,19 @@ func (e *Real) NumProcs() int { return e.cfg.P }
 
 // Run executes worker on P goroutines and blocks until all return.
 func (e *Real) Run(worker func(Proc)) RunReport {
-	procs := make([]*realProc, e.cfg.P)
+	// One value slice instead of P separate allocations; the structs are
+	// padded so adjacent processors' hot counters do not share lines.
+	procs := make([]realProc, e.cfg.P)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := range procs {
-		procs[i] = &realProc{id: i, n: e.cfg.P, mode: e.cfg.Mode, start: start, intr: e.cfg.Interrupt}
+		p := &procs[i]
+		p.id, p.n, p.mode, p.start, p.intr = i, e.cfg.P, e.cfg.Mode, start, e.cfg.Interrupt
 		wg.Add(1)
-		go func(p *realProc) {
+		go func() {
 			defer wg.Done()
 			worker(p)
-		}(procs[i])
+		}()
 	}
 	wg.Wait()
 	rep := RunReport{
@@ -72,7 +75,8 @@ func (e *Real) Run(worker func(Proc)) RunReport {
 		Accesses: make([]int64, e.cfg.P),
 		Spins:    make([]int64, e.cfg.P),
 	}
-	for i, p := range procs {
+	for i := range procs {
+		p := &procs[i]
 		rep.Busy[i] = p.busy.Load()
 		rep.Accesses[i] = p.accesses.Load()
 		rep.Spins[i] = p.spins.Load()
@@ -89,6 +93,10 @@ type realProc struct {
 	busy     atomic.Int64
 	accesses atomic.Int64
 	spins    atomic.Int64
+	// The pad keeps neighboring processors in Run's value slice off each
+	// other's cache lines (the three counters above are the engine's
+	// hottest writes).
+	_ [48]byte
 }
 
 func (p *realProc) ID() int       { return p.id }

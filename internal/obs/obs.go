@@ -44,16 +44,24 @@ type ID int
 // shards. The zero value is not usable; construct with NewSpine.
 type Spine struct {
 	descs  []Desc
-	shards []*Shard
+	shards []Shard
 }
 
 // Shard is one writer's private counter block. A shard must only be
 // written by its owning processor/goroutine; reads may come from
-// anywhere (values are atomics, merged by the Spine on read). Each
-// shard is a separate heap allocation, so shards of different
-// processors do not share cache lines.
+// anywhere (values are atomics, merged by the Spine on read). All
+// shards share one backing array with the per-shard stride rounded up
+// to a cache line, so a spine costs a constant number of allocations
+// while shards of different processors still do not share lines.
 type Shard struct {
 	vals []atomic.Int64
+}
+
+// shardStride rounds a counter count up so consecutive shards start on
+// separate 64-byte cache lines of the shared backing array.
+func shardStride(ncounters int) int {
+	const per = 8 // 64-byte line / 8-byte atomic.Int64
+	return (ncounters + per - 1) / per * per
 }
 
 // NewSpine returns a spine with the given shard count (one per
@@ -62,19 +70,21 @@ func NewSpine(nshards int, descs []Desc) *Spine {
 	if nshards < 1 {
 		nshards = 1
 	}
-	seen := make(map[string]bool, len(descs))
-	for _, d := range descs {
+	for i, d := range descs {
 		if d.Name == "" {
 			panic("obs: counter with empty name")
 		}
-		if seen[d.Name] {
-			panic(fmt.Sprintf("obs: duplicate counter %q", d.Name))
+		for _, prev := range descs[:i] {
+			if prev.Name == d.Name {
+				panic(fmt.Sprintf("obs: duplicate counter %q", d.Name))
+			}
 		}
-		seen[d.Name] = true
 	}
-	s := &Spine{descs: descs, shards: make([]*Shard, nshards)}
+	stride := shardStride(len(descs))
+	vals := make([]atomic.Int64, nshards*stride)
+	s := &Spine{descs: descs, shards: make([]Shard, nshards)}
 	for i := range s.shards {
-		s.shards[i] = &Shard{vals: make([]atomic.Int64, len(descs))}
+		s.shards[i] = Shard{vals: vals[i*stride : i*stride+len(descs) : i*stride+stride]}
 	}
 	return s
 }
@@ -89,7 +99,7 @@ func (s *Spine) NumCounters() int { return len(s.descs) }
 func (s *Spine) Descs() []Desc { return s.descs }
 
 // Shard returns shard i for its owning writer.
-func (s *Spine) Shard(i int) *Shard { return s.shards[i] }
+func (s *Spine) Shard(i int) *Shard { return &s.shards[i] }
 
 // Add adds v to the shard's counter id.
 func (sh *Shard) Add(id ID, v int64) { sh.vals[id].Add(v) }

@@ -152,34 +152,65 @@ type plist struct {
 
 // Pool is the task pool: nlists parallel linked lists addressed through
 // the control word SW.
+//
+// The control word may be split across several shard words (NewSharded):
+// list i is advertised in shard word (i-1)/shardSize, the leading-one
+// sweep examines shard words in order, and every SW operation is charged
+// against the touched shard's synchronization variable. With one shard
+// (the default, and the paper's configuration) the access sequence is
+// exactly the classic single-word one; with more, searchers, appenders
+// and deleters of different shards no longer contend on the same memory
+// module, so sweep and locked-retest contention scales with the shard
+// count instead of the processor count.
 type Pool struct {
 	m      int // innermost parallel loop count
 	nlists int
 	sw     *bitset.Atomic
-	// swVar is the synchronization variable standing in for SW in the
-	// machine's contention model: every SW access is charged against it.
-	swVar *machine.SyncVar
-	lists []plist
+	// shardSize is the number of list bits per SW shard word.
+	shardSize int
+	// swVars are the synchronization variables standing in for the SW
+	// shard words in the machine's contention model: every SW access is
+	// charged against the touched shard's variable. One entry per shard.
+	swVars []*machine.SyncVar
+	lists  []plist
 }
 
 // New returns a pool with one list per innermost parallel loop (the
 // paper's configuration).
-func New(m int) *Pool { return newPool(m, m) }
+func New(m int) *Pool { return newPool(m, m, 1) }
 
 // NewSingleList returns a pool in which all m loops share a single list —
 // the serial-bottleneck baseline.
-func NewSingleList(m int) *Pool { return newPool(m, 1) }
+func NewSingleList(m int) *Pool { return newPool(m, 1, 1) }
 
-func newPool(m, nlists int) *Pool {
+// NewSharded returns a per-loop pool whose SW control word is split into
+// shards words. Shard counts larger than the list count are clamped.
+func NewSharded(m, shards int) *Pool { return newPool(m, m, shards) }
+
+func newPool(m, nlists, shards int) *Pool {
 	if m < 1 || nlists < 1 {
 		panic(fmt.Sprintf("pool: invalid sizes m=%d nlists=%d", m, nlists))
 	}
+	if shards < 1 {
+		panic(fmt.Sprintf("pool: invalid SW shard count %d", shards))
+	}
+	if shards > nlists {
+		shards = nlists
+	}
 	p := &Pool{
-		m:      m,
-		nlists: nlists,
-		sw:     bitset.New(nlists),
-		swVar:  machine.NewSyncVar("SW", 0),
-		lists:  make([]plist, nlists+1), // 1-based
+		m:         m,
+		nlists:    nlists,
+		sw:        bitset.New(nlists),
+		shardSize: (nlists + shards - 1) / shards,
+		swVars:    make([]*machine.SyncVar, shards),
+		lists:     make([]plist, nlists+1), // 1-based
+	}
+	for s := range p.swVars {
+		name := "SW"
+		if shards > 1 {
+			name = fmt.Sprintf("SW(%d)", s)
+		}
+		p.swVars[s] = machine.NewSyncVar(name, 0)
 	}
 	for i := 1; i <= nlists; i++ {
 		p.lists[i].lock = machine.NewSpinLock(fmt.Sprintf("L(%d)", i))
@@ -189,6 +220,15 @@ func newPool(m, nlists int) *Pool {
 
 // NumLists returns the number of parallel linked lists.
 func (p *Pool) NumLists() int { return p.nlists }
+
+// SWShards returns the number of SW shard words.
+func (p *Pool) SWShards() int { return len(p.swVars) }
+
+// swVarOf returns the synchronization variable of the shard word
+// advertising list i.
+func (p *Pool) swVarOf(i int) *machine.SyncVar {
+	return p.swVars[(i-1)/p.shardSize]
+}
 
 // listOf maps a loop number to its list number.
 func (p *Pool) listOf(loop int) int {
@@ -214,7 +254,7 @@ func (p *Pool) Append(pr machine.Proc, icb *ICB) {
 	l.n.Add(1)
 	x := l.tail
 	p.sw.Clear(i)
-	pr.Access(p.swVar)
+	pr.Access(p.swVarOf(i))
 	icb.left = x
 	icb.right = nil
 	l.tail = icb
@@ -224,7 +264,7 @@ func (p *Pool) Append(pr machine.Proc, icb *ICB) {
 		l.head = icb
 	}
 	p.sw.Set(i)
-	pr.Access(p.swVar)
+	pr.Access(p.swVarOf(i))
 	l.lock.Unlock(pr)
 }
 
@@ -242,7 +282,7 @@ func (p *Pool) Delete(pr machine.Proc, icb *ICB) {
 	icb.inList = false
 	l.n.Add(-1)
 	p.sw.Clear(i)
-	pr.Access(p.swVar)
+	pr.Access(p.swVarOf(i))
 	y := icb.right
 	x := icb.left
 	if x != nil {
@@ -258,7 +298,7 @@ func (p *Pool) Delete(pr machine.Proc, icb *ICB) {
 	icb.left, icb.right = nil, nil
 	if x != nil || y != nil {
 		p.sw.Set(i)
-		pr.Access(p.swVar)
+		pr.Access(p.swVarOf(i))
 	}
 	l.lock.Unlock(pr)
 }
@@ -284,8 +324,7 @@ type SearchStats struct {
 // itself — retries, stop checks, backoff — lives in the core execution
 // kernel; the pool only exposes the sweep primitives.
 func (p *Pool) First(pr machine.Proc) int {
-	pr.Access(p.swVar)
-	return p.sw.FirstSet()
+	return p.scanFrom(pr, 0)
 }
 
 // Next continues a sweep past cursor i: the next set bit of SW after i,
@@ -293,8 +332,38 @@ func (p *Pool) First(pr machine.Proc) int {
 // than restarting at 1 preserves the paper's intent ("processors can go
 // to the next nonempty linked list when the i-th linked list is locked").
 func (p *Pool) Next(pr machine.Proc, i int) int {
-	pr.Access(p.swVar)
-	return p.sw.NextSet(i)
+	return p.scanFrom(pr, i)
+}
+
+// scanFrom finds the lowest set SW bit strictly greater than i, walking
+// shard words in order and charging one access against each shard word
+// examined. A shard word is examined until one advertises a list; with a
+// single shard this is exactly the classic one-access leading-one scan.
+func (p *Pool) scanFrom(pr machine.Proc, i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= p.nlists {
+		// An exhausted cursor still rereads the final shard word to see
+		// that nothing is advertised past it — the single-word scan
+		// charged this access too.
+		pr.Access(p.swVars[len(p.swVars)-1])
+		return 0
+	}
+	for s := i / p.shardSize; ; s++ {
+		pr.Access(p.swVars[s])
+		hi := (s + 1) * p.shardSize
+		if b := p.sw.NextSet(i); b != 0 && b <= hi {
+			return b
+		}
+		if s == len(p.swVars)-1 {
+			return 0
+		}
+		// The next set bit (if any) lives in a later shard word; keep
+		// examining (and charging) subsequent words so the sweep's cost
+		// tracks the number of words actually read.
+		i = hi
+	}
 }
 
 // TryAdopt attempts to adopt an ICB from the list at cursor i (Algorithm
@@ -319,7 +388,7 @@ func (p *Pool) TryAdopt(pr machine.Proc, i int, needs func(*ICB) bool, block boo
 	}
 	// Retest SW(i) under the lock: the list may have been emptied between
 	// the SW fetch and the lock acquisition.
-	pr.Access(p.swVar)
+	pr.Access(p.swVarOf(i))
 	if !p.sw.TestAndClear(i) {
 		st.Retests++
 		l.lock.Unlock(pr)
@@ -336,14 +405,14 @@ func (p *Pool) TryAdopt(pr machine.Proc, i int, needs func(*ICB) bool, block boo
 		adopt.TestVal = icb.Bound
 		if _, ok := icb.PCount.Exec(pr, adopt); ok {
 			p.sw.Set(i)
-			pr.Access(p.swVar)
+			pr.Access(p.swVarOf(i))
 			l.lock.Unlock(pr)
 			return icb
 		}
 	}
 	st.Saturated++
 	p.sw.Set(i)
-	pr.Access(p.swVar)
+	pr.Access(p.swVarOf(i))
 	l.lock.Unlock(pr)
 	return nil
 }

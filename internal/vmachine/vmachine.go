@@ -101,6 +101,10 @@ type VarStat struct {
 	// Wait is the total time processors queued for the variable's memory
 	// module beyond the raw access cost.
 	Wait machine.Time
+	// Combined counts accesses that coalesced into an already-open
+	// combining window instead of occupying the module themselves
+	// (variables flagged SyncVar.SetCombining only).
+	Combined int64
 }
 
 // New returns a virtual multiprocessor with the given configuration.
@@ -209,11 +213,34 @@ func (v *vproc) Idle(cost machine.Time) {
 // variable's memory module to become free (unless combining), occupies it
 // for AccessCost, and resumes afterwards. The avail map is shared but safe:
 // only one des process executes at a time.
+//
+// A variable flagged SyncVar.SetCombining is served by the software
+// combining network: an access that arrives while the module window is
+// still open joins the in-flight operation and completes when it does,
+// without extending the module's occupancy — a batch of simultaneous
+// fetch-and-adds is charged one module transaction. With the global
+// Combining knob set every variable pipelines and no window tracking is
+// needed at all.
 func (v *vproc) Access(sv *machine.SyncVar) {
 	v.accesses++
 	cfg := v.eng.cfg
 	key := varKey{sv: sv, gen: sv.Generation()}
 	now := v.p.Now()
+	st, ok := v.eng.stats[key]
+	if !ok {
+		st = &VarStat{Name: sv.Name()}
+		v.eng.stats[key] = st
+	}
+	st.Accesses++
+	if !cfg.Combining && sv.Combining() {
+		if a, ok := v.eng.avail[key]; ok && a > now {
+			// Join the open window: finish with the in-flight combined
+			// operation, leaving avail untouched.
+			st.Combined++
+			v.p.AdvanceTo(a)
+			return
+		}
+	}
 	start := now
 	if !cfg.Combining {
 		if a, ok := v.eng.avail[key]; ok && a > start {
@@ -235,12 +262,6 @@ func (v *vproc) Access(sv *machine.SyncVar) {
 	if !cfg.Combining {
 		v.eng.avail[key] = end
 	}
-	st, ok := v.eng.stats[key]
-	if !ok {
-		st = &VarStat{Name: sv.Name()}
-		v.eng.stats[key] = st
-	}
-	st.Accesses++
 	st.Wait += start - now
 	v.p.AdvanceTo(end)
 }

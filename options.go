@@ -28,6 +28,10 @@ var (
 	// ErrBadRetry reports a negative Options.RetryAttempts or
 	// Options.RetryBackoff.
 	ErrBadRetry = errors.New("repro: negative retry configuration")
+	// ErrBadClaim reports an invalid claim-path configuration: a negative
+	// Options.ClaimBatch or Options.SWShards, or a ClaimBatch above 1
+	// combined with a static pre-assignment scheme (leases need a cursor).
+	ErrBadClaim = errors.New("repro: bad claim configuration")
 )
 
 // KnownEngines lists the accepted Options.Engine values.
@@ -106,6 +110,15 @@ func (o Options) resolve() (resolved, error) {
 			ErrBadRetry, o.RetryAttempts, o.RetryBackoff)
 	}
 	r.retry = core.Retry{Attempts: o.RetryAttempts, Backoff: o.RetryBackoff}
+
+	if o.ClaimBatch < 0 || o.SWShards < 0 {
+		return r, fmt.Errorf("%w: claim batch %d, SW shards %d",
+			ErrBadClaim, o.ClaimBatch, o.SWShards)
+	}
+	if o.ClaimBatch > 1 && lowsched.IsStatic(scheme) {
+		return r, fmt.Errorf("%w: claim batch %d requires a cursor scheme (static scheme %q pre-assigns iterations)",
+			ErrBadClaim, o.ClaimBatch, scheme.Name())
+	}
 
 	p := r.procs
 	switch o.Engine {

@@ -269,6 +269,26 @@ type Options struct {
 	// completion, with cumulative statistics. Resume cannot be combined
 	// with Verify: the trace cannot observe pre-checkpoint iterations.
 	Resume *Checkpoint
+	// ClaimBatch, when greater than 1, makes each low-level claim lease a
+	// run of up to that many successive chunks with a single indivisible
+	// operation, amortizing the per-claim overhead (the O1 of eq. 2)
+	// across the batch; the lease is sliced locally without further
+	// synchronization accesses. Requires a cursor (dynamic) scheme. Zero
+	// or 1 is the paper's one-chunk-per-claim protocol, unchanged.
+	ClaimBatch int
+	// SWShards, when greater than 1, splits the task pool's SW control
+	// word into that many shard words, each charged as its own
+	// synchronization variable, so pool sweeps and appends to different
+	// shards stop contending on one memory module. Applies to the
+	// per-loop pool only; zero or 1 is the paper's single control word.
+	SWShards int
+	// CombineClaims marks the per-instance claim hot spots (the ICB's
+	// Index and ICount) as software-combinable: on the virtual machine
+	// (without the global Combining network), concurrent accesses that
+	// arrive while one is in flight join its combining window instead of
+	// queueing behind it. Ignored by the real engines and subsumed by
+	// Options.Combining.
+	CombineClaims bool
 }
 
 // Live is a concurrency-safe view into a running execution, handed to
@@ -381,18 +401,21 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		rec = flight.New(rs.procs, opts.FlightRecorder)
 	}
 	rep, err := core.RunPlanContext(ctx, pl, core.Config{
-		Engine:       eng,
-		Scheme:       rs.scheme,
-		Pool:         rs.pool,
-		Tracer:       tracer,
-		DispatchCost: opts.DispatchCost,
-		Interrupt:    intr,
-		OnStart:      opts.Observe,
-		Failure:      rs.failure,
-		Retry:        rs.retry,
-		Diagnostics:  opts.Diagnostics,
-		Recorder:     rec,
-		Checkpoint:   ckpt,
+		Engine:        eng,
+		Scheme:        rs.scheme,
+		Pool:          rs.pool,
+		Tracer:        tracer,
+		DispatchCost:  opts.DispatchCost,
+		Interrupt:     intr,
+		OnStart:       opts.Observe,
+		Failure:       rs.failure,
+		Retry:         rs.retry,
+		Diagnostics:   opts.Diagnostics,
+		Recorder:      rec,
+		Checkpoint:    ckpt,
+		ClaimBatch:    opts.ClaimBatch,
+		SWShards:      opts.SWShards,
+		CombineClaims: opts.CombineClaims,
 	})
 	if err != nil {
 		var cke *core.CheckpointedError

@@ -159,6 +159,10 @@ type metrics struct {
 	iterations, instances, chunks, searches *obs.Counter
 	accesses, busy                          *obs.Counter
 	adaptFits, adaptSwitches                *obs.Counter
+
+	sweeps, sweepWalked, sweepLockFailures *obs.Counter
+	sweepRetests, sweepSaturated           *obs.Counter
+	icbAllocs, icbReuses                   *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -179,6 +183,20 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Adaptive-policy model fits performed by finished runs."),
 		adaptSwitches: reg.Counter("runner_adapt_switches_total",
 			"Adaptive-policy scheme switches performed by finished runs."),
+		sweeps: reg.Counter("runner_pool_sweeps_total",
+			"Task-pool SW sweeps (leading-one scans) by finished runs."),
+		sweepWalked: reg.Counter("runner_pool_walked_total",
+			"Task-pool lists examined across sweeps by finished runs."),
+		sweepLockFailures: reg.Counter("runner_pool_lock_failures_total",
+			"Task-pool list-lock acquisition failures by finished runs."),
+		sweepRetests: reg.Counter("runner_pool_retests_total",
+			"Task-pool SW retests that found the list emptied under the lock."),
+		sweepSaturated: reg.Counter("runner_pool_saturated_total",
+			"Task-pool adoption attempts that found every ICB saturated."),
+		icbAllocs: reg.Counter("runner_icb_allocs_total",
+			"Instance control blocks freshly allocated by finished runs."),
+		icbReuses: reg.Counter("runner_icb_reuses_total",
+			"Instance control blocks adopted from worker freelists by finished runs."),
 	}
 }
 
@@ -215,6 +233,13 @@ func (m *metrics) finish(res *repro.Result, err error) {
 	m.busy.Add(busy)
 	m.adaptFits.Add(res.Stats.AdaptFits)
 	m.adaptSwitches.Add(res.Stats.AdaptSwitches)
+	m.sweeps.Add(res.Stats.Search.Sweeps)
+	m.sweepWalked.Add(res.Stats.Search.Walked)
+	m.sweepLockFailures.Add(res.Stats.Search.LockFailures)
+	m.sweepRetests.Add(res.Stats.Search.Retests)
+	m.sweepSaturated.Add(res.Stats.Search.Saturated)
+	m.icbAllocs.Add(res.Stats.ICBAllocs)
+	m.icbReuses.Add(res.Stats.ICBReuses)
 }
 
 // New returns a Runner with the given configuration.
