@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay verify-claim
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay verify-claim verify-serve
 
 build:
 	$(GO) build ./...
@@ -110,3 +110,17 @@ verify-adapt:
 	$(GO) test -race -shuffle=on ./internal/enginetest/ ./internal/adapt/ ./internal/benchkit/
 	$(GO) run ./cmd/benchsuite run -filter '^(irregular/|(flat/(ss|gss)|many/ss)/virtual$$)' -reps 2 -o /tmp/BENCH_adapt.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_adapt.json
+
+# verify-serve gates the multi-tenant serving surface: the scheduler
+# seam (FIFO golden sequence, WFQ weighted shares, priority preemption
+# with exact resume), budget conformance on both engines, tenant
+# admission and auth, and the loadcheck workload-checks suite — all
+# under the race detector with shuffled order; and the virtual engine
+# with scheduler=fifo, no budgets and no tenants still reproduces the
+# committed baseline bit-for-bit — the serving seams must cost nothing,
+# and change nothing, when off.
+verify-serve:
+	$(GO) test -race -shuffle=on ./internal/runmgr/ ./runner/ ./cmd/loopschedd/ ./internal/loadcheck/
+	$(GO) test -race -shuffle=on -run 'Budget' ./internal/enginetest/ ./internal/core/ .
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_serve.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_serve.json

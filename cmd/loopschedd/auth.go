@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/runner"
+)
+
+// tenantsFile is the -tenants config: tenant declarations plus the API
+// keys that resolve to them. Separating keys from tenants lets several
+// keys share one scheduling identity (and lets keys rotate without
+// touching quotas).
+//
+//	{
+//	  "tenants": {
+//	    "gold":   {"weight": 3, "priority": 1, "max_queued": 16, "max_inflight": 8},
+//	    "bronze": {"weight": 1, "max_inflight": 2}
+//	  },
+//	  "keys": {
+//	    "secret-1": "gold",
+//	    "secret-2": "bronze"
+//	  }
+//	}
+type tenantsFile struct {
+	Tenants map[string]runner.Tenant `json:"tenants"`
+	Keys    map[string]string        `json:"keys"`
+}
+
+// loadTenants reads and validates a tenants config file.
+func loadTenants(path string) (*tenantsFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loopschedd: tenants config: %w", err)
+	}
+	var tf tenantsFile
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return nil, fmt.Errorf("loopschedd: tenants config %s: %w", path, err)
+	}
+	for key, tenant := range tf.Keys {
+		if key == "" {
+			return nil, fmt.Errorf("loopschedd: tenants config %s: empty API key", path)
+		}
+		if _, ok := tf.Tenants[tenant]; !ok {
+			return nil, fmt.Errorf("loopschedd: tenants config %s: key maps to undeclared tenant %q", path, tenant)
+		}
+	}
+	for name := range tf.Tenants {
+		if name == "" {
+			return nil, fmt.Errorf("loopschedd: tenants config %s: empty tenant name", path)
+		}
+	}
+	return &tf, nil
+}
+
+// tenantConfig returns the tenant table for runner.Config; safe on a
+// nil receiver (single-tenant mode).
+func (tf *tenantsFile) tenantConfig() map[string]runner.Tenant {
+	if tf == nil {
+		return nil
+	}
+	return tf.Tenants
+}
+
+// apiKey extracts the request's credential: "Authorization: Bearer KEY"
+// wins, then "X-API-Key: KEY"; "" means no credential presented.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+		// A non-Bearer Authorization header is an unknown credential, not
+		// an anonymous request; return it so resolution rejects it.
+		return auth
+	}
+	return strings.TrimSpace(r.Header.Get("X-API-Key"))
+}
+
+// resolveTenant maps the request's credential to a tenant name.
+// Single-tenant mode (no -tenants file) ignores credentials entirely.
+// In multi-tenant mode a missing credential is the anonymous tenant
+// (keyless dev mode; quotas for it go under "anonymous" in the config)
+// and an unknown one is rejected — a caller who presented a key meant
+// to be somebody, and silently demoting a mistyped key to anonymous
+// would misattribute their runs.
+func (s *server) resolveTenant(r *http.Request) (string, error) {
+	if s.cfg.Tenants == nil {
+		return "", nil
+	}
+	key := apiKey(r)
+	if key == "" {
+		// Keyless work runs under the declared "anonymous" tenant when the
+		// config has one, picking up its weight and quotas; otherwise it is
+		// the unconfigured default tenant.
+		if _, ok := s.cfg.Tenants.Tenants["anonymous"]; ok {
+			return "anonymous", nil
+		}
+		return "", nil
+	}
+	tenant, ok := s.cfg.Tenants.Keys[key]
+	if !ok {
+		return "", fmt.Errorf("unknown API key")
+	}
+	return tenant, nil
+}

@@ -1,0 +1,339 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/lang"
+	"repro/runner"
+)
+
+// Wire types.
+
+type submitRequest struct {
+	// Program is mini-language source (see internal/lang).
+	Program string     `json:"program"`
+	Label   string     `json:"label,omitempty"`
+	Timeout string     `json:"timeout,omitempty"` // Go duration string
+	Options runOptions `json:"options"`
+}
+
+type runOptions struct {
+	Procs         int    `json:"procs,omitempty"`
+	Scheme        string `json:"scheme,omitempty"`
+	Engine        string `json:"engine,omitempty"`
+	Pool          string `json:"pool,omitempty"`
+	AccessCost    int64  `json:"access_cost,omitempty"`
+	SpinCost      int64  `json:"spin_cost,omitempty"`
+	Combining     bool   `json:"combining,omitempty"`
+	RemotePenalty int64  `json:"remote_penalty,omitempty"`
+	DispatchCost  int64  `json:"dispatch_cost,omitempty"`
+	Verify        bool   `json:"verify,omitempty"`
+	Coalesce      bool   `json:"coalesce,omitempty"`
+	Failure       string `json:"failure,omitempty"`
+	RetryAttempts int    `json:"retry_attempts,omitempty"`
+	RetryBackoff  int64  `json:"retry_backoff,omitempty"`
+	// Checkpointable enables POST /v1/runs/{id}/checkpoint for the run;
+	// CheckpointAfter pauses it on its own after that many chunk claims.
+	// Resume restores a checkpoint captured from an identical program
+	// (returned in a checkpointed run's status).
+	Checkpointable  bool              `json:"checkpointable,omitempty"`
+	CheckpointAfter int64             `json:"checkpoint_after,omitempty"`
+	Resume          *repro.Checkpoint `json:"resume,omitempty"`
+	// ClaimBatch leases up to that many chunks per claim (cursor schemes
+	// only); SWShards splits the pool control word; CombineClaims marks
+	// the claim hot spots software-combinable on the virtual engine.
+	ClaimBatch    int  `json:"claim_batch,omitempty"`
+	SWShards      int  `json:"sw_shards,omitempty"`
+	CombineClaims bool `json:"combine_claims,omitempty"`
+	// BudgetIterations caps the run's executed iterations;
+	// BudgetTime caps its machine time. A run that exhausts either
+	// finishes with a budget-exceeded error — checkpointable runs park a
+	// resumable snapshot in their status.
+	BudgetIterations int64 `json:"budget_iterations,omitempty"`
+	BudgetTime       int64 `json:"budget_time,omitempty"`
+}
+
+func (o runOptions) toOptions() repro.Options {
+	return repro.Options{
+		Procs:            o.Procs,
+		Scheme:           o.Scheme,
+		Engine:           repro.EngineKind(o.Engine),
+		Pool:             o.Pool,
+		AccessCost:       o.AccessCost,
+		SpinCost:         o.SpinCost,
+		Combining:        o.Combining,
+		RemotePenalty:    o.RemotePenalty,
+		DispatchCost:     o.DispatchCost,
+		Verify:           o.Verify,
+		Failure:          o.Failure,
+		RetryAttempts:    o.RetryAttempts,
+		RetryBackoff:     o.RetryBackoff,
+		Checkpointable:   o.Checkpointable,
+		CheckpointAfter:  o.CheckpointAfter,
+		Resume:           o.Resume,
+		ClaimBatch:       o.ClaimBatch,
+		SWShards:         o.SWShards,
+		CombineClaims:    o.CombineClaims,
+		BudgetIterations: o.BudgetIterations,
+		BudgetTime:       o.BudgetTime,
+	}
+}
+
+// runStatus is a progress snapshot plus, for a finished run, the result
+// — or, for a checkpointed run, the resumable checkpoint.
+type runStatus struct {
+	runner.Progress
+	Result     *runResult        `json:"result,omitempty"`
+	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
+}
+
+type runResult struct {
+	Makespan    int64         `json:"makespan"`
+	Utilization float64       `json:"utilization"`
+	Scheme      string        `json:"scheme"`
+	Procs       int           `json:"procs"`
+	Busy        []int64       `json:"busy"`
+	Stats       core.Snapshot `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Valid lists acceptable values when the error is a typed option
+	// error (unknown engine/pool, bad scheme).
+	Valid []string `json:"valid,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
+		return
+	}
+	tenant, err := s.resolveTenant(r)
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err)
+		return
+	}
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sub, err := s.buildSubmission(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sub.Tenant = tenant
+	run, err := s.rn.Submit(sub)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusTooManyRequests {
+			// The backlog drains continuously; a short pause is the right
+			// client response to load shedding.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.recordSubmit(run.ID(), journalSubmit{
+		Program: req.Program,
+		Label:   req.Label,
+		Tenant:  tenant,
+		Timeout: req.Timeout,
+		Options: req.Options,
+	})
+	s.watchJournal(run)
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+// buildSubmission turns a wire submission into a runner submission; the
+// boot-time journal replay reuses it so replayed runs go through exactly
+// the fresh-request path. The tenant is not part of the wire body — the
+// submit path resolves it from the request's credentials, the replay
+// path restores it from the journal record.
+func (s *server) buildSubmission(req submitRequest) (runner.Submission, error) {
+	if req.Program == "" {
+		return runner.Submission{}, errors.New("missing program")
+	}
+	nest, err := lang.Parse(req.Program)
+	if err != nil {
+		return runner.Submission{}, fmt.Errorf("parse program: %w", err)
+	}
+	var copts []repro.CompileOption
+	if req.Options.Coalesce {
+		copts = append(copts, repro.WithCoalescing())
+	}
+	prog, err := repro.Compile(nest, copts...)
+	if err != nil {
+		return runner.Submission{}, fmt.Errorf("compile program: %w", err)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.Timeout != "" {
+		if timeout, err = time.ParseDuration(req.Timeout); err != nil {
+			return runner.Submission{}, fmt.Errorf("bad timeout: %w", err)
+		}
+	}
+	return runner.Submission{
+		Program: prog,
+		Options: req.Options.toOptions(),
+		Timeout: timeout,
+		Label:   req.Label,
+	}, nil
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := s.rn.Runs()
+	out := make([]runner.Progress, len(runs))
+	for i, run := range runs {
+		out[i] = run.Progress()
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	st := runStatus{Progress: run.Progress()}
+	if res, err := run.Result(); err == nil {
+		st.Result = &runResult{
+			Makespan:    res.Makespan,
+			Utilization: res.Utilization,
+			Scheme:      res.SchemeName,
+			Procs:       res.Procs,
+			Busy:        res.Busy,
+			Stats:       res.Stats,
+		}
+	}
+	st.Checkpoint = run.Checkpoint()
+	writeJSON(w, st)
+}
+
+// handleProgress streams NDJSON progress snapshots until the run is
+// terminal or the client goes away.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for p := range run.Watch(r.Context()) {
+		if enc.Encode(p) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// statsResponse is the /stats body: the run-manager census plus
+// per-tenant rows and service-level figures.
+type statsResponse struct {
+	runner.Stats
+	Tenants  []runner.TenantStats `json:"tenants,omitempty"`
+	UptimeNS int64                `json:"uptime_ns"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, statsResponse{
+		Stats:    s.rn.Stats(),
+		Tenants:  s.rn.TenantStats(),
+		UptimeNS: time.Since(s.started).Nanoseconds(),
+	})
+}
+
+// handleMetrics renders the service registry in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	s.reg.WriteProm(&sb)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, sb.String())
+}
+
+// handleCheckpoint asks a running checkpointable run to pause and
+// capture a snapshot. The pause completes asynchronously: poll the run
+// (or its progress stream) for state "checkpointed", then read the
+// checkpoint from GET /v1/runs/{id}.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	if !run.RequestCheckpoint() {
+		writeError(w, http.StatusConflict,
+			errors.New("run is not checkpointable (submit with options.checkpointable) or not running"))
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.rn.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	run.Cancel()
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, runner.ErrQueueFull),
+		errors.Is(err, runner.ErrTenantQueueFull),
+		errors.Is(err, runner.ErrTenantInflight):
+		return http.StatusTooManyRequests
+	case errors.Is(err, runner.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Error: err.Error()}
+	switch {
+	case errors.Is(err, repro.ErrBadScheme):
+		resp.Valid = repro.KnownSchemes()
+	case errors.Is(err, repro.ErrUnknownEngine):
+		resp.Valid = repro.KnownEngines()
+	case errors.Is(err, repro.ErrUnknownPool):
+		resp.Valid = repro.KnownPools()
+	case errors.Is(err, repro.ErrBadFailure):
+		resp.Valid = repro.KnownFailurePolicies()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

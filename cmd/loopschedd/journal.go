@@ -30,6 +30,7 @@ const (
 type journalSubmit struct {
 	Program string     `json:"program"`
 	Label   string     `json:"label,omitempty"`
+	Tenant  string     `json:"tenant,omitempty"`
 	Timeout string     `json:"timeout,omitempty"`
 	Options runOptions `json:"options"`
 }
@@ -148,6 +149,9 @@ func (s *server) replayJournal(path string) {
 			continue
 		}
 		sub.ID = id
+		// Tenant attribution survives the restart: the replayed run counts
+		// against its tenant's quotas and fair share like any fresh one.
+		sub.Tenant = p.sub.Tenant
 		// The journal writer is not open yet (replay precedes it, so these
 		// submissions are not re-journaled); newServer attaches the
 		// transition watchers once it is.

@@ -20,48 +20,49 @@
 //	                             draining for shutdown
 //	GET  /stats                  service census: queue depth, running/
 //	                             done/failed/cancelled/stalled counts,
-//	                             uptime
+//	                             per-tenant rows, uptime
 //	GET  /metrics                Prometheus text exposition: run outcome
 //	                             counters, executor figures aggregated
 //	                             over finished runs (iterations,
 //	                             instances, searches, busy time, sync
-//	                             accesses), live queue gauges, uptime
+//	                             accesses), per-tenant counters, live
+//	                             queue gauges, uptime
 //
 // With -journal FILE the daemon appends every submission and lifecycle
 // transition to a durable append-only journal; on the next boot, runs
 // whose last record is not terminal are re-queued under their original
 // IDs. -journal-sync picks the fsync policy (always|close|none).
 //
+// With -tenants FILE the daemon becomes multi-tenant: the file declares
+// tenants (scheduling weight, priority class, admission quotas) and the
+// API keys that map to them. Submissions authenticate with
+// "Authorization: Bearer KEY" or "X-API-Key: KEY"; an unknown key is
+// rejected with 401, a missing key runs as the anonymous tenant (keyless
+// dev mode). A submission over its tenant's quota is shed with 429 and
+// a Retry-After header. -scheduler picks the dispatch policy: fifo
+// (strict submission order, the default) or wfq (weighted-fair across
+// tenants with priority preemption).
+//
 // Example:
 //
-//	loopschedd -addr :8080 -max-concurrent 4 -journal /var/lib/loopschedd/runs.journal &
-//	curl -s localhost:8080/v1/runs -d '{"program":"doall I = 1..2000 { work 100 }","options":{"procs":8,"scheme":"gss"}}'
+//	loopschedd -addr :8080 -max-concurrent 4 -scheduler wfq -tenants tenants.json &
+//	curl -s localhost:8080/v1/runs -H 'Authorization: Bearer secret-1' \
+//	     -d '{"program":"doall I = 1..2000 { work 100 }","options":{"procs":8,"scheme":"gss"}}'
 //	curl -s localhost:8080/v1/runs/run-0001
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"repro"
-	"repro/internal/core"
 	"repro/internal/journal"
-	"repro/internal/lang"
-	"repro/internal/obs"
-	"repro/runner"
 )
 
 func main() {
@@ -77,12 +78,20 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for live runs to finish before cancelling them")
 		journalPath    = flag.String("journal", "", "durable run journal file; on boot, non-terminal runs are re-queued from it (\"\" = no journal)")
 		journalSync    = flag.String("journal-sync", "always", "journal fsync policy: always, close or none")
+		scheduler      = flag.String("scheduler", "fifo", "dispatch policy: fifo or wfq")
+		tenantsPath    = flag.String("tenants", "", "tenant config file mapping API keys to tenants, weights, priorities and quotas (\"\" = single-tenant)")
 	)
 	flag.Parse()
 
 	syncPolicy, err := journal.ParseSync(*journalSync)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tenants *tenantsFile
+	if *tenantsPath != "" {
+		if tenants, err = loadTenants(*tenantsPath); err != nil {
+			log.Fatal(err)
+		}
 	}
 	srv, err := newServer(serverConfig{
 		MaxConcurrent:  *maxConcurrent,
@@ -94,6 +103,8 @@ func main() {
 		WatchdogCancel: *watchdogCancel,
 		JournalPath:    *journalPath,
 		JournalSync:    syncPolicy,
+		Scheduler:      *scheduler,
+		Tenants:        tenants,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -115,437 +126,10 @@ func main() {
 		httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("loopschedd listening on %s (max-concurrent %d)", *addr, *maxConcurrent)
+	log.Printf("loopschedd listening on %s (max-concurrent %d, scheduler %s)", *addr, *maxConcurrent, *scheduler)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-drained
 	log.Printf("loopschedd drained, exiting")
-}
-
-type serverConfig struct {
-	MaxConcurrent  int
-	QueueLimit     int
-	SampleInterval time.Duration
-	DefaultTimeout time.Duration
-	// MaxBodyBytes caps request body sizes; 0 applies the 1 MiB default.
-	MaxBodyBytes int64
-	// Watchdog declares a run stuck after this long without scheduling
-	// progress; 0 disables the watchdog.
-	Watchdog time.Duration
-	// WatchdogCancel cancels runs the watchdog declares stuck.
-	WatchdogCancel bool
-	// JournalPath is the durable run journal file; "" disables
-	// journalling. On boot the journal is replayed and every run without
-	// a terminal record is re-queued under its original ID.
-	JournalPath string
-	// JournalSync is the journal's fsync policy.
-	JournalSync journal.Sync
-}
-
-// server is the HTTP front end over a runner.Runner. It is an
-// http.Handler, so tests drive it through httptest without a socket.
-type server struct {
-	cfg      serverConfig
-	rn       *runner.Runner
-	reg      *obs.Registry
-	mux      *http.ServeMux
-	started  time.Time
-	draining atomic.Bool
-	// jw is the run journal (nil when journalling is off); watchers
-	// tracks the per-run goroutines appending transition records, so
-	// close can wait for the terminal records before flushing.
-	jw       *journal.Writer
-	watchers sync.WaitGroup
-}
-
-func newServer(cfg serverConfig) (*server, error) {
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 1 << 20
-	}
-	reg := obs.NewRegistry()
-	s := &server{
-		cfg:     cfg,
-		reg:     reg,
-		started: time.Now(),
-		rn: runner.New(runner.Config{
-			MaxConcurrent:  cfg.MaxConcurrent,
-			QueueLimit:     cfg.QueueLimit,
-			SampleInterval: cfg.SampleInterval,
-			Metrics:        reg,
-			Watchdog: runner.WatchdogConfig{
-				Interval:    cfg.Watchdog,
-				CancelStuck: cfg.WatchdogCancel,
-				OnStuck: func(id, label, diagnostic string) {
-					log.Printf("loopschedd: run %s (%q) declared stuck:\n%s", id, label, diagnostic)
-				},
-			},
-		}),
-		mux: http.NewServeMux(),
-	}
-	reg.Gauge("loopschedd_uptime_seconds", "Seconds since the server started.",
-		func() float64 { return time.Since(s.started).Seconds() })
-	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/runs", s.handleList)
-	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
-	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
-	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	s.mux.HandleFunc("GET /readyz", s.handleReady)
-	if cfg.JournalPath != "" {
-		// Replay first, then open for appending: the replayed submissions
-		// must not be re-journaled, and their new transitions append after
-		// everything already in the file.
-		s.replayJournal(cfg.JournalPath)
-		jw, err := journal.Open(cfg.JournalPath, cfg.JournalSync)
-		if err != nil {
-			s.rn.Close()
-			return nil, fmt.Errorf("loopschedd: open journal: %w", err)
-		}
-		s.jw = jw
-		// The replayed runs were submitted before jw existed; attach their
-		// transition watchers now.
-		for _, run := range s.rn.Runs() {
-			s.watchJournal(run)
-		}
-	}
-	return s, nil
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// handleReady reports readiness: 200 while serving, 503 once draining,
-// so a load balancer stops routing submissions before shutdown cuts
-// live runs off.
-func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		io.WriteString(w, "draining\n")
-		return
-	}
-	io.WriteString(w, "ready\n")
-}
-
-// close drains gracefully: stop accepting submissions, give live runs
-// until ctx expires to finish on their own, then cancel the stragglers
-// and wait briefly for them to unwind. With a journal, the per-run
-// transition watchers are joined and the journal flushed before close
-// returns, so a clean shutdown loses no terminal records.
-func (s *server) close(ctx context.Context) {
-	s.draining.Store(true)
-	if err := s.rn.Drain(ctx); err != nil {
-		log.Printf("loopschedd: drain window expired, cancelling remaining runs")
-	}
-	s.rn.Close()
-	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	s.rn.Drain(grace)
-	if s.jw != nil {
-		// Every run is terminal now, so the watchers finish promptly.
-		s.watchers.Wait()
-		if err := s.jw.Close(); err != nil {
-			log.Printf("loopschedd: journal close: %v", err)
-		}
-	}
-}
-
-// Wire types.
-
-type submitRequest struct {
-	// Program is mini-language source (see internal/lang).
-	Program string     `json:"program"`
-	Label   string     `json:"label,omitempty"`
-	Timeout string     `json:"timeout,omitempty"` // Go duration string
-	Options runOptions `json:"options"`
-}
-
-type runOptions struct {
-	Procs         int    `json:"procs,omitempty"`
-	Scheme        string `json:"scheme,omitempty"`
-	Engine        string `json:"engine,omitempty"`
-	Pool          string `json:"pool,omitempty"`
-	AccessCost    int64  `json:"access_cost,omitempty"`
-	SpinCost      int64  `json:"spin_cost,omitempty"`
-	Combining     bool   `json:"combining,omitempty"`
-	RemotePenalty int64  `json:"remote_penalty,omitempty"`
-	DispatchCost  int64  `json:"dispatch_cost,omitempty"`
-	Verify        bool   `json:"verify,omitempty"`
-	Coalesce      bool   `json:"coalesce,omitempty"`
-	Failure       string `json:"failure,omitempty"`
-	RetryAttempts int    `json:"retry_attempts,omitempty"`
-	RetryBackoff  int64  `json:"retry_backoff,omitempty"`
-	// Checkpointable enables POST /v1/runs/{id}/checkpoint for the run;
-	// CheckpointAfter pauses it on its own after that many chunk claims.
-	// Resume restores a checkpoint captured from an identical program
-	// (returned in a checkpointed run's status).
-	Checkpointable  bool              `json:"checkpointable,omitempty"`
-	CheckpointAfter int64             `json:"checkpoint_after,omitempty"`
-	Resume          *repro.Checkpoint `json:"resume,omitempty"`
-	// ClaimBatch leases up to that many chunks per claim (cursor schemes
-	// only); SWShards splits the pool control word; CombineClaims marks
-	// the claim hot spots software-combinable on the virtual engine.
-	ClaimBatch    int  `json:"claim_batch,omitempty"`
-	SWShards      int  `json:"sw_shards,omitempty"`
-	CombineClaims bool `json:"combine_claims,omitempty"`
-}
-
-func (o runOptions) toOptions() repro.Options {
-	return repro.Options{
-		Procs:           o.Procs,
-		Scheme:          o.Scheme,
-		Engine:          repro.EngineKind(o.Engine),
-		Pool:            o.Pool,
-		AccessCost:      o.AccessCost,
-		SpinCost:        o.SpinCost,
-		Combining:       o.Combining,
-		RemotePenalty:   o.RemotePenalty,
-		DispatchCost:    o.DispatchCost,
-		Verify:          o.Verify,
-		Failure:         o.Failure,
-		RetryAttempts:   o.RetryAttempts,
-		RetryBackoff:    o.RetryBackoff,
-		Checkpointable:  o.Checkpointable,
-		CheckpointAfter: o.CheckpointAfter,
-		Resume:          o.Resume,
-		ClaimBatch:      o.ClaimBatch,
-		SWShards:        o.SWShards,
-		CombineClaims:   o.CombineClaims,
-	}
-}
-
-// runStatus is a progress snapshot plus, for a finished run, the result
-// — or, for a checkpointed run, the resumable checkpoint.
-type runStatus struct {
-	runner.Progress
-	Result     *runResult        `json:"result,omitempty"`
-	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
-}
-
-type runResult struct {
-	Makespan    int64         `json:"makespan"`
-	Utilization float64       `json:"utilization"`
-	Scheme      string        `json:"scheme"`
-	Procs       int           `json:"procs"`
-	Busy        []int64       `json:"busy"`
-	Stats       core.Snapshot `json:"stats"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-	// Valid lists acceptable values when the error is a typed option
-	// error (unknown engine/pool, bad scheme).
-	Valid []string `json:"valid,omitempty"`
-}
-
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("server draining"))
-		return
-	}
-	var req submitRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body over %d bytes", tooBig.Limit))
-			return
-		}
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	sub, err := s.buildSubmission(req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	run, err := s.rn.Submit(sub)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	s.recordSubmit(run.ID(), journalSubmit{
-		Program: req.Program,
-		Label:   req.Label,
-		Timeout: req.Timeout,
-		Options: req.Options,
-	})
-	s.watchJournal(run)
-	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, runStatus{Progress: run.Progress()})
-}
-
-// buildSubmission turns a wire submission into a runner submission; the
-// boot-time journal replay reuses it so replayed runs go through exactly
-// the fresh-request path.
-func (s *server) buildSubmission(req submitRequest) (runner.Submission, error) {
-	if req.Program == "" {
-		return runner.Submission{}, errors.New("missing program")
-	}
-	nest, err := lang.Parse(req.Program)
-	if err != nil {
-		return runner.Submission{}, fmt.Errorf("parse program: %w", err)
-	}
-	var copts []repro.CompileOption
-	if req.Options.Coalesce {
-		copts = append(copts, repro.WithCoalescing())
-	}
-	prog, err := repro.Compile(nest, copts...)
-	if err != nil {
-		return runner.Submission{}, fmt.Errorf("compile program: %w", err)
-	}
-	timeout := s.cfg.DefaultTimeout
-	if req.Timeout != "" {
-		if timeout, err = time.ParseDuration(req.Timeout); err != nil {
-			return runner.Submission{}, fmt.Errorf("bad timeout: %w", err)
-		}
-	}
-	return runner.Submission{
-		Program: prog,
-		Options: req.Options.toOptions(),
-		Timeout: timeout,
-		Label:   req.Label,
-	}, nil
-}
-
-func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
-	runs := s.rn.Runs()
-	out := make([]runner.Progress, len(runs))
-	for i, run := range runs {
-		out[i] = run.Progress()
-	}
-	writeJSON(w, out)
-}
-
-func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.rn.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such run"))
-		return
-	}
-	st := runStatus{Progress: run.Progress()}
-	if res, err := run.Result(); err == nil {
-		st.Result = &runResult{
-			Makespan:    res.Makespan,
-			Utilization: res.Utilization,
-			Scheme:      res.SchemeName,
-			Procs:       res.Procs,
-			Busy:        res.Busy,
-			Stats:       res.Stats,
-		}
-	}
-	st.Checkpoint = run.Checkpoint()
-	writeJSON(w, st)
-}
-
-// handleProgress streams NDJSON progress snapshots until the run is
-// terminal or the client goes away.
-func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.rn.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such run"))
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for p := range run.Watch(r.Context()) {
-		if enc.Encode(p) != nil {
-			return
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-}
-
-// statsResponse is the /stats body: the run-manager census plus
-// service-level figures.
-type statsResponse struct {
-	runner.Stats
-	UptimeNS int64 `json:"uptime_ns"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, statsResponse{
-		Stats:    s.rn.Stats(),
-		UptimeNS: time.Since(s.started).Nanoseconds(),
-	})
-}
-
-// handleMetrics renders the service registry in the Prometheus text
-// exposition format.
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var sb strings.Builder
-	s.reg.WriteProm(&sb)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, sb.String())
-}
-
-// handleCheckpoint asks a running checkpointable run to pause and
-// capture a snapshot. The pause completes asynchronously: poll the run
-// (or its progress stream) for state "checkpointed", then read the
-// checkpoint from GET /v1/runs/{id}.
-func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.rn.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such run"))
-		return
-	}
-	if !run.RequestCheckpoint() {
-		writeError(w, http.StatusConflict,
-			errors.New("run is not checkpointable (submit with options.checkpointable) or not running"))
-		return
-	}
-	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, runStatus{Progress: run.Progress()})
-}
-
-func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	run, ok := s.rn.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such run"))
-		return
-	}
-	run.Cancel()
-	w.WriteHeader(http.StatusAccepted)
-	writeJSON(w, runStatus{Progress: run.Progress()})
-}
-
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, runner.ErrQueueFull):
-		return http.StatusTooManyRequests
-	case errors.Is(err, runner.ErrClosed):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	resp := errorResponse{Error: err.Error()}
-	switch {
-	case errors.Is(err, repro.ErrBadScheme):
-		resp.Valid = repro.KnownSchemes()
-	case errors.Is(err, repro.ErrUnknownEngine):
-		resp.Valid = repro.KnownEngines()
-	case errors.Is(err, repro.ErrUnknownPool):
-		resp.Valid = repro.KnownPools()
-	case errors.Is(err, repro.ErrBadFailure):
-		resp.Valid = repro.KnownFailurePolicies()
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(resp)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/runmgr"
+	"repro/runner"
+)
+
+type serverConfig struct {
+	MaxConcurrent  int
+	QueueLimit     int
+	SampleInterval time.Duration
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request body sizes; 0 applies the 1 MiB default.
+	MaxBodyBytes int64
+	// Watchdog declares a run stuck after this long without scheduling
+	// progress; 0 disables the watchdog.
+	Watchdog time.Duration
+	// WatchdogCancel cancels runs the watchdog declares stuck.
+	WatchdogCancel bool
+	// JournalPath is the durable run journal file; "" disables
+	// journalling. On boot the journal is replayed and every run without
+	// a terminal record is re-queued under its original ID.
+	JournalPath string
+	// JournalSync is the journal's fsync policy.
+	JournalSync journal.Sync
+	// Scheduler is the dispatch policy name ("" or "fifo" for strict
+	// submission order, "wfq" for weighted-fair queueing across tenants).
+	Scheduler string
+	// Tenants enables multi-tenant auth and admission; nil serves
+	// everything as the anonymous tenant with no authentication.
+	Tenants *tenantsFile
+}
+
+// server is the HTTP front end over a runner.Runner. It is an
+// http.Handler, so tests drive it through httptest without a socket.
+type server struct {
+	cfg      serverConfig
+	rn       *runner.Runner
+	reg      *obs.Registry
+	mux      *http.ServeMux
+	started  time.Time
+	draining atomic.Bool
+	// jw is the run journal (nil when journalling is off); watchers
+	// tracks the per-run goroutines appending transition records, so
+	// close can wait for the terminal records before flushing.
+	jw       *journal.Writer
+	watchers sync.WaitGroup
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	// Validate the policy name here, where it arrives from a flag:
+	// runner.New treats an unknown scheduler as a programming error.
+	if _, err := runmgr.NewScheduler(cfg.Scheduler); err != nil {
+		return nil, fmt.Errorf("loopschedd: %w", err)
+	}
+	reg := obs.NewRegistry()
+	s := &server{
+		cfg:     cfg,
+		reg:     reg,
+		started: time.Now(),
+		rn: runner.New(runner.Config{
+			MaxConcurrent:  cfg.MaxConcurrent,
+			QueueLimit:     cfg.QueueLimit,
+			SampleInterval: cfg.SampleInterval,
+			Metrics:        reg,
+			Scheduler:      cfg.Scheduler,
+			Tenants:        cfg.Tenants.tenantConfig(),
+			Watchdog: runner.WatchdogConfig{
+				Interval:    cfg.Watchdog,
+				CancelStuck: cfg.WatchdogCancel,
+				OnStuck: func(id, label, diagnostic string) {
+					log.Printf("loopschedd: run %s (%q) declared stuck:\n%s", id, label, diagnostic)
+				},
+			},
+		}),
+		mux: http.NewServeMux(),
+	}
+	reg.Gauge("loopschedd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if cfg.JournalPath != "" {
+		// Replay first, then open for appending: the replayed submissions
+		// must not be re-journaled, and their new transitions append after
+		// everything already in the file.
+		s.replayJournal(cfg.JournalPath)
+		jw, err := journal.Open(cfg.JournalPath, cfg.JournalSync)
+		if err != nil {
+			s.rn.Close()
+			return nil, fmt.Errorf("loopschedd: open journal: %w", err)
+		}
+		s.jw = jw
+		// The replayed runs were submitted before jw existed; attach their
+		// transition watchers now.
+		for _, run := range s.rn.Runs() {
+			s.watchJournal(run)
+		}
+	}
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// handleReady reports readiness: 200 while serving, 503 once draining,
+// so a load balancer stops routing submissions before shutdown cuts
+// live runs off.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+// close drains gracefully: stop accepting submissions, give live runs
+// until ctx expires to finish on their own, then cancel the stragglers
+// and wait briefly for them to unwind. With a journal, the per-run
+// transition watchers are joined and the journal flushed before close
+// returns, so a clean shutdown loses no terminal records.
+func (s *server) close(ctx context.Context) {
+	s.draining.Store(true)
+	if err := s.rn.Drain(ctx); err != nil {
+		log.Printf("loopschedd: drain window expired, cancelling remaining runs")
+	}
+	s.rn.Close()
+	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.rn.Drain(grace)
+	if s.jw != nil {
+		// Every run is terminal now, so the watchers finish promptly.
+		s.watchers.Wait()
+		if err := s.jw.Close(); err != nil {
+			log.Printf("loopschedd: journal close: %v", err)
+		}
+	}
+}

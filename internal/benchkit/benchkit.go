@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/loadcheck"
 	"repro/internal/loopir"
 )
 
@@ -56,6 +57,12 @@ type Scenario struct {
 	Opts repro.Options
 	// Tags select subsets: "smoke" marks the fast sanity slice run in CI.
 	Tags []string
+	// Serve, when non-nil, runs the scenario through the serving layer
+	// (a runner under a loadcheck machine class) instead of a direct
+	// Program.Run, measuring submit→dispatch latency and serving
+	// throughput. Serve scenarios ignore Nest and Opts and are never
+	// deterministic (dispatch is wall-clock work).
+	Serve *loadcheck.Case
 }
 
 // HasTag reports whether the scenario carries the given tag.
@@ -118,6 +125,15 @@ func validateScenarios(scs []Scenario) error {
 			return fmt.Errorf("benchkit: duplicate scenario name %q", s.Name)
 		}
 		seen[s.Name] = true
+		if s.Serve != nil {
+			// Serve scenarios carry their whole configuration in the
+			// loadcheck case; the class name is the only reference to
+			// validate up front.
+			if _, ok := loadcheck.Classes[s.Serve.Class]; !ok {
+				return fmt.Errorf("benchkit: scenario %q: unknown machine class %q", s.Name, s.Serve.Class)
+			}
+			continue
+		}
 		if s.Nest == nil {
 			return fmt.Errorf("benchkit: scenario %q has no workload builder", s.Name)
 		}

@@ -2,8 +2,10 @@ package benchkit
 
 import (
 	"repro"
+	"repro/internal/loadcheck"
 	"repro/internal/loopir"
 	"repro/internal/workload"
+	"repro/runner"
 )
 
 // Suite configuration shared by every default scenario: 8 processors
@@ -128,6 +130,29 @@ func Default() []Scenario {
 	flood := func() *loopir.Nest { return workload.ManyInstances(16, 96, 4, 1) }
 	addC("", flood, "contention-pool", "ss", nil)
 	addC("shard4", flood, "contention-pool", "ss", func(o *repro.Options) { o.SWShards = 4 })
+
+	// Serving family: the mixed-tenant burst case through the runner,
+	// measuring the serving layer itself (ungated admission_ns and
+	// throughput trends; the seed baseline predates the family, so the
+	// regression gate skips it like the contention scenarios).
+	out = append(out, Scenario{
+		Name:     "serve/mixed-burst/wfq",
+		Workload: "serve",
+		Tags:     []string{"serve"},
+		Serve: &loadcheck.Case{
+			Name:      "mixed_tenant_burst",
+			Class:     "small",
+			Scheduler: "wfq",
+			Tenants: map[string]runner.Tenant{
+				"gold":   {Weight: 3},
+				"bronze": {Weight: 1},
+			},
+			Streams: []loadcheck.Stream{
+				{Tenant: "bronze", Runs: 24, Iters: 48, Burst: true},
+				{Tenant: "gold", Runs: 24, Iters: 48, Burst: true},
+			},
+		},
+	})
 
 	// Adaptive-scheduling family: the phase-varying irregular workload
 	// under the online auto policy and the static roster it chooses

@@ -1,6 +1,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,10 +9,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"sort"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/loadcheck"
 )
 
 // RunConfig configures one suite execution.
@@ -127,6 +130,9 @@ type repSample struct {
 }
 
 func runScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
+	if s.Serve != nil {
+		return runServeScenario(s, cfg)
+	}
 	out := ScenarioResult{
 		Name:          s.Name,
 		Workload:      s.Workload,
@@ -298,6 +304,52 @@ func recorderOverhead(prog *repro.Program, s Scenario, cfg RunConfig, base []rep
 		}
 	}
 	return Metric{Unit: "ns", Better: BetterLess, Summary: Summarize(vals)}, nil
+}
+
+// runServeScenario measures the serving layer: each repetition runs the
+// scenario's loadcheck case to completion. Every metric is an ungated
+// trend — dispatch latency is wall-clock work on a shared machine, so
+// these track the serving path's cost without failing the suite (and
+// the seed baseline predates the family, so Compare skips it anyway).
+func runServeScenario(s Scenario, cfg RunConfig) (ScenarioResult, error) {
+	out := ScenarioResult{
+		Name:     s.Name,
+		Workload: s.Workload,
+		Scheme:   s.Serve.Scheduler,
+		Pool:     "per-loop",
+		Engine:   string(repro.EngineVirtual),
+		Procs:    loadcheck.Classes[s.Serve.Class].Procs,
+		Tags:     s.Tags,
+	}
+	ctx := context.Background()
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := loadcheck.Run(ctx, *s.Serve); err != nil {
+			return out, fmt.Errorf("warmup %d: %w", i, err)
+		}
+	}
+	wall := make([]float64, cfg.Reps)
+	admission := make([]float64, cfg.Reps)
+	throughput := make([]float64, cfg.Reps)
+	for i := 0; i < cfg.Reps; i++ {
+		rep, err := loadcheck.Run(ctx, *s.Serve)
+		if err != nil {
+			return out, fmt.Errorf("rep %d: %w", i, err)
+		}
+		wall[i] = float64(rep.Elapsed.Nanoseconds())
+		if lat := append([]float64(nil), rep.AdmissionNS...); len(lat) > 0 {
+			sort.Float64s(lat)
+			admission[i] = median(lat)
+		}
+		throughput[i] = rep.Throughput
+	}
+	out.Metrics = map[string]Metric{
+		"wall_ns": {Unit: "ns", Better: BetterLess, Summary: Summarize(wall)},
+		// admission_ns is the median submit→dispatch latency per run in
+		// one repetition: what the queue added on top of execution.
+		"admission_ns": {Unit: "ns", Better: BetterLess, Summary: Summarize(admission)},
+		"throughput":   {Unit: "runs/s", Better: BetterMore, Summary: Summarize(throughput)},
+	}
+	return out, nil
 }
 
 func engineTimeUnit(virtual bool) string {

@@ -241,6 +241,13 @@ type Config struct {
 	// real engine ignores the flag — hardware read-modify-writes already
 	// combine in the coherence fabric. Off by default (bit-identical).
 	CombineClaims bool
+	// Budget, if non-nil, meters the run on the claim path (see
+	// budget.go): iteration and engine-time budgets are charged per claim
+	// — amortized by ClaimBatch — and exhaustion pauses the run at
+	// claim-quiescence with a typed *BudgetExceededError. Nil (and the
+	// zero Budget) costs the hot path one boolean test per claim and
+	// keeps runs bit-identical to a build without the meter.
+	Budget *Budget
 }
 
 // Probe is a live, concurrency-safe view into one execution. The counters
@@ -313,10 +320,16 @@ type executor struct {
 	// live counts activated-but-unreleased instances, for the post-run
 	// quiescence check.
 	live atomic.Int64
-	// ckptReq is the checkpoint pause request: workers drain out at
-	// claim boundaries when it is set (checkpoint.go). Only ever set
-	// when cfg.Checkpoint is non-nil.
+	// ckptReq is the generic pause request: workers drain out at claim
+	// boundaries when it is set. A checkpoint request (checkpoint.go)
+	// and a budget exhaustion (budget.go) both ride it; budHit below
+	// discriminates the cause once the engine has drained.
 	ckptReq atomic.Bool
+	// budIters is the remaining iteration budget, charged per claim;
+	// only consulted when budMeter is set. budHit marks budget
+	// exhaustion as the pause reason.
+	budIters atomic.Int64
+	budHit   atomic.Bool
 	// claims counts chunk claims globally when ckptAfter is positive,
 	// realizing the deterministic claim-k checkpoint trigger.
 	claims atomic.Int64
@@ -334,6 +347,11 @@ type executor struct {
 	batch     int
 	leaser    lowsched.Leaser
 	combine   bool
+	// budMeter and budTime hoist cfg.Budget the same way: budMeter is
+	// the one test the claim path pays when no iteration budget is set,
+	// budTime the engine-time ceiling (0: none).
+	budMeter bool
+	budTime  machine.Time
 	// pend records leased-but-unexecuted iteration ranges of workers
 	// paused mid-lease, keyed by instance; capture folds them into the
 	// snapshot. Only ever written under a checkpoint pause (cold path).
@@ -383,6 +401,13 @@ func newExecutor(pl *Plan, cfg Config, policy lowsched.Policy) *executor {
 	}
 	if cfg.Checkpoint != nil {
 		ex.ckptAfter = cfg.Checkpoint.AfterChunks
+	}
+	if b := cfg.Budget; b != nil {
+		if b.Iterations > 0 {
+			ex.budMeter = true
+			ex.budIters.Store(b.Iterations)
+		}
+		ex.budTime = b.Time
 	}
 	if cfg.Diagnostics || cfg.Checkpoint != nil {
 		// Checkpointing needs the live-instance set too: the snapshot is

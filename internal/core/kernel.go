@@ -198,10 +198,14 @@ func (w *worker) run() {
 		}
 
 		if ex.ckptReq.Load() {
-			// Checkpoint pause at the claim boundary: leave without
-			// claiming. The hold is deliberately not dropped — the ICB
-			// must stay live so the snapshot captures it; abandoned
+			// Pause (checkpoint or budget) at the claim boundary: leave
+			// without claiming. The hold is deliberately not dropped — the
+			// ICB must stay live so the snapshot captures it; abandoned
 			// pcounts are not part of the snapshot.
+			return
+		}
+		if ex.budTime > 0 && ex.budgetDue(pr) {
+			// Engine-time budget reached: same claim-boundary pause.
 			return
 		}
 		if ex.batch > 1 {
@@ -244,6 +248,26 @@ func (w *worker) run() {
 			// (claimed work always completes); the pause takes effect at
 			// every worker's next claim boundary.
 			ex.ckptReq.Store(true)
+		}
+		if ex.budMeter {
+			if allowed := ex.budgetClaim(a.Size()); allowed < a.Size() {
+				// The claim crossed the iteration budget: execute only the
+				// allowed prefix, post it, and record the remainder as the
+				// instance's pending range — exactly a mid-lease pause, so
+				// the claim-quiescence invariant (icount + pending ==
+				// executed cursor prefix) holds for the snapshot. The hold
+				// is kept, like every other pause at a claim site.
+				if allowed > 0 {
+					if !w.runChunk(icb, lowsched.Assignment{Lo: a.Lo, Hi: a.Lo + allowed - 1}) {
+						return
+					}
+					t0 = pr.Now()
+					icb.ICount.FetchAdd(pr, allowed)
+					w.shard.Add(cO1Time, pr.Now()-t0)
+				}
+				ex.addPending(icb, lowsched.Assignment{Lo: a.Lo + allowed, Hi: a.Hi})
+				return
+			}
 		}
 
 		// body: execute the assigned iterations under the run's failure
@@ -364,22 +388,70 @@ func (w *worker) runLease(icb *pool.ICB) (keep, cont bool) {
 		}
 	}
 
+	// budLeft caps this lease's execution when the iteration budget is
+	// metered (-1: uncapped). The whole lease is charged up front — one
+	// atomic add per lease, the same amortization as the claim itself.
+	budLeft := int64(-1)
+	if ex.budMeter {
+		budLeft = ex.budgetClaim(lease.Hi() - lease.Lo() + 1)
+	}
+
 	var exec int64
 	for {
 		a, ok := lease.Slice()
 		if !ok {
 			break
 		}
-		if !w.runChunk(icb, a) {
+		run := a
+		if budLeft >= 0 && a.Size() > budLeft {
+			if budLeft == 0 {
+				// Budget exhausted mid-lease: post what ran, record this
+				// slice and the unsliced remainder pending, keep the hold
+				// and leave (the budget pause is a mid-lease pause).
+				if exec > 0 {
+					t0 = pr.Now()
+					icb.ICount.FetchAdd(pr, exec)
+					w.shard.Add(cO1Time, pr.Now()-t0)
+				}
+				ex.addPending(icb, a)
+				if rem, ok := lease.Remaining(); ok {
+					ex.addPending(icb, rem)
+				}
+				return true, false
+			}
+			run = lowsched.Assignment{Lo: a.Lo, Hi: a.Lo + budLeft - 1}
+		}
+		if !w.runChunk(icb, run) {
 			// Drain (abort): the unposted iterations are abandoned with
 			// the run, exactly like an aborted unit chunk.
 			return false, false
 		}
-		exec += a.Size()
-		if ex.ckptReq.Load() {
+		exec += run.Size()
+		if budLeft >= 0 {
+			budLeft -= run.Size()
+			if run.Hi < a.Hi {
+				// The budget cut this slice short: post the executed
+				// prefix, record the slice's tail and the unsliced
+				// remainder pending, keep the hold and leave.
+				t0 = pr.Now()
+				icb.ICount.FetchAdd(pr, exec)
+				w.shard.Add(cO1Time, pr.Now()-t0)
+				ex.addPending(icb, lowsched.Assignment{Lo: run.Hi + 1, Hi: a.Hi})
+				if rem, ok := lease.Remaining(); ok {
+					ex.addPending(icb, rem)
+				}
+				return true, false
+			}
+		}
+		if budLeft < 0 && ex.ckptReq.Load() {
+			// Mid-lease pause — only when the iteration meter is off. A
+			// metered lease was charged in full at claim time, and the
+			// meter's exactness contract (executed == consumed) requires
+			// every charged iteration to run; a metered lease therefore
+			// behaves like a unit chunk and honors the pause at its end.
 			if rem, ok := lease.Remaining(); ok {
-				// Mid-lease pause: post what ran, record the rest as the
-				// instance's pending range, keep the hold and leave.
+				// Post what ran, record the rest as the instance's
+				// pending range, keep the hold and leave.
 				t0 = pr.Now()
 				icb.ICount.FetchAdd(pr, exec)
 				w.shard.Add(cO1Time, pr.Now()-t0)

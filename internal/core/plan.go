@@ -140,6 +140,9 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 				policy.Name(), cfg.ClaimBatch)
 		}
 	}
+	if b := cfg.Budget; b != nil && (b.Iterations < 0 || b.Time < 0) {
+		return nil, fmt.Errorf("core: negative budget (iterations %d, time %d)", b.Iterations, b.Time)
+	}
 	if bb, ok := policy.(lowsched.BatchBinder); ok {
 		b := cfg.ClaimBatch
 		if b < 1 {
@@ -189,11 +192,29 @@ func RunPlanContext(ctx context.Context, pl *Plan, cfg Config) (*Report, error) 
 		return nil, cfg.Interrupt.Err()
 	}
 	if ex.paused() && !ex.done.Load() {
-		// The run drained at a checkpoint pause (a pause that raced with
-		// completion is just a completed run). Internal stop-causes —
-		// e.g. a restore-validation trip — win over the capture.
+		// The run drained at a pause (one that raced with completion is
+		// just a completed run). Internal stop-causes — e.g. a
+		// restore-validation trip — win over the capture.
 		if c := ex.cause.Load(); c != nil {
 			return nil, c.err
+		}
+		if ex.budHit.Load() {
+			// Budget exhaustion: same claim-quiescent drain, different
+			// surface. The snapshot travels only when the run carries the
+			// checkpoint seam — capture requires the live-instance set and
+			// a cursor scheme, which plain budgeted runs do not pay for.
+			berr := &BudgetExceededError{
+				Iterations: ex.budgetConsumed(),
+				Elapsed:    rep.Makespan,
+			}
+			if cfg.Checkpoint != nil {
+				snap, err := ex.capture()
+				if err != nil {
+					return nil, err
+				}
+				berr.Snapshot = snap
+			}
+			return nil, berr
 		}
 		snap, err := ex.capture()
 		if err != nil {

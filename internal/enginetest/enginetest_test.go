@@ -73,3 +73,37 @@ func TestRealEngineChaos(t *testing.T) {
 		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
 	})
 }
+
+// TestVirtualEngineBudgets holds the simulator to the gas-meter
+// contract: a budgeted run stops at exactly min(total, budget)
+// iterations for every scheme and batch factor.
+func TestVirtualEngineBudgets(t *testing.T) {
+	Budgets(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestRealEngineBudgets does the same on goroutines: the exact stop
+// point is schedule-independent, so it must hold under real timing too.
+func TestRealEngineBudgets(t *testing.T) {
+	Budgets(t, "real", func(p int, intr *machine.Interrupt) core.Engine {
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+	})
+}
+
+// TestVirtualEngineBudgetResume holds the simulator to the budget +
+// checkpoint contract: exhaustion captures a resumable snapshot and the
+// resumed run completes the exact uninterrupted iteration multiset.
+func TestVirtualEngineBudgetResume(t *testing.T) {
+	BudgetResume(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestVirtualEngineBudgetIdentity pins the meter's zero-cost contract:
+// nil, zero and ample budgets all produce the identical virtual run.
+func TestVirtualEngineBudgetIdentity(t *testing.T) {
+	BudgetIdentity(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}

@@ -1,0 +1,68 @@
+package loadcheck
+
+import "repro/runner"
+
+// Cases is the workload-check registry, keyed by machine class so CI
+// can run one class's cases (the workflow runs "typical"; "small" rides
+// along in the same suite — both are cheap on the virtual engine).
+var Cases = []Case{
+	{
+		// Sustained anonymous load of tiny nests through the default
+		// FIFO path: the baseline serving-throughput and per-run
+		// allocation check.
+		Name:      "steady_tiny",
+		Class:     "typical",
+		Scheduler: "fifo",
+		Streams: []Stream{
+			{Runs: 300, Iters: 32},
+		},
+		Goals: Goals{
+			MinThroughput:  10,
+			MaxBytesPerRun: 32 << 20,
+		},
+	},
+	{
+		// A bursty heavyweight tenant against a steady lightweight one
+		// under wfq: the burst must not capture the dispatch order —
+		// the 3:1 weighted share holds over the contended window.
+		Name:      "mixed_tenant_burst",
+		Class:     "small",
+		Scheduler: "wfq",
+		Tenants: map[string]runner.Tenant{
+			"gold":   {Weight: 3},
+			"bronze": {Weight: 1},
+		},
+		Streams: []Stream{
+			{Tenant: "bronze", Runs: 24, Iters: 48, Burst: true},
+			{Tenant: "gold", Runs: 24, Iters: 48, Burst: true},
+		},
+		Goals: Goals{
+			MinThroughput: 5,
+			Fairness: &FairnessGoal{
+				Tenants: [2]string{"gold", "bronze"},
+				Skip:    8,
+				Window:  16,
+				Ratio:   3,
+				Tol:     1.0,
+			},
+		},
+	},
+	{
+		// Admission pressure on the small class: a quota-capped tenant
+		// floods the box; the box sheds cleanly (typed rejections, no
+		// wedge) and completes everything it admitted.
+		Name:      "admission_shed",
+		Class:     "small",
+		Scheduler: "fifo",
+		Tenants: map[string]runner.Tenant{
+			"capped": {MaxInflight: 4},
+		},
+		Streams: []Stream{
+			{Tenant: "capped", Runs: 64, Iters: 32, Burst: true},
+		},
+		Goals: Goals{
+			MinThroughput: 2,
+			MaxShed:       -1, // shedding is the point
+		},
+	},
+}

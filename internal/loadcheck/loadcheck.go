@@ -1,0 +1,297 @@
+// Package loadcheck is the workload-checks harness for the serving
+// layer: sustained-load cases run against a runner.Runner under a
+// declared machine class, with throughput, memory and fairness goals
+// asserted in CI.
+//
+// The shape follows nightly "workload checks" tooling: a machine class
+// lays out the resource envelope (worker slots, simulated processors,
+// queue depth) the check simulates being fit-for-purpose on; a case
+// pairs a submission workload with optimization goals; a report says
+// whether the goals were met. Checks run entirely on the virtual
+// engine, so a case measures the serving path (admission, scheduling,
+// dispatch, census) rather than host-machine compute — goals are
+// deliberately conservative so the suite gates regressions in CI
+// without flaking on slow runners.
+package loadcheck
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro"
+	"repro/runner"
+)
+
+// MachineClass lays out the resource envelope a check simulates: how
+// many runs execute at once, how many simulated processors each gets,
+// and how deep the shared backlog may grow.
+type MachineClass struct {
+	Name string
+	// Workers is the runner's MaxConcurrent.
+	Workers int
+	// Procs is the simulated processor count each run executes on.
+	Procs int
+	// QueueLimit bounds the shared backlog (0 = unbounded).
+	QueueLimit int
+}
+
+// Classes declares the machine classes cases may target.
+var Classes = map[string]MachineClass{
+	// typical is a mid-size serving box: several worker slots, a wide
+	// simulated machine, a deep backlog.
+	"typical": {Name: "typical", Workers: 4, Procs: 8, QueueLimit: 1024},
+	// small is a constrained dev box: one slot, a narrow machine, a
+	// shallow backlog — admission pressure shows up fast.
+	"small": {Name: "small", Workers: 1, Procs: 2, QueueLimit: 64},
+}
+
+// Stream is one tenant's submission pattern within a case.
+type Stream struct {
+	// Tenant attributes the stream's submissions ("" = anonymous).
+	Tenant string
+	// Runs is how many programs the stream submits.
+	Runs int
+	// Iters sizes each program (a flat doall of cheap iterations).
+	Iters int64
+	// Burst submits the whole stream back-to-back before any other
+	// stream's next submission; steady streams interleave round-robin.
+	Burst bool
+}
+
+// FairnessGoal asserts the dispatch-order share between two tenants
+// over Window dispatched runs, Skip runs into the sequence (the first
+// dispatches go to idle slots in arrival order, before a backlog exists
+// for the scheduler to arbitrate): Tenants[0]'s completed iterations
+// over Tenants[1]'s must fall within [Ratio-Tol, Ratio+Tol].
+type FairnessGoal struct {
+	Tenants [2]string
+	Skip    int
+	Window  int
+	Ratio   float64
+	Tol     float64
+}
+
+// Goals are a case's pass/fail criteria. Zero fields are unchecked.
+type Goals struct {
+	// MinThroughput is completed runs per second over the case's wall
+	// clock, submission included.
+	MinThroughput float64
+	// MaxBytesPerRun caps allocated bytes (runtime TotalAlloc delta)
+	// per completed run.
+	MaxBytesPerRun int64
+	// MaxShed caps admission rejections; -1 means shedding is expected
+	// and unbounded, 0 (the zero value) means none tolerated.
+	MaxShed int
+	// Fairness asserts a weighted share between two tenants.
+	Fairness *FairnessGoal
+}
+
+// Case is one workload check: a machine class, a scheduler, tenants,
+// submission streams and goals.
+type Case struct {
+	Name      string
+	Class     string
+	Scheduler string
+	Tenants   map[string]runner.Tenant
+	Streams   []Stream
+	Goals     Goals
+}
+
+// Report is a case's measured outcome.
+type Report struct {
+	Case      string
+	Class     string
+	Submitted int
+	Completed int
+	Shed      int
+	Elapsed   time.Duration
+	// Throughput is completed runs per second of wall clock.
+	Throughput float64
+	// BytesPerRun is allocated bytes per completed run.
+	BytesPerRun int64
+	// TenantIters is completed iterations by tenant over the fairness
+	// window (the whole run set when no fairness goal is declared).
+	TenantIters map[string]int64
+	// AdmissionNS is each completed run's submit→dispatch latency in
+	// nanoseconds, in dispatch order — the queueing delay the serving
+	// layer added on top of execution. Benchkit summarizes it as the
+	// admission_ns trend metric.
+	AdmissionNS []float64
+	// FairnessRatio is the observed share ratio for the fairness goal
+	// (0 when none declared).
+	FairnessRatio float64
+}
+
+// Check returns the goal violations, empty when the case passes.
+func (r Report) Check(g Goals) []string {
+	var bad []string
+	if g.MinThroughput > 0 && r.Throughput < g.MinThroughput {
+		bad = append(bad, fmt.Sprintf("throughput %.1f runs/s below goal %.1f", r.Throughput, g.MinThroughput))
+	}
+	if g.MaxBytesPerRun > 0 && r.BytesPerRun > g.MaxBytesPerRun {
+		bad = append(bad, fmt.Sprintf("memory %d B/run over goal %d", r.BytesPerRun, g.MaxBytesPerRun))
+	}
+	if g.MaxShed >= 0 && r.Shed > g.MaxShed {
+		bad = append(bad, fmt.Sprintf("shed %d submissions, goal allows %d", r.Shed, g.MaxShed))
+	}
+	if f := g.Fairness; f != nil {
+		if r.FairnessRatio < f.Ratio-f.Tol || r.FairnessRatio > f.Ratio+f.Tol {
+			bad = append(bad, fmt.Sprintf("fairness %s:%s = %.2f outside %g±%g",
+				f.Tenants[0], f.Tenants[1], r.FairnessRatio, f.Ratio, f.Tol))
+		}
+	}
+	return bad
+}
+
+// program compiles a flat doall of n cheap iterations.
+func program(n int64) (*repro.Program, error) {
+	nest, err := repro.Build(func(b *repro.B) {
+		b.DoallLeaf("L", repro.Const(n), func(e repro.Env, iv repro.IVec, j int64) {
+			e.Work(10)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return repro.Compile(nest)
+}
+
+// Run executes one case to completion and measures it.
+func Run(ctx context.Context, c Case) (Report, error) {
+	class, ok := Classes[c.Class]
+	if !ok {
+		return Report{}, fmt.Errorf("loadcheck: unknown machine class %q", c.Class)
+	}
+	rn := runner.New(runner.Config{
+		MaxConcurrent: class.Workers,
+		QueueLimit:    class.QueueLimit,
+		Scheduler:     c.Scheduler,
+		Tenants:       c.Tenants,
+	})
+	defer rn.Close()
+
+	// One compiled program per distinct size: compilation is not the
+	// serving path under test.
+	progs := map[int64]*repro.Program{}
+	for _, st := range c.Streams {
+		if progs[st.Iters] == nil {
+			p, err := program(st.Iters)
+			if err != nil {
+				return Report{}, err
+			}
+			progs[st.Iters] = p
+		}
+	}
+
+	var ms0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	rep := Report{Case: c.Name, Class: c.Class, TenantIters: map[string]int64{}}
+	var runs []*runner.Run
+	submit := func(st Stream) error {
+		r, err := rn.Submit(runner.Submission{
+			Program: progs[st.Iters],
+			Options: repro.Options{Procs: class.Procs},
+			Tenant:  st.Tenant,
+		})
+		rep.Submitted++
+		switch {
+		case err == nil:
+			runs = append(runs, r)
+		case errors.Is(err, runner.ErrQueueFull),
+			errors.Is(err, runner.ErrTenantQueueFull),
+			errors.Is(err, runner.ErrTenantInflight):
+			rep.Shed++
+		default:
+			return err
+		}
+		return nil
+	}
+	// Burst streams drain fully at their turn; steady streams interleave
+	// one submission per round.
+	pending := make([]int, len(c.Streams))
+	for i, st := range c.Streams {
+		pending[i] = st.Runs
+	}
+	for remaining := true; remaining; {
+		remaining = false
+		for i, st := range c.Streams {
+			if pending[i] == 0 {
+				continue
+			}
+			n := 1
+			if st.Burst {
+				n = pending[i]
+			}
+			for k := 0; k < n; k++ {
+				if err := submit(st); err != nil {
+					return Report{}, err
+				}
+			}
+			pending[i] -= n
+			remaining = remaining || pending[i] > 0
+		}
+	}
+
+	if err := rn.Drain(ctx); err != nil {
+		return Report{}, fmt.Errorf("loadcheck: case %s: %w", c.Name, err)
+	}
+	rep.Elapsed = time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+
+	// Fairness is a dispatch-order property: reconstruct the dispatch
+	// sequence from per-run start times and account the goal window
+	// (every completed run when no goal is declared).
+	sort.Slice(runs, func(i, j int) bool {
+		_, si, _ := runs[i].Times()
+		_, sj, _ := runs[j].Times()
+		return si.Before(sj)
+	})
+	lo, hi := 0, len(runs)
+	if f := c.Goals.Fairness; f != nil {
+		lo = f.Skip
+		if f.Window > 0 && lo+f.Window < hi {
+			hi = lo + f.Window
+		}
+	}
+	for i, r := range runs {
+		res, err := r.Result()
+		if err != nil {
+			return Report{}, fmt.Errorf("loadcheck: case %s: run %s: %w", c.Name, r.ID(), err)
+		}
+		rep.Completed++
+		if i >= lo && i < hi {
+			rep.TenantIters[tenantKey(r.Tenant())] += res.Stats.Iterations
+		}
+		sub, started, _ := r.Times()
+		if !started.IsZero() {
+			rep.AdmissionNS = append(rep.AdmissionNS, float64(started.Sub(sub).Nanoseconds()))
+		}
+	}
+	rep.Throughput = float64(rep.Completed) / rep.Elapsed.Seconds()
+	if rep.Completed > 0 {
+		rep.BytesPerRun = int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(rep.Completed)
+	}
+	if f := c.Goals.Fairness; f != nil {
+		a := rep.TenantIters[tenantKey(f.Tenants[0])]
+		b := rep.TenantIters[tenantKey(f.Tenants[1])]
+		if b > 0 {
+			rep.FairnessRatio = float64(a) / float64(b)
+		}
+	}
+	return rep, nil
+}
+
+func tenantKey(t string) string {
+	if t == "" {
+		return "anonymous"
+	}
+	return t
+}

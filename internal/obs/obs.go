@@ -172,6 +172,7 @@ func (v View) Inc(i int) { v.sh.vals[int(v.base)+i].Add(1) }
 type Registry struct {
 	mu       sync.Mutex
 	counters []*Counter
+	vecs     []*CounterVec
 	gauges   []gauge
 	byName   map[string]bool
 }
@@ -218,6 +219,83 @@ func (r *Registry) Counter(name, help string) *Counter {
 	return c
 }
 
+// CounterVec is a family of monotone counters sharing one metric name,
+// distinguished by the value of a single label (e.g. tenant). Children
+// are created on first use and live for the registry's lifetime, so the
+// label must be low-cardinality (tenant keys, not run IDs).
+type CounterVec struct {
+	name, help, label string
+
+	mu   sync.Mutex
+	kids map[string]*Counter
+}
+
+// CounterVec registers (or returns the existing) labeled counter family
+// with the given name. A family and a plain metric cannot share a name.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, v := range r.vecs {
+		if v.name == name {
+			return v
+		}
+	}
+	if r.byName[name] {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	r.byName[name] = true
+	v := &CounterVec{name: name, help: help, label: label, kids: map[string]*Counter{}}
+	r.vecs = append(r.vecs, v)
+	return v
+}
+
+// With returns the family's counter for the given label value, creating
+// it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.kids[value]
+	if c == nil {
+		c = &Counter{name: v.name}
+		v.kids[value] = c
+	}
+	return c
+}
+
+// Values snapshots the family as label value → counter value.
+func (v *CounterVec) Values() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.kids))
+	for k, c := range v.kids {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// promBlock renders the family: HELP/TYPE once for the bare name, one
+// sample line per label value, sorted for stable output.
+func (v *CounterVec) promBlock() string {
+	var sb strings.Builder
+	if v.help != "" {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", v.name, v.help)
+	}
+	fmt.Fprintf(&sb, "# TYPE %s counter\n", v.name)
+	v.mu.Lock()
+	vals := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		vals = append(vals, k)
+	}
+	sort.Strings(vals)
+	for _, k := range vals {
+		// %q escapes backslash, double quote and newline exactly as the
+		// Prometheus text exposition format requires for label values.
+		fmt.Fprintf(&sb, "%s{%s=%q} %d\n", v.name, v.label, k, v.kids[k].Value())
+	}
+	v.mu.Unlock()
+	return sb.String()
+}
+
 // Gauge registers a callback gauge: fn is evaluated at render time.
 // Registering a name twice panics.
 func (r *Registry) Gauge(name, help string, fn func() float64) {
@@ -237,9 +315,12 @@ func (r *Registry) WriteProm(sb *strings.Builder) {
 		name, block string
 	}
 	r.mu.Lock()
-	entries := make([]entry, 0, len(r.counters)+len(r.gauges))
+	entries := make([]entry, 0, len(r.counters)+len(r.vecs)+len(r.gauges))
 	for _, c := range r.counters {
 		entries = append(entries, entry{c.name, promLine(c.name, c.help, "counter", float64(c.v.Load()))})
+	}
+	for _, v := range r.vecs {
+		entries = append(entries, entry{v.name, v.promBlock()})
 	}
 	for _, g := range r.gauges {
 		entries = append(entries, entry{g.name, promLine(g.name, g.help, "gauge", g.fn())})

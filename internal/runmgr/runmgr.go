@@ -84,6 +84,10 @@ type Config struct {
 	// unbounded. Submissions beyond the cap fail with ErrQueueFull
 	// rather than blocking, so a serving frontend can shed load.
 	QueueLimit int
+	// Scheduler orders the queued runs; nil defaults to NewFIFO (strict
+	// submission order). A Scheduler that also implements Preempter (WFQ)
+	// may evict running runs in favor of higher-priority submissions.
+	Scheduler Scheduler
 	// Watchdog configures the stuck-run watchdog for every executing
 	// run; the zero value disables it.
 	Watchdog Watchdog
@@ -120,19 +124,36 @@ type Job struct {
 	Sample    func() any
 	Heartbeat func() int64
 	Diagnose  func() string
+
+	// Tenant, Weight and Priority are scheduling metadata consumed by
+	// tenant-aware schedulers (WFQ); FIFO ignores them. Weight scales the
+	// tenant's fair share (0 means 1); larger Priority values dispatch
+	// first and may preempt strictly lower ones.
+	Tenant   string
+	Weight   int
+	Priority int
+	// Preempt, if non-nil, is the cooperative preemption hook: called
+	// (outside manager locks) when a scheduler evicts this running job.
+	// Returning true promises the job will yield shortly with an error
+	// wrapping ErrCheckpointed — the manager then requeues the run, which
+	// resumes from its snapshot on redispatch. Returning false (or a nil
+	// hook) makes the manager cancel the attempt's context instead; the
+	// run requeues and restarts from scratch.
+	Preempt func() bool
 }
 
 // Manager executes submitted jobs over a bounded worker budget.
 type Manager struct {
 	cfg Config
 
-	mu     sync.Mutex
-	seq    int
-	byID   map[string]*Run
-	runs   []*Run // submission order
-	queue  []*Run // waiting to start, FIFO
-	active int
-	closed bool
+	mu        sync.Mutex
+	seq       int
+	byID      map[string]*Run
+	runs      []*Run    // submission order
+	sched     Scheduler // waiting to start
+	active    int
+	preempted int
+	closed    bool
 }
 
 // New returns a Manager with the given configuration.
@@ -140,7 +161,11 @@ func New(cfg Config) *Manager {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 1
 	}
-	return &Manager{cfg: cfg, byID: map[string]*Run{}}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewFIFO()
+	}
+	return &Manager{cfg: cfg, byID: map[string]*Run{}, sched: sched}
 }
 
 // Submit enqueues a job and returns its run handle. The job starts
@@ -160,11 +185,12 @@ func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 		return nil, fmt.Errorf("runmgr: job without a Run function")
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if m.cfg.QueueLimit > 0 && len(m.queue) >= m.cfg.QueueLimit {
+	if m.cfg.QueueLimit > 0 && m.sched.Len() >= m.cfg.QueueLimit {
+		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	if id == "" {
@@ -172,6 +198,7 @@ func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 		id = fmt.Sprintf("run-%04d", m.seq)
 	} else {
 		if _, dup := m.byID[id]; dup {
+			m.mu.Unlock()
 			return nil, fmt.Errorf("runmgr: run %q already exists", id)
 		}
 		if n, ok := trailingNumber(id); ok && n > m.seq {
@@ -192,9 +219,52 @@ func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 	}
 	m.byID[r.id] = r
 	m.runs = append(m.runs, r)
-	m.queue = append(m.queue, r)
+	m.sched.Push(r)
 	m.dispatchLocked()
+	victim := m.pickVictimLocked(r)
+	m.mu.Unlock()
+	if victim != nil {
+		// The victim's Preempt hook (or attempt-context cancel) runs
+		// outside the lock: either may call back into the manager while
+		// the job drains.
+		m.preempt(victim)
+	}
 	return r, nil
+}
+
+// pickVictimLocked asks a preempting scheduler for a running victim when
+// the freshly pushed run is still queued with every worker slot busy.
+// The victim is marked preempting under the lock (so a run is never
+// preempted twice concurrently); the caller delivers the preemption
+// outside the lock.
+func (m *Manager) pickVictimLocked(r *Run) *Run {
+	p, ok := m.sched.(Preempter)
+	if !ok || r.state != StateQueued || m.active < m.cfg.MaxConcurrent {
+		return nil
+	}
+	running := make([]*Run, 0, m.active)
+	for _, c := range m.runs {
+		if c.state == StateRunning && !c.preempting {
+			running = append(running, c)
+		}
+	}
+	v := p.Victim(r, running)
+	if v == nil || v.state != StateRunning || v.preempting {
+		return nil
+	}
+	v.preempting = true
+	return v
+}
+
+// preempt delivers a preemption decision to the victim, outside manager
+// locks: cooperatively through the job's Preempt hook when it accepts,
+// otherwise by cancelling the attempt's context. Either way the job's
+// Run returns shortly and exec requeues the run.
+func (m *Manager) preempt(v *Run) {
+	if v.job.Preempt != nil && v.job.Preempt() {
+		return
+	}
+	v.cancelAttempt()
 }
 
 // trailingNumber parses the decimal digits ending id ("run-0042" → 42).
@@ -219,14 +289,18 @@ func trailingNumber(id string) (int, bool) {
 
 // dispatchLocked starts queued runs while the worker budget has room.
 func (m *Manager) dispatchLocked() {
-	for m.active < m.cfg.MaxConcurrent && len(m.queue) > 0 {
-		r := m.queue[0]
-		m.queue = m.queue[1:]
-		if r.state != StateQueued {
+	for m.active < m.cfg.MaxConcurrent && m.sched.Len() > 0 {
+		r := m.sched.Pop()
+		if r == nil || r.state != StateQueued {
 			continue // cancelled while waiting
 		}
 		r.state = StateRunning
 		r.started = time.Now()
+		r.attempts++
+		// Each dispatch gets an attempt-scoped context derived from the
+		// run's own, so a preemption cancel unwinds only this attempt
+		// while a user cancel (r.cancelCtx) still reaches the job.
+		r.attemptCtx, r.cancelAttempt = context.WithCancel(r.ctx)
 		close(r.startedCh)
 		m.active++
 		go m.exec(r)
@@ -235,6 +309,7 @@ func (m *Manager) dispatchLocked() {
 
 func (m *Manager) exec(r *Run) {
 	stopWatch := m.startWatchdog(r)
+	ctx := r.attemptCtx // set under mu before this goroutine was spawned
 	res, err := func() (res any, err error) {
 		// A panicking job must finalize like any failed run — with the
 		// stack preserved for diagnosis, and with finalizeLocked still
@@ -245,13 +320,31 @@ func (m *Manager) exec(r *Run) {
 				err = fmt.Errorf("runmgr: job panicked: %v\n%s", p, debug.Stack())
 			}
 		}()
-		return r.job.Run(r.ctx)
+		return r.job.Run(ctx)
 	}()
 	if stopWatch != nil {
 		stopWatch()
 	}
 	m.mu.Lock()
-	r.finalizeLocked(res, err)
+	if r.preempting && r.ctx.Err() == nil && !r.state.Terminal() &&
+		(errors.Is(err, ErrCheckpointed) || errors.Is(err, context.Canceled)) {
+		// Preemption took effect: the attempt yielded (cooperatively with
+		// a checkpoint, or through the attempt-context cancel). The run is
+		// not terminal — it goes back to the queue and redispatches when
+		// the scheduler next selects it; a checkpointing job resumes from
+		// its snapshot, others restart from scratch. A user cancel
+		// (r.ctx.Err() != nil) or a genuine outcome that raced the
+		// preemption wins and finalizes normally below.
+		r.preempting = false
+		r.state = StateQueued
+		r.started = time.Time{}
+		r.startedCh = make(chan struct{})
+		m.preempted++
+		m.sched.Push(r)
+	} else {
+		r.preempting = false
+		r.finalizeLocked(res, err)
+	}
 	m.active--
 	m.dispatchLocked()
 	m.mu.Unlock()
@@ -336,6 +429,11 @@ type Stats struct {
 	Checkpointed int `json:"checkpointed"`
 	// Stalled counts live runs the watchdog currently declares stuck.
 	Stalled int `json:"stalled"`
+	// Preempted counts preemption requeues: every time a scheduler
+	// evicted a running run in favor of a higher-priority submission.
+	Preempted int `json:"preempted"`
+	// Scheduler names the queue policy ("fifo", "wfq").
+	Scheduler string `json:"scheduler"`
 	// MaxConcurrent echoes the configured worker budget.
 	MaxConcurrent int `json:"max_concurrent"`
 	// Closed reports whether the manager has stopped accepting work.
@@ -348,6 +446,8 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	st := Stats{
 		Submitted:     len(m.runs),
+		Preempted:     m.preempted,
+		Scheduler:     m.sched.Name(),
 		MaxConcurrent: m.cfg.MaxConcurrent,
 		Closed:        m.closed,
 	}
@@ -428,7 +528,6 @@ type Run struct {
 
 	ctx       context.Context
 	cancelCtx context.CancelFunc
-	startedCh chan struct{}
 	done      chan struct{}
 
 	// Guarded by mgr.mu.
@@ -438,6 +537,18 @@ type Run struct {
 	finished  time.Time
 	result    any
 	err       error
+	// startedCh is closed when an attempt begins; a preempted run gets a
+	// fresh channel for its next attempt (so it is guarded here, not
+	// immutable like done).
+	startedCh chan struct{}
+	// attemptCtx/cancelAttempt scope the current dispatch: a preemption
+	// cancels the attempt, a user Cancel cancels ctx (and with it every
+	// attempt). attempts counts dispatches; preempting marks a run whose
+	// eviction is in flight.
+	attemptCtx    context.Context
+	cancelAttempt context.CancelFunc
+	attempts      int
+	preempting    bool
 	// stuck is the watchdog's diagnostic dump while the run is declared
 	// stuck ("" otherwise); stuckAt is when it was declared.
 	stuck   string
@@ -510,9 +621,25 @@ func (r *Run) Times() (submitted, started, finished time.Time) {
 // Done returns a channel closed when the run is terminal.
 func (r *Run) Done() <-chan struct{} { return r.done }
 
-// Started returns a channel closed when the run begins executing. A run
+// Started returns a channel closed when the run's current attempt begins
+// executing; a preempted run re-arms it for the next attempt. A run
 // cancelled while still queued never starts — wait on Done alongside it.
-func (r *Run) Started() <-chan struct{} { return r.startedCh }
+func (r *Run) Started() <-chan struct{} {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	return r.startedCh
+}
+
+// Tenant returns the submission's tenant key ("" for anonymous work).
+func (r *Run) Tenant() string { return r.job.Tenant }
+
+// Attempts returns the number of times the run has been dispatched;
+// values above 1 mean the run was preempted and redispatched.
+func (r *Run) Attempts() int {
+	r.mgr.mu.Lock()
+	defer r.mgr.mu.Unlock()
+	return r.attempts
+}
 
 // Cancel requests cancellation: a queued run finalizes immediately as
 // cancelled; a running run has its context cancelled and finalizes when

@@ -1,0 +1,210 @@
+package runmgr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheduler orders the manager's queued runs. Push and Pop are called
+// with the manager's lock held, so implementations need no locking of
+// their own; they must not call back into the Manager or the Run
+// handles. Pop may return a run that was cancelled while queued — the
+// dispatcher skips those — so Len is an upper bound on the dispatchable
+// backlog, exactly like the FIFO slice it replaces.
+type Scheduler interface {
+	// Name identifies the policy ("fifo", "wfq") for stats and logs.
+	Name() string
+	// Push adds a queued run.
+	Push(r *Run)
+	// Pop removes and returns the next run to dispatch, or nil when the
+	// queue is empty.
+	Pop() *Run
+	// Len reports the number of queued entries.
+	Len() int
+}
+
+// Preempter is an optional Scheduler extension. When a push leaves a run
+// queued while every worker slot is busy, the manager offers the
+// scheduler the running set; returning a victim preempts it (the victim
+// is requeued — with its checkpoint when its job yields one — and the
+// freed slot dispatches the queue head). Returning nil declines. FIFO
+// deliberately does not implement it: submission order admits no
+// urgency, so nothing ever outranks a running run.
+type Preempter interface {
+	// Victim picks a running run to preempt in favor of the queued run,
+	// or nil to decline. Called with the manager's lock held.
+	Victim(queued *Run, running []*Run) *Run
+}
+
+// NewScheduler builds a scheduler by policy name: "" or "fifo" (strict
+// submission order, the manager's historical behavior) or "wfq"
+// (per-tenant weighted-fair queueing with priority classes and
+// preemption).
+func NewScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "", "fifo":
+		return NewFIFO(), nil
+	case "wfq":
+		return NewWFQ(), nil
+	}
+	return nil, fmt.Errorf("runmgr: unknown scheduler %q (known: fifo, wfq)", name)
+}
+
+// SchedulerNames lists the accepted NewScheduler policy names.
+func SchedulerNames() []string { return []string{"fifo", "wfq"} }
+
+// FIFO dispatches runs in strict submission order, ignoring tenants,
+// weights and priorities — bit-compatible with the manager's original
+// queue-slice behavior.
+type FIFO struct {
+	q []*Run
+}
+
+// NewFIFO returns the strict submission-order scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+func (f *FIFO) Name() string { return "fifo" }
+
+func (f *FIFO) Push(r *Run) { f.q = append(f.q, r) }
+
+func (f *FIFO) Pop() *Run {
+	if len(f.q) == 0 {
+		return nil
+	}
+	r := f.q[0]
+	f.q = f.q[1:]
+	return r
+}
+
+func (f *FIFO) Len() int { return len(f.q) }
+
+// WFQ is a per-tenant weighted-fair queueing scheduler with priority
+// classes. Each dispatch charges the run's tenant one virtual slot
+// scaled by the inverse of its weight, so under sustained backlog
+// tenants receive dispatch slots in proportion to their weights (3:1
+// weights → 3:1 dispatches), while an idle tenant that returns is
+// charged from the current virtual time rather than catching up on
+// slots it never contended for.
+//
+// Priority classes sit above fairness: Pop always serves the highest
+// priority present in any queue head, and fairness arbitrates only
+// within that class. Within one tenant, runs are ordered by priority
+// (descending) then arrival.
+type WFQ struct {
+	tenants map[string]*wfqTenant
+	vnow    float64
+	arrival int
+}
+
+type wfqTenant struct {
+	name   string
+	weight float64
+	vtime  float64
+	q      []*wfqEntry
+}
+
+type wfqEntry struct {
+	r       *Run
+	prio    int
+	arrival int
+}
+
+// NewWFQ returns the weighted-fair scheduler.
+func NewWFQ() *WFQ { return &WFQ{tenants: map[string]*wfqTenant{}} }
+
+func (w *WFQ) Name() string { return "wfq" }
+
+func (w *WFQ) Push(r *Run) {
+	name := r.job.Tenant
+	t := w.tenants[name]
+	if t == nil {
+		t = &wfqTenant{name: name, weight: 1}
+		w.tenants[name] = t
+	}
+	if wt := r.job.Weight; wt > 0 {
+		t.weight = float64(wt)
+	}
+	if len(t.q) == 0 {
+		// A tenant (re)joining the backlog starts from the current
+		// virtual time: it competes fairly from now on, without a
+		// windfall for the slots it sat out.
+		if t.vtime < w.vnow {
+			t.vtime = w.vnow
+		}
+	}
+	w.arrival++
+	e := &wfqEntry{r: r, prio: r.job.Priority, arrival: w.arrival}
+	// Insert by priority (descending), stable in arrival order, so a
+	// tenant's urgent run does not queue behind its own bulk work.
+	i := sort.Search(len(t.q), func(i int) bool { return t.q[i].prio < e.prio })
+	t.q = append(t.q, nil)
+	copy(t.q[i+1:], t.q[i:])
+	t.q[i] = e
+}
+
+func (w *WFQ) Pop() *Run {
+	var best *wfqTenant
+	for _, t := range w.tenants {
+		if len(t.q) == 0 {
+			continue
+		}
+		if best == nil {
+			best = t
+			continue
+		}
+		th, bh := t.q[0], best.q[0]
+		switch {
+		case th.prio != bh.prio:
+			if th.prio > bh.prio {
+				best = t
+			}
+		case t.vtime != best.vtime:
+			if t.vtime < best.vtime {
+				best = t
+			}
+		case t.name < best.name: // deterministic tie-break
+			best = t
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	e := best.q[0]
+	best.q = best.q[1:]
+	// A backlogged tenant's virtual time accumulates freely — clamping it
+	// to vnow here would flatten weighted shares to round-robin. vnow only
+	// ratchets up, as the re-sync point for tenants that rejoin idle.
+	best.vtime += 1 / best.weight
+	if best.vtime > w.vnow {
+		w.vnow = best.vtime
+	}
+	return e.r
+}
+
+func (w *WFQ) Len() int {
+	n := 0
+	for _, t := range w.tenants {
+		n += len(t.q)
+	}
+	return n
+}
+
+// Victim implements Preempter: the queued run preempts only a running
+// run of strictly lower priority (never a peer — weighted fairness
+// within a class is served by the queue, not by eviction). Among the
+// strictly-lower running runs the lowest priority loses; ties prefer
+// the most recently started victim, which forfeits the least progress.
+func (w *WFQ) Victim(queued *Run, running []*Run) *Run {
+	var victim *Run
+	for _, r := range running {
+		if r.job.Priority >= queued.job.Priority {
+			continue
+		}
+		if victim == nil ||
+			r.job.Priority < victim.job.Priority ||
+			(r.job.Priority == victim.job.Priority && r.started.After(victim.started)) {
+			victim = r
+		}
+	}
+	return victim
+}

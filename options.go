@@ -32,6 +32,8 @@ var (
 	// Options.ClaimBatch or Options.SWShards, or a ClaimBatch above 1
 	// combined with a static pre-assignment scheme (leases need a cursor).
 	ErrBadClaim = errors.New("repro: bad claim configuration")
+	// ErrBadBudget (declared in budget.go) reports a negative
+	// Options.BudgetIterations or Options.BudgetTime.
 )
 
 // KnownEngines lists the accepted Options.Engine values.
@@ -118,6 +120,10 @@ func (o Options) resolve() (resolved, error) {
 	if o.ClaimBatch > 1 && lowsched.IsStatic(scheme) {
 		return r, fmt.Errorf("%w: claim batch %d requires a cursor scheme (static scheme %q pre-assigns iterations)",
 			ErrBadClaim, o.ClaimBatch, scheme.Name())
+	}
+	if o.BudgetIterations < 0 || o.BudgetTime < 0 {
+		return r, fmt.Errorf("%w: iterations %d, time %d",
+			ErrBadBudget, o.BudgetIterations, o.BudgetTime)
 	}
 
 	p := r.procs

@@ -282,6 +282,18 @@ type Options struct {
 	// shards stop contending on one memory module. Applies to the
 	// per-loop pool only; zero or 1 is the paper's single control word.
 	SWShards int
+	// BudgetIterations, when positive, caps the iterations the run may
+	// execute: the run pauses at exactly that count (on every engine,
+	// scheme and claim batch) and returns a *BudgetExceededError instead
+	// of a Result. With Checkpointable set the error carries a resumable
+	// Checkpoint. Zero is unmetered, with no cost on the claim path.
+	BudgetIterations int64
+	// BudgetTime, when positive, is an engine-time ceiling (virtual
+	// units, or nanoseconds on the real engines) checked at claim
+	// boundaries: once reached, no further chunks are claimed and the
+	// run returns a *BudgetExceededError. Claimed work still completes,
+	// so the overshoot is bounded by one chunk (or lease) per processor.
+	BudgetTime int64
 	// CombineClaims marks the per-instance claim hot spots (the ICB's
 	// Index and ICount) as software-combinable: on the virtual machine
 	// (without the global Combining network), concurrent accesses that
@@ -400,6 +412,13 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 	if opts.FlightRecorder > 0 {
 		rec = flight.New(rs.procs, opts.FlightRecorder)
 	}
+	var budget *core.Budget
+	if opts.BudgetIterations > 0 || opts.BudgetTime > 0 {
+		budget = &core.Budget{
+			Iterations: opts.BudgetIterations,
+			Time:       machine.Time(opts.BudgetTime),
+		}
+	}
 	rep, err := core.RunPlanContext(ctx, pl, core.Config{
 		Engine:        eng,
 		Scheme:        rs.scheme,
@@ -416,8 +435,12 @@ func (p *Program) RunContext(ctx context.Context, opts Options) (*Result, error)
 		ClaimBatch:    opts.ClaimBatch,
 		SWShards:      opts.SWShards,
 		CombineClaims: opts.CombineClaims,
+		Budget:        budget,
 	})
 	if err != nil {
+		if be, ok := p.asBudgetExceeded(err); ok {
+			return nil, be
+		}
 		var cke *core.CheckpointedError
 		if errors.As(err, &cke) {
 			return nil, &CheckpointedError{Checkpoint: &Checkpoint{

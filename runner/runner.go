@@ -60,6 +60,15 @@ type Config struct {
 	// QueueLimit caps queued (not yet running) submissions; 0 means
 	// unbounded.
 	QueueLimit int
+	// Scheduler selects the queue policy: "" or "fifo" (strict
+	// submission order) or "wfq" (per-tenant weighted-fair queueing with
+	// priority classes and preemption). New panics on unknown names —
+	// validate user-supplied values with runmgr.SchedulerNames first.
+	Scheduler string
+	// Tenants configures tenant identities and admission limits, keyed
+	// by tenant name. Submissions naming an unconfigured tenant run with
+	// the zero-value Tenant (weight 1, priority 0, no caps).
+	Tenants map[string]Tenant
 	// SampleInterval is the period of Watch progress streams (default
 	// 50ms).
 	SampleInterval time.Duration
@@ -107,6 +116,10 @@ type Submission struct {
 	// to re-queue runs under their original names; a duplicate ID is
 	// rejected.
 	ID string
+	// Tenant attributes the run to a tenant for admission control,
+	// fair-share scheduling and per-tenant metrics. Empty is the
+	// anonymous tenant (keyless dev mode).
+	Tenant string
 }
 
 // Progress is one streaming snapshot of a run, sampled live from the
@@ -114,6 +127,7 @@ type Submission struct {
 type Progress struct {
 	ID      string        `json:"id"`
 	Label   string        `json:"label,omitempty"`
+	Tenant  string        `json:"tenant,omitempty"`
 	State   string        `json:"state"`
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Instances counts loop instances activated so far; InstancesDone
@@ -143,11 +157,15 @@ type Runner struct {
 	mgr      *runmgr.Manager
 	sample   time.Duration
 	met      *metrics
+	tmet     *tenantMetrics
+	tenants  map[string]Tenant
 	watchdog WatchdogConfig
 
-	mu   sync.Mutex
-	byID map[string]*Run
-	runs []*Run
+	mu      sync.Mutex
+	byID    map[string]*Run
+	runs    []*Run
+	live    map[string][]*Run // per-tenant live handles, pruned on Submit
+	tallies map[string]*tenantTally
 }
 
 // metrics aggregates run outcomes into a Config.Metrics registry. A nil
@@ -155,7 +173,7 @@ type Runner struct {
 // configuration checks.
 type metrics struct {
 	submitted, done, failed, cancelled      *obs.Counter
-	checkpointed                            *obs.Counter
+	checkpointed, budgetExceeded            *obs.Counter
 	iterations, instances, chunks, searches *obs.Counter
 	accesses, busy                          *obs.Counter
 	adaptFits, adaptSwitches                *obs.Counter
@@ -173,6 +191,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		cancelled:  reg.Counter("runner_runs_cancelled_total", "Runs cancelled before completion."),
 		checkpointed: reg.Counter("runner_runs_checkpointed_total",
 			"Runs that paused at a checkpoint with a resumable snapshot."),
+		budgetExceeded: reg.Counter("runner_runs_budget_exceeded_total",
+			"Runs that exhausted their execution budget before completing."),
 		iterations: reg.Counter("runner_iterations_total", "Loop iterations executed by finished runs."),
 		instances:  reg.Counter("runner_instances_total", "Loop instances activated by finished runs."),
 		chunks:     reg.Counter("runner_chunks_total", "Low-level iteration assignments grabbed by finished runs."),
@@ -208,8 +228,13 @@ func (m *metrics) finish(res *repro.Result, err error) {
 	switch {
 	case err == nil:
 		m.done.Inc()
-	case errors.Is(err, repro.ErrCheckpointed):
+	case errors.Is(err, repro.ErrCheckpointed), errors.Is(err, runmgr.ErrCheckpointed):
+		// The job wraps the repro checkpoint error with the manager's
+		// sentinel (flattening the original chain), so the fold — which
+		// now happens at handle finalization — matches either.
 		m.checkpointed.Inc()
+	case errors.Is(err, repro.ErrBudgetExceeded):
+		m.budgetExceeded.Inc()
 	case errors.Is(err, context.Canceled):
 		m.cancelled.Inc()
 	default:
@@ -257,23 +282,36 @@ func New(cfg Config) *Runner {
 			onStuck(r.ID(), r.Label(), diagnostic)
 		}
 	}
+	sched, err := runmgr.NewScheduler(cfg.Scheduler)
+	if err != nil {
+		// A scheduler name reaches here from code, not users: loopschedd
+		// validates its -scheduler flag before constructing the Runner.
+		panic(err)
+	}
 	rn := &Runner{
 		mgr: runmgr.New(runmgr.Config{
 			MaxConcurrent: cfg.MaxConcurrent,
 			QueueLimit:    cfg.QueueLimit,
+			Scheduler:     sched,
 			Watchdog:      wd,
 		}),
 		sample:   cfg.SampleInterval,
 		watchdog: cfg.Watchdog,
+		tenants:  cfg.Tenants,
 		byID:     map[string]*Run{},
+		live:     map[string][]*Run{},
+		tallies:  map[string]*tenantTally{},
 	}
 	if cfg.Metrics != nil {
 		rn.met = newMetrics(cfg.Metrics)
+		rn.tmet = newTenantMetrics(cfg.Metrics)
 		mgr := rn.mgr
 		cfg.Metrics.Gauge("runner_queue_depth", "Submissions waiting to start.",
 			func() float64 { return float64(mgr.Stats().QueueDepth) })
 		cfg.Metrics.Gauge("runner_running", "Runs currently executing.",
 			func() float64 { return float64(mgr.Stats().Running) })
+		cfg.Metrics.Gauge("runner_preempted", "Preemption requeues performed by the scheduler.",
+			func() float64 { return float64(mgr.Stats().Preempted) })
 	}
 	return rn
 }
@@ -297,23 +335,43 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			userObserve(lv)
 		}
 	}
+	checkpointable := opts.Checkpointable || opts.CheckpointAfter > 0 || opts.Resume != nil
+	ten := rn.tenants[sub.Tenant]
 	job := runmgr.Job{
-		Label: sub.Label,
+		Label:    sub.Label,
+		Tenant:   sub.Tenant,
+		Weight:   ten.Weight,
+		Priority: ten.Priority,
 		Run: func(ctx context.Context) (any, error) {
+			attempt := opts
+			if ck := r.ckpt.Load(); ck != nil {
+				// Redispatch after a preemption: resume from the parked
+				// snapshot so no pre-preemption work is repeated. Verify is
+				// dropped for resumed attempts — the trace cannot observe
+				// pre-checkpoint iterations.
+				attempt.Resume = ck
+				attempt.Verify = false
+			}
 			if sub.Timeout > 0 {
 				var cancel context.CancelFunc
 				ctx, cancel = context.WithTimeout(ctx, sub.Timeout)
 				defer cancel()
 			}
-			res, err := sub.Program.RunContext(ctx, opts)
-			rn.met.finish(res, err)
+			res, err := sub.Program.RunContext(ctx, attempt)
 			var cke *repro.CheckpointedError
 			if errors.As(err, &cke) {
-				// Keep the snapshot on the handle and finalize as
-				// checkpointed (a terminal, resumable outcome — not a
-				// failure).
+				// Keep the snapshot on the handle; the manager either
+				// requeues (preemption in flight — the next attempt resumes
+				// from it) or finalizes as checkpointed (a terminal,
+				// resumable outcome — not a failure).
 				r.ckpt.Store(cke.Checkpoint)
 				return nil, fmt.Errorf("%v: %w", err, runmgr.ErrCheckpointed)
+			}
+			var be *repro.BudgetExceededError
+			if errors.As(err, &be) && be.Checkpoint != nil {
+				// Budget exhaustion on a checkpointable run: park the
+				// snapshot so a client can resubmit it with a fresh budget.
+				r.ckpt.Store(be.Checkpoint)
 			}
 			return res, err
 		},
@@ -323,6 +381,13 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			}
 			return nil
 		},
+	}
+	if checkpointable {
+		// Cooperative preemption: a checkpointable run yields through a
+		// snapshot, preserving its exact progress across the requeue.
+		// RequestCheckpoint reports false before the probe exists; the
+		// manager then falls back to cancelling the attempt.
+		job.Preempt = func() bool { return r.RequestCheckpoint() }
 	}
 	if rn.watchdog.Interval > 0 {
 		// A stuck-run report is only useful with the executor's
@@ -352,18 +417,46 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			return "(no probe: run not started)"
 		}
 	}
-	h, err := rn.mgr.SubmitID(sub.ID, job)
-	if err != nil {
+	name := tenantName(sub.Tenant)
+	rn.mu.Lock()
+	if err := rn.admitLocked(sub.Tenant); err != nil {
+		rn.tally(name).rejected++
+		rn.mu.Unlock()
+		if rn.tmet != nil {
+			rn.tmet.rejected.With(name).Inc()
+		}
 		return nil, err
 	}
+	// The manager submission happens under rn.mu so concurrent Submits
+	// cannot both pass the tenant's admission check (lock order is
+	// rn.mu → mgr.mu, matching every other path).
+	h, err := rn.mgr.SubmitID(sub.ID, job)
+	if err != nil {
+		rn.mu.Unlock()
+		return nil, err
+	}
+	r.h = h
+	rn.byID[h.ID()] = r
+	rn.runs = append(rn.runs, r)
+	rn.live[sub.Tenant] = append(rn.live[sub.Tenant], r)
+	rn.tally(name).submitted++
+	rn.mu.Unlock()
 	if rn.met != nil {
 		rn.met.submitted.Inc()
 	}
-	r.h = h
-	rn.mu.Lock()
-	rn.byID[h.ID()] = r
-	rn.runs = append(rn.runs, r)
-	rn.mu.Unlock()
+	if rn.tmet != nil {
+		rn.tmet.submitted.With(name).Inc()
+	}
+	// Outcomes fold into the registries exactly once per run, when the
+	// handle finalizes — not per attempt, so a preempted-and-resumed run
+	// counts once with its final result.
+	go func() {
+		<-h.Done()
+		v, err := h.Result()
+		res, _ := v.(*repro.Result)
+		rn.met.finish(res, err)
+		rn.tenantFinish(sub.Tenant, res, err, int64(h.Attempts()-1))
+	}()
 	return r, nil
 }
 
@@ -444,9 +537,19 @@ func (r *Run) RequestCheckpoint() bool {
 	return ok && ck.RequestCheckpoint()
 }
 
-// Checkpoint returns the snapshot of a run that finalized as
-// StateCheckpointed, or nil for any other (or still live) run.
+// Checkpoint returns the run's parked snapshot: set when the run
+// finalized as StateCheckpointed, and for a checkpointable run that
+// failed with repro.ErrBudgetExceeded (resubmit it with Options.Resume
+// and a fresh budget). Nil for any other (or still live) run.
 func (r *Run) Checkpoint() *repro.Checkpoint { return r.ckpt.Load() }
+
+// Tenant returns the submission's tenant ("" for anonymous work).
+func (r *Run) Tenant() string { return r.h.Tenant() }
+
+// Times returns when the run was submitted, started and finished; zero
+// times for transitions that have not happened. A preempted run's start
+// time is its latest dispatch.
+func (r *Run) Times() (submitted, started, finished time.Time) { return r.h.Times() }
 
 // Result returns the run's outcome once terminal. While the run is
 // live it returns runmgr.ErrNotFinished; a cancelled run returns
@@ -475,7 +578,7 @@ func (r *Run) Wait(ctx context.Context) (*repro.Result, error) {
 // Progress samples the run's live counters into one snapshot. It is
 // safe to call at any time from any goroutine.
 func (r *Run) Progress() Progress {
-	p := Progress{ID: r.h.ID(), Label: r.h.Label()}
+	p := Progress{ID: r.h.ID(), Label: r.h.Label(), Tenant: r.Tenant()}
 	st := r.h.State()
 	p.State = st.String()
 	_, started, finished := r.h.Times()
