@@ -7,7 +7,7 @@ REV        := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 BENCH_OUT  ?= BENCH_$(REV).json
 BENCH_BASE ?= BENCH_seed.json
 
-.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay verify-claim verify-serve
+.PHONY: build test bench bench-compare bench-smoke bench-go verify verify-race verify-kernel verify-chaos verify-adapt verify-replay verify-claim verify-serve verify-cluster
 
 build:
 	$(GO) build ./...
@@ -124,3 +124,18 @@ verify-serve:
 	$(GO) test -race -shuffle=on -run 'Budget' ./internal/enginetest/ ./internal/core/ .
 	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_serve.json
 	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_serve.json
+
+# verify-cluster gates the resilient-cluster surface: the hardened RPC
+# layer (per-attempt deadlines, retry budgets, per-peer breakers,
+# deterministic fault injection), membership state machines, the
+# three-node placement/proxy/failover chaos suite (seeded faults plus
+# a node kill mid-run), the enginetest failover-restore matrix, and
+# the journal power-cut fuzz — all under the race detector with
+# shuffled order; and the virtual engine with clustering off still
+# reproduces the committed baseline bit-for-bit — the cluster seams
+# must cost nothing, and change nothing, when off.
+verify-cluster:
+	$(GO) test -race -shuffle=on ./internal/cluster/ ./cmd/loopschedd/ ./internal/journal/
+	$(GO) test -race -shuffle=on -run 'Failover' ./internal/enginetest/
+	$(GO) run ./cmd/benchsuite run -filter '^(flat/(ss|gss)|many/ss)/virtual$$' -reps 2 -o /tmp/BENCH_cluster.json
+	$(GO) run ./cmd/benchsuite compare -bit-identical $(BENCH_BASE) /tmp/BENCH_cluster.json

@@ -89,6 +89,14 @@ func apiKey(r *http.Request) string {
 // to be somebody, and silently demoting a mistyped key to anonymous
 // would misattribute their runs.
 func (s *server) resolveTenant(r *http.Request) (string, error) {
+	// Intra-cluster calls carry the tenant the placing node already
+	// resolved: the client authenticated once, at the node it reached.
+	// The cluster addresses are assumed mutually trusted (same network
+	// trust as the probe endpoints); a single-node daemon never honors
+	// the header.
+	if s.isInternal(r) {
+		return r.Header.Get(tenantHeader), nil
+	}
 	if s.cfg.Tenants == nil {
 		return "", nil
 	}

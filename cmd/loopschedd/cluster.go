@@ -1,0 +1,616 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/runner"
+)
+
+// internalHeader marks a request as intra-cluster (a forward or proxy
+// from a peer, not a client). Internal submissions may carry a
+// caller-chosen run ID and resolve their tenant from tenantHeader —
+// the placing node already authenticated the client.
+const (
+	internalHeader = "X-Loopschedd-Internal"
+	tenantHeader   = "X-Loopschedd-Tenant"
+)
+
+// clusterOptions is the daemon-side cluster configuration; a zero Node
+// disables clustering entirely (single-node mode, bit-identical to the
+// pre-cluster daemon).
+type clusterOptions struct {
+	// Node is this node's name; it must appear in Peers.
+	Node string
+	// Peers is the full static peer set, self included.
+	Peers []cluster.Peer
+	// ProbeInterval is the membership health-probe period (default
+	// 500ms); SuspectAfter/DeadAfter are the consecutive-failure counts
+	// for the state demotions (defaults 1/3).
+	ProbeInterval time.Duration
+	SuspectAfter  int
+	DeadAfter     int
+	// RPCTimeout bounds each intra-cluster request attempt (default 2s).
+	RPCTimeout time.Duration
+	// CheckpointEvery, when positive, is the default periodic-snapshot
+	// period (in chunk claims) applied to submissions that do not pick
+	// their own — the failover restore points.
+	CheckpointEvery int64
+	// Faults injects deterministic network faults into every
+	// intra-cluster call — the chaos-test hook; nil in production.
+	Faults *cluster.NetInjector
+}
+
+func (o clusterOptions) enabled() bool { return o.Node != "" }
+
+// placement tracks one run this node placed on a peer: enough to proxy
+// by ID, to journal restore points, and to re-place the run from its
+// last snapshot if the owner dies.
+type placement struct {
+	id     string // cluster-wide run ID (the owner's)
+	node   string // current owner
+	tenant string
+	sub    journalSubmit // original wire submission, for failover resubmit
+	ckpt   *repro.Checkpoint
+	ckptJS []byte // marshaled ckpt, to detect changes cheaply
+	done   bool
+	// inFailover serializes re-placement: OnDead and a poller's 404 can
+	// both notice the same loss.
+	inFailover bool
+}
+
+// clusterState composes the cluster package's membership and RPC
+// client into the daemon's serving policy: placement, forwarding,
+// proxying and failover.
+type clusterState struct {
+	s      *server
+	opts   clusterOptions
+	self   cluster.Peer
+	client *cluster.Client
+	mem    *cluster.Membership
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	placements map[string]*placement
+	pollers    sync.WaitGroup
+}
+
+func newClusterState(s *server, opts clusterOptions) (*clusterState, error) {
+	client := cluster.NewClient(cluster.ClientConfig{
+		Timeout: opts.RPCTimeout,
+		Faults:  opts.Faults,
+	})
+	c := &clusterState{
+		s:          s,
+		opts:       opts,
+		client:     client,
+		placements: map[string]*placement{},
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	mem, err := cluster.NewMembership(cluster.MembershipConfig{
+		Self:         opts.Node,
+		Peers:        opts.Peers,
+		Client:       client,
+		Interval:     opts.ProbeInterval,
+		SuspectAfter: opts.SuspectAfter,
+		DeadAfter:    opts.DeadAfter,
+		OnDead:       c.onDead,
+		LocalLoad: func() int {
+			st := s.rn.Stats()
+			return st.Running + st.QueueDepth
+		},
+		LocalDraining: func() bool { return s.draining.Load() },
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mem = mem
+	c.self = mem.Self()
+	return c, nil
+}
+
+// start probes once (so placement has state before the first tick),
+// restores replayed placements, and launches the probe loop.
+func (c *clusterState) start(replayed []*placement) {
+	c.mem.Probe(c.ctx)
+	for _, p := range replayed {
+		c.adopt(p)
+	}
+	c.mem.Start()
+}
+
+// adopt registers a placement (fresh or journal-replayed) and starts
+// its poller. A replayed placement whose owner is already dead fails
+// over on the poller's first tick.
+func (c *clusterState) adopt(p *placement) {
+	c.mu.Lock()
+	c.placements[p.id] = p
+	c.mu.Unlock()
+	c.pollers.Add(1)
+	go c.watchPlacement(p)
+}
+
+func (c *clusterState) close() {
+	c.cancel()
+	c.mem.Close()
+	c.pollers.Wait()
+}
+
+// internalHdr builds the headers for an intra-cluster call.
+func internalHdr(tenant string) http.Header {
+	h := http.Header{internalHeader: []string{"1"}}
+	if tenant != "" {
+		h.Set(tenantHeader, tenant)
+	}
+	return h
+}
+
+// isInternal reports whether the request came from a cluster peer.
+// Only honored when clustering is on: a single-node daemon treats the
+// header as any other unknown header.
+func (s *server) isInternal(r *http.Request) bool {
+	return s.cluster != nil && r.Header.Get(internalHeader) == "1"
+}
+
+// trySubmitRemote implements run placement: pick the least-loaded
+// placeable node; if that is a live peer, forward the submission there
+// (the owner assigns the run ID), record the placement, journal it,
+// start the placement poller, and answer the client with the owner's
+// response. Returns false when the run should execute locally instead
+// — self is the best target, no peer is placeable, or the forward
+// failed (graceful degradation: a partitioned node still serves).
+func (c *clusterState) trySubmitRemote(w http.ResponseWriter, req submitRequest, tenant string) bool {
+	target, ok := c.mem.LeastLoaded()
+	if !ok || target.Peer.Name == c.self.Name {
+		return false
+	}
+	var st runStatus
+	resp, err := c.client.DoHeader(c.ctx, target.Peer, http.MethodPost, "/v1/runs",
+		internalHdr(tenant), req, &st)
+	if err != nil || resp.Status != http.StatusCreated || st.ID == "" {
+		// The peer looked placeable but the forward failed: run locally
+		// rather than failing the client. 4xx responses are the one
+		// exception — the submission itself is bad and local submission
+		// would reject it identically, so relay the owner's verdict.
+		var se *cluster.StatusError
+		if errors.As(err, &se) && se.Status >= 400 && se.Status < 500 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(se.Status)
+			w.Write(resp.Body)
+			return true
+		}
+		log.Printf("loopschedd: placement on %s failed (%v), running locally", target.Peer.Name, err)
+		return false
+	}
+	p := &placement{
+		id:     st.ID,
+		node:   target.Peer.Name,
+		tenant: tenant,
+		sub: journalSubmit{
+			Program: req.Program,
+			Label:   req.Label,
+			Tenant:  tenant,
+			Timeout: req.Timeout,
+			Options: req.Options,
+		},
+	}
+	c.s.recordPlace(p.id, journalPlace{Node: p.node, Sub: p.sub})
+	c.adopt(p)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	w.Write(resp.Body)
+	return true
+}
+
+// ownerOf resolves which peer serves run id: the placement table first
+// (it survives failover, when the ID's prefix goes stale), then the
+// ID's node prefix ("n2-run-0007" → peer n2").
+func (c *clusterState) ownerOf(id string) (cluster.Peer, bool) {
+	c.mu.Lock()
+	p := c.placements[id]
+	c.mu.Unlock()
+	name := ""
+	if p != nil {
+		name = p.node
+	} else if i := strings.LastIndex(id, "-run-"); i > 0 {
+		name = id[:i]
+	}
+	if name == "" || name == c.self.Name {
+		return cluster.Peer{}, false
+	}
+	for _, n := range c.mem.Nodes() {
+		if n.Peer.Name == name {
+			return n.Peer, true
+		}
+	}
+	return cluster.Peer{}, false
+}
+
+// fetchStatus GETs a run's status from whichever node serves it: the
+// resolved owner first, then — if that fails — every other live peer
+// (scatter), so polls survive stale prefixes and mid-failover windows.
+func (c *clusterState) fetchStatus(ctx context.Context, id string) (*cluster.Response, bool) {
+	tried := map[string]bool{c.self.Name: true}
+	if owner, ok := c.ownerOf(id); ok {
+		tried[owner.Name] = true
+		resp, err := c.client.DoHeader(ctx, owner, http.MethodGet, "/v1/runs/"+id, internalHdr(""), nil, nil)
+		if err == nil && resp.Status == http.StatusOK {
+			return resp, true
+		}
+	}
+	for _, n := range c.mem.Nodes() {
+		if tried[n.Peer.Name] || n.State == cluster.NodeDead {
+			continue
+		}
+		resp, err := c.client.DoHeader(ctx, n.Peer, http.MethodGet, "/v1/runs/"+id, internalHdr(""), nil, nil)
+		if err == nil && resp.Status == http.StatusOK {
+			return resp, true
+		}
+	}
+	return nil, false
+}
+
+// proxyGet serves GET /v1/runs/{id} for a run another node owns.
+// Reports whether it handled the request.
+func (c *clusterState) proxyGet(w http.ResponseWriter, r *http.Request, id string) bool {
+	resp, ok := c.fetchStatus(r.Context(), id)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp.Body)
+	return true
+}
+
+// proxyPost forwards POST /v1/runs/{id}/(cancel|checkpoint) to the
+// run's owner, relaying status and body. Like fetchStatus it falls
+// back to scattering across live peers when the resolved owner is
+// unreachable or answers 404 — after a failover the run lives on a
+// survivor whose name the ID's prefix no longer matches, and only the
+// node that placed the run knows which. A 404 keeps scattering (that
+// node simply doesn't host the run); any other answer is the owner's
+// and is relayed as-is. Reports whether it handled the request.
+func (c *clusterState) proxyPost(w http.ResponseWriter, r *http.Request, id, action string) bool {
+	post := func(p cluster.Peer) *cluster.Response {
+		resp, err := c.client.DoHeader(r.Context(), p, http.MethodPost,
+			"/v1/runs/"+id+"/"+action, internalHdr(""), nil, nil)
+		if err != nil && resp == nil {
+			return nil
+		}
+		return resp
+	}
+	relay := func(resp *cluster.Response) bool {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
+		return true
+	}
+	tried := map[string]bool{c.self.Name: true}
+	var notFound *cluster.Response
+	if owner, ok := c.ownerOf(id); ok {
+		tried[owner.Name] = true
+		if resp := post(owner); resp != nil {
+			if resp.Status != http.StatusNotFound {
+				return relay(resp)
+			}
+			notFound = resp
+		}
+	}
+	for _, n := range c.mem.Nodes() {
+		if tried[n.Peer.Name] || n.State == cluster.NodeDead {
+			continue
+		}
+		if resp := post(n.Peer); resp != nil {
+			if resp.Status != http.StatusNotFound {
+				return relay(resp)
+			}
+			notFound = resp
+		}
+	}
+	if notFound != nil {
+		return relay(notFound)
+	}
+	return false
+}
+
+// proxyProgress streams NDJSON progress for a remote run by polling
+// the owner's status through the hardened client — every cross-node
+// request stays deadline-bounded, unlike a raw streaming proxy whose
+// body read can hang on a dead peer. Snapshots come at the server's
+// sample interval; the stream ends at the first terminal snapshot.
+func (c *clusterState) proxyProgress(w http.ResponseWriter, r *http.Request, id string) bool {
+	resp, ok := c.fetchStatus(r.Context(), id)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	interval := c.s.cfg.SampleInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	misses := 0
+	for {
+		var st runStatus
+		if err := json.Unmarshal(resp.Body, &st); err != nil {
+			return true
+		}
+		if enc.Encode(st.Progress) != nil {
+			return true
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminalState(st.State) {
+			return true
+		}
+		select {
+		case <-r.Context().Done():
+			return true
+		case <-time.After(interval):
+		}
+		if resp, ok = c.fetchStatus(r.Context(), id); !ok {
+			// The owner may be mid-failover; tolerate a few misses before
+			// ending the stream.
+			if misses++; misses > 5 {
+				return true
+			}
+			resp = &cluster.Response{Body: []byte("{}")}
+			continue
+		}
+		misses = 0
+	}
+}
+
+func terminalState(state string) bool {
+	switch state {
+	case runner.StateDone.String(), runner.StateFailed.String(),
+		runner.StateCancelled.String(), runner.StateCheckpointed.String():
+		return true
+	}
+	return false
+}
+
+// onDead is the membership's failover hook: every placement owned by
+// the dead node is re-placed on a survivor from its last snapshot.
+func (c *clusterState) onDead(p cluster.Peer) {
+	log.Printf("loopschedd: cluster peer %s declared dead", p.Name)
+	c.mu.Lock()
+	var victims []*placement
+	for _, pl := range c.placements {
+		if pl.node == p.Name && !pl.done {
+			victims = append(victims, pl)
+		}
+	}
+	c.mu.Unlock()
+	for _, pl := range victims {
+		c.failover(pl)
+	}
+}
+
+// failover re-places a run whose owner died: resubmit the original
+// program under the same run ID — resuming from the last journaled
+// snapshot when one exists, from scratch otherwise — on the
+// least-loaded survivor (self included). The run keeps its ID, so
+// clients polling it never notice beyond a progress reset to the
+// snapshot's restore point.
+func (c *clusterState) failover(p *placement) {
+	c.mu.Lock()
+	if p.done || p.inFailover {
+		c.mu.Unlock()
+		return
+	}
+	p.inFailover = true
+	defer func() {
+		c.mu.Lock()
+		p.inFailover = false
+		c.mu.Unlock()
+	}()
+	req := submitRequest{
+		ID:      p.id,
+		Program: p.sub.Program,
+		Label:   p.sub.Label,
+		Timeout: p.sub.Timeout,
+		Options: p.sub.Options,
+	}
+	if p.ckpt != nil {
+		// Restore-and-continue: the snapshot's claim-quiescent state makes
+		// the resumed remainder bit-identical to never having died (the
+		// virtual-engine conformance suites pin this). Verify is dropped —
+		// the trace cannot observe pre-checkpoint iterations.
+		req.Options.Resume = p.ckpt
+		req.Options.Verify = false
+	}
+	tenant := p.tenant
+	c.mu.Unlock()
+
+	target, ok := c.mem.LeastLoaded()
+	if ok && target.Peer.Name != c.self.Name {
+		var st runStatus
+		resp, err := c.client.DoHeader(c.ctx, target.Peer, http.MethodPost, "/v1/runs",
+			internalHdr(tenant), req, &st)
+		if err == nil && resp.Status == http.StatusCreated {
+			c.mu.Lock()
+			p.node = target.Peer.Name
+			c.mu.Unlock()
+			c.s.recordPlace(p.id, journalPlace{Node: p.node, Sub: p.sub})
+			log.Printf("loopschedd: run %s failed over to %s%s", p.id, p.node, restoreNote(p.ckpt))
+			return
+		}
+		log.Printf("loopschedd: failover of %s to %s failed (%v), restoring locally", p.id, target.Peer.Name, err)
+	}
+	// Restore locally (graceful degradation: even a fully partitioned
+	// node finishes the runs it placed).
+	if err := c.s.submitPlaced(req, tenant); err != nil {
+		log.Printf("loopschedd: local failover restore of %s failed: %v", p.id, err)
+		return
+	}
+	c.mu.Lock()
+	p.node = c.self.Name
+	c.mu.Unlock()
+	c.s.recordPlace(p.id, journalPlace{Node: c.self.Name, Sub: p.sub})
+	log.Printf("loopschedd: run %s failed over to %s (self)%s", p.id, c.self.Name, restoreNote(p.ckpt))
+}
+
+func restoreNote(ck *repro.Checkpoint) string {
+	if ck == nil {
+		return " (no snapshot: restarting from scratch)"
+	}
+	return " (resuming from last snapshot)"
+}
+
+// watchPlacement polls a placed run's owner for its status on the
+// membership probe interval: journaling each new snapshot (the
+// failover restore point), recording the terminal state, and — when
+// the owner turns out to have lost the run (a 404 from a live owner,
+// e.g. one restarted without its journal) — triggering failover.
+func (c *clusterState) watchPlacement(p *placement) {
+	defer c.pollers.Done()
+	interval := c.opts.ProbeInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		c.mu.Lock()
+		node, done := p.node, p.done
+		c.mu.Unlock()
+		if done {
+			return
+		}
+		if node == c.self.Name {
+			c.pollLocal(p)
+			continue
+		}
+		c.pollRemote(p)
+	}
+}
+
+// pollLocal tracks a placement that failed over onto this node.
+func (c *clusterState) pollLocal(p *placement) {
+	run, ok := c.s.rn.Get(p.id)
+	if !ok {
+		return
+	}
+	if ck := run.Checkpoint(); ck != nil {
+		c.noteSnapshot(p, ck)
+	}
+	st := run.State()
+	if st.Terminal() {
+		c.finishPlacement(p, st.String(), run)
+	}
+}
+
+// pollRemote polls the remote owner once.
+func (c *clusterState) pollRemote(p *placement) {
+	c.mu.Lock()
+	node := p.node
+	c.mu.Unlock()
+	owner, ok := c.peerNamed(node)
+	if !ok {
+		return
+	}
+	var st runStatus
+	resp, err := c.client.DoHeader(c.ctx, owner, http.MethodGet, "/v1/runs/"+p.id,
+		internalHdr(""), nil, &st)
+	if err != nil {
+		var se *cluster.StatusError
+		if errors.As(err, &se) && se.Status == http.StatusNotFound {
+			// The owner is alive but no longer knows the run: it lost its
+			// state (restart without journal). Re-place from our snapshot.
+			log.Printf("loopschedd: owner %s lost run %s, failing over", node, p.id)
+			c.failover(p)
+		}
+		// Transport failures: membership declares death; OnDead handles it.
+		return
+	}
+	_ = resp
+	if st.Checkpoint != nil {
+		c.noteSnapshot(p, st.Checkpoint)
+	}
+	if terminalState(st.State) {
+		c.finishPlacement(p, st.State, nil)
+	}
+}
+
+// noteSnapshot journals a placed run's snapshot when it changed.
+func (c *clusterState) noteSnapshot(p *placement, ck *repro.Checkpoint) {
+	js, err := json.Marshal(ck)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	if bytes.Equal(js, p.ckptJS) {
+		c.mu.Unlock()
+		return
+	}
+	p.ckpt, p.ckptJS = ck, js
+	c.mu.Unlock()
+	c.s.recordSnapshot(p.id, js)
+}
+
+// finishPlacement marks a placement terminal and journals the outcome
+// so a rebooted placer does not resurrect a finished run.
+func (c *clusterState) finishPlacement(p *placement, state string, run *runner.Run) {
+	c.mu.Lock()
+	if p.done {
+		c.mu.Unlock()
+		return
+	}
+	p.done = true
+	c.mu.Unlock()
+	term := journalTerminal{State: state}
+	if run != nil {
+		if _, err := run.Result(); err != nil {
+			term.Error = err.Error()
+		}
+	}
+	c.s.recordPlacedTerminal(p.id, term)
+}
+
+func (c *clusterState) peerNamed(name string) (cluster.Peer, bool) {
+	for _, n := range c.mem.Nodes() {
+		if n.Peer.Name == name && !n.Self {
+			return n.Peer, true
+		}
+	}
+	return cluster.Peer{}, false
+}
+
+// clusterInfo is the GET /v1/cluster body.
+type clusterInfo struct {
+	Self       string             `json:"self"`
+	Nodes      []cluster.NodeInfo `json:"nodes"`
+	Placements int                `json:"placements"`
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeError(w, http.StatusNotFound, errors.New("clustering disabled"))
+		return
+	}
+	s.cluster.mu.Lock()
+	n := len(s.cluster.placements)
+	s.cluster.mu.Unlock()
+	writeJSON(w, clusterInfo{
+		Self:       s.cluster.self.Name,
+		Nodes:      s.cluster.mem.Nodes(),
+		Placements: n,
+	})
+}

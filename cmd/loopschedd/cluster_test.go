@@ -1,0 +1,529 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/lang"
+)
+
+// testCluster is N in-process loopschedd nodes serving one API: each
+// node is a full server behind an httptest listener, with the peer set
+// wired through real HTTP — the same transport production uses, so
+// killing a listener is a faithful node death.
+type testCluster struct {
+	t        *testing.T
+	names    []string
+	srvs     []*server
+	https    []*httptest.Server
+	handlers []*atomic.Pointer[server]
+}
+
+// startCluster boots n nodes named n1..nN. Each node journals into
+// dir; faults (may be nil) seeds the shared network-fault injector.
+func startCluster(t *testing.T, n int, dir string, faults *cluster.NetInjector, every int64) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t}
+	// Listeners first (URLs must exist before the servers do), each
+	// delegating to whatever server is currently installed — which also
+	// lets a "rebooted" node swap a fresh server in behind its address.
+	var peerSpecs []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i+1)
+		tc.names = append(tc.names, name)
+		ptr := &atomic.Pointer[server]{}
+		tc.handlers = append(tc.handlers, ptr)
+		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if s := ptr.Load(); s != nil {
+				s.ServeHTTP(w, r)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		tc.https = append(tc.https, hs)
+		peerSpecs = append(peerSpecs, name+"="+hs.URL)
+	}
+	peers, err := cluster.ParsePeers(strings.Join(peerSpecs, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s, err := newServer(serverConfig{
+			MaxConcurrent:  2,
+			SampleInterval: 5 * time.Millisecond,
+			JournalPath:    filepath.Join(dir, tc.names[i]+".journal"),
+			Cluster: clusterOptions{
+				Node:            tc.names[i],
+				Peers:           peers,
+				ProbeInterval:   25 * time.Millisecond,
+				RPCTimeout:      2 * time.Second,
+				DeadAfter:       3,
+				CheckpointEvery: every,
+				Faults:          faults,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.srvs = append(tc.srvs, s)
+		tc.handlers[i].Store(s)
+	}
+	t.Cleanup(func() {
+		// Servers first: each close stops that node's prober before any
+		// listener drops, so teardown never masquerades as node death.
+		for i := range tc.srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			tc.srvs[i].close(ctx)
+			cancel()
+		}
+		for _, hs := range tc.https {
+			if hs != nil {
+				hs.Close()
+			}
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) url(i int) string { return tc.https[i].URL }
+
+// kill is node death: the listener drops with every in-flight
+// connection, so peers see transport failures, not clean errors. The
+// node's goroutines keep running (as a real zombie's would until the
+// OS reaps it); its work is unreachable either way.
+func (tc *testCluster) kill(i int) {
+	tc.https[i].CloseClientConnections()
+	tc.https[i].Close()
+	tc.https[i] = nil
+}
+
+// pollStatus fetches one run's status via node i until cond says stop.
+func (tc *testCluster) pollStatus(i int, id string, timeout time.Duration, cond func(map[string]any) bool) map[string]any {
+	tc.t.Helper()
+	deadline := time.After(timeout)
+	for {
+		var st map[string]any
+		resp, err := http.Get(tc.url(i) + "/v1/runs/" + id)
+		if err == nil {
+			err = jsonDecode(resp, &st)
+		}
+		if err == nil && cond(st) {
+			return st
+		}
+		select {
+		case <-deadline:
+			tc.t.Fatalf("run %s: condition not reached in %v (last status %v, err %v)", id, timeout, st, err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func jsonDecode(resp *http.Response, into *map[string]any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// referenceStats runs the program uninterrupted on a local engine —
+// the totals a clustered run must land on bit-exactly.
+func referenceStats(t *testing.T, program string, opts repro.Options) *repro.Result {
+	t.Helper()
+	nest, err := lang.Parse(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := repro.Compile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestClusterPlacementAndProxy: any node accepts a submit, placement
+// goes to the least-loaded node, and every other node can answer
+// polls, progress streams and cancels for the run by ID.
+func TestClusterPlacementAndProxy(t *testing.T) {
+	tc := startCluster(t, 3, t.TempDir(), nil, 0)
+
+	// All loads are zero, so placement ties break by name: a submit via
+	// n2 lands on n1, and the response carries n1's run ID.
+	resp, payload := postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..400 { work 20 }", "options": {"procs": 4, "scheme": "gss"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit via n2: status %d, payload %v", resp.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	if !strings.HasPrefix(id, "n1-") {
+		t.Fatalf("run placed as %q, want an n1-prefixed ID (least-loaded tie breaks by name)", id)
+	}
+
+	// Every node answers a poll for it: the owner directly, the placer
+	// from its placement table, the third node by ID prefix.
+	for i := range tc.srvs {
+		tc.pollStatus(i, id, 30*time.Second, func(st map[string]any) bool {
+			return st["state"] == "done"
+		})
+	}
+
+	// The result proxies intact.
+	st := tc.pollStatus(2, id, 10*time.Second, func(st map[string]any) bool {
+		return st["result"] != nil
+	})
+	res := st["result"].(map[string]any)
+	stats := res["stats"].(map[string]any)
+	if got := stats["Iterations"].(float64); got != 400 {
+		t.Errorf("proxied result reports %v iterations, want 400", got)
+	}
+
+	// Progress streams proxy too: a fresh run watched through n3.
+	_, payload = postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..400 { work 20 }", "options": {"procs": 4}}`)
+	id2, _ := payload["id"].(string)
+	if id2 == "" {
+		t.Fatal("second submit returned no ID")
+	}
+	sresp, err := http.Get(tc.url(2) + "/v1/runs/" + id2 + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sc := bufio.NewScanner(sresp.Body)
+	lines := 0
+	last := ""
+	for sc.Scan() {
+		lines++
+		last = sc.Text()
+	}
+	if lines == 0 || !strings.Contains(last, `"done"`) {
+		t.Errorf("proxied progress stream: %d lines, last %q (want a terminal snapshot)", lines, last)
+	}
+
+	// Cancel proxies: a long run cancelled through a non-owner.
+	_, payload = postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..2000000 { work 50 }", "options": {"procs": 4, "scheme": "ss"}}`)
+	id3, _ := payload["id"].(string)
+	creq, _ := http.NewRequest(http.MethodPost, tc.url(2)+"/v1/runs/"+id3+"/cancel", nil)
+	cresp, err := http.DefaultClient.Do(creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("proxied cancel: status %d", cresp.StatusCode)
+	}
+	tc.pollStatus(2, id3, 30*time.Second, func(st map[string]any) bool {
+		return st["state"] == "cancelled"
+	})
+
+	// The cluster endpoint sees all three nodes alive.
+	var info struct {
+		Self  string `json:"self"`
+		Nodes []struct {
+			State string `json:"state"`
+		} `json:"nodes"`
+	}
+	getJSON(t, tc.url(1)+"/v1/cluster", &info)
+	if info.Self != "n2" || len(info.Nodes) != 3 {
+		t.Fatalf("cluster info = %+v", info)
+	}
+	for _, n := range info.Nodes {
+		if n.State != "alive" {
+			t.Errorf("node state %q, want alive", n.State)
+		}
+	}
+}
+
+// TestClusterFailoverRestore is the chaos gate: under seeded network
+// faults, a run placed on a node that dies mid-run is restored on a
+// survivor from its last journaled snapshot — same run ID, and final
+// totals bit-identical to an uninterrupted local run.
+func TestClusterFailoverRestore(t *testing.T) {
+	// Seeded injector: reruns see identical drop/delay sequences.
+	faults := cluster.NewNetInjector(0xC10C).
+		WithRate(cluster.NetDrop, 0.02, 0).
+		WithRate(cluster.NetDelay, 0.05, 2*time.Millisecond)
+	tc := startCluster(t, 3, t.TempDir(), faults, 25000)
+
+	const program = "doall I = 1..1000000 { work 50 }"
+	ref := referenceStats(t, program, repro.Options{Procs: 4, Scheme: "ss"})
+
+	// Submitted via n2, placed on n1 (zero-load tie break).
+	resp, payload := postJSON(t, tc.url(1)+"/v1/runs",
+		fmt.Sprintf(`{"program": %q, "options": {"procs": 4, "scheme": "ss"}}`, program))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d, payload %v", resp.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	if !strings.HasPrefix(id, "n1-") {
+		t.Fatalf("run placed as %q, want n1-prefixed", id)
+	}
+
+	// Wait until the owner has parked at least one periodic snapshot —
+	// the placer's poller reads the same status at the same cadence, so
+	// a few more probe intervals guarantee the restore point is in n2's
+	// placement table and journal.
+	tc.pollStatus(1, id, 30*time.Second, func(st map[string]any) bool {
+		return st["checkpoint"] != nil && st["state"] == "running"
+	})
+	time.Sleep(150 * time.Millisecond)
+
+	// kill -9 the owner.
+	tc.kill(0)
+
+	// The placer declares n1 dead within DeadAfter probes and restores
+	// the run — same ID — on a survivor, which finishes it.
+	st := tc.pollStatus(1, id, 60*time.Second, func(st map[string]any) bool {
+		return st["state"] == "done"
+	})
+	res, _ := st["result"].(map[string]any)
+	if res == nil {
+		t.Fatalf("failed-over run finished without a result: %v", st)
+	}
+	stats := res["stats"].(map[string]any)
+	for field, want := range map[string]int64{
+		"Iterations": ref.Stats.Iterations,
+		"Chunks":     ref.Stats.Chunks,
+		"Instances":  ref.Stats.Instances,
+		"Exits":      ref.Stats.Exits,
+	} {
+		if got := int64(stats[field].(float64)); got != want {
+			t.Errorf("failed-over run %s = %d, uninterrupted reference %d", field, got, want)
+		}
+	}
+
+	// The survivors still serve: a fresh submit through n3 places and
+	// completes without the dead node.
+	resp, payload = postJSON(t, tc.url(2)+"/v1/runs",
+		`{"program": "doall I = 1..400 { work 20 }", "options": {"procs": 4}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("post-failover submit: status %d, payload %v", resp.StatusCode, payload)
+	}
+	id2, _ := payload["id"].(string)
+	if strings.HasPrefix(id2, "n1-") {
+		t.Fatalf("post-failover run placed on the dead node: %q", id2)
+	}
+	tc.pollStatus(2, id2, 30*time.Second, func(st map[string]any) bool {
+		return st["state"] == "done"
+	})
+
+	// And n2's membership records the death.
+	var info struct {
+		Nodes []struct {
+			Peer  struct{ Name string } `json:"peer"`
+			State string                `json:"state"`
+		} `json:"nodes"`
+	}
+	getJSON(t, tc.url(1)+"/v1/cluster", &info)
+	for _, n := range info.Nodes {
+		if n.Peer.Name == "n1" && n.State != "dead" {
+			t.Errorf("n1 state %q after kill, want dead", n.State)
+		}
+	}
+}
+
+// TestClusterCancelAfterFailover: once a run has failed over, its ID
+// prefix names a dead node — a cancel routed through a third node
+// (which never placed the run, so the prefix is its only route) must
+// scatter to the new owner rather than 404 on the stale prefix.
+func TestClusterCancelAfterFailover(t *testing.T) {
+	tc := startCluster(t, 3, t.TempDir(), nil, 25000)
+
+	// An endless run placed on n1 via n2; wait for a parked snapshot so
+	// the failover has a restore point.
+	resp, payload := postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..1099511627776 { work 50 }", "options": {"procs": 4, "scheme": "ss"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %v", resp.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	if !strings.HasPrefix(id, "n1-") {
+		t.Fatalf("run placed as %q, want n1-prefixed", id)
+	}
+	tc.pollStatus(1, id, 30*time.Second, func(st map[string]any) bool {
+		return st["checkpoint"] != nil && st["state"] == "running"
+	})
+	time.Sleep(150 * time.Millisecond)
+	tc.kill(0)
+
+	// The run comes back running on a survivor under the same ID (the
+	// dead window answers 404, which pollStatus rides out).
+	tc.pollStatus(1, id, 60*time.Second, func(st map[string]any) bool {
+		return st["state"] == "running"
+	})
+
+	// Cancel through n3: its route resolves to dead n1, so the POST
+	// must scatter across the survivors to reach the run.
+	creq, _ := http.NewRequest(http.MethodPost, tc.url(2)+"/v1/runs/"+id+"/cancel", nil)
+	cresp, err := http.DefaultClient.Do(creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel after failover via n3: status %d, want 202", cresp.StatusCode)
+	}
+	tc.pollStatus(2, id, 30*time.Second, func(st map[string]any) bool {
+		return st["state"] == "cancelled"
+	})
+}
+
+// TestClusterDisabledSingleNode pins the off switch: without cluster
+// options the daemon ignores internal headers, rejects caller-chosen
+// IDs, serves /v1/cluster as 404, and assigns unprefixed IDs — the
+// pre-cluster wire surface exactly.
+func TestClusterDisabledSingleNode(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/runs",
+		strings.NewReader(`{"id": "evil-run-0001", "program": "doall I = 1..10 { work 5 }", "options": {}}`))
+	req.Header.Set(internalHeader, "1")
+	req.Header.Set(tenantHeader, "spoofed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("single-node daemon honored an internal submit: status %d", resp.StatusCode)
+	}
+
+	resp, payload := postJSON(t, ts.URL+"/v1/runs", `{"program": "doall I = 1..10 { work 5 }", "options": {}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %v", resp.StatusCode, payload)
+	}
+	if id, _ := payload["id"].(string); !strings.HasPrefix(id, "run-") {
+		t.Errorf("single-node ID %q, want the unprefixed run-NNNN form", id)
+	}
+
+	cresp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusNotFound {
+		t.Errorf("/v1/cluster on a single node: status %d, want 404", cresp.StatusCode)
+	}
+}
+
+// TestHealthzJSON pins the /healthz body: a component map for
+// operators on top of the bare status-code liveness contract (200
+// serving, 503 when journal appends are failing).
+func TestHealthzJSON(t *testing.T) {
+	var health struct {
+		OK         bool `json:"ok"`
+		Components map[string]struct {
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"components"`
+	}
+
+	// Single node, no journal: everything healthy, optional subsystems
+	// report "disabled".
+	s, ts := newTestServer(t, serverConfig{JournalPath: filepath.Join(t.TempDir(), "j")})
+	resp := getJSON(t, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || !health.OK {
+		t.Fatalf("healthz = %d, body %+v", resp.StatusCode, health)
+	}
+	for _, comp := range []string{"scheduler", "journal", "watchdog", "cluster"} {
+		if _, ok := health.Components[comp]; !ok {
+			t.Errorf("healthz body missing component %q", comp)
+		}
+	}
+	if d := health.Components["cluster"].Detail; d != "disabled" {
+		t.Errorf("single-node cluster detail %q, want disabled", d)
+	}
+	if !health.Components["journal"].OK {
+		t.Errorf("healthy journal reported not ok")
+	}
+
+	// A failing journal is the one condition that fails liveness: new
+	// submissions would not survive a crash.
+	s.jerr.Store(&journalErr{err: errors.New("disk full")})
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(hresp.Body).Decode(&health)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusServiceUnavailable || health.OK {
+		t.Fatalf("failing journal: healthz = %d, ok=%v", hresp.StatusCode, health.OK)
+	}
+	if jc := health.Components["journal"]; jc.OK || !strings.Contains(jc.Detail, "disk full") {
+		t.Errorf("journal component = %+v, want the append error surfaced", jc)
+	}
+
+	// Clustered: the cluster component counts live nodes.
+	tc := startCluster(t, 3, t.TempDir(), nil, 0)
+	getJSON(t, tc.url(0)+"/healthz", &health)
+	if d := health.Components["cluster"].Detail; d != "3/3 node(s) up" {
+		t.Errorf("cluster detail %q, want \"3/3 node(s) up\"", d)
+	}
+}
+
+// TestClusterPlacerRebootResumesWatch: a placer that reboots re-adopts
+// its journaled placements — the run keeps completing (and its terminal
+// is recorded) even though the placer lost all in-memory state.
+func TestClusterPlacerRebootResumesWatch(t *testing.T) {
+	dir := t.TempDir()
+	tc := startCluster(t, 2, dir, nil, 25000)
+
+	// n1 is the zero-load tie-break winner, so submit via n2 to place
+	// remotely.
+	resp, payload := postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..600000 { work 50 }", "options": {"procs": 4, "scheme": "ss"}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %v", resp.StatusCode, payload)
+	}
+	id, _ := payload["id"].(string)
+	if !strings.HasPrefix(id, "n1-") {
+		t.Fatalf("run placed as %q, want n1-prefixed", id)
+	}
+	tc.pollStatus(1, id, 30*time.Second, func(st map[string]any) bool {
+		return st["state"] == "running"
+	})
+
+	// Reboot the placer: tear down its server (drain cancels nothing —
+	// the run lives on n1) and boot a fresh one from the same journal
+	// behind the same URL.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	tc.srvs[1].close(ctx)
+	cancel()
+	reborn, err := newServer(serverConfig{
+		MaxConcurrent:  2,
+		SampleInterval: 5 * time.Millisecond,
+		JournalPath:    filepath.Join(dir, "n2.journal"),
+		Cluster:        tc.srvs[1].cfg.Cluster,
+	})
+	if err != nil {
+		t.Fatalf("placer reboot: %v", err)
+	}
+	tc.srvs[1] = reborn
+	tc.handlers[1].Store(reborn)
+
+	// The reborn placer still proxies the run by its journaled
+	// placement and sees it finish.
+	tc.pollStatus(1, id, 60*time.Second, func(st map[string]any) bool {
+		return st["state"] == "done"
+	})
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,6 +25,10 @@ type submitRequest struct {
 	Label   string     `json:"label,omitempty"`
 	Timeout string     `json:"timeout,omitempty"` // Go duration string
 	Options runOptions `json:"options"`
+	// ID is intra-cluster only: a failover restore re-creates the run on
+	// a survivor under its original cluster-wide ID. External
+	// submissions must not set it (400) — IDs are owner-assigned.
+	ID string `json:"id,omitempty"`
 }
 
 type runOptions struct {
@@ -47,6 +53,11 @@ type runOptions struct {
 	Checkpointable  bool              `json:"checkpointable,omitempty"`
 	CheckpointAfter int64             `json:"checkpoint_after,omitempty"`
 	Resume          *repro.Checkpoint `json:"resume,omitempty"`
+	// CheckpointEvery runs the program as a chain of legs, parking a
+	// durable snapshot every that-many chunk claims — the failover
+	// restore points. A clustered daemon started with -checkpoint-every
+	// applies that default to submissions that leave it zero.
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
 	// ClaimBatch leases up to that many chunks per claim (cursor schemes
 	// only); SWShards splits the pool control word; CombineClaims marks
 	// the claim hot spots software-combinable on the virtual engine.
@@ -133,19 +144,39 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	internal := s.isInternal(r)
+	if req.ID != "" && !internal {
+		writeError(w, http.StatusBadRequest, errors.New("run IDs are server-assigned"))
+		return
+	}
 	sub, err := s.buildSubmission(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// External submissions on a clustered node go to the least-loaded
+	// live node; this node runs them itself when it is that node, when
+	// no peer is placeable, or when the forward fails (a partitioned
+	// node degrades to serving locally rather than erroring). Internal
+	// submissions are already placed — forwarding them again could
+	// ping-pong.
+	if !internal && s.cluster != nil && s.cluster.trySubmitRemote(w, req, tenant) {
+		return
+	}
+	sub.ID = req.ID
 	sub.Tenant = tenant
+	commit := s.attachSnapshotJournal(&sub)
 	run, err := s.rn.Submit(sub)
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusTooManyRequests {
 			// The backlog drains continuously; a short pause is the right
-			// client response to load shedding.
-			w.Header().Set("Retry-After", "1")
+			// client response to load shedding. The advisory delay is
+			// jittered over 1..3s so a burst of shed clients does not
+			// come back as one synchronized wave (the exact value is not
+			// part of the API contract — only that the header is present
+			// and positive).
+			w.Header().Set("Retry-After", strconv.Itoa(1+rand.IntN(3)))
 		}
 		writeError(w, status, err)
 		return
@@ -157,9 +188,60 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Timeout: req.Timeout,
 		Options: req.Options,
 	})
+	commit(run.ID())
 	s.watchJournal(run)
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, runStatus{Progress: run.Progress()})
+}
+
+// submitPlaced re-creates a placed run locally under its original ID —
+// the failover path's local restore.
+func (s *server) submitPlaced(req submitRequest, tenant string) error {
+	sub, err := s.buildSubmission(req)
+	if err != nil {
+		return err
+	}
+	sub.ID = req.ID
+	sub.Tenant = tenant
+	commit := s.attachSnapshotJournal(&sub)
+	run, err := s.rn.Submit(sub)
+	if err != nil {
+		return err
+	}
+	s.recordSubmit(run.ID(), journalSubmit{
+		Program: req.Program,
+		Label:   req.Label,
+		Tenant:  tenant,
+		Timeout: req.Timeout,
+		Options: req.Options,
+	})
+	commit(run.ID())
+	s.watchJournal(run)
+	return nil
+}
+
+// attachSnapshotJournal wires a CheckpointEvery submission's OnSnapshot
+// hook to journal each restore point. The run ID does not exist until
+// Submit returns, but the first snapshot can fire as soon as the run
+// dispatches — the hook blocks until commit supplies the ID.
+func (s *server) attachSnapshotJournal(sub *runner.Submission) (commit func(id string)) {
+	if sub.CheckpointEvery <= 0 {
+		return func(string) {}
+	}
+	ready := make(chan struct{})
+	id := ""
+	sub.OnSnapshot = func(ck *repro.Checkpoint) {
+		<-ready
+		data, err := json.Marshal(ck)
+		if err != nil {
+			return
+		}
+		s.recordSnapshot(id, data)
+	}
+	return func(runID string) {
+		id = runID
+		close(ready)
+	}
 }
 
 // buildSubmission turns a wire submission into a runner submission; the
@@ -189,11 +271,21 @@ func (s *server) buildSubmission(req submitRequest) (runner.Submission, error) {
 			return runner.Submission{}, fmt.Errorf("bad timeout: %w", err)
 		}
 	}
+	every := req.Options.CheckpointEvery
+	if every < 0 {
+		return runner.Submission{}, errors.New("checkpoint_every must be non-negative")
+	}
+	if every == 0 && s.cfg.Cluster.enabled() {
+		// Clustered nodes default every run to periodic snapshots: without
+		// them, failover can only restart a lost run from scratch.
+		every = s.cfg.Cluster.CheckpointEvery
+	}
 	return runner.Submission{
-		Program: prog,
-		Options: req.Options.toOptions(),
-		Timeout: timeout,
-		Label:   req.Label,
+		Program:         prog,
+		Options:         req.Options.toOptions(),
+		Timeout:         timeout,
+		Label:           req.Label,
+		CheckpointEvery: every,
 	}, nil
 }
 
@@ -209,6 +301,12 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.rn.Get(r.PathValue("id"))
 	if !ok {
+		// Internal requests never re-proxy: a forwarding loop between two
+		// nodes that both miss would otherwise bounce until a deadline.
+		if s.cluster != nil && !s.isInternal(r) &&
+			s.cluster.proxyGet(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("no such run"))
 		return
 	}
@@ -232,6 +330,10 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.rn.Get(r.PathValue("id"))
 	if !ok {
+		if s.cluster != nil && !s.isInternal(r) &&
+			s.cluster.proxyProgress(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("no such run"))
 		return
 	}
@@ -280,6 +382,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.rn.Get(r.PathValue("id"))
 	if !ok {
+		if s.cluster != nil && !s.isInternal(r) &&
+			s.cluster.proxyPost(w, r, r.PathValue("id"), "checkpoint") {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("no such run"))
 		return
 	}
@@ -295,6 +401,10 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.rn.Get(r.PathValue("id"))
 	if !ok {
+		if s.cluster != nil && !s.isInternal(r) &&
+			s.cluster.proxyPost(w, r, r.PathValue("id"), "cancel") {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("no such run"))
 		return
 	}

@@ -22,6 +22,16 @@ const (
 	kindStart journal.Kind = 2
 	// kindTerminal carries a journalTerminal payload.
 	kindTerminal journal.Kind = 3
+	// kindPlace carries a journalPlace payload: this node placed the run
+	// on a peer (or re-placed it during failover). The latest place
+	// record wins; a placer that reboots resumes watching — and, if the
+	// owner is dead, failing over — every placement without a terminal.
+	kindPlace journal.Kind = 4
+	// kindSnapshot carries a repro.Checkpoint: a periodic restore point
+	// from a CheckpointEvery chain, local or placed. On replay a
+	// non-terminal local run resumes from its last snapshot instead of
+	// from scratch; a placed run's failover restores from it.
+	kindSnapshot journal.Kind = 5
 )
 
 // journalSubmit is the kindSubmit payload — the wire submission itself,
@@ -44,20 +54,69 @@ type journalTerminal struct {
 	Checkpoint *repro.Checkpoint `json:"checkpoint,omitempty"`
 }
 
+// journalPlace is the kindPlace payload: where the run went plus the
+// wire submission needed to re-place it if that owner dies.
+type journalPlace struct {
+	Node string        `json:"node"`
+	Sub  journalSubmit `json:"sub"`
+}
+
+// appendRecord is the one journal write path: it appends (when the
+// journal is on), logs failures, and tracks the last error for
+// /healthz.
+func (s *server) appendRecord(kind journal.Kind, id string, payload any) {
+	if s.jw == nil {
+		return
+	}
+	var data []byte
+	var err error
+	if payload != nil {
+		data, err = json.Marshal(payload)
+	}
+	if err == nil {
+		err = s.jw.Append(kind, id, data)
+	}
+	s.jerr.Store(&journalErr{err: err})
+	if err != nil {
+		log.Printf("loopschedd: journal append kind %d %s: %v", kind, id, err)
+	}
+}
+
+// journalErr boxes the last append outcome (nil error = healthy) so
+// healthz can read it atomically.
+type journalErr struct{ err error }
+
 // recordSubmit journals a fresh submission under its run ID. Replayed
 // submissions are not re-journaled — their original submit record is
 // still in the file.
 func (s *server) recordSubmit(id string, req journalSubmit) {
-	if s.jw == nil {
+	s.appendRecord(kindSubmit, id, req)
+}
+
+// recordPlace journals that id now lives on pl.Node.
+func (s *server) recordPlace(id string, pl journalPlace) {
+	s.appendRecord(kindPlace, id, pl)
+}
+
+// recordSnapshot journals a periodic restore point (pre-marshaled, so
+// the placement poller's change detection and the journal share one
+// encoding).
+func (s *server) recordSnapshot(id string, ck []byte) {
+	if s.jw == nil || id == "" {
 		return
 	}
-	data, err := json.Marshal(req)
-	if err == nil {
-		err = s.jw.Append(kindSubmit, id, data)
+	if err := s.jw.Append(kindSnapshot, id, ck); err != nil {
+		s.jerr.Store(&journalErr{err: err})
+		log.Printf("loopschedd: journal snapshot %s: %v", id, err)
+		return
 	}
-	if err != nil {
-		log.Printf("loopschedd: journal submit %s: %v", id, err)
-	}
+	s.jerr.Store(&journalErr{})
+}
+
+// recordPlacedTerminal journals a placed run's terminal outcome so a
+// rebooted placer does not resurrect it.
+func (s *server) recordPlacedTerminal(id string, term journalTerminal) {
+	s.appendRecord(kindTerminal, id, term)
 }
 
 // watchJournal follows one run and journals its start and terminal
@@ -72,9 +131,7 @@ func (s *server) watchJournal(run *runner.Run) {
 		defer s.watchers.Done()
 		select {
 		case <-run.Started():
-			if err := s.jw.Append(kindStart, run.ID(), nil); err != nil {
-				log.Printf("loopschedd: journal start %s: %v", run.ID(), err)
-			}
+			s.appendRecord(kindStart, run.ID(), nil)
 		case <-run.Done():
 			// Terminal without starting (cancelled while queued), or both
 			// channels raced closed — the terminal record below is the one
@@ -88,32 +145,43 @@ func (s *server) watchJournal(run *runner.Run) {
 		if ck := run.Checkpoint(); ck != nil {
 			term.Checkpoint = ck
 		}
-		data, err := json.Marshal(term)
-		if err == nil {
-			err = s.jw.Append(kindTerminal, run.ID(), data)
-		}
-		if err != nil {
-			log.Printf("loopschedd: journal terminal %s: %v", run.ID(), err)
-		}
+		s.appendRecord(kindTerminal, run.ID(), term)
 	}()
 }
 
 // replayJournal reads the journal and re-queues every run whose last
-// record is not terminal, under its original ID. Damaged records are
-// logged and skipped (the journal package guarantees every intact
-// record is still returned); a run whose submission no longer
-// re-creates is logged and dropped rather than wedging boot.
-func (s *server) replayJournal(path string) {
+// record is not terminal, under its original ID — resuming from its
+// last journaled snapshot when one exists. Damaged records are logged
+// and skipped (the journal package guarantees every intact record is
+// still returned); a run whose submission no longer re-creates is
+// logged and dropped rather than wedging boot. Runs this node placed
+// elsewhere (kindPlace) are returned as placements for the cluster
+// layer to re-adopt rather than re-queued locally.
+func (s *server) replayJournal(path string) []*placement {
 	recs, err := journal.ReadFile(path)
 	if err != nil {
 		log.Printf("loopschedd: journal %s has damaged records (replaying the intact ones): %v", path, err)
 	}
 	type pending struct {
 		sub      journalSubmit
+		hasSub   bool
 		terminal bool
+		placedOn string
+		placeSub journalSubmit
+		snap     *repro.Checkpoint
+		snapJS   []byte
 	}
 	byID := map[string]*pending{}
 	var order []string
+	row := func(id string) *pending {
+		p := byID[id]
+		if p == nil {
+			p = &pending{}
+			byID[id] = p
+			order = append(order, id)
+		}
+		return p
+	}
 	for _, rec := range recs {
 		switch rec.Kind {
 		case kindSubmit:
@@ -122,10 +190,26 @@ func (s *server) replayJournal(path string) {
 				log.Printf("loopschedd: journal replay: bad submit payload for %s: %v", rec.ID, err)
 				continue
 			}
-			if _, dup := byID[rec.ID]; !dup {
-				byID[rec.ID] = &pending{sub: sub}
-				order = append(order, rec.ID)
+			if p := row(rec.ID); !p.hasSub {
+				p.sub, p.hasSub = sub, true
 			}
+		case kindPlace:
+			var pl journalPlace
+			if err := json.Unmarshal(rec.Data, &pl); err != nil {
+				log.Printf("loopschedd: journal replay: bad place payload for %s: %v", rec.ID, err)
+				continue
+			}
+			// The latest placement wins: failover re-places under the same ID.
+			p := row(rec.ID)
+			p.placedOn, p.placeSub = pl.Node, pl.Sub
+		case kindSnapshot:
+			var ck repro.Checkpoint
+			if err := json.Unmarshal(rec.Data, &ck); err != nil {
+				log.Printf("loopschedd: journal replay: bad snapshot payload for %s: %v", rec.ID, err)
+				continue
+			}
+			p := row(rec.ID)
+			p.snap, p.snapJS = &ck, append([]byte(nil), rec.Data...)
 		case kindTerminal:
 			if p, ok := byID[rec.ID]; ok {
 				p.terminal = true
@@ -133,17 +217,42 @@ func (s *server) replayJournal(path string) {
 		}
 	}
 	replayed := 0
+	var placements []*placement
 	for _, id := range order {
 		p := byID[id]
 		if p.terminal {
 			continue
 		}
-		sub, err := s.buildSubmission(submitRequest{
+		if p.placedOn != "" && p.placedOn != s.cfg.Cluster.Node {
+			placements = append(placements, &placement{
+				id:     id,
+				node:   p.placedOn,
+				tenant: p.placeSub.Tenant,
+				sub:    p.placeSub,
+				ckpt:   p.snap,
+				ckptJS: p.snapJS,
+			})
+			continue
+		}
+		if !p.hasSub {
+			// A self-placement without its submit record (torn write):
+			// nothing to re-queue from.
+			log.Printf("loopschedd: journal replay: run %s has no submit record, dropping", id)
+			continue
+		}
+		req := submitRequest{
 			Program: p.sub.Program,
 			Label:   p.sub.Label,
 			Timeout: p.sub.Timeout,
 			Options: p.sub.Options,
-		})
+		}
+		if p.snap != nil {
+			// Restore-and-continue: the newest snapshot beats both a cold
+			// start and any resume point baked into the journaled options.
+			req.Options.Resume = p.snap
+			req.Options.Verify = false
+		}
+		sub, err := s.buildSubmission(req)
 		if err != nil {
 			log.Printf("loopschedd: journal replay: run %s no longer submits: %v", id, err)
 			continue
@@ -154,7 +263,9 @@ func (s *server) replayJournal(path string) {
 		sub.Tenant = p.sub.Tenant
 		// The journal writer is not open yet (replay precedes it, so these
 		// submissions are not re-journaled); newServer attaches the
-		// transition watchers once it is.
+		// transition watchers once it is. Snapshot journaling checks s.jw
+		// at fire time, so the hook is safe to attach now.
+		commit := s.attachSnapshotJournal(&sub)
 		if _, err := s.rn.Submit(sub); err != nil {
 			if errors.Is(err, runner.ErrQueueFull) {
 				log.Printf("loopschedd: journal replay: queue full, dropping run %s", id)
@@ -163,9 +274,20 @@ func (s *server) replayJournal(path string) {
 			log.Printf("loopschedd: journal replay: run %s: %v", id, err)
 			continue
 		}
+		commit(id)
 		replayed++
+		if p.placedOn == s.cfg.Cluster.Node {
+			// A failover-to-self: the run requeues locally, and the
+			// placement row keeps its terminal journaled for the placer's
+			// bookkeeping.
+			placements = append(placements, &placement{
+				id: id, node: p.placedOn, tenant: p.sub.Tenant,
+				sub: p.sub, ckpt: p.snap, ckptJS: p.snapJS,
+			})
+		}
 	}
 	if replayed > 0 {
 		log.Printf("loopschedd: journal replay re-queued %d run(s) from %s", replayed, path)
 	}
+	return placements
 }

@@ -15,9 +15,19 @@
 //	                             snapshot from GET /v1/runs/{id} once its
 //	                             state is "checkpointed", resume it by
 //	                             submitting with options.resume
-//	GET  /healthz                liveness
+//	GET  /healthz                liveness: 200 serving, 503 when a core
+//	                             component (journal appends) is failing;
+//	                             the JSON body itemizes scheduler,
+//	                             journal, watchdog and cluster state for
+//	                             operators
 //	GET  /readyz                 readiness: 503 once the server is
-//	                             draining for shutdown
+//	                             draining for shutdown; every response
+//	                             carries the node's load (and draining
+//	                             flag) in headers for cluster probes
+//	GET  /v1/cluster             membership view: every node's observed
+//	                             state, load and draining flag, plus the
+//	                             local placement count (404 when
+//	                             clustering is off)
 //	GET  /stats                  service census: queue depth, running/
 //	                             done/failed/cancelled/stalled counts,
 //	                             per-tenant rows, uptime
@@ -39,9 +49,30 @@
 // "Authorization: Bearer KEY" or "X-API-Key: KEY"; an unknown key is
 // rejected with 401, a missing key runs as the anonymous tenant (keyless
 // dev mode). A submission over its tenant's quota is shed with 429 and
-// a Retry-After header. -scheduler picks the dispatch policy: fifo
-// (strict submission order, the default) or wfq (weighted-fair across
-// tenants with priority preemption).
+// a Retry-After header; the header's value is advisory — a small
+// jittered delay in whole seconds (currently 1..3, so synchronized
+// clients spread their retries) — and only its presence and positivity
+// are API. -scheduler picks the dispatch policy: fifo (strict
+// submission order, the default) or wfq (weighted-fair across tenants
+// with priority preemption).
+//
+// With -node/-peers (or -cluster FILE) the daemon joins a static peer
+// set and the nodes serve one API: any node accepts a submission,
+// places it on the least-loaded live node, and proxies polls, progress
+// streams and cancels for runs it does not own (run IDs are node-
+// prefixed, so any node routes them without coordination). Nodes probe
+// each other's /readyz every -probe-interval through a hardened RPC
+// client — per-attempt deadlines (-rpc-timeout), bounded retries with
+// exponential backoff and jitter, and a per-peer circuit breaker — and
+// a peer that misses -dead-after consecutive probes is declared dead:
+// every run placed on it is re-placed on a survivor, resuming from its
+// last journaled snapshot (clustered submissions snapshot every
+// -checkpoint-every chunk claims). A partitioned or draining node
+// degrades gracefully: it keeps serving the runs it owns and runs new
+// submissions locally instead of failing them. Pair clustering with
+// -journal: placements and snapshots are journaled alongside run
+// records, so a rebooted node re-adopts the runs it placed. With no
+// cluster flags the daemon is byte-for-byte the single-node server.
 //
 // Example:
 //
@@ -55,6 +86,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -62,8 +94,54 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/journal"
 )
+
+// clusterFlags folds the cluster flags into clusterOptions. -cluster
+// FILE and -node/-peers are alternatives: the file carries the peer
+// set (and a default self), the flags carry it inline. No cluster
+// flags at all is single-node mode.
+func clusterFlags(node, peers, path string, probe, rpcTimeout time.Duration, deadAfter int, every int64) (clusterOptions, error) {
+	opts := clusterOptions{
+		Node:            node,
+		ProbeInterval:   probe,
+		RPCTimeout:      rpcTimeout,
+		DeadAfter:       deadAfter,
+		CheckpointEvery: every,
+	}
+	switch {
+	case path != "":
+		if peers != "" {
+			return clusterOptions{}, errors.New("loopschedd: -cluster and -peers are mutually exclusive")
+		}
+		f, ps, err := cluster.LoadFile(path)
+		if err != nil {
+			return clusterOptions{}, fmt.Errorf("loopschedd: %w", err)
+		}
+		opts.Peers = ps
+		if opts.Node == "" {
+			opts.Node = f.Self
+		}
+		if opts.Node == "" {
+			return clusterOptions{}, fmt.Errorf("loopschedd: cluster config %s has no self; pass -node", path)
+		}
+	case peers != "":
+		if node == "" {
+			return clusterOptions{}, errors.New("loopschedd: -peers needs -node")
+		}
+		ps, err := cluster.ParsePeers(peers)
+		if err != nil {
+			return clusterOptions{}, fmt.Errorf("loopschedd: %w", err)
+		}
+		opts.Peers = ps
+	case node != "":
+		return clusterOptions{}, errors.New("loopschedd: -node needs -peers or -cluster")
+	default:
+		return clusterOptions{}, nil
+	}
+	return opts, nil
+}
 
 func main() {
 	var (
@@ -80,8 +158,20 @@ func main() {
 		journalSync    = flag.String("journal-sync", "always", "journal fsync policy: always, close or none")
 		scheduler      = flag.String("scheduler", "fifo", "dispatch policy: fifo or wfq")
 		tenantsPath    = flag.String("tenants", "", "tenant config file mapping API keys to tenants, weights, priorities and quotas (\"\" = single-tenant)")
+		node           = flag.String("node", "", "this node's name in the cluster peer set (\"\" = single-node mode)")
+		peers          = flag.String("peers", "", "static cluster peer set as name=url,name=url (self included)")
+		clusterPath    = flag.String("cluster", "", "cluster config file: {\"self\": \"n1\", \"peers\": {\"n1\": \"http://...\", ...}} (alternative to -node/-peers)")
+		probeInterval  = flag.Duration("probe-interval", 500*time.Millisecond, "cluster health-probe period")
+		rpcTimeout     = flag.Duration("rpc-timeout", 2*time.Second, "per-attempt deadline on intra-cluster requests")
+		deadAfter      = flag.Int("dead-after", 3, "consecutive missed probes before a peer is declared dead and failed over")
+		checkpointEvery = flag.Int64("checkpoint-every", 0, "default periodic-snapshot period (chunk claims) applied to clustered submissions; 0 = snapshots only when a submission asks")
 	)
 	flag.Parse()
+
+	clusterOpts, err := clusterFlags(*node, *peers, *clusterPath, *probeInterval, *rpcTimeout, *deadAfter, *checkpointEvery)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	syncPolicy, err := journal.ParseSync(*journalSync)
 	if err != nil {
@@ -105,6 +195,7 @@ func main() {
 		JournalSync:    syncPolicy,
 		Scheduler:      *scheduler,
 		Tenants:        tenants,
+		Cluster:        clusterOpts,
 	})
 	if err != nil {
 		log.Fatal(err)

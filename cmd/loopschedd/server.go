@@ -2,14 +2,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/runmgr"
@@ -40,6 +43,9 @@ type serverConfig struct {
 	// Tenants enables multi-tenant auth and admission; nil serves
 	// everything as the anonymous tenant with no authentication.
 	Tenants *tenantsFile
+	// Cluster joins this daemon to a static peer set; the zero value is
+	// single-node mode, byte-for-byte the pre-cluster daemon.
+	Cluster clusterOptions
 }
 
 // server is the HTTP front end over a runner.Runner. It is an
@@ -56,6 +62,12 @@ type server struct {
 	// close can wait for the terminal records before flushing.
 	jw       *journal.Writer
 	watchers sync.WaitGroup
+	// jerr holds a *journalErr boxing the last append's outcome, for
+	// /healthz's journal component.
+	jerr atomic.Value
+	// cluster is the membership/placement/failover layer; nil when
+	// clustering is off.
+	cluster *clusterState
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -66,6 +78,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	// runner.New treats an unknown scheduler as a programming error.
 	if _, err := runmgr.NewScheduler(cfg.Scheduler); err != nil {
 		return nil, fmt.Errorf("loopschedd: %w", err)
+	}
+	idPrefix := ""
+	if cfg.Cluster.enabled() {
+		// Node-name-prefixed run IDs are unique cluster-wide, so any node
+		// can route "n2-run-0007" without coordination.
+		idPrefix = cfg.Cluster.Node + "-"
 	}
 	reg := obs.NewRegistry()
 	s := &server{
@@ -79,6 +97,7 @@ func newServer(cfg serverConfig) (*server, error) {
 			Metrics:        reg,
 			Scheduler:      cfg.Scheduler,
 			Tenants:        cfg.Tenants.tenantConfig(),
+			IDPrefix:       idPrefix,
 			Watchdog: runner.WatchdogConfig{
 				Interval:    cfg.Watchdog,
 				CancelStuck: cfg.WatchdogCancel,
@@ -99,15 +118,15 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	var placements []*placement
 	if cfg.JournalPath != "" {
 		// Replay first, then open for appending: the replayed submissions
 		// must not be re-journaled, and their new transitions append after
 		// everything already in the file.
-		s.replayJournal(cfg.JournalPath)
+		placements = s.replayJournal(cfg.JournalPath)
 		jw, err := journal.Open(cfg.JournalPath, cfg.JournalSync)
 		if err != nil {
 			s.rn.Close()
@@ -120,6 +139,17 @@ func newServer(cfg serverConfig) (*server, error) {
 			s.watchJournal(run)
 		}
 	}
+	if cfg.Cluster.enabled() {
+		c, err := newClusterState(s, cfg.Cluster)
+		if err != nil {
+			s.rn.Close()
+			return nil, fmt.Errorf("loopschedd: %w", err)
+		}
+		s.cluster = c
+		c.start(placements)
+	} else if len(placements) > 0 {
+		log.Printf("loopschedd: journal has %d placement(s) but clustering is off; ignoring them", len(placements))
+	}
 	return s, nil
 }
 
@@ -127,14 +157,92 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // handleReady reports readiness: 200 while serving, 503 once draining,
 // so a load balancer stops routing submissions before shutdown cuts
-// live runs off.
+// live runs off. The load and draining headers ride every response —
+// cluster peers probe this endpoint and read placement state off it
+// even when the status is 503 (a draining node is alive and still
+// serving its local runs; it just takes no new placements).
 func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.rn.Stats()
+	w.Header().Set(cluster.LoadHeader, strconv.Itoa(st.Running+st.QueueDepth))
 	if s.draining.Load() {
+		w.Header().Set(cluster.DrainingHeader, "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
 		return
 	}
 	io.WriteString(w, "ready\n")
+}
+
+// healthComponent is one subsystem's row in the /healthz body.
+type healthComponent struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// healthResponse is the /healthz JSON body. The HTTP status keeps the
+// bare liveness contract — 200 serving, 503 when a core component
+// (journal writes, the run scheduler) is failing — so probes that only
+// read the status code keep working; the body is for operators.
+type healthResponse struct {
+	OK         bool                       `json:"ok"`
+	Components map[string]healthComponent `json:"components"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.rn.Stats()
+	resp := healthResponse{OK: true, Components: map[string]healthComponent{}}
+
+	sched := healthComponent{OK: true}
+	if s.draining.Load() {
+		sched.Detail = "draining"
+	}
+	resp.Components["scheduler"] = sched
+
+	jc := healthComponent{OK: true}
+	if s.jw == nil {
+		jc.Detail = "disabled"
+	} else if je, _ := s.jerr.Load().(*journalErr); je != nil && je.err != nil {
+		// A failing journal means new submissions would not survive a
+		// crash: the one condition worth failing liveness over.
+		jc.OK = false
+		jc.Detail = je.err.Error()
+		resp.OK = false
+	}
+	resp.Components["journal"] = jc
+
+	wd := healthComponent{OK: true}
+	if s.cfg.Watchdog <= 0 {
+		wd.Detail = "disabled"
+	} else if st.Stalled > 0 {
+		// Stuck runs degrade the report but not liveness: the daemon
+		// itself is fine and the watchdog is doing its job.
+		wd.Detail = fmt.Sprintf("%d stalled run(s)", st.Stalled)
+	}
+	resp.Components["watchdog"] = wd
+
+	cl := healthComponent{OK: true}
+	if s.cluster == nil {
+		cl.Detail = "disabled"
+	} else {
+		alive, dead := 0, 0
+		for _, n := range s.cluster.mem.Nodes() {
+			if n.State == cluster.NodeDead {
+				dead++
+			} else {
+				alive++
+			}
+		}
+		cl.Detail = fmt.Sprintf("%d/%d node(s) up", alive, alive+dead)
+	}
+	resp.Components["cluster"] = cl
+
+	if !resp.OK {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // close drains gracefully: stop accepting submissions, give live runs
@@ -144,6 +252,12 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 // returns, so a clean shutdown loses no terminal records.
 func (s *server) close(ctx context.Context) {
 	s.draining.Store(true)
+	if s.cluster != nil {
+		// Stop probing and placement-polling first: a node shutting
+		// itself down must not fail anything over, and peers will see
+		// the draining flag on /readyz while the listener stays up.
+		s.cluster.close()
+	}
 	if err := s.rn.Drain(ctx); err != nil {
 		log.Printf("loopschedd: drain window expired, cancelling remaining runs")
 	}

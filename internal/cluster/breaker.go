@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes traffic normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds every call until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe call through; its outcome
+	// closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+var breakerStateNames = [...]string{
+	BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+}
+
+func (s BreakerState) String() string {
+	if int(s) < len(breakerStateNames) {
+		return breakerStateNames[s]
+	}
+	return fmt.Sprintf("BreakerState(%d)", uint8(s))
+}
+
+// Breaker is a per-peer circuit breaker: Threshold consecutive failures
+// open the circuit, Allow then sheds every call for Cooldown, after
+// which a single half-open probe is admitted — success closes the
+// circuit, failure re-opens it for another cooldown. Safe for
+// concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 defaults to 3;
+// cooldown <= 0 defaults to one second. now, if non-nil, replaces
+// time.Now for deterministic tests.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call may proceed. In the open state it
+// returns false until the cooldown expires, then admits exactly one
+// half-open probe at a time; every Allow=true caller must Report the
+// call's outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report records a call's outcome. Success closes the circuit and
+// resets the failure count; failure counts toward the threshold (or
+// immediately re-opens a half-open circuit).
+func (b *Breaker) Report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	default:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// State returns the breaker's current position (open circuits past
+// their cooldown still report open until the next Allow).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

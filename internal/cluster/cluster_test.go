@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n2=http://b:1, n1=http://a:1 ,n3=http://c:1")
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	want := []Peer{{"n1", "http://a:1"}, {"n2", "http://b:1"}, {"n3", "http://c:1"}}
+	if len(peers) != len(want) {
+		t.Fatalf("got %d peers, want %d", len(peers), len(want))
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peer %d = %v, want %v (sorted by name)", i, peers[i], want[i])
+		}
+	}
+	if p, err := ParsePeers(""); err != nil || p != nil {
+		t.Fatalf("empty spec: %v %v", p, err)
+	}
+	for _, bad := range []string{"n1", "n1=", "=u", "n1=a,n1=b"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.json")
+	os.WriteFile(path, []byte(`{"self":"n1","peers":{"n1":"http://a:1","n2":"http://b:1"}}`), 0o644)
+	f, peers, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if f.Self != "n1" || len(peers) != 2 || peers[0].Name != "n1" || peers[1].Name != "n2" {
+		t.Fatalf("LoadFile = %+v peers=%v", f, peers)
+	}
+	for name, bad := range map[string]string{
+		"no peers":     `{"self":"n1","peers":{}}`,
+		"unknown self": `{"self":"nx","peers":{"n1":"u"}}`,
+		"unknown key":  `{"self":"n1","peers":{"n1":"u"},"extra":1}`,
+		"empty url":    `{"peers":{"n1":""}}`,
+	} {
+		os.WriteFile(path, []byte(bad), 0o644)
+		if _, _, err := LoadFile(path); err == nil {
+			t.Fatalf("LoadFile accepted %s", name)
+		}
+	}
+	if _, _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadFile accepted a missing file")
+	}
+}

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Wire headers the cluster layer reads off health probes. The daemon
+// sets them on its /readyz responses (at every status, so a draining
+// node still reports load) and on internal calls.
+const (
+	// LoadHeader carries a node's current load figure (active + queued
+	// runs) on /readyz responses.
+	LoadHeader = "X-Loopschedd-Load"
+	// DrainingHeader is "1" on /readyz responses from a node that is
+	// shutting down gracefully: alive, still serving its local runs, but
+	// not accepting placements.
+	DrainingHeader = "X-Loopschedd-Draining"
+)
+
+// NodeState is a peer's observed liveness.
+type NodeState uint8
+
+const (
+	// NodeAlive peers answered their most recent health probe.
+	NodeAlive NodeState = iota
+	// NodeSuspect peers missed at least SuspectAfter consecutive probes:
+	// de-prioritized for placement, but not failed over — one dropped
+	// probe is routine under injected faults.
+	NodeSuspect
+	// NodeDead peers missed DeadAfter consecutive probes: their
+	// checkpointable runs are eligible for failover.
+	NodeDead
+)
+
+var nodeStateNames = [...]string{NodeAlive: "alive", NodeSuspect: "suspect", NodeDead: "dead"}
+
+func (s NodeState) String() string {
+	if int(s) < len(nodeStateNames) {
+		return nodeStateNames[s]
+	}
+	return fmt.Sprintf("NodeState(%d)", uint8(s))
+}
+
+// NodeInfo is one node's membership row: identity, observed state, and
+// the load/draining figures its last successful probe reported.
+type NodeInfo struct {
+	Peer     Peer      `json:"peer"`
+	Self     bool      `json:"self,omitempty"`
+	State    NodeState `json:"-"`
+	StateStr string    `json:"state"`
+	Draining bool      `json:"draining,omitempty"`
+	Ready    bool      `json:"ready"`
+	Load     int       `json:"load"`
+	Failures int       `json:"failures,omitempty"`
+}
+
+// Placeable reports whether new runs may be placed on the node: alive,
+// ready and not draining.
+func (n NodeInfo) Placeable() bool {
+	return n.State == NodeAlive && n.Ready && !n.Draining
+}
+
+// MembershipConfig configures a Membership.
+type MembershipConfig struct {
+	// Self names this node; it must appear in Peers. Self is never
+	// probed — its row comes from LocalLoad and LocalDraining.
+	Self  string
+	Peers []Peer
+	// Client performs the probes. Probes ride the same hardened RPC
+	// path as data calls; the client's per-attempt deadline bounds each
+	// probe.
+	Client *Client
+	// Interval is the probe period (default 500ms).
+	Interval time.Duration
+	// SuspectAfter / DeadAfter are the consecutive-probe-failure counts
+	// that demote a peer (defaults 1 / 3). DeadAfter must be at least
+	// SuspectAfter.
+	SuspectAfter int
+	DeadAfter    int
+	// OnDead, if non-nil, is called (from the probe goroutine, without
+	// locks held) each time a peer transitions into NodeDead — the
+	// daemon's failover hook.
+	OnDead func(Peer)
+	// LocalLoad and LocalDraining supply this node's own row. Nil means
+	// load 0 / not draining.
+	LocalLoad     func() int
+	LocalDraining func() bool
+}
+
+// Membership tracks a static peer set's observed liveness by probing
+// each peer's /readyz on a fixed interval through the hardened RPC
+// client. It answers "who is alive, who is placeable, and who just
+// died" — failover policy stays with the caller via OnDead.
+type Membership struct {
+	cfg  MembershipConfig
+	self Peer
+
+	mu    sync.Mutex
+	rows  map[string]*memberRow
+	stop  chan struct{}
+	done  chan struct{}
+	alive bool
+}
+
+type memberRow struct {
+	peer     Peer
+	state    NodeState
+	draining bool
+	ready    bool
+	load     int
+	failures int
+}
+
+// NewMembership validates cfg and returns an unstarted Membership.
+func NewMembership(cfg MembershipConfig) (*Membership, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("cluster: membership needs a Client")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 1
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 3
+	}
+	if cfg.DeadAfter < cfg.SuspectAfter {
+		return nil, fmt.Errorf("cluster: DeadAfter %d < SuspectAfter %d", cfg.DeadAfter, cfg.SuspectAfter)
+	}
+	m := &Membership{
+		cfg:  cfg,
+		rows: map[string]*memberRow{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p.Name == cfg.Self {
+			m.self = p
+			found = true
+			continue
+		}
+		m.rows[p.Name] = &memberRow{peer: p, state: NodeAlive, ready: true}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", cfg.Self)
+	}
+	return m, nil
+}
+
+// Self returns this node's peer entry.
+func (m *Membership) Self() Peer { return m.self }
+
+// Start launches the probe loop. Close stops it.
+func (m *Membership) Start() {
+	m.mu.Lock()
+	if m.alive {
+		m.mu.Unlock()
+		return
+	}
+	m.alive = true
+	m.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it to exit.
+func (m *Membership) Close() {
+	m.mu.Lock()
+	if !m.alive {
+		m.mu.Unlock()
+		return
+	}
+	m.alive = false
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+}
+
+// Probe runs one synchronous probe round against every peer. Exported
+// so tests and the daemon's boot path can establish state without
+// waiting out the interval.
+func (m *Membership) Probe(ctx context.Context) {
+	m.mu.Lock()
+	peers := make([]Peer, 0, len(m.rows))
+	for _, r := range m.rows {
+		peers = append(peers, r.peer)
+	}
+	m.mu.Unlock()
+	var died []Peer
+	var wg sync.WaitGroup
+	var deadMu sync.Mutex
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p Peer) {
+			defer wg.Done()
+			if m.probeOne(ctx, p) {
+				deadMu.Lock()
+				died = append(died, p)
+				deadMu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if m.cfg.OnDead != nil {
+		sort.Slice(died, func(i, j int) bool { return died[i].Name < died[j].Name })
+		for _, p := range died {
+			m.cfg.OnDead(p)
+		}
+	}
+}
+
+// probeOne probes one peer and folds the result into its row,
+// reporting whether the peer transitioned into NodeDead on this round.
+func (m *Membership) probeOne(ctx context.Context, p Peer) (justDied bool) {
+	// The error is redundant with resp: a non-2xx answer still carries
+	// the headers this probe wants, and silence is resp == nil.
+	resp, _ := m.cfg.Client.Do(ctx, p, http.MethodGet, "/readyz", nil, nil)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rows[p.Name]
+	if r == nil {
+		return false
+	}
+	// Any HTTP response — including a draining 503 — proves the process
+	// is up. Only transport-level silence counts toward death.
+	if resp == nil {
+		r.failures++
+		r.ready = false
+		switch {
+		case r.failures >= m.cfg.DeadAfter:
+			justDied = r.state != NodeDead
+			r.state = NodeDead
+		case r.failures >= m.cfg.SuspectAfter:
+			r.state = NodeSuspect
+		}
+		return justDied
+	}
+	r.failures = 0
+	r.state = NodeAlive
+	r.ready = resp.Status == http.StatusOK
+	r.draining = resp.Header.Get(DrainingHeader) == "1"
+	if v := resp.Header.Get(LoadHeader); v != "" {
+		if n, perr := strconv.Atoi(v); perr == nil && n >= 0 {
+			r.load = n
+		}
+	}
+	return false
+}
+
+// Nodes returns every node's row — self first, peers sorted by name.
+func (m *Membership) Nodes() []NodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeInfo, 0, len(m.rows)+1)
+	out = append(out, m.selfRowLocked())
+	for _, r := range m.rows {
+		out = append(out, NodeInfo{
+			Peer: r.peer, State: r.state, StateStr: r.state.String(),
+			Draining: r.draining, Ready: r.ready, Load: r.load, Failures: r.failures,
+		})
+	}
+	sort.Slice(out[1:], func(i, j int) bool { return out[i+1].Peer.Name < out[j+1].Peer.Name })
+	return out
+}
+
+func (m *Membership) selfRowLocked() NodeInfo {
+	load := 0
+	if m.cfg.LocalLoad != nil {
+		load = m.cfg.LocalLoad()
+	}
+	draining := false
+	if m.cfg.LocalDraining != nil {
+		draining = m.cfg.LocalDraining()
+	}
+	return NodeInfo{
+		Peer: m.self, Self: true, State: NodeAlive, StateStr: NodeAlive.String(),
+		Draining: draining, Ready: !draining, Load: load,
+	}
+}
+
+// LeastLoaded picks the placeable node with the lowest load, breaking
+// ties by name (self competes like any peer, so a loaded placer ships
+// work away). ok is false when no node — including self — is
+// placeable.
+func (m *Membership) LeastLoaded() (NodeInfo, bool) {
+	var best NodeInfo
+	ok := false
+	for _, n := range m.Nodes() {
+		if !n.Placeable() {
+			continue
+		}
+		if !ok || n.Load < best.Load || (n.Load == best.Load && n.Peer.Name < best.Peer.Name) {
+			best, ok = n, true
+		}
+	}
+	return best, ok
+}
+
+// Node returns the named node's row.
+func (m *Membership) Node(name string) (NodeInfo, bool) {
+	for _, n := range m.Nodes() {
+		if n.Peer.Name == name {
+			return n, true
+		}
+	}
+	return NodeInfo{}, false
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// probeNode is a fake peer whose /readyz behavior the test steers.
+type probeNode struct {
+	ts       *httptest.Server
+	load     atomic.Int32
+	draining atomic.Bool
+}
+
+func newProbeNode(t *testing.T) *probeNode {
+	t.Helper()
+	n := &probeNode{}
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(LoadHeader, fmt.Sprint(n.load.Load()))
+		if n.draining.Load() {
+			w.Header().Set(DrainingHeader, "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ready\n"))
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+func newTestMembership(t *testing.T, self Peer, nodes map[string]*probeNode, onDead func(Peer)) *Membership {
+	t.Helper()
+	peers := []Peer{self}
+	for name, n := range nodes {
+		peers = append(peers, Peer{Name: name, URL: n.ts.URL})
+	}
+	c := NewClient(ClientConfig{Timeout: 200 * time.Millisecond, Attempts: 1, BreakerThreshold: 1000})
+	m, err := NewMembership(MembershipConfig{
+		Self: self.Name, Peers: peers, Client: c,
+		SuspectAfter: 1, DeadAfter: 3, OnDead: onDead,
+	})
+	if err != nil {
+		t.Fatalf("NewMembership: %v", err)
+	}
+	return m
+}
+
+func TestMembershipTracksLoadAndReadiness(t *testing.T) {
+	n2 := newProbeNode(t)
+	n2.load.Store(5)
+	m := newTestMembership(t, Peer{Name: "n1", URL: "http://self"}, map[string]*probeNode{"n2": n2}, nil)
+	m.Probe(context.Background())
+	row, ok := m.Node("n2")
+	if !ok || row.State != NodeAlive || !row.Ready || row.Load != 5 {
+		t.Fatalf("n2 row after healthy probe: %+v", row)
+	}
+	if !row.Placeable() {
+		t.Fatal("healthy peer not placeable")
+	}
+}
+
+// A draining peer answers 503: alive (no failover) but not placeable.
+func TestMembershipDrainingIsAliveNotPlaceable(t *testing.T) {
+	n2 := newProbeNode(t)
+	n2.draining.Store(true)
+	var died atomic.Int32
+	m := newTestMembership(t, Peer{Name: "n1", URL: "http://self"}, map[string]*probeNode{"n2": n2},
+		func(Peer) { died.Add(1) })
+	for i := 0; i < 5; i++ {
+		m.Probe(context.Background())
+	}
+	row, _ := m.Node("n2")
+	if row.State != NodeAlive || !row.Draining || row.Placeable() {
+		t.Fatalf("draining peer row: %+v; want alive, draining, not placeable", row)
+	}
+	if died.Load() != 0 {
+		t.Fatal("draining peer triggered OnDead")
+	}
+}
+
+// Silence demotes alive → suspect → dead, OnDead fires exactly once on
+// the transition, and a revived peer is promoted straight back.
+func TestMembershipDeathAndRevival(t *testing.T) {
+	n2 := newProbeNode(t)
+	var died atomic.Int32
+	m := newTestMembership(t, Peer{Name: "n1", URL: "http://self"}, map[string]*probeNode{"n2": n2},
+		func(p Peer) {
+			if p.Name != "n2" {
+				t.Errorf("OnDead(%s)", p.Name)
+			}
+			died.Add(1)
+		})
+	m.Probe(context.Background())
+	n2.ts.Close() // kill -9
+	m.Probe(context.Background())
+	if row, _ := m.Node("n2"); row.State != NodeSuspect {
+		t.Fatalf("after 1 failed probe: %v, want suspect", row.State)
+	}
+	m.Probe(context.Background())
+	m.Probe(context.Background())
+	if row, _ := m.Node("n2"); row.State != NodeDead {
+		t.Fatalf("after 3 failed probes: %v, want dead", row.State)
+	}
+	if died.Load() != 1 {
+		t.Fatalf("OnDead fired %d times, want 1", died.Load())
+	}
+	m.Probe(context.Background()) // still dead: no second callback
+	if died.Load() != 1 {
+		t.Fatalf("OnDead re-fired for an already-dead peer")
+	}
+	// Revive on a fresh address (same name).
+	n2b := newProbeNode(t)
+	m.mu.Lock()
+	m.rows["n2"].peer.URL = n2b.ts.URL
+	m.mu.Unlock()
+	m.Probe(context.Background())
+	if row, _ := m.Node("n2"); row.State != NodeAlive || !row.Placeable() {
+		t.Fatalf("revived peer row: %+v", row)
+	}
+}
+
+// LeastLoaded places on the lowest-load placeable node, self included,
+// with name as the tiebreak.
+func TestMembershipLeastLoaded(t *testing.T) {
+	n2, n3 := newProbeNode(t), newProbeNode(t)
+	n2.load.Store(2)
+	n3.load.Store(9)
+	selfLoad := 4
+	c := NewClient(ClientConfig{Timeout: 200 * time.Millisecond, Attempts: 1})
+	m, err := NewMembership(MembershipConfig{
+		Self: "n1",
+		Peers: []Peer{
+			{Name: "n1", URL: "http://self"},
+			{Name: "n2", URL: n2.ts.URL},
+			{Name: "n3", URL: n3.ts.URL},
+		},
+		Client:    c,
+		LocalLoad: func() int { return selfLoad },
+	})
+	if err != nil {
+		t.Fatalf("NewMembership: %v", err)
+	}
+	m.Probe(context.Background())
+	best, ok := m.LeastLoaded()
+	if !ok || best.Peer.Name != "n2" {
+		t.Fatalf("LeastLoaded = %+v ok=%v, want n2", best, ok)
+	}
+	selfLoad = 1
+	if best, _ = m.LeastLoaded(); best.Peer.Name != "n1" {
+		t.Fatalf("LeastLoaded = %s, want self once lightest", best.Peer.Name)
+	}
+	// Ties break by name: n1 at 2 vs n2 at 2.
+	selfLoad = 2
+	if best, _ = m.LeastLoaded(); best.Peer.Name != "n1" {
+		t.Fatalf("tie at load 2 broke to %s, want n1", best.Peer.Name)
+	}
+}
+
+// The probe loop runs on its interval without manual Probe calls.
+func TestMembershipProbeLoop(t *testing.T) {
+	n2 := newProbeNode(t)
+	n2.load.Store(3)
+	m := newTestMembership(t, Peer{Name: "n1", URL: "http://self"}, map[string]*probeNode{"n2": n2}, nil)
+	m.cfg.Interval = 10 * time.Millisecond
+	m.Start()
+	defer m.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if row, _ := m.Node("n2"); row.Load == 3 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("probe loop never observed the peer's load")
+}
+
+func TestMembershipValidation(t *testing.T) {
+	c := NewClient(ClientConfig{})
+	if _, err := NewMembership(MembershipConfig{Self: "nx", Peers: []Peer{{Name: "n1", URL: "u"}}, Client: c}); err == nil {
+		t.Fatal("self outside peer list accepted")
+	}
+	if _, err := NewMembership(MembershipConfig{Self: "n1", Peers: []Peer{{Name: "n1", URL: "u"}}}); err == nil {
+		t.Fatal("nil client accepted")
+	}
+	if _, err := NewMembership(MembershipConfig{
+		Self: "n1", Peers: []Peer{{Name: "n1", URL: "u"}}, Client: c,
+		SuspectAfter: 5, DeadAfter: 2,
+	}); err == nil {
+		t.Fatal("DeadAfter < SuspectAfter accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// NetKind classifies an injected network fault.
+type NetKind uint8
+
+// Network fault kinds, in decision priority order: when rates would
+// fire several kinds on one call, the lowest-numbered kind wins —
+// mirroring internal/fault's body-fault priority rule.
+const (
+	// NetDrop makes the call vanish: the client observes a deadline-style
+	// failure without the request ever reaching the peer.
+	NetDrop NetKind = iota
+	// NetError fails the call with an injected transport error after the
+	// request "left" — distinguishable from NetDrop so retry accounting
+	// on both shapes is exercised.
+	NetError
+	// NetDelay stalls the call for the injector's configured delay before
+	// letting it through — a slow link, not a failure.
+	NetDelay
+
+	numNetKinds
+)
+
+var netKindNames = [...]string{NetDrop: "drop", NetError: "error", NetDelay: "delay"}
+
+func (k NetKind) String() string {
+	if int(k) < len(netKindNames) {
+		return netKindNames[k]
+	}
+	return fmt.Sprintf("NetKind(%d)", uint8(k))
+}
+
+// NetFault is one injected network event.
+type NetFault struct {
+	Kind NetKind
+	// Delay is the injected stall for NetDelay faults.
+	Delay time.Duration
+}
+
+func (f NetFault) String() string { return fmt.Sprintf("%s(delay=%v)", f.Kind, f.Delay) }
+
+// NetInjector decides, deterministically, which cross-node calls are
+// faulted. A call is identified by (peer, op, seq): the peer's name,
+// the operation label the caller passes (method+path), and a per-
+// (peer, op) attempt sequence number the injector maintains itself. The
+// decision hashes (seed, kind, peer, op, seq) through the same
+// splitmix64 finalizer as internal/fault, so a fixed seed and a fixed
+// call sequence reproduce the same drops, delays and errors on every
+// run — chaos tests assert exact behavior instead of sleeping and
+// hoping. A nil *NetInjector injects nothing.
+//
+// Configure rates fully (WithRate) before the first Decide;
+// configuration is not synchronized with use.
+type NetInjector struct {
+	seed  uint64
+	rates [numNetKinds]netRate
+
+	mu  sync.Mutex
+	seq map[string]*atomic.Uint64
+}
+
+type netRate struct {
+	threshold uint64 // hash below this fires; 0 = disabled
+	delay     time.Duration
+}
+
+// NewNetInjector returns an injector with the given seed. Two injectors
+// with the same seed and configuration make identical decisions for
+// identical call sequences.
+func NewNetInjector(seed uint64) *NetInjector {
+	return &NetInjector{seed: seed, seq: map[string]*atomic.Uint64{}}
+}
+
+// WithRate arms kind on every call whose seeded hash falls below
+// probability p in [0,1]; delay parameterizes NetDelay. Returns the
+// injector for chaining.
+func (in *NetInjector) WithRate(kind NetKind, p float64, delay time.Duration) *NetInjector {
+	switch {
+	case p <= 0:
+		in.rates[kind] = netRate{}
+	case p >= 1:
+		in.rates[kind] = netRate{threshold: ^uint64(0), delay: delay}
+	default:
+		in.rates[kind] = netRate{threshold: uint64(p * float64(1<<63) * 2), delay: delay}
+	}
+	return in
+}
+
+// Decide reports the fault to inject for the next attempt of op against
+// peer, consuming one sequence number. Safe for concurrent use.
+func (in *NetInjector) Decide(peer, op string) (NetFault, bool) {
+	if in == nil {
+		return NetFault{}, false
+	}
+	n := in.counter(peer + "\x00" + op).Add(1)
+	for k := NetKind(0); k < numNetKinds; k++ {
+		r := in.rates[k]
+		if r.threshold == 0 {
+			continue
+		}
+		if in.hash(k, peer, op, n) < r.threshold {
+			return NetFault{Kind: k, Delay: r.delay}, true
+		}
+	}
+	return NetFault{}, false
+}
+
+func (in *NetInjector) counter(key string) *atomic.Uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.seq[key]
+	if c == nil {
+		c = &atomic.Uint64{}
+		in.seq[key] = c
+	}
+	return c
+}
+
+// hash folds (seed, kind, peer, op, seq) through the shared splitmix64
+// finalizer: pure arithmetic, identical on every platform.
+func (in *NetInjector) hash(k NetKind, peer, op string, seq uint64) uint64 {
+	h := in.seed ^ (uint64(k)+1)*0x9e3779b97f4a7c15
+	h = foldString(h, peer)
+	h = foldString(h, op)
+	return fault.Mix64(h ^ seq)
+}
+
+func foldString(h uint64, s string) uint64 {
+	var w uint64
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+		if i%8 == 7 {
+			h = fault.Mix64(h ^ w)
+			w = 0
+		}
+	}
+	return fault.Mix64(h ^ w ^ uint64(len(s)))
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// Two injectors with the same seed and rates must make identical
+// decisions for identical call sequences — the determinism contract the
+// chaos tests lean on.
+func TestNetInjectorDeterministic(t *testing.T) {
+	mk := func() *NetInjector {
+		return NewNetInjector(42).
+			WithRate(NetDrop, 0.2, 0).
+			WithRate(NetError, 0.1, 0).
+			WithRate(NetDelay, 0.3, time.Millisecond)
+	}
+	a, b := mk(), mk()
+	peers := []string{"n1", "n2", "n3"}
+	ops := []string{"GET /readyz", "POST /v1/runs"}
+	for i := 0; i < 500; i++ {
+		p, op := peers[i%len(peers)], ops[i%len(ops)]
+		fa, oka := a.Decide(p, op)
+		fb, okb := b.Decide(p, op)
+		if oka != okb || fa != fb {
+			t.Fatalf("call %d (%s %s): injectors diverged: %v/%v vs %v/%v", i, p, op, fa, oka, fb, okb)
+		}
+	}
+}
+
+// Different seeds must produce different fault sets (overwhelmingly
+// likely at these rates over 500 calls).
+func TestNetInjectorSeedMatters(t *testing.T) {
+	a := NewNetInjector(1).WithRate(NetDrop, 0.3, 0)
+	b := NewNetInjector(2).WithRate(NetDrop, 0.3, 0)
+	same := true
+	for i := 0; i < 500; i++ {
+		_, oka := a.Decide("n1", "op")
+		_, okb := b.Decide("n1", "op")
+		if oka != okb {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 made identical decisions for 500 calls")
+	}
+}
+
+// The sequence number is per (peer, op): faulting one peer's calls must
+// not consume or perturb another's sequence.
+func TestNetInjectorSequenceIsolation(t *testing.T) {
+	record := func(probe func(in *NetInjector)) []bool {
+		in := NewNetInjector(7).WithRate(NetError, 0.25, 0)
+		probe(in)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			_, ok := in.Decide("n1", "GET /x")
+			out = append(out, ok)
+		}
+		return out
+	}
+	clean := record(func(in *NetInjector) {})
+	noisy := record(func(in *NetInjector) {
+		for i := 0; i < 100; i++ {
+			in.Decide("n2", "GET /x")
+			in.Decide("n1", "GET /y")
+		}
+	})
+	for i := range clean {
+		if clean[i] != noisy[i] {
+			t.Fatalf("call %d for (n1, GET /x) changed when other keys were probed", i)
+		}
+	}
+}
+
+// Rate endpoints: p=0 never fires, p=1 always fires; kind priority
+// resolves overlapping rates to the lowest-numbered kind.
+func TestNetInjectorRateEndpointsAndPriority(t *testing.T) {
+	never := NewNetInjector(3).WithRate(NetDrop, 0, 0)
+	for i := 0; i < 100; i++ {
+		if _, ok := never.Decide("p", "op"); ok {
+			t.Fatal("p=0 fired")
+		}
+	}
+	always := NewNetInjector(3).
+		WithRate(NetDelay, 1, 5*time.Millisecond).
+		WithRate(NetError, 1, 0)
+	for i := 0; i < 100; i++ {
+		f, ok := always.Decide("p", "op")
+		if !ok || f.Kind != NetError {
+			t.Fatalf("want NetError (priority over NetDelay), got %v ok=%v", f, ok)
+		}
+	}
+}
+
+// A nil injector is the disabled state: no faults, no allocation.
+func TestNetInjectorNil(t *testing.T) {
+	var in *NetInjector
+	if _, ok := in.Decide("p", "op"); ok {
+		t.Fatal("nil injector fired")
+	}
+}
+
+// Observed rates should be in the neighborhood of the configured
+// probability — a sanity check on the threshold arithmetic.
+func TestNetInjectorRateRoughlyHolds(t *testing.T) {
+	in := NewNetInjector(99).WithRate(NetDrop, 0.2, 0)
+	hits := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, ok := in.Decide("p", "op"); ok {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.15 || got > 0.25 {
+		t.Fatalf("configured rate 0.2, observed %.3f over %d calls", got, n)
+	}
+}

@@ -58,6 +58,25 @@ func TestVirtualEngineBatchedCheckpointResume(t *testing.T) {
 	})
 }
 
+// TestVirtualEngineFailoverRestore holds the simulator to the cluster
+// failover contract: node death mid-leg, restore from the last parked
+// snapshot on a survivor, and the surviving history lands bit-exactly
+// on the uninterrupted run.
+func TestVirtualEngineFailoverRestore(t *testing.T) {
+	FailoverRestore(t, "virtual", func(p int, intr *machine.Interrupt) core.Engine {
+		return vmachine.New(vmachine.Config{P: p, AccessCost: 5, Interrupt: intr})
+	})
+}
+
+// TestRealEngineFailoverRestore does the same on goroutines: multisets
+// and totals must hold under real timing (trajectory bit-identity is
+// virtual-only).
+func TestRealEngineFailoverRestore(t *testing.T) {
+	FailoverRestore(t, "real", func(p int, intr *machine.Interrupt) core.Engine {
+		return machine.NewReal(machine.RealConfig{P: p, Mode: machine.WorkCount, Interrupt: intr})
+	})
+}
+
 // TestVirtualEngineChaos holds the simulator to the isolate-policy
 // contract under deterministic fault injection.
 func TestVirtualEngineChaos(t *testing.T) {

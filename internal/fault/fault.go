@@ -219,6 +219,12 @@ func mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 is the splitmix64 finalizer this package keys every injection
+// decision with, exported so sibling fault harnesses (the cluster
+// layer's network-fault injector) derive their decisions from the same
+// arithmetic — one seeded hash family across the whole chaos surface.
+func Mix64(z uint64) uint64 { return mix(z) }
+
 // ivecKey folds an index vector into a map key without retaining the
 // caller's slice.
 func ivecKey(ivec []int64) string {

@@ -1,0 +1,100 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPowerCutRecovery models a power cut inside the final append: the
+// file ends at every possible byte offset of the last record. At every
+// cut the reachable prefix must decode to exactly the preceding
+// records with no spurious ErrChecksum (a torn tail is truncation, not
+// corruption — misreporting it would make boot logs cry wolf), and
+// Open must recover the file to the last intact record and leave it
+// appendable, with the post-recovery append decodable on the next
+// read.
+func TestPowerCutRecovery(t *testing.T) {
+	var full []byte
+	var offsets []int // start offset of each record
+	payloads := [][]byte{
+		nil,
+		[]byte(`{"state":"running"}`),
+		bytes.Repeat([]byte("x"), 300),
+		[]byte(`{"program":"doall I = 1..100 { work 10 }","options":{}}`),
+	}
+	for i, data := range payloads {
+		buf, err := Encode(Kind(i+1), fmt.Sprintf("run-%04d", i+1), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets = append(offsets, len(full))
+		full = append(full, buf...)
+	}
+	lastStart := offsets[len(offsets)-1]
+	intact := len(payloads) - 1 // records before the final one
+
+	dir := t.TempDir()
+	for cut := lastStart; cut <= len(full); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("j-%05d", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// The reachable prefix decodes cleanly: every record before the
+		// torn one, truncation reported (iff there is a torn tail), and
+		// never a checksum error — the cut is mid-frame, which the
+		// scanner must classify as "file ends inside a record".
+		recs, err := ReadFile(path)
+		wantRecs := intact
+		if cut == len(full) {
+			wantRecs = intact + 1
+		}
+		if len(recs) != wantRecs {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(recs), wantRecs)
+		}
+		if errors.Is(err, ErrChecksum) {
+			t.Fatalf("cut %d: spurious checksum error on a truncated tail: %v", cut, err)
+		}
+		if cut == lastStart || cut == len(full) {
+			if err != nil {
+				t.Fatalf("cut %d: clean boundary decoded with error %v", cut, err)
+			}
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: torn tail not reported as truncation: %v", cut, err)
+		}
+
+		// Open recovers: the torn tail is dropped, the appended record
+		// lands after the last intact one, and the whole file decodes
+		// with no error afterwards.
+		w, err := Open(path, SyncNone)
+		if err != nil {
+			t.Fatalf("cut %d: Open after power cut: %v", cut, err)
+		}
+		if err := w.Append(9, "post-recovery", []byte("ok")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+		after, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("cut %d: decode after recovery: %v", cut, err)
+		}
+		if len(after) != wantRecs+1 {
+			t.Fatalf("cut %d: %d records after recovery append, want %d", cut, len(after), wantRecs+1)
+		}
+		tail := after[len(after)-1]
+		if tail.ID != "post-recovery" || string(tail.Data) != "ok" {
+			t.Fatalf("cut %d: recovery append decoded as %+v", cut, tail)
+		}
+		for i := 0; i < wantRecs; i++ {
+			if after[i].ID != fmt.Sprintf("run-%04d", i+1) {
+				t.Fatalf("cut %d: record %d is %q after recovery", cut, i, after[i].ID)
+			}
+		}
+	}
+}

@@ -48,6 +48,23 @@ var Cases = []Case{
 		},
 	},
 	{
+		// Sustained load with every run chained into periodic-snapshot
+		// legs — the cadence a clustered daemon imposes for failover
+		// restore points. The throughput goal bounds what the snapshot
+		// machinery may cost the serving path; the memory goal bounds
+		// the per-leg snapshot allocations.
+		Name:      "chained_snapshots",
+		Class:     "typical",
+		Scheduler: "fifo",
+		Streams: []Stream{
+			{Runs: 150, Iters: 32, CheckpointEvery: 4},
+		},
+		Goals: Goals{
+			MinThroughput:  5,
+			MaxBytesPerRun: 48 << 20,
+		},
+	},
+	{
 		// Admission pressure on the small class: a quota-capped tenant
 		// floods the box; the box sheds cleanly (typed rejections, no
 		// wedge) and completes everything it admitted.

@@ -60,6 +60,11 @@ type Stream struct {
 	// Burst submits the whole stream back-to-back before any other
 	// stream's next submission; steady streams interleave round-robin.
 	Burst bool
+	// CheckpointEvery runs each submission as a chain of periodic-
+	// snapshot legs (every that-many chunk claims) — the clustered
+	// daemon's failover-restore-point cadence. The goals then measure
+	// what the snapshot machinery costs the serving path.
+	CheckpointEvery int64
 }
 
 // FairnessGoal asserts the dispatch-order share between two tenants
@@ -196,9 +201,10 @@ func Run(ctx context.Context, c Case) (Report, error) {
 	var runs []*runner.Run
 	submit := func(st Stream) error {
 		r, err := rn.Submit(runner.Submission{
-			Program: progs[st.Iters],
-			Options: repro.Options{Procs: class.Procs},
-			Tenant:  st.Tenant,
+			Program:         progs[st.Iters],
+			Options:         repro.Options{Procs: class.Procs},
+			Tenant:          st.Tenant,
+			CheckpointEvery: st.CheckpointEvery,
 		})
 		rep.Submitted++
 		switch {

@@ -1,0 +1,31 @@
+package runmgr
+
+import (
+	"context"
+	"testing"
+)
+
+// IDPrefix makes manager-assigned IDs cluster-unique while preserving
+// the trailing-number replay contract: a replayed prefixed ID still
+// bumps the sequence past itself.
+func TestIDPrefix(t *testing.T) {
+	m := New(Config{MaxConcurrent: 1, IDPrefix: "n2-"})
+	ok := func(ctx context.Context) (any, error) { return nil, nil }
+	r1, err := m.Submit(Job{Run: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ID() != "n2-run-0001" {
+		t.Fatalf("ID = %q, want n2-run-0001", r1.ID())
+	}
+	if _, err := m.SubmitID("n2-run-0007", Job{Run: ok}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := m.Submit(Job{Run: ok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.ID() != "n2-run-0008" {
+		t.Fatalf("ID after replaying n2-run-0007 = %q, want n2-run-0008", r3.ID())
+	}
+}

@@ -91,6 +91,11 @@ type Config struct {
 	// Watchdog configures the stuck-run watchdog for every executing
 	// run; the zero value disables it.
 	Watchdog Watchdog
+	// IDPrefix prefixes every manager-assigned run identifier
+	// ("n1-" yields "n1-run-0001"). Cluster nodes set their node name
+	// here so run IDs are unique across the whole cluster and any node
+	// can route a poll by ID to the run's owner.
+	IDPrefix string
 }
 
 // Watchdog configures stuck-run detection. A run is stuck when its
@@ -195,7 +200,7 @@ func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 	}
 	if id == "" {
 		m.seq++
-		id = fmt.Sprintf("run-%04d", m.seq)
+		id = fmt.Sprintf("%srun-%04d", m.cfg.IDPrefix, m.seq)
 	} else {
 		if _, dup := m.byID[id]; dup {
 			m.mu.Unlock()

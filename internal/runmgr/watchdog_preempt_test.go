@@ -1,0 +1,94 @@
+package runmgr
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStuckVictimFinalizesOnce races the two eviction mechanisms
+// against each other: a run with a pinned heartbeat is declared stuck
+// by the watchdog (CancelStuck) at the same moment a higher-priority
+// submission picks it as a preemption victim. Whatever the
+// interleaving — watchdog cancel before the preempt hook, after it, or
+// between the attempt unwinding and the requeue — the run must settle
+// in exactly one terminal state (cancelled), never resurrect from the
+// queue, and never double-finalize (which would panic closing its done
+// channel twice).
+func TestStuckVictimFinalizesOnce(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		stuckCh := make(chan *Run, 1)
+		m := New(Config{
+			MaxConcurrent: 1,
+			Scheduler:     NewWFQ(),
+			Watchdog: Watchdog{
+				Interval:    20 * time.Millisecond,
+				CancelStuck: true,
+				OnStuck:     func(r *Run, _ string) { stuckCh <- r },
+			},
+		})
+
+		var hb atomic.Int64 // pinned: never advances
+		victim, err := m.Submit(Job{
+			Label:    "stuck-victim",
+			Priority: 0,
+			Run: func(ctx context.Context) (any, error) {
+				<-ctx.Done() // wedged until someone cancels
+				return nil, ctx.Err()
+			},
+			Heartbeat: func() int64 { return hb.Load() },
+			// Refuse cooperative preemption: the manager falls back to
+			// cancelling the attempt context, the same signal shape the
+			// watchdog's cancel produces — maximal overlap between paths.
+			Preempt: func() bool { return false },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-victim.Started()
+
+		// The instant the watchdog declares the run stuck, submit the
+		// preemptor so victim selection races the watchdog's Cancel.
+		select {
+		case <-stuckCh:
+		case <-time.After(5 * time.Second):
+			t.Fatal("watchdog never declared the run stuck")
+		}
+		high, err := m.Submit(Job{
+			Label:    "preemptor",
+			Priority: 5,
+			Run:      func(ctx context.Context) (any, error) { return "ok", nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := high.Wait(ctx); err != nil {
+			t.Fatalf("preemptor: %v", err)
+		}
+		if _, err := victim.Wait(ctx); err == nil {
+			t.Fatal("stuck victim reported success")
+		}
+		cancel()
+
+		if st := victim.State(); st != StateCancelled {
+			t.Fatalf("victim state = %v, want cancelled", st)
+		}
+		// Exactly one terminal outcome: the census counts the victim once,
+		// and a settled run must not flip state afterwards.
+		st := m.Stats()
+		if got := st.Done + st.Failed + st.Cancelled + st.Checkpointed; got != 2 {
+			t.Fatalf("terminal runs = %d (%+v), want 2", got, st)
+		}
+		time.Sleep(5 * time.Millisecond) // let any straggling requeue surface
+		if st := victim.State(); st != StateCancelled {
+			t.Fatalf("victim resurrected to %v after finalizing", st)
+		}
+		if st := m.Stats(); st.QueueDepth != 0 || st.Running != 0 {
+			t.Fatalf("live work left behind: %+v", st)
+		}
+		m.Close()
+	}
+}

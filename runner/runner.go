@@ -82,6 +82,10 @@ type Config struct {
 	// Diagnostics on so a stuck run's report carries the executor's
 	// scheduling-state dump.
 	Watchdog WatchdogConfig
+	// IDPrefix prefixes runner-assigned run identifiers ("n1-" yields
+	// "n1-run-0001"). Cluster nodes set their node name here so run IDs
+	// are unique cluster-wide and routable to their owner.
+	IDPrefix string
 }
 
 // WatchdogConfig configures stuck-run detection for every submitted
@@ -120,6 +124,24 @@ type Submission struct {
 	// fair-share scheduling and per-tenant metrics. Empty is the
 	// anonymous tenant (keyless dev mode).
 	Tenant string
+	// CheckpointEvery, when positive, runs the program as a chain of
+	// legs: each leg pauses at a checkpoint after that many chunk claims,
+	// parks the snapshot on the handle (Run.Checkpoint), reports it to
+	// OnSnapshot, and resumes immediately — so a live run always has a
+	// recent durable snapshot without ever stopping. The claim-boundary
+	// pause preserves the bit-identity contract: the chained run's
+	// iteration set and totals equal an uninterrupted run's. It overrides
+	// Options.CheckpointAfter and requires a checkpointable configuration
+	// (cursor schemes; see Options.Checkpointable). A RequestCheckpoint
+	// or preemption ends the chain at the next leg boundary exactly as it
+	// would pause a CheckpointAfter run.
+	CheckpointEvery int64
+	// OnSnapshot, if non-nil, is called (from the run's goroutine) with
+	// each periodic snapshot a CheckpointEvery chain parks — the serving
+	// layer's hook for journaling restore points. Not called for the
+	// final checkpoint of a pausing/preempted run (that one is the
+	// terminal outcome, reported through the run state).
+	OnSnapshot func(*repro.Checkpoint)
 }
 
 // Progress is one streaming snapshot of a run, sampled live from the
@@ -294,6 +316,7 @@ func New(cfg Config) *Runner {
 			QueueLimit:    cfg.QueueLimit,
 			Scheduler:     sched,
 			Watchdog:      wd,
+			IDPrefix:      cfg.IDPrefix,
 		}),
 		sample:   cfg.SampleInterval,
 		watchdog: cfg.Watchdog,
@@ -335,7 +358,8 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 			userObserve(lv)
 		}
 	}
-	checkpointable := opts.Checkpointable || opts.CheckpointAfter > 0 || opts.Resume != nil
+	checkpointable := opts.Checkpointable || opts.CheckpointAfter > 0 ||
+		opts.Resume != nil || sub.CheckpointEvery > 0
 	ten := rn.tenants[sub.Tenant]
 	job := runmgr.Job{
 		Label:    sub.Label,
@@ -343,12 +367,16 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 		Weight:   ten.Weight,
 		Priority: ten.Priority,
 		Run: func(ctx context.Context) (any, error) {
+			// A fresh attempt consumes any yield request from a previous
+			// one: the request targeted the attempt that already paused.
+			r.yield.Store(false)
 			attempt := opts
 			if ck := r.ckpt.Load(); ck != nil {
-				// Redispatch after a preemption: resume from the parked
-				// snapshot so no pre-preemption work is repeated. Verify is
-				// dropped for resumed attempts — the trace cannot observe
-				// pre-checkpoint iterations.
+				// Redispatch after a preemption (or the next leg of a
+				// CheckpointEvery chain): resume from the parked snapshot so
+				// no prior work is repeated. Verify is dropped for resumed
+				// attempts — the trace cannot observe pre-checkpoint
+				// iterations.
 				attempt.Resume = ck
 				attempt.Verify = false
 			}
@@ -357,23 +385,41 @@ func (rn *Runner) Submit(sub Submission) (*Run, error) {
 				ctx, cancel = context.WithTimeout(ctx, sub.Timeout)
 				defer cancel()
 			}
-			res, err := sub.Program.RunContext(ctx, attempt)
-			var cke *repro.CheckpointedError
-			if errors.As(err, &cke) {
-				// Keep the snapshot on the handle; the manager either
-				// requeues (preemption in flight — the next attempt resumes
-				// from it) or finalizes as checkpointed (a terminal,
-				// resumable outcome — not a failure).
-				r.ckpt.Store(cke.Checkpoint)
-				return nil, fmt.Errorf("%v: %w", err, runmgr.ErrCheckpointed)
+			for {
+				if sub.CheckpointEvery > 0 {
+					attempt.CheckpointAfter = sub.CheckpointEvery
+				}
+				res, err := sub.Program.RunContext(ctx, attempt)
+				var cke *repro.CheckpointedError
+				if errors.As(err, &cke) {
+					// Keep the snapshot on the handle. A plain CheckpointAfter
+					// run (or a chain asked to yield — pause request,
+					// preemption, cancellation) surfaces the checkpoint as its
+					// outcome: the manager either requeues (preemption in
+					// flight — the next attempt resumes from the snapshot) or
+					// finalizes as checkpointed (terminal and resumable, not a
+					// failure). A chain leg otherwise journals its snapshot and
+					// resumes immediately.
+					r.ckpt.Store(cke.Checkpoint)
+					if sub.CheckpointEvery <= 0 || r.yield.Load() || ctx.Err() != nil {
+						return nil, fmt.Errorf("%v: %w", err, runmgr.ErrCheckpointed)
+					}
+					r.snapshots.Add(1)
+					if sub.OnSnapshot != nil {
+						sub.OnSnapshot(cke.Checkpoint)
+					}
+					attempt.Resume = cke.Checkpoint
+					attempt.Verify = false
+					continue
+				}
+				var be *repro.BudgetExceededError
+				if errors.As(err, &be) && be.Checkpoint != nil {
+					// Budget exhaustion on a checkpointable run: park the
+					// snapshot so a client can resubmit it with a fresh budget.
+					r.ckpt.Store(be.Checkpoint)
+				}
+				return res, err
 			}
-			var be *repro.BudgetExceededError
-			if errors.As(err, &be) && be.Checkpoint != nil {
-				// Budget exhaustion on a checkpointable run: park the
-				// snapshot so a client can resubmit it with a fresh budget.
-				r.ckpt.Store(be.Checkpoint)
-			}
-			return res, err
 		},
 		Sample: func() any {
 			if lv := r.probe.Load(); lv != nil {
@@ -500,6 +546,13 @@ type Run struct {
 	sample time.Duration
 	probe  atomic.Pointer[repro.Live]
 	ckpt   atomic.Pointer[repro.Checkpoint]
+	// yield distinguishes "someone wants this run to stop at its next
+	// checkpoint" (pause request, preemption) from the chain-internal
+	// checkpoints a CheckpointEvery run takes and rides through.
+	yield atomic.Bool
+	// snapshots counts the periodic snapshots a CheckpointEvery chain
+	// has parked (not the terminal checkpoint of a paused run).
+	snapshots atomic.Int64
 }
 
 // ID returns the runner-assigned identifier.
@@ -534,14 +587,30 @@ func (r *Run) RequestCheckpoint() bool {
 		return false
 	}
 	ck, ok := (*lv).(core.Checkpointer)
-	return ok && ck.RequestCheckpoint()
+	if !ok {
+		return false
+	}
+	// Raise yield before the core request so a CheckpointEvery chain
+	// cannot observe the resulting pause and mistake it for one of its
+	// own periodic checkpoints.
+	r.yield.Store(true)
+	if ck.RequestCheckpoint() {
+		return true
+	}
+	r.yield.Store(false)
+	return false
 }
 
 // Checkpoint returns the run's parked snapshot: set when the run
-// finalized as StateCheckpointed, and for a checkpointable run that
-// failed with repro.ErrBudgetExceeded (resubmit it with Options.Resume
-// and a fresh budget). Nil for any other (or still live) run.
+// finalized as StateCheckpointed, for a checkpointable run that failed
+// with repro.ErrBudgetExceeded (resubmit it with Options.Resume and a
+// fresh budget), and — continuously, while the run is still live — the
+// latest periodic snapshot of a CheckpointEvery chain. Nil otherwise.
 func (r *Run) Checkpoint() *repro.Checkpoint { return r.ckpt.Load() }
+
+// Snapshots returns how many periodic snapshots a CheckpointEvery
+// chain has parked so far (0 for unchained runs).
+func (r *Run) Snapshots() int64 { return r.snapshots.Load() }
 
 // Tenant returns the submission's tenant ("" for anonymous work).
 func (r *Run) Tenant() string { return r.h.Tenant() }
