@@ -91,9 +91,9 @@ func apiKey(r *http.Request) string {
 func (s *server) resolveTenant(r *http.Request) (string, error) {
 	// Intra-cluster calls carry the tenant the placing node already
 	// resolved: the client authenticated once, at the node it reached.
-	// The cluster addresses are assumed mutually trusted (same network
-	// trust as the probe endpoints); a single-node daemon never honors
-	// the header.
+	// isInternal verifies the cluster's shared secret, so the tenant
+	// header cannot be spoofed by a client that merely knows the header
+	// names; a single-node daemon never honors it at all.
 	if s.isInternal(r) {
 		return r.Header.Get(tenantHeader), nil
 	}

@@ -3,12 +3,16 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -19,10 +23,15 @@ import (
 // internalHeader marks a request as intra-cluster (a forward or proxy
 // from a peer, not a client). Internal submissions may carry a
 // caller-chosen run ID and resolve their tenant from tenantHeader —
-// the placing node already authenticated the client.
+// the placing node already authenticated the client. The marker is
+// only honored when clusterAuthHeader carries the cluster's shared
+// secret: peers and clients share one listener, so without the secret
+// any client could set these headers and impersonate a tenant or mint
+// run IDs.
 const (
-	internalHeader = "X-Loopschedd-Internal"
-	tenantHeader   = "X-Loopschedd-Tenant"
+	internalHeader    = "X-Loopschedd-Internal"
+	tenantHeader      = "X-Loopschedd-Tenant"
+	clusterAuthHeader = "X-Loopschedd-Cluster-Auth"
 )
 
 // clusterOptions is the daemon-side cluster configuration; a zero Node
@@ -33,6 +42,11 @@ type clusterOptions struct {
 	Node string
 	// Peers is the full static peer set, self included.
 	Peers []cluster.Peer
+	// Secret is the shared token that authenticates intra-cluster calls
+	// (every node must carry the same one). Required: cluster and client
+	// traffic share a listener, and without a secret the internal-call
+	// headers would be client-spoofable.
+	Secret string
 	// ProbeInterval is the membership health-probe period (default
 	// 500ms); SuspectAfter/DeadAfter are the consecutive-failure counts
 	// for the state demotions (defaults 1/3).
@@ -81,12 +95,23 @@ type clusterState struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// placeTag + placeSeq mint placement run IDs. The tag is a random
+	// per-process value, so IDs this placer chooses never collide with
+	// the owner's own sequence or with IDs minted before a placer
+	// reboot — which is what makes resending the same ID on every
+	// forward attempt a safe idempotency key.
+	placeTag string
+	placeSeq atomic.Uint64
+
 	mu         sync.Mutex
 	placements map[string]*placement
 	pollers    sync.WaitGroup
 }
 
 func newClusterState(s *server, opts clusterOptions) (*clusterState, error) {
+	if opts.Secret == "" {
+		return nil, errors.New("cluster: a shared secret is required (-cluster-secret or the cluster file's \"secret\"); without one, intra-cluster headers would be client-spoofable")
+	}
 	client := cluster.NewClient(cluster.ClientConfig{
 		Timeout: opts.RPCTimeout,
 		Faults:  opts.Faults,
@@ -95,6 +120,7 @@ func newClusterState(s *server, opts clusterOptions) (*clusterState, error) {
 		s:          s,
 		opts:       opts,
 		client:     client,
+		placeTag:   fmt.Sprintf("%08x", rand.Uint32()),
 		placements: map[string]*placement{},
 	}
 	c.ctx, c.cancel = context.WithCancel(context.Background())
@@ -147,70 +173,128 @@ func (c *clusterState) close() {
 	c.pollers.Wait()
 }
 
-// internalHdr builds the headers for an intra-cluster call.
-func internalHdr(tenant string) http.Header {
-	h := http.Header{internalHeader: []string{"1"}}
+// internalHdr builds the headers for an intra-cluster call, including
+// the shared-secret credential peers verify.
+func (c *clusterState) internalHdr(tenant string) http.Header {
+	h := http.Header{}
+	h.Set(internalHeader, "1")
+	h.Set(clusterAuthHeader, c.opts.Secret)
 	if tenant != "" {
 		h.Set(tenantHeader, tenant)
 	}
 	return h
 }
 
-// isInternal reports whether the request came from a cluster peer.
-// Only honored when clustering is on: a single-node daemon treats the
-// header as any other unknown header.
+// isInternal reports whether the request came from a cluster peer:
+// clustering must be on and the request must present the cluster's
+// shared secret. A request that claims to be internal but fails the
+// secret check is treated as external — its tenant header is ignored
+// and a caller-chosen run ID is rejected like any client's.
 func (s *server) isInternal(r *http.Request) bool {
-	return s.cluster != nil && r.Header.Get(internalHeader) == "1"
+	c := s.cluster
+	if c == nil || r.Header.Get(internalHeader) != "1" {
+		return false
+	}
+	return subtle.ConstantTimeCompare(
+		[]byte(r.Header.Get(clusterAuthHeader)), []byte(c.opts.Secret)) == 1
+}
+
+// placementID mints the run ID for a placement on target: the owner's
+// name prefix (so prefix routing works unchanged), this placer's
+// random per-process tag, and a sequence number. Unique across the
+// owner's own IDs, other placers, and this placer's earlier lives.
+func (c *clusterState) placementID(target string) string {
+	return fmt.Sprintf("%s-run-%s-%04d", target, c.placeTag, c.placeSeq.Add(1))
+}
+
+// confirmPlaced asks target whether run id exists — the tiebreaker
+// after an ambiguous forward outcome.
+func (c *clusterState) confirmPlaced(target cluster.Peer, id string) (*cluster.Response, bool) {
+	resp, err := c.client.DoHeader(c.ctx, target, http.MethodGet, "/v1/runs/"+id,
+		c.internalHdr(""), nil, nil)
+	return resp, err == nil && resp.Status == http.StatusOK
 }
 
 // trySubmitRemote implements run placement: pick the least-loaded
 // placeable node; if that is a live peer, forward the submission there
-// (the owner assigns the run ID), record the placement, journal it,
-// start the placement poller, and answer the client with the owner's
-// response. Returns false when the run should execute locally instead
-// — self is the best target, no peer is placeable, or the forward
-// failed (graceful degradation: a partitioned node still serves).
+// under a placer-minted run ID, record the placement, journal it,
+// start the placement poller, and answer the client. Returns false
+// when the run should execute locally instead — self is the best
+// target, no peer is placeable, or the forward definitively failed
+// (graceful degradation: a partitioned node still serves).
+//
+// The forward is idempotent: every retry attempt carries the same
+// minted ID, so an attempt that times out after the owner already
+// created the run makes the next attempt answer 409 — proof the run
+// exists — instead of creating a second one. Only when the forward's
+// outcome stays unknown (transport silence and a failed confirmation
+// probe) does the placer degrade to local execution, after a
+// best-effort cancel of the ID in case it did land.
 func (c *clusterState) trySubmitRemote(w http.ResponseWriter, req submitRequest, tenant string) bool {
 	target, ok := c.mem.LeastLoaded()
 	if !ok || target.Peer.Name == c.self.Name {
 		return false
 	}
+	req.ID = c.placementID(target.Peer.Name)
+	adopt := func(body []byte) bool {
+		p := &placement{
+			id:     req.ID,
+			node:   target.Peer.Name,
+			tenant: tenant,
+			sub: journalSubmit{
+				Program: req.Program,
+				Label:   req.Label,
+				Tenant:  tenant,
+				Timeout: req.Timeout,
+				Options: req.Options,
+			},
+		}
+		c.s.recordPlace(p.id, journalPlace{Node: p.node, Sub: p.sub})
+		c.adopt(p)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		w.Write(body)
+		return true
+	}
 	var st runStatus
 	resp, err := c.client.DoHeader(c.ctx, target.Peer, http.MethodPost, "/v1/runs",
-		internalHdr(tenant), req, &st)
-	if err != nil || resp.Status != http.StatusCreated || st.ID == "" {
-		// The peer looked placeable but the forward failed: run locally
-		// rather than failing the client. 4xx responses are the one
-		// exception — the submission itself is bad and local submission
-		// would reject it identically, so relay the owner's verdict.
-		var se *cluster.StatusError
-		if errors.As(err, &se) && se.Status >= 400 && se.Status < 500 {
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(se.Status)
-			w.Write(resp.Body)
-			return true
+		c.internalHdr(tenant), req, &st)
+	if err == nil && resp.Status == http.StatusCreated {
+		return adopt(resp.Body)
+	}
+	var se *cluster.StatusError
+	if errors.As(err, &se) && se.Status >= 400 && se.Status < 500 {
+		if se.Status == http.StatusConflict {
+			// Only this placer can have minted the ID, so a duplicate means
+			// an earlier attempt of this very forward landed: the run exists
+			// on the owner. Answer from its live status when reachable, from
+			// a minimal snapshot otherwise — the poller takes it from here.
+			if got, ok := c.confirmPlaced(target.Peer, req.ID); ok {
+				return adopt(got.Body)
+			}
+			return adopt(fmt.Appendf(nil, "{\"id\":%q,\"state\":\"queued\"}", req.ID))
 		}
-		log.Printf("loopschedd: placement on %s failed (%v), running locally", target.Peer.Name, err)
-		return false
+		// Any other 4xx: the submission itself is bad and local submission
+		// would reject it identically, so relay the owner's verdict.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(se.Status)
+		w.Write(resp.Body)
+		return true
 	}
-	p := &placement{
-		id:     st.ID,
-		node:   target.Peer.Name,
-		tenant: tenant,
-		sub: journalSubmit{
-			Program: req.Program,
-			Label:   req.Label,
-			Tenant:  tenant,
-			Timeout: req.Timeout,
-			Options: req.Options,
-		},
+	// Transport failure or 5xx exhaustion: the owner may or may not have
+	// created the run. Confirm before degrading to local execution.
+	if got, ok := c.confirmPlaced(target.Peer, req.ID); ok {
+		return adopt(got.Body)
 	}
-	c.s.recordPlace(p.id, journalPlace{Node: p.node, Sub: p.sub})
-	c.adopt(p)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	w.Write(resp.Body)
-	return true
+	// Placement unknown and unconfirmable. Fire a best-effort cancel so
+	// that, if the submit did land, the orphan stops instead of running
+	// to completion unobserved; then run locally under a fresh local ID.
+	go func(p cluster.Peer, id string) {
+		c.client.DoHeader(c.ctx, p, http.MethodPost, "/v1/runs/"+id+"/cancel",
+			c.internalHdr(""), nil, nil)
+	}(target.Peer, req.ID)
+	log.Printf("loopschedd: placement on %s failed (%v), running locally", target.Peer.Name, err)
+	return false
 }
 
 // ownerOf resolves which peer serves run id: the placement table first
@@ -244,7 +328,7 @@ func (c *clusterState) fetchStatus(ctx context.Context, id string) (*cluster.Res
 	tried := map[string]bool{c.self.Name: true}
 	if owner, ok := c.ownerOf(id); ok {
 		tried[owner.Name] = true
-		resp, err := c.client.DoHeader(ctx, owner, http.MethodGet, "/v1/runs/"+id, internalHdr(""), nil, nil)
+		resp, err := c.client.DoHeader(ctx, owner, http.MethodGet, "/v1/runs/"+id, c.internalHdr(""), nil, nil)
 		if err == nil && resp.Status == http.StatusOK {
 			return resp, true
 		}
@@ -253,7 +337,7 @@ func (c *clusterState) fetchStatus(ctx context.Context, id string) (*cluster.Res
 		if tried[n.Peer.Name] || n.State == cluster.NodeDead {
 			continue
 		}
-		resp, err := c.client.DoHeader(ctx, n.Peer, http.MethodGet, "/v1/runs/"+id, internalHdr(""), nil, nil)
+		resp, err := c.client.DoHeader(ctx, n.Peer, http.MethodGet, "/v1/runs/"+id, c.internalHdr(""), nil, nil)
 		if err == nil && resp.Status == http.StatusOK {
 			return resp, true
 		}
@@ -284,7 +368,7 @@ func (c *clusterState) proxyGet(w http.ResponseWriter, r *http.Request, id strin
 func (c *clusterState) proxyPost(w http.ResponseWriter, r *http.Request, id, action string) bool {
 	post := func(p cluster.Peer) *cluster.Response {
 		resp, err := c.client.DoHeader(r.Context(), p, http.MethodPost,
-			"/v1/runs/"+id+"/"+action, internalHdr(""), nil, nil)
+			"/v1/runs/"+id+"/"+action, c.internalHdr(""), nil, nil)
 		if err != nil && resp == nil {
 			return nil
 		}
@@ -440,8 +524,13 @@ func (c *clusterState) failover(p *placement) {
 	if ok && target.Peer.Name != c.self.Name {
 		var st runStatus
 		resp, err := c.client.DoHeader(c.ctx, target.Peer, http.MethodPost, "/v1/runs",
-			internalHdr(tenant), req, &st)
-		if err == nil && resp.Status == http.StatusCreated {
+			c.internalHdr(tenant), req, &st)
+		var se *cluster.StatusError
+		// 409 means the target already hosts this ID — it replayed the run
+		// from its own journal, or an earlier failover attempt landed.
+		// Either way the run lives there: adopt it, don't restore again.
+		if (err == nil && resp.Status == http.StatusCreated) ||
+			(errors.As(err, &se) && se.Status == http.StatusConflict) {
 			c.mu.Lock()
 			p.node = target.Peer.Name
 			c.mu.Unlock()
@@ -452,8 +541,9 @@ func (c *clusterState) failover(p *placement) {
 		log.Printf("loopschedd: failover of %s to %s failed (%v), restoring locally", p.id, target.Peer.Name, err)
 	}
 	// Restore locally (graceful degradation: even a fully partitioned
-	// node finishes the runs it placed).
-	if err := c.s.submitPlaced(req, tenant); err != nil {
+	// node finishes the runs it placed). A duplicate means the run is
+	// already here — a journal replay beat this failover to it.
+	if err := c.s.submitPlaced(req, tenant); err != nil && !errors.Is(err, runner.ErrDuplicateID) {
 		log.Printf("loopschedd: local failover restore of %s failed: %v", p.id, err)
 		return
 	}
@@ -528,7 +618,7 @@ func (c *clusterState) pollRemote(p *placement) {
 	}
 	var st runStatus
 	resp, err := c.client.DoHeader(c.ctx, owner, http.MethodGet, "/v1/runs/"+p.id,
-		internalHdr(""), nil, &st)
+		c.internalHdr(""), nil, &st)
 	if err != nil {
 		var se *cluster.StatusError
 		if errors.As(err, &se) && se.Status == http.StatusNotFound {
@@ -565,8 +655,13 @@ func (c *clusterState) noteSnapshot(p *placement, ck *repro.Checkpoint) {
 	c.s.recordSnapshot(p.id, js)
 }
 
-// finishPlacement marks a placement terminal and journals the outcome
-// so a rebooted placer does not resurrect a finished run.
+// finishPlacement marks a placement terminal, journals the outcome so
+// a rebooted placer does not resurrect a finished run, and drops the
+// entry from the placement table — each one holds the full submission
+// plus the last checkpoint, so a long-lived placer would otherwise
+// grow without bound. Routing for the finished run still works: the
+// ID's node prefix resolves it, and the proxy paths scatter when the
+// prefix has gone stale.
 func (c *clusterState) finishPlacement(p *placement, state string, run *runner.Run) {
 	c.mu.Lock()
 	if p.done {
@@ -582,6 +677,9 @@ func (c *clusterState) finishPlacement(p *placement, state string, run *runner.R
 		}
 	}
 	c.s.recordPlacedTerminal(p.id, term)
+	c.mu.Lock()
+	delete(c.placements, p.id)
+	c.mu.Unlock()
 }
 
 func (c *clusterState) peerNamed(name string) (cluster.Peer, bool) {

@@ -19,16 +19,30 @@ import (
 	"repro/internal/lang"
 )
 
+// testClusterSecret is the shared intra-cluster credential every test
+// node carries.
+const testClusterSecret = "test-cluster-secret"
+
 // testCluster is N in-process loopschedd nodes serving one API: each
 // node is a full server behind an httptest listener, with the peer set
 // wired through real HTTP — the same transport production uses, so
 // killing a listener is a faithful node death.
 type testCluster struct {
-	t        *testing.T
-	names    []string
-	srvs     []*server
-	https    []*httptest.Server
-	handlers []*atomic.Pointer[server]
+	t          *testing.T
+	names      []string
+	srvs       []*server
+	https      []*httptest.Server
+	handlers   []*atomic.Pointer[server]
+	intercepts []*atomic.Value // per node: testIntercept wrapping the server
+}
+
+// testIntercept lets a test sit between the wire and one node's server
+// — e.g. to lose a response after the server processed the request.
+type testIntercept func(w http.ResponseWriter, r *http.Request, next http.Handler)
+
+// intercept installs f in front of node i (nil restores pass-through).
+func (tc *testCluster) intercept(i int, f testIntercept) {
+	tc.intercepts[i].Store(f)
 }
 
 // startCluster boots n nodes named n1..nN. Each node journals into
@@ -45,12 +59,20 @@ func startCluster(t *testing.T, n int, dir string, faults *cluster.NetInjector, 
 		tc.names = append(tc.names, name)
 		ptr := &atomic.Pointer[server]{}
 		tc.handlers = append(tc.handlers, ptr)
+		icept := &atomic.Value{}
+		icept.Store(testIntercept(nil))
+		tc.intercepts = append(tc.intercepts, icept)
 		hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			if s := ptr.Load(); s != nil {
-				s.ServeHTTP(w, r)
+			s := ptr.Load()
+			if s == nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
 				return
 			}
-			w.WriteHeader(http.StatusServiceUnavailable)
+			if f, _ := icept.Load().(testIntercept); f != nil {
+				f(w, r, s)
+				return
+			}
+			s.ServeHTTP(w, r)
 		}))
 		tc.https = append(tc.https, hs)
 		peerSpecs = append(peerSpecs, name+"="+hs.URL)
@@ -67,6 +89,7 @@ func startCluster(t *testing.T, n int, dir string, faults *cluster.NetInjector, 
 			Cluster: clusterOptions{
 				Node:            tc.names[i],
 				Peers:           peers,
+				Secret:          testClusterSecret,
 				ProbeInterval:   25 * time.Millisecond,
 				RPCTimeout:      2 * time.Second,
 				DeadAfter:       3,
@@ -247,6 +270,25 @@ func TestClusterPlacementAndProxy(t *testing.T) {
 	for _, n := range info.Nodes {
 		if n.State != "alive" {
 			t.Errorf("node state %q, want alive", n.State)
+		}
+	}
+
+	// Finished placements leave the placer's table (it would otherwise
+	// grow without bound, each entry holding a full submission), so the
+	// count drains to zero once every placed run is terminal.
+	deadline := time.After(30 * time.Second)
+	for {
+		var pinfo struct {
+			Placements int `json:"placements"`
+		}
+		getJSON(t, tc.url(1)+"/v1/cluster", &pinfo)
+		if pinfo.Placements == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("placer still tracks %d placement(s) after all runs finished", pinfo.Placements)
+		case <-time.After(20 * time.Millisecond):
 		}
 	}
 }
@@ -526,4 +568,115 @@ func TestClusterPlacerRebootResumesWatch(t *testing.T) {
 	tc.pollStatus(1, id, 60*time.Second, func(st map[string]any) bool {
 		return st["state"] == "done"
 	})
+}
+
+// TestClusterSpoofedInternalRejected pins the intra-cluster auth
+// boundary: peers and clients share one listener, so the internal-call
+// headers grant nothing without the cluster's shared secret — a client
+// that knows the header names can neither mint run IDs nor impersonate
+// a tenant.
+func TestClusterSpoofedInternalRejected(t *testing.T) {
+	tc := startCluster(t, 2, t.TempDir(), nil, 0)
+
+	// A spoofed internal submit with a caller-chosen ID is treated as an
+	// ordinary client request: IDs are server-assigned, 400.
+	req, _ := http.NewRequest(http.MethodPost, tc.url(0)+"/v1/runs",
+		strings.NewReader(`{"id": "n1-run-6666", "program": "doall I = 1..10 { work 5 }", "options": {}}`))
+	req.Header.Set(internalHeader, "1")
+	req.Header.Set(tenantHeader, "spoofed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("spoofed internal submit: status %d, want 400", resp.StatusCode)
+	}
+
+	// The tenant header is ignored without the secret and honored with it.
+	treq, _ := http.NewRequest(http.MethodPost, "/v1/runs", nil)
+	treq.Header.Set(internalHeader, "1")
+	treq.Header.Set(tenantHeader, "spoofed")
+	if tenant, _ := tc.srvs[0].resolveTenant(treq); tenant == "spoofed" {
+		t.Fatal("tenant header honored without the cluster secret")
+	}
+	treq.Header.Set(clusterAuthHeader, testClusterSecret)
+	if tenant, err := tc.srvs[0].resolveTenant(treq); err != nil || tenant != "spoofed" {
+		t.Fatalf("authenticated internal call resolved tenant %q (err %v), want the forwarded tenant", tenant, err)
+	}
+	treq.Header.Set(clusterAuthHeader, "wrong-secret")
+	if tenant, _ := tc.srvs[0].resolveTenant(treq); tenant == "spoofed" {
+		t.Fatal("tenant header honored with a wrong cluster secret")
+	}
+}
+
+// TestClusterSecretRequired: clustering refuses to start without the
+// shared secret — a secretless cluster would leave the internal-call
+// headers client-spoofable.
+func TestClusterSecretRequired(t *testing.T) {
+	peers, err := cluster.ParsePeers("n1=http://localhost:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(serverConfig{
+		Cluster: clusterOptions{Node: "n1", Peers: peers},
+	}); err == nil || !strings.Contains(err.Error(), "secret") {
+		t.Fatalf("secretless cluster config accepted (err %v)", err)
+	}
+	// The flag path enforces it too, and threads the value through.
+	if _, err := clusterFlags("n1", "n1=http://localhost:1", "", "", 0, 0, 0, 0); err == nil {
+		t.Fatal("clusterFlags accepted -peers without a secret")
+	}
+	opts, err := clusterFlags("n1", "n1=http://localhost:1", "", "s3cr3t", 0, 0, 0, 0)
+	if err != nil || opts.Secret != "s3cr3t" {
+		t.Fatalf("clusterFlags with secret: opts %+v, err %v", opts, err)
+	}
+}
+
+// TestClusterPlacementRetryIsIdempotent pins the forward-retry
+// protocol: the placer mints the run ID and resends it on every
+// attempt, so an attempt whose response is lost after the owner
+// already created the run dedupes (409 → confirmed placed) instead of
+// executing the program twice.
+func TestClusterPlacementRetryIsIdempotent(t *testing.T) {
+	tc := startCluster(t, 2, t.TempDir(), nil, 0)
+
+	// Sabotage the owner: the first placement forward is processed, but
+	// its response is replaced with a 500 — the "owner created the run,
+	// placer saw a failure" window the retry must survive.
+	var sabotaged atomic.Bool
+	tc.intercept(0, func(w http.ResponseWriter, r *http.Request, next http.Handler) {
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/runs" &&
+			sabotaged.CompareAndSwap(false, true) {
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			http.Error(w, "injected: response lost", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+
+	resp, payload := postJSON(t, tc.url(1)+"/v1/runs",
+		`{"program": "doall I = 1..400 { work 20 }", "options": {"procs": 4}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit through lossy forward: status %d, payload %v", resp.StatusCode, payload)
+	}
+	if !sabotaged.Load() {
+		t.Fatal("the intercept never fired: the forward was not exercised")
+	}
+	id, _ := payload["id"].(string)
+	if !strings.HasPrefix(id, "n1-") {
+		t.Fatalf("run placed as %q, want n1-prefixed", id)
+	}
+	tc.pollStatus(0, id, 30*time.Second, func(st map[string]any) bool {
+		return st["state"] == "done"
+	})
+
+	// Exactly one run exists on the owner: the retried forward deduped
+	// instead of creating a second execution.
+	var runs []map[string]any
+	getJSON(t, tc.url(0)+"/v1/runs", &runs)
+	if len(runs) != 1 {
+		t.Fatalf("owner hosts %d runs after a retried forward, want 1 (%v)", len(runs), runs)
+	}
 }

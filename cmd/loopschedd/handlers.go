@@ -419,6 +419,12 @@ func statusFor(err error) int {
 		errors.Is(err, runner.ErrTenantQueueFull),
 		errors.Is(err, runner.ErrTenantInflight):
 		return http.StatusTooManyRequests
+	case errors.Is(err, runner.ErrDuplicateID):
+		// Only cluster-internal submissions can carry an ID, and the
+		// placer mints unique ones — a duplicate is a retried forward
+		// whose earlier attempt landed, so 409 tells the placer the run
+		// already exists rather than 400 "bad request".
+		return http.StatusConflict
 	case errors.Is(err, runner.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:

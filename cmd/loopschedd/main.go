@@ -60,7 +60,16 @@
 // set and the nodes serve one API: any node accepts a submission,
 // places it on the least-loaded live node, and proxies polls, progress
 // streams and cancels for runs it does not own (run IDs are node-
-// prefixed, so any node routes them without coordination). Nodes probe
+// prefixed, so any node routes them without coordination). Clustering
+// requires a shared secret (-cluster-secret, or "secret" in the
+// cluster file): peers and clients share one listener, so intra-
+// cluster calls — which may carry a resolved tenant and a caller-
+// chosen run ID — authenticate with the secret, and a request missing
+// it is treated as an ordinary client. Placement forwards are
+// idempotent: the placing node mints the run ID and resends it on
+// every retry, so a forward whose first attempt timed out after the
+// owner created the run dedupes (409) instead of executing twice.
+// Nodes probe
 // each other's /readyz every -probe-interval through a hardened RPC
 // client — per-attempt deadlines (-rpc-timeout), bounded retries with
 // exponential backoff and jitter, and a per-peer circuit breaker — and
@@ -100,11 +109,12 @@ import (
 
 // clusterFlags folds the cluster flags into clusterOptions. -cluster
 // FILE and -node/-peers are alternatives: the file carries the peer
-// set (and a default self), the flags carry it inline. No cluster
-// flags at all is single-node mode.
-func clusterFlags(node, peers, path string, probe, rpcTimeout time.Duration, deadAfter int, every int64) (clusterOptions, error) {
+// set (and a default self and secret), the flags carry them inline.
+// No cluster flags at all is single-node mode.
+func clusterFlags(node, peers, path, secret string, probe, rpcTimeout time.Duration, deadAfter int, every int64) (clusterOptions, error) {
 	opts := clusterOptions{
 		Node:            node,
+		Secret:          secret,
 		ProbeInterval:   probe,
 		RPCTimeout:      rpcTimeout,
 		DeadAfter:       deadAfter,
@@ -126,6 +136,9 @@ func clusterFlags(node, peers, path string, probe, rpcTimeout time.Duration, dea
 		if opts.Node == "" {
 			return clusterOptions{}, fmt.Errorf("loopschedd: cluster config %s has no self; pass -node", path)
 		}
+		if opts.Secret == "" {
+			opts.Secret = f.Secret
+		}
 	case peers != "":
 		if node == "" {
 			return clusterOptions{}, errors.New("loopschedd: -peers needs -node")
@@ -139,6 +152,9 @@ func clusterFlags(node, peers, path string, probe, rpcTimeout time.Duration, dea
 		return clusterOptions{}, errors.New("loopschedd: -node needs -peers or -cluster")
 	default:
 		return clusterOptions{}, nil
+	}
+	if opts.Secret == "" {
+		return clusterOptions{}, errors.New("loopschedd: clustering needs a shared secret (-cluster-secret, or \"secret\" in the cluster file): peers authenticate intra-cluster calls with it")
 	}
 	return opts, nil
 }
@@ -160,7 +176,8 @@ func main() {
 		tenantsPath    = flag.String("tenants", "", "tenant config file mapping API keys to tenants, weights, priorities and quotas (\"\" = single-tenant)")
 		node           = flag.String("node", "", "this node's name in the cluster peer set (\"\" = single-node mode)")
 		peers          = flag.String("peers", "", "static cluster peer set as name=url,name=url (self included)")
-		clusterPath    = flag.String("cluster", "", "cluster config file: {\"self\": \"n1\", \"peers\": {\"n1\": \"http://...\", ...}} (alternative to -node/-peers)")
+		clusterPath    = flag.String("cluster", "", "cluster config file: {\"self\": \"n1\", \"secret\": \"...\", \"peers\": {\"n1\": \"http://...\", ...}} (alternative to -node/-peers)")
+		clusterSecret  = flag.String("cluster-secret", "", "shared secret authenticating intra-cluster calls (required with -peers; overrides the cluster file's)")
 		probeInterval  = flag.Duration("probe-interval", 500*time.Millisecond, "cluster health-probe period")
 		rpcTimeout     = flag.Duration("rpc-timeout", 2*time.Second, "per-attempt deadline on intra-cluster requests")
 		deadAfter      = flag.Int("dead-after", 3, "consecutive missed probes before a peer is declared dead and failed over")
@@ -168,7 +185,7 @@ func main() {
 	)
 	flag.Parse()
 
-	clusterOpts, err := clusterFlags(*node, *peers, *clusterPath, *probeInterval, *rpcTimeout, *deadAfter, *checkpointEvery)
+	clusterOpts, err := clusterFlags(*node, *peers, *clusterPath, *clusterSecret, *probeInterval, *rpcTimeout, *deadAfter, *checkpointEvery)
 	if err != nil {
 		log.Fatal(err)
 	}

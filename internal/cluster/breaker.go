@@ -89,6 +89,24 @@ func (b *Breaker) Allow() bool {
 	}
 }
 
+// Shedding reports whether a call would be denied right now, with none
+// of Allow's side effects: no open→half-open transition and no probe
+// claim. Use it for advisory re-checks mid-call — an Allow whose true
+// result is not always followed by a Report would leak the half-open
+// probe and pin the breaker shut forever.
+func (b *Breaker) Shedding() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) < b.cooldown
+	case BreakerHalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}
+
 // Report records a call's outcome. Success closes the circuit and
 // resets the failure count; failure counts toward the threshold (or
 // immediately re-opens a half-open circuit).

@@ -101,3 +101,47 @@ func TestBreakerSuccessResetsFailureCount(t *testing.T) {
 		t.Fatal("failure count was not reset by a success")
 	}
 }
+
+// TestBreakerSheddingHasNoSideEffects: Shedding is the advisory twin of
+// Allow — it must report what Allow would say without consuming the
+// half-open probe slot or forcing a state transition.
+func TestBreakerSheddingHasNoSideEffects(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, 1)
+
+	if b.Shedding() {
+		t.Fatal("closed breaker sheds")
+	}
+	b.Report(false) // threshold 1: opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after tripping, want open", b.State())
+	}
+	if !b.Shedding() {
+		t.Fatal("open breaker within cooldown does not shed")
+	}
+
+	// Cooldown expired: the next Allow may probe, so Shedding must say
+	// "not shedding" — but without transitioning to half-open or
+	// claiming the probe itself.
+	clk.advance(time.Second)
+	for i := 0; i < 3; i++ {
+		if b.Shedding() {
+			t.Fatal("expired-open breaker sheds")
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("Shedding transitioned the breaker to %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("Shedding consumed the half-open probe")
+	}
+
+	// While the probe is in flight, further calls shed.
+	if !b.Shedding() {
+		t.Fatal("half-open breaker with a probe in flight does not shed")
+	}
+	b.Report(true)
+	if b.Shedding() {
+		t.Fatal("closed (recovered) breaker sheds")
+	}
+}

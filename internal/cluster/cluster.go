@@ -76,6 +76,7 @@ func ParsePeers(spec string) ([]Peer, error) {
 //
 //	{
 //	  "self": "n1",
+//	  "secret": "…shared cluster secret…",
 //	  "peers": {
 //	    "n1": "http://10.0.0.1:8080",
 //	    "n2": "http://10.0.0.2:8080",
@@ -84,10 +85,13 @@ func ParsePeers(spec string) ([]Peer, error) {
 //	}
 //
 // The same file ships to every node; each node finds itself by the
-// "self" it is started with (the file's Self is the default).
+// "self" it is started with (the file's Self is the default). Secret
+// is the shared token peers use to authenticate intra-cluster calls
+// to each other; every node must carry the same one.
 type File struct {
-	Self  string            `json:"self,omitempty"`
-	Peers map[string]string `json:"peers"`
+	Self   string            `json:"self,omitempty"`
+	Secret string            `json:"secret,omitempty"`
+	Peers  map[string]string `json:"peers"`
 }
 
 // LoadFile reads and validates a cluster.json file, returning the peer

@@ -90,7 +90,16 @@ func (in *NetInjector) WithRate(kind NetKind, p float64, delay time.Duration) *N
 	case p >= 1:
 		in.rates[kind] = netRate{threshold: ^uint64(0), delay: delay}
 	default:
-		in.rates[kind] = netRate{threshold: uint64(p * float64(1<<63) * 2), delay: delay}
+		// p just below 1 can round the product up to exactly 2^64, and
+		// converting an out-of-range float to uint64 is implementation-
+		// defined (0 on some platforms, which would silently disarm the
+		// fault) — clamp to the maximum instead.
+		t := p * float64(1<<63) * 2
+		if t >= float64(^uint64(0)) {
+			in.rates[kind] = netRate{threshold: ^uint64(0), delay: delay}
+		} else {
+			in.rates[kind] = netRate{threshold: uint64(t), delay: delay}
+		}
 	}
 	return in
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -115,5 +116,22 @@ func TestNetInjectorRateRoughlyHolds(t *testing.T) {
 	got := float64(hits) / n
 	if got < 0.15 || got > 0.25 {
 		t.Fatalf("configured rate 0.2, observed %.3f over %d calls", got, n)
+	}
+}
+
+// TestInjectorRateNearOne: probabilities rounding to 2^64 must clamp to
+// the max threshold instead of overflowing the uint64 conversion (which
+// is implementation-defined and can yield 0 — i.e. never fire).
+func TestInjectorRateNearOne(t *testing.T) {
+	in := NewNetInjector(1)
+	in.WithRate(NetDrop, math.Nextafter(1, 0), 0)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := in.Decide("peer", "op"); ok {
+			fired++
+		}
+	}
+	if fired < 990 {
+		t.Fatalf("p≈1 drop rate fired %d/1000 times; threshold likely overflowed to 0", fired)
 	}
 }

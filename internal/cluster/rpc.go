@@ -178,8 +178,12 @@ func (c *Client) DoHeader(ctx context.Context, peer Peer, method, path string, h
 			// Re-check the breaker before another attempt: this call's own
 			// failures (or a concurrent caller's) may have opened it. On
 			// the final attempt, fall through to the exhaustion error —
-			// the transport failure is the more informative cause.
-			if attempt+1 < c.cfg.Attempts && !br.Allow() {
+			// the transport failure is the more informative cause. The
+			// check must be Shedding, not Allow: Allow can claim the
+			// half-open probe, and the backoff sleep between here and the
+			// next attempt can exit on ctx cancellation without a Report,
+			// which would leave the probe claimed forever.
+			if attempt+1 < c.cfg.Attempts && br.Shedding() {
 				return nil, fmt.Errorf("%w: %s", ErrPeerDown, peer.Name)
 			}
 			continue

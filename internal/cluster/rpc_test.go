@@ -246,3 +246,34 @@ func TestClientFaultDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestClientBackoffCancelDoesNotLeakProbe: when the context dies during
+// the inter-attempt backoff, the retry loop's advisory breaker check
+// must not consume a half-open probe slot — a leaked probe would pin
+// the breaker half-open forever and permanently shed the peer.
+func TestClientBackoffCancelDoesNotLeakProbe(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // dead peer: every attempt is a transport failure
+
+	c := fastClient(t, ClientConfig{
+		Timeout:          50 * time.Millisecond,
+		Attempts:         3,
+		Backoff:          200 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Nanosecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	// First attempt fails (breaker opens), then the context dies in the
+	// 200ms backoff; the loop re-checks the breaker on the way out.
+	if _, err := c.Do(ctx, testPeer(ts), http.MethodGet, "/readyz", nil, nil); err == nil {
+		t.Fatal("Do against a dead peer succeeded")
+	}
+	// The cooldown (1ns) has long expired: the probe slot must still be
+	// available to the next real call.
+	if !c.Breaker(testPeer(ts).Name).Allow() {
+		t.Fatal("half-open probe leaked: the breaker permanently sheds the peer")
+	}
+	c.Breaker(testPeer(ts).Name).Report(false)
+}

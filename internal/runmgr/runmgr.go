@@ -63,6 +63,10 @@ func (s State) Terminal() bool { return s >= StateDone }
 var (
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("runmgr: manager closed")
+	// ErrDuplicateID is returned by SubmitID when the identifier is
+	// already taken. Callers that chose the ID themselves (the cluster
+	// placement path) treat it as proof the run exists.
+	ErrDuplicateID = errors.New("runmgr: run already exists")
 	// ErrQueueFull is returned by Submit when QueueLimit runs are
 	// already waiting.
 	ErrQueueFull = errors.New("runmgr: queue full")
@@ -204,7 +208,7 @@ func (m *Manager) SubmitID(id string, job Job) (*Run, error) {
 	} else {
 		if _, dup := m.byID[id]; dup {
 			m.mu.Unlock()
-			return nil, fmt.Errorf("runmgr: run %q already exists", id)
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
 		}
 		if n, ok := trailingNumber(id); ok && n > m.seq {
 			m.seq = n

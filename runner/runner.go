@@ -50,6 +50,9 @@ var (
 	// ErrQueueFull is returned by Submit when the waiting queue is at
 	// QueueLimit.
 	ErrQueueFull = runmgr.ErrQueueFull
+	// ErrDuplicateID is returned by Submit when the submission's
+	// caller-chosen ID is already taken.
+	ErrDuplicateID = runmgr.ErrDuplicateID
 )
 
 // Config configures a Runner.
